@@ -1,0 +1,484 @@
+// Root benchmark suite: one bench per table/figure of the paper's
+// evaluation section (regenerating the series via the harness and
+// reporting headline metrics), plus the ablation benches for the design
+// choices called out in DESIGN.md §5. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Macro benches print the same rows/series the paper reports when -v is
+// set; metrics are attached via b.ReportMetric so shapes are visible in
+// benchstat output.
+package repro_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/ilm"
+	"repro/internal/imrs"
+	"repro/internal/rid"
+	"repro/internal/row"
+	"repro/internal/tpcc"
+)
+
+// benchOptions is the common scale for macro benches: big enough to
+// exercise pack, small enough that the full suite runs in ~a minute.
+func benchOptions() harness.Options {
+	return harness.Options{
+		Scale: tpcc.Config{
+			Warehouses:               1,
+			DistrictsPerW:            4,
+			CustomersPerDistrict:     30,
+			Items:                    100,
+			InitialOrdersPerDistrict: 10,
+			Seed:                     3,
+		},
+		Workers:           4,
+		Duration:          30 * time.Second, // safety cap; MaxTxns governs
+		MaxTxns:           6000,
+		SampleEvery:       50 * time.Millisecond,
+		IMRSCacheBytes:    3 << 20,
+		IMRSCacheBytesOff: 256 << 20,
+		PackThreads:       2,
+	}
+}
+
+func out(b *testing.B) io.Writer {
+	if testing.Verbose() {
+		return benchWriter{b}
+	}
+	return io.Discard
+}
+
+type benchWriter struct{ b *testing.B }
+
+func (w benchWriter) Write(p []byte) (int, error) {
+	w.b.Log(string(p))
+	return len(p), nil
+}
+
+// BenchmarkTable1Profile regenerates Table 1: the observed workload
+// profile of every TPC-C table.
+func BenchmarkTable1Profile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		off, err := harness.Run(benchOptions(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		harness.Table1(out(b), off)
+		b.ReportMetric(off.TPM, "TPM-ILM_OFF")
+	}
+}
+
+// BenchmarkFig1Benefits regenerates Figure 1 (§VIII-B): relative TPM,
+// IMRS hit rate and cache reduction, ILM_ON vs ILM_OFF.
+func BenchmarkFig1Benefits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := harness.CollectBenefits(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := harness.Fig1(out(b), d)
+		b.ReportMetric(sum.RelativeTPM, "relTPM")
+		b.ReportMetric(sum.IMRSHitRate*100, "hit%")
+		b.ReportMetric(sum.CacheReduction*100, "cacheReduction%")
+	}
+}
+
+// BenchmarkFig2CacheUtilization regenerates Figure 2: cache utilization
+// over time for both schemes.
+func BenchmarkFig2CacheUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := harness.CollectBenefits(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		harness.Fig2(out(b), d)
+		b.ReportMetric(float64(d.Off.Final.IMRSUsedBytes)/(1<<20), "MB-ILM_OFF")
+		b.ReportMetric(float64(d.On.Final.IMRSUsedBytes)/(1<<20), "MB-ILM_ON")
+	}
+}
+
+// BenchmarkFig3FootprintIlmOff regenerates Figure 3: per-table IMRS
+// footprints growing without bound under ILM_OFF.
+func BenchmarkFig3FootprintIlmOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		off, err := harness.Run(benchOptions(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		harness.Fig3(out(b), &harness.BenefitsData{Off: off, On: off})
+		last := off.Samples[len(off.Samples)-1]
+		b.ReportMetric(float64(last.Tables[tpcc.TableOrderLine].Bytes)/(1<<20), "orderline-MB")
+	}
+}
+
+// BenchmarkFig4FootprintIlmOn regenerates Figure 4: per-table IMRS
+// footprints stabilized by ILM_ON.
+func BenchmarkFig4FootprintIlmOn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on, err := harness.Run(benchOptions(), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		harness.Fig4(out(b), &harness.BenefitsData{Off: on, On: on})
+		last := on.Samples[len(on.Samples)-1]
+		b.ReportMetric(float64(last.Tables[tpcc.TableOrderLine].Bytes)/(1<<20), "orderline-MB")
+	}
+}
+
+// BenchmarkFig5PackOverhead regenerates Figure 5: normalized TPM and
+// cumulative MB packed during the ILM_ON run.
+func BenchmarkFig5PackOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := harness.CollectBenefits(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		norm := harness.Fig5(out(b), d)
+		b.ReportMetric(norm, "normTPM")
+		b.ReportMetric(float64(d.On.Final.BytesPacked)/(1<<20), "packed-MB")
+	}
+}
+
+// BenchmarkFig6ReuseCounts regenerates Figure 6: average per-row re-use
+// counts per table.
+func BenchmarkFig6ReuseCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on, err := harness.Run(benchOptions(), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reuse := harness.Fig6(out(b), on)
+		b.ReportMetric(reuse[tpcc.TableWarehouse], "warehouse-reuse")
+		b.ReportMetric(reuse[tpcc.TableOrderLine], "orderline-reuse")
+	}
+}
+
+// BenchmarkFig7PackedRows regenerates Figure 7: rows packed per table,
+// aggregated over 4 runs as in the paper.
+func BenchmarkFig7PackedRows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		agg, err := harness.Fig7(out(b), benchOptions(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(agg[tpcc.TableOrderLine]), "orderline-packed")
+		b.ReportMetric(float64(agg[tpcc.TableWarehouse]), "warehouse-packed")
+	}
+}
+
+// BenchmarkFig8QueueColdness regenerates Figure 8: % cold rows per 10%
+// band of the ILM queues from head to tail.
+func BenchmarkFig8QueueColdness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bands, err := harness.Fig8(out(b), benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(bands)), "tables-measured")
+	}
+}
+
+// BenchmarkFig9SteadySweep regenerates Figure 9: HWM cache utilization
+// tracking the steady-threshold configuration.
+func BenchmarkFig9SteadySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := benchOptions()
+		opts.Duration = 800 * time.Millisecond
+		points, err := harness.Fig9Fig10(out(b), opts, []float64{0.5, 0.7, 0.9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			b.ReportMetric(p.HWMUtilPct, fmt.Sprintf("HWM@%.0f%%", p.Threshold*100))
+		}
+	}
+}
+
+// BenchmarkFig10SteadyParams regenerates Figure 10: normalized TPM,
+// rows packed and rows skipped across steady thresholds.
+func BenchmarkFig10SteadyParams(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := benchOptions()
+		opts.Duration = 800 * time.Millisecond
+		points, err := harness.Fig9Fig10(out(b), opts, []float64{0.5, 0.7, 0.9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(points[0].RowsPacked), "packed@50")
+		b.ReportMetric(float64(points[len(points)-1].RowsSkipped), "skipped@90")
+	}
+}
+
+// BenchmarkBaselineGain runs the paper's Figure 1 reference comparison:
+// page-store-only vs hybrid (ILM_ON) vs fully in-memory (ILM_OFF).
+func BenchmarkBaselineGain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := harness.Baseline(out(b), benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			b.ReportMetric(p.GainVsPageOnly, fmt.Sprintf("gain-%v", p.Mode))
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationUniformPack compares the paper's packability-index
+// byte apportionment against the naive uniform split (§VI-C): the
+// uniform policy taxes the hot tiny partition thousands of times harder.
+func BenchmarkAblationUniformPack(b *testing.B) {
+	samples := []ilm.PartSample{
+		{ID: 1, ReuseOps: 200000, MemBytes: 64 << 10, Rows: 100},      // warehouse-like
+		{ID: 2, ReuseOps: 50, MemBytes: 512 << 20, Rows: 2_000_000},   // order_line-like
+		{ID: 3, ReuseOps: 3000, MemBytes: 32 << 20, Rows: 100_000},    // customer-like
+		{ID: 4, ReuseOps: 0, MemBytes: 128 << 20, Rows: 1_000_000},    // history-like
+		{ID: 5, ReuseOps: 15000, MemBytes: 32 << 20, Rows: 1_000_000}, // stock-like
+	}
+	const target = 64 << 20
+	var piHot, uniHot int64
+	b.Run("packability-index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			shares := ilm.Apportion(samples, target)
+			piHot = shares[0].PackBytes
+		}
+		b.ReportMetric(float64(piHot), "hot-partition-bytes")
+	})
+	b.Run("uniform", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			shares := ilm.UniformApportion(samples, target)
+			uniHot = shares[0].PackBytes
+		}
+		b.ReportMetric(float64(uniHot), "hot-partition-bytes")
+	})
+}
+
+// BenchmarkAblationNoTSF measures what the timestamp filter buys on a
+// workload whose working set is hot: with TSF, steady-level pack skips
+// recently-accessed rows (SkippedHot grows, churn stays 0); without it,
+// hot rows are evicted and must re-enter the IMRS on the next access —
+// the wasted round trips the paper's Section VI warns about.
+func BenchmarkAblationNoTSF(b *testing.B) {
+	run := func(b *testing.B, tsfOn bool) {
+		var churn, skipped float64
+		for i := 0; i < b.N; i++ {
+			cfg := core.DefaultConfig()
+			cfg.IMRSCacheBytes = 2 << 20
+			cfg.PackInterval = time.Hour // step manually
+			cfg.ILM.PackCyclePct = 0.30
+			if tsfOn {
+				cfg.ILM.InitialTSF = 1 << 40 // recent rows count as hot
+				cfg.ILM.MinReuseRateForTSF = 0
+			} else {
+				cfg.ILM.InitialTSF = 0 // no hotness shield
+				cfg.ILM.MinReuseRateForTSF = 1e18
+			}
+			eng, err := core.Open(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			schema := row.MustSchema(
+				row.Column{Name: "id", Kind: row.KindInt64},
+				row.Column{Name: "v", Kind: row.KindString},
+			)
+			if _, err := eng.CreateTable("hot", schema, []string{"id"}, catalog.PartitionSpec{}, nil); err != nil {
+				b.Fatal(err)
+			}
+			pad := make([]byte, 900)
+			tx := eng.Begin()
+			const n = 1800 // ~85% of the cache
+			for j := int64(0); j < n; j++ {
+				if err := tx.Insert("hot", row.Row{row.Int64(j), row.String(string(pad))}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			// The whole set is re-read (hot), then pack runs.
+			for round := 0; round < 3; round++ {
+				tx := eng.Begin()
+				for j := int64(0); j < n; j++ {
+					if _, _, err := tx.Get("hot", []row.Value{row.Int64(j)}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				_ = tx.Commit()
+				time.Sleep(5 * time.Millisecond) // GC queue maintenance
+				eng.Packer().Step()
+			}
+			snap := eng.Stats()
+			churn += float64(snap.Partitions[0].Cachings + snap.Partitions[0].Migrations)
+			skipped += float64(snap.RowsSkipped)
+			_ = eng.Close()
+		}
+		b.ReportMetric(churn/float64(b.N), "reentry-churn")
+		b.ReportMetric(skipped/float64(b.N), "hot-rows-skipped")
+	}
+	b.Run("tsf-on", func(b *testing.B) { run(b, true) })
+	b.Run("tsf-off", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkAblationSingleQueue contrasts per-partition relaxed-LRU
+// queues with one database-wide queue (§VI-B): with a single queue, a
+// cold partition's rows interleave with hot ones, so the fraction of
+// packable rows found at the head collapses.
+func BenchmarkAblationSingleQueue(b *testing.B) {
+	mkEntry := func(part rid.PartitionID, seq uint64, hot bool) (*imrs.Entry, bool) {
+		e := &imrs.Entry{RID: rid.NewVirtual(part, seq), Part: part}
+		return e, hot
+	}
+	const n = 10000
+	headCold := func(single bool) float64 {
+		hotness := map[*imrs.Entry]bool{}
+		var qs [2]imrs.Queue
+		var one imrs.Queue
+		// Interleaved arrival: hot partition 1, cold partition 2.
+		for i := uint64(0); i < n; i++ {
+			e1, h1 := mkEntry(1, i, true)
+			e2, h2 := mkEntry(2, i, false)
+			hotness[e1], hotness[e2] = h1, h2
+			if single {
+				one.PushTail(e1)
+				one.PushTail(e2)
+			} else {
+				qs[0].PushTail(e1)
+				qs[1].PushTail(e2)
+			}
+		}
+		// A pack pass wants cold rows: count the cold fraction in the
+		// first 10% it inspects. Per-partition pack reads the cold
+		// partition's queue directly.
+		inspect := n / 5
+		cold := 0
+		if single {
+			seen := 0
+			one.Walk(func(e *imrs.Entry) bool {
+				if !hotness[e] {
+					cold++
+				}
+				seen++
+				return seen < inspect
+			})
+		} else {
+			seen := 0
+			qs[1].Walk(func(e *imrs.Entry) bool {
+				cold++
+				seen++
+				return seen < inspect
+			})
+		}
+		return float64(cold) / float64(inspect)
+	}
+	b.Run("per-partition", func(b *testing.B) {
+		var frac float64
+		for i := 0; i < b.N; i++ {
+			frac = headCold(false)
+		}
+		b.ReportMetric(frac*100, "cold%-at-head")
+	})
+	b.Run("single-queue", func(b *testing.B) {
+		var frac float64
+		for i := 0; i < b.N; i++ {
+			frac = headCold(true)
+		}
+		b.ReportMetric(frac*100, "cold%-at-head")
+	})
+}
+
+// BenchmarkHashIndexFastPath measures the IMRS hash index as a point
+// read accelerator under the unique PK B-tree (§II).
+func BenchmarkHashIndexFastPath(b *testing.B) {
+	run := func(b *testing.B, disableHash bool) {
+		eng := openBenchDB(b, disableHash)
+		const n = 10000
+		tx := eng.Begin()
+		for i := int64(0); i < n; i++ {
+			if err := tx.Insert("t", benchRow(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := rng.Int63n(n)
+			tx := eng.Begin()
+			_, ok, err := tx.Get("t", []row.Value{row.Int64(id)})
+			if !ok || err != nil {
+				b.Fatalf("get %d: %v", id, err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("hash-on", func(b *testing.B) { run(b, false) })
+	b.Run("btree-only", func(b *testing.B) { run(b, true) })
+}
+
+func benchRow(i int64) row.Row { return row.Row{row.Int64(i), row.String("row-value")} }
+
+func openBenchDB(b *testing.B, disableHash bool) *core.Engine {
+	b.Helper()
+	cfg := core.DefaultConfig()
+	cfg.IMRSCacheBytes = 64 << 20
+	cfg.DisableHashIndex = disableHash
+	eng, err := core.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = eng.Close() })
+	schema := row.MustSchema(
+		row.Column{Name: "id", Kind: row.KindInt64},
+		row.Column{Name: "v", Kind: row.KindString},
+	)
+	if _, err := eng.CreateTable("t", schema, []string{"id"}, catalog.PartitionSpec{}, nil); err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkInsertThroughput measures raw single-threaded insert cost
+// through the full stack (lock, IMRS version, index, WAL buffer).
+func BenchmarkInsertThroughput(b *testing.B) {
+	eng := openBenchDB(b, false)
+	b.ResetTimer()
+	tx := eng.Begin()
+	for i := 0; i < b.N; i++ {
+		if err := tx.Insert("t", benchRow(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+		if i%1000 == 999 {
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			tx = eng.Begin()
+		}
+	}
+	_ = tx.Commit()
+}
+
+// BenchmarkTPCCMixedWorkload is the end-to-end macro benchmark: the full
+// TPC-C mix against the hybrid store, reporting TPM.
+func BenchmarkTPCCMixedWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Run(benchOptions(), true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.TPM, "TPM")
+		b.ReportMetric(r.Final.IMRSHitRate()*100, "hit%")
+	}
+}

@@ -1,0 +1,217 @@
+// Package btrim is the public API of the BTrim reproduction: a hybrid
+// storage engine that keeps hot rows in an In-Memory Row Store (IMRS)
+// and cold rows in a traditional page store, with workload-driven
+// information life-cycle management (ILM) deciding — per row, per
+// operation — where data lives, and a background Pack subsystem
+// relocating cold rows out of memory.
+//
+// Quick start:
+//
+//	db, err := btrim.Open(btrim.Config{IMRSCacheBytes: 64 << 20})
+//	defer db.Close()
+//	err = db.CreateTable(btrim.TableSpec{
+//		Name:       "accounts",
+//		Columns:    []btrim.Column{{Name: "id", Type: btrim.Int64Type}, {Name: "balance", Type: btrim.Float64Type}},
+//		PrimaryKey: []string{"id"},
+//	})
+//	tx := db.Begin()
+//	tx.Insert("accounts", btrim.Values(btrim.Int64(1), btrim.Float64(100)))
+//	tx.Commit()
+package btrim
+
+import (
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/row"
+)
+
+// ColumnType enumerates supported column types.
+type ColumnType uint8
+
+// Column types.
+const (
+	Int64Type ColumnType = iota + 1
+	Float64Type
+	StringType
+	BytesType
+)
+
+// Column declares one table column.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// PartitionKind selects a partitioning scheme.
+type PartitionKind uint8
+
+// Partitioning schemes: a table is a single partition by default; hash
+// and range partitioning split it, and every ILM decision then applies
+// per partition (paper Section V).
+const (
+	PartitionNone PartitionKind = iota
+	PartitionHash
+	PartitionRange
+)
+
+// PartitionSpec describes table partitioning.
+type PartitionSpec struct {
+	Kind          PartitionKind
+	Column        string
+	NumPartitions int     // hash
+	Bounds        []int64 // range: sorted upper bounds
+}
+
+// IndexSpec declares a secondary index.
+type IndexSpec struct {
+	Name    string
+	Columns []string
+	Unique  bool
+}
+
+// TableSpec declares a table. The primary key gets an implicit unique
+// B-tree index with an IMRS hash fast path.
+type TableSpec struct {
+	Name       string
+	Columns    []Column
+	PrimaryKey []string
+	Partition  PartitionSpec
+	Indexes    []IndexSpec
+}
+
+// Config configures a database. Zero values take engine defaults.
+type Config struct {
+	// Dir selects file-backed storage; empty means in-memory devices.
+	Dir string
+	// IMRSCacheBytes sizes the in-memory row store.
+	IMRSCacheBytes int64
+	// BufferPoolPages sizes the page-store buffer cache.
+	BufferPoolPages int
+	// DisableILM turns off ILM (the paper's ILM_OFF baseline: everything
+	// lives in the IMRS, nothing is packed).
+	DisableILM bool
+	// SteadyCacheUtilization is the pack target (default 0.70).
+	SteadyCacheUtilization float64
+	// PackThreads is the background pack worker count.
+	PackThreads int
+	// TuningWindowTxns overrides the auto-partition-tuning window (in
+	// committed transactions); 0 keeps the default.
+	TuningWindowTxns uint64
+	// CheckpointEvery enables periodic background checkpoints.
+	CheckpointEvery time.Duration
+	// ReadLatency/WriteLatency model device latency for in-memory devices.
+	ReadLatency, WriteLatency time.Duration
+}
+
+// DB is an open database.
+type DB struct {
+	eng *core.Engine
+}
+
+// Open creates or recovers a database.
+func Open(cfg Config) (*DB, error) {
+	ec := core.DefaultConfig()
+	ec.Dir = cfg.Dir
+	if cfg.IMRSCacheBytes > 0 {
+		ec.IMRSCacheBytes = cfg.IMRSCacheBytes
+	}
+	if cfg.BufferPoolPages > 0 {
+		ec.BufferPoolPages = cfg.BufferPoolPages
+	}
+	ec.ILMEnabled = !cfg.DisableILM
+	if cfg.SteadyCacheUtilization > 0 {
+		ec.ILM.SteadyCacheUtilization = cfg.SteadyCacheUtilization
+	}
+	if cfg.PackThreads > 0 {
+		ec.PackThreads = cfg.PackThreads
+	}
+	if cfg.TuningWindowTxns > 0 {
+		ec.ILM.TuningWindowTxns = cfg.TuningWindowTxns
+	}
+	ec.CheckpointEvery = cfg.CheckpointEvery
+	ec.ReadLatency = cfg.ReadLatency
+	ec.WriteLatency = cfg.WriteLatency
+	eng, err := core.Open(ec)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// Close checkpoints and shuts down.
+func (db *DB) Close() error { return db.eng.Close() }
+
+// Engine exposes the underlying engine for advanced instrumentation
+// (stats snapshots, manual checkpoints). Most applications never need it.
+func (db *DB) Engine() *core.Engine { return db.eng }
+
+// CreateTable creates a table and checkpoints the DDL.
+func (db *DB) CreateTable(spec TableSpec) error {
+	cols := make([]row.Column, len(spec.Columns))
+	for i, c := range spec.Columns {
+		cols[i] = row.Column{Name: c.Name, Kind: row.Kind(c.Type)}
+	}
+	schema, err := row.NewSchema(cols...)
+	if err != nil {
+		return err
+	}
+	ixs := make([]catalog.IndexSpec, len(spec.Indexes))
+	for i, ix := range spec.Indexes {
+		ixs[i] = catalog.IndexSpec{Name: ix.Name, Cols: ix.Columns, Unique: ix.Unique}
+	}
+	_, err = db.eng.CreateTable(spec.Name, schema, spec.PrimaryKey, catalog.PartitionSpec{
+		Kind:          catalog.PartitionKind(spec.Partition.Kind),
+		Column:        spec.Partition.Column,
+		NumPartitions: spec.Partition.NumPartitions,
+		Bounds:        spec.Partition.Bounds,
+	}, ixs)
+	return err
+}
+
+// Checkpoint forces a checkpoint (flushes dirty pages, embeds a catalog
+// snapshot in the log).
+func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
+
+// CompactLog rewrites the IMRS redo log to hold exactly the live
+// in-memory rows, bounding its growth (available on file-backed
+// databases; in-memory ones need an explicit log factory).
+func (db *DB) CompactLog() error { return db.eng.CompactIMRSLog() }
+
+// PinTable overrides ILM for a table: inMemory=true keeps it fully
+// memory-resident (never tuned out, though extreme cache pressure can
+// still spill new rows); inMemory=false keeps it out of the IMRS
+// entirely. This is the "fully in-memory tables" user configuration the
+// paper's conclusion proposes.
+func (db *DB) PinTable(name string, inMemory bool) error {
+	return db.eng.PinTable(name, inMemory)
+}
+
+// UnpinTable returns a pinned table to automatic ILM control.
+func (db *DB) UnpinTable(name string) error { return db.eng.UnpinTable(name) }
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Tx { return &Tx{tx: db.eng.Begin()} }
+
+// View runs fn in a transaction that is always committed (intended for
+// reads; commit of a read-only transaction is free).
+func (db *DB) View(fn func(*Tx) error) error {
+	tx := db.Begin()
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Update runs fn in a transaction, committing on success and aborting
+// on error.
+func (db *DB) Update(fn func(*Tx) error) error {
+	tx := db.Begin()
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}

@@ -1,0 +1,221 @@
+package btrim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/btrim"
+)
+
+func openDB(t *testing.T, cfg btrim.Config) *btrim.DB {
+	t.Helper()
+	if cfg.IMRSCacheBytes == 0 {
+		cfg.IMRSCacheBytes = 8 << 20
+	}
+	db, err := btrim.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = db.Close() })
+	return db
+}
+
+func accountsSpec() btrim.TableSpec {
+	return btrim.TableSpec{
+		Name: "accounts",
+		Columns: []btrim.Column{
+			{Name: "id", Type: btrim.Int64Type},
+			{Name: "owner", Type: btrim.StringType},
+			{Name: "balance", Type: btrim.Float64Type},
+		},
+		PrimaryKey: []string{"id"},
+		Indexes: []btrim.IndexSpec{
+			{Name: "accounts_owner", Columns: []string{"owner"}},
+		},
+	}
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	db := openDB(t, btrim.Config{})
+	if err := db.CreateTable(accountsSpec()); err != nil {
+		t.Fatal(err)
+	}
+	err := db.Update(func(tx *btrim.Tx) error {
+		for i := int64(1); i <= 10; i++ {
+			if err := tx.Insert("accounts", btrim.Values(
+				btrim.Int64(i), btrim.String(fmt.Sprintf("owner-%d", i%3)), btrim.Float64(float64(i)*10),
+			)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	err = db.View(func(tx *btrim.Tx) error {
+		r, ok, err := tx.Get("accounts", btrim.Int64(7))
+		if err != nil || !ok {
+			return fmt.Errorf("get: %v %v", ok, err)
+		}
+		if r[2].Float() != 70 {
+			return fmt.Errorf("balance = %v", r[2])
+		}
+		rows, err := tx.LookupAll("accounts", "accounts_owner", btrim.String("owner-1"))
+		if err != nil {
+			return err
+		}
+		if len(rows) != 4 { // ids 1,4,7,10
+			return fmt.Errorf("LookupAll = %d rows", len(rows))
+		}
+		n := 0
+		if err := tx.Scan("accounts", func(btrim.Row) bool { n++; return true }); err != nil {
+			return err
+		}
+		if n != 10 {
+			return fmt.Errorf("scan = %d rows", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIUpdateDelete(t *testing.T) {
+	db := openDB(t, btrim.Config{})
+	if err := db.CreateTable(accountsSpec()); err != nil {
+		t.Fatal(err)
+	}
+	_ = db.Update(func(tx *btrim.Tx) error {
+		return tx.Insert("accounts", btrim.Values(btrim.Int64(1), btrim.String("a"), btrim.Float64(100)))
+	})
+	err := db.Update(func(tx *btrim.Tx) error {
+		ok, err := tx.Update("accounts", []btrim.Value{btrim.Int64(1)}, func(r btrim.Row) (btrim.Row, error) {
+			r[2] = btrim.Float64(r[2].Float() - 25)
+			return r, nil
+		})
+		if err != nil || !ok {
+			return fmt.Errorf("update: %v %v", ok, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = db.View(func(tx *btrim.Tx) error {
+		r, _, _ := tx.Get("accounts", btrim.Int64(1))
+		if r[2].Float() != 75 {
+			t.Fatalf("balance = %v", r[2])
+		}
+		return nil
+	})
+	err = db.Update(func(tx *btrim.Tx) error {
+		ok, err := tx.Delete("accounts", btrim.Int64(1))
+		if err != nil || !ok {
+			return fmt.Errorf("delete: %v %v", ok, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = db.View(func(tx *btrim.Tx) error {
+		if _, ok, _ := tx.Get("accounts", btrim.Int64(1)); ok {
+			t.Fatal("deleted row visible")
+		}
+		return nil
+	})
+}
+
+func TestPublicAPIDuplicateKey(t *testing.T) {
+	db := openDB(t, btrim.Config{})
+	if err := db.CreateTable(accountsSpec()); err != nil {
+		t.Fatal(err)
+	}
+	_ = db.Update(func(tx *btrim.Tx) error {
+		return tx.Insert("accounts", btrim.Values(btrim.Int64(1), btrim.String("a"), btrim.Float64(1)))
+	})
+	err := db.Update(func(tx *btrim.Tx) error {
+		return tx.Insert("accounts", btrim.Values(btrim.Int64(1), btrim.String("b"), btrim.Float64(2)))
+	})
+	if !btrim.IsDuplicateKey(err) {
+		t.Fatalf("err = %v, want duplicate key", err)
+	}
+}
+
+func TestPublicAPIStats(t *testing.T) {
+	db := openDB(t, btrim.Config{})
+	if err := db.CreateTable(accountsSpec()); err != nil {
+		t.Fatal(err)
+	}
+	_ = db.Update(func(tx *btrim.Tx) error {
+		for i := int64(1); i <= 20; i++ {
+			if err := tx.Insert("accounts", btrim.Values(btrim.Int64(i), btrim.String("x"), btrim.Float64(1))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	s := db.Stats()
+	if s.IMRSRows != 20 {
+		t.Fatalf("IMRSRows = %d", s.IMRSRows)
+	}
+	ts, ok := s.Tables["accounts"]
+	if !ok || ts.IMRSRows != 20 || !ts.IMRSEnabled {
+		t.Fatalf("table stats = %+v", ts)
+	}
+	if s.IMRSHitRate == 0 {
+		t.Fatal("hit rate should be positive after IMRS inserts")
+	}
+}
+
+func TestPublicAPIILMOff(t *testing.T) {
+	db := openDB(t, btrim.Config{DisableILM: true})
+	if err := db.CreateTable(accountsSpec()); err != nil {
+		t.Fatal(err)
+	}
+	_ = db.Update(func(tx *btrim.Tx) error {
+		for i := int64(1); i <= 20; i++ {
+			if err := tx.Insert("accounts", btrim.Values(btrim.Int64(i), btrim.String("x"), btrim.Float64(1))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	s := db.Stats()
+	if s.IMRSRows != 20 || s.RowsPacked != 0 {
+		t.Fatalf("ILM_OFF stats: rows=%d packed=%d", s.IMRSRows, s.RowsPacked)
+	}
+}
+
+func TestPublicAPIPersistence(t *testing.T) {
+	dir := t.TempDir()
+	db, err := btrim.Open(btrim.Config{Dir: dir, IMRSCacheBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(accountsSpec()); err != nil {
+		t.Fatal(err)
+	}
+	_ = db.Update(func(tx *btrim.Tx) error {
+		return tx.Insert("accounts", btrim.Values(btrim.Int64(1), btrim.String("durable"), btrim.Float64(1)))
+	})
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := btrim.Open(btrim.Config{Dir: dir, IMRSCacheBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	_ = db2.View(func(tx *btrim.Tx) error {
+		r, ok, err := tx.Get("accounts", btrim.Int64(1))
+		if err != nil || !ok || r[1].Str() != "durable" {
+			t.Fatalf("row after reopen: %v %v %v", r, ok, err)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,57 @@
+package btrim
+
+// Stats is a point-in-time view of the engine's hybrid-storage state.
+type Stats struct {
+	// IMRSUsedBytes / IMRSCapacityBytes give cache utilization.
+	IMRSUsedBytes     int64
+	IMRSCapacityBytes int64
+	// IMRSRows is the number of in-memory resident rows.
+	IMRSRows int64
+	// IMRSHitRate is the fraction of row operations served in memory
+	// (the paper's "% operations in the IMRS").
+	IMRSHitRate float64
+	// RowsPacked / BytesPacked / RowsSkipped summarize Pack activity.
+	RowsPacked  int64
+	BytesPacked int64
+	RowsSkipped int64
+	// Tables maps table/partition name to its per-partition stats.
+	Tables map[string]TableStats
+}
+
+// TableStats is one partition's observable ILM state.
+type TableStats struct {
+	IMRSRows    int64
+	IMRSBytes   int64
+	IMRSOps     int64 // operations served in memory
+	PageOps     int64 // operations served from the page store
+	ReuseOps    int64 // IMRS selects+updates+deletes
+	PackedRows  int64
+	IMRSEnabled bool
+}
+
+// Stats snapshots the engine.
+func (db *DB) Stats() Stats {
+	snap := db.eng.Stats()
+	s := Stats{
+		IMRSUsedBytes:     snap.IMRSUsedBytes,
+		IMRSCapacityBytes: snap.IMRSCapacity,
+		IMRSRows:          snap.IMRSRows,
+		IMRSHitRate:       snap.IMRSHitRate(),
+		RowsPacked:        snap.RowsPacked,
+		BytesPacked:       snap.BytesPacked,
+		RowsSkipped:       snap.RowsSkipped,
+		Tables:            make(map[string]TableStats, len(snap.Partitions)),
+	}
+	for _, p := range snap.Partitions {
+		s.Tables[p.Name] = TableStats{
+			IMRSRows:    p.IMRSRows,
+			IMRSBytes:   p.IMRSBytes,
+			IMRSOps:     p.IMRSOps(),
+			PageOps:     p.PageOps,
+			ReuseOps:    p.ReuseOps(),
+			PackedRows:  p.PackedRows,
+			IMRSEnabled: p.InsertEnabled,
+		}
+	}
+	return s
+}

@@ -1,0 +1,79 @@
+package btrim
+
+import (
+	"errors"
+
+	"repro/internal/core"
+)
+
+// Sentinel errors surfaced by transactions.
+var (
+	// ErrDuplicateKey reports a unique-index violation.
+	ErrDuplicateKey = core.ErrDuplicateKey
+	// ErrPKChange reports an update that tried to modify primary-key
+	// columns.
+	ErrPKChange = core.ErrPKChange
+)
+
+// IsDuplicateKey reports whether err is a unique-index violation.
+func IsDuplicateKey(err error) bool { return errors.Is(err, core.ErrDuplicateKey) }
+
+// Tx is a transaction. Reads see a snapshot of IMRS-resident data taken
+// at Begin (timestamp-based snapshot isolation, as in the paper) and
+// read-committed page-store data; writes take exclusive row locks held
+// to commit.
+//
+// Every Tx must end in exactly one Commit or Abort: a leaked transaction
+// holds its snapshot and blocks checkpoints indefinitely. Prefer
+// DB.View/DB.Update, which guarantee completion.
+type Tx struct {
+	tx *core.Txn
+}
+
+// Insert adds a row; the engine decides per the ILM rules whether it
+// lives in the IMRS or the page store.
+func (t *Tx) Insert(table string, r Row) error { return t.tx.Insert(table, r) }
+
+// Get returns the row with the given primary key.
+func (t *Tx) Get(table string, pk ...Value) (Row, bool, error) {
+	return t.tx.Get(table, pk)
+}
+
+// Update applies mutate to the row with the given primary key, returning
+// whether the row existed.
+func (t *Tx) Update(table string, pk []Value, mutate func(Row) (Row, error)) (bool, error) {
+	return t.tx.Update(table, pk, mutate)
+}
+
+// Set replaces the row with the given primary key wholesale.
+func (t *Tx) Set(table string, pk []Value, newRow Row) (bool, error) {
+	return t.tx.Update(table, pk, func(Row) (Row, error) { return newRow, nil })
+}
+
+// Delete removes the row with the given primary key, returning whether
+// it existed.
+func (t *Tx) Delete(table string, pk ...Value) (bool, error) {
+	return t.tx.Delete(table, pk)
+}
+
+// Scan visits every visible row of the table until fn returns false.
+func (t *Tx) Scan(table string, fn func(Row) bool) error {
+	return t.tx.ScanTable(table, fn)
+}
+
+// IndexScan visits rows in index-key order starting at from (inclusive).
+func (t *Tx) IndexScan(table, index string, from []Value, fn func(Row) bool) error {
+	return t.tx.IndexScan(table, index, from, fn)
+}
+
+// LookupAll returns the rows whose index columns equal vals (prefix
+// equality on non-unique indexes).
+func (t *Tx) LookupAll(table, index string, vals ...Value) ([]Row, error) {
+	return t.tx.LookupAll(table, index, vals)
+}
+
+// Commit makes the transaction durable and visible.
+func (t *Tx) Commit() error { return t.tx.Commit() }
+
+// Abort rolls the transaction back.
+func (t *Tx) Abort() { t.tx.Abort() }

@@ -1,0 +1,27 @@
+package btrim
+
+import "repro/internal/row"
+
+// Value is one typed column value. The zero Value is NULL.
+type Value = row.Value
+
+// Row is a tuple of values in schema column order.
+type Row = row.Row
+
+// Int64 builds an int64 value.
+func Int64(v int64) Value { return row.Int64(v) }
+
+// Float64 builds a float64 value.
+func Float64(v float64) Value { return row.Float64(v) }
+
+// String builds a string value.
+func String(v string) Value { return row.String(v) }
+
+// Bytes builds a raw bytes value (the slice is referenced, not copied).
+func Bytes(v []byte) Value { return row.Bytes(v) }
+
+// Null is the NULL value.
+var Null = row.Null
+
+// Values builds a Row from values.
+func Values(vs ...Value) Row { return Row(vs) }

@@ -1,0 +1,56 @@
+// Command btrimcli is an interactive shell over a BTrim database — the
+// quickest way to poke at the hybrid store by hand.
+//
+//	btrimcli [-dir /path/to/db] [-imrs-mb 64]
+//
+// Commands (also `help` inside the shell):
+//
+//	create table t (id int, name string, qty int) key (id)
+//	insert t 1 "widget" 5
+//	get t 1
+//	set t 1 "gadget" 7
+//	delete t 1
+//	scan t [limit]
+//	tables | stats | pin t in|out | unpin t | checkpoint | quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/btrim"
+	"repro/internal/cli"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (empty = in-memory)")
+	imrsMB := flag.Int64("imrs-mb", 64, "IMRS cache size (MB)")
+	flag.Parse()
+
+	db, err := btrim.Open(btrim.Config{Dir: *dir, IMRSCacheBytes: *imrsMB << 20})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	sh := cli.New(db, os.Stdout)
+	fmt.Println("btrim shell — `help` for commands, `quit` to exit")
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "quit" || line == "exit" {
+			break
+		}
+		if line != "" {
+			if err := sh.Exec(line); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+		fmt.Print("> ")
+	}
+}

@@ -1,0 +1,136 @@
+// Command figures regenerates the tables and figures of the paper's
+// evaluation section (Table 1, Figures 1-10) at a configurable scale.
+//
+// Usage:
+//
+//	figures [-fig all|t1|1|2|3|4|5|6|7|8|9] [-warehouses N] [-duration 5s]
+//	        [-workers N] [-imrs-mb N] [-threshold 0.7]
+//
+// "9" produces both Figure 9 and Figure 10 (one sweep).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/tpcc"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which artifact to produce: all, t1, base, 1..9")
+	warehouses := flag.Int("warehouses", 2, "TPC-C warehouses")
+	customers := flag.Int("customers", 60, "customers per district")
+	items := flag.Int("items", 500, "items")
+	duration := flag.Duration("duration", 5*time.Second, "measured run length")
+	txns := flag.Int64("txns", 0, "end each run after N committed transactions (0 = run for -duration); fixed work makes sweeps comparable")
+	workers := flag.Int("workers", 4, "client workers")
+	imrsMB := flag.Int64("imrs-mb", 24, "IMRS cache size for ILM_ON (MB)")
+	packThreads := flag.Int("pack-threads", 4, "pack threads")
+	runs := flag.Int("runs", 4, "runs to aggregate for figure 7")
+	readLatency := flag.Duration("read-latency", 0, "synthetic page-store read latency (baseline experiment)")
+	bufferPages := flag.Int("buffer-pages", 0, "buffer cache pages (0 = default 4096; small values model a page store that misses to disk)")
+	flag.Parse()
+
+	opts := harness.DefaultOptions()
+	opts.Scale = tpcc.Config{
+		Warehouses:               *warehouses,
+		DistrictsPerW:            10,
+		CustomersPerDistrict:     *customers,
+		Items:                    *items,
+		InitialOrdersPerDistrict: 20,
+		Seed:                     42,
+	}
+	opts.Duration = *duration
+	opts.MaxTxns = *txns
+	opts.Workers = *workers
+	opts.IMRSCacheBytes = *imrsMB << 20
+	opts.PackThreads = *packThreads
+	opts.ReadLatency = *readLatency
+	opts.BufferPoolPages = *bufferPages
+
+	out := os.Stdout
+	need := func(names ...string) bool {
+		if *fig == "all" {
+			return true
+		}
+		for _, n := range names {
+			if *fig == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	var data *harness.BenefitsData
+	if need("t1", "1", "2", "3", "4", "5", "6") {
+		fmt.Fprintf(out, "== collecting ILM_OFF and ILM_ON runs (%v each, %d warehouses) ==\n",
+			opts.Duration, *warehouses)
+		var err error
+		data, err = harness.CollectBenefits(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "ILM_OFF: %d txns (%.0f TPM); ILM_ON: %d txns (%.0f TPM)\n\n",
+			data.Off.Committed, data.Off.TPM, data.On.Committed, data.On.TPM)
+	}
+	if need("t1") {
+		harness.Table1(out, data.Off)
+		fmt.Fprintln(out)
+	}
+	if need("base") {
+		if _, err := harness.Baseline(out, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(out)
+	}
+	if need("1") {
+		harness.Fig1(out, data)
+		fmt.Fprintln(out)
+	}
+	if need("2") {
+		harness.Fig2(out, data)
+		fmt.Fprintln(out)
+	}
+	if need("3") {
+		harness.Fig3(out, data)
+		fmt.Fprintln(out)
+	}
+	if need("4") {
+		harness.Fig4(out, data)
+		fmt.Fprintln(out)
+	}
+	if need("5") {
+		harness.Fig5(out, data)
+		fmt.Fprintln(out)
+	}
+	if need("6") {
+		harness.Fig6(out, data.On)
+		fmt.Fprintln(out)
+	}
+	if need("7") {
+		if _, err := harness.Fig7(out, opts, *runs); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(out)
+	}
+	if need("8") {
+		if _, err := harness.Fig8(out, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(out)
+	}
+	if need("9") {
+		if _, err := harness.Fig9Fig10(out, opts, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(out)
+	}
+}

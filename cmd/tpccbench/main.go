@@ -1,0 +1,95 @@
+// Command tpccbench runs the TPC-C workload against the engine and
+// prints throughput and ILM statistics — the quick way to eyeball the
+// hybrid store under load.
+//
+// Usage:
+//
+//	tpccbench [-warehouses 2] [-duration 10s] [-workers 4]
+//	          [-imrs-mb 24] [-ilm=true] [-threshold 0.7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/btrim"
+	"repro/internal/tpcc"
+)
+
+func main() {
+	warehouses := flag.Int("warehouses", 2, "TPC-C warehouses")
+	customers := flag.Int("customers", 60, "customers per district")
+	items := flag.Int("items", 500, "items")
+	duration := flag.Duration("duration", 10*time.Second, "run length")
+	workers := flag.Int("workers", 4, "client workers")
+	imrsMB := flag.Int64("imrs-mb", 24, "IMRS cache size (MB)")
+	ilm := flag.Bool("ilm", true, "enable ILM (false = fully in-memory baseline)")
+	threshold := flag.Float64("threshold", 0.70, "steady cache utilization")
+	packThreads := flag.Int("pack-threads", 4, "pack threads")
+	flag.Parse()
+
+	db, err := btrim.Open(btrim.Config{
+		IMRSCacheBytes:         *imrsMB << 20,
+		DisableILM:             !*ilm,
+		SteadyCacheUtilization: *threshold,
+		PackThreads:            *packThreads,
+		BufferPoolPages:        4096,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	cfg := tpcc.Config{
+		Warehouses:               *warehouses,
+		DistrictsPerW:            10,
+		CustomersPerDistrict:     *customers,
+		Items:                    *items,
+		InitialOrdersPerDistrict: 20,
+		Seed:                     42,
+	}
+	fmt.Printf("loading TPC-C: %d warehouses, %d items...\n", cfg.Warehouses, cfg.Items)
+	bench, err := tpcc.Load(db, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "load:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("running %v with %d workers (ILM %v)...\n", *duration, *workers, *ilm)
+	driver := tpcc.NewDriver(bench, *workers)
+	committed := driver.RunFor(*duration)
+	tpm := float64(committed) / duration.Minutes()
+
+	s := db.Stats()
+	fmt.Printf("\ncommitted: %d txns  (%.0f TPM)\n", committed, tpm)
+	fmt.Printf("IMRS: %d rows, %.1f/%.1f MB (%.0f%% utilization), hit rate %.1f%%\n",
+		s.IMRSRows,
+		float64(s.IMRSUsedBytes)/(1<<20), float64(s.IMRSCapacityBytes)/(1<<20),
+		100*float64(s.IMRSUsedBytes)/float64(s.IMRSCapacityBytes),
+		100*s.IMRSHitRate)
+	fmt.Printf("pack: %d rows (%.1f MB) packed, %d hot rows skipped\n\n",
+		s.RowsPacked, float64(s.BytesPacked)/(1<<20), s.RowsSkipped)
+
+	fmt.Println("commit latency by transaction type:")
+	for tt := tpcc.TxnNewOrder; tt <= tpcc.TxnStockLevel; tt++ {
+		h := &driver.Stats().Latency[tt]
+		if h.Count() > 0 {
+			fmt.Printf("  %-13s %s\n", tt, h)
+		}
+	}
+	fmt.Println()
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "table\tIMRS-rows\tIMRS-MB\treuse-ops\tpage-ops\tpacked\tenabled")
+	for _, name := range tpcc.TableNames {
+		t := s.Tables[name]
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%d\t%d\t%d\t%v\n",
+			name, t.IMRSRows, float64(t.IMRSBytes)/(1<<20),
+			t.ReuseOps, t.PageOps, t.PackedRows, t.IMRSEnabled)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,226 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/row"
+)
+
+func schema(t *testing.T) *row.Schema {
+	t.Helper()
+	return row.MustSchema(
+		row.Column{Name: "id", Kind: row.KindInt64},
+		row.Column{Name: "region", Kind: row.KindString},
+		row.Column{Name: "amount", Kind: row.KindFloat64},
+	)
+}
+
+func TestCreateTableSinglePartition(t *testing.T) {
+	c := New()
+	tb, err := c.CreateTable("orders", schema(t), []string{"id"}, PartitionSpec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Partitions) != 1 {
+		t.Fatalf("partitions = %d, want 1", len(tb.Partitions))
+	}
+	if tb.Partitions[0].Name() != "orders" {
+		t.Fatalf("partition name = %q", tb.Partitions[0].Name())
+	}
+	p, err := tb.PartitionFor(row.Row{row.Int64(1), row.String("x"), row.Float64(0)})
+	if err != nil || p != tb.Partitions[0] {
+		t.Fatal("PartitionFor failed for single partition")
+	}
+	if tb.PrimaryIndex().Name != "orders_pk" || !tb.PrimaryIndex().Unique {
+		t.Fatal("implicit PK index wrong")
+	}
+	if c.Table("orders") != tb || c.TableByID(tb.ID) != tb {
+		t.Fatal("lookup failed")
+	}
+	if c.PartitionByID(tb.Partitions[0].ID) != tb.Partitions[0] {
+		t.Fatal("partition lookup failed")
+	}
+}
+
+func TestHashPartitioning(t *testing.T) {
+	c := New()
+	tb, err := c.CreateTable("t", schema(t), []string{"id"},
+		PartitionSpec{Kind: PartitionHash, Column: "id", NumPartitions: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Partitions) != 4 {
+		t.Fatalf("partitions = %d", len(tb.Partitions))
+	}
+	counts := map[int]int{}
+	for i := int64(0); i < 1000; i++ {
+		p, err := tb.PartitionFor(row.Row{row.Int64(i), row.String("x"), row.Float64(0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p.Num]++
+	}
+	for n, cnt := range counts {
+		if cnt < 150 {
+			t.Fatalf("partition %d badly skewed: %d/1000", n, cnt)
+		}
+	}
+	// Deterministic.
+	r := row.Row{row.Int64(42), row.String("x"), row.Float64(0)}
+	p1, _ := tb.PartitionFor(r)
+	p2, _ := tb.PartitionFor(r)
+	if p1 != p2 {
+		t.Fatal("hash partitioning not deterministic")
+	}
+}
+
+func TestRangePartitioning(t *testing.T) {
+	c := New()
+	tb, err := c.CreateTable("t", schema(t), []string{"id"},
+		PartitionSpec{Kind: PartitionRange, Column: "id", Bounds: []int64{100, 200}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Partitions) != 3 {
+		t.Fatalf("partitions = %d, want 3", len(tb.Partitions))
+	}
+	cases := map[int64]int{50: 0, 99: 0, 100: 1, 150: 1, 200: 2, 10000: 2}
+	for v, want := range cases {
+		p, err := tb.PartitionFor(row.Row{row.Int64(v), row.String("x"), row.Float64(0)})
+		if err != nil || p.Num != want {
+			t.Fatalf("value %d → partition %d, want %d", v, p.Num, want)
+		}
+	}
+	if tb.Partitions[1].Name() != "t/p1" {
+		t.Fatalf("partition name = %q", tb.Partitions[1].Name())
+	}
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	c := New()
+	s := schema(t)
+	if _, err := c.CreateTable("", s, []string{"id"}, PartitionSpec{}, nil); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := c.CreateTable("t", s, []string{"nope"}, PartitionSpec{}, nil); err == nil {
+		t.Fatal("bad PK column accepted")
+	}
+	if _, err := c.CreateTable("t", s, []string{"id"}, PartitionSpec{Kind: PartitionHash, Column: "nope", NumPartitions: 2}, nil); err == nil {
+		t.Fatal("bad partition column accepted")
+	}
+	if _, err := c.CreateTable("t", s, []string{"id"}, PartitionSpec{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("t", s, []string{"id"}, PartitionSpec{}, nil); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if _, err := c.CreateTable("u", s, []string{"id"}, PartitionSpec{},
+		[]IndexSpec{{Name: "bad", Cols: []string{"nope"}}}); err == nil {
+		t.Fatal("bad index column accepted")
+	}
+}
+
+func TestVirtualRIDSequence(t *testing.T) {
+	c := New()
+	tb, _ := c.CreateTable("t", schema(t), []string{"id"}, PartitionSpec{}, nil)
+	p := tb.Partitions[0]
+	r1 := p.NextVirtualRID()
+	r2 := p.NextVirtualRID()
+	if !r1.IsVirtual() || !r2.IsVirtual() || r1 == r2 {
+		t.Fatalf("virtual RIDs wrong: %v %v", r1, r2)
+	}
+	if r1.Partition() != p.ID {
+		t.Fatal("virtual RID partition mismatch")
+	}
+	p.BumpVirtualSeq(100)
+	if r := p.NextVirtualRID(); r.Seq() != 101 {
+		t.Fatalf("after bump Seq = %d, want 101", r.Seq())
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := New()
+	tb, err := c.CreateTable("orders", schema(t), []string{"id"},
+		PartitionSpec{Kind: PartitionRange, Column: "id", Bounds: []int64{1000}},
+		[]IndexSpec{{Name: "orders_region", Cols: []string{"region", "id"}, Unique: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Partitions[0].FirstPage = 7
+	tb.Partitions[0].LastPage = 9
+	tb.Partitions[1].BumpVirtualSeq(55)
+	tb.Indexes[0].Root = 42
+
+	if _, err := c.CreateTable("items", schema(t), []string{"id"}, PartitionSpec{}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := c.EncodeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2 := c2.Table("orders")
+	if tb2 == nil || tb2.ID != tb.ID {
+		t.Fatal("orders table lost")
+	}
+	if len(tb2.Partitions) != 2 || tb2.Partitions[0].FirstPage != 7 || tb2.Partitions[0].LastPage != 9 {
+		t.Fatal("partition pages lost")
+	}
+	if got := tb2.Partitions[1].NextVirtualRID().Seq(); got != 56 {
+		t.Fatalf("virtual seq after decode = %d, want 56", got)
+	}
+	if tb2.Indexes[0].Root != 42 {
+		t.Fatal("index root lost")
+	}
+	if len(tb2.Indexes) != 2 || tb2.Indexes[1].Name != "orders_region" {
+		t.Fatal("secondary index lost")
+	}
+	if tb2.Indexes[1].ColOrds[0] != 1 {
+		t.Fatal("index ordinals wrong after decode")
+	}
+	// Partitioning behaviour survives.
+	p, err := tb2.PartitionFor(row.Row{row.Int64(5000), row.String("x"), row.Float64(0)})
+	if err != nil || p.Num != 1 {
+		t.Fatal("range partitioning lost after decode")
+	}
+	// ID allocation continues without collision.
+	tb3, err := c2.CreateTable("fresh", schema(t), []string{"id"}, PartitionSpec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, existing := range []*Table{tb2, c2.Table("items")} {
+		if tb3.ID == existing.ID {
+			t.Fatal("table id collision after decode")
+		}
+		for _, p := range existing.Partitions {
+			for _, np := range tb3.Partitions {
+				if np.ID == p.ID {
+					t.Fatal("partition id collision after decode")
+				}
+			}
+		}
+	}
+}
+
+func TestTablesOrdered(t *testing.T) {
+	c := New()
+	names := []string{"a", "b", "c", "d"}
+	for _, n := range names {
+		if _, err := c.CreateTable(n, schema(t), []string{"id"}, PartitionSpec{}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.Tables()
+	for i, tb := range got {
+		if tb.Name != names[i] {
+			t.Fatalf("Tables() order: got %s at %d", tb.Name, i)
+		}
+	}
+	if len(c.Partitions()) != 4 {
+		t.Fatal("Partitions() wrong")
+	}
+}

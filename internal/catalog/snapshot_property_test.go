@@ -1,0 +1,82 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/row"
+)
+
+// TestSnapshotRoundTripProperty: any catalog built from generated table
+// shapes survives an encode/decode round trip with identical structure.
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	f := func(nTables uint8, nCols uint8, nParts uint8, seqs []uint32) bool {
+		c := New()
+		tables := int(nTables%4) + 1
+		cols := int(nCols%5) + 1
+		parts := int(nParts%3) + 1
+		for ti := 0; ti < tables; ti++ {
+			var rcols []row.Column
+			for ci := 0; ci < cols; ci++ {
+				rcols = append(rcols, row.Column{
+					Name: fmt.Sprintf("c%d", ci),
+					Kind: row.Kind(ci%4) + row.KindInt64,
+				})
+			}
+			schema, err := row.NewSchema(rcols...)
+			if err != nil {
+				return false
+			}
+			spec := PartitionSpec{}
+			if parts > 1 {
+				// Hash partitioning needs an int64 or string column; c0 is int64.
+				spec = PartitionSpec{Kind: PartitionHash, Column: "c0", NumPartitions: parts}
+			}
+			tb, err := c.CreateTable(fmt.Sprintf("t%d", ti), schema, []string{"c0"}, spec, nil)
+			if err != nil {
+				return false
+			}
+			for pi, p := range tb.Partitions {
+				if len(seqs) > 0 {
+					p.BumpVirtualSeq(uint64(seqs[(ti+pi)%len(seqs)]))
+				}
+				p.FirstPage = uint32(ti*100 + pi)
+				p.LastPage = uint32(ti*100 + pi + 7)
+			}
+		}
+		blob, err := c.EncodeSnapshot()
+		if err != nil {
+			return false
+		}
+		c2, err := DecodeSnapshot(blob)
+		if err != nil {
+			return false
+		}
+		for _, tb := range c.Tables() {
+			tb2 := c2.Table(tb.Name)
+			if tb2 == nil || tb2.ID != tb.ID || len(tb2.Partitions) != len(tb.Partitions) {
+				return false
+			}
+			if tb2.Schema.NumColumns() != tb.Schema.NumColumns() {
+				return false
+			}
+			for i, p := range tb.Partitions {
+				p2 := tb2.Partitions[i]
+				if p2.ID != p.ID || p2.FirstPage != p.FirstPage || p2.LastPage != p.LastPage {
+					return false
+				}
+				if p2.NextVirtualRID().Seq() != p.NextVirtualRID().Seq() {
+					return false
+				}
+			}
+			if len(tb2.Indexes) != len(tb.Indexes) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

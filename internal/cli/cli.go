@@ -1,0 +1,441 @@
+// Package cli implements the command language of the btrimcli shell: a
+// tiny, testable interpreter over the public btrim API.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/btrim"
+)
+
+// Shell interprets commands against one database.
+type Shell struct {
+	db  *btrim.DB
+	out io.Writer
+	// schemas remembers column layouts for value parsing per table.
+	schemas map[string][]btrim.Column
+}
+
+// New builds a shell over db writing to out.
+func New(db *btrim.DB, out io.Writer) *Shell {
+	return &Shell{db: db, out: out, schemas: make(map[string][]btrim.Column)}
+}
+
+// Exec runs one command line.
+func (s *Shell) Exec(line string) error {
+	tokens, err := tokenize(line)
+	if err != nil {
+		return err
+	}
+	if len(tokens) == 0 {
+		return nil
+	}
+	switch strings.ToLower(tokens[0]) {
+	case "help":
+		s.help()
+		return nil
+	case "create":
+		return s.create(line)
+	case "insert":
+		return s.insert(tokens[1:])
+	case "get":
+		return s.get(tokens[1:])
+	case "set":
+		return s.set(tokens[1:])
+	case "delete":
+		return s.del(tokens[1:])
+	case "scan":
+		return s.scan(tokens[1:])
+	case "tables":
+		return s.tables()
+	case "stats":
+		return s.stats()
+	case "pin":
+		return s.pin(tokens[1:])
+	case "unpin":
+		if len(tokens) != 2 {
+			return fmt.Errorf("usage: unpin <table>")
+		}
+		return s.db.UnpinTable(tokens[1])
+	case "checkpoint":
+		return s.db.Checkpoint()
+	default:
+		return fmt.Errorf("unknown command %q (try `help`)", tokens[0])
+	}
+}
+
+func (s *Shell) help() {
+	fmt.Fprint(s.out, `commands:
+  create table <t> (<col> <int|float|string|bytes>, ...) key (<cols>)
+  insert <t> <values...>          e.g. insert users 1 "ada" 99.5
+  get <t> <pk values...>
+  set <t> <values...>             full-row replace by primary key
+  delete <t> <pk values...>
+  scan <t> [limit]
+  tables                          list tables and where their rows live
+  stats                           engine-wide IMRS/pack statistics
+  pin <t> in|out                  force a table fully in/out of memory
+  unpin <t>
+  checkpoint
+  quit
+`)
+}
+
+// tokenize splits a command into words, honouring double quotes.
+func tokenize(line string) ([]string, error) {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"':
+			if inQuote {
+				out = append(out, "\x00"+cur.String()) // marked as string literal
+				cur.Reset()
+				inQuote = false
+			} else {
+				flush()
+				inQuote = true
+			}
+		case inQuote:
+			cur.WriteByte(c)
+		case c == ' ' || c == '\t' || c == ',':
+			flush()
+		case c == '(' || c == ')':
+			flush()
+			out = append(out, string(c))
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated string literal")
+	}
+	flush()
+	return out, nil
+}
+
+// parseValue converts a token to a btrim.Value given the column type.
+func parseValue(tok string, typ btrim.ColumnType) (btrim.Value, error) {
+	isLiteral := strings.HasPrefix(tok, "\x00")
+	raw := strings.TrimPrefix(tok, "\x00")
+	switch typ {
+	case btrim.Int64Type:
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return btrim.Null, fmt.Errorf("%q is not an int", raw)
+		}
+		return btrim.Int64(v), nil
+	case btrim.Float64Type:
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return btrim.Null, fmt.Errorf("%q is not a float", raw)
+		}
+		return btrim.Float64(v), nil
+	case btrim.StringType:
+		return btrim.String(raw), nil
+	case btrim.BytesType:
+		if isLiteral {
+			return btrim.Bytes([]byte(raw)), nil
+		}
+		return btrim.Bytes([]byte(raw)), nil
+	default:
+		return btrim.Null, fmt.Errorf("unsupported column type %d", typ)
+	}
+}
+
+var typeNames = map[string]btrim.ColumnType{
+	"int":    btrim.Int64Type,
+	"int64":  btrim.Int64Type,
+	"float":  btrim.Float64Type,
+	"string": btrim.StringType,
+	"bytes":  btrim.BytesType,
+}
+
+// create parses: create table <t> ( col type , ... ) key ( cols )
+func (s *Shell) create(line string) error {
+	toks, err := tokenize(line)
+	if err != nil {
+		return err
+	}
+	if len(toks) < 3 || strings.ToLower(toks[1]) != "table" {
+		return fmt.Errorf("usage: create table <t> (<col> <type>, ...) key (<cols>)")
+	}
+	name := toks[2]
+	rest := toks[3:]
+	// columns between the first ( ... )
+	if len(rest) == 0 || rest[0] != "(" {
+		return fmt.Errorf("expected ( after table name")
+	}
+	var cols []btrim.Column
+	i := 1
+	for ; i < len(rest); i += 2 {
+		if rest[i] == ")" {
+			break
+		}
+		if i+1 >= len(rest) || rest[i+1] == ")" {
+			return fmt.Errorf("column %q missing type", rest[i])
+		}
+		typ, ok := typeNames[strings.ToLower(rest[i+1])]
+		if !ok {
+			return fmt.Errorf("unknown type %q", rest[i+1])
+		}
+		cols = append(cols, btrim.Column{Name: rest[i], Type: typ})
+	}
+	if i >= len(rest) || rest[i] != ")" {
+		return fmt.Errorf("unterminated column list")
+	}
+	rest = rest[i+1:]
+	if len(rest) < 3 || strings.ToLower(rest[0]) != "key" || rest[1] != "(" {
+		return fmt.Errorf("expected key (<cols>) after column list")
+	}
+	var pk []string
+	for _, tok := range rest[2:] {
+		if tok == ")" {
+			break
+		}
+		pk = append(pk, tok)
+	}
+	if len(pk) == 0 {
+		return fmt.Errorf("empty primary key")
+	}
+	if err := s.db.CreateTable(btrim.TableSpec{Name: name, Columns: cols, PrimaryKey: pk}); err != nil {
+		return err
+	}
+	s.schemas[name] = cols
+	fmt.Fprintf(s.out, "created table %s (%d columns)\n", name, len(cols))
+	return nil
+}
+
+func (s *Shell) schemaOf(table string) ([]btrim.Column, error) {
+	if cols, ok := s.schemas[table]; ok {
+		return cols, nil
+	}
+	// Recovered tables: rebuild from the engine catalog.
+	t := s.db.Engine().Catalog().Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("no such table %q", table)
+	}
+	cols := make([]btrim.Column, t.Schema.NumColumns())
+	for i := range cols {
+		c := t.Schema.Column(i)
+		cols[i] = btrim.Column{Name: c.Name, Type: btrim.ColumnType(c.Kind)}
+	}
+	s.schemas[table] = cols
+	return cols, nil
+}
+
+func (s *Shell) parseRow(table string, toks []string) (btrim.Row, []btrim.Column, error) {
+	cols, err := s.schemaOf(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(toks) != len(cols) {
+		return nil, nil, fmt.Errorf("table %s has %d columns, got %d values", table, len(cols), len(toks))
+	}
+	r := make(btrim.Row, len(cols))
+	for i, tok := range toks {
+		v, err := parseValue(tok, cols[i].Type)
+		if err != nil {
+			return nil, nil, fmt.Errorf("column %s: %w", cols[i].Name, err)
+		}
+		r[i] = v
+	}
+	return r, cols, nil
+}
+
+func (s *Shell) parsePK(table string, toks []string) ([]btrim.Value, error) {
+	cols, err := s.schemaOf(table)
+	if err != nil {
+		return nil, err
+	}
+	t := s.db.Engine().Catalog().Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("no such table %q", table)
+	}
+	if len(toks) != len(t.PKOrds) {
+		return nil, fmt.Errorf("primary key of %s has %d columns, got %d values", table, len(t.PKOrds), len(toks))
+	}
+	vals := make([]btrim.Value, len(toks))
+	for i, tok := range toks {
+		v, err := parseValue(tok, cols[t.PKOrds[i]].Type)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
+
+func (s *Shell) insert(toks []string) error {
+	if len(toks) < 2 {
+		return fmt.Errorf("usage: insert <table> <values...>")
+	}
+	r, _, err := s.parseRow(toks[0], toks[1:])
+	if err != nil {
+		return err
+	}
+	return s.db.Update(func(tx *btrim.Tx) error { return tx.Insert(toks[0], r) })
+}
+
+func (s *Shell) get(toks []string) error {
+	if len(toks) < 2 {
+		return fmt.Errorf("usage: get <table> <pk values...>")
+	}
+	pk, err := s.parsePK(toks[0], toks[1:])
+	if err != nil {
+		return err
+	}
+	return s.db.View(func(tx *btrim.Tx) error {
+		r, ok, err := tx.Get(toks[0], pk...)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Fprintln(s.out, "(not found)")
+			return nil
+		}
+		s.printRows(toks[0], []btrim.Row{r})
+		return nil
+	})
+}
+
+func (s *Shell) set(toks []string) error {
+	if len(toks) < 2 {
+		return fmt.Errorf("usage: set <table> <values...>")
+	}
+	r, _, err := s.parseRow(toks[0], toks[1:])
+	if err != nil {
+		return err
+	}
+	t := s.db.Engine().Catalog().Table(toks[0])
+	pk := make([]btrim.Value, len(t.PKOrds))
+	for i, o := range t.PKOrds {
+		pk[i] = r[o]
+	}
+	return s.db.Update(func(tx *btrim.Tx) error {
+		ok, err := tx.Set(toks[0], pk, r)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Fprintln(s.out, "(not found)")
+		}
+		return nil
+	})
+}
+
+func (s *Shell) del(toks []string) error {
+	if len(toks) < 2 {
+		return fmt.Errorf("usage: delete <table> <pk values...>")
+	}
+	pk, err := s.parsePK(toks[0], toks[1:])
+	if err != nil {
+		return err
+	}
+	return s.db.Update(func(tx *btrim.Tx) error {
+		ok, err := tx.Delete(toks[0], pk...)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Fprintln(s.out, "(not found)")
+		}
+		return nil
+	})
+}
+
+func (s *Shell) scan(toks []string) error {
+	if len(toks) < 1 {
+		return fmt.Errorf("usage: scan <table> [limit]")
+	}
+	limit := 50
+	if len(toks) >= 2 {
+		n, err := strconv.Atoi(toks[1])
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad limit %q", toks[1])
+		}
+		limit = n
+	}
+	var rows []btrim.Row
+	err := s.db.View(func(tx *btrim.Tx) error {
+		return tx.Scan(toks[0], func(r btrim.Row) bool {
+			rows = append(rows, r)
+			return len(rows) < limit
+		})
+	})
+	if err != nil {
+		return err
+	}
+	s.printRows(toks[0], rows)
+	fmt.Fprintf(s.out, "(%d rows)\n", len(rows))
+	return nil
+}
+
+func (s *Shell) printRows(table string, rows []btrim.Row) {
+	cols, err := s.schemaOf(table)
+	if err != nil {
+		return
+	}
+	tw := tabwriter.NewWriter(s.out, 2, 4, 2, ' ', 0)
+	hdr := make([]string, len(cols))
+	for i, c := range cols {
+		hdr[i] = c.Name
+	}
+	fmt.Fprintln(tw, strings.Join(hdr, "\t"))
+	for _, r := range rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.String()
+		}
+		fmt.Fprintln(tw, strings.Join(parts, "\t"))
+	}
+	tw.Flush()
+}
+
+func (s *Shell) tables() error {
+	stats := s.db.Stats()
+	names := make([]string, 0, len(stats.Tables))
+	for n := range stats.Tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	tw := tabwriter.NewWriter(s.out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "table\tIMRS-rows\tIMRS-KB\treuse-ops\tpage-ops\tpacked\tenabled")
+	for _, n := range names {
+		t := stats.Tables[n]
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%v\n",
+			n, t.IMRSRows, t.IMRSBytes/1024, t.ReuseOps, t.PageOps, t.PackedRows, t.IMRSEnabled)
+	}
+	return tw.Flush()
+}
+
+func (s *Shell) stats() error {
+	st := s.db.Stats()
+	fmt.Fprintf(s.out, "IMRS: %d rows, %d/%d KB (%.0f%%), hit rate %.1f%%\n",
+		st.IMRSRows, st.IMRSUsedBytes/1024, st.IMRSCapacityBytes/1024,
+		100*float64(st.IMRSUsedBytes)/float64(st.IMRSCapacityBytes),
+		100*st.IMRSHitRate)
+	fmt.Fprintf(s.out, "pack: %d rows (%d KB) packed, %d hot rows skipped\n",
+		st.RowsPacked, st.BytesPacked/1024, st.RowsSkipped)
+	return nil
+}
+
+func (s *Shell) pin(toks []string) error {
+	if len(toks) != 2 || (toks[1] != "in" && toks[1] != "out") {
+		return fmt.Errorf("usage: pin <table> in|out")
+	}
+	return s.db.PinTable(toks[0], toks[1] == "in")
+}

@@ -1,0 +1,165 @@
+package cli
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/btrim"
+)
+
+func newShell(t *testing.T) (*Shell, *bytes.Buffer) {
+	t.Helper()
+	db, err := btrim.Open(btrim.Config{IMRSCacheBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = db.Close() })
+	var buf bytes.Buffer
+	return New(db, &buf), &buf
+}
+
+func mustExec(t *testing.T, s *Shell, lines ...string) {
+	t.Helper()
+	for _, l := range lines {
+		if err := s.Exec(l); err != nil {
+			t.Fatalf("exec %q: %v", l, err)
+		}
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks, err := tokenize(`insert users 1 "ada lovelace" 99.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"insert", "users", "1", "\x00ada lovelace", "99.5"}
+	if len(toks) != len(want) {
+		t.Fatalf("toks = %q", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("tok %d = %q, want %q", i, toks[i], want[i])
+		}
+	}
+	if _, err := tokenize(`bad "unterminated`); err == nil {
+		t.Fatal("unterminated quote accepted")
+	}
+	toks, _ = tokenize("create table t (a int, b string) key (a)")
+	joined := strings.Join(toks, "|")
+	if joined != "create|table|t|(|a|int|b|string|)|key|(|a|)" {
+		t.Fatalf("paren tokenization: %s", joined)
+	}
+}
+
+func TestShellEndToEnd(t *testing.T) {
+	s, buf := newShell(t)
+	mustExec(t, s,
+		`create table users (id int, name string, score float) key (id)`,
+		`insert users 1 "ada" 99.5`,
+		`insert users 2 "grace" 88`,
+		`get users 1`,
+	)
+	if !strings.Contains(buf.String(), `"ada"`) {
+		t.Fatalf("get output missing row: %s", buf.String())
+	}
+	buf.Reset()
+	mustExec(t, s, `set users 1 "ada lovelace" 100`, `get users 1`)
+	if !strings.Contains(buf.String(), "ada lovelace") || !strings.Contains(buf.String(), "100") {
+		t.Fatalf("set not applied: %s", buf.String())
+	}
+	buf.Reset()
+	mustExec(t, s, `scan users`)
+	if !strings.Contains(buf.String(), "(2 rows)") {
+		t.Fatalf("scan output: %s", buf.String())
+	}
+	buf.Reset()
+	mustExec(t, s, `delete users 2`, `scan users`)
+	if !strings.Contains(buf.String(), "(1 rows)") {
+		t.Fatalf("delete not applied: %s", buf.String())
+	}
+	buf.Reset()
+	mustExec(t, s, `get users 2`)
+	if !strings.Contains(buf.String(), "not found") {
+		t.Fatalf("missing-row get: %s", buf.String())
+	}
+	mustExec(t, s, `tables`, `stats`, `checkpoint`, `pin users in`, `unpin users`, `help`)
+}
+
+func TestShellErrors(t *testing.T) {
+	s, _ := newShell(t)
+	cases := []string{
+		`bogus`,
+		`create table`,
+		`create table t (a unknown) key (a)`,
+		`create table t (a int) key ()`,
+		`insert missing 1`,
+		`get missing 1`,
+		`scan missing`,
+		`pin users sideways`,
+		`insert`,
+	}
+	for _, c := range cases {
+		if err := s.Exec(c); err == nil {
+			t.Errorf("command %q should fail", c)
+		}
+	}
+	mustExec(t, s, `create table t (a int, b string) key (a)`)
+	if err := s.Exec(`insert t 1`); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := s.Exec(`insert t "x" "y"`); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if err := s.Exec(`insert t 1 "ok"`); err != nil {
+		t.Errorf("valid insert after errors failed: %v", err)
+	}
+	if err := s.Exec(`insert t 1 "dup"`); err == nil {
+		t.Error("duplicate key accepted")
+	}
+}
+
+func TestShellCompositeKeys(t *testing.T) {
+	s, buf := newShell(t)
+	mustExec(t, s,
+		`create table kv (region string, id int, v string) key (region, id)`,
+		`insert kv "eu" 1 "one"`,
+		`insert kv "us" 1 "uno"`,
+		`get kv "eu" 1`,
+	)
+	if !strings.Contains(buf.String(), "one") || strings.Contains(buf.String(), "uno") {
+		t.Fatalf("composite get wrong: %s", buf.String())
+	}
+	if err := s.Exec(`get kv "eu"`); err == nil {
+		t.Fatal("short PK accepted")
+	}
+}
+
+func TestShellRecoveredSchema(t *testing.T) {
+	dir := t.TempDir()
+	db, err := btrim.Open(btrim.Config{Dir: dir, IMRSCacheBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(db, new(bytes.Buffer))
+	mustExec(t, s,
+		`create table t (a int, b string) key (a)`,
+		`insert t 1 "persisted"`,
+	)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := btrim.Open(btrim.Config{Dir: dir, IMRSCacheBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	var buf bytes.Buffer
+	s2 := New(db2, &buf)
+	// Schema learned from the recovered catalog, not the session.
+	mustExec(t, s2, `get t 1`)
+	if !strings.Contains(buf.String(), "persisted") {
+		t.Fatalf("recovered get: %s", buf.String())
+	}
+}

@@ -1,0 +1,125 @@
+// Package core is the BTrim engine: it composes the page store (heaps
+// over a buffer cache), the In-Memory Row Store, the RID map, B-tree and
+// hash indexes, both transaction logs, the lock manager, IMRS-GC, the
+// ILM tuner and the Pack subsystem into a transactional hybrid-storage
+// database (paper Section II, Figure 1).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ilm"
+	"repro/internal/storage/disk"
+	"repro/internal/wal"
+)
+
+// Config configures an Engine. Zero-value fields take defaults from
+// DefaultConfig; either Dir or the explicit device/backends select the
+// storage medium.
+type Config struct {
+	// Dir, when set, stores the database in files under this directory
+	// (data.db, syslogs.log, sysimrslogs.log).
+	Dir string
+
+	// Explicit devices (tests and benchmarks). Ignored when Dir is set.
+	DataDevice     disk.Device
+	SysLogBackend  wal.Backend
+	IMRSLogBackend wal.Backend
+
+	// IMRSLogFactory provides backends for sysimrslogs generations and
+	// enables CompactIMRSLog (the redo-only log otherwise grows without
+	// bound). fresh=true must return an EMPTY backend for a new
+	// generation; fresh=false reopens an existing generation during
+	// recovery. Generation 0 is the plain IMRSLogBackend. Dir-backed
+	// engines get a file-per-generation factory automatically.
+	IMRSLogFactory func(gen uint64, fresh bool) (wal.Backend, error)
+
+	// BufferPoolPages is the nominal buffer cache capacity in pages.
+	BufferPoolPages int
+
+	// IMRSCacheBytes is the IMRS fragment-cache capacity. The paper's
+	// ILM_OFF baseline is approximated by a very large value here with
+	// ILMEnabled=false.
+	IMRSCacheBytes int64
+
+	// ILM holds the ILM/Pack tunables.
+	ILM ilm.Config
+
+	// ILMEnabled selects the paper's ILM_ON mode: storage decisions per
+	// row, auto partition tuning, and background pack. When false
+	// (ILM_OFF), every ISUD stores into the IMRS and nothing is packed.
+	ILMEnabled bool
+
+	// PackThreads is the pack worker count (paper used 12).
+	PackThreads int
+	// PackInterval is the pack loop wake-up period.
+	PackInterval time.Duration
+	// GCWorkers is the IMRS-GC thread count.
+	GCWorkers int
+
+	// LockTimeout bounds row-lock waits (deadlock breaker).
+	LockTimeout time.Duration
+
+	// CheckpointEvery, when positive, runs background checkpoints at
+	// this period. Checkpoints bound recovery time and, under the
+	// no-steal buffer policy, are what makes dirty pages clean and
+	// therefore evictable.
+	CheckpointEvery time.Duration
+
+	// ReadLatency/WriteLatency apply to the default in-memory device,
+	// modelling disk (see DESIGN.md substitutions).
+	ReadLatency, WriteLatency time.Duration
+
+	// HashIndexBuckets sizes per-index IMRS hash tables.
+	HashIndexBuckets int
+	// DisableHashIndex turns off the hash fast path (ablation).
+	DisableHashIndex bool
+}
+
+// DefaultConfig returns a small-footprint default suitable for tests.
+func DefaultConfig() Config {
+	return Config{
+		BufferPoolPages:  1024,
+		IMRSCacheBytes:   64 << 20,
+		ILM:              ilm.DefaultConfig(),
+		ILMEnabled:       true,
+		PackThreads:      2,
+		PackInterval:     5 * time.Millisecond,
+		GCWorkers:        2,
+		LockTimeout:      5 * time.Second,
+		HashIndexBuckets: 1 << 12,
+	}
+}
+
+func (c *Config) fillDefaults() error {
+	d := DefaultConfig()
+	if c.BufferPoolPages <= 0 {
+		c.BufferPoolPages = d.BufferPoolPages
+	}
+	if c.IMRSCacheBytes <= 0 {
+		c.IMRSCacheBytes = d.IMRSCacheBytes
+	}
+	if c.ILM.SteadyCacheUtilization == 0 {
+		c.ILM = d.ILM
+	}
+	if c.PackThreads <= 0 {
+		c.PackThreads = d.PackThreads
+	}
+	if c.PackInterval <= 0 {
+		c.PackInterval = d.PackInterval
+	}
+	if c.GCWorkers <= 0 {
+		c.GCWorkers = d.GCWorkers
+	}
+	if c.LockTimeout <= 0 {
+		c.LockTimeout = d.LockTimeout
+	}
+	if c.HashIndexBuckets <= 0 {
+		c.HashIndexBuckets = d.HashIndexBuckets
+	}
+	if c.ILM.SteadyCacheUtilization <= 0 || c.ILM.SteadyCacheUtilization >= 1 {
+		return fmt.Errorf("core: steady cache utilization %v out of (0,1)", c.ILM.SteadyCacheUtilization)
+	}
+	return nil
+}

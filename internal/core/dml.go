@@ -1,0 +1,714 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/ilm"
+	"repro/internal/imrs"
+	"repro/internal/index/btree"
+	"repro/internal/rid"
+	"repro/internal/row"
+	"repro/internal/storage/page"
+	"repro/internal/wal"
+)
+
+// opMark snapshots the txn's mutation buffers so a failed statement can
+// unwind without aborting the whole transaction.
+type opMark struct {
+	undo, sys, imrs, staged, atCommit, newEntries int
+}
+
+func (t *Txn) mark() opMark {
+	return opMark{
+		undo: len(t.undo), sys: len(t.sysRecs), imrs: len(t.imrsRecs),
+		staged: len(t.staged), atCommit: len(t.atCommit), newEntries: len(t.newEntries),
+	}
+}
+
+func (t *Txn) unwind(m opMark) {
+	for i := len(t.undo) - 1; i >= m.undo; i-- {
+		t.undo[i]()
+	}
+	t.undo = t.undo[:m.undo]
+	t.sysRecs = t.sysRecs[:m.sys]
+	t.imrsRecs = t.imrsRecs[:m.imrs]
+	t.staged = t.staged[:m.staged]
+	t.atCommit = t.atCommit[:m.atCommit]
+	t.newEntries = t.newEntries[:m.newEntries]
+}
+
+// maxRowBytes bounds encoded rows so that every row — wherever it
+// currently lives — fits a page-store slot including the heap record
+// header (1 flag byte, or 9 for a moved record).
+const maxRowBytes = page.MaxRecordSize - 9
+
+// ridSuffix makes non-unique index keys unique per row.
+func ridSuffix(k row.Key, r rid.RID) row.Key {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(r))
+	return append(k, b[:]...)
+}
+
+// indexKey builds the B-tree key for row r under index ix.
+func indexKey(ix *indexRT, rw row.Row, r rid.RID) (row.Key, error) {
+	k, err := row.KeyOf(rw, ix.def.ColOrds)
+	if err != nil {
+		return nil, err
+	}
+	if !ix.def.Unique {
+		k = ridSuffix(k, r)
+	}
+	return k, nil
+}
+
+func (e *Engine) decode(rt *tableRT, data []byte) (row.Row, error) {
+	return row.Decode(rt.cat.Schema, data)
+}
+
+// pkOf recomputes the primary-key key of a decoded row.
+func pkOf(rt *tableRT, rw row.Row) (row.Key, error) {
+	return row.KeyOf(rw, rt.cat.PKOrds)
+}
+
+// Insert adds a row. The storage decision follows Section IV: inserts go
+// to the IMRS when the partition is insert-enabled and the cache accepts
+// new rows; otherwise (or on cache pressure) to the page store.
+func (t *Txn) Insert(table string, rw row.Row) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	rt, err := t.e.table(table)
+	if err != nil {
+		return err
+	}
+	if err := rt.cat.Schema.Validate(rw); err != nil {
+		return err
+	}
+	cp, err := rt.cat.PartitionFor(rw)
+	if err != nil {
+		return err
+	}
+	prt := t.e.partByID(cp.ID)
+	enc, err := row.Encode(rt.cat.Schema, rw, nil)
+	if err != nil {
+		return err
+	}
+	if len(enc) > maxRowBytes {
+		return ErrRowTooLarge
+	}
+
+	// Pre-check unique indexes (the insert below re-verifies atomically).
+	for _, ix := range rt.indexes {
+		if !ix.def.Unique {
+			continue
+		}
+		k, err := indexKey(ix, rw, rid.Zero)
+		if err != nil {
+			return err
+		}
+		if _, found, err := ix.tree.Search(k); err != nil {
+			return err
+		} else if found {
+			return ErrDuplicateKey
+		}
+	}
+
+	if prt.ilm.Enabled(ilm.OpInsert) && t.e.packer.AcceptNewRows() {
+		err := t.insertIMRS(rt, prt, rw, enc)
+		if err != imrs.ErrCacheFull {
+			return err
+		}
+		// Cache pressure: fall back to the page store.
+	}
+	return t.insertPage(rt, prt, rw, enc)
+}
+
+func (t *Txn) insertIMRS(rt *tableRT, prt *partRT, rw row.Row, enc []byte) error {
+	m := t.mark()
+	r0 := prt.cat.NextVirtualRID()
+	if err := t.lock(r0); err != nil {
+		return err
+	}
+	en, err := t.e.store.CreateEntry(r0, prt.cat.ID, imrs.OriginInserted, enc, t.id)
+	if err != nil {
+		return err // ErrCacheFull bubbles to the caller's fallback
+	}
+	en.MarkDirty()
+	v := en.Head()
+	t.e.rmap.Put(r0, en)
+	t.undo = append(t.undo, func() {
+		if !t.e.store.AbortVersion(en, v) {
+			en.MarkPacked()
+			t.e.rmap.Delete(r0, en)
+		}
+	})
+	if err := t.insertIndexEntries(rt, rw, r0, en); err != nil {
+		t.unwind(m)
+		return err
+	}
+	t.imrsRecs = append(t.imrsRecs, wal.Record{
+		Type: wal.RecIMRSInsert, Table: rt.cat.ID, RID: r0,
+		Aux: uint8(imrs.OriginInserted), After: enc,
+	})
+	t.staged = append(t.staged, v)
+	t.newEntries = append(t.newEntries, en)
+	prt.ilm.IMRSInserts.Inc()
+	prt.ilm.NewRows.Inc()
+	return nil
+}
+
+func (t *Txn) insertPage(rt *tableRT, prt *partRT, rw row.Row, enc []byte) error {
+	m := t.mark()
+	r0, err := prt.heap.Insert(enc)
+	if err != nil {
+		return err
+	}
+	if err := t.lock(r0); err != nil {
+		_ = prt.heap.Delete(r0)
+		return err
+	}
+	t.undo = append(t.undo, func() { _ = prt.heap.Delete(r0) })
+	if err := t.insertIndexEntries(rt, rw, r0, nil); err != nil {
+		t.unwind(m)
+		return err
+	}
+	t.sysRecs = append(t.sysRecs, wal.Record{
+		Type: wal.RecHeapInsert, Table: rt.cat.ID, RID: r0, After: enc,
+	})
+	prt.ilm.PageOps.Inc()
+	return nil
+}
+
+// insertIndexEntries adds the row to every index; en is non-nil for
+// IMRS-resident rows (hash fast path entries).
+func (t *Txn) insertIndexEntries(rt *tableRT, rw row.Row, r0 rid.RID, en *imrs.Entry) error {
+	for _, ix := range rt.indexes {
+		ix := ix
+		k, err := indexKey(ix, rw, r0)
+		if err != nil {
+			return err
+		}
+		if err := ix.tree.Insert(k, r0); err != nil {
+			if errors.Is(err, btree.ErrDuplicate) {
+				return ErrDuplicateKey
+			}
+			return err
+		}
+		t.undo = append(t.undo, func() { _, _, _ = ix.tree.Delete(k) })
+		if ix.hash != nil && en != nil {
+			ix.hash.Put(k, en)
+			t.undo = append(t.undo, func() { ix.hash.Delete(k, en) })
+		}
+	}
+	return nil
+}
+
+// Get returns the row with the given primary key, or found=false. A hit
+// on an IMRS-resident version counts as an IMRS select; a page-store
+// read may trigger the Section IV caching path (unique-index access
+// brings the row into the IMRS in anticipation of re-access).
+func (t *Txn) Get(table string, pk []row.Value) (row.Row, bool, error) {
+	if t.done {
+		return nil, false, ErrTxnDone
+	}
+	rt, err := t.e.table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	key := row.EncodeKey(nil, pk...)
+	pkIx := rt.indexes[0]
+
+	// Hash fast path: IMRS-resident rows only.
+	if pkIx.hash != nil {
+		if en := pkIx.hash.Get(key); en != nil {
+			if v := en.Visible(t.snap, t.id); v != nil {
+				prt := t.e.partByID(en.Part)
+				en.Touch(t.e.clock.Now())
+				prt.ilm.IMRSSelects.Inc()
+				rw, err := t.e.decode(rt, v.Data())
+				return rw, err == nil, err
+			}
+		}
+	}
+
+	for attempt := 0; attempt < 3; attempt++ {
+		r0, found, err := pkIx.tree.Search(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if !found {
+			return nil, false, nil
+		}
+		rw, ok, retry, err := t.readRowAt(rt, r0, key, true)
+		if err != nil {
+			return nil, false, err
+		}
+		if !retry {
+			return rw, ok, nil
+		}
+	}
+	return nil, false, ErrRetry
+}
+
+// readRowAt resolves a RID obtained from an index to a row image,
+// transparently checking the RID map first (paper Section II). retry
+// reports that the row moved between stores and the index lookup should
+// be repeated. pointAccess enables the ILM caching decision.
+func (t *Txn) readRowAt(rt *tableRT, r0 rid.RID, probeKey row.Key, pointAccess bool) (rw row.Row, ok, retry bool, err error) {
+	en := t.e.rmap.Get(r0)
+	if en != nil {
+		if v := en.Visible(t.snap, t.id); v != nil {
+			prt := t.e.partByID(en.Part)
+			en.Touch(t.e.clock.Now())
+			prt.ilm.IMRSSelects.Inc()
+			rw, err := t.e.decode(rt, v.Data())
+			if err != nil {
+				return nil, false, false, err
+			}
+			if probeKey != nil {
+				got, err := pkOf(rt, rw)
+				if err != nil {
+					return nil, false, false, err
+				}
+				if !bytes.Equal(got, probeKey) {
+					return nil, false, true, nil // index raced a key change
+				}
+			}
+			return rw, true, false, nil
+		}
+		if r0.IsVirtual() {
+			// IMRS-only row not visible (uncommitted insert or deleted).
+			return nil, false, false, nil
+		}
+		// Physical RID whose IMRS version is invisible to this snapshot:
+		// the page store still holds the pre-migration committed image.
+	}
+	if r0.IsVirtual() {
+		// Entry gone: the row was packed after the index lookup; the
+		// index now points at its page-store RID.
+		return nil, false, true, nil
+	}
+	prt := t.e.partByID(r0.Partition())
+	if prt == nil {
+		return nil, false, false, fmt.Errorf("core: unknown partition in %v", r0)
+	}
+	data, found, err := t.lockedPageFetch(prt, r0)
+	if err != nil {
+		return nil, false, false, err
+	}
+	if !found {
+		return nil, false, false, nil
+	}
+	rw, err = t.e.decode(rt, data)
+	if err != nil {
+		return nil, false, false, err
+	}
+	if probeKey != nil {
+		got, err := pkOf(rt, rw)
+		if err != nil {
+			return nil, false, false, err
+		}
+		if !bytes.Equal(got, probeKey) {
+			return nil, false, true, nil
+		}
+	}
+	prt.ilm.PageOps.Inc()
+	prt.ilm.PageReuseOps.Inc()
+	if pointAccess {
+		t.maybeCache(rt, prt, r0, data)
+	}
+	return rw, true, false, nil
+}
+
+// lockedPageFetch reads a page-store row under its row lock (read
+// committed): a write in flight holds the lock, so the read waits for
+// the outcome. The lock is released immediately unless this transaction
+// already holds it.
+func (t *Txn) lockedPageFetch(prt *partRT, r0 rid.RID) (data []byte, found bool, err error) {
+	_, held := t.locks[r0]
+	if !held {
+		if err := t.e.locks.Lock(t.id, r0); err != nil {
+			return nil, false, err
+		}
+		defer t.e.locks.Unlock(t.id, r0)
+	}
+	data, err = prt.heap.Fetch(r0)
+	if err != nil {
+		// Dead slot or missing page: the row does not exist (deleted).
+		return nil, false, nil
+	}
+	return data, true, nil
+}
+
+// maybeCache implements the Section IV "select caches the row" path:
+// a point access to a page-store row copies it into the IMRS as a clean
+// cached row, in anticipation of re-access. Conditional lock only; the
+// hot path never blocks for caching.
+func (t *Txn) maybeCache(rt *tableRT, prt *partRT, r0 rid.RID, data []byte) {
+	if !prt.ilm.Enabled(ilm.OpCache) || !t.e.packer.AcceptNewRows() {
+		return
+	}
+	if !t.tryLock(r0) {
+		return
+	}
+	if t.e.rmap.Get(r0) != nil {
+		return // raced another cacher
+	}
+	en, err := t.e.store.CreateEntry(r0, prt.cat.ID, imrs.OriginCached, data, t.id)
+	if err != nil {
+		return // cache full: skip silently
+	}
+	if !t.e.rmap.Put(r0, en) {
+		t.e.store.AbortVersion(en, en.Head())
+		return
+	}
+	// Cached rows hold already-committed data: commit the version
+	// immediately at the current timestamp. No logging — a cached row is
+	// a clean copy and simply vanishes on crash.
+	now := t.e.clock.Now()
+	t.e.store.Commit(en.Head(), now)
+	en.Touch(now)
+	rw, err := t.e.decode(rt, data)
+	if err == nil {
+		for _, ix := range rt.indexes {
+			if ix.hash == nil {
+				continue
+			}
+			if k, err := indexKey(ix, rw, r0); err == nil {
+				ix.hash.Put(k, en)
+			}
+		}
+	}
+	t.e.gc.NewRow(en)
+	prt.ilm.NewRows.Inc()
+	prt.ilm.Cachings.Inc()
+}
+
+// locateForWrite finds the row for pk, locks it for the transaction, and
+// re-resolves its location under the lock.
+func (t *Txn) locateForWrite(rt *tableRT, key row.Key) (r0 rid.RID, en *imrs.Entry, found bool, err error) {
+	pkIx := rt.indexes[0]
+	for attempt := 0; attempt < 3; attempt++ {
+		r0, ok, err := pkIx.tree.Search(key)
+		if err != nil {
+			return rid.Zero, nil, false, err
+		}
+		if !ok {
+			return rid.Zero, nil, false, nil
+		}
+		if err := t.lock(r0); err != nil {
+			return rid.Zero, nil, false, err
+		}
+		en = t.e.rmap.Get(r0)
+		if en == nil && r0.IsVirtual() {
+			// Packed while we waited for the lock: the index entry has
+			// been repointed; look up again.
+			continue
+		}
+		return r0, en, true, nil
+	}
+	return rid.Zero, nil, false, ErrRetry
+}
+
+// currentImage reads the newest committed (or own uncommitted) image of
+// a located, locked row.
+func (t *Txn) currentImage(rt *tableRT, r0 rid.RID, en *imrs.Entry) (row.Row, []byte, bool, error) {
+	if en != nil {
+		v := en.Visible(math.MaxUint64, t.id)
+		if v == nil {
+			return nil, nil, false, nil // deleted
+		}
+		rw, err := t.e.decode(rt, v.Data())
+		return rw, v.Data(), err == nil, err
+	}
+	prt := t.e.partByID(r0.Partition())
+	data, err := prt.heap.Fetch(r0)
+	if err != nil {
+		return nil, nil, false, nil // deleted
+	}
+	rw, err := t.e.decode(rt, data)
+	return rw, data, err == nil, err
+}
+
+// Update applies mutate to the row with the given primary key. Updates
+// of IMRS rows create new versions; updates of page-store rows either
+// migrate the row into the IMRS (unique-index access, Section IV) or
+// update in place.
+func (t *Txn) Update(table string, pk []row.Value, mutate func(row.Row) (row.Row, error)) (bool, error) {
+	if t.done {
+		return false, ErrTxnDone
+	}
+	rt, err := t.e.table(table)
+	if err != nil {
+		return false, err
+	}
+	key := row.EncodeKey(nil, pk...)
+	r0, en, found, err := t.locateForWrite(rt, key)
+	if err != nil || !found {
+		return false, err
+	}
+	cur, curEnc, ok, err := t.currentImage(rt, r0, en)
+	if err != nil || !ok {
+		return false, err
+	}
+
+	newRow, err := mutate(cur.Clone())
+	if err != nil {
+		return false, err
+	}
+	if err := rt.cat.Schema.Validate(newRow); err != nil {
+		return false, err
+	}
+	newPK, err := pkOf(rt, newRow)
+	if err != nil {
+		return false, err
+	}
+	if !bytes.Equal(newPK, key) {
+		return false, ErrPKChange
+	}
+	enc, err := row.Encode(rt.cat.Schema, newRow, nil)
+	if err != nil {
+		return false, err
+	}
+	if len(enc) > maxRowBytes {
+		return false, ErrRowTooLarge
+	}
+
+	m := t.mark()
+	prt := t.e.partByID(r0.Partition())
+	switch {
+	case en != nil:
+		if err := t.updateIMRS(rt, prt, r0, en, enc); err != nil {
+			t.unwind(m)
+			return false, err
+		}
+	default:
+		migrated := false
+		if prt.ilm.Enabled(ilm.OpMigrate) && t.e.packer.AcceptNewRows() {
+			var err error
+			migrated, en, err = t.migrate(rt, prt, r0, enc)
+			if err != nil {
+				t.unwind(m)
+				return false, err
+			}
+		}
+		if !migrated {
+			if err := t.updatePage(rt, prt, r0, curEnc, enc); err != nil {
+				t.unwind(m)
+				return false, err
+			}
+		}
+	}
+	if err := t.updateSecondaryIndexes(rt, cur, newRow, r0, en); err != nil {
+		t.unwind(m)
+		return false, err
+	}
+	return true, nil
+}
+
+func (t *Txn) updateIMRS(rt *tableRT, prt *partRT, r0 rid.RID, en *imrs.Entry, enc []byte) error {
+	v, err := t.e.store.AddVersion(en, enc, t.id)
+	if err != nil {
+		return err // cache absolutely full
+	}
+	en.MarkDirty()
+	old := v.Older()
+	t.undo = append(t.undo, func() { t.e.store.AbortVersion(en, v) })
+	t.staged = append(t.staged, v)
+	t.imrsRecs = append(t.imrsRecs, wal.Record{
+		Type: wal.RecIMRSUpdate, Table: rt.cat.ID, RID: r0,
+		Aux: uint8(en.Origin), After: enc,
+	})
+	if old != nil && old.Committed() {
+		t.atCommit = append(t.atCommit, func(ts uint64) {
+			t.e.gc.RetireVersion(en, v, old, ts)
+		})
+	}
+	en.Touch(t.e.clock.Now())
+	prt.ilm.IMRSUpdates.Inc()
+	return nil
+}
+
+// migrate moves a page-store row into the IMRS as part of an update
+// (origin "migrated"). The page-store image stays behind (stale) and is
+// refreshed when the row is eventually packed.
+func (t *Txn) migrate(rt *tableRT, prt *partRT, r0 rid.RID, enc []byte) (bool, *imrs.Entry, error) {
+	en, err := t.e.store.CreateEntry(r0, prt.cat.ID, imrs.OriginMigrated, enc, t.id)
+	if err != nil {
+		return false, nil, nil // cache full: fall back to in-place update
+	}
+	en.MarkDirty()
+	v := en.Head()
+	if !t.e.rmap.Put(r0, en) {
+		t.e.store.AbortVersion(en, v)
+		return false, nil, nil
+	}
+	t.undo = append(t.undo, func() {
+		if !t.e.store.AbortVersion(en, v) {
+			en.MarkPacked()
+			t.e.rmap.Delete(r0, en)
+		}
+	})
+	t.staged = append(t.staged, v)
+	t.newEntries = append(t.newEntries, en)
+	t.imrsRecs = append(t.imrsRecs, wal.Record{
+		Type: wal.RecIMRSInsert, Table: rt.cat.ID, RID: r0,
+		Aux: uint8(imrs.OriginMigrated), After: enc,
+	})
+	// Hash fast-path entries for the migrated row.
+	if rw, err := t.e.decode(rt, enc); err == nil {
+		for _, ix := range rt.indexes {
+			if ix.hash == nil {
+				continue
+			}
+			ix := ix
+			if k, err := indexKey(ix, rw, r0); err == nil {
+				k := k
+				ix.hash.Put(k, en)
+				t.undo = append(t.undo, func() { ix.hash.Delete(k, en) })
+			}
+		}
+	}
+	prt.ilm.PageOps.Inc()
+	prt.ilm.Migrations.Inc()
+	prt.ilm.NewRows.Inc()
+	return true, en, nil
+}
+
+func (t *Txn) updatePage(rt *tableRT, prt *partRT, r0 rid.RID, before, after []byte) error {
+	beforeCp := append([]byte(nil), before...)
+	if err := prt.heap.Update(r0, after); err != nil {
+		return err
+	}
+	t.undo = append(t.undo, func() { _ = prt.heap.Update(r0, beforeCp) })
+	t.sysRecs = append(t.sysRecs, wal.Record{
+		Type: wal.RecHeapUpdate, Table: rt.cat.ID, RID: r0,
+		Before: beforeCp, After: after,
+	})
+	prt.ilm.PageOps.Inc()
+	prt.ilm.PageReuseOps.Inc()
+	return nil
+}
+
+// updateSecondaryIndexes maintains non-PK indexes across a key change:
+// the new key is inserted now (readers filter by visibility) and the old
+// key is removed once the change commits.
+func (t *Txn) updateSecondaryIndexes(rt *tableRT, oldRow, newRow row.Row, r0 rid.RID, en *imrs.Entry) error {
+	for _, ix := range rt.indexes[1:] {
+		ix := ix
+		oldK, err := indexKey(ix, oldRow, r0)
+		if err != nil {
+			return err
+		}
+		newK, err := indexKey(ix, newRow, r0)
+		if err != nil {
+			return err
+		}
+		if bytes.Equal(oldK, newK) {
+			continue
+		}
+		if err := ix.tree.Insert(newK, r0); err != nil {
+			if errors.Is(err, btree.ErrDuplicate) {
+				return ErrDuplicateKey
+			}
+			return err
+		}
+		t.undo = append(t.undo, func() { _, _, _ = ix.tree.Delete(newK) })
+		t.atCommit = append(t.atCommit, func(uint64) { _, _, _ = ix.tree.Delete(oldK) })
+		if ix.hash != nil && en != nil {
+			en := en
+			ix.hash.Put(newK, en)
+			t.undo = append(t.undo, func() { ix.hash.Delete(newK, en) })
+			t.atCommit = append(t.atCommit, func(uint64) { ix.hash.Delete(oldK, en) })
+		}
+	}
+	return nil
+}
+
+// Delete removes the row with the given primary key.
+func (t *Txn) Delete(table string, pk []row.Value) (bool, error) {
+	if t.done {
+		return false, ErrTxnDone
+	}
+	rt, err := t.e.table(table)
+	if err != nil {
+		return false, err
+	}
+	key := row.EncodeKey(nil, pk...)
+	r0, en, found, err := t.locateForWrite(rt, key)
+	if err != nil || !found {
+		return false, err
+	}
+	cur, curEnc, ok, err := t.currentImage(rt, r0, en)
+	if err != nil || !ok {
+		return false, err
+	}
+	m := t.mark()
+	prt := t.e.partByID(r0.Partition())
+
+	if en != nil {
+		tomb := t.e.store.AddTombstone(en, t.id)
+		t.undo = append(t.undo, func() { t.e.store.AbortVersion(en, tomb) })
+		t.staged = append(t.staged, tomb)
+		t.imrsRecs = append(t.imrsRecs, wal.Record{
+			Type: wal.RecIMRSDelete, Table: rt.cat.ID, RID: r0, Aux: uint8(en.Origin),
+		})
+		if !r0.IsVirtual() {
+			// The page store holds a (possibly stale) copy: log and apply
+			// its deletion at commit.
+			pageImg, err := prt.heap.Fetch(r0)
+			if err == nil {
+				t.sysRecs = append(t.sysRecs, wal.Record{
+					Type: wal.RecHeapDelete, Table: rt.cat.ID, RID: r0, Before: pageImg,
+				})
+				t.atCommit = append(t.atCommit, func(uint64) { _ = prt.heap.Delete(r0) })
+			}
+		}
+		en := en
+		t.atCommit = append(t.atCommit, func(ts uint64) {
+			en.MarkPacked()
+			t.e.gc.RetireEntry(en, ts)
+		})
+		prt.ilm.IMRSDeletes.Inc()
+	} else {
+		beforeCp := append([]byte(nil), curEnc...)
+		if err := prt.heap.Delete(r0); err != nil {
+			t.unwind(m)
+			return false, err
+		}
+		t.undo = append(t.undo, func() { _ = prt.heap.InsertAt(r0, beforeCp) })
+		t.sysRecs = append(t.sysRecs, wal.Record{
+			Type: wal.RecHeapDelete, Table: rt.cat.ID, RID: r0, Before: beforeCp,
+		})
+		prt.ilm.PageOps.Inc()
+		prt.ilm.PageReuseOps.Inc()
+	}
+
+	// Index entries disappear when the delete commits; until then other
+	// transactions block on the row lock and re-check.
+	if err := t.removeIndexEntriesAtCommit(rt, cur, r0, en); err != nil {
+		t.unwind(m)
+		return false, err
+	}
+	return true, nil
+}
+
+func (t *Txn) removeIndexEntriesAtCommit(rt *tableRT, rw row.Row, r0 rid.RID, en *imrs.Entry) error {
+	for _, ix := range rt.indexes {
+		ix := ix
+		k, err := indexKey(ix, rw, r0)
+		if err != nil {
+			return err
+		}
+		t.atCommit = append(t.atCommit, func(uint64) { _, _, _ = ix.tree.Delete(k) })
+		if ix.hash != nil && en != nil {
+			en := en
+			t.atCommit = append(t.atCommit, func(uint64) { ix.hash.Delete(k, en) })
+		}
+	}
+	return nil
+}

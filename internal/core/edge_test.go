@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/txn"
+
+	"repro/internal/row"
+)
+
+// TestSnapshotIsolationAcrossMigration: a reader whose snapshot predates
+// a row's migration into the IMRS must still see the pre-migration image
+// (served from the page store).
+func TestSnapshotIsolationAcrossMigration(t *testing.T) {
+	e := openEngine(t, nil)
+	createItems(t, e)
+	prt := e.table0(t, "items")
+
+	prt.ilm.Pin(false)
+	tx := e.Begin()
+	_ = tx.Insert("items", itemRow(1, "original", 1))
+	mustCommit(t, tx)
+	prt.ilm.Pin(true)
+
+	reader := e.Begin() // snapshot before migration
+
+	writer := e.Begin()
+	if _, err := writer.Update("items", pk(1), func(r row.Row) (row.Row, error) {
+		r[1] = row.String("migrated")
+		return r, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, writer)
+	if e.Store().Rows() != 1 {
+		t.Fatal("setup: row did not migrate")
+	}
+
+	rw, ok, err := reader.Get("items", pk(1))
+	if err != nil || !ok {
+		t.Fatalf("old snapshot read: %v %v", ok, err)
+	}
+	if rw[1].Str() != "original" {
+		t.Fatalf("old snapshot sees %q, want pre-migration image", rw[1].Str())
+	}
+	mustCommit(t, reader)
+}
+
+// TestCacheFullInsertFallsBackToPageStore: when the IMRS cannot take a
+// new row, the insert transparently lands on the page store and remains
+// fully readable.
+func TestCacheFullInsertFallsBackToPageStore(t *testing.T) {
+	e := openEngine(t, func(c *Config) {
+		c.IMRSCacheBytes = 64 << 10 // tiny
+		c.PackInterval = time.Hour
+	})
+	createItems(t, e)
+
+	payload := make([]byte, 300)
+	for i := range payload {
+		payload[i] = 'f'
+	}
+	tx := e.Begin()
+	var n int64
+	for n = 1; n <= 500; n++ {
+		if err := tx.Insert("items", itemRow(n, string(payload), n)); err != nil {
+			t.Fatalf("insert %d: %v", n, err)
+		}
+	}
+	mustCommit(t, tx)
+
+	if e.Store().Allocator().Used() > 64<<10 {
+		t.Fatal("IMRS exceeded capacity")
+	}
+	// Everything readable, some in memory, some on pages.
+	tx2 := e.Begin()
+	for i := int64(1); i < n; i++ {
+		rw, ok, err := tx2.Get("items", pk(i))
+		if err != nil || !ok || rw[2].Int() != i {
+			t.Fatalf("row %d: %v %v %v", i, rw, ok, err)
+		}
+	}
+	mustCommit(t, tx2)
+	snap := e.Stats()
+	if snap.Partitions[0].PageOps == 0 {
+		t.Fatal("no rows fell back to the page store")
+	}
+}
+
+// TestLockTimeoutAbortsCleanly: a transaction that times out waiting on
+// a lock gets ErrLockTimeout and the system stays consistent.
+func TestLockTimeoutAbortsCleanly(t *testing.T) {
+	e := openEngine(t, func(c *Config) { c.LockTimeout = 60 * time.Millisecond })
+	createItems(t, e)
+	tx := e.Begin()
+	_ = tx.Insert("items", itemRow(1, "a", 1))
+	mustCommit(t, tx)
+
+	holder := e.Begin()
+	if _, err := holder.Update("items", pk(1), func(r row.Row) (row.Row, error) {
+		r[2] = row.Int64(10)
+		return r, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	waiter := e.Begin()
+	_, err := waiter.Update("items", pk(1), func(r row.Row) (row.Row, error) {
+		r[2] = row.Int64(20)
+		return r, nil
+	})
+	if err != txn.ErrLockTimeout {
+		t.Fatalf("err = %v, want lock timeout", err)
+	}
+	waiter.Abort()
+	mustCommit(t, holder)
+
+	tx2 := e.Begin()
+	rw, _, _ := tx2.Get("items", pk(1))
+	if rw[2].Int() != 10 {
+		t.Fatalf("qty = %d, want holder's 10", rw[2].Int())
+	}
+	mustCommit(t, tx2)
+}
+
+// TestIndexScanPagination: scans spanning multiple internal batches
+// (>256 hits) visit every row exactly once in order.
+func TestIndexScanPagination(t *testing.T) {
+	e := openEngine(t, nil)
+	createItems(t, e)
+	const n = 1000
+	tx := e.Begin()
+	for i := int64(1); i <= n; i++ {
+		if err := tx.Insert("items", itemRow(i, fmt.Sprintf("n%06d", i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, tx)
+
+	tx2 := e.Begin()
+	var prev int64 = -1
+	count := 0
+	err := tx2.IndexScan("items", "items_pk", nil, func(r row.Row) bool {
+		id := r[0].Int()
+		if id <= prev {
+			t.Fatalf("scan out of order or duplicate: %d after %d", id, prev)
+		}
+		prev = id
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("scan visited %d rows, want %d", count, n)
+	}
+	mustCommit(t, tx2)
+}
+
+// TestUpdateMutateError: an error from the mutate callback leaves the
+// row untouched and the transaction usable.
+func TestUpdateMutateError(t *testing.T) {
+	e := openEngine(t, nil)
+	createItems(t, e)
+	tx := e.Begin()
+	_ = tx.Insert("items", itemRow(1, "a", 1))
+	mustCommit(t, tx)
+
+	tx2 := e.Begin()
+	boom := fmt.Errorf("boom")
+	if _, err := tx2.Update("items", pk(1), func(row.Row) (row.Row, error) {
+		return nil, boom
+	}); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Still usable; row unchanged.
+	rw, _, _ := tx2.Get("items", pk(1))
+	if rw[2].Int() != 1 {
+		t.Fatal("failed mutate changed the row")
+	}
+	mustCommit(t, tx2)
+}
+
+// TestDeleteThenReadInSameTxn: a transaction that deletes a row no
+// longer sees it through any access path.
+func TestDeleteThenReadInSameTxn(t *testing.T) {
+	e := openEngine(t, nil)
+	createItems(t, e)
+	tx := e.Begin()
+	_ = tx.Insert("items", itemRow(1, "gone", 1))
+	mustCommit(t, tx)
+
+	tx2 := e.Begin()
+	if ok, _ := tx2.Delete("items", pk(1)); !ok {
+		t.Fatal("delete failed")
+	}
+	if _, ok, _ := tx2.Get("items", pk(1)); ok {
+		t.Fatal("own delete still visible via Get")
+	}
+	mustCommit(t, tx2)
+}
+
+// TestReadYourOwnWrites within a transaction across update chains.
+func TestReadYourOwnWrites(t *testing.T) {
+	e := openEngine(t, nil)
+	createItems(t, e)
+	tx := e.Begin()
+	_ = tx.Insert("items", itemRow(1, "v0", 0))
+	for i := int64(1); i <= 5; i++ {
+		if _, err := tx.Update("items", pk(1), func(r row.Row) (row.Row, error) {
+			r[2] = row.Int64(i)
+			return r, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		rw, ok, err := tx.Get("items", pk(1))
+		if err != nil || !ok || rw[2].Int() != i {
+			t.Fatalf("own write %d not visible: %v %v %v", i, rw, ok, err)
+		}
+	}
+	mustCommit(t, tx)
+}
+
+// TestCheckpointDuringWorkload: checkpoints interleaved with commits
+// neither deadlock nor lose data.
+func TestCheckpointDuringWorkload(t *testing.T) {
+	e := openEngine(t, nil)
+	createItems(t, e)
+	for round := 0; round < 5; round++ {
+		tx := e.Begin()
+		for i := 0; i < 20; i++ {
+			id := int64(round*20 + i + 1)
+			if err := tx.Insert("items", itemRow(id, "ckpt", id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mustCommit(t, tx)
+		if err := e.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx := e.Begin()
+	count := 0
+	_ = tx.ScanTable("items", func(row.Row) bool { count++; return true })
+	mustCommit(t, tx)
+	if count != 100 {
+		t.Fatalf("rows after checkpoints = %d, want 100", count)
+	}
+}
+
+// TestGCShortensVersionChains: repeated updates of a single row do not
+// accumulate unbounded memory once snapshots move on.
+func TestGCShortensVersionChains(t *testing.T) {
+	e := openEngine(t, nil)
+	createItems(t, e)
+	tx := e.Begin()
+	_ = tx.Insert("items", itemRow(1, "chain", 0))
+	mustCommit(t, tx)
+
+	for i := int64(1); i <= 500; i++ {
+		tx := e.Begin()
+		if _, err := tx.Update("items", pk(1), func(r row.Row) (row.Row, error) {
+			r[2] = row.Int64(i)
+			return r, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	// Wait for GC to reclaim superseded versions (generous deadline:
+	// single-core CI environments schedule the GC goroutines late).
+	deadline := time.Now().Add(10 * time.Second)
+	var used int64
+	for time.Now().Before(deadline) {
+		used = e.Store().Allocator().Used()
+		if used < 3*64 { // a couple of fragments at most
+			break
+		}
+		sleepMs(5)
+	}
+	if used >= 10*64 {
+		t.Fatalf("version chain memory not reclaimed: %d bytes", used)
+	}
+	if e.Stats().GCVersions == 0 {
+		t.Fatal("GC freed no versions")
+	}
+}

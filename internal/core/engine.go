@@ -1,0 +1,467 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/ilm"
+	"repro/internal/imrs"
+	"repro/internal/imrsgc"
+	"repro/internal/index/btree"
+	"repro/internal/index/hash"
+	"repro/internal/pack"
+	"repro/internal/rid"
+	"repro/internal/ridmap"
+	"repro/internal/row"
+	"repro/internal/storage/buffer"
+	"repro/internal/storage/disk"
+	"repro/internal/storage/heap"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// indexRT is the runtime of one index: its definition, the page-based
+// B-tree spanning both stores, and the optional IMRS hash fast path.
+type indexRT struct {
+	def  *catalog.Index
+	tree *btree.Tree
+	hash *hash.Index
+}
+
+// partRT is the runtime of one partition: catalog entry, page-store
+// heap, and ILM monitoring state.
+type partRT struct {
+	cat  *catalog.Partition
+	heap *heap.Heap
+	ilm  *ilm.PartitionState
+}
+
+// tableRT is the runtime of one table.
+type tableRT struct {
+	cat     *catalog.Table
+	parts   []*partRT
+	indexes []*indexRT
+}
+
+// Engine is the hybrid-storage database engine.
+type Engine struct {
+	cfg Config
+
+	cat     *catalog.Catalog
+	dataDev disk.Device
+	pool    *buffer.Pool
+	syslog  *wal.Log // redo/undo log for the page store ("syslogs")
+	imrslog *wal.Log // redo-only log for the IMRS ("sysimrslogs")
+	imrsGen uint64   // sysimrslogs generation (bumped by compaction)
+
+	store  *imrs.Store
+	rmap   *ridmap.Map
+	locks  *txn.LockManager
+	clock  *txn.Clock
+	snaps  *txn.SnapshotRegistry
+	gc     *imrsgc.GC
+	queues *pack.QueueSet
+	ilmReg *ilm.Registry
+	tsf    *ilm.TSF
+	tuner  *ilm.Tuner
+	packer *pack.Packer
+
+	mu     sync.RWMutex // guards tables/parts maps
+	tables map[string]*tableRT
+	byID   map[uint32]*tableRT
+	parts  map[rid.PartitionID]*partRT
+
+	// ckptMu quiesces the engine for checkpoints: every transaction
+	// holds it shared for its lifetime; Checkpoint takes it exclusively.
+	ckptMu sync.RWMutex
+
+	nextTxnID atomic.Uint64
+	closed    atomic.Bool
+
+	ckptStop chan struct{}
+	ckptDone chan struct{}
+
+	ownsDevices bool
+}
+
+// Open creates or re-opens a database. When the underlying storage
+// already holds data (file directory, or reused devices/backends), the
+// engine recovers: it loads the last checkpoint's catalog, redoes
+// committed page-store work from syslogs, replays sysimrslogs into the
+// IMRS, and rebuilds all indexes.
+func Open(cfg Config) (*Engine, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:    cfg,
+		rmap:   ridmap.New(),
+		clock:  &txn.Clock{},
+		snaps:  txn.NewSnapshotRegistry(),
+		locks:  txn.NewLockManager(cfg.LockTimeout),
+		queues: pack.NewQueueSet(),
+		ilmReg: ilm.NewRegistry(),
+		tables: make(map[string]*tableRT),
+		byID:   make(map[uint32]*tableRT),
+		parts:  make(map[rid.PartitionID]*partRT),
+	}
+	e.nextTxnID.Store(1)
+	e.store = imrs.NewStore(cfg.IMRSCacheBytes)
+
+	if err := e.openStorage(); err != nil {
+		return nil, err
+	}
+
+	pool, err := buffer.NewPool(e.dataDev, cfg.BufferPoolPages, func(lsn uint64) error {
+		return e.syslog.Flush(lsn)
+	})
+	if err != nil {
+		return nil, err
+	}
+	pool.SetNoSteal(true)
+	e.pool = pool
+
+	e.tsf = ilm.NewTSF(cfg.ILM, cfg.IMRSCacheBytes)
+	e.tuner = ilm.NewTuner(cfg.ILM, e.ilmReg, cfg.IMRSCacheBytes, func(id rid.PartitionID) ilm.PartitionUsage {
+		st := e.store.Part(id)
+		return ilm.PartitionUsage{Rows: st.Rows.Load(), Bytes: st.Bytes.Load()}
+	})
+	e.gc = imrsgc.New(e.store, e.snaps, imrsgc.Hooks{
+		OnReclaimEntry: e.reclaimEntry,
+		OnNewRow:       e.queues.Enqueue,
+	})
+	e.packer = pack.New(cfg.ILM, e.store, e.queues, e.ilmReg, e.tsf, e.tuner,
+		e.clock, (*relocator)(e), cfg.PackInterval, cfg.PackThreads)
+
+	if err := e.recover(); err != nil {
+		return nil, err
+	}
+
+	e.gc.Start(cfg.GCWorkers)
+	if cfg.ILMEnabled {
+		e.packer.Start()
+	}
+	if cfg.CheckpointEvery > 0 {
+		e.ckptStop = make(chan struct{})
+		e.ckptDone = make(chan struct{})
+		go e.checkpointLoop(cfg.CheckpointEvery)
+	}
+	return e, nil
+}
+
+func (e *Engine) checkpointLoop(every time.Duration) {
+	defer close(e.ckptDone)
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.ckptStop:
+			return
+		case <-tick.C:
+			_ = e.Checkpoint()
+		}
+	}
+}
+
+func (e *Engine) stopCheckpointLoop() {
+	if e.ckptStop != nil {
+		close(e.ckptStop)
+		<-e.ckptDone
+		e.ckptStop = nil
+	}
+}
+
+func (e *Engine) openStorage() error {
+	cfg := &e.cfg
+	if cfg.Dir != "" {
+		dev, err := disk.OpenFileDevice(filepath.Join(cfg.Dir, "data.db"))
+		if err != nil {
+			return err
+		}
+		sb, err := wal.OpenFileBackend(filepath.Join(cfg.Dir, "syslogs.log"))
+		if err != nil {
+			dev.Close()
+			return err
+		}
+		ib, err := wal.OpenFileBackend(filepath.Join(cfg.Dir, "sysimrslogs.log"))
+		if err != nil {
+			dev.Close()
+			sb.Close()
+			return err
+		}
+		cfg.DataDevice, cfg.SysLogBackend, cfg.IMRSLogBackend = dev, sb, ib
+		if cfg.IMRSLogFactory == nil {
+			dir := cfg.Dir
+			cfg.IMRSLogFactory = func(gen uint64, fresh bool) (wal.Backend, error) {
+				if gen == 0 {
+					return wal.OpenFileBackend(filepath.Join(dir, "sysimrslogs.log"))
+				}
+				path := filepath.Join(dir, fmt.Sprintf("sysimrslogs.%d.log", gen))
+				if fresh {
+					_ = os.Remove(path) // clear any orphaned prior attempt
+				}
+				return wal.OpenFileBackend(path)
+			}
+		}
+		e.ownsDevices = true
+	}
+	if cfg.DataDevice == nil {
+		cfg.DataDevice = disk.NewMemDevice(cfg.ReadLatency, cfg.WriteLatency)
+		e.ownsDevices = true
+	}
+	if cfg.SysLogBackend == nil {
+		cfg.SysLogBackend = wal.NewMemBackend()
+	}
+	if cfg.IMRSLogBackend == nil {
+		cfg.IMRSLogBackend = wal.NewMemBackend()
+	}
+	e.dataDev = cfg.DataDevice
+	var err error
+	if e.syslog, err = wal.NewLog(cfg.SysLogBackend); err != nil {
+		return err
+	}
+	if e.imrslog, err = wal.NewLog(cfg.IMRSLogBackend); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Halt stops background workers without checkpointing or closing the
+// storage — it simulates a crash for recovery tests: durable state is
+// exactly what the logs and data device already hold.
+func (e *Engine) Halt() {
+	if e.closed.Swap(true) {
+		return
+	}
+	e.stopCheckpointLoop()
+	if e.cfg.ILMEnabled {
+		e.packer.Stop()
+	}
+	e.gc.Stop()
+}
+
+// Close checkpoints and shuts the engine down.
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	e.stopCheckpointLoop()
+	if e.cfg.ILMEnabled {
+		e.packer.Stop()
+	}
+	e.gc.Stop()
+	if err := e.Checkpoint(); err != nil {
+		return err
+	}
+	if err := e.syslog.Close(); err != nil {
+		return err
+	}
+	if err := e.imrslog.Close(); err != nil {
+		return err
+	}
+	if e.ownsDevices {
+		return e.dataDev.Close()
+	}
+	return nil
+}
+
+// Clock exposes the database commit timestamp (harness, tests).
+func (e *Engine) Clock() *txn.Clock { return e.clock }
+
+// Store exposes the IMRS store (harness, tests).
+func (e *Engine) Store() *imrs.Store { return e.store }
+
+// Packer exposes the pack subsystem (harness, tests).
+func (e *Engine) Packer() *pack.Packer { return e.packer }
+
+// Tuner exposes the auto-partition tuner (harness, tests).
+func (e *Engine) Tuner() *ilm.Tuner { return e.tuner }
+
+// TSF exposes the timestamp filter (harness, tests).
+func (e *Engine) TSF() *ilm.TSF { return e.tsf }
+
+// Queues exposes the pack queue set (harness: Figure 8 analysis).
+func (e *Engine) Queues() *pack.QueueSet { return e.queues }
+
+// ILMState returns the ILM partition state for a partition id.
+func (e *Engine) ILMState(id rid.PartitionID) *ilm.PartitionState { return e.ilmReg.Get(id) }
+
+// BufferPool exposes the buffer cache (harness, tests).
+func (e *Engine) BufferPool() *buffer.Pool { return e.pool }
+
+// Catalog exposes table metadata.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// CreateTable creates a table with an implicit unique primary-key index
+// (with IMRS hash fast path) plus any secondary indexes, and checkpoints
+// so the DDL is durable.
+func (e *Engine) CreateTable(name string, schema *row.Schema, pkCols []string,
+	spec catalog.PartitionSpec, indexes []catalog.IndexSpec) (*catalog.Table, error) {
+	if e.closed.Load() {
+		return nil, fmt.Errorf("core: engine closed")
+	}
+	t, err := e.cat.CreateTable(name, schema, pkCols, spec, indexes)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.mountTable(t, true); err != nil {
+		return nil, err
+	}
+	if err := e.Checkpoint(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// mountTable builds the runtime for a catalog table. When fresh is true,
+// new B-trees are allocated; otherwise trees are loaded from persisted
+// roots (recovery re-news them separately).
+func (e *Engine) mountTable(t *catalog.Table, fresh bool) (*tableRT, error) {
+	rt := &tableRT{cat: t}
+	for _, p := range t.Partitions {
+		var h *heap.Heap
+		if fresh {
+			h = heap.New(p.ID, e.pool)
+		} else {
+			h = heap.Restore(p.ID, e.pool, p.FirstPage, p.LastPage)
+		}
+		ps := e.ilmReg.Register(p.ID, p.Name())
+		ps.ContentionFn = h.Contention.Load
+		if !e.cfg.ILMEnabled {
+			// ILM_OFF: everything goes to (and stays in) the IMRS.
+			ps.Pin(true)
+		}
+		prt := &partRT{cat: p, heap: h, ilm: ps}
+		rt.parts = append(rt.parts, prt)
+	}
+	for _, def := range t.Indexes {
+		var tr *btree.Tree
+		var err error
+		if fresh {
+			tr, err = btree.New(e.pool)
+			if err != nil {
+				return nil, err
+			}
+			def.Root = tr.Root()
+		} else {
+			tr = btree.Load(e.pool, def.Root)
+		}
+		ix := &indexRT{def: def, tree: tr}
+		if def.Hash && !e.cfg.DisableHashIndex {
+			ix.hash = hash.New(e.cfg.HashIndexBuckets)
+		}
+		rt.indexes = append(rt.indexes, ix)
+	}
+	e.mu.Lock()
+	e.tables[t.Name] = rt
+	e.byID[t.ID] = rt
+	for _, prt := range rt.parts {
+		e.parts[prt.cat.ID] = prt
+	}
+	e.mu.Unlock()
+	return rt, nil
+}
+
+// PinTable applies the user override the paper's conclusion sketches:
+// inMemory=true pins every partition of the table fully in-memory (the
+// tuner never disables it); inMemory=false pins it out of the IMRS.
+func (e *Engine) PinTable(name string, inMemory bool) error {
+	rt, err := e.table(name)
+	if err != nil {
+		return err
+	}
+	for _, p := range rt.parts {
+		p.ilm.Pin(inMemory)
+	}
+	return nil
+}
+
+// UnpinTable removes any user override, returning the table's
+// partitions to auto-tuning control.
+func (e *Engine) UnpinTable(name string) error {
+	rt, err := e.table(name)
+	if err != nil {
+		return err
+	}
+	for _, p := range rt.parts {
+		p.ilm.Unpin()
+	}
+	return nil
+}
+
+// table resolves a table runtime by name.
+func (e *Engine) table(name string) (*tableRT, error) {
+	e.mu.RLock()
+	rt := e.tables[name]
+	e.mu.RUnlock()
+	if rt == nil {
+		return nil, fmt.Errorf("core: no such table %q", name)
+	}
+	return rt, nil
+}
+
+func (e *Engine) partByID(id rid.PartitionID) *partRT {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.parts[id]
+}
+
+// Checkpoint quiesces transactions, flushes both logs and all dirty
+// pages, and embeds a catalog snapshot in syslogs. IMRS data is NOT
+// written out — it recovers purely from sysimrslogs (paper Section II).
+func (e *Engine) Checkpoint() error {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	return e.checkpointLocked()
+}
+
+func (e *Engine) checkpointLocked() error {
+	// Update persisted heap chains and index roots.
+	e.mu.RLock()
+	for _, rt := range e.tables {
+		for _, p := range rt.parts {
+			p.cat.FirstPage, p.cat.LastPage = p.heap.Pages()
+		}
+		for _, ix := range rt.indexes {
+			ix.def.Root = ix.tree.Root()
+		}
+	}
+	e.mu.RUnlock()
+
+	if err := e.syslog.FlushAll(); err != nil {
+		return err
+	}
+	if err := e.imrslog.FlushAll(); err != nil {
+		return err
+	}
+	if err := e.pool.FlushAll(); err != nil {
+		return err
+	}
+	blob, err := e.cat.EncodeSnapshot()
+	if err != nil {
+		return err
+	}
+	// The checkpoint record also pins the current sysimrslogs generation
+	// (in TxnID): recovery opens exactly that generation, which is what
+	// makes log compaction crash-atomic.
+	rec := wal.Record{Type: wal.RecCheckpoint, TxnID: e.imrsGen, CommitTS: e.clock.Now(), After: blob}
+	lsn, err := e.syslog.Append(&rec)
+	if err != nil {
+		return err
+	}
+	return e.syslog.Flush(lsn)
+}
+
+// reclaimEntry is the GC hook: unpublish a dead entry everywhere before
+// its memory is released.
+func (e *Engine) reclaimEntry(en *imrs.Entry) {
+	e.rmap.Delete(en.RID, en)
+	e.queues.Remove(en)
+	// Hash index entries are removed by the commit paths that killed the
+	// entry (delete/pack); nothing further here.
+}

@@ -1,0 +1,21 @@
+package core
+
+import "errors"
+
+// Engine error values.
+var (
+	// ErrDuplicateKey reports a unique-index violation.
+	ErrDuplicateKey = errors.New("core: duplicate key")
+	// ErrPKChange reports an update attempting to modify primary-key
+	// columns (unsupported; delete + insert instead).
+	ErrPKChange = errors.New("core: primary key columns cannot be updated")
+	// ErrRetry reports that a row moved between stores too many times
+	// during one operation; the caller should retry the statement.
+	ErrRetry = errors.New("core: row relocated concurrently, retry")
+	// ErrTxnDone reports use of a finished transaction.
+	ErrTxnDone = errors.New("core: transaction already finished")
+	// ErrRowTooLarge reports a row whose encoding exceeds the single-page
+	// limit. The bound applies to both stores: an IMRS row larger than a
+	// page could never be packed.
+	ErrRowTooLarge = errors.New("core: row exceeds the single-page size limit")
+)

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/row"
+)
+
+// TestEngineAgainstModel drives the engine with a long random operation
+// sequence, mirroring every committed mutation into a plain map, with
+// the packer stepped throughout so rows keep moving between stores.
+// At the end (and again after a crash + recovery) the engine must agree
+// with the model on every key, on full scans, and on the secondary
+// index.
+func TestEngineAgainstModel(t *testing.T) {
+	st := newSharedStorage()
+	e, err := Open(st.config(func(c *Config) {
+		c.IMRSCacheBytes = 512 << 10 // small: pack constantly relocates
+		c.PackInterval = time.Hour   // stepped manually for determinism
+		c.ILM.InitialTSF = 5
+		c.ILM.PackCyclePct = 0.30
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	createItems(t, e)
+
+	type mrow struct {
+		name string
+		qty  int64
+	}
+	model := map[int64]mrow{}
+	rng := rand.New(rand.NewSource(99))
+	const keys = 400
+
+	for step := 0; step < 6000; step++ {
+		id := int64(1 + rng.Intn(keys))
+		tx := e.Begin()
+		switch op := rng.Intn(10); {
+		case op < 4: // insert
+			name := fmt.Sprintf("name-%d-%d", id, step)
+			err := tx.Insert("items", itemRow(id, name, int64(step)))
+			_, exists := model[id]
+			switch {
+			case exists && err != ErrDuplicateKey:
+				t.Fatalf("step %d: insert of existing key %d: err=%v", step, id, err)
+			case !exists && err != nil:
+				t.Fatalf("step %d: insert %d failed: %v", step, id, err)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if !exists {
+				model[id] = mrow{name: name, qty: int64(step)}
+			}
+		case op < 7: // update
+			var newName string
+			ok, err := tx.Update("items", pk(id), func(r row.Row) (row.Row, error) {
+				newName = fmt.Sprintf("upd-%d-%d", id, step)
+				r[1] = row.String(newName)
+				r[2] = row.Int64(r[2].Int() + 1)
+				return r, nil
+			})
+			if err != nil {
+				t.Fatalf("step %d: update %d: %v", step, id, err)
+			}
+			if _, exists := model[id]; exists != ok {
+				t.Fatalf("step %d: update %d found=%v, model=%v", step, id, ok, exists)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				m := model[id]
+				m.name = newName
+				m.qty++
+				model[id] = m
+			}
+		case op < 9: // get
+			rw, ok, err := tx.Get("items", pk(id))
+			if err != nil {
+				t.Fatalf("step %d: get %d: %v", step, id, err)
+			}
+			m, exists := model[id]
+			if ok != exists {
+				t.Fatalf("step %d: get %d found=%v, model=%v", step, id, ok, exists)
+			}
+			if ok && (rw[1].Str() != m.name || rw[2].Int() != m.qty) {
+				t.Fatalf("step %d: get %d = (%s,%d), model (%s,%d)",
+					step, id, rw[1].Str(), rw[2].Int(), m.name, m.qty)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		default: // delete
+			ok, err := tx.Delete("items", pk(id))
+			if err != nil {
+				t.Fatalf("step %d: delete %d: %v", step, id, err)
+			}
+			if _, exists := model[id]; exists != ok {
+				t.Fatalf("step %d: delete %d found=%v, model=%v", step, id, ok, exists)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, id)
+		}
+
+		if step%200 == 199 {
+			sleepMs(3) // GC queue maintenance
+			for i := 0; i < 100; i++ {
+				e.Clock().Tick() // age rows so the TSF packs them
+			}
+			e.Packer().Step()
+		}
+	}
+
+	verify := func(label string, eng *Engine) {
+		t.Helper()
+		tx := eng.Begin()
+		defer func() { _ = tx.Commit() }()
+		for id := int64(1); id <= keys; id++ {
+			rw, ok, err := tx.Get("items", pk(id))
+			if err != nil {
+				t.Fatalf("%s: get %d: %v", label, id, err)
+			}
+			m, exists := model[id]
+			if ok != exists {
+				t.Fatalf("%s: key %d found=%v, model=%v", label, id, ok, exists)
+			}
+			if ok && (rw[1].Str() != m.name || rw[2].Int() != m.qty) {
+				t.Fatalf("%s: key %d = (%s,%d), model (%s,%d)",
+					label, id, rw[1].Str(), rw[2].Int(), m.name, m.qty)
+			}
+		}
+		seen := 0
+		if err := tx.ScanTable("items", func(r row.Row) bool {
+			id := r[0].Int()
+			m, exists := model[id]
+			if !exists {
+				t.Fatalf("%s: scan surfaced deleted key %d", label, id)
+			}
+			if r[1].Str() != m.name {
+				t.Fatalf("%s: scan key %d stale name", label, id)
+			}
+			seen++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if seen != len(model) {
+			t.Fatalf("%s: scan saw %d rows, model has %d", label, seen, len(model))
+		}
+		// Secondary index agrees for a sample of keys.
+		for i := 0; i < 50; i++ {
+			id := int64(1 + rng.Intn(keys))
+			m, exists := model[id]
+			if !exists {
+				continue
+			}
+			rows, err := tx.LookupAll("items", "items_name", []row.Value{row.String(m.name)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, r := range rows {
+				if r[0].Int() == id {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s: secondary index lost key %d (name %s)", label, id, m.name)
+			}
+		}
+	}
+
+	verify("live", e)
+
+	// Crash and recover on the same storage: durable state must equal
+	// the model exactly (every mutation committed before the crash).
+	e.Halt()
+	e2, err := Open(st.config(func(c *Config) {
+		c.IMRSCacheBytes = 8 << 20
+	}))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer e2.Close()
+	verify("recovered", e2)
+}

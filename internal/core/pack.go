@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/imrs"
+	"repro/internal/rid"
+	"repro/internal/wal"
+)
+
+// relocator implements pack.Relocator over the engine: the logged
+// relocation of cold IMRS rows to the page store (paper Sections VI-VII).
+type relocator Engine
+
+// PackEntries relocates a batch of cold entries from one partition in a
+// single pack transaction:
+//
+//   - rows are taken under conditional locks; locked rows are skipped
+//     and re-tailed (paper Section VII-B);
+//   - inserted rows (virtual RIDs) get a page-store location and their
+//     index entries are repointed (logged insert);
+//   - migrated/updated rows write their newest image back to their
+//     page-store RID (logged update); clean cached rows just drop;
+//   - the IMRS side logs a delete per row in sysimrslogs;
+//   - after the commit flushes, entries unpublish and their memory is
+//     retired to IMRS-GC.
+func (r *relocator) PackEntries(part rid.PartitionID, entries []*imrs.Entry) (int, int64, error) {
+	e := (*Engine)(r)
+	e.ckptMu.RLock()
+	defer e.ckptMu.RUnlock()
+
+	prt := e.partByID(part)
+	if prt == nil {
+		return 0, 0, fmt.Errorf("core: pack of unknown partition %d", part)
+	}
+	e.mu.RLock()
+	rt := e.byID[prt.cat.Table.ID]
+	e.mu.RUnlock()
+	if rt == nil {
+		return 0, 0, fmt.Errorf("core: pack of unmounted table %d", prt.cat.Table.ID)
+	}
+
+	packTxn := e.nextTxnID.Add(1)
+	var lockedRIDs []rid.RID
+	unlockAll := func() {
+		for _, lr := range lockedRIDs {
+			e.locks.Unlock(packTxn, lr)
+		}
+	}
+	defer unlockAll()
+
+	var sysRecs, imrsRecs []wal.Record
+	var post []func(ts uint64)
+	rows := 0
+	var bytes int64
+
+	for _, en := range entries {
+		if en.Packed() {
+			continue
+		}
+		// Conditional lock: skip rows in active use.
+		if !e.locks.TryLock(packTxn, en.RID) {
+			e.queues.Enqueue(en)
+			continue
+		}
+		lockedRIDs = append(lockedRIDs, en.RID)
+		if en.Packed() {
+			continue
+		}
+		v := en.Visible(math.MaxUint64, 0)
+		if v == nil {
+			// Tombstoned: the delete's commit already retired it.
+			continue
+		}
+		data := v.Data()
+		en := en
+
+		if en.RID.IsVirtual() {
+			newRID, err := prt.heap.Insert(data)
+			if err != nil {
+				return rows, bytes, err
+			}
+			// Lock the new location so concurrent readers resolving the
+			// repointed index wait for the pack commit.
+			if e.locks.TryLock(packTxn, newRID) {
+				lockedRIDs = append(lockedRIDs, newRID)
+			}
+			sysRecs = append(sysRecs, wal.Record{
+				Type: wal.RecHeapInsert, Table: rt.cat.ID, RID: newRID, After: data,
+			})
+			if err := e.repointIndexes(rt, en, data, newRID); err != nil {
+				return rows, bytes, err
+			}
+			imrsRecs = append(imrsRecs, wal.Record{
+				Type: wal.RecIMRSDelete, Table: rt.cat.ID, RID: en.RID, Aux: uint8(en.Origin),
+			})
+		} else {
+			if en.Dirty() {
+				if err := prt.heap.Update(en.RID, data); err != nil {
+					return rows, bytes, err
+				}
+				sysRecs = append(sysRecs, wal.Record{
+					Type: wal.RecHeapUpdate, Table: rt.cat.ID, RID: en.RID, After: data,
+				})
+				imrsRecs = append(imrsRecs, wal.Record{
+					Type: wal.RecIMRSDelete, Table: rt.cat.ID, RID: en.RID, Aux: uint8(en.Origin),
+				})
+			}
+			// Clean cached rows: nothing to log; the row simply leaves
+			// the IMRS.
+			e.dropHashEntries(rt, en, data)
+		}
+		rows++
+		bytes += int64(en.LiveBytes())
+		post = append(post, func(ts uint64) {
+			en.MarkPacked()
+			e.rmap.Delete(en.RID, en)
+			e.queues.Remove(en)
+			e.gc.RetireEntry(en, ts)
+		})
+	}
+
+	if rows == 0 {
+		return 0, 0, nil
+	}
+	ts := e.clock.Tick()
+	hasSys := len(sysRecs) > 0
+	if len(imrsRecs) > 0 {
+		aux := uint8(0)
+		if hasSys {
+			aux = 1
+		}
+		for i := range imrsRecs {
+			imrsRecs[i].TxnID = packTxn
+			if _, err := e.imrslog.Append(&imrsRecs[i]); err != nil {
+				return 0, 0, err
+			}
+		}
+		cr := wal.Record{Type: wal.RecIMRSCommit, TxnID: packTxn, CommitTS: ts, Aux: aux}
+		lsn, err := e.imrslog.Append(&cr)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := e.imrslog.Flush(lsn); err != nil {
+			return 0, 0, err
+		}
+	}
+	if hasSys {
+		for i := range sysRecs {
+			sysRecs[i].TxnID = packTxn
+			if _, err := e.syslog.Append(&sysRecs[i]); err != nil {
+				return 0, 0, err
+			}
+		}
+		cr := wal.Record{Type: wal.RecCommit, TxnID: packTxn, CommitTS: ts}
+		lsn, err := e.syslog.Append(&cr)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := e.syslog.Flush(lsn); err != nil {
+			return 0, 0, err
+		}
+	}
+	for _, fn := range post {
+		fn(ts)
+	}
+	return rows, bytes, nil
+}
+
+// repointIndexes rewrites a packed inserted row's index entries from its
+// virtual RID to its new page-store RID, and removes its hash fast-path
+// entries (hash indexes span only IMRS rows).
+func (e *Engine) repointIndexes(rt *tableRT, en *imrs.Entry, data []byte, newRID rid.RID) error {
+	rw, err := e.decode(rt, data)
+	if err != nil {
+		return err
+	}
+	for _, ix := range rt.indexes {
+		oldK, err := indexKey(ix, rw, en.RID)
+		if err != nil {
+			return err
+		}
+		if ix.def.Unique {
+			if _, err := ix.tree.Update(oldK, newRID); err != nil {
+				return err
+			}
+		} else {
+			if _, _, err := ix.tree.Delete(oldK); err != nil {
+				return err
+			}
+			newK, err := indexKey(ix, rw, newRID)
+			if err != nil {
+				return err
+			}
+			if err := ix.tree.Insert(newK, newRID); err != nil {
+				return err
+			}
+		}
+		if ix.hash != nil {
+			ix.hash.Delete(oldK, en)
+		}
+	}
+	return nil
+}
+
+// dropHashEntries removes an entry's hash fast-path entries when the row
+// leaves the IMRS without an index repoint (physical RIDs).
+func (e *Engine) dropHashEntries(rt *tableRT, en *imrs.Entry, data []byte) {
+	rw, err := e.decode(rt, data)
+	if err != nil {
+		return
+	}
+	for _, ix := range rt.indexes {
+		if ix.hash == nil {
+			continue
+		}
+		if k, err := indexKey(ix, rw, en.RID); err == nil {
+			ix.hash.Delete(k, en)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/row"
+)
+
+// TestPerPartitionTuning reproduces the paper's Section V motivating
+// example: a range-partitioned orders table where only the partition
+// holding recent orders is hot. The tuner must disable IMRS use for the
+// cold historical partitions while the hot partition stays enabled —
+// the per-partition granularity that distinguishes the paper's design
+// from table-level schemes.
+func TestPerPartitionTuning(t *testing.T) {
+	e := openEngine(t, func(c *Config) {
+		c.IMRSCacheBytes = 2 << 20
+		c.PackInterval = time.Hour // drive tuning manually via Step
+		c.ILM.TuningWindowTxns = 50
+		c.ILM.HysteresisWindows = 2
+		c.ILM.MinNewRowsForDisable = 50
+		c.ILM.DisableAvgReuse = 0.5
+	})
+	// orders partitioned by id range: p0 = historical, p1 = recent.
+	_, err := e.CreateTable("orders", testSchema(), []string{"id"},
+		catalog.PartitionSpec{Kind: catalog.PartitionRange, Column: "id", Bounds: []int64{100000}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pad := make([]byte, 400)
+	for i := range pad {
+		pad[i] = 'p'
+	}
+	var histID int64
+	// Rounds: bulk-insert historical rows (never re-read) and hammer a
+	// small set of recent rows with updates. Volume matters: the tuner
+	// only disables once overall cache utilization passes its guard.
+	for round := 0; round < 50; round++ {
+		tx := e.Begin()
+		for i := 0; i < 60; i++ {
+			histID++
+			if err := tx.Insert("orders", itemRow(histID, string(pad), histID)); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+		mustCommit(t, tx)
+		for j := 0; j < 10; j++ {
+			tx := e.Begin()
+			recent := int64(100001 + j)
+			if round == 0 {
+				_ = tx.Insert("orders", itemRow(recent, "recent", 0))
+			}
+			if _, err := tx.Update("orders", pk(recent), func(r row.Row) (row.Row, error) {
+				r[2] = row.Int64(r[2].Int() + 1)
+				return r, nil
+			}); err != nil && round > 0 {
+				t.Fatalf("recent update: %v", err)
+			}
+			mustCommit(t, tx)
+		}
+		sleepMs(2)
+		e.Packer().Step() // runs tuning windows as the clock advances
+	}
+
+	snap := e.Stats()
+	var histEnabled, recentEnabled *bool
+	for i := range snap.Partitions {
+		p := snap.Partitions[i]
+		switch p.Name {
+		case "orders/p0":
+			v := p.InsertEnabled
+			histEnabled = &v
+		case "orders/p1":
+			v := p.InsertEnabled
+			recentEnabled = &v
+		}
+	}
+	if histEnabled == nil || recentEnabled == nil {
+		t.Fatalf("partitions missing from stats: %+v", snap.Partitions)
+	}
+	if *histEnabled {
+		t.Error("cold historical partition still IMRS-enabled")
+	}
+	if !*recentEnabled {
+		t.Error("hot recent partition was disabled")
+	}
+
+	// Re-enable on reuse jump: the workload shifts to historical data.
+	histState := e.ILMState(e.Catalog().Table("orders").Partitions[0].ID)
+	_ = histState
+	for round := 0; round < 10; round++ {
+		tx := e.Begin()
+		for j := int64(1); j <= 40; j++ {
+			if _, _, err := tx.Get("orders", pk(j)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tx.Update("orders", pk(j), func(r row.Row) (row.Row, error) {
+				r[2] = row.Int64(r[2].Int() + 1)
+				return r, nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mustCommit(t, tx)
+		// Advance the clock so tuning windows elapse.
+		for i := 0; i < 30; i++ {
+			e.Clock().Tick()
+		}
+		e.Packer().Step()
+	}
+	snap = e.Stats()
+	for _, p := range snap.Partitions {
+		if p.Name == "orders/p0" && !p.InsertEnabled {
+			t.Error("historical partition not re-enabled after the workload shifted to it")
+		}
+	}
+	_ = fmt.Sprintf
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPinnedTableNeverPacked: a table pinned in-memory keeps all its
+// rows in the IMRS even under heavy pack pressure from other tables.
+func TestPinnedTableNeverPacked(t *testing.T) {
+	e := openEngine(t, func(c *Config) {
+		c.IMRSCacheBytes = 1 << 20
+		c.PackInterval = time.Hour
+		c.ILM.InitialTSF = 1
+		c.ILM.PackCyclePct = 0.50
+	})
+	createItems(t, e)
+	if _, err := e.CreateTable("pinned", testSchema(), []string{"id"}, catalogSpecNone(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PinTable("pinned", true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill "pinned" modestly and "items" heavily.
+	tx := e.Begin()
+	for i := int64(1); i <= 50; i++ {
+		if err := tx.Insert("pinned", itemRow(i, "pinned-row-data", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, tx)
+	fillPastThreshold(t, e, 0.90)
+	for i := 0; i < 200; i++ {
+		e.Clock().Tick()
+	}
+	sleepMs(20) // GC queue maintenance
+	for i := 0; i < 5; i++ {
+		e.Packer().Step()
+	}
+	if e.Packer().RowsPacked.Load() == 0 {
+		t.Fatal("setup: nothing packed at all")
+	}
+	snap := e.Stats()
+	for _, p := range snap.Partitions {
+		if p.Name == "pinned" {
+			if p.IMRSRows != 50 {
+				t.Fatalf("pinned table lost rows from the IMRS: %d/50", p.IMRSRows)
+			}
+			if p.PackedRows != 0 {
+				t.Fatalf("pinned table was packed: %d rows", p.PackedRows)
+			}
+		}
+	}
+}
+
+// TestPinTableOutKeepsPageStore: a table pinned out never grows IMRS
+// footprint.
+func TestPinTableOutKeepsPageStore(t *testing.T) {
+	e := openEngine(t, nil)
+	createItems(t, e)
+	if err := e.PinTable("items", false); err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin()
+	for i := int64(1); i <= 100; i++ {
+		if err := tx.Insert("items", itemRow(i, "x", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, tx)
+	// Reads do not cache either.
+	tx2 := e.Begin()
+	for i := int64(1); i <= 100; i++ {
+		if _, ok, _ := tx2.Get("items", pk(i)); !ok {
+			t.Fatalf("row %d missing", i)
+		}
+	}
+	mustCommit(t, tx2)
+	if e.Store().Rows() != 0 {
+		t.Fatalf("pinned-out table has %d IMRS rows", e.Store().Rows())
+	}
+
+	// Unpin restores ILM behaviour: the next insert goes in-memory.
+	if err := e.UnpinTable("items"); err != nil {
+		t.Fatal(err)
+	}
+	tx3 := e.Begin()
+	if err := tx3.Insert("items", itemRow(101, "y", 101)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx3)
+	if e.Store().Rows() != 1 {
+		t.Fatalf("after unpin IMRS rows = %d, want 1", e.Store().Rows())
+	}
+}
+
+func TestPinUnknownTable(t *testing.T) {
+	e := openEngine(t, nil)
+	if err := e.PinTable("nope", true); err == nil {
+		t.Fatal("pin of unknown table should fail")
+	}
+	if err := e.UnpinTable("nope"); err == nil {
+		t.Fatal("unpin of unknown table should fail")
+	}
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/imrs"
+	"repro/internal/index/btree"
+	"repro/internal/rid"
+	"repro/internal/wal"
+)
+
+// recover brings the engine to a consistent state at Open: it loads the
+// last checkpoint's catalog from syslogs, redoes committed page-store
+// work after the checkpoint, replays sysimrslogs fully into the IMRS
+// (redo-only; the IMRS is never checkpointed), and rebuilds every index
+// from the recovered base data. The two logs recover in this lock-step
+// order so a transaction spanning both stores is applied all-or-nothing
+// (paper Section II).
+func (e *Engine) recover() error {
+	ckptLSN, ckptBlob, ckptGen, sysWinners, maxTS, err := e.analyzeSyslogs()
+	if err != nil {
+		return err
+	}
+	if ckptBlob == nil {
+		// Fresh database.
+		e.cat = catalog.New()
+		return nil
+	}
+	if ckptGen != e.imrsGen {
+		// The last checkpoint pinned a compacted sysimrslogs generation:
+		// replay from that generation, not the original backend.
+		if e.cfg.IMRSLogFactory == nil {
+			return fmt.Errorf("core: checkpoint references sysimrslogs generation %d but no IMRSLogFactory is configured", ckptGen)
+		}
+		backend, err := e.cfg.IMRSLogFactory(ckptGen, false)
+		if err != nil {
+			return err
+		}
+		log, err := wal.NewLog(backend)
+		if err != nil {
+			return err
+		}
+		_ = e.imrslog.Close()
+		e.imrslog = log
+		e.imrsGen = ckptGen
+	}
+	cat, err := catalog.DecodeSnapshot(ckptBlob)
+	if err != nil {
+		return err
+	}
+	e.cat = cat
+	for _, t := range cat.Tables() {
+		if _, err := e.mountRecoveredTable(t); err != nil {
+			return err
+		}
+	}
+	if err := e.redoSyslogs(ckptLSN, sysWinners); err != nil {
+		return err
+	}
+	imrsMax, err := e.replayIMRSLog(sysWinners)
+	if err != nil {
+		return err
+	}
+	if imrsMax > maxTS {
+		maxTS = imrsMax
+	}
+	e.clock.AdvanceTo(maxTS)
+	return e.rebuildIndexes()
+}
+
+// mountRecoveredTable mounts a table with restored heaps and fresh
+// (empty) index trees; rebuildIndexes repopulates them.
+func (e *Engine) mountRecoveredTable(t *catalog.Table) (*tableRT, error) {
+	rt, err := e.mountTable(t, false)
+	if err != nil {
+		return nil, err
+	}
+	for _, ix := range rt.indexes {
+		tree, err := btree.New(e.pool)
+		if err != nil {
+			return nil, err
+		}
+		ix.tree = tree
+		ix.def.Root = tree.Root()
+	}
+	return rt, nil
+}
+
+// analyzeSyslogs scans the whole syslog: it finds the last checkpoint
+// (LSN and catalog blob), the set of committed transactions, and the
+// maximum commit timestamp. It also raises the engine's transaction-id
+// allocator past every id seen, so ids are unique across incarnations —
+// otherwise a new transaction could reuse a pre-crash loser's id and a
+// later recovery would resurrect the loser's log records along with it.
+func (e *Engine) analyzeSyslogs() (ckptLSN uint64, ckptBlob []byte, ckptGen uint64, winners map[uint64]uint64, maxTS uint64, err error) {
+	winners = make(map[uint64]uint64)
+	rdr, err := e.syslog.NewReader(0)
+	if err != nil {
+		return 0, nil, 0, nil, 0, err
+	}
+	for {
+		rec, err := rdr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, nil, 0, nil, 0, fmt.Errorf("core: syslogs analysis: %w", err)
+		}
+		switch rec.Type {
+		case wal.RecCheckpoint:
+			ckptLSN = rec.LSN
+			ckptBlob = rec.After
+			ckptGen = rec.TxnID // checkpoint pins the sysimrslogs generation
+			if rec.CommitTS > maxTS {
+				maxTS = rec.CommitTS
+			}
+		case wal.RecCommit:
+			e.bumpTxnID(rec.TxnID)
+			winners[rec.TxnID] = rec.CommitTS
+			if rec.CommitTS > maxTS {
+				maxTS = rec.CommitTS
+			}
+		default:
+			e.bumpTxnID(rec.TxnID)
+		}
+	}
+	return ckptLSN, ckptBlob, ckptGen, winners, maxTS, nil
+}
+
+// bumpTxnID raises the transaction-id allocator to at least id.
+func (e *Engine) bumpTxnID(id uint64) {
+	for {
+		cur := e.nextTxnID.Load()
+		if cur >= id || e.nextTxnID.CompareAndSwap(cur, id) {
+			return
+		}
+	}
+}
+
+// ensurePages extends the data device so page id pid exists (pages
+// allocated after the last checkpoint may be missing after a crash).
+func (e *Engine) ensurePages(pid uint32) error {
+	for e.dataDev.NumPages() <= pid {
+		if _, err := e.dataDev.AllocatePage(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// redoSyslogs re-applies committed page-store operations after the
+// checkpoint. With the no-steal buffer policy, on-disk pages hold
+// exactly the committed state as of the checkpoint, so losers were
+// never persisted and no undo pass is needed.
+func (e *Engine) redoSyslogs(ckptLSN uint64, winners map[uint64]uint64) error {
+	rdr, err := e.syslog.NewReader(ckptLSN)
+	if err != nil {
+		return err
+	}
+	for {
+		rec, err := rdr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("core: syslogs redo: %w", err)
+		}
+		if rec.LSN <= ckptLSN {
+			continue
+		}
+		switch rec.Type {
+		case wal.RecHeapInsert, wal.RecHeapUpdate, wal.RecHeapDelete:
+		default:
+			continue // commit/abort/checkpoint markers carry no heap work
+		}
+		if _, committed := winners[rec.TxnID]; !committed {
+			continue
+		}
+		prt := e.partByID(rec.RID.Partition())
+		if prt == nil {
+			return fmt.Errorf("core: redo references unknown partition %v", rec.RID)
+		}
+		switch rec.Type {
+		case wal.RecHeapInsert:
+			if err := e.ensurePages(uint32(rec.RID.Page())); err != nil {
+				return err
+			}
+			if err := prt.heap.InsertAt(rec.RID, rec.After); err != nil {
+				return fmt.Errorf("core: redo insert %v: %w", rec.RID, err)
+			}
+		case wal.RecHeapUpdate:
+			if err := prt.heap.Update(rec.RID, rec.After); err != nil {
+				return fmt.Errorf("core: redo update %v: %w", rec.RID, err)
+			}
+		case wal.RecHeapDelete:
+			if err := prt.heap.Delete(rec.RID); err != nil {
+				return fmt.Errorf("core: redo delete %v: %w", rec.RID, err)
+			}
+		}
+	}
+}
+
+// replayIMRSLog redoes sysimrslogs from the beginning: committed IMRS
+// transactions are applied in commit order; a mixed transaction (Aux=1
+// on its IMRSCommit) applies only if its syslogs Commit also survived.
+func (e *Engine) replayIMRSLog(sysWinners map[uint64]uint64) (maxTS uint64, err error) {
+	rdr, err := e.imrslog.NewReader(0)
+	if err != nil {
+		return 0, err
+	}
+	pending := make(map[uint64][]wal.Record)
+	for {
+		rec, err := rdr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, fmt.Errorf("core: sysimrslogs replay: %w", err)
+		}
+		e.bumpTxnID(rec.TxnID)
+		switch rec.Type {
+		case wal.RecIMRSInsert, wal.RecIMRSUpdate, wal.RecIMRSDelete:
+			pending[rec.TxnID] = append(pending[rec.TxnID], rec)
+		case wal.RecIMRSCommit:
+			ops := pending[rec.TxnID]
+			delete(pending, rec.TxnID)
+			if rec.Aux == 1 {
+				if _, ok := sysWinners[rec.TxnID]; !ok {
+					continue // mixed transaction whose page half never committed
+				}
+			}
+			if rec.CommitTS > maxTS {
+				maxTS = rec.CommitTS
+			}
+			for _, op := range ops {
+				if err := e.applyIMRSRedo(op, rec.CommitTS); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	return maxTS, nil
+}
+
+func (e *Engine) applyIMRSRedo(op wal.Record, ts uint64) error {
+	part := op.RID.Partition()
+	cp := e.cat.PartitionByID(part)
+	if cp == nil {
+		return fmt.Errorf("core: IMRS redo references unknown partition %v", op.RID)
+	}
+	if op.RID.IsVirtual() {
+		cp.BumpVirtualSeq(op.RID.Seq())
+	}
+	switch op.Type {
+	case wal.RecIMRSInsert:
+		en, err := e.store.CreateEntry(op.RID, part, imrs.Origin(op.Aux), op.After, op.TxnID)
+		if err != nil {
+			return fmt.Errorf("core: IMRS redo insert %v: %w", op.RID, err)
+		}
+		en.MarkDirty()
+		e.store.Commit(en.Head(), ts)
+		en.Touch(ts)
+		e.rmap.Put(op.RID, en)
+	case wal.RecIMRSUpdate:
+		en := e.rmap.Get(op.RID)
+		if en == nil {
+			// Update of a cached (never-logged) row: upsert it.
+			en2, err := e.store.CreateEntry(op.RID, part, imrs.Origin(op.Aux), op.After, op.TxnID)
+			if err != nil {
+				return fmt.Errorf("core: IMRS redo upsert %v: %w", op.RID, err)
+			}
+			en2.MarkDirty()
+			e.store.Commit(en2.Head(), ts)
+			en2.Touch(ts)
+			e.rmap.Put(op.RID, en2)
+			return nil
+		}
+		v, err := e.store.AddVersion(en, op.After, op.TxnID)
+		if err != nil {
+			return fmt.Errorf("core: IMRS redo update %v: %w", op.RID, err)
+		}
+		e.store.Commit(v, ts)
+		en.Touch(ts)
+		// No snapshots exist during recovery: reclaim the old version now.
+		if old := v.Older(); old != nil {
+			v.TruncateOlder()
+			e.store.FreeVersion(part, old)
+		}
+	case wal.RecIMRSDelete:
+		en := e.rmap.Get(op.RID)
+		if en != nil {
+			en.MarkPacked()
+			e.rmap.Delete(op.RID, en)
+			e.store.RemoveEntry(en)
+		}
+	}
+	return nil
+}
+
+// rebuildIndexes repopulates every table's B-trees and hash indexes
+// from the recovered heaps and IMRS entries, and enqueues IMRS entries
+// on their ILM queues.
+func (e *Engine) rebuildIndexes() error {
+	e.mu.RLock()
+	tables := make([]*tableRT, 0, len(e.byID))
+	for _, rt := range e.byID {
+		tables = append(tables, rt)
+	}
+	e.mu.RUnlock()
+
+	for _, rt := range tables {
+		for _, prt := range rt.parts {
+			var scanErr error
+			err := prt.heap.Scan(func(r0 rid.RID, data []byte) bool {
+				if e.rmap.Get(r0) != nil {
+					return true // indexed from its IMRS image below
+				}
+				if err := e.indexRowForRecovery(rt, r0, data, nil); err != nil {
+					scanErr = err
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				return err
+			}
+			if scanErr != nil {
+				return scanErr
+			}
+		}
+	}
+	// IMRS entries: index the newest committed image.
+	var rErr error
+	e.rmap.Range(func(r0 rid.RID, en *imrs.Entry) bool {
+		prt := e.partByID(r0.Partition())
+		if prt == nil {
+			rErr = fmt.Errorf("core: recovered entry in unknown partition %v", r0)
+			return false
+		}
+		e.mu.RLock()
+		rt := e.byID[prt.cat.Table.ID]
+		e.mu.RUnlock()
+		v := en.Visible(math.MaxUint64, 0)
+		if v == nil {
+			return true
+		}
+		if err := e.indexRowForRecovery(rt, r0, v.Data(), en); err != nil {
+			rErr = err
+			return false
+		}
+		e.queues.Enqueue(en)
+		return true
+	})
+	return rErr
+}
+
+func (e *Engine) indexRowForRecovery(rt *tableRT, r0 rid.RID, data []byte, en *imrs.Entry) error {
+	rw, err := e.decode(rt, data)
+	if err != nil {
+		return err
+	}
+	for _, ix := range rt.indexes {
+		k, err := indexKey(ix, rw, r0)
+		if err != nil {
+			return err
+		}
+		if err := ix.tree.Insert(k, r0); err != nil {
+			return fmt.Errorf("core: index rebuild %s: %w", ix.def.Name, err)
+		}
+		if ix.hash != nil && en != nil {
+			ix.hash.Put(k, en)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/imrs"
+	"repro/internal/rid"
+	"repro/internal/row"
+)
+
+// ScanTable visits every visible row of a table (all partitions): first
+// the page-store heaps (skipping rows shadowed by IMRS entries), then
+// the IMRS-resident rows. Order is unspecified. fn returns false to
+// stop. Page rows are re-read under their row lock (read committed).
+func (t *Txn) ScanTable(table string, fn func(row.Row) bool) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	rt, err := t.e.table(table)
+	if err != nil {
+		return err
+	}
+	partSet := make(map[rid.PartitionID]*partRT, len(rt.parts))
+	for _, p := range rt.parts {
+		partSet[p.cat.ID] = p
+	}
+
+	for _, prt := range rt.parts {
+		var rids []rid.RID
+		if err := prt.heap.Scan(func(r rid.RID, _ []byte) bool {
+			rids = append(rids, r)
+			return true
+		}); err != nil {
+			return err
+		}
+		for _, r0 := range rids {
+			if t.e.rmap.Get(r0) != nil {
+				continue // visited via the IMRS pass
+			}
+			rw, ok, _, err := t.readRowAt(rt, r0, nil, false)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			if !fn(rw) {
+				return nil
+			}
+		}
+	}
+
+	// IMRS pass: collect this table's entries, then resolve outside the
+	// map's shard locks.
+	var imrsRIDs []rid.RID
+	t.e.rmap.Range(func(r0 rid.RID, _ *imrs.Entry) bool {
+		if partSet[r0.Partition()] != nil {
+			imrsRIDs = append(imrsRIDs, r0)
+		}
+		return true
+	})
+	for _, r0 := range imrsRIDs {
+		rw, ok, _, err := t.readRowAt(rt, r0, nil, false)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if !fn(rw) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (rt *tableRT) findIndex(name string) *indexRT {
+	for _, ix := range rt.indexes {
+		if ix.def.Name == name {
+			return ix
+		}
+	}
+	return nil
+}
+
+// IndexScan visits rows in key order starting at the encoded values of
+// `from` (inclusive) under the named index, until fn returns false.
+// RIDs resolve transparently through the RID map; rows whose visible
+// image no longer matches its index position are skipped.
+func (t *Txn) IndexScan(table, index string, from []row.Value, fn func(row.Row) bool) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	rt, err := t.e.table(table)
+	if err != nil {
+		return err
+	}
+	ix := rt.findIndex(index)
+	if ix == nil {
+		return fmt.Errorf("core: no index %q on table %q", index, table)
+	}
+
+	type hit struct {
+		key row.Key
+		r   rid.RID
+	}
+	const batch = 256
+	start := row.EncodeKey(nil, from...)
+	for {
+		// Collect a batch under the tree's read lock, then resolve rows
+		// outside it (row-lock acquisition under the tree lock could
+		// deadlock against writers).
+		hits := make([]hit, 0, batch)
+		if err := ix.tree.ScanFrom(start, func(k []byte, r rid.RID) bool {
+			hits = append(hits, hit{key: append(row.Key(nil), k...), r: r})
+			return len(hits) < batch
+		}); err != nil {
+			return err
+		}
+		if len(hits) == 0 {
+			return nil
+		}
+		for _, h := range hits {
+			rw, ok, _, err := t.readRowAt(rt, h.r, nil, false)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			if !fn(rw) {
+				return nil
+			}
+		}
+		if len(hits) < batch {
+			return nil
+		}
+		start = append(hits[len(hits)-1].key, 0x00) // strictly after the last key
+	}
+}
+
+// LookupAll returns every visible row whose index columns equal vals
+// under the named index (prefix equality; useful for non-unique
+// indexes like customer-by-last-name).
+func (t *Txn) LookupAll(table, index string, vals []row.Value) ([]row.Row, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	rt, err := t.e.table(table)
+	if err != nil {
+		return nil, err
+	}
+	ix := rt.findIndex(index)
+	if ix == nil {
+		return nil, fmt.Errorf("core: no index %q on table %q", index, table)
+	}
+	prefix := row.EncodeKey(nil, vals...)
+	var rids []rid.RID
+	if err := ix.tree.ScanFrom(prefix, func(k []byte, r rid.RID) bool {
+		if !bytes.HasPrefix(k, prefix) {
+			return false
+		}
+		rids = append(rids, r)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	var out []row.Row
+	for _, r0 := range rids {
+		rw, ok, _, err := t.readRowAt(rt, r0, nil, false)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		// Re-verify against the visible image: index entries for
+		// uncommitted key changes are filtered here.
+		k, err := indexKey(ix, rw, r0)
+		if err != nil {
+			return nil, err
+		}
+		if bytes.HasPrefix(k, prefix) {
+			out = append(out, rw)
+		}
+	}
+	return out, nil
+}

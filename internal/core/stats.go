@@ -1,0 +1,130 @@
+package core
+
+import "repro/internal/rid"
+
+// PartitionSnapshot is one partition's observable state, feeding the
+// harness's per-table figures.
+type PartitionSnapshot struct {
+	ID   rid.PartitionID
+	Name string
+
+	// IMRS footprint.
+	IMRSRows  int64
+	IMRSBytes int64
+
+	// Cumulative operation counters.
+	IMRSInserts int64
+	IMRSSelects int64
+	IMRSUpdates int64
+	IMRSDeletes int64
+	PageOps     int64
+	NewRows     int64
+	Migrations  int64
+	Cachings    int64
+	PackedRows  int64
+	PackedBytes int64
+	SkippedHot  int64
+	Contention  int64
+
+	// InsertEnabled reflects the auto-partition-tuning state.
+	InsertEnabled bool
+}
+
+// ReuseOps returns IMRS S+U+D (the paper's reuse operations).
+func (p PartitionSnapshot) ReuseOps() int64 {
+	return p.IMRSSelects + p.IMRSUpdates + p.IMRSDeletes
+}
+
+// IMRSOps returns all operations served by the IMRS.
+func (p PartitionSnapshot) IMRSOps() int64 {
+	return p.IMRSInserts + p.ReuseOps()
+}
+
+// Snapshot is an engine-wide stats snapshot.
+type Snapshot struct {
+	CommitTS uint64
+
+	IMRSUsedBytes int64
+	IMRSCapacity  int64
+	IMRSRows      int64
+
+	RowsPacked  int64
+	BytesPacked int64
+	RowsSkipped int64
+	PackCycles  int64
+
+	TSFTau     uint64
+	TSFLearned int64
+
+	BufferHits    int64
+	BufferMisses  int64
+	LatchWaits    int64
+	GCVersions    int64
+	GCEntries     int64
+	AcceptNewRows bool
+
+	Partitions []PartitionSnapshot
+}
+
+// IMRSHitRate returns the fraction of all row operations served by the
+// IMRS (the paper's "% operations in the IMRS").
+func (s Snapshot) IMRSHitRate() float64 {
+	var imrsOps, pageOps int64
+	for _, p := range s.Partitions {
+		imrsOps += p.IMRSOps()
+		pageOps += p.PageOps
+	}
+	total := imrsOps + pageOps
+	if total == 0 {
+		return 0
+	}
+	return float64(imrsOps) / float64(total)
+}
+
+// Stats collects a consistent-enough snapshot of the engine state.
+func (e *Engine) Stats() Snapshot {
+	s := Snapshot{
+		CommitTS:      e.clock.Now(),
+		IMRSUsedBytes: e.store.Allocator().Used(),
+		IMRSCapacity:  e.store.Allocator().Capacity(),
+		IMRSRows:      e.store.Rows(),
+		RowsPacked:    e.packer.RowsPacked.Load(),
+		BytesPacked:   e.packer.BytesPacked.Load(),
+		RowsSkipped:   e.packer.RowsSkipped.Load(),
+		PackCycles:    e.packer.Cycles.Load(),
+		TSFTau:        e.tsf.Tau(),
+		TSFLearned:    e.tsf.Learned(),
+		BufferHits:    e.pool.Stats().Hits.Load(),
+		BufferMisses:  e.pool.Stats().Misses.Load(),
+		LatchWaits:    e.pool.Stats().LatchWaits.Load(),
+		GCVersions:    e.gc.VersionsFreed.Load(),
+		GCEntries:     e.gc.EntriesFreed.Load(),
+		AcceptNewRows: e.packer.AcceptNewRows(),
+	}
+	for _, ps := range e.ilmReg.All() {
+		st := e.store.Part(ps.ID)
+		snap := PartitionSnapshot{
+			ID:            ps.ID,
+			Name:          ps.Name,
+			IMRSRows:      st.Rows.Load(),
+			IMRSBytes:     st.Bytes.Load(),
+			IMRSInserts:   ps.IMRSInserts.Load(),
+			IMRSSelects:   ps.IMRSSelects.Load(),
+			IMRSUpdates:   ps.IMRSUpdates.Load(),
+			IMRSDeletes:   ps.IMRSDeletes.Load(),
+			PageOps:       ps.PageOps.Load(),
+			NewRows:       ps.NewRows.Load(),
+			Migrations:    ps.Migrations.Load(),
+			Cachings:      ps.Cachings.Load(),
+			PackedRows:    ps.PackedRows.Load(),
+			PackedBytes:   ps.PackedBytes.Load(),
+			SkippedHot:    ps.SkippedHot.Load(),
+			InsertEnabled: ps.Enabled(0),
+		}
+		if ps.ContentionFn != nil {
+			snap.Contention = ps.ContentionFn()
+		}
+		s.Partitions = append(s.Partitions, snap)
+	}
+	return s
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/imrs"
+	"repro/internal/rid"
+	"repro/internal/wal"
+)
+
+// Txn is a transaction. It may touch page-store rows (undo/redo logged
+// in syslogs, applied in place under row locks) and IMRS rows (staged as
+// uncommitted versions, redo-only logged in sysimrslogs at commit).
+//
+// Commit ordering makes the pair of logs crash-atomic: the IMRS records
+// and their IMRSCommit marker flush first (flagged as contingent when
+// the transaction also wrote the page store), then the syslogs records
+// and the Commit marker. Recovery treats a mixed transaction as
+// committed only if the syslogs Commit exists.
+type Txn struct {
+	e    *Engine
+	id   uint64
+	snap uint64
+	done bool
+
+	locks map[rid.RID]struct{}
+
+	sysRecs  []wal.Record
+	imrsRecs []wal.Record
+
+	undo     []func()          // applied in reverse on abort
+	atCommit []func(ts uint64) // applied after the commit decision is durable
+
+	staged     []*imrs.Version // versions to stamp with the commit TS
+	newEntries []*imrs.Entry   // entries to hand to GC queue maintenance
+}
+
+// Begin starts a transaction with a snapshot of the current commit
+// timestamp.
+func (e *Engine) Begin() *Txn {
+	e.ckptMu.RLock()
+	t := &Txn{
+		e:     e,
+		id:    e.nextTxnID.Add(1),
+		snap:  e.clock.Now(),
+		locks: make(map[rid.RID]struct{}),
+	}
+	e.snaps.Register(t.snap)
+	return t
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Snapshot returns the transaction's snapshot timestamp.
+func (t *Txn) Snapshot() uint64 { return t.snap }
+
+// lock acquires (once) the txn-duration exclusive lock on r.
+func (t *Txn) lock(r rid.RID) error {
+	if _, held := t.locks[r]; held {
+		return nil
+	}
+	if err := t.e.locks.Lock(t.id, r); err != nil {
+		return err
+	}
+	t.locks[r] = struct{}{}
+	return nil
+}
+
+// tryLock is the conditional variant (pack integration and caching).
+func (t *Txn) tryLock(r rid.RID) bool {
+	if _, held := t.locks[r]; held {
+		return true
+	}
+	if !t.e.locks.TryLock(t.id, r) {
+		return false
+	}
+	t.locks[r] = struct{}{}
+	return true
+}
+
+func (t *Txn) releaseAll() {
+	for r := range t.locks {
+		t.e.locks.Unlock(t.id, r)
+	}
+	t.locks = nil
+}
+
+func (t *Txn) finish() {
+	t.done = true
+	t.releaseAll()
+	t.e.snaps.Unregister(t.snap)
+	t.e.ckptMu.RUnlock()
+}
+
+// Commit makes the transaction durable and visible.
+func (t *Txn) Commit() error {
+	if t.done {
+		return fmt.Errorf("core: transaction already finished")
+	}
+	hasSys := len(t.sysRecs) > 0
+	hasIMRS := len(t.imrsRecs) > 0
+	if !hasSys && !hasIMRS {
+		// Read-only.
+		t.finish()
+		return nil
+	}
+	ts := t.e.clock.Tick()
+
+	if hasIMRS {
+		aux := uint8(0)
+		if hasSys {
+			aux = 1 // contingent on the syslogs Commit record
+		}
+		for i := range t.imrsRecs {
+			t.imrsRecs[i].TxnID = t.id
+			if _, err := t.e.imrslog.Append(&t.imrsRecs[i]); err != nil {
+				t.rollbackAfterLogError()
+				return err
+			}
+		}
+		cr := wal.Record{Type: wal.RecIMRSCommit, TxnID: t.id, CommitTS: ts, Aux: aux}
+		lsn, err := t.e.imrslog.Append(&cr)
+		if err != nil {
+			t.rollbackAfterLogError()
+			return err
+		}
+		if err := t.e.imrslog.Flush(lsn); err != nil {
+			t.rollbackAfterLogError()
+			return err
+		}
+	}
+	if hasSys {
+		for i := range t.sysRecs {
+			t.sysRecs[i].TxnID = t.id
+			if _, err := t.e.syslog.Append(&t.sysRecs[i]); err != nil {
+				t.rollbackAfterLogError()
+				return err
+			}
+		}
+		cr := wal.Record{Type: wal.RecCommit, TxnID: t.id, CommitTS: ts}
+		lsn, err := t.e.syslog.Append(&cr)
+		if err != nil {
+			t.rollbackAfterLogError()
+			return err
+		}
+		if err := t.e.syslog.Flush(lsn); err != nil {
+			t.rollbackAfterLogError()
+			return err
+		}
+	}
+
+	// The decision is durable: publish.
+	for _, v := range t.staged {
+		t.e.store.Commit(v, ts)
+	}
+	for _, fn := range t.atCommit {
+		fn(ts)
+	}
+	for _, en := range t.newEntries {
+		en.Touch(ts)
+		t.e.gc.NewRow(en)
+	}
+	t.finish()
+	return nil
+}
+
+// rollbackAfterLogError unwinds in-memory state when a log write failed
+// mid-commit (the decision never became durable).
+func (t *Txn) rollbackAfterLogError() {
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		t.undo[i]()
+	}
+	t.finish()
+}
+
+// Abort undoes the transaction.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		t.undo[i]()
+	}
+	t.finish()
+}

@@ -1,0 +1,12 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/catalog"
+)
+
+func sleepMs(n int) { time.Sleep(time.Duration(n) * time.Millisecond) }
+
+// catalogSpecNone returns the default single-partition spec.
+func catalogSpecNone() catalog.PartitionSpec { return catalog.PartitionSpec{} }

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// BaselinePoint is one row of the page-store-baseline comparison.
+type BaselinePoint struct {
+	Mode Mode
+	TPM  float64
+	// GainVsPageOnly is TPM / page-only TPM.
+	GainVsPageOnly float64
+	IMRSHitRate    float64
+}
+
+// Baseline reproduces the reference point Figure 1's caption defines:
+// "the TPM gain is as compared to a baseline TPCC run on the page-store
+// with the database fully-cached in the buffer cache". It runs the
+// workload in three modes — page-store only, hybrid with ILM, and fully
+// in-memory — and reports each mode's gain over the page-only baseline.
+// Optional device latency (Options.ReadLatency/WriteLatency) widens the
+// gap the way real disks under the paper's buffer cache would.
+func Baseline(w io.Writer, opts Options) ([]BaselinePoint, error) {
+	modes := []Mode{ModePageOnly, ModeILMOn, ModeILMOff}
+	points := make([]BaselinePoint, 0, len(modes))
+	for _, m := range modes {
+		r, err := RunMode(opts, m)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, BaselinePoint{
+			Mode:        m,
+			TPM:         r.TPM,
+			IMRSHitRate: r.Final.IMRSHitRate(),
+		})
+	}
+	base := points[0].TPM
+	for i := range points {
+		if base > 0 {
+			points[i].GainVsPageOnly = points[i].TPM / base
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "BASELINE: TPM GAIN VS PAGE-STORE-ONLY (Fig. 1 reference point)")
+	fmt.Fprintln(tw, "mode\tTPM\tgain\tIMRS-hit%")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%v\t%.0f\t%.2fx\t%.1f\n", p.Mode, p.TPM, p.GainVsPageOnly, p.IMRSHitRate*100)
+	}
+	tw.Flush()
+	return points, nil
+}

@@ -1,0 +1,98 @@
+// Package ilm implements the paper's Information Life-cycle Management
+// policies: per-partition workload monitoring on striped counters
+// (Section V-A), auto IMRS partition tuning with hysteresis (Sections
+// V-B..D), the learned Timestamp Filter for row hotness (Section VI-D),
+// and the Usefulness / Cache-Utilization / Packability indexes that
+// apportion pack-cycle bytes across partitions (Section VI-C).
+package ilm
+
+// Config collects every ILM and Pack tunable. The zero value is not
+// usable; call DefaultConfig and override fields.
+type Config struct {
+	// SteadyCacheUtilization is the target IMRS utilization fraction the
+	// pack subsystem defends (paper: "e.g. 70%").
+	SteadyCacheUtilization float64
+
+	// PackCyclePct is the fraction of current cache utilization a single
+	// pack cycle tries to release (NumBytesToPack).
+	PackCyclePct float64
+
+	// TSFLearnPct is the "small percentage" of utilization growth used to
+	// learn the timestamp filter (paper: 1–5%).
+	TSFLearnPct float64
+
+	// InitialTSF seeds the timestamp filter before the first learning
+	// cycle completes, in commit-timestamp ticks.
+	InitialTSF uint64
+
+	// MinReuseRateForTSF: partitions whose reuse rate (reuse ops per IMRS
+	// row) is below this do not get the TSF hotness shield — their rows
+	// pack regardless of recency (paper Section VI-D.2).
+	MinReuseRateForTSF float64
+
+	// TuningWindowTxns is the number of committed transactions between
+	// auto-partition-tuning evaluations.
+	TuningWindowTxns uint64
+
+	// HysteresisWindows is how many consecutive windows must agree before
+	// a partition's IMRS enablement flips (paper Section V-B).
+	HysteresisWindows int
+
+	// DisableAvgReuse: a partition whose per-window reuse ops per IMRS
+	// row fall below this is a disable candidate (paper Section V-C).
+	DisableAvgReuse float64
+
+	// MinPartitionFootprintPct: partitions using less than this fraction
+	// of the IMRS cache are never disabled (paper Section V-C).
+	MinPartitionFootprintPct float64
+
+	// MinCacheUtilForTuning: no partition is disabled while overall cache
+	// utilization is below this fraction (paper Section V-C).
+	MinCacheUtilForTuning float64
+
+	// MinNewRowsForDisable: slow-growing partitions (fewer new IMRS rows
+	// than this per window) are not disabled (paper Section V-C).
+	MinNewRowsForDisable int64
+
+	// EnableContentionThreshold: page-store latch contention events per
+	// window that re-enable a disabled partition (paper Section V-D).
+	EnableContentionThreshold int64
+
+	// EnableReuseFactor: a disabled partition whose window reuse grows by
+	// this factor over its reuse at disable time is re-enabled.
+	EnableReuseFactor float64
+
+	// AggressiveFraction positions the aggressive-pack watermark between
+	// the steady threshold and full capacity (paper Section VI-A: "more
+	// than half the difference", i.e. 0.5).
+	AggressiveFraction float64
+}
+
+// DefaultConfig returns the paper-inspired defaults.
+func DefaultConfig() Config {
+	return Config{
+		SteadyCacheUtilization:    0.70,
+		PackCyclePct:              0.05,
+		TSFLearnPct:               0.02,
+		InitialTSF:                2000,
+		MinReuseRateForTSF:        0.5,
+		TuningWindowTxns:          20000,
+		HysteresisWindows:         2,
+		DisableAvgReuse:           0.5,
+		MinPartitionFootprintPct:  0.01,
+		MinCacheUtilForTuning:     0.50,
+		MinNewRowsForDisable:      100,
+		EnableContentionThreshold: 100,
+		EnableReuseFactor:         2.0,
+	}
+}
+
+// AggressiveWatermark returns the utilization fraction beyond which pack
+// switches to aggressive mode for the given config.
+func (c Config) AggressiveWatermark() float64 {
+	f := c.AggressiveFraction
+	if f <= 0 {
+		f = 0.5
+	}
+	return c.SteadyCacheUtilization + f*(1-c.SteadyCacheUtilization)
+}

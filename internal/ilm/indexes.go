@@ -1,0 +1,112 @@
+package ilm
+
+import "repro/internal/rid"
+
+// PartSample is one partition's inputs to the pack-cycle byte
+// distribution (paper Section VI-C).
+type PartSample struct {
+	ID       rid.PartitionID
+	ReuseOps int64 // SUD ops on the partition's IMRS rows in the window
+	MemBytes int64 // current IMRS footprint
+	Rows     int64 // current IMRS row count
+}
+
+// PartShare is the output: the pack byte target for one partition.
+type PartShare struct {
+	ID  rid.PartitionID
+	UI  float64 // Usefulness Index
+	CUI float64 // Cache Utilization Index
+	PI  float64 // Packability Index
+	// PackBytes is this partition's slice of NumBytesToPack.
+	PackBytes int64
+	// ReuseRate = ReuseOps / Rows, used for the TSF bypass.
+	ReuseRate float64
+}
+
+// Apportion computes UI, CUI and PI for every partition with IMRS
+// footprint and distributes numBytesToPack in proportion to PI:
+//
+//	UI_ρ  = SUD_ρ / Σ SUD
+//	CUI_ρ = mem_ρ / Σ mem
+//	PI_ρ  = (CUI_ρ/UI_ρ) / Σ (CUI/UI)
+//	PACK_BYTES_ρ = PI_ρ × numBytesToPack
+//
+// Partitions with zero footprint are dropped (nothing to pack). A
+// partition with zero reuse gets an epsilon UI, so large unused
+// partitions are taxed heavily — the paper's design intent.
+func Apportion(samples []PartSample, numBytesToPack int64) []PartShare {
+	var sumReuse, sumMem int64
+	for _, s := range samples {
+		if s.MemBytes <= 0 {
+			continue
+		}
+		sumReuse += s.ReuseOps
+		sumMem += s.MemBytes
+	}
+	if sumMem == 0 || numBytesToPack <= 0 {
+		return nil
+	}
+	// Epsilon keeps zero-reuse partitions finite but maximally packable.
+	eps := 1.0 / float64(sumReuse+1)
+
+	shares := make([]PartShare, 0, len(samples))
+	sumRatio := 0.0
+	for _, s := range samples {
+		if s.MemBytes <= 0 {
+			continue
+		}
+		ui := float64(s.ReuseOps) / float64(sumReuse+1)
+		if ui <= 0 {
+			ui = eps
+		}
+		cui := float64(s.MemBytes) / float64(sumMem)
+		rows := s.Rows
+		if rows < 1 {
+			rows = 1
+		}
+		shares = append(shares, PartShare{
+			ID: s.ID, UI: ui, CUI: cui,
+			ReuseRate: float64(s.ReuseOps) / float64(rows),
+		})
+		sumRatio += cui / ui
+	}
+	if sumRatio == 0 {
+		return nil
+	}
+	for i := range shares {
+		shares[i].PI = (shares[i].CUI / shares[i].UI) / sumRatio
+		shares[i].PackBytes = int64(shares[i].PI * float64(numBytesToPack))
+	}
+	return shares
+}
+
+// UniformApportion is the naive baseline the paper argues against
+// (Section VI-C): bytes split evenly across partitions regardless of
+// usefulness. Kept for the ablation benchmark.
+func UniformApportion(samples []PartSample, numBytesToPack int64) []PartShare {
+	n := 0
+	for _, s := range samples {
+		if s.MemBytes > 0 {
+			n++
+		}
+	}
+	if n == 0 || numBytesToPack <= 0 {
+		return nil
+	}
+	per := numBytesToPack / int64(n)
+	shares := make([]PartShare, 0, n)
+	for _, s := range samples {
+		if s.MemBytes <= 0 {
+			continue
+		}
+		rows := s.Rows
+		if rows < 1 {
+			rows = 1
+		}
+		shares = append(shares, PartShare{
+			ID: s.ID, PackBytes: per,
+			ReuseRate: float64(s.ReuseOps) / float64(rows),
+		})
+	}
+	return shares
+}

@@ -1,0 +1,135 @@
+package ilm
+
+import (
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/rid"
+)
+
+// OpClass distinguishes the three ways rows enter the IMRS; auto
+// partition tuning can disable each independently.
+type OpClass uint8
+
+// Op classes.
+const (
+	OpInsert  OpClass = iota // fresh inserts
+	OpMigrate                // updates migrating page-store rows in
+	OpCache                  // selects caching page-store rows in
+	numOpClasses
+)
+
+// PartitionState is the per-partition monitoring and tuning block. All
+// hot-path counters are striped (Section V-A); the tuner reads window
+// deltas off the hot path.
+type PartitionState struct {
+	ID   rid.PartitionID
+	Name string
+
+	// IMRS operation counters: ops that touched IMRS-resident rows.
+	IMRSInserts metrics.Counter
+	IMRSSelects metrics.Counter
+	IMRSUpdates metrics.Counter
+	IMRSDeletes metrics.Counter
+
+	// Page-store operation counters. PageOps counts every page-store
+	// operation; PageReuseOps counts only selects/updates/deletes (the
+	// paper's "reuse" classes — inserts are not reuse, so an insert-only
+	// firehose on the page store must not look like renewed demand).
+	PageOps      metrics.Counter
+	PageReuseOps metrics.Counter
+
+	// NewRows counts rows entering the IMRS (inserts + migrations +
+	// cachings); Migrations/Cachings break the latter two out.
+	NewRows    metrics.Counter
+	Migrations metrics.Counter
+	Cachings   metrics.Counter
+
+	// Pack outcome counters.
+	PackedRows  metrics.Counter
+	PackedBytes metrics.Counter
+	SkippedHot  metrics.Counter
+
+	// ContentionFn reads the partition's page-latch contention counter
+	// (wired to the heap by the engine); may be nil.
+	ContentionFn func() int64
+
+	enabled [numOpClasses]atomic.Bool
+
+	// Tuner-private window state.
+	prev           windowCounters
+	disableStreak  int
+	enableStreak   int
+	disabledReuse  int64 // window reuse observed when the partition was disabled
+	everDisabled   bool
+	flips          atomic.Int64 // total enable/disable transitions (tests, harness)
+	pinnedEnabled  bool         // user override: never disable (future-work knob)
+	pinnedDisabled bool         // user override: never enable
+}
+
+type windowCounters struct {
+	reuse      int64 // IMRS S+U+D
+	newRows    int64
+	contention int64
+	pageOps    int64
+	pageReuse  int64 // page-store S+U+D
+}
+
+func (p *PartitionState) snapshotCounters() windowCounters {
+	w := windowCounters{
+		reuse:     p.IMRSSelects.Load() + p.IMRSUpdates.Load() + p.IMRSDeletes.Load(),
+		newRows:   p.NewRows.Load(),
+		pageOps:   p.PageOps.Load(),
+		pageReuse: p.PageReuseOps.Load(),
+	}
+	if p.ContentionFn != nil {
+		w.contention = p.ContentionFn()
+	}
+	return w
+}
+
+// ReuseOps returns cumulative IMRS reuse operations (S+U+D).
+func (p *PartitionState) ReuseOps() int64 {
+	return p.IMRSSelects.Load() + p.IMRSUpdates.Load() + p.IMRSDeletes.Load()
+}
+
+// Enabled reports whether the op class may bring rows into the IMRS.
+func (p *PartitionState) Enabled(op OpClass) bool { return p.enabled[op].Load() }
+
+// SetEnabled flips one op class (used by the tuner and by tests).
+func (p *PartitionState) SetEnabled(op OpClass, v bool) { p.enabled[op].Store(v) }
+
+// SetAllEnabled flips every op class at once.
+func (p *PartitionState) SetAllEnabled(v bool) {
+	for i := range p.enabled {
+		p.enabled[i].Store(v)
+	}
+}
+
+// Pin applies a user override: enabled pins the partition in-memory
+// (tuner never disables it); disabled pins it out (never enabled). The
+// paper's conclusion sketches exactly this "fully in-memory table"
+// user configuration.
+func (p *PartitionState) Pin(enabled bool) {
+	if enabled {
+		p.pinnedEnabled, p.pinnedDisabled = true, false
+		p.SetAllEnabled(true)
+	} else {
+		p.pinnedEnabled, p.pinnedDisabled = false, true
+		p.SetAllEnabled(false)
+	}
+}
+
+// Unpin removes any user override, returning control to the tuner with
+// the default (fully enabled) state.
+func (p *PartitionState) Unpin() {
+	p.pinnedEnabled, p.pinnedDisabled = false, false
+	p.SetAllEnabled(true)
+}
+
+// PinnedInMemory reports a user pin-in override; the pack subsystem
+// skips such partitions entirely (fully memory-resident tables).
+func (p *PartitionState) PinnedInMemory() bool { return p.pinnedEnabled }
+
+// Flips returns the number of tuner enable/disable transitions.
+func (p *PartitionState) Flips() int64 { return p.flips.Load() }

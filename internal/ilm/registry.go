@@ -1,0 +1,51 @@
+package ilm
+
+import (
+	"sync"
+
+	"repro/internal/rid"
+)
+
+// Registry holds the PartitionState for every partition the engine has
+// registered. Partitions default to fully IMRS-enabled; the tuner
+// narrows that based on the workload.
+type Registry struct {
+	mu    sync.RWMutex
+	parts map[rid.PartitionID]*PartitionState
+	order []*PartitionState
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{parts: make(map[rid.PartitionID]*PartitionState)}
+}
+
+// Register creates (or returns the existing) state for a partition.
+func (r *Registry) Register(id rid.PartitionID, name string) *PartitionState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.parts[id]; ok {
+		return p
+	}
+	p := &PartitionState{ID: id, Name: name}
+	p.SetAllEnabled(true)
+	r.parts[id] = p
+	r.order = append(r.order, p)
+	return p
+}
+
+// Get returns the state for id, or nil.
+func (r *Registry) Get(id rid.PartitionID) *PartitionState {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.parts[id]
+}
+
+// All returns the partitions in registration order.
+func (r *Registry) All() []*PartitionState {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*PartitionState, len(r.order))
+	copy(out, r.order)
+	return out
+}

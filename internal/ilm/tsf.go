@@ -1,0 +1,95 @@
+package ilm
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// TSF is the learned Timestamp Filter of paper Section VI-D. It
+// approximates Ʈ, the number of transactions that grow IMRS utilization
+// by the steady-cache-utilization percentage: a row accessed within the
+// last Ʈ commits is hot and should not be packed.
+//
+// Learning observes (utilization, commit-ts) pairs: when utilization has
+// grown by TSFLearnPct of capacity since the cycle started,
+//
+//	Ʈ = (C1 − C0) × SteadyCacheUtilization / TSFLearnPct
+//
+// and a new learning cycle begins, so the filter re-adapts as the
+// workload changes.
+type TSF struct {
+	cfg      Config
+	capacity int64
+
+	tau atomic.Uint64
+
+	mu        sync.Mutex
+	startUtil int64
+	startTS   uint64
+	started   bool
+	learned   atomic.Int64 // completed learning cycles (tests, harness)
+}
+
+// NewTSF creates a filter for an IMRS cache of capacityBytes.
+func NewTSF(cfg Config, capacityBytes int64) *TSF {
+	t := &TSF{cfg: cfg, capacity: capacityBytes}
+	t.tau.Store(cfg.InitialTSF)
+	return t
+}
+
+// Tau returns the current filter value in commit-timestamp ticks.
+func (t *TSF) Tau() uint64 { return t.tau.Load() }
+
+// Learned returns how many learning cycles have completed.
+func (t *TSF) Learned() int64 { return t.learned.Load() }
+
+// Observe feeds a (used bytes, commit ts) sample; the pack loop calls it
+// periodically. Observation is cheap and may be called often.
+func (t *TSF) Observe(usedBytes int64, nowTS uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		t.startUtil = usedBytes
+		t.startTS = nowTS
+		t.started = true
+		return
+	}
+	if usedBytes < t.startUtil {
+		// Pack reclaimed memory past our baseline; restart the cycle so
+		// growth is measured from the new floor.
+		t.startUtil = usedBytes
+		t.startTS = nowTS
+		return
+	}
+	need := int64(t.cfg.TSFLearnPct * float64(t.capacity))
+	if need <= 0 {
+		need = 1
+	}
+	if usedBytes-t.startUtil < need {
+		return
+	}
+	dt := nowTS - t.startTS
+	if dt == 0 {
+		dt = 1
+	}
+	tau := uint64(float64(dt) * t.cfg.SteadyCacheUtilization / t.cfg.TSFLearnPct)
+	if tau == 0 {
+		tau = 1
+	}
+	t.tau.Store(tau)
+	t.learned.Add(1)
+	// Immediately begin the next cycle from here.
+	t.startUtil = usedBytes
+	t.startTS = nowTS
+}
+
+// RowIsCold applies the filter: a row whose last access is more than Ʈ
+// commits old is cold. Partitions with very low reuse rate bypass the
+// filter entirely — their rows pack regardless of recency (Section
+// VI-D.2, frequency of access).
+func (t *TSF) RowIsCold(nowTS, lastAccessTS uint64, partReuseRate float64) bool {
+	if partReuseRate < t.cfg.MinReuseRateForTSF {
+		return true
+	}
+	return nowTS-lastAccessTS > t.tau.Load()
+}

@@ -1,0 +1,163 @@
+package ilm
+
+import (
+	"sync"
+
+	"repro/internal/rid"
+)
+
+// PartitionUsage is the IMRS footprint snapshot the tuner and the pack
+// apportionment need per partition; the engine supplies it from the IMRS
+// store's accounting.
+type PartitionUsage struct {
+	Rows  int64
+	Bytes int64
+}
+
+// UsageFn resolves a partition's current IMRS footprint.
+type UsageFn func(rid.PartitionID) PartitionUsage
+
+// Decision records one tuner action, for tests and the harness.
+type Decision struct {
+	Partition rid.PartitionID
+	Name      string
+	Enabled   bool // the new state
+	Reason    string
+}
+
+// Tuner implements auto IMRS partition tuning (paper Section V). The
+// pack background thread drives it once per tuning window; it examines
+// window deltas of the monitoring counters and flips per-partition IMRS
+// enablement with hysteresis.
+type Tuner struct {
+	cfg      Config
+	reg      *Registry
+	usage    UsageFn
+	capacity int64
+
+	mu        sync.Mutex
+	decisions []Decision
+}
+
+// NewTuner builds a tuner over the registry. capacityBytes is the IMRS
+// cache size; usage resolves live per-partition footprints.
+func NewTuner(cfg Config, reg *Registry, capacityBytes int64, usage UsageFn) *Tuner {
+	return &Tuner{cfg: cfg, reg: reg, usage: usage, capacity: capacityBytes}
+}
+
+// Decisions drains the recorded decisions.
+func (t *Tuner) Decisions() []Decision {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.decisions
+	t.decisions = nil
+	return out
+}
+
+func (t *Tuner) record(p *PartitionState, enabled bool, reason string) {
+	p.flips.Add(1)
+	t.mu.Lock()
+	t.decisions = append(t.decisions, Decision{Partition: p.ID, Name: p.Name, Enabled: enabled, Reason: reason})
+	t.mu.Unlock()
+}
+
+// RunWindow evaluates one tuning window across all partitions.
+// usedBytes is the current total IMRS utilization.
+func (t *Tuner) RunWindow(usedBytes int64) {
+	cacheUtil := float64(usedBytes) / float64(t.capacity)
+	for _, p := range t.reg.All() {
+		cur := p.snapshotCounters()
+		delta := windowCounters{
+			reuse:      cur.reuse - p.prev.reuse,
+			newRows:    cur.newRows - p.prev.newRows,
+			contention: cur.contention - p.prev.contention,
+			pageOps:    cur.pageOps - p.prev.pageOps,
+			pageReuse:  cur.pageReuse - p.prev.pageReuse,
+		}
+		p.prev = cur
+
+		if p.pinnedEnabled || p.pinnedDisabled {
+			continue
+		}
+		u := t.usage(p.ID)
+		if p.Enabled(OpInsert) || p.Enabled(OpMigrate) || p.Enabled(OpCache) {
+			t.considerDisable(p, delta, u, cacheUtil)
+		} else {
+			t.considerEnable(p, delta)
+		}
+	}
+}
+
+// considerDisable applies the Section V-C heuristics. All guards must
+// hold for HysteresisWindows consecutive windows before disabling.
+func (t *Tuner) considerDisable(p *PartitionState, d windowCounters, u PartitionUsage, cacheUtil float64) {
+	p.enableStreak = 0
+
+	// Guard: plenty of free IMRS memory → never disable.
+	if cacheUtil < t.cfg.MinCacheUtilForTuning {
+		p.disableStreak = 0
+		return
+	}
+	// Guard: tiny footprint → not worth disabling.
+	if float64(u.Bytes) < t.cfg.MinPartitionFootprintPct*float64(t.capacity) {
+		p.disableStreak = 0
+		return
+	}
+	// Guard: slow-growing partition → leave enabled (it may only be
+	// active during some intervals).
+	if d.newRows < t.cfg.MinNewRowsForDisable {
+		p.disableStreak = 0
+		return
+	}
+	// Trigger: low average reuse of the partition's IMRS rows.
+	rows := u.Rows
+	if rows < 1 {
+		rows = 1
+	}
+	avgReuse := float64(d.reuse) / float64(rows)
+	if avgReuse >= t.cfg.DisableAvgReuse {
+		p.disableStreak = 0
+		return
+	}
+	p.disableStreak++
+	if p.disableStreak < t.cfg.HysteresisWindows {
+		return
+	}
+	p.disableStreak = 0
+	p.disabledReuse = d.reuse
+	p.everDisabled = true
+	p.SetAllEnabled(false)
+	t.record(p, false, "low average reuse")
+}
+
+// considerEnable applies the Section V-D heuristics for HysteresisWindows
+// consecutive windows.
+func (t *Tuner) considerEnable(p *PartitionState, d windowCounters) {
+	p.disableStreak = 0
+
+	contended := d.contention >= t.cfg.EnableContentionThreshold
+	base := p.disabledReuse
+	if base < 1 {
+		base = 1
+	}
+	// Once disabled, the partition's reuse shows up as page-store
+	// selects/updates/deletes; count those (but not inserts) when judging
+	// a reuse increase.
+	activity := d.reuse + d.pageReuse
+	reuseJump := float64(activity) >= t.cfg.EnableReuseFactor*float64(base)
+	if !contended && !reuseJump {
+		p.enableStreak = 0
+		return
+	}
+	p.enableStreak++
+	if p.enableStreak < t.cfg.HysteresisWindows {
+		return
+	}
+	p.enableStreak = 0
+	p.SetAllEnabled(true)
+	reason := "page-store contention"
+	if reuseJump && !contended {
+		reason = "reuse increase"
+	}
+	t.record(p, true, reason)
+}

@@ -1,0 +1,96 @@
+package imrs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestAllocatorAccountingProperty: for any sequence of allocs and frees,
+// the allocator's Used() equals the sum of class sizes of outstanding
+// fragments, and frees return exactly what was accounted.
+func TestAllocatorAccountingProperty(t *testing.T) {
+	f := func(seed int64, ops []uint16) bool {
+		a := NewAllocator(8 << 20)
+		rng := rand.New(rand.NewSource(seed))
+		var live []*Fragment
+		var expect int64
+		for _, op := range ops {
+			if op%3 != 0 && len(live) > 0 { // free
+				i := rng.Intn(len(live))
+				expect -= int64(live[i].Size())
+				a.Free(live[i])
+				live = append(live[:i], live[i+1:]...)
+			} else { // alloc
+				size := 1 + int(op%4000)
+				frag, err := a.Alloc(make([]byte, size))
+				if err != nil {
+					return false
+				}
+				if frag.Size() < size {
+					return false // class below request
+				}
+				if len(frag.Bytes()) != size {
+					return false // payload length wrong
+				}
+				expect += int64(frag.Size())
+				live = append(live, frag)
+			}
+			if a.Used() != expect {
+				return false
+			}
+		}
+		for _, frag := range live {
+			a.Free(frag)
+		}
+		return a.Used() == 0
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVisibilityMonotoneProperty: for any chain of committed versions at
+// increasing timestamps, Visible(snap) returns the newest version with
+// commitTS <= snap, for every snap.
+func TestVisibilityMonotoneProperty(t *testing.T) {
+	f := func(nVersions uint8, probes []uint8) bool {
+		n := int(nVersions%8) + 1
+		s := NewStore(1 << 20)
+		e, err := s.CreateEntry(1, 0, OriginInserted, []byte{0}, 1)
+		if err != nil {
+			return false
+		}
+		s.Commit(e.Head(), 1) // version i committed at ts i+1, payload {i}
+		for i := 1; i < n; i++ {
+			v, err := s.AddVersion(e, []byte{byte(i)}, uint64(i+1))
+			if err != nil {
+				return false
+			}
+			s.Commit(v, uint64(i+1))
+		}
+		for _, p := range probes {
+			snap := uint64(p % 12)
+			v := e.Visible(snap, 0)
+			switch {
+			case snap == 0:
+				if v != nil {
+					return false
+				}
+			case snap >= uint64(n):
+				if v == nil || v.Data()[0] != byte(n-1) {
+					return false
+				}
+			default:
+				if v == nil || v.Data()[0] != byte(snap-1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

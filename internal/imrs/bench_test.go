@@ -1,0 +1,57 @@
+package imrs
+
+import (
+	"testing"
+
+	"repro/internal/rid"
+)
+
+func BenchmarkAllocFree(b *testing.B) {
+	a := NewAllocator(1 << 30)
+	data := make([]byte, 200)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			f, err := a.Alloc(data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a.Free(f)
+		}
+	})
+}
+
+func BenchmarkVersionChainRead(b *testing.B) {
+	s := NewStore(1 << 20)
+	e, err := s.CreateEntry(rid.NewVirtual(1, 1), 1, OriginInserted, []byte("payload"), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Commit(e.Head(), 1)
+	for i := uint64(2); i <= 4; i++ {
+		v, err := s.AddVersion(e, []byte("payload"), i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Commit(v, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := e.Visible(2, 0); v == nil {
+			b.Fatal("version lost")
+		}
+	}
+}
+
+func BenchmarkQueuePushPop(b *testing.B) {
+	var q Queue
+	entries := make([]*Entry, 1024)
+	for i := range entries {
+		entries[i] = &Entry{RID: rid.NewVirtual(1, uint64(i))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := entries[i%len(entries)]
+		q.PushTail(e)
+		q.PopHead()
+	}
+}

@@ -1,0 +1,321 @@
+package imrs
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSizeClassesMonotone(t *testing.T) {
+	for i := 1; i < len(sizeClasses); i++ {
+		if sizeClasses[i] <= sizeClasses[i-1] {
+			t.Fatalf("classes not increasing at %d: %v", i, sizeClasses[i-1:i+1])
+		}
+	}
+	if sizeClasses[len(sizeClasses)-1] != maxFragment {
+		t.Fatalf("last class %d != max %d", sizeClasses[len(sizeClasses)-1], maxFragment)
+	}
+}
+
+func TestClassForProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		size := int(n)
+		if size == 0 {
+			size = 1
+		}
+		_, cls, err := classFor(size)
+		if err != nil {
+			return false
+		}
+		return cls >= size && cls <= maxFragment
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := classFor(maxFragment + 1); err == nil {
+		t.Fatal("oversized classFor should fail")
+	}
+}
+
+func TestAllocFreeAccounting(t *testing.T) {
+	a := NewAllocator(1 << 20)
+	f1, err := a.Alloc(bytes.Repeat([]byte("x"), 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f1.Bytes()) != string(bytes.Repeat([]byte("x"), 100)) {
+		t.Fatal("fragment content wrong")
+	}
+	if f1.Size() < 100 {
+		t.Fatal("class size below request")
+	}
+	used := a.Used()
+	if used != int64(f1.Size()) {
+		t.Fatalf("Used = %d, want %d", used, f1.Size())
+	}
+	a.Free(f1)
+	if a.Used() != 0 {
+		t.Fatalf("Used after free = %d", a.Used())
+	}
+	// Freed fragment is recycled for a same-class alloc on the same shard;
+	// allocate many to make recycling overwhelmingly likely regardless of
+	// shard hints.
+	for i := 0; i < 100; i++ {
+		f, err := a.Alloc(make([]byte, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Free(f)
+	}
+}
+
+func TestAllocCapacityEnforced(t *testing.T) {
+	a := NewAllocator(1024)
+	var frags []*Fragment
+	for {
+		f, err := a.Alloc(make([]byte, 200))
+		if err == ErrCacheFull {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		frags = append(frags, f)
+	}
+	if len(frags) == 0 {
+		t.Fatal("nothing allocated")
+	}
+	if a.Used() > 1024 {
+		t.Fatalf("Used %d exceeds capacity", a.Used())
+	}
+	a.Free(frags[0])
+	if _, err := a.Alloc(make([]byte, 200)); err != nil {
+		t.Fatalf("alloc after free failed: %v", err)
+	}
+}
+
+func TestAllocTooLarge(t *testing.T) {
+	a := NewAllocator(1 << 30)
+	if _, err := a.Alloc(make([]byte, maxFragment+1)); err == nil {
+		t.Fatal("oversized alloc should fail")
+	}
+}
+
+func TestAllocConcurrent(t *testing.T) {
+	a := NewAllocator(64 << 20)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var held []*Fragment
+			for i := 0; i < 2000; i++ {
+				if len(held) > 0 && rng.Intn(2) == 0 {
+					n := rng.Intn(len(held))
+					a.Free(held[n])
+					held = append(held[:n], held[n+1:]...)
+					continue
+				}
+				data := make([]byte, 1+rng.Intn(2000))
+				for j := range data {
+					data[j] = byte(seed)
+				}
+				f, err := a.Alloc(data)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				held = append(held, f)
+			}
+			for _, f := range held {
+				for _, b := range f.Bytes() {
+					if b != byte(seed) {
+						t.Error("fragment content corrupted across goroutines")
+						return
+					}
+				}
+				a.Free(f)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if a.Used() != 0 {
+		t.Fatalf("leaked %d bytes", a.Used())
+	}
+}
+
+func TestEntryVisibility(t *testing.T) {
+	s := NewStore(1 << 20)
+	e, err := s.CreateEntry(1, 0, OriginInserted, []byte("v1"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted: invisible to others, visible to self.
+	if got := e.Visible(10, 0); got != nil {
+		t.Fatal("uncommitted version visible to stranger")
+	}
+	if got := e.Visible(10, 100); got == nil || string(got.Data()) != "v1" {
+		t.Fatal("own uncommitted version not visible to self")
+	}
+	s.Commit(e.Head(), 5)
+	if got := e.Visible(4, 0); got != nil {
+		t.Fatal("future version visible to old snapshot")
+	}
+	if got := e.Visible(5, 0); got == nil || string(got.Data()) != "v1" {
+		t.Fatal("committed version invisible at its TS")
+	}
+
+	// New version by txn 200.
+	v2, err := s.AddVersion(e, []byte("v2"), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Visible(9, 0); got == nil || string(got.Data()) != "v1" {
+		t.Fatal("readers should still see v1")
+	}
+	s.Commit(v2, 8)
+	if got := e.Visible(9, 0); got == nil || string(got.Data()) != "v2" {
+		t.Fatal("readers at 9 should see v2")
+	}
+	if got := e.Visible(7, 0); got == nil || string(got.Data()) != "v1" {
+		t.Fatal("readers at 7 should see v1")
+	}
+
+	// Tombstone.
+	v3 := s.AddTombstone(e, 300)
+	s.Commit(v3, 12)
+	if got := e.Visible(12, 0); got != nil {
+		t.Fatal("deleted row visible")
+	}
+	if got := e.Visible(11, 0); got == nil || string(got.Data()) != "v2" {
+		t.Fatal("pre-delete snapshot should see v2")
+	}
+}
+
+func TestAbortVersion(t *testing.T) {
+	s := NewStore(1 << 20)
+	e, err := s.CreateEntry(1, 2, OriginMigrated, []byte("v1"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Commit(e.Head(), 5)
+	bytesBefore := s.Part(2).Bytes.Load()
+
+	v2, err := s.AddVersion(e, []byte("v2-bigger-than-v1"), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if still := s.AbortVersion(e, v2); !still {
+		t.Fatal("entry should survive aborting a non-first version")
+	}
+	if got := e.Visible(10, 0); got == nil || string(got.Data()) != "v1" {
+		t.Fatal("abort did not restore v1")
+	}
+	if s.Part(2).Bytes.Load() != bytesBefore {
+		t.Fatal("abort leaked partition bytes")
+	}
+
+	// Abort of an insert's first version removes the entry.
+	e2, err := s.CreateEntry(2, 2, OriginInserted, []byte("x"), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := s.Part(2).Rows.Load()
+	if still := s.AbortVersion(e2, e2.Head()); still {
+		t.Fatal("insert abort should empty the entry")
+	}
+	if s.Part(2).Rows.Load() != rows-1 {
+		t.Fatal("insert abort did not drop row count")
+	}
+}
+
+func TestRemoveEntryReleasesAll(t *testing.T) {
+	s := NewStore(1 << 20)
+	e, _ := s.CreateEntry(1, 0, OriginInserted, []byte("v1"), 1)
+	s.Commit(e.Head(), 1)
+	v2, _ := s.AddVersion(e, []byte("v2"), 2)
+	s.Commit(v2, 2)
+	if s.Allocator().Used() == 0 {
+		t.Fatal("expected usage")
+	}
+	s.RemoveEntry(e)
+	if s.Allocator().Used() != 0 {
+		t.Fatalf("RemoveEntry leaked %d bytes", s.Allocator().Used())
+	}
+	if s.Rows() != 0 || s.Part(0).Rows.Load() != 0 || s.Part(0).Bytes.Load() != 0 {
+		t.Fatal("accounting not zeroed")
+	}
+}
+
+func TestTouchMonotone(t *testing.T) {
+	e := &Entry{}
+	e.Touch(5)
+	e.Touch(3)
+	if e.LastAccess() != 5 {
+		t.Fatalf("LastAccess = %d, want 5", e.LastAccess())
+	}
+	e.Touch(9)
+	if e.LastAccess() != 9 {
+		t.Fatalf("LastAccess = %d, want 9", e.LastAccess())
+	}
+}
+
+func TestMarkPackedOnce(t *testing.T) {
+	e := &Entry{}
+	if !e.MarkPacked() {
+		t.Fatal("first MarkPacked should win")
+	}
+	if e.MarkPacked() {
+		t.Fatal("second MarkPacked should lose")
+	}
+	if !e.Packed() {
+		t.Fatal("Packed should be true")
+	}
+}
+
+func TestLiveBytes(t *testing.T) {
+	s := NewStore(1 << 20)
+	e, _ := s.CreateEntry(1, 0, OriginInserted, make([]byte, 100), 1)
+	s.Commit(e.Head(), 1)
+	v2, _ := s.AddVersion(e, make([]byte, 200), 2)
+	s.Commit(v2, 2)
+	want := s.Part(0).Bytes.Load()
+	if int64(e.LiveBytes()) != want {
+		t.Fatalf("LiveBytes = %d, partition bytes = %d", e.LiveBytes(), want)
+	}
+}
+
+func TestConcurrentReadersDuringWrites(t *testing.T) {
+	s := NewStore(8 << 20)
+	e, _ := s.CreateEntry(1, 0, OriginInserted, []byte("v0"), 1)
+	s.Commit(e.Head(), 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: a bounded burst of versions at increasing TS
+		defer wg.Done()
+		for ts := uint64(2); ts < 1000; ts++ {
+			v, err := s.AddVersion(e, []byte("vX"), ts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s.Commit(v, ts)
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if v := e.Visible(1, 0); v == nil || string(v.Data()) != "v0" {
+					t.Error("snapshot 1 must always see v0")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

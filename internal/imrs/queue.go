@@ -1,0 +1,112 @@
+package imrs
+
+import "sync"
+
+// Queue is one partition-level relaxed LRU queue (paper Section VI-B).
+// Entries are pushed at the tail as they enter the IMRS (by the GC
+// threads, piggybacking on version processing, so the transaction path
+// never touches queue locks) and harvested from the head by pack
+// threads. A pack thread that finds a hot row at the head moves it back
+// to the tail instead of packing it, gradually bubbling cold rows to the
+// head — the "relaxed" LRU that avoids per-access shuffling.
+type Queue struct {
+	mu      sync.Mutex
+	head    *Entry
+	tail    *Entry
+	size    int
+	nextSeq uint64
+}
+
+// Len returns the number of queued entries.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// PushTail appends e. An entry already queued is left in place.
+func (q *Queue) PushTail(e *Entry) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if e.enqueued {
+		return
+	}
+	q.pushTailLocked(e)
+}
+
+func (q *Queue) pushTailLocked(e *Entry) {
+	e.enqueued = true
+	q.nextSeq++
+	e.qseq = q.nextSeq
+	e.qprev = q.tail
+	e.qnext = nil
+	if q.tail != nil {
+		q.tail.qnext = e
+	} else {
+		q.head = e
+	}
+	q.tail = e
+	q.size++
+}
+
+// PopHead removes and returns the head entry, or nil when empty.
+func (q *Queue) PopHead() *Entry {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e := q.head
+	if e == nil {
+		return nil
+	}
+	q.removeLocked(e)
+	return e
+}
+
+// Remove unlinks e if it is queued.
+func (q *Queue) Remove(e *Entry) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !e.enqueued {
+		return
+	}
+	q.removeLocked(e)
+}
+
+func (q *Queue) removeLocked(e *Entry) {
+	if e.qprev != nil {
+		e.qprev.qnext = e.qnext
+	} else {
+		q.head = e.qnext
+	}
+	if e.qnext != nil {
+		e.qnext.qprev = e.qprev
+	} else {
+		q.tail = e.qprev
+	}
+	e.qnext, e.qprev = nil, nil
+	e.enqueued = false
+	q.size--
+}
+
+// MoveToTail re-tails a hot entry found at (or near) the head.
+func (q *Queue) MoveToTail(e *Entry) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !e.enqueued {
+		return
+	}
+	q.removeLocked(e)
+	q.pushTailLocked(e)
+}
+
+// Walk visits entries head→tail under the queue lock; fn must be fast
+// and must not call back into the queue. Used by the harness's queue
+// coldness analysis (paper Figure 8).
+func (q *Queue) Walk(fn func(e *Entry) bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for e := q.head; e != nil; e = e.qnext {
+		if !fn(e) {
+			return
+		}
+	}
+}

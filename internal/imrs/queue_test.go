@@ -1,0 +1,112 @@
+package imrs
+
+import (
+	"testing"
+
+	"repro/internal/rid"
+)
+
+func qe(i uint64) *Entry { return &Entry{RID: rid.NewVirtual(0, i)} }
+
+func TestQueueFIFO(t *testing.T) {
+	var q Queue
+	es := []*Entry{qe(1), qe(2), qe(3)}
+	for _, e := range es {
+		q.PushTail(e)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 3; i++ {
+		got := q.PopHead()
+		if got != es[i] {
+			t.Fatalf("pop %d: wrong entry", i)
+		}
+	}
+	if q.PopHead() != nil {
+		t.Fatal("pop of empty queue returned entry")
+	}
+}
+
+func TestQueueDoubleEnqueueIgnored(t *testing.T) {
+	var q Queue
+	e := qe(1)
+	q.PushTail(e)
+	q.PushTail(e)
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d after double push", q.Len())
+	}
+}
+
+func TestQueueRemoveMiddle(t *testing.T) {
+	var q Queue
+	es := []*Entry{qe(1), qe(2), qe(3)}
+	for _, e := range es {
+		q.PushTail(e)
+	}
+	q.Remove(es[1])
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if q.PopHead() != es[0] || q.PopHead() != es[2] {
+		t.Fatal("remaining order wrong")
+	}
+	// Removing an unqueued entry is a no-op.
+	q.Remove(es[1])
+}
+
+func TestQueueMoveToTail(t *testing.T) {
+	var q Queue
+	es := []*Entry{qe(1), qe(2), qe(3)}
+	for _, e := range es {
+		q.PushTail(e)
+	}
+	q.MoveToTail(es[0])
+	want := []*Entry{es[1], es[2], es[0]}
+	for i, w := range want {
+		if got := q.PopHead(); got != w {
+			t.Fatalf("after MoveToTail pop %d wrong", i)
+		}
+	}
+	// MoveToTail of an unqueued entry is a no-op.
+	q.MoveToTail(es[0])
+	if q.Len() != 0 {
+		t.Fatal("no-op MoveToTail changed queue")
+	}
+}
+
+func TestQueueWalkOrder(t *testing.T) {
+	var q Queue
+	for i := uint64(0); i < 10; i++ {
+		q.PushTail(qe(i))
+	}
+	var seqs []uint64
+	q.Walk(func(e *Entry) bool {
+		seqs = append(seqs, e.RID.Seq())
+		return true
+	})
+	for i, s := range seqs {
+		if s != uint64(i) {
+			t.Fatalf("walk order: %v", seqs)
+		}
+	}
+	// Early stop.
+	n := 0
+	q.Walk(func(*Entry) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestQueueReEnqueueAfterPop(t *testing.T) {
+	var q Queue
+	e := qe(1)
+	q.PushTail(e)
+	if q.PopHead() != e {
+		t.Fatal("pop failed")
+	}
+	q.PushTail(e)
+	if q.Len() != 1 || q.PopHead() != e {
+		t.Fatal("re-enqueue after pop failed")
+	}
+}

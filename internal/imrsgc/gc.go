@@ -1,0 +1,213 @@
+// Package imrsgc implements the multi-threaded, non-blocking IMRS
+// garbage collection of the BTrim architecture (paper Section II):
+// background workers reclaim memory from obsolete row versions once no
+// active snapshot can read them, and — piggybacking on that processing —
+// maintain the pack subsystem's relaxed LRU queues so that transactions
+// never touch queue locks (paper Section VI-B).
+package imrsgc
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/imrs"
+	"repro/internal/metrics"
+	"repro/internal/txn"
+)
+
+// Hooks are the engine-supplied callbacks.
+type Hooks struct {
+	// OnReclaimEntry unpublishes a fully dead entry (deleted or packed)
+	// from the RID map, hash indexes and ILM queues. Called before the
+	// entry's memory is released.
+	OnReclaimEntry func(*imrs.Entry)
+	// OnNewRow enqueues a newly committed IMRS row on its partition's
+	// ILM queue.
+	OnNewRow func(*imrs.Entry)
+}
+
+type retiredVersion struct {
+	e        *imrs.Entry
+	newer    *imrs.Version // the superseding version
+	v        *imrs.Version
+	retireTS uint64
+}
+
+type retiredEntry struct {
+	e        *imrs.Entry
+	retireTS uint64
+}
+
+// GC is the collector. Producers (commit paths, pack) never block:
+// retire calls append to an in-memory list and poke the workers.
+type GC struct {
+	store *imrs.Store
+	snaps *txn.SnapshotRegistry
+	hooks Hooks
+
+	mu       sync.Mutex
+	versions []retiredVersion
+	entries  []retiredEntry
+	newRows  []*imrs.Entry
+
+	notify chan struct{}
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	// reclaimMu serializes the reclamation pass: multiple workers may
+	// run, but freeing is single-flight so version chains and fragments
+	// see one mutator. Transactions never take this lock — the paper's
+	// non-blocking property is about the transaction path.
+	reclaimMu sync.Mutex
+
+	// Stats
+	VersionsFreed metrics.Counter
+	EntriesFreed  metrics.Counter
+	RowsEnqueued  metrics.Counter
+}
+
+// New builds a collector over the store and snapshot registry.
+func New(store *imrs.Store, snaps *txn.SnapshotRegistry, hooks Hooks) *GC {
+	return &GC{
+		store:  store,
+		snaps:  snaps,
+		hooks:  hooks,
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+}
+
+// Start launches n worker goroutines (minimum 1).
+func (g *GC) Start(n int) {
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		g.wg.Add(1)
+		go g.worker()
+	}
+}
+
+// Stop drains outstanding work that is already reclaimable and stops the
+// workers.
+func (g *GC) Stop() {
+	close(g.stop)
+	g.wg.Wait()
+	g.process()
+}
+
+func (g *GC) poke() {
+	select {
+	case g.notify <- struct{}{}:
+	default:
+	}
+}
+
+// RetireVersion hands a superseded committed version to the collector.
+// newer is the superseding version and retireTS its commit timestamp;
+// once no active snapshot predates retireTS, everything below newer is
+// unreadable and the chain is truncated there.
+func (g *GC) RetireVersion(e *imrs.Entry, newer, v *imrs.Version, retireTS uint64) {
+	g.mu.Lock()
+	g.versions = append(g.versions, retiredVersion{e: e, newer: newer, v: v, retireTS: retireTS})
+	g.mu.Unlock()
+	g.poke()
+}
+
+// RetireEntry hands a dead entry (committed delete or pack) to the
+// collector. retireTS is the tombstone/pack commit timestamp.
+func (g *GC) RetireEntry(e *imrs.Entry, retireTS uint64) {
+	g.mu.Lock()
+	g.entries = append(g.entries, retiredEntry{e: e, retireTS: retireTS})
+	g.mu.Unlock()
+	g.poke()
+}
+
+// NewRow registers a freshly committed IMRS row for ILM-queue insertion.
+func (g *GC) NewRow(e *imrs.Entry) {
+	g.mu.Lock()
+	g.newRows = append(g.newRows, e)
+	g.mu.Unlock()
+	g.poke()
+}
+
+// Pending returns outstanding item counts (tests).
+func (g *GC) Pending() (versions, entries, newRows int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.versions), len(g.entries), len(g.newRows)
+}
+
+func (g *GC) worker() {
+	defer g.wg.Done()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-g.notify:
+		case <-tick.C:
+		}
+		g.process()
+	}
+}
+
+// process runs one collection pass: queue maintenance first (cheap),
+// then version/entry reclamation gated on the oldest active snapshot.
+func (g *GC) process() {
+	g.reclaimMu.Lock()
+	defer g.reclaimMu.Unlock()
+	g.mu.Lock()
+	rows := g.newRows
+	g.newRows = nil
+	g.mu.Unlock()
+	if g.hooks.OnNewRow != nil {
+		for _, e := range rows {
+			if !e.Packed() {
+				g.hooks.OnNewRow(e)
+				g.RowsEnqueued.Inc()
+			}
+		}
+	}
+
+	minSnap := g.snaps.MinActive()
+
+	g.mu.Lock()
+	var keepV []retiredVersion
+	freeV := make([]retiredVersion, 0, len(g.versions))
+	for _, rv := range g.versions {
+		if rv.retireTS <= minSnap {
+			freeV = append(freeV, rv)
+		} else {
+			keepV = append(keepV, rv)
+		}
+	}
+	g.versions = keepV
+	var keepE []retiredEntry
+	freeE := make([]retiredEntry, 0, len(g.entries))
+	for _, re := range g.entries {
+		if re.retireTS <= minSnap {
+			freeE = append(freeE, re)
+		} else {
+			keepE = append(keepE, re)
+		}
+	}
+	g.entries = keepE
+	g.mu.Unlock()
+
+	for _, rv := range freeV {
+		if rv.newer != nil {
+			rv.newer.TruncateOlder()
+		}
+		g.store.FreeVersion(rv.e.Part, rv.v)
+		g.VersionsFreed.Inc()
+	}
+	for _, re := range freeE {
+		if g.hooks.OnReclaimEntry != nil {
+			g.hooks.OnReclaimEntry(re.e)
+		}
+		g.store.RemoveEntry(re.e)
+		g.EntriesFreed.Inc()
+	}
+}

@@ -1,0 +1,80 @@
+package btree
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rid"
+	"repro/internal/storage/buffer"
+	"repro/internal/storage/disk"
+)
+
+func benchTree(b *testing.B, preload int) *Tree {
+	b.Helper()
+	dev := disk.NewMemDevice(0, 0)
+	b.Cleanup(func() { dev.Close() })
+	pool, err := buffer.NewPool(dev, 4096, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := New(pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < preload; i++ {
+		if err := tr.Insert(benchKey(i), rid.RID(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func benchKey(i int) []byte {
+	var k [12]byte
+	copy(k[:4], "key-")
+	binary.BigEndian.PutUint64(k[4:], uint64(i))
+	return k[:]
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	tr := benchTree(b, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(benchKey(i), rid.RID(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeSearch(b *testing.B) {
+	const n = 100_000
+	tr := benchTree(b, n)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := rng.Intn(n)
+		_, found, err := tr.Search(benchKey(j))
+		if err != nil || !found {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+func BenchmarkBTreeScan(b *testing.B) {
+	const n = 100_000
+	tr := benchTree(b, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		if err := tr.ScanFrom(nil, func([]byte, rid.RID) bool {
+			count++
+			return true
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if count != n {
+			b.Fatalf("scan saw %d", count)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package btree implements the page-based B+tree indexes of the BTrim
+// architecture (paper Section II): keys map to RIDs, and the access
+// methods above the tree transparently resolve each RID to the IMRS (via
+// the RID map) or to the page store. Leaves are chained for range scans.
+//
+// Simplifications relative to a production engine, recorded in DESIGN.md:
+// the tree takes a tree-level reader/writer latch instead of latch
+// crabbing, deletes do not rebalance (underflowed nodes persist), and
+// index changes are not logged — recovery rebuilds indexes from the base
+// tables, which is sound because the heaps and the IMRS are fully
+// recovered first.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/rid"
+	"repro/internal/storage/disk"
+	"repro/internal/storage/page"
+)
+
+// Node byte layout, after the 24-byte generic page header:
+//
+//	24..27  leftmost child page id (internal nodes only)
+//	28..29  number of keys (uint16)
+//	30..31  cell data start (cells grow down from the page end)
+//	32..    sorted array of uint16 cell pointers
+//
+// Leaf cell:     [u16 keyLen][key][8-byte RID]
+// Internal cell: [u16 keyLen][key][4-byte child page id]
+const (
+	btOffLeft    = 24
+	btOffNumKeys = 28
+	btOffCellLow = 30
+	btOffPtrs    = 32
+	btPtrSize    = 2
+	leafValSize  = 8
+	innerValSize = 4
+	cellKeyLenSz = 2
+	noChild      = 0xFFFFFFFF
+	// MaxKeySize bounds index keys so several cells always fit per node.
+	MaxKeySize = 1024
+)
+
+func btInit(pg *page.Page, leaf bool) {
+	t := page.TypeBTreeInternal
+	if leaf {
+		t = page.TypeBTreeLeaf
+	}
+	pg.Init(t)
+	buf := pg.Bytes()
+	binary.LittleEndian.PutUint32(buf[btOffLeft:], noChild)
+	binary.LittleEndian.PutUint16(buf[btOffNumKeys:], 0)
+	setCellLow(buf, disk.PageSize) // cells grow down from the page end
+}
+
+// cellLow returns the lowest used cell offset; 0 encodes "page end".
+func cellLow(buf []byte) int {
+	v := int(binary.LittleEndian.Uint16(buf[btOffCellLow:]))
+	if v == 0 {
+		return disk.PageSize
+	}
+	return v
+}
+
+func setCellLow(buf []byte, v int) {
+	if v == disk.PageSize {
+		v = 0
+	}
+	binary.LittleEndian.PutUint16(buf[btOffCellLow:], uint16(v))
+}
+
+func isLeaf(pg *page.Page) bool { return pg.Type() == page.TypeBTreeLeaf }
+
+func numKeys(buf []byte) int {
+	return int(binary.LittleEndian.Uint16(buf[btOffNumKeys:]))
+}
+
+func setNumKeys(buf []byte, n int) {
+	binary.LittleEndian.PutUint16(buf[btOffNumKeys:], uint16(n))
+}
+
+func ptrAt(buf []byte, i int) int {
+	return int(binary.LittleEndian.Uint16(buf[btOffPtrs+i*btPtrSize:]))
+}
+
+func setPtrAt(buf []byte, i, v int) {
+	binary.LittleEndian.PutUint16(buf[btOffPtrs+i*btPtrSize:], uint16(v))
+}
+
+func keyAt(buf []byte, i int) []byte {
+	off := ptrAt(buf, i)
+	klen := int(binary.LittleEndian.Uint16(buf[off:]))
+	return buf[off+cellKeyLenSz : off+cellKeyLenSz+klen]
+}
+
+func leafValAt(buf []byte, i int) rid.RID {
+	off := ptrAt(buf, i)
+	klen := int(binary.LittleEndian.Uint16(buf[off:]))
+	return rid.RID(binary.LittleEndian.Uint64(buf[off+cellKeyLenSz+klen:]))
+}
+
+func setLeafValAt(buf []byte, i int, r rid.RID) {
+	off := ptrAt(buf, i)
+	klen := int(binary.LittleEndian.Uint16(buf[off:]))
+	binary.LittleEndian.PutUint64(buf[off+cellKeyLenSz+klen:], uint64(r))
+}
+
+func innerChildAt(buf []byte, i int) uint32 {
+	off := ptrAt(buf, i)
+	klen := int(binary.LittleEndian.Uint16(buf[off:]))
+	return binary.LittleEndian.Uint32(buf[off+cellKeyLenSz+klen:])
+}
+
+func leftChild(buf []byte) uint32 {
+	return binary.LittleEndian.Uint32(buf[btOffLeft:])
+}
+
+func setLeftChild(buf []byte, c uint32) {
+	binary.LittleEndian.PutUint32(buf[btOffLeft:], c)
+}
+
+// childFor returns the child page to descend into for key position pos
+// (result of search): pos==0 → leftmost child, else cell pos-1's child.
+func childFor(buf []byte, pos int) uint32 {
+	if pos == 0 {
+		return leftChild(buf)
+	}
+	return innerChildAt(buf, pos-1)
+}
+
+// search finds the first position whose key >= key; found reports exact
+// match at that position.
+func search(buf []byte, key []byte) (pos int, found bool) {
+	n := numKeys(buf)
+	pos = sort.Search(n, func(i int) bool {
+		return bytes.Compare(keyAt(buf, i), key) >= 0
+	})
+	found = pos < n && bytes.Equal(keyAt(buf, pos), key)
+	return pos, found
+}
+
+// descendPos returns the child index for descending with key in an
+// internal node: the number of separator keys <= key.
+func descendPos(buf []byte, key []byte) int {
+	n := numKeys(buf)
+	return sort.Search(n, func(i int) bool {
+		return bytes.Compare(keyAt(buf, i), key) > 0
+	})
+}
+
+func freeBytes(buf []byte) int {
+	return cellLow(buf) - (btOffPtrs + numKeys(buf)*btPtrSize)
+}
+
+func cellSize(keyLen int, leaf bool) int {
+	if leaf {
+		return cellKeyLenSz + keyLen + leafValSize
+	}
+	return cellKeyLenSz + keyLen + innerValSize
+}
+
+// compactNode rewrites live cells tightly against the page end.
+func compactNode(buf []byte) {
+	n := numKeys(buf)
+	type cellRef struct {
+		off  int
+		size int
+	}
+	cells := make([]cellRef, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		off := ptrAt(buf, i)
+		klen := int(binary.LittleEndian.Uint16(buf[off:]))
+		var sz int
+		// Leaf vs internal is not knowable from the cell alone; infer
+		// from the page type byte.
+		if page.Wrap(buf).Type() == page.TypeBTreeLeaf {
+			sz = cellSize(klen, true)
+		} else {
+			sz = cellSize(klen, false)
+		}
+		cells[i] = cellRef{off: off, size: sz}
+		total += sz
+	}
+	tmp := make([]byte, 0, total)
+	newOffs := make([]int, n)
+	at := disk.PageSize - total
+	cur := at
+	for i := 0; i < n; i++ {
+		newOffs[i] = cur
+		tmp = append(tmp, buf[cells[i].off:cells[i].off+cells[i].size]...)
+		cur += cells[i].size
+	}
+	copy(buf[at:], tmp)
+	for i := 0; i < n; i++ {
+		setPtrAt(buf, i, newOffs[i])
+	}
+	setCellLow(buf, at)
+}
+
+// insertCell places a cell (key + value bytes) at sorted position pos.
+// It reports false when the node lacks room even after compaction.
+func insertCell(buf []byte, pos int, key, val []byte) bool {
+	sz := cellKeyLenSz + len(key) + len(val)
+	if freeBytes(buf) < sz+btPtrSize {
+		compactNode(buf)
+		if freeBytes(buf) < sz+btPtrSize {
+			return false
+		}
+	}
+	off := cellLow(buf) - sz
+	binary.LittleEndian.PutUint16(buf[off:], uint16(len(key)))
+	copy(buf[off+cellKeyLenSz:], key)
+	copy(buf[off+cellKeyLenSz+len(key):], val)
+	setCellLow(buf, off)
+
+	n := numKeys(buf)
+	// Shift pointers right of pos.
+	copy(buf[btOffPtrs+(pos+1)*btPtrSize:btOffPtrs+(n+1)*btPtrSize],
+		buf[btOffPtrs+pos*btPtrSize:btOffPtrs+n*btPtrSize])
+	setPtrAt(buf, pos, off)
+	setNumKeys(buf, n+1)
+	return true
+}
+
+// deleteCell removes the cell at pos (its bytes become dead space until
+// the next compaction).
+func deleteCell(buf []byte, pos int) {
+	n := numKeys(buf)
+	copy(buf[btOffPtrs+pos*btPtrSize:btOffPtrs+(n-1)*btPtrSize],
+		buf[btOffPtrs+(pos+1)*btPtrSize:btOffPtrs+n*btPtrSize])
+	setNumKeys(buf, n-1)
+}
+
+func u64val(r rid.RID) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(r))
+	return b[:]
+}
+
+func u32val(c uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], c)
+	return b[:]
+}

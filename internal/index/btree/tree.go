@@ -1,0 +1,425 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/rid"
+	"repro/internal/storage/buffer"
+	"repro/internal/storage/page"
+)
+
+// ErrDuplicate reports an insert of a key that already exists.
+var ErrDuplicate = errors.New("btree: duplicate key")
+
+// Tree is a page-based B+tree mapping byte keys to RIDs. Keys are unique
+// at this level; non-unique indexes append the RID to the key upstream.
+type Tree struct {
+	pool *buffer.Pool
+
+	mu   sync.RWMutex
+	root uint32
+}
+
+// New allocates an empty tree (a single leaf root).
+func New(pool *buffer.Pool) (*Tree, error) {
+	id, f, err := pool.NewPage(page.TypeBTreeLeaf)
+	if err != nil {
+		return nil, err
+	}
+	btInit(f.Page(), true)
+	f.Unlatch(true)
+	pool.Unpin(f, true)
+	return &Tree{pool: pool, root: id}, nil
+}
+
+// Load reattaches a tree whose root page id was persisted in the catalog.
+func Load(pool *buffer.Pool, root uint32) *Tree {
+	return &Tree{pool: pool, root: root}
+}
+
+// Root returns the current root page id (persisted in catalog snapshots).
+func (t *Tree) Root() uint32 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.root
+}
+
+// Search returns the RID stored under key.
+func (t *Tree) Search(key []byte) (rid.RID, bool, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	pid := t.root
+	for {
+		f, err := t.pool.Fetch(pid)
+		if err != nil {
+			return rid.Zero, false, err
+		}
+		f.Latch(false)
+		buf := f.Page().Bytes()
+		if isLeaf(f.Page()) {
+			pos, found := search(buf, key)
+			var r rid.RID
+			if found {
+				r = leafValAt(buf, pos)
+			}
+			f.Unlatch(false)
+			t.pool.Unpin(f, false)
+			return r, found, nil
+		}
+		next := childFor(buf, descendPos(buf, key))
+		f.Unlatch(false)
+		t.pool.Unpin(f, false)
+		pid = next
+	}
+}
+
+// Insert stores key → r; it fails with ErrDuplicate if key exists.
+func (t *Tree) Insert(key []byte, r rid.RID) error {
+	if len(key) > MaxKeySize {
+		return fmt.Errorf("btree: key of %d bytes exceeds max %d", len(key), MaxKeySize)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	promoted, sep, right, err := t.insertInto(t.root, key, r)
+	if err != nil {
+		return err
+	}
+	if !promoted {
+		return nil
+	}
+	// Grow a new root.
+	newRoot, f, err := t.pool.NewPage(page.TypeBTreeInternal)
+	if err != nil {
+		return err
+	}
+	btInit(f.Page(), false)
+	buf := f.Page().Bytes()
+	setLeftChild(buf, t.root)
+	if !insertCell(buf, 0, sep, u32val(right)) {
+		f.Unlatch(true)
+		t.pool.Unpin(f, true)
+		return fmt.Errorf("btree: separator does not fit in fresh root")
+	}
+	f.MarkDirty()
+	f.Unlatch(true)
+	t.pool.Unpin(f, true)
+	t.root = newRoot
+	return nil
+}
+
+// Update rebinds key to r, returning whether the key existed. Pack uses
+// it to repoint index entries from a virtual RID to a page-store RID.
+func (t *Tree) Update(key []byte, r rid.RID) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pid := t.root
+	for {
+		f, err := t.pool.Fetch(pid)
+		if err != nil {
+			return false, err
+		}
+		f.Latch(true)
+		buf := f.Page().Bytes()
+		if isLeaf(f.Page()) {
+			pos, found := search(buf, key)
+			if found {
+				setLeafValAt(buf, pos, r)
+				f.MarkDirty()
+			}
+			f.Unlatch(true)
+			t.pool.Unpin(f, found)
+			return found, nil
+		}
+		next := childFor(buf, descendPos(buf, key))
+		f.Unlatch(true)
+		t.pool.Unpin(f, false)
+		pid = next
+	}
+}
+
+// Delete removes key, returning the RID it held and whether it existed.
+// Nodes are allowed to underflow (no rebalancing).
+func (t *Tree) Delete(key []byte) (rid.RID, bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pid := t.root
+	for {
+		f, err := t.pool.Fetch(pid)
+		if err != nil {
+			return rid.Zero, false, err
+		}
+		f.Latch(true)
+		buf := f.Page().Bytes()
+		if isLeaf(f.Page()) {
+			pos, found := search(buf, key)
+			var r rid.RID
+			if found {
+				r = leafValAt(buf, pos)
+				deleteCell(buf, pos)
+				f.MarkDirty()
+			}
+			f.Unlatch(true)
+			t.pool.Unpin(f, found)
+			return r, found, nil
+		}
+		next := childFor(buf, descendPos(buf, key))
+		f.Unlatch(true)
+		t.pool.Unpin(f, false)
+		pid = next
+	}
+}
+
+// insertInto inserts into the subtree rooted at pid. When the node
+// splits, it returns the separator key and new right sibling for the
+// parent to absorb.
+func (t *Tree) insertInto(pid uint32, key []byte, r rid.RID) (promoted bool, sep []byte, right uint32, err error) {
+	f, err := t.pool.Fetch(pid)
+	if err != nil {
+		return false, nil, 0, err
+	}
+	f.Latch(true)
+	buf := f.Page().Bytes()
+
+	if isLeaf(f.Page()) {
+		pos, found := search(buf, key)
+		if found {
+			f.Unlatch(true)
+			t.pool.Unpin(f, false)
+			return false, nil, 0, ErrDuplicate
+		}
+		if insertCell(buf, pos, key, u64val(r)) {
+			f.MarkDirty()
+			f.Unlatch(true)
+			t.pool.Unpin(f, true)
+			return false, nil, 0, nil
+		}
+		// Split the leaf.
+		sep, right, err = t.splitLeaf(f, key, r)
+		f.Unlatch(true)
+		t.pool.Unpin(f, true)
+		return err == nil, sep, right, err
+	}
+
+	childPos := descendPos(buf, key)
+	child := childFor(buf, childPos)
+	// Release the latch during the recursive descent: the tree-level
+	// exclusive lock already serializes writers, and readers never see
+	// intermediate states because they take the tree-level read lock.
+	f.Unlatch(true)
+	promoted, csep, cright, err := t.insertInto(child, key, r)
+	if err != nil || !promoted {
+		t.pool.Unpin(f, false)
+		return false, nil, 0, err
+	}
+	f.Latch(true)
+	buf = f.Page().Bytes()
+	pos, _ := search(buf, csep)
+	if insertCell(buf, pos, csep, u32val(cright)) {
+		f.MarkDirty()
+		f.Unlatch(true)
+		t.pool.Unpin(f, true)
+		return false, nil, 0, nil
+	}
+	sep, right, err = t.splitInternal(f, csep, cright)
+	f.Unlatch(true)
+	t.pool.Unpin(f, true)
+	return err == nil, sep, right, err
+}
+
+// splitLeaf splits the latched full leaf f, inserting key→r into the
+// correct half, and returns the separator (first key of the right leaf)
+// and the right leaf's page id.
+func (t *Tree) splitLeaf(f *buffer.Frame, key []byte, r rid.RID) ([]byte, uint32, error) {
+	buf := f.Page().Bytes()
+	n := numKeys(buf)
+	type kv struct {
+		k []byte
+		v rid.RID
+	}
+	items := make([]kv, 0, n+1)
+	inserted := false
+	for i := 0; i < n; i++ {
+		k := append([]byte(nil), keyAt(buf, i)...)
+		if !inserted && string(key) < string(k) {
+			items = append(items, kv{append([]byte(nil), key...), r})
+			inserted = true
+		}
+		items = append(items, kv{k, leafValAt(buf, i)})
+	}
+	if !inserted {
+		items = append(items, kv{append([]byte(nil), key...), r})
+	}
+	mid := len(items) / 2
+
+	rightID, rf, err := t.pool.NewPage(page.TypeBTreeLeaf)
+	if err != nil {
+		return nil, 0, err
+	}
+	btInit(rf.Page(), true)
+	rbuf := rf.Page().Bytes()
+	for i, it := range items[mid:] {
+		if !insertCell(rbuf, i, it.k, u64val(it.v)) {
+			rf.Unlatch(true)
+			t.pool.Unpin(rf, true)
+			return nil, 0, fmt.Errorf("btree: right split leaf overflow")
+		}
+	}
+
+	// Rebuild the left leaf in place, preserving its chain links.
+	oldNext := f.Page().Next()
+	oldPrev := f.Page().Prev()
+	btInit(f.Page(), true)
+	f.Page().SetPrev(oldPrev)
+	buf = f.Page().Bytes()
+	for i, it := range items[:mid] {
+		if !insertCell(buf, i, it.k, u64val(it.v)) {
+			rf.Unlatch(true)
+			t.pool.Unpin(rf, true)
+			return nil, 0, fmt.Errorf("btree: left split leaf overflow")
+		}
+	}
+
+	// Chain: left -> right -> oldNext.
+	f.Page().SetNext(rightID)
+	rf.Page().SetPrev(f.ID())
+	rf.Page().SetNext(oldNext)
+	rf.MarkDirty()
+	f.MarkDirty()
+	rf.Unlatch(true)
+	t.pool.Unpin(rf, true)
+
+	if oldNext != 0xFFFFFFFF {
+		nf, err := t.pool.Fetch(oldNext)
+		if err != nil {
+			return nil, 0, err
+		}
+		nf.Latch(true)
+		nf.Page().SetPrev(rightID)
+		nf.MarkDirty()
+		nf.Unlatch(true)
+		t.pool.Unpin(nf, true)
+	}
+	sep := append([]byte(nil), items[mid].k...)
+	return sep, rightID, nil
+}
+
+// splitInternal splits the latched full internal node f after logically
+// adding csep→cright, and returns the promoted middle key plus the new
+// right node id.
+func (t *Tree) splitInternal(f *buffer.Frame, csep []byte, cright uint32) ([]byte, uint32, error) {
+	buf := f.Page().Bytes()
+	n := numKeys(buf)
+	type kc struct {
+		k []byte
+		c uint32
+	}
+	items := make([]kc, 0, n+1)
+	inserted := false
+	for i := 0; i < n; i++ {
+		k := append([]byte(nil), keyAt(buf, i)...)
+		if !inserted && string(csep) < string(k) {
+			items = append(items, kc{append([]byte(nil), csep...), cright})
+			inserted = true
+		}
+		items = append(items, kc{k, innerChildAt(buf, i)})
+	}
+	if !inserted {
+		items = append(items, kc{append([]byte(nil), csep...), cright})
+	}
+	left0 := leftChild(buf)
+	mid := len(items) / 2
+	promoted := items[mid]
+
+	rightID, rf, err := t.pool.NewPage(page.TypeBTreeInternal)
+	if err != nil {
+		return nil, 0, err
+	}
+	btInit(rf.Page(), false)
+	rbuf := rf.Page().Bytes()
+	setLeftChild(rbuf, promoted.c)
+	for i, it := range items[mid+1:] {
+		if !insertCell(rbuf, i, it.k, u32val(it.c)) {
+			rf.Unlatch(true)
+			t.pool.Unpin(rf, true)
+			return nil, 0, fmt.Errorf("btree: right split internal overflow")
+		}
+	}
+	rf.MarkDirty()
+	rf.Unlatch(true)
+	t.pool.Unpin(rf, true)
+
+	btInit(f.Page(), false)
+	buf = f.Page().Bytes()
+	setLeftChild(buf, left0)
+	for i, it := range items[:mid] {
+		if !insertCell(buf, i, it.k, u32val(it.c)) {
+			return nil, 0, fmt.Errorf("btree: left split internal overflow")
+		}
+	}
+	f.MarkDirty()
+	return promoted.k, rightID, nil
+}
+
+// ScanFrom visits entries with key >= start in ascending key order until
+// fn returns false. fn receives aliased key bytes it must not retain.
+func (t *Tree) ScanFrom(start []byte, fn func(key []byte, r rid.RID) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	pid := t.root
+	// Descend to the leaf containing start.
+	for {
+		f, err := t.pool.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		f.Latch(false)
+		pg := f.Page()
+		if isLeaf(pg) {
+			f.Unlatch(false)
+			t.pool.Unpin(f, false)
+			break
+		}
+		next := childFor(pg.Bytes(), descendPos(pg.Bytes(), start))
+		f.Unlatch(false)
+		t.pool.Unpin(f, false)
+		pid = next
+	}
+	// Walk the leaf chain.
+	for pid != 0xFFFFFFFF {
+		f, err := t.pool.Fetch(pid)
+		if err != nil {
+			return err
+		}
+		f.Latch(false)
+		buf := f.Page().Bytes()
+		pos, _ := search(buf, start)
+		n := numKeys(buf)
+		type kv struct {
+			k []byte
+			v rid.RID
+		}
+		batch := make([]kv, 0, n-pos)
+		for i := pos; i < n; i++ {
+			batch = append(batch, kv{append([]byte(nil), keyAt(buf, i)...), leafValAt(buf, i)})
+		}
+		next := f.Page().Next()
+		f.Unlatch(false)
+		t.pool.Unpin(f, false)
+		for _, it := range batch {
+			if !fn(it.k, it.v) {
+				return nil
+			}
+		}
+		pid = next
+	}
+	return nil
+}
+
+// Count returns the number of entries (full scan; tests and stats).
+func (t *Tree) Count() (int, error) {
+	n := 0
+	err := t.ScanFrom(nil, func([]byte, rid.RID) bool { n++; return true })
+	return n, err
+}

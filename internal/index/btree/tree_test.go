@@ -1,0 +1,329 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/rid"
+	"repro/internal/storage/buffer"
+	"repro/internal/storage/disk"
+)
+
+func newTree(t *testing.T, frames int) *Tree {
+	t.Helper()
+	dev := disk.NewMemDevice(0, 0)
+	t.Cleanup(func() { dev.Close() })
+	pool, err := buffer.NewPool(dev, frames, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+
+func TestInsertSearch(t *testing.T) {
+	tr := newTree(t, 64)
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(key(i), rid.RID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		r, found, err := tr.Search(key(i))
+		if err != nil || !found || r != rid.RID(i+1) {
+			t.Fatalf("Search(%d) = %v, %v, %v", i, r, found, err)
+		}
+	}
+	if _, found, _ := tr.Search([]byte("missing")); found {
+		t.Fatal("found missing key")
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	tr := newTree(t, 64)
+	if err := tr.Insert(key(1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(key(1), 2); err != ErrDuplicate {
+		t.Fatalf("err = %v, want ErrDuplicate", err)
+	}
+	r, _, _ := tr.Search(key(1))
+	if r != 1 {
+		t.Fatal("duplicate insert changed the value")
+	}
+}
+
+func TestSplitsManyKeys(t *testing.T) {
+	tr := newTree(t, 512)
+	const n = 20000
+	perm := rand.New(rand.NewSource(3)).Perm(n)
+	for _, i := range perm {
+		if err := tr.Insert(key(i), rid.RID(i+1)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		r, found, err := tr.Search(key(i))
+		if err != nil || !found || r != rid.RID(i+1) {
+			t.Fatalf("Search(%d) after splits = %v %v %v", i, r, found, err)
+		}
+	}
+	count, err := tr.Count()
+	if err != nil || count != n {
+		t.Fatalf("Count = %d, %v; want %d", count, err, n)
+	}
+}
+
+func TestScanOrderAndRange(t *testing.T) {
+	tr := newTree(t, 256)
+	const n = 5000
+	for _, i := range rand.New(rand.NewSource(9)).Perm(n) {
+		if err := tr.Insert(key(i), rid.RID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys [][]byte
+	err := tr.ScanFrom(nil, func(k []byte, r rid.RID) bool {
+		keys = append(keys, append([]byte(nil), k...))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != n {
+		t.Fatalf("scan saw %d keys, want %d", len(keys), n)
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 }) {
+		t.Fatal("scan not in key order")
+	}
+	// Range from the middle.
+	start := key(2500)
+	var got []int
+	err = tr.ScanFrom(start, func(k []byte, r rid.RID) bool {
+		got = append(got, int(r-1))
+		return len(got) < 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 2500+i {
+			t.Fatalf("range scan got %v", got)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newTree(t, 256)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(key(i), rid.RID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		r, found, err := tr.Delete(key(i))
+		if err != nil || !found || r != rid.RID(i+1) {
+			t.Fatalf("Delete(%d) = %v %v %v", i, r, found, err)
+		}
+	}
+	if _, found, _ := tr.Delete(key(0)); found {
+		t.Fatal("double delete found key")
+	}
+	for i := 0; i < n; i++ {
+		_, found, _ := tr.Search(key(i))
+		if (i%2 == 0) == found {
+			t.Fatalf("key %d presence wrong: found=%v", i, found)
+		}
+	}
+	count, _ := tr.Count()
+	if count != n/2 {
+		t.Fatalf("Count = %d, want %d", count, n/2)
+	}
+}
+
+func TestUpdateRebindsRID(t *testing.T) {
+	tr := newTree(t, 64)
+	if err := tr.Insert(key(7), 100); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := tr.Update(key(7), 200)
+	if err != nil || !ok {
+		t.Fatalf("Update = %v %v", ok, err)
+	}
+	r, _, _ := tr.Search(key(7))
+	if r != 200 {
+		t.Fatalf("after update RID = %v", r)
+	}
+	ok, err = tr.Update([]byte("missing"), 1)
+	if err != nil || ok {
+		t.Fatal("Update of missing key should report false")
+	}
+}
+
+func TestReinsertAfterDelete(t *testing.T) {
+	tr := newTree(t, 64)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 500; i++ {
+			if err := tr.Insert(key(i), rid.RID(i+1)); err != nil {
+				t.Fatalf("round %d insert %d: %v", round, i, err)
+			}
+		}
+		for i := 0; i < 500; i++ {
+			if _, found, _ := tr.Delete(key(i)); !found {
+				t.Fatalf("round %d delete %d missing", round, i)
+			}
+		}
+	}
+	count, _ := tr.Count()
+	if count != 0 {
+		t.Fatalf("tree not empty: %d", count)
+	}
+}
+
+func TestLoadFromRoot(t *testing.T) {
+	dev := disk.NewMemDevice(0, 0)
+	defer dev.Close()
+	pool, _ := buffer.NewPool(dev, 256, nil)
+	tr, err := New(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if err := tr.Insert(key(i), rid.RID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := tr.Root()
+
+	tr2 := Load(pool, root)
+	r, found, err := tr2.Search(key(4321))
+	if err != nil || !found || r != 4322 {
+		t.Fatalf("loaded tree Search = %v %v %v", r, found, err)
+	}
+}
+
+func TestVariableLengthKeys(t *testing.T) {
+	tr := newTree(t, 256)
+	rng := rand.New(rand.NewSource(5))
+	model := map[string]rid.RID{}
+	for i := 0; i < 3000; i++ {
+		k := make([]byte, 1+rng.Intn(200))
+		rng.Read(k)
+		if _, dup := model[string(k)]; dup {
+			continue
+		}
+		model[string(k)] = rid.RID(i + 1)
+		if err := tr.Insert(k, rid.RID(i+1)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for k, want := range model {
+		r, found, err := tr.Search([]byte(k))
+		if err != nil || !found || r != want {
+			t.Fatalf("Search(%x) = %v %v %v, want %v", k, r, found, err, want)
+		}
+	}
+}
+
+func TestKeyTooLarge(t *testing.T) {
+	tr := newTree(t, 64)
+	if err := tr.Insert(make([]byte, MaxKeySize+1), 1); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+}
+
+func TestConcurrentReadersWithWriter(t *testing.T) {
+	tr := newTree(t, 512)
+	for i := 0; i < 2000; i++ {
+		if err := tr.Insert(key(i), rid.RID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 2000; i < 4000; i++ {
+			if err := tr.Insert(key(i), rid.RID(i+1)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				j := rng.Intn(2000)
+				r, found, err := tr.Search(key(j))
+				if err != nil || !found || r != rid.RID(j+1) {
+					t.Errorf("Search(%d) = %v %v %v", j, r, found, err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	count, _ := tr.Count()
+	if count != 4000 {
+		t.Fatalf("Count = %d, want 4000", count)
+	}
+}
+
+func TestRandomizedAgainstModel(t *testing.T) {
+	tr := newTree(t, 512)
+	rng := rand.New(rand.NewSource(11))
+	model := map[string]rid.RID{}
+	for i := 0; i < 20000; i++ {
+		k := key(rng.Intn(4000))
+		switch rng.Intn(3) {
+		case 0:
+			err := tr.Insert(k, rid.RID(i+1))
+			if _, exists := model[string(k)]; exists {
+				if err != ErrDuplicate {
+					t.Fatalf("iteration %d: want ErrDuplicate, got %v", i, err)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("iteration %d: insert: %v", i, err)
+				}
+				model[string(k)] = rid.RID(i + 1)
+			}
+		case 1:
+			r, found, err := tr.Delete(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, exists := model[string(k)]
+			if found != exists || (found && r != want) {
+				t.Fatalf("iteration %d: delete mismatch", i)
+			}
+			delete(model, string(k))
+		case 2:
+			r, found, err := tr.Search(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, exists := model[string(k)]
+			if found != exists || (found && r != want) {
+				t.Fatalf("iteration %d: search mismatch", i)
+			}
+		}
+	}
+	count, _ := tr.Count()
+	if count != len(model) {
+		t.Fatalf("final Count = %d, model = %d", count, len(model))
+	}
+}

@@ -1,0 +1,151 @@
+// Package hash implements the table-specific, non-logged, in-memory hash
+// indexes of the BTrim architecture: lock-free hash tables that span only
+// IMRS-resident rows and act as a fast-path performance accelerator under
+// unique B-tree indexes (paper Section II). A miss here is not "absent" —
+// it merely means the row must be located through the B-tree.
+package hash
+
+import (
+	"sync/atomic"
+
+	"repro/internal/imrs"
+)
+
+type node struct {
+	key   string
+	entry *imrs.Entry
+	next  *node
+}
+
+// Index is a fixed-size lock-free hash table from key bytes to IMRS
+// entries. Inserts CAS-push onto bucket chains; deletes rebuild the
+// chain copy-on-write and CAS it in. There is no resize: the bucket
+// count is chosen at construction (the engine sizes it per table).
+type Index struct {
+	buckets []atomic.Pointer[node]
+	mask    uint64
+	count   atomic.Int64
+
+	// Hits/Misses instrument the fast path for the ablation bench.
+	Hits   atomic.Int64
+	Misses atomic.Int64
+}
+
+// New creates an index with at least minBuckets buckets (rounded up to a
+// power of two, minimum 256).
+func New(minBuckets int) *Index {
+	n := 256
+	for n < minBuckets {
+		n <<= 1
+	}
+	return &Index{buckets: make([]atomic.Pointer[node], n), mask: uint64(n - 1)}
+}
+
+func hashKey(key []byte) uint64 {
+	// FNV-1a, then a finalizer mix.
+	h := uint64(1469598103934665603)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// Get returns the live IMRS entry for key, or nil. Packed entries read
+// as absent (the row left the IMRS).
+func (ix *Index) Get(key []byte) *imrs.Entry {
+	b := &ix.buckets[hashKey(key)&ix.mask]
+	for n := b.Load(); n != nil; n = n.next {
+		if n.key == string(key) {
+			if n.entry.Packed() {
+				ix.Misses.Add(1)
+				return nil
+			}
+			ix.Hits.Add(1)
+			return n.entry
+		}
+	}
+	ix.Misses.Add(1)
+	return nil
+}
+
+// Put publishes key → e. An existing mapping for key is replaced.
+func (ix *Index) Put(key []byte, e *imrs.Entry) {
+	b := &ix.buckets[hashKey(key)&ix.mask]
+	k := string(key)
+	for {
+		head := b.Load()
+		// Copy-on-write: rebuild without any stale node for k, push new.
+		nn := &node{key: k, entry: e}
+		tail, replaced := copyWithout(head, k)
+		nn.next = tail
+		if b.CompareAndSwap(head, nn) {
+			if !replaced {
+				ix.count.Add(1)
+			}
+			return
+		}
+	}
+}
+
+// Delete removes the mapping for key if it currently points at e.
+func (ix *Index) Delete(key []byte, e *imrs.Entry) {
+	b := &ix.buckets[hashKey(key)&ix.mask]
+	k := string(key)
+	for {
+		head := b.Load()
+		present := false
+		for n := head; n != nil; n = n.next {
+			if n.key == k && n.entry == e {
+				present = true
+				break
+			}
+		}
+		if !present {
+			return
+		}
+		tail, _ := copyWithout(head, k)
+		if b.CompareAndSwap(head, tail) {
+			ix.count.Add(-1)
+			return
+		}
+	}
+}
+
+// copyWithout returns a chain equal to head minus any node keyed k, and
+// whether such a node existed. Untouched suffixes are shared.
+func copyWithout(head *node, k string) (*node, bool) {
+	// Find the victim; if none, share the whole chain.
+	var victim *node
+	for n := head; n != nil; n = n.next {
+		if n.key == k {
+			victim = n
+			break
+		}
+	}
+	if victim == nil {
+		return head, false
+	}
+	// Copy nodes before the victim; share the rest.
+	var first, last *node
+	for n := head; n != victim; n = n.next {
+		cp := &node{key: n.key, entry: n.entry}
+		if last == nil {
+			first = cp
+		} else {
+			last.next = cp
+		}
+		last = cp
+	}
+	if last == nil {
+		return victim.next, true
+	}
+	last.next = victim.next
+	return first, true
+}
+
+// Len returns the number of mappings.
+func (ix *Index) Len() int { return int(ix.count.Load()) }

@@ -1,0 +1,140 @@
+package hash
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/imrs"
+	"repro/internal/rid"
+)
+
+func entry(i int) *imrs.Entry {
+	return &imrs.Entry{RID: rid.NewVirtual(0, uint64(i))}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	ix := New(16)
+	e := entry(1)
+	k := []byte("alpha")
+	if ix.Get(k) != nil {
+		t.Fatal("empty index returned entry")
+	}
+	ix.Put(k, e)
+	if ix.Get(k) != e {
+		t.Fatal("Get after Put failed")
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	ix.Delete(k, e)
+	if ix.Get(k) != nil {
+		t.Fatal("entry survives delete")
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("Len = %d after delete", ix.Len())
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	ix := New(16)
+	k := []byte("k")
+	e1, e2 := entry(1), entry(2)
+	ix.Put(k, e1)
+	ix.Put(k, e2)
+	if ix.Get(k) != e2 {
+		t.Fatal("Put did not replace")
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d after replace", ix.Len())
+	}
+}
+
+func TestDeleteOnlyMatching(t *testing.T) {
+	ix := New(16)
+	k := []byte("k")
+	e1, e2 := entry(1), entry(2)
+	ix.Put(k, e1)
+	ix.Delete(k, e2) // different entry: no-op
+	if ix.Get(k) != e1 {
+		t.Fatal("Delete removed non-matching entry")
+	}
+}
+
+func TestPackedEntryReadsAbsent(t *testing.T) {
+	ix := New(16)
+	k := []byte("k")
+	e := entry(1)
+	ix.Put(k, e)
+	e.MarkPacked()
+	if ix.Get(k) != nil {
+		t.Fatal("packed entry returned")
+	}
+}
+
+func TestCollisions(t *testing.T) {
+	// Tiny table forces chains.
+	ix := New(1)
+	const n = 1000
+	entries := make([]*imrs.Entry, n)
+	for i := 0; i < n; i++ {
+		entries[i] = entry(i)
+		ix.Put([]byte(fmt.Sprintf("key-%d", i)), entries[i])
+	}
+	for i := 0; i < n; i++ {
+		if ix.Get([]byte(fmt.Sprintf("key-%d", i))) != entries[i] {
+			t.Fatalf("key %d lost in chain", i)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		ix.Delete([]byte(fmt.Sprintf("key-%d", i)), entries[i])
+	}
+	for i := 0; i < n; i++ {
+		got := ix.Get([]byte(fmt.Sprintf("key-%d", i)))
+		if i%2 == 0 && got != nil {
+			t.Fatalf("deleted key %d still present", i)
+		}
+		if i%2 == 1 && got != entries[i] {
+			t.Fatalf("surviving key %d lost", i)
+		}
+	}
+}
+
+func TestConcurrentMixed(t *testing.T) {
+	ix := New(64)
+	var wg sync.WaitGroup
+	const workers, per = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := []byte(fmt.Sprintf("w%d-k%d", w, i))
+				e := entry(w*per + i)
+				ix.Put(k, e)
+				if got := ix.Get(k); got != e {
+					t.Errorf("own key lost: %s", k)
+					return
+				}
+				if i%3 == 0 {
+					ix.Delete(k, e)
+					if ix.Get(k) != nil {
+						t.Errorf("deleted key visible: %s", k)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestHitMissCounters(t *testing.T) {
+	ix := New(16)
+	ix.Put([]byte("a"), entry(1))
+	ix.Get([]byte("a"))
+	ix.Get([]byte("b"))
+	if ix.Hits.Load() != 1 || ix.Misses.Load() != 1 {
+		t.Fatalf("hits=%d misses=%d", ix.Hits.Load(), ix.Misses.Load())
+	}
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterSequential(t *testing.T) {
+	var c Counter
+	for i := 0; i < 1000; i++ {
+		c.Inc()
+	}
+	c.Add(-500)
+	if got := c.Load(); got != 500 {
+		t.Fatalf("Load = %d, want 500", got)
+	}
+	c.Reset()
+	if got := c.Load(); got != 0 {
+		t.Fatalf("after Reset Load = %d", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers = 16
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*perWorker {
+		t.Fatalf("Load = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Store(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("Load = %d, want 7", got)
+	}
+}
+
+func BenchmarkStripedCounter(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Load() != int64(b.N) {
+		b.Fatal("lost updates")
+	}
+}
+
+func BenchmarkSingleAtomicCounter(b *testing.B) {
+	var g Gauge
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			g.Add(1)
+		}
+	})
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets covers 1µs..~17s in powers of two.
+const histBuckets = 25
+
+// LatencyHistogram is a lock-free power-of-two-bucket latency histogram.
+// The paper leaves transaction commit-latency impact "to future work";
+// the TPC-C driver records it here so the harness can report it.
+type LatencyHistogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+func bucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	b := int(math.Ilogb(float64(us))) + 1
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one latency sample.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	h.buckets[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// Count returns the number of samples.
+func (h *LatencyHistogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean latency.
+func (h *LatencyHistogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load() / n)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]),
+// resolved to bucket granularity.
+func (h *LatencyHistogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(q * float64(n))
+	if target >= n {
+		target = n - 1
+	}
+	var seen int64
+	for b := 0; b < histBuckets; b++ {
+		seen += h.buckets[b].Load()
+		if seen > target {
+			// Upper edge of bucket b: 2^b microseconds.
+			return time.Duration(1<<uint(b)) * time.Microsecond
+		}
+	}
+	return time.Duration(1<<uint(histBuckets-1)) * time.Microsecond
+}
+
+// String summarizes the distribution.
+func (h *LatencyHistogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50≤%v p95≤%v p99≤%v",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+}

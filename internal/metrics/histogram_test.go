@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h LatencyHistogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should be zero")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 100*time.Microsecond {
+		t.Fatalf("Mean = %v", got)
+	}
+	// 100µs falls in the (64µs,128µs] bucket: quantile upper bound 128µs.
+	if got := h.Quantile(0.5); got != 128*time.Microsecond {
+		t.Fatalf("p50 = %v, want 128µs", got)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	var h LatencyHistogram
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Second)
+	}
+	p50, p95, p99 := h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99)
+	if p50 > p95 || p95 > p99 {
+		t.Fatalf("quantiles not monotone: %v %v %v", p50, p95, p99)
+	}
+	if p50 > 2*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~1ms", p50)
+	}
+	if p99 < 500*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~1s", p99)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h LatencyHistogram
+	h.Observe(0)
+	h.Observe(time.Hour) // clamps to the last bucket
+	if h.Count() != 2 {
+		t.Fatal("count wrong")
+	}
+	if h.Quantile(1.0) == 0 {
+		t.Fatal("max quantile should be non-zero")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h LatencyHistogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+}

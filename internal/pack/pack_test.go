@@ -1,0 +1,311 @@
+package pack
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ilm"
+	"repro/internal/imrs"
+	"repro/internal/rid"
+	"repro/internal/txn"
+)
+
+// fakeRelocator removes entries from the IMRS store directly, standing in
+// for the engine's logged relocation.
+type fakeRelocator struct {
+	mu     sync.Mutex
+	store  *imrs.Store
+	packed map[rid.PartitionID]int
+	failAt int // fail the Nth call if > 0
+	calls  int
+	sizes  []int // batch sizes observed
+}
+
+func (f *fakeRelocator) PackEntries(part rid.PartitionID, entries []*imrs.Entry) (int, int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	f.sizes = append(f.sizes, len(entries))
+	var bytes int64
+	rows := 0
+	for _, e := range entries {
+		if !e.MarkPacked() {
+			continue
+		}
+		bytes += int64(e.LiveBytes())
+		f.store.RemoveEntry(e)
+		rows++
+	}
+	if f.packed == nil {
+		f.packed = make(map[rid.PartitionID]int)
+	}
+	f.packed[part] += rows
+	return rows, bytes, nil
+}
+
+type fixture struct {
+	cfg    ilm.Config
+	store  *imrs.Store
+	queues *QueueSet
+	reg    *ilm.Registry
+	tsf    *ilm.TSF
+	tuner  *ilm.Tuner
+	clock  *txn.Clock
+	reloc  *fakeRelocator
+	packer *Packer
+}
+
+func newFixture(t *testing.T, capacity int64, cfg ilm.Config) *fixture {
+	t.Helper()
+	f := &fixture{cfg: cfg}
+	f.store = imrs.NewStore(capacity)
+	f.queues = NewQueueSet()
+	f.reg = ilm.NewRegistry()
+	f.tsf = ilm.NewTSF(cfg, capacity)
+	f.clock = &txn.Clock{}
+	f.tuner = ilm.NewTuner(cfg, f.reg, capacity, func(id rid.PartitionID) ilm.PartitionUsage {
+		st := f.store.Part(id)
+		return ilm.PartitionUsage{Rows: st.Rows.Load(), Bytes: st.Bytes.Load()}
+	})
+	f.reloc = &fakeRelocator{store: f.store}
+	f.packer = New(cfg, f.store, f.queues, f.reg, f.tsf, f.tuner, f.clock, f.reloc, time.Millisecond, 2)
+	return f
+}
+
+// addRows inserts n committed rows of ~size bytes into partition part.
+func (f *fixture) addRows(t *testing.T, part rid.PartitionID, n, size int) []*imrs.Entry {
+	t.Helper()
+	f.reg.Register(part, "t")
+	var out []*imrs.Entry
+	for i := 0; i < n; i++ {
+		e, err := f.store.CreateEntry(rid.NewVirtual(part, uint64(i)+1), part, imrs.OriginInserted, make([]byte, size), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.store.Commit(e.Head(), f.clock.Tick())
+		e.Touch(f.clock.Now())
+		f.queues.Enqueue(e)
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestQueueSetRouting(t *testing.T) {
+	s := NewQueueSet()
+	e1 := &imrs.Entry{RID: rid.NewVirtual(1, 1), Part: 1, Origin: imrs.OriginInserted}
+	e2 := &imrs.Entry{RID: rid.NewVirtual(1, 2), Part: 1, Origin: imrs.OriginMigrated}
+	e3 := &imrs.Entry{RID: rid.NewVirtual(2, 1), Part: 2, Origin: imrs.OriginInserted}
+	s.Enqueue(e1)
+	s.Enqueue(e2)
+	s.Enqueue(e3)
+	if s.QueuedRows(1) != 2 || s.QueuedRows(2) != 1 {
+		t.Fatal("routing wrong")
+	}
+	if s.For(1, imrs.OriginInserted).Len() != 1 || s.For(1, imrs.OriginMigrated).Len() != 1 {
+		t.Fatal("origin separation wrong")
+	}
+	s.Remove(e2)
+	if s.QueuedRows(1) != 1 {
+		t.Fatal("Remove failed")
+	}
+	if s.PartitionQueues(99) != nil {
+		t.Fatal("unknown partition should be nil")
+	}
+}
+
+func TestIdleBelowSteadyThreshold(t *testing.T) {
+	cfg := ilm.DefaultConfig()
+	f := newFixture(t, 1<<20, cfg)
+	f.addRows(t, 1, 10, 100) // ~1% utilization
+	f.packer.Step()
+	if f.packer.Cycles.Load() != 0 {
+		t.Fatal("packed below steady threshold")
+	}
+	if !f.packer.AcceptNewRows() {
+		t.Fatal("reject set while idle")
+	}
+}
+
+func TestSteadyPacksColdRows(t *testing.T) {
+	cfg := ilm.DefaultConfig()
+	cfg.InitialTSF = 100
+	cfg.PackCyclePct = 0.50
+	f := newFixture(t, 1<<20, cfg)
+	// Fill past the steady threshold with rows, then advance the clock so
+	// every row is stale (cold).
+	f.addRows(t, 1, 800, 1000) // ~800 KB of 1 MB
+	for i := 0; i < 500; i++ {
+		f.clock.Tick()
+	}
+	f.packer.Step()
+	if f.packer.Cycles.Load() == 0 {
+		t.Fatal("no pack cycle ran")
+	}
+	if f.packer.RowsPacked.Load() == 0 {
+		t.Fatal("no rows packed")
+	}
+	if f.reloc.packed[1] == 0 {
+		t.Fatal("relocator not driven")
+	}
+	// Utilization must have dropped by roughly the cycle percentage.
+	if f.store.Allocator().Used() >= 800*1024 {
+		t.Fatal("utilization did not drop")
+	}
+}
+
+func TestSteadySkipsHotRows(t *testing.T) {
+	cfg := ilm.DefaultConfig()
+	cfg.InitialTSF = 1_000_000 // everything recent counts as hot
+	cfg.PackCyclePct = 0.50
+	cfg.MinReuseRateForTSF = 0 // never bypass the filter
+	f := newFixture(t, 1<<20, cfg)
+	entries := f.addRows(t, 1, 800, 1000)
+	// Rows are hot: reuse rate must be high so TSF applies.
+	ps := f.reg.Get(1)
+	ps.IMRSSelects.Add(100000)
+	f.packer.Step()
+	if f.packer.RowsPacked.Load() != 0 {
+		t.Fatalf("hot rows packed: %d", f.packer.RowsPacked.Load())
+	}
+	if f.packer.RowsSkipped.Load() == 0 {
+		t.Fatal("no rows skipped")
+	}
+	// Skipped rows must be back on the queue.
+	if got := f.queues.QueuedRows(1); got != len(entries) {
+		t.Fatalf("queue len = %d, want %d", got, len(entries))
+	}
+}
+
+func TestAggressiveIgnoresHotness(t *testing.T) {
+	cfg := ilm.DefaultConfig()
+	cfg.InitialTSF = 1_000_000
+	cfg.MinReuseRateForTSF = 0
+	cfg.PackCyclePct = 0.50
+	f := newFixture(t, 1<<20, cfg)
+	// Fill past the aggressive watermark (0.85 by default).
+	f.addRows(t, 1, 950, 1000)
+	ps := f.reg.Get(1)
+	ps.IMRSSelects.Add(100000) // rows look hot
+	f.packer.Step()
+	if f.packer.RowsPacked.Load() == 0 {
+		t.Fatal("aggressive pack did not pack hot rows")
+	}
+}
+
+func TestRejectBackstopAndRecovery(t *testing.T) {
+	cfg := ilm.DefaultConfig()
+	cfg.PackCyclePct = 0.001 // pack almost nothing per cycle
+	cfg.InitialTSF = 1
+	f := newFixture(t, 1<<20, cfg)
+	f.addRows(t, 1, 1000, 1000) // ~98% full
+	f.packer.Step()
+	if f.packer.AcceptNewRows() {
+		t.Fatal("reject not set at extreme utilization")
+	}
+	// Drain the store; reject must clear once below steady.
+	f.store.Partitions(func(id rid.PartitionID, _ *imrs.PartStats) {})
+	for {
+		trio := f.queues.PartitionQueues(1)
+		e := trio[imrs.OriginInserted].PopHead()
+		if e == nil {
+			break
+		}
+		if e.MarkPacked() {
+			f.store.RemoveEntry(e)
+		}
+	}
+	f.packer.Step()
+	if !f.packer.AcceptNewRows() {
+		t.Fatal("reject not cleared after drain")
+	}
+}
+
+func TestApportionmentTargetsColdFatPartition(t *testing.T) {
+	cfg := ilm.DefaultConfig()
+	cfg.InitialTSF = 10
+	cfg.PackCyclePct = 0.10
+	f := newFixture(t, 4<<20, cfg)
+	// Partition 1: small and hot. Partition 2: fat and cold.
+	f.addRows(t, 1, 20, 500)
+	f.addRows(t, 2, 3000, 1000)
+	f.reg.Get(1).IMRSSelects.Add(50000)
+	for i := 0; i < 100; i++ {
+		f.clock.Tick()
+	}
+	// Keep partition 1 rows freshly touched.
+	trio := f.queues.PartitionQueues(1)
+	trio[imrs.OriginInserted].Walk(func(e *imrs.Entry) bool {
+		e.Touch(f.clock.Now())
+		return true
+	})
+	f.packer.Step()
+	if f.reloc.packed[2] == 0 {
+		t.Fatal("cold fat partition not packed")
+	}
+	if f.reloc.packed[1] > f.reloc.packed[2]/10 {
+		t.Fatalf("hot small partition over-packed: %v", f.reloc.packed)
+	}
+}
+
+func TestBatchSizeBounded(t *testing.T) {
+	cfg := ilm.DefaultConfig()
+	cfg.InitialTSF = 1
+	cfg.PackCyclePct = 0.90
+	f := newFixture(t, 1<<20, cfg)
+	f.addRows(t, 1, 900, 1000)
+	for i := 0; i < 100; i++ {
+		f.clock.Tick()
+	}
+	f.packer.Step()
+	f.reloc.mu.Lock()
+	defer f.reloc.mu.Unlock()
+	if len(f.reloc.sizes) == 0 {
+		t.Fatal("no pack transactions")
+	}
+	for _, s := range f.reloc.sizes {
+		if s > batchSize {
+			t.Fatalf("pack transaction of %d rows exceeds batch size %d", s, batchSize)
+		}
+	}
+}
+
+func TestBackgroundLoop(t *testing.T) {
+	cfg := ilm.DefaultConfig()
+	cfg.InitialTSF = 1
+	cfg.PackCyclePct = 0.20
+	f := newFixture(t, 1<<20, cfg)
+	f.addRows(t, 1, 900, 1000)
+	for i := 0; i < 100; i++ {
+		f.clock.Tick()
+	}
+	f.packer.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for f.packer.RowsPacked.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	f.packer.Stop()
+	if f.packer.RowsPacked.Load() == 0 {
+		t.Fatal("background loop never packed")
+	}
+}
+
+func TestTunerDrivenFromPackLoop(t *testing.T) {
+	cfg := ilm.DefaultConfig()
+	cfg.TuningWindowTxns = 10
+	cfg.HysteresisWindows = 1
+	cfg.MinNewRowsForDisable = 5
+	f := newFixture(t, 1<<20, cfg)
+	f.addRows(t, 1, 800, 1000) // 80% full, reuse 0
+	ps := f.reg.Get(1)
+	ps.NewRows.Add(800)
+	for i := 0; i < 20; i++ {
+		f.clock.Tick()
+	}
+	f.packer.Step() // window elapsed → tuner runs
+	// Second window with fresh new rows and still no reuse completes the
+	// streak if hysteresis were >1; with 1 the first window decides.
+	if ps.Enabled(ilm.OpInsert) {
+		t.Fatal("tuner not driven by pack loop")
+	}
+}

@@ -1,0 +1,328 @@
+package pack
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ilm"
+	"repro/internal/imrs"
+	"repro/internal/metrics"
+	"repro/internal/rid"
+	"repro/internal/txn"
+)
+
+// Level is the pack operating level chosen from cache utilization
+// (paper Section VI-A).
+type Level int
+
+// Pack levels.
+const (
+	LevelIdle       Level = iota // below the steady threshold: no packing
+	LevelSteady                  // pack cold rows only (ILM rules apply)
+	LevelAggressive              // past the aggressive watermark: hotness checks waived
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelIdle:
+		return "idle"
+	case LevelSteady:
+		return "steady"
+	case LevelAggressive:
+		return "aggressive"
+	default:
+		return "level(?)"
+	}
+}
+
+// Relocator performs the actual logged relocation of cold entries to the
+// page store — implemented by the engine, which owns heaps, indexes,
+// logs and locks. It must use conditional row locks and skip (re-tail)
+// entries it cannot lock, and it commits in small pack transactions.
+type Relocator interface {
+	PackEntries(part rid.PartitionID, entries []*imrs.Entry) (rows int, bytes int64, err error)
+}
+
+// batchSize is the number of rows per pack transaction ("each pack
+// transaction packs only a small number of rows and commits frequently",
+// paper Section VII-B).
+const batchSize = 64
+
+// Packer drives pack cycles and the background self-tuning: it wakes
+// periodically, feeds the TSF learner, runs the auto-partition tuner
+// once per tuning window, and packs when utilization exceeds the steady
+// threshold.
+type Packer struct {
+	cfg    ilm.Config
+	store  *imrs.Store
+	queues *QueueSet
+	reg    *ilm.Registry
+	tsf    *ilm.TSF
+	tuner  *ilm.Tuner
+	clock  *txn.Clock
+	reloc  Relocator
+
+	reject     atomic.Bool
+	lastTuneTS atomic.Uint64
+	lastReuse  map[rid.PartitionID]int64 // per-cycle reuse snapshots
+
+	interval time.Duration
+	threads  int
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	runMu    sync.Mutex // one cycle at a time
+
+	// Stats
+	Cycles      metrics.Counter
+	RowsPacked  metrics.Counter
+	BytesPacked metrics.Counter
+	RowsSkipped metrics.Counter
+	RelocErrors metrics.Counter
+}
+
+// New builds a packer. interval is the background wake-up period;
+// threads is the pack thread count used to parallelize partitions
+// within a cycle.
+func New(cfg ilm.Config, store *imrs.Store, queues *QueueSet, reg *ilm.Registry,
+	tsf *ilm.TSF, tuner *ilm.Tuner, clock *txn.Clock, reloc Relocator,
+	interval time.Duration, threads int) *Packer {
+	if threads < 1 {
+		threads = 1
+	}
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	return &Packer{
+		cfg: cfg, store: store, queues: queues, reg: reg, tsf: tsf,
+		tuner: tuner, clock: clock, reloc: reloc,
+		interval: interval, threads: threads,
+		lastReuse: make(map[rid.PartitionID]int64),
+		stop:      make(chan struct{}),
+	}
+}
+
+// AcceptNewRows reports whether the IMRS should accept new rows; the
+// engine redirects inserts/migrations to the page store when false
+// (paper Section VI-A's overload backstop).
+func (p *Packer) AcceptNewRows() bool { return !p.reject.Load() }
+
+// Start launches the background pack loop.
+func (p *Packer) Start() {
+	p.wg.Add(1)
+	go p.loop()
+}
+
+// Stop terminates the background loop.
+func (p *Packer) Stop() {
+	close(p.stop)
+	p.wg.Wait()
+}
+
+func (p *Packer) loop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(p.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-tick.C:
+			p.Step()
+		}
+	}
+}
+
+// Step runs one background evaluation: TSF observation, tuning window if
+// due, and a pack cycle if utilization warrants. Exported so tests and
+// the harness can drive packing deterministically.
+func (p *Packer) Step() {
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+
+	used := p.store.Allocator().Used()
+	now := p.clock.Now()
+	p.tsf.Observe(used, now)
+
+	if now-p.lastTuneTS.Load() >= p.cfg.TuningWindowTxns {
+		p.lastTuneTS.Store(now)
+		p.tuner.RunWindow(used)
+	}
+
+	level := p.level(used)
+	if level == LevelIdle {
+		p.reject.Store(false)
+		return
+	}
+	p.runCycle(used, level)
+
+	// Overload backstop: if even after packing we are still past the
+	// reject watermark, stop accepting new rows until utilization drops.
+	usedAfter := p.store.Allocator().Used()
+	capB := float64(p.store.Allocator().Capacity())
+	rejectWM := p.rejectWatermark()
+	switch {
+	case float64(usedAfter) >= rejectWM*capB:
+		p.reject.Store(true)
+	case float64(usedAfter) < p.cfg.SteadyCacheUtilization*capB:
+		p.reject.Store(false)
+	}
+}
+
+// level maps utilization to a pack level.
+func (p *Packer) level(used int64) Level {
+	capB := float64(p.store.Allocator().Capacity())
+	util := float64(used) / capB
+	switch {
+	case util < p.cfg.SteadyCacheUtilization:
+		return LevelIdle
+	case util >= p.cfg.AggressiveWatermark():
+		return LevelAggressive
+	default:
+		return LevelSteady
+	}
+}
+
+// rejectWatermark sits halfway between the aggressive watermark and full
+// capacity.
+func (p *Packer) rejectWatermark() float64 {
+	wm := p.cfg.AggressiveWatermark()
+	return wm + 0.5*(1-wm)
+}
+
+// runCycle executes one pack cycle: apportion NumBytesToPack across
+// partitions by packability index and pack each partition's share.
+func (p *Packer) runCycle(used int64, level Level) {
+	numBytes := int64(p.cfg.PackCyclePct * float64(used))
+	if numBytes <= 0 {
+		return
+	}
+	samples := p.collectSamples()
+	shares := ilm.Apportion(samples, numBytes)
+	if len(shares) == 0 {
+		return
+	}
+	p.Cycles.Inc()
+
+	jobs := make(chan ilm.PartShare, len(shares))
+	for _, s := range shares {
+		if s.PackBytes > 0 {
+			jobs <- s
+		}
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < p.threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				p.packPartition(s, level)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// collectSamples snapshots per-partition reuse deltas and footprints.
+func (p *Packer) collectSamples() []ilm.PartSample {
+	var samples []ilm.PartSample
+	for _, ps := range p.reg.All() {
+		if ps.PinnedInMemory() {
+			continue // never packed, so never apportioned a share
+		}
+		st := p.store.Part(ps.ID)
+		reuse := ps.ReuseOps()
+		delta := reuse - p.lastReuse[ps.ID]
+		p.lastReuse[ps.ID] = reuse
+		samples = append(samples, ilm.PartSample{
+			ID:       ps.ID,
+			ReuseOps: delta,
+			MemBytes: st.Bytes.Load(),
+			Rows:     st.Rows.Load(),
+		})
+	}
+	return samples
+}
+
+// packPartition packs up to share.PackBytes from one partition,
+// harvesting its three origin queues round-robin and applying the TSF
+// hotness check at steady level.
+func (p *Packer) packPartition(share ilm.PartShare, level Level) {
+	trio := p.queues.PartitionQueues(share.ID)
+	if trio == nil {
+		return
+	}
+	ps := p.reg.Get(share.ID)
+	if ps != nil && ps.PinnedInMemory() {
+		return // user-pinned fully in-memory table: never packed
+	}
+	now := p.clock.Now()
+
+	// Cap the number of entries examined so an all-hot queue cannot spin
+	// the pack thread: one full pass over the queued rows at most.
+	budget := p.queues.QueuedRows(share.ID)
+	var freed, pending int64
+	var batch []*imrs.Entry
+
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		rows, bytes, err := p.reloc.PackEntries(share.ID, batch)
+		if err != nil {
+			// Keep unpacked entries reachable: anything still live goes
+			// back on its queue for a later cycle.
+			p.RelocErrors.Inc()
+			for _, e := range batch {
+				if !e.Packed() {
+					p.queues.Enqueue(e)
+				}
+			}
+		}
+		batch = batch[:0]
+		pending = 0
+		if err != nil {
+			return
+		}
+		freed += bytes
+		p.RowsPacked.Add(int64(rows))
+		p.BytesPacked.Add(bytes)
+		if ps != nil {
+			ps.PackedRows.Add(int64(rows))
+			ps.PackedBytes.Add(bytes)
+		}
+	}
+
+	origin := 0
+	emptyStreak := 0
+	for freed+pending < share.PackBytes && budget > 0 && emptyStreak < imrs.NumOrigins {
+		q := &trio[origin%imrs.NumOrigins]
+		origin++
+		e := q.PopHead()
+		if e == nil {
+			emptyStreak++
+			continue
+		}
+		emptyStreak = 0
+		budget--
+		if e.Packed() {
+			continue // already gone; drop from the queue
+		}
+		if level == LevelSteady && !p.tsf.RowIsCold(now, e.LastAccess(), share.ReuseRate) {
+			q.PushTail(e) // hot: bubble back to the tail
+			p.RowsSkipped.Inc()
+			if ps != nil {
+				ps.SkippedHot.Inc()
+			}
+			continue
+		}
+		batch = append(batch, e)
+		pending += int64(e.LiveBytes())
+		if len(batch) >= batchSize {
+			flush()
+		}
+	}
+	flush()
+}

@@ -1,0 +1,73 @@
+// Package pack implements the Pack subsystem of the BTrim architecture
+// (paper Section VI): background threads that identify cold rows in the
+// IMRS via partition-level relaxed LRU queues and the learned timestamp
+// filter, and relocate them to the page store in small pack
+// transactions, keeping cache utilization steady around a configured
+// threshold.
+package pack
+
+import (
+	"sync"
+
+	"repro/internal/imrs"
+	"repro/internal/rid"
+)
+
+// QueueSet holds the relaxed LRU queues: one queue per partition per row
+// origin (inserted / migrated / cached), per paper Section VI-B.
+type QueueSet struct {
+	mu sync.RWMutex
+	qs map[rid.PartitionID]*[imrs.NumOrigins]imrs.Queue
+}
+
+// NewQueueSet returns an empty set.
+func NewQueueSet() *QueueSet {
+	return &QueueSet{qs: make(map[rid.PartitionID]*[imrs.NumOrigins]imrs.Queue)}
+}
+
+// For returns the queue for (part, origin), creating it on first use.
+func (s *QueueSet) For(part rid.PartitionID, origin imrs.Origin) *imrs.Queue {
+	s.mu.RLock()
+	trio, ok := s.qs[part]
+	s.mu.RUnlock()
+	if !ok {
+		s.mu.Lock()
+		if trio, ok = s.qs[part]; !ok {
+			trio = new([imrs.NumOrigins]imrs.Queue)
+			s.qs[part] = trio
+		}
+		s.mu.Unlock()
+	}
+	return &trio[origin]
+}
+
+// Enqueue tails e on its partition/origin queue.
+func (s *QueueSet) Enqueue(e *imrs.Entry) {
+	s.For(e.Part, e.Origin).PushTail(e)
+}
+
+// Remove unlinks e from its queue (delete/pack cleanup).
+func (s *QueueSet) Remove(e *imrs.Entry) {
+	s.For(e.Part, e.Origin).Remove(e)
+}
+
+// PartitionQueues returns the three queues of a partition (nil if the
+// partition has never enqueued anything).
+func (s *QueueSet) PartitionQueues(part rid.PartitionID) *[imrs.NumOrigins]imrs.Queue {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.qs[part]
+}
+
+// QueuedRows returns the total queued entries for a partition.
+func (s *QueueSet) QueuedRows(part rid.PartitionID) int {
+	trio := s.PartitionQueues(part)
+	if trio == nil {
+		return 0
+	}
+	n := 0
+	for i := range trio {
+		n += trio[i].Len()
+	}
+	return n
+}

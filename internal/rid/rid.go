@@ -1,0 +1,75 @@
+// Package rid defines row identifiers (RIDs) used across the engine.
+//
+// A RID names a row location. Rows that live in the page store are
+// addressed by (partition, page, slot). Rows first inserted into the IMRS
+// have no page-store footprint yet; they receive a *virtual* RID drawn
+// from a per-partition sequence, distinguished by the high bit of the
+// page number. When such a row is later packed to the page store, its
+// index entries are rewritten to the new physical RID (a logged delete
+// from the IMRS plus a logged insert into the page store, as in the
+// paper's Pack operation).
+package rid
+
+import "fmt"
+
+// PartitionID identifies a data partition (the entire table for an
+// unpartitioned table, per the paper's Section V convention).
+type PartitionID uint32
+
+// PageID identifies a page within the database's page space.
+type PageID uint32
+
+// InvalidPage is a PageID that never names a real page.
+const InvalidPage PageID = 0xFFFFFFFF
+
+// virtualBit marks RIDs allocated for IMRS-only (not yet packed) rows.
+const virtualBit uint64 = 1 << 63
+
+// RID is a packed row identifier: partition (high 32 bits below the
+// virtual bit are split between partition and page), page, and slot.
+//
+// Layout (physical): [1 bit virtual=0][15 bits partition][32 bits page][16 bits slot]
+// Layout (virtual):  [1 bit virtual=1][15 bits partition][48 bits sequence]
+type RID uint64
+
+// NewPhysical builds the RID of a page-store row.
+func NewPhysical(part PartitionID, page PageID, slot uint16) RID {
+	return RID(uint64(part&0x7FFF)<<48 | uint64(page)<<16 | uint64(slot))
+}
+
+// NewVirtual builds the RID of an IMRS-resident row that has no
+// page-store location yet. seq must fit in 48 bits.
+func NewVirtual(part PartitionID, seq uint64) RID {
+	return RID(virtualBit | uint64(part&0x7FFF)<<48 | (seq & 0xFFFFFFFFFFFF))
+}
+
+// IsVirtual reports whether r names an IMRS-only row.
+func (r RID) IsVirtual() bool { return uint64(r)&virtualBit != 0 }
+
+// Partition returns the partition component of r.
+func (r RID) Partition() PartitionID {
+	return PartitionID(uint64(r) >> 48 & 0x7FFF)
+}
+
+// Page returns the page component of a physical RID.
+func (r RID) Page() PageID { return PageID(uint64(r) >> 16 & 0xFFFFFFFF) }
+
+// Slot returns the slot component of a physical RID.
+func (r RID) Slot() uint16 { return uint16(uint64(r) & 0xFFFF) }
+
+// Seq returns the sequence component of a virtual RID.
+func (r RID) Seq() uint64 { return uint64(r) & 0xFFFFFFFFFFFF }
+
+// Zero is the invalid RID.
+const Zero RID = 0
+
+// String implements fmt.Stringer.
+func (r RID) String() string {
+	if r == Zero {
+		return "rid(0)"
+	}
+	if r.IsVirtual() {
+		return fmt.Sprintf("vrid(p%d:%d)", r.Partition(), r.Seq())
+	}
+	return fmt.Sprintf("rid(p%d:pg%d:s%d)", r.Partition(), r.Page(), r.Slot())
+}

@@ -1,0 +1,79 @@
+package rid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPhysicalRoundTrip(t *testing.T) {
+	r := NewPhysical(7, 123456, 42)
+	if r.IsVirtual() {
+		t.Fatalf("physical RID reports virtual")
+	}
+	if got := r.Partition(); got != 7 {
+		t.Errorf("Partition() = %d, want 7", got)
+	}
+	if got := r.Page(); got != 123456 {
+		t.Errorf("Page() = %d, want 123456", got)
+	}
+	if got := r.Slot(); got != 42 {
+		t.Errorf("Slot() = %d, want 42", got)
+	}
+}
+
+func TestVirtualRoundTrip(t *testing.T) {
+	r := NewVirtual(15, 0xABCDEF012345)
+	if !r.IsVirtual() {
+		t.Fatalf("virtual RID reports physical")
+	}
+	if got := r.Partition(); got != 15 {
+		t.Errorf("Partition() = %d, want 15", got)
+	}
+	if got := r.Seq(); got != 0xABCDEF012345 {
+		t.Errorf("Seq() = %x, want abcdef012345", got)
+	}
+}
+
+func TestPhysicalRoundTripProperty(t *testing.T) {
+	f := func(part uint16, page uint32, slot uint16) bool {
+		p := PartitionID(part & 0x7FFF)
+		r := NewPhysical(p, PageID(page), slot)
+		return !r.IsVirtual() && r.Partition() == p && r.Page() == PageID(page) && r.Slot() == slot
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualRoundTripProperty(t *testing.T) {
+	f := func(part uint16, seq uint64) bool {
+		p := PartitionID(part & 0x7FFF)
+		s := seq & 0xFFFFFFFFFFFF
+		r := NewVirtual(p, s)
+		return r.IsVirtual() && r.Partition() == p && r.Seq() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctness(t *testing.T) {
+	// A virtual RID and a physical RID with coincident bits must differ.
+	v := NewVirtual(1, 5)
+	p := NewPhysical(1, 0, 5)
+	if v == p {
+		t.Fatalf("virtual and physical RIDs collide: %v vs %v", v, p)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if s := Zero.String(); s != "rid(0)" {
+		t.Errorf("Zero.String() = %q", s)
+	}
+	if s := NewPhysical(1, 2, 3).String(); s != "rid(p1:pg2:s3)" {
+		t.Errorf("physical String() = %q", s)
+	}
+	if s := NewVirtual(1, 9).String(); s != "vrid(p1:9)" {
+		t.Errorf("virtual String() = %q", s)
+	}
+}

@@ -1,0 +1,125 @@
+package ridmap
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/imrs"
+	"repro/internal/rid"
+)
+
+func entry(r rid.RID) *imrs.Entry {
+	return &imrs.Entry{RID: r}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	m := New()
+	r := rid.NewPhysical(1, 2, 3)
+	if m.Get(r) != nil {
+		t.Fatal("empty map returned entry")
+	}
+	e := entry(r)
+	if !m.Put(r, e) {
+		t.Fatal("Put failed")
+	}
+	if m.Get(r) != e {
+		t.Fatal("Get mismatch")
+	}
+	m.Delete(r, e)
+	if m.Get(r) != nil {
+		t.Fatal("entry survives delete")
+	}
+}
+
+func TestPutRefusesLiveOverwrite(t *testing.T) {
+	m := New()
+	r := rid.NewPhysical(1, 2, 3)
+	e1, e2 := entry(r), entry(r)
+	if !m.Put(r, e1) {
+		t.Fatal("first Put failed")
+	}
+	if m.Put(r, e2) {
+		t.Fatal("Put over live entry should fail")
+	}
+	// After the first entry is packed, the slot is reusable.
+	e1.MarkPacked()
+	if m.Get(r) != nil {
+		t.Fatal("packed entry should read as absent")
+	}
+	if !m.Put(r, e2) {
+		t.Fatal("Put over packed entry should succeed")
+	}
+	if m.Get(r) != e2 {
+		t.Fatal("replacement entry not returned")
+	}
+}
+
+func TestDeleteOnlyMatchingEntry(t *testing.T) {
+	m := New()
+	r := rid.NewPhysical(1, 2, 3)
+	e1, e2 := entry(r), entry(r)
+	m.Put(r, e1)
+	m.Delete(r, e2) // wrong entry: no-op
+	if m.Get(r) != e1 {
+		t.Fatal("Delete removed a non-matching entry")
+	}
+}
+
+func TestRange(t *testing.T) {
+	m := New()
+	for i := 0; i < 100; i++ {
+		r := rid.NewVirtual(1, uint64(i))
+		m.Put(r, entry(r))
+	}
+	packed := entry(rid.NewVirtual(1, 1000))
+	packed.MarkPacked()
+	m.Put(rid.NewVirtual(1, 1000), packed)
+
+	n := 0
+	m.Range(func(r rid.RID, e *imrs.Entry) bool {
+		if e.Packed() {
+			t.Fatal("Range surfaced a packed entry")
+		}
+		n++
+		return true
+	})
+	if n != 100 {
+		t.Fatalf("Range visited %d, want 100", n)
+	}
+	// Early stop.
+	n = 0
+	m.Range(func(rid.RID, *imrs.Entry) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r := rid.NewVirtual(rid.PartitionID(w), uint64(i))
+				e := entry(r)
+				if !m.Put(r, e) {
+					t.Error("Put collision across distinct RIDs")
+					return
+				}
+				if m.Get(r) != e {
+					t.Error("Get after Put mismatch")
+					return
+				}
+				if i%2 == 0 {
+					m.Delete(r, e)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != 8*1000 {
+		t.Fatalf("Len = %d, want 8000", m.Len())
+	}
+}

@@ -1,0 +1,118 @@
+package row
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Row wire format: for each column, one kind byte (0 = NULL), then a
+// kind-dependent payload: int64/float64 as 8 fixed bytes, string/bytes as
+// uvarint length + raw bytes. The format is self-describing enough to be
+// decoded with the schema alone and is stable across the two stores and
+// both logs.
+
+// Encode appends the encoding of r (which must match s) to dst and
+// returns the extended slice.
+func Encode(s *Schema, r Row, dst []byte) ([]byte, error) {
+	if err := s.Validate(r); err != nil {
+		return nil, err
+	}
+	for _, v := range r {
+		dst = append(dst, byte(v.kind))
+		switch v.kind {
+		case 0: // NULL: kind byte only
+		case KindInt64:
+			dst = binary.BigEndian.AppendUint64(dst, uint64(v.i))
+		case KindFloat64:
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.f))
+		case KindString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+			dst = append(dst, v.s...)
+		case KindBytes:
+			dst = binary.AppendUvarint(dst, uint64(len(v.b)))
+			dst = append(dst, v.b...)
+		}
+	}
+	return dst, nil
+}
+
+// EncodedSize returns the exact byte size Encode will produce for r.
+func EncodedSize(r Row) int {
+	n := 0
+	for _, v := range r {
+		n++
+		switch v.kind {
+		case KindInt64, KindFloat64:
+			n += 8
+		case KindString:
+			n += uvarintLen(uint64(len(v.s))) + len(v.s)
+		case KindBytes:
+			n += uvarintLen(uint64(len(v.b))) + len(v.b)
+		}
+	}
+	return n
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// Decode parses an encoded row per schema s. The returned Row's string
+// and bytes payloads copy out of buf, so buf may be reused by the caller.
+func Decode(s *Schema, buf []byte) (Row, error) {
+	r := make(Row, s.NumColumns())
+	pos := 0
+	for i := 0; i < s.NumColumns(); i++ {
+		if pos >= len(buf) {
+			return nil, fmt.Errorf("row: truncated at column %d", i)
+		}
+		k := Kind(buf[pos])
+		pos++
+		switch k {
+		case 0:
+			r[i] = Null
+		case KindInt64:
+			if pos+8 > len(buf) {
+				return nil, fmt.Errorf("row: truncated int64 at column %d", i)
+			}
+			r[i] = Int64(int64(binary.BigEndian.Uint64(buf[pos:])))
+			pos += 8
+		case KindFloat64:
+			if pos+8 > len(buf) {
+				return nil, fmt.Errorf("row: truncated float64 at column %d", i)
+			}
+			r[i] = Float64(math.Float64frombits(binary.BigEndian.Uint64(buf[pos:])))
+			pos += 8
+		case KindString, KindBytes:
+			n, w := binary.Uvarint(buf[pos:])
+			if w <= 0 || pos+w+int(n) > len(buf) {
+				return nil, fmt.Errorf("row: truncated varlen at column %d", i)
+			}
+			pos += w
+			payload := buf[pos : pos+int(n)]
+			pos += int(n)
+			if k == KindString {
+				r[i] = String(string(payload))
+			} else {
+				cp := make([]byte, len(payload))
+				copy(cp, payload)
+				r[i] = Bytes(cp)
+			}
+		default:
+			return nil, fmt.Errorf("row: bad kind byte %d at column %d", k, i)
+		}
+		if k != 0 && k != s.Column(i).Kind {
+			return nil, fmt.Errorf("row: column %d kind %v, schema wants %v", i, k, s.Column(i).Kind)
+		}
+	}
+	if pos != len(buf) {
+		return nil, fmt.Errorf("row: %d trailing bytes", len(buf)-pos)
+	}
+	return r, nil
+}

@@ -1,0 +1,166 @@
+package row
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Column{Name: "id", Kind: KindInt64},
+		Column{Name: "amount", Kind: KindFloat64},
+		Column{Name: "name", Kind: KindString},
+		Column{Name: "payload", Kind: KindBytes},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	r := Row{Int64(-42), Float64(3.5), String("hello\x00world"), Bytes([]byte{0, 1, 2})}
+	buf, err := Encode(s, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != EncodedSize(r) {
+		t.Errorf("EncodedSize = %d, actual %d", EncodedSize(r), len(buf))
+	}
+	got, err := Decode(s, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(r) {
+		t.Errorf("round trip mismatch: %v vs %v", got, r)
+	}
+}
+
+func TestEncodeDecodeNulls(t *testing.T) {
+	s := testSchema(t)
+	r := Row{Null, Null, Null, Null}
+	buf, err := Encode(s, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(s, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if !v.IsNull() {
+			t.Errorf("column %d: want NULL, got %v", i, v)
+		}
+	}
+}
+
+func TestEncodeRejectsWrongArity(t *testing.T) {
+	s := testSchema(t)
+	if _, err := Encode(s, Row{Int64(1)}, nil); err == nil {
+		t.Fatal("want arity error")
+	}
+}
+
+func TestEncodeRejectsWrongKind(t *testing.T) {
+	s := testSchema(t)
+	r := Row{String("oops"), Float64(1), String("x"), Bytes(nil)}
+	if _, err := Encode(s, r, nil); err == nil {
+		t.Fatal("want kind error")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	s := testSchema(t)
+	cases := [][]byte{
+		nil,
+		{0xFF},
+		{byte(KindInt64), 1, 2, 3}, // truncated int
+		{byte(KindString), 0x05, 'a'},
+	}
+	for i, buf := range cases {
+		if _, err := Decode(s, buf); err == nil {
+			t.Errorf("case %d: want decode error", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailing(t *testing.T) {
+	s := testSchema(t)
+	r := Row{Int64(1), Float64(2), String("x"), Bytes(nil)}
+	buf, err := Encode(s, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(s, append(buf, 0x00)); err == nil {
+		t.Fatal("want trailing-bytes error")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	s := testSchema(t)
+	f := func(id int64, amt float64, name string, payload []byte) bool {
+		r := Row{Int64(id), Float64(amt), String(name), Bytes(payload)}
+		buf, err := Encode(s, r, nil)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(s, buf)
+		if err != nil {
+			return false
+		}
+		// Bytes(nil) decodes as empty non-nil slice; compare contents.
+		return got[0].Equal(r[0]) && got[1].Equal(r[1]) && got[2].Equal(r[2]) &&
+			string(got[3].Raw()) == string(payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowCloneIsDeep(t *testing.T) {
+	payload := []byte{1, 2, 3}
+	r := Row{Bytes(payload)}
+	c := r.Clone()
+	payload[0] = 99
+	if c[0].Raw()[0] != 1 {
+		t.Fatal("Clone shares bytes with original")
+	}
+}
+
+func TestSchemaOrdinals(t *testing.T) {
+	s := testSchema(t)
+	ords, err := s.Ordinals("name", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ords[0] != 2 || ords[1] != 0 {
+		t.Errorf("Ordinals = %v", ords)
+	}
+	if _, err := s.Ordinals("nope"); err == nil {
+		t.Fatal("want unknown-column error")
+	}
+	if s.Ordinal("nope") != -1 {
+		t.Fatal("Ordinal of missing column should be -1")
+	}
+}
+
+func TestNewSchemaRejectsDuplicates(t *testing.T) {
+	_, err := NewSchema(Column{Name: "a", Kind: KindInt64}, Column{Name: "a", Kind: KindInt64})
+	if err == nil {
+		t.Fatal("want duplicate error")
+	}
+	_, err = NewSchema()
+	if err == nil {
+		t.Fatal("want empty-schema error")
+	}
+	_, err = NewSchema(Column{Name: "", Kind: KindInt64})
+	if err == nil {
+		t.Fatal("want empty-name error")
+	}
+	_, err = NewSchema(Column{Name: "a", Kind: Kind(99)})
+	if err == nil {
+		t.Fatal("want bad-kind error")
+	}
+}

@@ -1,0 +1,136 @@
+package row
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyIntOrdering(t *testing.T) {
+	vals := []int64{math.MinInt64, -100, -1, 0, 1, 7, 100, math.MaxInt64}
+	var prev Key
+	for i, v := range vals {
+		k := EncodeKey(nil, Int64(v))
+		if i > 0 && Compare(prev, k) >= 0 {
+			t.Errorf("key(%d) !< key(%d)", vals[i-1], v)
+		}
+		prev = k
+	}
+}
+
+func TestKeyIntOrderingProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := EncodeKey(nil, Int64(a))
+		kb := EncodeKey(nil, Int64(b))
+		switch {
+		case a < b:
+			return Compare(ka, kb) < 0
+		case a > b:
+			return Compare(ka, kb) > 0
+		default:
+			return Compare(ka, kb) == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyFloatOrderingProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ka := EncodeKey(nil, Float64(a))
+		kb := EncodeKey(nil, Float64(b))
+		switch {
+		case a < b:
+			return Compare(ka, kb) < 0
+		case a > b:
+			return Compare(ka, kb) > 0
+		default:
+			return Compare(ka, kb) == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyStringOrderingProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		ka := EncodeKey(nil, String(a))
+		kb := EncodeKey(nil, String(b))
+		want := bytes.Compare([]byte(a), []byte(b))
+		got := Compare(ka, kb)
+		return sign(got) == sign(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestKeyStringWithNulBytes(t *testing.T) {
+	// "a\x00" vs "a" — extension must sort after its prefix even with
+	// embedded NUL bytes, and composite keys must not bleed into the
+	// next column.
+	a := EncodeKey(nil, String("a"), Int64(9))
+	b := EncodeKey(nil, String("a\x00"), Int64(0))
+	if Compare(a, b) >= 0 {
+		t.Fatal(`("a",9) should sort before ("a\x00",0)`)
+	}
+}
+
+func TestKeyCompositeOrdering(t *testing.T) {
+	type pair struct {
+		s string
+		i int64
+	}
+	pairs := []pair{{"a", 2}, {"a", 10}, {"ab", 1}, {"b", 0}}
+	keys := make([]Key, len(pairs))
+	for i, p := range pairs {
+		keys[i] = EncodeKey(nil, String(p.s), Int64(p.i))
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return Compare(keys[i], keys[j]) < 0 }) {
+		t.Fatal("composite keys not in expected order")
+	}
+}
+
+func TestNullSortsFirst(t *testing.T) {
+	n := EncodeKey(nil, Null)
+	v := EncodeKey(nil, Int64(math.MinInt64))
+	if Compare(n, v) >= 0 {
+		t.Fatal("NULL should sort before any int")
+	}
+	s := EncodeKey(nil, String(""))
+	if Compare(n, s) >= 0 {
+		t.Fatal("NULL should sort before any string")
+	}
+}
+
+func TestKeyOf(t *testing.T) {
+	r := Row{Int64(1), String("x"), Float64(2)}
+	k, err := KeyOf(r, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := EncodeKey(nil, String("x"), Int64(1))
+	if !bytes.Equal(k, want) {
+		t.Fatalf("KeyOf mismatch")
+	}
+	if _, err := KeyOf(r, []int{5}); err == nil {
+		t.Fatal("want out-of-range error")
+	}
+}

@@ -1,0 +1,91 @@
+package row
+
+import "fmt"
+
+// Column describes one column of a schema.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered set of columns. Schemas are immutable after
+// construction and safe for concurrent use.
+type Schema struct {
+	cols   []Column
+	byName map[string]int
+}
+
+// NewSchema builds a schema from columns. Column names must be unique.
+func NewSchema(cols ...Column) (*Schema, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("row: schema needs at least one column")
+	}
+	byName := make(map[string]int, len(cols))
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("row: column %d has empty name", i)
+		}
+		if c.Kind < KindInt64 || c.Kind > KindBytes {
+			return nil, fmt.Errorf("row: column %q has invalid kind %d", c.Name, c.Kind)
+		}
+		if _, dup := byName[c.Name]; dup {
+			return nil, fmt.Errorf("row: duplicate column %q", c.Name)
+		}
+		byName[c.Name] = i
+	}
+	cp := make([]Column, len(cols))
+	copy(cp, cols)
+	return &Schema{cols: cp, byName: byName}, nil
+}
+
+// MustSchema is NewSchema that panics on error; for statically known schemas.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumColumns returns the column count.
+func (s *Schema) NumColumns() int { return len(s.cols) }
+
+// Column returns column i.
+func (s *Schema) Column(i int) Column { return s.cols[i] }
+
+// Ordinal returns the position of the named column, or -1.
+func (s *Schema) Ordinal(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Ordinals maps column names to positions, failing on unknown names.
+func (s *Schema) Ordinals(names ...string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		ord := s.Ordinal(n)
+		if ord < 0 {
+			return nil, fmt.Errorf("row: unknown column %q", n)
+		}
+		out[i] = ord
+	}
+	return out, nil
+}
+
+// Validate checks that r conforms to the schema (NULLs are allowed).
+func (s *Schema) Validate(r Row) error {
+	if len(r) != len(s.cols) {
+		return fmt.Errorf("row: got %d values, schema has %d columns", len(r), len(s.cols))
+	}
+	for i, v := range r {
+		if v.IsNull() {
+			continue
+		}
+		if v.Kind() != s.cols[i].Kind {
+			return fmt.Errorf("row: column %q wants %v, got %v", s.cols[i].Name, s.cols[i].Kind, v.Kind())
+		}
+	}
+	return nil
+}

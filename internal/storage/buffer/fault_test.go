@@ -1,0 +1,99 @@
+package buffer
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/storage/disk"
+	"repro/internal/storage/page"
+)
+
+// TestFetchSurfacesReadFaults: a device read error during a miss is
+// returned to the caller and the pool stays usable for cached pages.
+func TestFetchSurfacesReadFaults(t *testing.T) {
+	inner := disk.NewMemDevice(0, 0)
+	defer inner.Close()
+	dev := &disk.FaultyDevice{Inner: inner, FailReadsAfter: 1}
+	pool, err := NewPool(dev, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Create two pages; with capacity 4 both stay cached.
+	id1, f1, err := pool.NewPage(page.TypeHeap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1.Unlatch(true)
+	pool.Unpin(f1, true)
+	id2, f2, err := pool.NewPage(page.TypeHeap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Unlatch(true)
+	pool.Unpin(f2, true)
+
+	// First read (a hit) is fine.
+	f, err := pool.Fetch(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(f, false)
+
+	// Force id2 out and a read back in. Use a tiny pool to evict.
+	small, err := NewPool(dev, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One successful read is allowed...
+	f, err = small.Fetch(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small.Unpin(f, false)
+	// ...the next device read fails and must surface.
+	if _, err := small.Fetch(id2); !errors.Is(err, disk.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	// The failed mapping was cleaned up: a retry reports the fault again
+	// (rather than returning a frame of garbage or panicking).
+	if _, err := small.Fetch(id2); !errors.Is(err, disk.ErrInjected) {
+		t.Fatalf("retry err = %v, want injected fault", err)
+	}
+	// The big pool still serves its cached copy.
+	f, err = pool.Fetch(id1)
+	if err != nil {
+		t.Fatalf("cached fetch failed: %v", err)
+	}
+	pool.Unpin(f, false)
+}
+
+// TestEvictionSurfacesWriteFaults: a write-back failure during eviction
+// propagates rather than silently losing the dirty page.
+func TestEvictionSurfacesWriteFaults(t *testing.T) {
+	inner := disk.NewMemDevice(0, 0)
+	defer inner.Close()
+	pool, err := NewPool(&alwaysFailWrites{inner}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, f, err := pool.NewPage(page.TypeHeap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Unlatch(true)
+	pool.Unpin(f, true) // dirty
+
+	// Evicting the dirty page to make room must fail loudly.
+	if _, _, err := pool.NewPage(page.TypeHeap); !errors.Is(err, disk.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	// FlushAll reports the same fault.
+	if err := pool.FlushAll(); !errors.Is(err, disk.ErrInjected) {
+		t.Fatalf("FlushAll err = %v, want injected fault", err)
+	}
+}
+
+type alwaysFailWrites struct{ disk.Device }
+
+func (d *alwaysFailWrites) WritePage(uint32, []byte) error { return disk.ErrInjected }

@@ -1,0 +1,291 @@
+// Package buffer implements the read/write buffer cache of the paper's
+// Figure 1: a fixed pool of page frames over a disk device with pin
+// counts, per-page latches, clock eviction, and dirty-page write-back.
+//
+// The pool also measures what the paper's ILM heuristics consume: latch
+// contention. Frame latch acquisitions that could not be granted
+// immediately are counted, and the heap layer attributes them to
+// partitions so that the ILM tuner can re-enable IMRS use for contended
+// partitions (paper Section V-D).
+package buffer
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage/disk"
+	"repro/internal/storage/page"
+)
+
+// Frame is a buffer slot holding one page.
+type Frame struct {
+	mu    sync.RWMutex // the page latch
+	id    uint32       // page id; only valid while mapped
+	data  []byte
+	pins  atomic.Int32
+	dirty atomic.Bool
+	ref   atomic.Bool // clock reference bit
+
+	pool *Pool
+}
+
+// ID returns the page id held by this frame.
+func (f *Frame) ID() uint32 { return f.id }
+
+// Page wraps the frame's buffer as a slotted page. Callers must hold the
+// latch.
+func (f *Frame) Page() *page.Page { return page.Wrap(f.data) }
+
+// Latch acquires the frame latch (exclusive when excl). It reports
+// whether the caller had to wait — the latch-contention signal.
+func (f *Frame) Latch(excl bool) (waited bool) {
+	if excl {
+		if f.mu.TryLock() {
+			return false
+		}
+		f.pool.stats.LatchWaits.Add(1)
+		f.mu.Lock()
+		return true
+	}
+	if f.mu.TryRLock() {
+		return false
+	}
+	f.pool.stats.LatchWaits.Add(1)
+	f.mu.RLock()
+	return true
+}
+
+// Unlatch releases the latch acquired with the matching excl flag.
+func (f *Frame) Unlatch(excl bool) {
+	if excl {
+		f.mu.Unlock()
+	} else {
+		f.mu.RUnlock()
+	}
+}
+
+// MarkDirty flags the page as needing write-back. Callers must hold the
+// exclusive latch while mutating the page.
+func (f *Frame) MarkDirty() { f.dirty.Store(true) }
+
+// Stats aggregates pool-wide counters.
+type Stats struct {
+	Hits       atomic.Int64
+	Misses     atomic.Int64
+	Evictions  atomic.Int64
+	WriteBacks atomic.Int64
+	LatchWaits atomic.Int64
+	Overflows  atomic.Int64 // frames allocated beyond capacity (no-steal)
+}
+
+// FlushGate is called with a page's LSN before the pool writes the page
+// back, so the WAL can be forced first (write-ahead rule).
+type FlushGate func(pageLSN uint64) error
+
+// Pool is a buffer cache over a device.
+type Pool struct {
+	dev      disk.Device
+	capacity int
+	gate     FlushGate
+
+	mu      sync.Mutex
+	table   map[uint32]*Frame
+	frames  []*Frame
+	hand    int
+	noSteal bool
+
+	stats Stats
+}
+
+// NewPool creates a pool of capacity frames over dev. gate may be nil.
+func NewPool(dev disk.Device, capacity int, gate FlushGate) (*Pool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("buffer: capacity %d < 1", capacity)
+	}
+	p := &Pool{
+		dev:      dev,
+		capacity: capacity,
+		gate:     gate,
+		table:    make(map[uint32]*Frame, capacity),
+	}
+	return p, nil
+}
+
+// Stats exposes the pool counters.
+func (p *Pool) Stats() *Stats { return &p.stats }
+
+// SetNoSteal selects the no-steal buffer policy: dirty pages are never
+// written back by eviction, only by FlushAll (checkpoint). When every
+// frame is dirty or pinned, the pool grows past its nominal capacity and
+// counts the overflow. No-steal plus quiesced checkpoints means on-disk
+// pages never contain uncommitted data, so recovery needs no undo pass —
+// the simplification DESIGN.md records for the page store.
+func (p *Pool) SetNoSteal(v bool) {
+	p.mu.Lock()
+	p.noSteal = v
+	p.mu.Unlock()
+}
+
+// Capacity returns the frame count limit.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Fetch pins the frame for page id, reading it from the device on a miss.
+// The caller must Unpin it and must latch it before touching the page.
+func (p *Pool) Fetch(id uint32) (*Frame, error) {
+	p.mu.Lock()
+	if f, ok := p.table[id]; ok {
+		f.pins.Add(1)
+		f.ref.Store(true)
+		p.mu.Unlock()
+		p.stats.Hits.Add(1)
+		return f, nil
+	}
+	f, err := p.victimLocked()
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	// Reserve the mapping before dropping the pool lock so concurrent
+	// fetches of the same page wait on the frame latch rather than double
+	// reading. Pin it so no one evicts it while we fill it.
+	f.id = id
+	f.pins.Store(1)
+	f.ref.Store(true)
+	p.table[id] = f
+	f.mu.Lock() // block readers until the fill completes
+	p.mu.Unlock()
+
+	err = p.dev.ReadPage(id, f.data)
+	f.mu.Unlock()
+	if err != nil {
+		p.mu.Lock()
+		delete(p.table, id)
+		f.pins.Store(0)
+		p.mu.Unlock()
+		return nil, err
+	}
+	p.stats.Misses.Add(1)
+	return f, nil
+}
+
+// NewPage allocates a fresh page on the device, pins it, formats it as t,
+// and returns its id and frame. The frame is returned latched
+// exclusively; the caller must Unlatch(true) and Unpin it.
+func (p *Pool) NewPage(t page.Type) (uint32, *Frame, error) {
+	id, err := p.dev.AllocatePage()
+	if err != nil {
+		return 0, nil, err
+	}
+	p.mu.Lock()
+	f, err := p.victimLocked()
+	if err != nil {
+		p.mu.Unlock()
+		return 0, nil, err
+	}
+	f.id = id
+	f.pins.Store(1)
+	f.ref.Store(true)
+	p.table[id] = f
+	f.mu.Lock()
+	p.mu.Unlock()
+
+	f.Page().Init(t)
+	f.dirty.Store(true)
+	return id, f, nil
+}
+
+// Unpin releases one pin. If dirty, the page is flagged for write-back.
+func (p *Pool) Unpin(f *Frame, dirty bool) {
+	if dirty {
+		f.dirty.Store(true)
+	}
+	if n := f.pins.Add(-1); n < 0 {
+		panic("buffer: unpin below zero")
+	}
+}
+
+// victimLocked returns a free or evictable frame. Pool mutex held.
+func (p *Pool) victimLocked() (*Frame, error) {
+	if len(p.frames) < p.capacity {
+		f := &Frame{data: make([]byte, disk.PageSize), pool: p}
+		p.frames = append(p.frames, f)
+		return f, nil
+	}
+	// Clock sweep: two full passes give every ref bit a chance to clear.
+	for i := 0; i < 2*len(p.frames); i++ {
+		f := p.frames[p.hand]
+		p.hand = (p.hand + 1) % len(p.frames)
+		if f.pins.Load() != 0 {
+			continue
+		}
+		if p.noSteal && f.dirty.Load() {
+			continue
+		}
+		if f.ref.Swap(false) {
+			continue
+		}
+		// Evict f. Write back while holding the pool lock: eviction is off
+		// the hot path and this keeps the mapping consistent.
+		if f.dirty.Load() {
+			if err := p.flushFrameLocked(f); err != nil {
+				return nil, err
+			}
+		}
+		delete(p.table, f.id)
+		p.stats.Evictions.Add(1)
+		return f, nil
+	}
+	if p.noSteal {
+		// Grow past capacity rather than violate no-steal.
+		f := &Frame{data: make([]byte, disk.PageSize), pool: p}
+		p.frames = append(p.frames, f)
+		p.stats.Overflows.Add(1)
+		return f, nil
+	}
+	return nil, fmt.Errorf("buffer: all %d frames pinned", p.capacity)
+}
+
+// flushFrameLocked writes back a dirty frame. Pool mutex held; frame is
+// unpinned so no one is mutating it.
+func (p *Pool) flushFrameLocked(f *Frame) error {
+	if p.gate != nil {
+		if err := p.gate(page.Wrap(f.data).LSN()); err != nil {
+			return err
+		}
+	}
+	if err := p.dev.WritePage(f.id, f.data); err != nil {
+		return err
+	}
+	f.dirty.Store(false)
+	p.stats.WriteBacks.Add(1)
+	return nil
+}
+
+// FlushAll writes back every dirty frame (checkpoint helper).
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if _, mapped := p.table[f.id]; !mapped || p.table[f.id] != f {
+			continue
+		}
+		if !f.dirty.Load() {
+			continue
+		}
+		f.mu.RLock()
+		err := p.flushFrameLocked(f)
+		f.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
+	return p.dev.Sync()
+}
+
+// CachedPages returns the number of mapped pages (for tests).
+func (p *Pool) CachedPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.table)
+}

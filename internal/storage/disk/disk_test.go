@@ -1,0 +1,141 @@
+package disk
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func testDevices(t *testing.T) map[string]Device {
+	t.Helper()
+	fd, err := OpenFileDevice(filepath.Join(t.TempDir(), "data.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fd.Close() })
+	md := NewMemDevice(0, 0)
+	t.Cleanup(func() { md.Close() })
+	return map[string]Device{"mem": md, "file": fd}
+}
+
+func TestDeviceRoundTrip(t *testing.T) {
+	for name, dev := range testDevices(t) {
+		t.Run(name, func(t *testing.T) {
+			id, err := dev.AllocatePage()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dev.NumPages() != id+1 {
+				t.Fatalf("NumPages = %d, want %d", dev.NumPages(), id+1)
+			}
+			out := make([]byte, PageSize)
+			out[0], out[PageSize-1] = 0xAB, 0xCD
+			if err := dev.WritePage(id, out); err != nil {
+				t.Fatal(err)
+			}
+			in := make([]byte, PageSize)
+			if err := dev.ReadPage(id, in); err != nil {
+				t.Fatal(err)
+			}
+			if in[0] != 0xAB || in[PageSize-1] != 0xCD {
+				t.Fatal("read-back mismatch")
+			}
+			if err := dev.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDeviceRejectsBadAccess(t *testing.T) {
+	for name, dev := range testDevices(t) {
+		t.Run(name, func(t *testing.T) {
+			buf := make([]byte, PageSize)
+			if err := dev.ReadPage(0, buf); err == nil {
+				t.Error("read of unallocated page should fail")
+			}
+			if err := dev.WritePage(0, buf); err == nil {
+				t.Error("write of unallocated page should fail")
+			}
+			if _, err := dev.AllocatePage(); err != nil {
+				t.Fatal(err)
+			}
+			if err := dev.ReadPage(0, buf[:10]); err == nil {
+				t.Error("short read buffer should fail")
+			}
+			if err := dev.WritePage(0, buf[:10]); err == nil {
+				t.Error("short write buffer should fail")
+			}
+		})
+	}
+}
+
+func TestFileDeviceReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.db")
+	d, err := OpenFileDevice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := d.AllocatePage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	buf[7] = 0x77
+	if err := d.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenFileDevice(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.NumPages() != 1 {
+		t.Fatalf("reopened NumPages = %d, want 1", d2.NumPages())
+	}
+	in := make([]byte, PageSize)
+	if err := d2.ReadPage(0, in); err != nil {
+		t.Fatal(err)
+	}
+	if in[7] != 0x77 {
+		t.Fatal("data lost across reopen")
+	}
+}
+
+func TestClosedDeviceFails(t *testing.T) {
+	d := NewMemDevice(0, 0)
+	if _, err := d.AllocatePage(); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	buf := make([]byte, PageSize)
+	if err := d.ReadPage(0, buf); err == nil {
+		t.Error("read after close should fail")
+	}
+	if err := d.WritePage(0, buf); err == nil {
+		t.Error("write after close should fail")
+	}
+	if _, err := d.AllocatePage(); err == nil {
+		t.Error("allocate after close should fail")
+	}
+}
+
+func TestMemDeviceStats(t *testing.T) {
+	d := NewMemDevice(0, 0)
+	defer d.Close()
+	id, _ := d.AllocatePage()
+	buf := make([]byte, PageSize)
+	_ = d.WritePage(id, buf)
+	_ = d.ReadPage(id, buf)
+	_ = d.Sync()
+	s := d.Stats()
+	if s.Reads.Load() != 1 || s.Writes.Load() != 1 || s.Syncs.Load() != 1 {
+		t.Fatalf("stats = r%d w%d s%d", s.Reads.Load(), s.Writes.Load(), s.Syncs.Load())
+	}
+}

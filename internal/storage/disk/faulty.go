@@ -1,0 +1,50 @@
+package disk
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// FaultyDevice wraps a Device and fails operations once a trigger count
+// is reached — failure injection for recovery and error-path tests.
+type FaultyDevice struct {
+	Inner Device
+	// FailReadsAfter / FailWritesAfter: once that many successful
+	// operations have happened, subsequent ones fail (0 disables).
+	FailReadsAfter  int64
+	FailWritesAfter int64
+
+	reads  atomic.Int64
+	writes atomic.Int64
+}
+
+// ErrInjected is returned by injected failures.
+var ErrInjected = fmt.Errorf("disk: injected fault")
+
+// ReadPage implements Device.
+func (d *FaultyDevice) ReadPage(id uint32, buf []byte) error {
+	if d.FailReadsAfter > 0 && d.reads.Add(1) > d.FailReadsAfter {
+		return ErrInjected
+	}
+	return d.Inner.ReadPage(id, buf)
+}
+
+// WritePage implements Device.
+func (d *FaultyDevice) WritePage(id uint32, buf []byte) error {
+	if d.FailWritesAfter > 0 && d.writes.Add(1) > d.FailWritesAfter {
+		return ErrInjected
+	}
+	return d.Inner.WritePage(id, buf)
+}
+
+// AllocatePage implements Device.
+func (d *FaultyDevice) AllocatePage() (uint32, error) { return d.Inner.AllocatePage() }
+
+// NumPages implements Device.
+func (d *FaultyDevice) NumPages() uint32 { return d.Inner.NumPages() }
+
+// Sync implements Device.
+func (d *FaultyDevice) Sync() error { return d.Inner.Sync() }
+
+// Close implements Device.
+func (d *FaultyDevice) Close() error { return d.Inner.Close() }

@@ -1,0 +1,343 @@
+package heap
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/rid"
+	"repro/internal/storage/buffer"
+	"repro/internal/storage/disk"
+)
+
+func newHeap(t *testing.T, frames int) *Heap {
+	t.Helper()
+	dev := disk.NewMemDevice(0, 0)
+	t.Cleanup(func() { dev.Close() })
+	pool, err := buffer.NewPool(dev, frames, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(3, pool)
+}
+
+func TestInsertFetch(t *testing.T) {
+	h := newHeap(t, 16)
+	r, err := h.Insert([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Partition() != 3 || r.IsVirtual() {
+		t.Fatalf("bad RID %v", r)
+	}
+	got, err := h.Fetch(r)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("Fetch = %q, %v", got, err)
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	h := newHeap(t, 16)
+	r, err := h.Insert([]byte("aaaa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Update(r, []byte("bb")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Fetch(r)
+	if err != nil || string(got) != "bb" {
+		t.Fatalf("Fetch = %q, %v", got, err)
+	}
+}
+
+func TestUpdateForwarding(t *testing.T) {
+	h := newHeap(t, 32)
+	// Fill a page with chunky rows so a grown update cannot stay.
+	big := bytes.Repeat([]byte("x"), 2000)
+	var rids []rid.RID
+	first, err := h.Insert(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rids = append(rids, first)
+	for {
+		r, err := h.Insert(big)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Page() != first.Page() {
+			break // moved to the next page; first page is full
+		}
+		rids = append(rids, r)
+	}
+	grown := bytes.Repeat([]byte("y"), 6000)
+	if err := h.Update(first, grown); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Fetch(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, grown) {
+		t.Fatal("forwarded row content wrong")
+	}
+	// Update the forwarded row again (shrink) — still via the home RID.
+	if err := h.Update(first, []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = h.Fetch(first)
+	if string(got) != "tiny" {
+		t.Fatalf("second update through stub = %q", got)
+	}
+	// Other rows undisturbed.
+	for _, r := range rids[1:] {
+		got, err := h.Fetch(r)
+		if err != nil || !bytes.Equal(got, big) {
+			t.Fatalf("neighbour %v corrupted", r)
+		}
+	}
+}
+
+func TestDeleteForwarded(t *testing.T) {
+	h := newHeap(t, 32)
+	big := bytes.Repeat([]byte("x"), 2500)
+	r1, _ := h.Insert(big)
+	// Fill page.
+	for {
+		r, err := h.Insert(big)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Page() != r1.Page() {
+			break
+		}
+	}
+	if err := h.Update(r1, bytes.Repeat([]byte("y"), 7000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete(r1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Fetch(r1); err == nil {
+		t.Fatal("fetch after delete should fail")
+	}
+	count := 0
+	if err := h.Scan(func(rid.RID, []byte) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	// All remaining rows are the fillers; the moved row and stub are gone.
+	var want int
+	_ = h.Scan(func(_ rid.RID, d []byte) bool {
+		if !bytes.Equal(d, big) {
+			t.Fatal("unexpected survivor record")
+		}
+		want++
+		return true
+	})
+	if count != want {
+		t.Fatalf("scan inconsistent: %d vs %d", count, want)
+	}
+}
+
+func TestScanReportsHomeRIDs(t *testing.T) {
+	h := newHeap(t, 32)
+	big := bytes.Repeat([]byte("x"), 2500)
+	r1, _ := h.Insert(big)
+	for {
+		r, err := h.Insert(big)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Page() != r1.Page() {
+			break
+		}
+	}
+	moved := bytes.Repeat([]byte("m"), 7000)
+	if err := h.Update(r1, moved); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	_ = h.Scan(func(r rid.RID, d []byte) bool {
+		if bytes.Equal(d, moved) {
+			found = true
+			if r != r1 {
+				t.Fatalf("moved row scanned with RID %v, want home %v", r, r1)
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("moved row not scanned")
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	h := newHeap(t, 16)
+	for i := 0; i < 10; i++ {
+		if _, err := h.Insert([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	_ = h.Scan(func(rid.RID, []byte) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("scan visited %d rows, want 3", n)
+	}
+}
+
+func TestMultiPageScanOrder(t *testing.T) {
+	h := newHeap(t, 64)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, err := h.Insert([]byte(fmt.Sprintf("row-%06d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := 0
+	_ = h.Scan(func(_ rid.RID, d []byte) bool {
+		want := fmt.Sprintf("row-%06d", seen)
+		if string(d) != want {
+			t.Fatalf("scan out of order at %d: %q", seen, d)
+		}
+		seen++
+		return true
+	})
+	if seen != n {
+		t.Fatalf("scanned %d rows, want %d", seen, n)
+	}
+	first, last := h.Pages()
+	if first == last {
+		t.Fatal("expected multiple pages")
+	}
+}
+
+func TestInsertAtForRedo(t *testing.T) {
+	h := newHeap(t, 16)
+	// Simulate redo: pages may not exist yet on a fresh device.
+	dev := disk.NewMemDevice(0, 0)
+	defer dev.Close()
+	pool, _ := buffer.NewPool(dev, 16, nil)
+	h2 := New(3, pool)
+	for i := uint32(0); i < 2; i++ {
+		if _, err := dev.AllocatePage(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := rid.NewPhysical(3, 1, 4)
+	if err := h2.InsertAt(target, []byte("redone")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h2.Fetch(target)
+	if err != nil || string(got) != "redone" {
+		t.Fatalf("Fetch = %q, %v", got, err)
+	}
+	_ = h
+}
+
+func TestConcurrentInserts(t *testing.T) {
+	h := newHeap(t, 128)
+	const workers, per = 8, 500
+	var mu sync.Mutex
+	all := map[rid.RID][]byte{}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				data := []byte(fmt.Sprintf("w%d-i%d", w, i))
+				r, err := h.Insert(data)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if _, dup := all[r]; dup {
+					t.Errorf("duplicate RID %v", r)
+				}
+				all[r] = data
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(all) != workers*per {
+		t.Fatalf("inserted %d rows, want %d", len(all), workers*per)
+	}
+	for r, want := range all {
+		got, err := h.Fetch(r)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("row %v mismatch: %q %v", r, got, err)
+		}
+	}
+}
+
+func TestRandomizedHeapWorkload(t *testing.T) {
+	h := newHeap(t, 256)
+	rng := rand.New(rand.NewSource(7))
+	model := map[rid.RID][]byte{}
+	var order []rid.RID
+	for i := 0; i < 8000; i++ {
+		switch op := rng.Intn(10); {
+		case op < 5 || len(order) == 0: // insert
+			data := make([]byte, 1+rng.Intn(400))
+			rng.Read(data)
+			r, err := h.Insert(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model[r] = append([]byte(nil), data...)
+			order = append(order, r)
+		case op < 8: // update (sometimes large, forcing moves)
+			r := order[rng.Intn(len(order))]
+			if _, live := model[r]; !live {
+				continue
+			}
+			data := make([]byte, 1+rng.Intn(3000))
+			rng.Read(data)
+			if err := h.Update(r, data); err != nil {
+				t.Fatalf("iteration %d: update: %v", i, err)
+			}
+			model[r] = append([]byte(nil), data...)
+		default: // delete
+			r := order[rng.Intn(len(order))]
+			if _, live := model[r]; !live {
+				continue
+			}
+			if err := h.Delete(r); err != nil {
+				t.Fatalf("iteration %d: delete: %v", i, err)
+			}
+			delete(model, r)
+		}
+	}
+	for r, want := range model {
+		got, err := h.Fetch(r)
+		if err != nil {
+			t.Fatalf("final fetch %v: %v", r, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("final content mismatch at %v", r)
+		}
+	}
+	scanned := 0
+	_ = h.Scan(func(r rid.RID, d []byte) bool {
+		want, ok := model[r]
+		if !ok {
+			t.Fatalf("scan surfaced deleted/unknown RID %v", r)
+		}
+		if !bytes.Equal(d, want) {
+			t.Fatalf("scan content mismatch at %v", r)
+		}
+		scanned++
+		return true
+	})
+	if scanned != len(model) {
+		t.Fatalf("scan saw %d rows, model has %d", scanned, len(model))
+	}
+}

@@ -1,0 +1,312 @@
+package page
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage/disk"
+)
+
+func newPage(t Type) *Page {
+	p := Wrap(make([]byte, disk.PageSize))
+	p.Init(t)
+	return p
+}
+
+func TestInitAndHeader(t *testing.T) {
+	p := newPage(TypeHeap)
+	if p.Type() != TypeHeap {
+		t.Fatalf("Type = %v", p.Type())
+	}
+	if p.NumSlots() != 0 || p.LiveSlots() != 0 {
+		t.Fatal("fresh page should have no slots")
+	}
+	if p.Next() != 0xFFFFFFFF || p.Prev() != 0xFFFFFFFF {
+		t.Fatal("fresh page chain pointers should be nil")
+	}
+	p.SetLSN(99)
+	p.SetNext(5)
+	p.SetPrev(4)
+	if p.LSN() != 99 || p.Next() != 5 || p.Prev() != 4 {
+		t.Fatal("header round trip failed")
+	}
+}
+
+func TestInsertReadDelete(t *testing.T) {
+	p := newPage(TypeHeap)
+	s1, err := p.Insert([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Insert([]byte("world!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatal("slots collide")
+	}
+	got, err := p.Read(s1)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("Read(s1) = %q, %v", got, err)
+	}
+	if err := p.Delete(s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Read(s1); err == nil {
+		t.Fatal("read of dead slot should fail")
+	}
+	if p.IsLive(s1) || !p.IsLive(s2) {
+		t.Fatal("IsLive wrong")
+	}
+	if err := p.Delete(s1); err == nil {
+		t.Fatal("double delete should fail")
+	}
+	// Dead slot is reused.
+	s3, err := p.Insert([]byte("again"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 != s1 {
+		t.Fatalf("dead slot not reused: got %d want %d", s3, s1)
+	}
+}
+
+func TestUpdateInPlaceAndGrow(t *testing.T) {
+	p := newPage(TypeHeap)
+	s, err := p.Insert([]byte("aaaa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Update(s, []byte("bb")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := p.Read(s)
+	if string(got) != "bb" {
+		t.Fatalf("shrunk update = %q", got)
+	}
+	if err := p.Update(s, bytes.Repeat([]byte("c"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = p.Read(s)
+	if len(got) != 100 || got[0] != 'c' {
+		t.Fatalf("grown update = %q", got)
+	}
+}
+
+func TestUpdateNoRoomRestoresOriginal(t *testing.T) {
+	p := newPage(TypeHeap)
+	// Fill the page almost completely.
+	big := bytes.Repeat([]byte("x"), 2000)
+	var slots []uint16
+	for {
+		s, err := p.Insert(big)
+		if err != nil {
+			break
+		}
+		slots = append(slots, s)
+	}
+	if len(slots) < 2 {
+		t.Fatal("page too small for test")
+	}
+	target := slots[0]
+	err := p.Update(target, bytes.Repeat([]byte("y"), 7000))
+	if err != ErrNoRoom {
+		t.Fatalf("err = %v, want ErrNoRoom", err)
+	}
+	got, err := p.Read(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("original record corrupted after failed grow")
+	}
+}
+
+func TestInsertFullPage(t *testing.T) {
+	p := newPage(TypeHeap)
+	count := 0
+	for {
+		if _, err := p.Insert(bytes.Repeat([]byte("z"), 100)); err != nil {
+			break
+		}
+		count++
+	}
+	if count == 0 {
+		t.Fatal("no inserts fit")
+	}
+	want := (disk.PageSize - headerSize) / (100 + slotSize)
+	if count != want {
+		t.Fatalf("fit %d records, want %d", count, want)
+	}
+}
+
+func TestInsertTooLarge(t *testing.T) {
+	p := newPage(TypeHeap)
+	if _, err := p.Insert(make([]byte, MaxRecordSize+1)); err == nil {
+		t.Fatal("oversized insert should fail")
+	}
+	if _, err := p.Insert(make([]byte, MaxRecordSize)); err != nil {
+		t.Fatalf("max-size insert failed: %v", err)
+	}
+}
+
+func TestCompactionReclaimsSpace(t *testing.T) {
+	p := newPage(TypeHeap)
+	rec := bytes.Repeat([]byte("r"), 1000)
+	var slots []uint16
+	for {
+		s, err := p.Insert(rec)
+		if err != nil {
+			break
+		}
+		slots = append(slots, s)
+	}
+	// Delete every other record, then insert records that only fit after
+	// compaction.
+	for i := 0; i < len(slots); i += 2 {
+		if err := p.Delete(slots[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	survivors := map[uint16]bool{}
+	for i := 1; i < len(slots); i += 2 {
+		survivors[slots[i]] = true
+	}
+	s, err := p.Insert(bytes.Repeat([]byte("n"), 1500))
+	if err != nil {
+		t.Fatalf("insert after deletes failed: %v", err)
+	}
+	got, _ := p.Read(s)
+	if len(got) != 1500 {
+		t.Fatal("new record wrong")
+	}
+	for sl := range survivors {
+		got, err := p.Read(sl)
+		if err != nil || !bytes.Equal(got, rec) {
+			t.Fatalf("survivor %d corrupted after compaction", sl)
+		}
+	}
+}
+
+func TestInsertAt(t *testing.T) {
+	p := newPage(TypeHeap)
+	if err := p.InsertAt(5, []byte("five")); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumSlots() != 6 {
+		t.Fatalf("NumSlots = %d, want 6", p.NumSlots())
+	}
+	got, err := p.Read(5)
+	if err != nil || string(got) != "five" {
+		t.Fatalf("Read(5) = %q, %v", got, err)
+	}
+	for s := uint16(0); s < 5; s++ {
+		if p.IsLive(s) {
+			t.Fatalf("slot %d should be dead filler", s)
+		}
+	}
+	if err := p.InsertAt(5, []byte("dup")); err == nil {
+		t.Fatal("InsertAt on live slot should fail")
+	}
+	if err := p.InsertAt(2, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = p.Read(2)
+	if string(got) != "two" {
+		t.Fatal("InsertAt into dead filler failed")
+	}
+}
+
+func TestRandomizedWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := newPage(TypeHeap)
+	model := map[uint16][]byte{}
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(3) {
+		case 0: // insert
+			rec := make([]byte, 1+rng.Intn(200))
+			rng.Read(rec)
+			s, err := p.Insert(rec)
+			if err != nil {
+				continue // full
+			}
+			if _, exists := model[s]; exists {
+				t.Fatalf("iteration %d: slot %d double-allocated", i, s)
+			}
+			model[s] = append([]byte(nil), rec...)
+		case 1: // delete random live slot
+			for s := range model {
+				if err := p.Delete(s); err != nil {
+					t.Fatalf("iteration %d: delete live slot %d: %v", i, s, err)
+				}
+				delete(model, s)
+				break
+			}
+		case 2: // update random live slot
+			for s := range model {
+				rec := make([]byte, 1+rng.Intn(300))
+				rng.Read(rec)
+				err := p.Update(s, rec)
+				if err == ErrNoRoom {
+					break
+				}
+				if err != nil {
+					t.Fatalf("iteration %d: update slot %d: %v", i, s, err)
+				}
+				model[s] = append([]byte(nil), rec...)
+				break
+			}
+		}
+		if int(p.LiveSlots()) != len(model) {
+			t.Fatalf("iteration %d: LiveSlots=%d model=%d", i, p.LiveSlots(), len(model))
+		}
+	}
+	for s, want := range model {
+		got, err := p.Read(s)
+		if err != nil {
+			t.Fatalf("final read slot %d: %v", s, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("final slot %d mismatch", s)
+		}
+	}
+}
+
+func TestWrapPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Wrap should panic on short buffer")
+		}
+	}()
+	Wrap(make([]byte, 10))
+}
+
+func TestFreeSpaceAccounting(t *testing.T) {
+	p := newPage(TypeHeap)
+	before := p.FreeSpace()
+	if before != disk.PageSize-headerSize-slotSize {
+		t.Fatalf("fresh FreeSpace = %d", before)
+	}
+	s, _ := p.Insert(make([]byte, 100))
+	if got := p.FreeSpace(); got != before-100-slotSize {
+		t.Fatalf("FreeSpace after insert = %d", got)
+	}
+	_ = p.Delete(s)
+	if got := p.FreeSpaceAfterCompaction(); got < before-slotSize {
+		t.Fatalf("FreeSpaceAfterCompaction = %d, want >= %d", got, before-slotSize)
+	}
+	if !p.HasRoomFor(1000) {
+		t.Fatal("HasRoomFor(1000) should be true")
+	}
+}
+
+func ExamplePage() {
+	p := Wrap(make([]byte, disk.PageSize))
+	p.Init(TypeHeap)
+	s, _ := p.Insert([]byte("row-1"))
+	rec, _ := p.Read(s)
+	fmt.Println(string(rec))
+	// Output: row-1
+}

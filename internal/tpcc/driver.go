@@ -1,0 +1,162 @@
+package tpcc
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/txn"
+)
+
+// TxnType enumerates the five TPC-C transactions.
+type TxnType int
+
+// Transaction types.
+const (
+	TxnNewOrder TxnType = iota
+	TxnPayment
+	TxnOrderStatus
+	TxnDelivery
+	TxnStockLevel
+	numTxnTypes
+)
+
+// String implements fmt.Stringer.
+func (t TxnType) String() string {
+	switch t {
+	case TxnNewOrder:
+		return "new-order"
+	case TxnPayment:
+		return "payment"
+	case TxnOrderStatus:
+		return "order-status"
+	case TxnDelivery:
+		return "delivery"
+	case TxnStockLevel:
+		return "stock-level"
+	default:
+		return "?"
+	}
+}
+
+// Mix is the standard TPC-C transaction mix in percent.
+var Mix = [numTxnTypes]int{45, 43, 4, 4, 4}
+
+// DriverStats counts driver outcomes and records per-type transaction
+// latency (end-to-end including commit — the measurement the paper
+// leaves to future work).
+type DriverStats struct {
+	Committed [numTxnTypes]atomic.Int64
+	Aborted   [numTxnTypes]atomic.Int64
+	Errors    [numTxnTypes]atomic.Int64
+	Latency   [numTxnTypes]metrics.LatencyHistogram
+}
+
+// TotalCommitted sums committed transactions across types.
+func (s *DriverStats) TotalCommitted() int64 {
+	var n int64
+	for i := range s.Committed {
+		n += s.Committed[i].Load()
+	}
+	return n
+}
+
+// Driver runs the TPC-C mix with a pool of workers.
+type Driver struct {
+	bench   *Bench
+	workers int
+	stats   DriverStats
+	nowTick atomic.Int64
+}
+
+// NewDriver builds a driver with the given worker count.
+func NewDriver(b *Bench, workers int) *Driver {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Driver{bench: b, workers: workers}
+}
+
+// Stats exposes the outcome counters.
+func (d *Driver) Stats() *DriverStats { return &d.stats }
+
+// pick selects a transaction type per the mix.
+func pick(rng *rand.Rand) TxnType {
+	n := rng.Intn(100)
+	acc := 0
+	for t := TxnNewOrder; t < numTxnTypes; t++ {
+		acc += Mix[t]
+		if n < acc {
+			return t
+		}
+	}
+	return TxnNewOrder
+}
+
+// RunOne executes a single transaction of type tt.
+func (d *Driver) RunOne(tt TxnType, rng *rand.Rand) {
+	now := d.nowTick.Add(1)
+	start := time.Now()
+	var err error
+	switch tt {
+	case TxnNewOrder:
+		err = d.bench.NewOrder(rng, now)
+	case TxnPayment:
+		err = d.bench.Payment(rng, now)
+	case TxnOrderStatus:
+		err = d.bench.OrderStatus(rng)
+	case TxnDelivery:
+		err = d.bench.Delivery(rng, now)
+	case TxnStockLevel:
+		err = d.bench.StockLevel(rng)
+	}
+	switch {
+	case err == nil:
+		d.stats.Committed[tt].Add(1)
+		d.stats.Latency[tt].Observe(time.Since(start))
+	case errors.Is(err, ErrUserAbort), errors.Is(err, txn.ErrLockTimeout), errors.Is(err, core.ErrRetry):
+		d.stats.Aborted[tt].Add(1)
+	default:
+		d.stats.Errors[tt].Add(1)
+	}
+}
+
+// Run drives the mix with the configured workers until ctx is done or
+// the total committed count reaches maxTxns (0 = unbounded).
+func (d *Driver) Run(ctx context.Context, maxTxns int64) {
+	var wg sync.WaitGroup
+	for w := 0; w < d.workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(d.bench.Cfg.Seed*1000 + seed))
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				if maxTxns > 0 && d.stats.TotalCommitted() >= maxTxns {
+					return
+				}
+				d.RunOne(pick(rng), rng)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+}
+
+// RunFor drives the mix for the given wall-clock duration and returns
+// the committed transaction count.
+func (d *Driver) RunFor(dur time.Duration) int64 {
+	ctx, cancel := context.WithTimeout(context.Background(), dur)
+	defer cancel()
+	before := d.stats.TotalCommitted()
+	d.Run(ctx, 0)
+	return d.stats.TotalCommitted() - before
+}

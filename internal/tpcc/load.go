@@ -1,0 +1,196 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+
+	"repro/btrim"
+)
+
+// Config scales the benchmark. The paper ran 240 warehouses on a
+// 60-core / 1 TB machine; these defaults are laptop-scale but preserve
+// the tables' relative sizes and access skew (DESIGN.md §2).
+type Config struct {
+	Warehouses           int
+	DistrictsPerW        int
+	CustomersPerDistrict int
+	Items                int
+	// InitialOrdersPerDistrict pre-loads order history.
+	InitialOrdersPerDistrict int
+	// Seed makes data generation and the driver deterministic.
+	Seed int64
+	// AfterSchema, when set, runs after the tables are created and
+	// before any data loads — e.g. to pin tables out of the IMRS for a
+	// page-store-only baseline.
+	AfterSchema func(*btrim.DB) error
+}
+
+// DefaultConfig returns a small but representative scale.
+func DefaultConfig() Config {
+	return Config{
+		Warehouses:               2,
+		DistrictsPerW:            10,
+		CustomersPerDistrict:     60,
+		Items:                    500,
+		InitialOrdersPerDistrict: 20,
+		Seed:                     42,
+	}
+}
+
+// lastNames builds TPC-C style customer last names from syllables.
+var lastNameSyllables = []string{
+	"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+}
+
+// LastName returns the TPC-C last name for a number in [0, 999].
+func LastName(num int) string {
+	var sb strings.Builder
+	sb.WriteString(lastNameSyllables[num/100%10])
+	sb.WriteString(lastNameSyllables[num/10%10])
+	sb.WriteString(lastNameSyllables[num%10])
+	return sb.String()
+}
+
+// Bench owns a loaded TPC-C database and its workload state.
+type Bench struct {
+	DB  *btrim.DB
+	Cfg Config
+
+	histID  atomic.Int64
+	dataPad string // filler making rows realistically sized
+}
+
+// Load creates the schema and populates it per cfg.
+func Load(db *btrim.DB, cfg Config) (*Bench, error) {
+	if cfg.Warehouses < 1 || cfg.DistrictsPerW < 1 || cfg.CustomersPerDistrict < 1 || cfg.Items < 1 {
+		return nil, fmt.Errorf("tpcc: bad scale %+v", cfg)
+	}
+	if err := CreateSchema(db); err != nil {
+		return nil, err
+	}
+	if cfg.AfterSchema != nil {
+		if err := cfg.AfterSchema(db); err != nil {
+			return nil, err
+		}
+	}
+	b := &Bench{DB: db, Cfg: cfg, dataPad: strings.Repeat("x", 64)}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// item
+	if err := db.Update(func(tx *btrim.Tx) error {
+		for i := 1; i <= cfg.Items; i++ {
+			if err := tx.Insert(TableItem, btrim.Values(
+				btrim.Int64(int64(i)),
+				btrim.String(fmt.Sprintf("item-%05d", i)),
+				btrim.Float64(1+rng.Float64()*99),
+				btrim.String(b.dataPad),
+			)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("tpcc: load item: %w", err)
+	}
+
+	for w := 1; w <= cfg.Warehouses; w++ {
+		w := int64(w)
+		if err := db.Update(func(tx *btrim.Tx) error {
+			if err := tx.Insert(TableWarehouse, btrim.Values(
+				btrim.Int64(w),
+				btrim.String(fmt.Sprintf("wh-%03d", w)),
+				btrim.Float64(rng.Float64()*0.2),
+				btrim.Float64(300000),
+			)); err != nil {
+				return err
+			}
+			// stock for every item
+			for i := 1; i <= cfg.Items; i++ {
+				if err := tx.Insert(TableStock, btrim.Values(
+					btrim.Int64(w), btrim.Int64(int64(i)),
+					btrim.Int64(int64(10+rng.Intn(91))),
+					btrim.Float64(0), btrim.Int64(0),
+					btrim.String(b.dataPad[:24]),
+					btrim.String(b.dataPad),
+				)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("tpcc: load warehouse %d: %w", w, err)
+		}
+
+		for d := 1; d <= cfg.DistrictsPerW; d++ {
+			d := int64(d)
+			if err := db.Update(func(tx *btrim.Tx) error {
+				nextOID := int64(cfg.InitialOrdersPerDistrict + 1)
+				if err := tx.Insert(TableDistrict, btrim.Values(
+					btrim.Int64(w), btrim.Int64(d),
+					btrim.String(fmt.Sprintf("dist-%d-%d", w, d)),
+					btrim.Float64(rng.Float64()*0.2),
+					btrim.Float64(30000),
+					btrim.Int64(nextOID),
+				)); err != nil {
+					return err
+				}
+				for c := 1; c <= cfg.CustomersPerDistrict; c++ {
+					c := int64(c)
+					if err := tx.Insert(TableCustomer, btrim.Values(
+						btrim.Int64(w), btrim.Int64(d), btrim.Int64(c),
+						btrim.String(fmt.Sprintf("first-%d", c)),
+						btrim.String(LastName(int(c-1)%1000)),
+						btrim.String("GC"),
+						btrim.Float64(-10), btrim.Float64(10), btrim.Int64(1), btrim.Int64(0),
+						btrim.String(b.dataPad),
+					)); err != nil {
+						return err
+					}
+				}
+				// Initial order history: committed orders with lines, the
+				// most recent third still undelivered (in new_orders).
+				for o := 1; o <= cfg.InitialOrdersPerDistrict; o++ {
+					o := int64(o)
+					cid := int64(1 + rng.Intn(cfg.CustomersPerDistrict))
+					olCnt := int64(5 + rng.Intn(11))
+					carrier := int64(1 + rng.Intn(10))
+					undelivered := o > int64(cfg.InitialOrdersPerDistrict*2/3)
+					if undelivered {
+						carrier = 0
+					}
+					if err := tx.Insert(TableOrders, btrim.Values(
+						btrim.Int64(w), btrim.Int64(d), btrim.Int64(o),
+						btrim.Int64(cid), btrim.Int64(1), btrim.Int64(carrier), btrim.Int64(olCnt),
+					)); err != nil {
+						return err
+					}
+					for ol := int64(1); ol <= olCnt; ol++ {
+						if err := tx.Insert(TableOrderLine, btrim.Values(
+							btrim.Int64(w), btrim.Int64(d), btrim.Int64(o), btrim.Int64(ol),
+							btrim.Int64(int64(1+rng.Intn(cfg.Items))),
+							btrim.Int64(5),
+							btrim.Float64(rng.Float64()*100),
+							btrim.Int64(0),
+							btrim.String(b.dataPad[:24]),
+						)); err != nil {
+							return err
+						}
+					}
+					if undelivered {
+						if err := tx.Insert(TableNewOrders, btrim.Values(
+							btrim.Int64(w), btrim.Int64(d), btrim.Int64(o),
+						)); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			}); err != nil {
+				return nil, fmt.Errorf("tpcc: load district %d/%d: %w", w, d, err)
+			}
+		}
+	}
+	return b, nil
+}

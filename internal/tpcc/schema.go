@@ -1,0 +1,160 @@
+// Package tpcc implements the TPC-C-based OLTP benchmark of the paper's
+// evaluation (Section VIII): the nine-table schema, a scaled loader, the
+// five transaction profiles, and a multi-worker driver. Table access
+// patterns reproduce Table 1 of the paper: warehouse/district are small
+// and update-heavy, stock is large with frequent updates, item is
+// read-only, history is insert-only, orders/order_line are large
+// insert-heavy tables, customer is update-heavy with some selects, and
+// new_orders behaves like a queue.
+package tpcc
+
+import "repro/btrim"
+
+// Table names.
+const (
+	TableWarehouse = "warehouse"
+	TableDistrict  = "district"
+	TableCustomer  = "customer"
+	TableHistory   = "history"
+	TableNewOrders = "new_orders"
+	TableOrders    = "orders"
+	TableOrderLine = "order_line"
+	TableItem      = "item"
+	TableStock     = "stock"
+)
+
+// TableNames lists all TPC-C tables in a stable order.
+var TableNames = []string{
+	TableWarehouse, TableDistrict, TableCustomer, TableHistory,
+	TableNewOrders, TableOrders, TableOrderLine, TableItem, TableStock,
+}
+
+// CreateSchema creates the nine TPC-C tables on db.
+func CreateSchema(db *btrim.DB) error {
+	specs := []btrim.TableSpec{
+		{
+			Name: TableWarehouse,
+			Columns: []btrim.Column{
+				{Name: "w_id", Type: btrim.Int64Type},
+				{Name: "w_name", Type: btrim.StringType},
+				{Name: "w_tax", Type: btrim.Float64Type},
+				{Name: "w_ytd", Type: btrim.Float64Type},
+			},
+			PrimaryKey: []string{"w_id"},
+		},
+		{
+			Name: TableDistrict,
+			Columns: []btrim.Column{
+				{Name: "d_w_id", Type: btrim.Int64Type},
+				{Name: "d_id", Type: btrim.Int64Type},
+				{Name: "d_name", Type: btrim.StringType},
+				{Name: "d_tax", Type: btrim.Float64Type},
+				{Name: "d_ytd", Type: btrim.Float64Type},
+				{Name: "d_next_o_id", Type: btrim.Int64Type},
+			},
+			PrimaryKey: []string{"d_w_id", "d_id"},
+		},
+		{
+			Name: TableCustomer,
+			Columns: []btrim.Column{
+				{Name: "c_w_id", Type: btrim.Int64Type},
+				{Name: "c_d_id", Type: btrim.Int64Type},
+				{Name: "c_id", Type: btrim.Int64Type},
+				{Name: "c_first", Type: btrim.StringType},
+				{Name: "c_last", Type: btrim.StringType},
+				{Name: "c_credit", Type: btrim.StringType},
+				{Name: "c_balance", Type: btrim.Float64Type},
+				{Name: "c_ytd_payment", Type: btrim.Float64Type},
+				{Name: "c_payment_cnt", Type: btrim.Int64Type},
+				{Name: "c_delivery_cnt", Type: btrim.Int64Type},
+				{Name: "c_data", Type: btrim.StringType},
+			},
+			PrimaryKey: []string{"c_w_id", "c_d_id", "c_id"},
+			Indexes: []btrim.IndexSpec{
+				{Name: "customer_last", Columns: []string{"c_w_id", "c_d_id", "c_last"}},
+			},
+		},
+		{
+			Name: TableHistory,
+			Columns: []btrim.Column{
+				{Name: "h_id", Type: btrim.Int64Type},
+				{Name: "h_c_w_id", Type: btrim.Int64Type},
+				{Name: "h_c_d_id", Type: btrim.Int64Type},
+				{Name: "h_c_id", Type: btrim.Int64Type},
+				{Name: "h_date", Type: btrim.Int64Type},
+				{Name: "h_amount", Type: btrim.Float64Type},
+				{Name: "h_data", Type: btrim.StringType},
+			},
+			PrimaryKey: []string{"h_id"},
+		},
+		{
+			Name: TableNewOrders,
+			Columns: []btrim.Column{
+				{Name: "no_w_id", Type: btrim.Int64Type},
+				{Name: "no_d_id", Type: btrim.Int64Type},
+				{Name: "no_o_id", Type: btrim.Int64Type},
+			},
+			PrimaryKey: []string{"no_w_id", "no_d_id", "no_o_id"},
+		},
+		{
+			Name: TableOrders,
+			Columns: []btrim.Column{
+				{Name: "o_w_id", Type: btrim.Int64Type},
+				{Name: "o_d_id", Type: btrim.Int64Type},
+				{Name: "o_id", Type: btrim.Int64Type},
+				{Name: "o_c_id", Type: btrim.Int64Type},
+				{Name: "o_entry_d", Type: btrim.Int64Type},
+				{Name: "o_carrier_id", Type: btrim.Int64Type},
+				{Name: "o_ol_cnt", Type: btrim.Int64Type},
+			},
+			PrimaryKey: []string{"o_w_id", "o_d_id", "o_id"},
+			Indexes: []btrim.IndexSpec{
+				{Name: "orders_customer", Columns: []string{"o_w_id", "o_d_id", "o_c_id", "o_id"}, Unique: true},
+			},
+		},
+		{
+			Name: TableOrderLine,
+			Columns: []btrim.Column{
+				{Name: "ol_w_id", Type: btrim.Int64Type},
+				{Name: "ol_d_id", Type: btrim.Int64Type},
+				{Name: "ol_o_id", Type: btrim.Int64Type},
+				{Name: "ol_number", Type: btrim.Int64Type},
+				{Name: "ol_i_id", Type: btrim.Int64Type},
+				{Name: "ol_quantity", Type: btrim.Int64Type},
+				{Name: "ol_amount", Type: btrim.Float64Type},
+				{Name: "ol_delivery_d", Type: btrim.Int64Type},
+				{Name: "ol_dist_info", Type: btrim.StringType},
+			},
+			PrimaryKey: []string{"ol_w_id", "ol_d_id", "ol_o_id", "ol_number"},
+		},
+		{
+			Name: TableItem,
+			Columns: []btrim.Column{
+				{Name: "i_id", Type: btrim.Int64Type},
+				{Name: "i_name", Type: btrim.StringType},
+				{Name: "i_price", Type: btrim.Float64Type},
+				{Name: "i_data", Type: btrim.StringType},
+			},
+			PrimaryKey: []string{"i_id"},
+		},
+		{
+			Name: TableStock,
+			Columns: []btrim.Column{
+				{Name: "s_w_id", Type: btrim.Int64Type},
+				{Name: "s_i_id", Type: btrim.Int64Type},
+				{Name: "s_quantity", Type: btrim.Int64Type},
+				{Name: "s_ytd", Type: btrim.Float64Type},
+				{Name: "s_order_cnt", Type: btrim.Int64Type},
+				{Name: "s_dist_info", Type: btrim.StringType},
+				{Name: "s_data", Type: btrim.StringType},
+			},
+			PrimaryKey: []string{"s_w_id", "s_i_id"},
+		},
+	}
+	for _, spec := range specs {
+		if err := db.CreateTable(spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,389 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/btrim"
+)
+
+// Column ordinals per table (schema order).
+const (
+	wID = iota
+	wName
+	wTax
+	wYTD
+)
+
+const (
+	dWID = iota
+	dID
+	dName
+	dTax
+	dYTD
+	dNextOID
+)
+
+const (
+	cWID = iota
+	cDID
+	cID
+	cFirst
+	cLast
+	cCredit
+	cBalance
+	cYTDPayment
+	cPaymentCnt
+	cDeliveryCnt
+	cData
+)
+
+const (
+	oWID = iota
+	oDID
+	oID
+	oCID
+	oEntryD
+	oCarrierID
+	oOLCnt
+)
+
+const (
+	olWID = iota
+	olDID
+	olOID
+	olNumber
+	olIID
+	olQuantity
+	olAmount
+	olDeliveryD
+	olDistInfo
+)
+
+const (
+	sWID = iota
+	sIID
+	sQuantity
+	sYTD
+	sOrderCnt
+	sDistInfo
+	sData
+)
+
+// NURand is the TPC-C non-uniform random function; the constant C is
+// fixed (any value is spec-conformant for a single run).
+func NURand(rng *rand.Rand, a, x, y int) int {
+	const c = 7
+	return (((rng.Intn(a+1) | (x + rng.Intn(y-x+1))) + c) % (y - x + 1)) + x
+}
+
+func (b *Bench) randCustomerID(rng *rand.Rand) int64 {
+	return int64(NURand(rng, 1023, 1, b.Cfg.CustomersPerDistrict))
+}
+
+func (b *Bench) randItemID(rng *rand.Rand) int64 {
+	return int64(NURand(rng, 8191, 1, b.Cfg.Items))
+}
+
+// ErrUserAbort is the intentional 1% NewOrder rollback from the TPC-C
+// specification.
+var ErrUserAbort = fmt.Errorf("tpcc: simulated user abort")
+
+// NewOrder runs one New-Order transaction: read warehouse and district,
+// allocate the next order id, insert the order and its queue entry, and
+// for 5–15 lines read the item and update its stock. 1% of transactions
+// roll back intentionally.
+func (b *Bench) NewOrder(rng *rand.Rand, now int64) error {
+	w := int64(1 + rng.Intn(b.Cfg.Warehouses))
+	d := int64(1 + rng.Intn(b.Cfg.DistrictsPerW))
+	c := b.randCustomerID(rng)
+	olCnt := 5 + rng.Intn(11)
+	abort := rng.Intn(100) == 0
+
+	// Pick items up front and sort: ordered stock access avoids deadlocks.
+	items := make([]int64, olCnt)
+	for i := range items {
+		items[i] = b.randItemID(rng)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+
+	return b.DB.Update(func(tx *btrim.Tx) error {
+		if _, ok, err := tx.Get(TableWarehouse, btrim.Int64(w)); err != nil || !ok {
+			return fmt.Errorf("tpcc: warehouse %d: %v", w, err)
+		}
+		var oID64 int64
+		if ok, err := tx.Update(TableDistrict, []btrim.Value{btrim.Int64(w), btrim.Int64(d)},
+			func(r btrim.Row) (btrim.Row, error) {
+				oID64 = r[dNextOID].Int()
+				r[dNextOID] = btrim.Int64(oID64 + 1)
+				return r, nil
+			}); err != nil || !ok {
+			return fmt.Errorf("tpcc: district %d/%d: %v", w, d, err)
+		}
+		if err := tx.Insert(TableOrders, btrim.Values(
+			btrim.Int64(w), btrim.Int64(d), btrim.Int64(oID64),
+			btrim.Int64(c), btrim.Int64(now), btrim.Int64(0), btrim.Int64(int64(olCnt)),
+		)); err != nil {
+			return err
+		}
+		if err := tx.Insert(TableNewOrders, btrim.Values(
+			btrim.Int64(w), btrim.Int64(d), btrim.Int64(oID64),
+		)); err != nil {
+			return err
+		}
+		for ln, iid := range items {
+			itemRow, ok, err := tx.Get(TableItem, btrim.Int64(iid))
+			if err != nil || !ok {
+				return fmt.Errorf("tpcc: item %d: %v", iid, err)
+			}
+			price := itemRow[2].Float()
+			qty := int64(1 + rng.Intn(10))
+			if ok, err := tx.Update(TableStock, []btrim.Value{btrim.Int64(w), btrim.Int64(iid)},
+				func(r btrim.Row) (btrim.Row, error) {
+					q := r[sQuantity].Int()
+					if q >= qty+10 {
+						q -= qty
+					} else {
+						q = q - qty + 91
+					}
+					r[sQuantity] = btrim.Int64(q)
+					r[sYTD] = btrim.Float64(r[sYTD].Float() + float64(qty))
+					r[sOrderCnt] = btrim.Int64(r[sOrderCnt].Int() + 1)
+					return r, nil
+				}); err != nil || !ok {
+				return fmt.Errorf("tpcc: stock %d/%d: %v", w, iid, err)
+			}
+			if err := tx.Insert(TableOrderLine, btrim.Values(
+				btrim.Int64(w), btrim.Int64(d), btrim.Int64(oID64), btrim.Int64(int64(ln+1)),
+				btrim.Int64(iid), btrim.Int64(qty),
+				btrim.Float64(price*float64(qty)), btrim.Int64(0),
+				btrim.String(b.dataPad[:24]),
+			)); err != nil {
+				return err
+			}
+		}
+		if abort {
+			return ErrUserAbort
+		}
+		return nil
+	})
+}
+
+// Payment runs one Payment transaction: update warehouse and district
+// YTD, pay against a customer (60% by id, 40% by last name), and append
+// an insert-only history row.
+func (b *Bench) Payment(rng *rand.Rand, now int64) error {
+	w := int64(1 + rng.Intn(b.Cfg.Warehouses))
+	d := int64(1 + rng.Intn(b.Cfg.DistrictsPerW))
+	amount := 1 + rng.Float64()*4999
+
+	return b.DB.Update(func(tx *btrim.Tx) error {
+		if ok, err := tx.Update(TableWarehouse, []btrim.Value{btrim.Int64(w)},
+			func(r btrim.Row) (btrim.Row, error) {
+				r[wYTD] = btrim.Float64(r[wYTD].Float() + amount)
+				return r, nil
+			}); err != nil || !ok {
+			return fmt.Errorf("tpcc: payment warehouse: %v", err)
+		}
+		if ok, err := tx.Update(TableDistrict, []btrim.Value{btrim.Int64(w), btrim.Int64(d)},
+			func(r btrim.Row) (btrim.Row, error) {
+				r[dYTD] = btrim.Float64(r[dYTD].Float() + amount)
+				return r, nil
+			}); err != nil || !ok {
+			return fmt.Errorf("tpcc: payment district: %v", err)
+		}
+
+		var custID int64
+		if rng.Intn(100) < 60 {
+			custID = b.randCustomerID(rng)
+		} else {
+			// By last name: pick the middle matching customer.
+			last := LastName(NURand(rng, 255, 0, min(999, b.Cfg.CustomersPerDistrict-1)))
+			rows, err := tx.LookupAll(TableCustomer, "customer_last",
+				btrim.Int64(w), btrim.Int64(d), btrim.String(last))
+			if err != nil {
+				return err
+			}
+			if len(rows) == 0 {
+				custID = b.randCustomerID(rng)
+			} else {
+				custID = rows[len(rows)/2][cID].Int()
+			}
+		}
+		if ok, err := tx.Update(TableCustomer,
+			[]btrim.Value{btrim.Int64(w), btrim.Int64(d), btrim.Int64(custID)},
+			func(r btrim.Row) (btrim.Row, error) {
+				r[cBalance] = btrim.Float64(r[cBalance].Float() - amount)
+				r[cYTDPayment] = btrim.Float64(r[cYTDPayment].Float() + amount)
+				r[cPaymentCnt] = btrim.Int64(r[cPaymentCnt].Int() + 1)
+				return r, nil
+			}); err != nil || !ok {
+			return fmt.Errorf("tpcc: payment customer %d: %v", custID, err)
+		}
+		return tx.Insert(TableHistory, btrim.Values(
+			btrim.Int64(b.histID.Add(1)),
+			btrim.Int64(w), btrim.Int64(d), btrim.Int64(custID),
+			btrim.Int64(now), btrim.Float64(amount),
+			btrim.String(b.dataPad[:24]),
+		))
+	})
+}
+
+// OrderStatus reads a customer's most recent order and its lines
+// (read-only).
+func (b *Bench) OrderStatus(rng *rand.Rand) error {
+	w := int64(1 + rng.Intn(b.Cfg.Warehouses))
+	d := int64(1 + rng.Intn(b.Cfg.DistrictsPerW))
+	c := b.randCustomerID(rng)
+
+	return b.DB.View(func(tx *btrim.Tx) error {
+		if _, ok, err := tx.Get(TableCustomer,
+			btrim.Int64(w), btrim.Int64(d), btrim.Int64(c)); err != nil || !ok {
+			return fmt.Errorf("tpcc: order-status customer: %v", err)
+		}
+		orders, err := tx.LookupAll(TableOrders, "orders_customer",
+			btrim.Int64(w), btrim.Int64(d), btrim.Int64(c))
+		if err != nil {
+			return err
+		}
+		if len(orders) == 0 {
+			return nil // customer has never ordered
+		}
+		newest := orders[0]
+		for _, o := range orders[1:] {
+			if o[oID].Int() > newest[oID].Int() {
+				newest = o
+			}
+		}
+		oid := newest[oID].Int()
+		for ln := int64(1); ln <= newest[oOLCnt].Int(); ln++ {
+			if _, _, err := tx.Get(TableOrderLine,
+				btrim.Int64(w), btrim.Int64(d), btrim.Int64(oid), btrim.Int64(ln)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Delivery delivers the oldest undelivered order in each district:
+// dequeue from new_orders, stamp the order's carrier, stamp each order
+// line's delivery date, and credit the customer.
+func (b *Bench) Delivery(rng *rand.Rand, now int64) error {
+	w := int64(1 + rng.Intn(b.Cfg.Warehouses))
+	carrier := int64(1 + rng.Intn(10))
+
+	return b.DB.Update(func(tx *btrim.Tx) error {
+		for d := int64(1); d <= int64(b.Cfg.DistrictsPerW); d++ {
+			// Oldest queued order: first PK-index hit with prefix (w, d).
+			var oldest int64 = -1
+			err := tx.IndexScan(TableNewOrders, "new_orders_pk",
+				[]btrim.Value{btrim.Int64(w), btrim.Int64(d)},
+				func(r btrim.Row) bool {
+					if r[0].Int() == w && r[1].Int() == d {
+						oldest = r[2].Int()
+					}
+					return false
+				})
+			if err != nil {
+				return err
+			}
+			if oldest < 0 {
+				continue // nothing queued for this district
+			}
+			if ok, err := tx.Delete(TableNewOrders,
+				btrim.Int64(w), btrim.Int64(d), btrim.Int64(oldest)); err != nil || !ok {
+				continue // raced another delivery
+			}
+			var custID, olCnt int64
+			if ok, err := tx.Update(TableOrders,
+				[]btrim.Value{btrim.Int64(w), btrim.Int64(d), btrim.Int64(oldest)},
+				func(r btrim.Row) (btrim.Row, error) {
+					custID = r[oCID].Int()
+					olCnt = r[oOLCnt].Int()
+					r[oCarrierID] = btrim.Int64(carrier)
+					return r, nil
+				}); err != nil || !ok {
+				return fmt.Errorf("tpcc: delivery order %d: %v", oldest, err)
+			}
+			total := 0.0
+			for ln := int64(1); ln <= olCnt; ln++ {
+				if _, err := tx.Update(TableOrderLine,
+					[]btrim.Value{btrim.Int64(w), btrim.Int64(d), btrim.Int64(oldest), btrim.Int64(ln)},
+					func(r btrim.Row) (btrim.Row, error) {
+						total += r[olAmount].Float()
+						r[olDeliveryD] = btrim.Int64(now)
+						return r, nil
+					}); err != nil {
+					return err
+				}
+			}
+			if _, err := tx.Update(TableCustomer,
+				[]btrim.Value{btrim.Int64(w), btrim.Int64(d), btrim.Int64(custID)},
+				func(r btrim.Row) (btrim.Row, error) {
+					r[cBalance] = btrim.Float64(r[cBalance].Float() + total)
+					r[cDeliveryCnt] = btrim.Int64(r[cDeliveryCnt].Int() + 1)
+					return r, nil
+				}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// StockLevel counts recently-sold items below a stock threshold
+// (read-only, touches district, order_line and stock).
+func (b *Bench) StockLevel(rng *rand.Rand) error {
+	w := int64(1 + rng.Intn(b.Cfg.Warehouses))
+	d := int64(1 + rng.Intn(b.Cfg.DistrictsPerW))
+	threshold := int64(10 + rng.Intn(11))
+
+	return b.DB.View(func(tx *btrim.Tx) error {
+		dist, ok, err := tx.Get(TableDistrict, btrim.Int64(w), btrim.Int64(d))
+		if err != nil || !ok {
+			return fmt.Errorf("tpcc: stock-level district: %v", err)
+		}
+		nextO := dist[dNextOID].Int()
+		seen := map[int64]bool{}
+		low := 0
+		for o := nextO - 20; o < nextO; o++ {
+			if o < 1 {
+				continue
+			}
+			ord, ok, err := tx.Get(TableOrders, btrim.Int64(w), btrim.Int64(d), btrim.Int64(o))
+			if err != nil || !ok {
+				continue
+			}
+			for ln := int64(1); ln <= ord[oOLCnt].Int(); ln++ {
+				line, ok, err := tx.Get(TableOrderLine,
+					btrim.Int64(w), btrim.Int64(d), btrim.Int64(o), btrim.Int64(ln))
+				if err != nil || !ok {
+					continue
+				}
+				iid := line[olIID].Int()
+				if seen[iid] {
+					continue
+				}
+				seen[iid] = true
+				st, ok, err := tx.Get(TableStock, btrim.Int64(w), btrim.Int64(iid))
+				if err != nil || !ok {
+					continue
+				}
+				if st[sQuantity].Int() < threshold {
+					low++
+				}
+			}
+		}
+		_ = low
+		return nil
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,31 @@
+// Package txn provides transaction infrastructure: the database commit
+// timestamp (the atomic counter the paper's TSF mechanism is defined
+// against, Section VI-D), a reentrant row lock manager with the
+// conditional lock acquisition Pack relies on (Section VII-B), and a
+// snapshot registry that gates IMRS garbage collection.
+package txn
+
+import "sync/atomic"
+
+// Clock is the database commit timestamp: an atomic counter incremented
+// when a transaction in the database completes (paper Section VI-D).
+type Clock struct {
+	ts atomic.Uint64
+}
+
+// Now returns the current commit timestamp without advancing it; readers
+// use it as their snapshot.
+func (c *Clock) Now() uint64 { return c.ts.Load() }
+
+// Tick advances the clock and returns the new commit timestamp.
+func (c *Clock) Tick() uint64 { return c.ts.Add(1) }
+
+// AdvanceTo moves the clock forward to at least ts (recovery replay).
+func (c *Clock) AdvanceTo(ts uint64) {
+	for {
+		cur := c.ts.Load()
+		if cur >= ts || c.ts.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package txn
+
+import (
+	"math"
+	"sync"
+)
+
+// SnapshotRegistry tracks the snapshot timestamps of active statements
+// and transactions. IMRS-GC may only reclaim a row version once no
+// active snapshot can still read it; the paper calls the equivalent
+// shield for lock-free scanners "statement registration" (Section VII-B).
+type SnapshotRegistry struct {
+	mu     sync.Mutex
+	active map[uint64]int // snapshot ts -> refcount
+}
+
+// NewSnapshotRegistry returns an empty registry.
+func NewSnapshotRegistry() *SnapshotRegistry {
+	return &SnapshotRegistry{active: make(map[uint64]int)}
+}
+
+// Register records an active snapshot at ts. The caller must Unregister
+// the same ts exactly once.
+func (s *SnapshotRegistry) Register(ts uint64) {
+	s.mu.Lock()
+	s.active[ts]++
+	s.mu.Unlock()
+}
+
+// Unregister drops one registration of ts.
+func (s *SnapshotRegistry) Unregister(ts uint64) {
+	s.mu.Lock()
+	if n := s.active[ts]; n <= 1 {
+		delete(s.active, ts)
+	} else {
+		s.active[ts] = n - 1
+	}
+	s.mu.Unlock()
+}
+
+// MinActive returns the oldest registered snapshot, or math.MaxUint64
+// when none are active (everything older than "now" is reclaimable).
+func (s *SnapshotRegistry) MinActive() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	min := uint64(math.MaxUint64)
+	for ts := range s.active {
+		if ts < min {
+			min = ts
+		}
+	}
+	return min
+}
+
+// ActiveCount returns the number of distinct registered snapshots (tests).
+func (s *SnapshotRegistry) ActiveCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.active)
+}

@@ -1,0 +1,231 @@
+package txn
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rid"
+)
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("fresh clock should be 0")
+	}
+	if c.Tick() != 1 || c.Tick() != 2 {
+		t.Fatal("Tick sequence wrong")
+	}
+	c.AdvanceTo(100)
+	if c.Now() != 100 {
+		t.Fatalf("AdvanceTo: %d", c.Now())
+	}
+	c.AdvanceTo(50) // never goes backwards
+	if c.Now() != 100 {
+		t.Fatalf("AdvanceTo went backwards: %d", c.Now())
+	}
+}
+
+func TestClockConcurrentTicks(t *testing.T) {
+	var c Clock
+	const workers, per = 8, 1000
+	seen := make([]map[uint64]bool, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		seen[w] = make(map[uint64]bool, per)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seen[w][c.Tick()] = true
+			}
+		}(w)
+	}
+	wg.Wait()
+	all := map[uint64]bool{}
+	for _, m := range seen {
+		for ts := range m {
+			if all[ts] {
+				t.Fatalf("duplicate commit TS %d", ts)
+			}
+			all[ts] = true
+		}
+	}
+	if c.Now() != workers*per {
+		t.Fatalf("final clock %d, want %d", c.Now(), workers*per)
+	}
+}
+
+func TestLockBasics(t *testing.T) {
+	m := NewLockManager(time.Second)
+	r := rid.NewPhysical(1, 1, 1)
+	if err := m.Lock(1, r); err != nil {
+		t.Fatal(err)
+	}
+	if !m.HeldBy(1, r) {
+		t.Fatal("lock not held")
+	}
+	// Reentrant.
+	if err := m.Lock(1, r); err != nil {
+		t.Fatal(err)
+	}
+	m.Unlock(1, r)
+	if !m.HeldBy(1, r) {
+		t.Fatal("reentrant lock released too early")
+	}
+	m.Unlock(1, r)
+	if m.HeldBy(1, r) {
+		t.Fatal("lock still held after full unlock")
+	}
+}
+
+func TestTryLockConditional(t *testing.T) {
+	m := NewLockManager(time.Second)
+	r := rid.NewPhysical(1, 1, 1)
+	if !m.TryLock(1, r) {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if m.TryLock(2, r) {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	if !m.TryLock(1, r) {
+		t.Fatal("reentrant TryLock failed")
+	}
+	m.Unlock(1, r)
+	m.Unlock(1, r)
+	if !m.TryLock(2, r) {
+		t.Fatal("TryLock after release failed")
+	}
+	m.Unlock(2, r)
+}
+
+func TestLockBlocksAndHandsOff(t *testing.T) {
+	m := NewLockManager(2 * time.Second)
+	r := rid.NewPhysical(1, 1, 1)
+	if err := m.Lock(1, r); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan struct{})
+	go func() {
+		if err := m.Lock(2, r); err != nil {
+			t.Error(err)
+		}
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("waiter acquired while held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.Unlock(1, r)
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("waiter never acquired after release")
+	}
+	m.Unlock(2, r)
+}
+
+func TestLockTimeout(t *testing.T) {
+	m := NewLockManager(50 * time.Millisecond)
+	r := rid.NewPhysical(1, 1, 1)
+	if err := m.Lock(1, r); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := m.Lock(2, r)
+	if err != ErrLockTimeout {
+		t.Fatalf("err = %v, want ErrLockTimeout", err)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatal("timed out too fast")
+	}
+	m.Unlock(1, r)
+	// Lock must still be grantable after a timed-out waiter.
+	if err := m.Lock(3, r); err != nil {
+		t.Fatal(err)
+	}
+	m.Unlock(3, r)
+}
+
+func TestLockStress(t *testing.T) {
+	m := NewLockManager(5 * time.Second)
+	r := rid.NewPhysical(1, 1, 1)
+	var counter int
+	const workers, per = 8, 300
+	var wg sync.WaitGroup
+	for w := 1; w <= workers; w++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := m.Lock(id, r); err != nil {
+					t.Error(err)
+					return
+				}
+				counter++
+				m.Unlock(id, r)
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+	if counter != workers*per {
+		t.Fatalf("counter = %d, want %d (mutual exclusion violated)", counter, workers*per)
+	}
+}
+
+func TestUnlockNotHeldPanics(t *testing.T) {
+	m := NewLockManager(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Unlock(1, rid.NewPhysical(1, 1, 1))
+}
+
+func TestSnapshotRegistry(t *testing.T) {
+	s := NewSnapshotRegistry()
+	if s.MinActive() != math.MaxUint64 {
+		t.Fatal("empty registry should report MaxUint64")
+	}
+	s.Register(10)
+	s.Register(5)
+	s.Register(5)
+	if s.MinActive() != 5 {
+		t.Fatalf("MinActive = %d, want 5", s.MinActive())
+	}
+	s.Unregister(5)
+	if s.MinActive() != 5 {
+		t.Fatal("refcounted snapshot dropped too early")
+	}
+	s.Unregister(5)
+	if s.MinActive() != 10 {
+		t.Fatalf("MinActive = %d, want 10", s.MinActive())
+	}
+	s.Unregister(10)
+	if s.ActiveCount() != 0 {
+		t.Fatal("registry not empty")
+	}
+}
+
+func TestSnapshotRegistryConcurrent(t *testing.T) {
+	s := NewSnapshotRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				ts := uint64(w*1000 + i)
+				s.Register(ts)
+				s.Unregister(ts)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.ActiveCount() != 0 {
+		t.Fatalf("leaked %d snapshots", s.ActiveCount())
+	}
+}

@@ -1,0 +1,201 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// frame layout: [4 bodyLen][4 crc32(body)][body]
+const frameHeader = 8
+
+// Log is an append-only record log with group flush. LSNs are the byte
+// offset of a record's frame plus one (so LSN 0 means "nothing logged").
+// Appends buffer in memory; Flush persists buffered frames up to a target
+// LSN and syncs, implementing the write-ahead rule and group commit.
+type Log struct {
+	backend Backend
+
+	mu      sync.Mutex
+	pending []byte // appended but not yet handed to the backend
+	base    int64  // backend size == offset of pending[0]
+
+	nextLSN    atomic.Uint64 // next LSN to hand out
+	flushedLSN atomic.Uint64 // durable prefix
+
+	stats LogStats
+}
+
+// LogStats counts log activity.
+type LogStats struct {
+	Appends atomic.Int64
+	Flushes atomic.Int64
+	Bytes   atomic.Int64
+}
+
+// NewLog opens a Log over backend, continuing after existing content.
+func NewLog(backend Backend) (*Log, error) {
+	size, err := backend.Size()
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{backend: backend, base: size}
+	l.nextLSN.Store(uint64(size) + 1)
+	l.flushedLSN.Store(uint64(size) + 1 - 1)
+	return l, nil
+}
+
+// Append buffers rec and returns its LSN. The record is not durable
+// until Flush covers the returned LSN.
+func (l *Log) Append(rec *Record) (uint64, error) {
+	body := rec.encode(nil)
+	if len(body) > 0xFFFFFFF {
+		return 0, fmt.Errorf("wal: record of %d bytes too large", len(body))
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
+
+	l.mu.Lock()
+	lsn := uint64(l.base) + uint64(len(l.pending)) + 1
+	l.pending = append(l.pending, hdr[:]...)
+	l.pending = append(l.pending, body...)
+	l.nextLSN.Store(uint64(l.base) + uint64(len(l.pending)) + 1)
+	l.mu.Unlock()
+
+	rec.LSN = lsn
+	l.stats.Appends.Add(1)
+	l.stats.Bytes.Add(int64(len(body) + frameHeader))
+	return lsn, nil
+}
+
+// Flush makes all records with LSN <= lsn durable. Flushing an
+// already-durable LSN is a no-op.
+func (l *Log) Flush(lsn uint64) error {
+	if l.flushedLSN.Load() >= lsn {
+		return nil
+	}
+	l.mu.Lock()
+	if l.flushedLSN.Load() >= lsn {
+		l.mu.Unlock()
+		return nil
+	}
+	pending := l.pending
+	l.pending = nil
+	newBase := l.base + int64(len(pending))
+	if len(pending) > 0 {
+		if _, err := l.backend.Append(pending); err != nil {
+			// Restore the buffer so a retry can succeed.
+			l.pending = pending
+			l.mu.Unlock()
+			return err
+		}
+		l.base = newBase
+	}
+	l.mu.Unlock()
+
+	if err := l.backend.Sync(); err != nil {
+		return err
+	}
+	// Everything buffered at the time of the call is now durable.
+	for {
+		cur := l.flushedLSN.Load()
+		target := uint64(newBase)
+		if cur >= target || l.flushedLSN.CompareAndSwap(cur, target) {
+			break
+		}
+	}
+	l.stats.Flushes.Add(1)
+	return nil
+}
+
+// FlushAll persists everything appended so far.
+func (l *Log) FlushAll() error {
+	return l.Flush(l.nextLSN.Load() - 1)
+}
+
+// FlushedLSN returns the durable prefix.
+func (l *Log) FlushedLSN() uint64 { return l.flushedLSN.Load() }
+
+// NextLSN returns the LSN the next append will receive.
+func (l *Log) NextLSN() uint64 { return l.nextLSN.Load() }
+
+// Stats exposes the log counters.
+func (l *Log) Stats() *LogStats { return &l.stats }
+
+// Size returns the total log size in bytes (durable plus buffered).
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base + int64(len(l.pending))
+}
+
+// Close flushes and closes the backend.
+func (l *Log) Close() error {
+	if err := l.FlushAll(); err != nil {
+		return err
+	}
+	return l.backend.Close()
+}
+
+// Reader iterates records in LSN order. Readers see only flushed
+// content; call FlushAll before reading a live log.
+type Reader struct {
+	backend Backend
+	off     int64
+	end     int64
+}
+
+// NewReader returns a reader positioned at fromLSN (or the log start
+// when fromLSN <= 1). The reader covers records durable at call time.
+func (l *Log) NewReader(fromLSN uint64) (*Reader, error) {
+	if err := l.FlushAll(); err != nil {
+		return nil, err
+	}
+	size, err := l.backend.Size()
+	if err != nil {
+		return nil, err
+	}
+	off := int64(0)
+	if fromLSN > 1 {
+		off = int64(fromLSN - 1)
+	}
+	return &Reader{backend: l.backend, off: off, end: size}, nil
+}
+
+// Next returns the next record, or io.EOF at the end. A torn or corrupt
+// frame terminates iteration with an error describing it.
+func (r *Reader) Next() (Record, error) {
+	if r.off >= r.end {
+		return Record{}, io.EOF
+	}
+	var hdr [frameHeader]byte
+	if r.off+frameHeader > r.end {
+		return Record{}, fmt.Errorf("wal: torn frame header at %d", r.off)
+	}
+	if _, err := r.backend.ReadAt(hdr[:], r.off); err != nil {
+		return Record{}, err
+	}
+	bodyLen := int64(binary.LittleEndian.Uint32(hdr[0:]))
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+	if r.off+frameHeader+bodyLen > r.end {
+		return Record{}, fmt.Errorf("wal: torn frame body at %d", r.off)
+	}
+	body := make([]byte, bodyLen)
+	if _, err := r.backend.ReadAt(body, r.off+frameHeader); err != nil {
+		return Record{}, err
+	}
+	if crc32.ChecksumIEEE(body) != wantCRC {
+		return Record{}, fmt.Errorf("wal: CRC mismatch at %d", r.off)
+	}
+	rec, err := decodeRecord(body)
+	if err != nil {
+		return Record{}, err
+	}
+	rec.LSN = uint64(r.off) + 1
+	r.off += frameHeader + bodyLen
+	return rec, nil
+}
