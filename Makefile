@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build vet test test-race bench-commit ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Concurrent-commit sweep; writes BENCH_commit.json.
+bench-commit:
+	$(GO) run ./cmd/commitbench
+
+# What CI runs. Short mode skips the long TPC-C sweeps so the race
+# detector pass stays within runner budgets; drop -short locally for
+# the full suite.
+ci: build vet
+	$(GO) test -race -short ./...

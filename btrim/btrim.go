@@ -103,6 +103,18 @@ type Config struct {
 	CheckpointEvery time.Duration
 	// ReadLatency/WriteLatency model device latency for in-memory devices.
 	ReadLatency, WriteLatency time.Duration
+
+	// DisableGroupCommit turns off the group-commit pipeline: every
+	// committer then syncs the logs itself (higher commit latency under
+	// concurrency; useful as a baseline).
+	DisableGroupCommit bool
+	// CommitCoalesceDelay makes the commit flusher linger this long to
+	// coalesce more committers per log sync. 0 flushes immediately;
+	// batching still arises while a sync is in flight.
+	CommitCoalesceDelay time.Duration
+	// CommitMaxBatchBytes cuts a coalesce delay short once this many
+	// bytes of log are buffered.
+	CommitMaxBatchBytes int
 }
 
 // DB is an open database.
@@ -133,6 +145,9 @@ func Open(cfg Config) (*DB, error) {
 	ec.CheckpointEvery = cfg.CheckpointEvery
 	ec.ReadLatency = cfg.ReadLatency
 	ec.WriteLatency = cfg.WriteLatency
+	ec.DisableGroupCommit = cfg.DisableGroupCommit
+	ec.CommitCoalesceDelay = cfg.CommitCoalesceDelay
+	ec.CommitMaxBatchBytes = cfg.CommitMaxBatchBytes
 	eng, err := core.Open(ec)
 	if err != nil {
 		return nil, err

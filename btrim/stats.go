@@ -1,5 +1,29 @@
 package btrim
 
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// WALStats is one write-ahead log's activity, including how well the
+// group-commit pipeline is coalescing committers.
+type WALStats struct {
+	// Appends / Flushes / Bytes count records appended, backend syncs,
+	// and bytes logged.
+	Appends int64
+	Flushes int64
+	Bytes   int64
+	// GroupedCommits committers were served by GroupFlushes coalesced
+	// flushes; MeanGroupSize is their ratio.
+	GroupFlushes   int64
+	GroupedCommits int64
+	MeanGroupSize  float64
+	// CommitWaitMean / CommitWaitP95 are commit durability-wait times.
+	CommitWaitMean time.Duration
+	CommitWaitP95  time.Duration
+}
+
 // Stats is a point-in-time view of the engine's hybrid-storage state.
 type Stats struct {
 	// IMRSUsedBytes / IMRSCapacityBytes give cache utilization.
@@ -14,6 +38,9 @@ type Stats struct {
 	RowsPacked  int64
 	BytesPacked int64
 	RowsSkipped int64
+	// SysLog / IMRSLog report per-log commit-pipeline activity.
+	SysLog  WALStats
+	IMRSLog WALStats
 	// Tables maps table/partition name to its per-partition stats.
 	Tables map[string]TableStats
 }
@@ -29,6 +56,19 @@ type TableStats struct {
 	IMRSEnabled bool
 }
 
+func walStats(l core.LogSnapshot) WALStats {
+	return WALStats{
+		Appends:        l.Appends,
+		Flushes:        l.Flushes,
+		Bytes:          l.Bytes,
+		GroupFlushes:   l.GroupFlushes,
+		GroupedCommits: l.GroupedCommits,
+		MeanGroupSize:  l.MeanGroupSize,
+		CommitWaitMean: l.CommitWaitMean,
+		CommitWaitP95:  l.CommitWaitP95,
+	}
+}
+
 // Stats snapshots the engine.
 func (db *DB) Stats() Stats {
 	snap := db.eng.Stats()
@@ -40,6 +80,8 @@ func (db *DB) Stats() Stats {
 		RowsPacked:        snap.RowsPacked,
 		BytesPacked:       snap.BytesPacked,
 		RowsSkipped:       snap.RowsSkipped,
+		SysLog:            walStats(snap.SysLog),
+		IMRSLog:           walStats(snap.IMRSLog),
 		Tables:            make(map[string]TableStats, len(snap.Partitions)),
 	}
 	for _, p := range snap.Partitions {

@@ -1,0 +1,162 @@
+// Command commitbench measures commit throughput of the dual-WAL
+// group-commit pipeline: concurrent single-row-insert transactions
+// across storage backends (mem/file), commit modes (group = coalescing
+// flusher pipeline, sync = flush-per-commit baseline) and goroutine
+// counts. Results go to stdout and, with -json, to a JSON report
+// (BENCH_commit.json by default) for EXPERIMENTS.md.
+//
+// Usage:
+//
+//	commitbench [-duration 2s] [-goroutines 1,4,8,16] [-json BENCH_commit.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/btrim"
+)
+
+type result struct {
+	Backend       string  `json:"backend"`
+	Mode          string  `json:"mode"`
+	Goroutines    int     `json:"goroutines"`
+	Commits       int64   `json:"commits"`
+	Seconds       float64 `json:"seconds"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	// MeanGroupSize is committers served per log sync (1.0 = no
+	// coalescing); CommitWait* are WaitDurable latencies.
+	MeanGroupSize    float64 `json:"mean_group_size,omitempty"`
+	CommitWaitMeanUS int64   `json:"commit_wait_mean_us,omitempty"`
+	CommitWaitP95US  int64   `json:"commit_wait_p95_us,omitempty"`
+}
+
+type report struct {
+	Benchmark string   `json:"benchmark"`
+	Started   string   `json:"started"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	duration := flag.Duration("duration", 2*time.Second, "measure time per configuration")
+	gostr := flag.String("goroutines", "1,4,8,16", "comma-separated committer counts")
+	jsonPath := flag.String("json", "BENCH_commit.json", "JSON report path (empty = no report)")
+	flag.Parse()
+
+	var workerCounts []int
+	for _, s := range strings.Split(*gostr, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			fmt.Fprintln(os.Stderr, "bad -goroutines value:", s)
+			os.Exit(2)
+		}
+		workerCounts = append(workerCounts, n)
+	}
+
+	rep := report{Benchmark: "concurrent-commit", Started: time.Now().UTC().Format(time.RFC3339)}
+	for _, backend := range []string{"mem", "file"} {
+		for _, mode := range []string{"group", "sync"} {
+			for _, workers := range workerCounts {
+				r, err := run(backend, mode, workers, *duration)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "run:", err)
+					os.Exit(1)
+				}
+				rep.Results = append(rep.Results, r)
+				fmt.Printf("backend=%-4s mode=%-5s goroutines=%-3d %10.0f commits/s  (group size %.2f, wait p95 %dµs)\n",
+					r.Backend, r.Mode, r.Goroutines, r.CommitsPerSec, r.MeanGroupSize, r.CommitWaitP95US)
+			}
+		}
+	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *jsonPath)
+	}
+}
+
+func run(backend, mode string, workers int, duration time.Duration) (result, error) {
+	cfg := btrim.Config{
+		IMRSCacheBytes:     256 << 20,
+		DisableGroupCommit: mode == "sync",
+	}
+	if backend == "file" {
+		dir, err := os.MkdirTemp("", "commitbench")
+		if err != nil {
+			return result{}, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.Dir = dir
+	}
+	db, err := btrim.Open(cfg)
+	if err != nil {
+		return result{}, err
+	}
+	defer db.Close()
+	if err := db.CreateTable(btrim.TableSpec{
+		Name: "items",
+		Columns: []btrim.Column{
+			{Name: "id", Type: btrim.Int64Type},
+			{Name: "name", Type: btrim.StringType},
+			{Name: "qty", Type: btrim.Int64Type},
+		},
+		PrimaryKey: []string{"id"},
+	}); err != nil {
+		return result{}, err
+	}
+
+	var next, commits atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				key := next.Add(1)
+				err := db.Update(func(tx *btrim.Tx) error {
+					return tx.Insert("items", btrim.Values(
+						btrim.Int64(key), btrim.String("bench"), btrim.Int64(key)))
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "commit:", err)
+					return
+				}
+				commits.Add(1)
+			}
+		}()
+	}
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := db.Stats().IMRSLog
+	r := result{
+		Backend:          backend,
+		Mode:             mode,
+		Goroutines:       workers,
+		Commits:          commits.Load(),
+		Seconds:          elapsed.Seconds(),
+		CommitsPerSec:    float64(commits.Load()) / elapsed.Seconds(),
+		MeanGroupSize:    st.MeanGroupSize,
+		CommitWaitMeanUS: st.CommitWaitMean.Microseconds(),
+		CommitWaitP95US:  st.CommitWaitP95.Microseconds(),
+	}
+	return r, nil
+}

@@ -85,6 +85,7 @@ func (e *Engine) CompactIMRSLog() error {
 	old := e.imrslog
 	e.imrslog = newLog
 	e.imrsGen = newGen
+	e.startGroupCommit(newLog) // commits are quiesced; safe to swap in
 	// Durably pin the new generation. Until this checkpoint flushes, a
 	// crash recovers from the old generation, which is still complete.
 	if err := e.checkpointLocked(); err != nil {

@@ -142,6 +142,11 @@ func Open(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 
+	// Start the group-commit pipelines only after recovery, which may
+	// have swapped e.imrslog to a compacted generation.
+	e.startGroupCommit(e.syslog)
+	e.startGroupCommit(e.imrslog)
+
 	e.gc.Start(cfg.GCWorkers)
 	if cfg.ILMEnabled {
 		e.packer.Start()
@@ -231,6 +236,17 @@ func (e *Engine) openStorage() error {
 	return nil
 }
 
+// startGroupCommit launches the commit pipeline on l per configuration.
+func (e *Engine) startGroupCommit(l *wal.Log) {
+	if e.cfg.DisableGroupCommit {
+		return
+	}
+	l.StartGroupCommit(wal.GroupCommitConfig{
+		MaxDelay:      e.cfg.CommitCoalesceDelay,
+		MaxBatchBytes: e.cfg.CommitMaxBatchBytes,
+	})
+}
+
 // Halt stops background workers without checkpointing or closing the
 // storage — it simulates a crash for recovery tests: durable state is
 // exactly what the logs and data device already hold.
@@ -243,6 +259,10 @@ func (e *Engine) Halt() {
 		e.packer.Stop()
 	}
 	e.gc.Stop()
+	// Stop the flusher goroutines; nothing quiescent is flushed, so the
+	// durable state stays exactly as a crash would leave it.
+	e.syslog.StopGroupCommit()
+	e.imrslog.StopGroupCommit()
 }
 
 // Close checkpoints and shuts the engine down.

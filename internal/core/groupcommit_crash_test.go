@@ -1,0 +1,194 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/wal"
+)
+
+// createHotCold creates two tables and pins "hot" into the IMRS and
+// "cold" out of it, so a transaction inserting into both is a mixed
+// transaction: redo-only records + contingent IMRSCommit (Aux=1) in
+// sysimrslogs, heap records + RecCommit in syslogs.
+func createHotCold(t *testing.T, e *Engine) {
+	t.Helper()
+	for _, name := range []string{"hot", "cold"} {
+		if _, err := e.CreateTable(name, testSchema(), []string{"id"}, catalog.PartitionSpec{}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.PinTable("hot", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PinTable("cold", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// commitMixed runs workers*perWorker concurrent mixed transactions
+// through the group-commit pipeline and returns the set of keys whose
+// Commit was acknowledged.
+func commitMixed(t *testing.T, e *Engine, workers, perWorker int) map[int64]bool {
+	t.Helper()
+	var mu sync.Mutex
+	acked := make(map[int64]bool)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := int64(w*1000 + i + 1)
+				tx := e.Begin()
+				if err := tx.Insert("hot", itemRow(key, "h", key)); err != nil {
+					tx.Abort()
+					continue
+				}
+				if err := tx.Insert("cold", itemRow(key, "c", key)); err != nil {
+					tx.Abort()
+					continue
+				}
+				if err := tx.Commit(); err == nil {
+					mu.Lock()
+					acked[key] = true
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return acked
+}
+
+// checkPairing asserts the contingent-commit rule on a recovered
+// engine: for every attempted key, the hot (IMRS) row and the cold
+// (page-store) row are either both present or both absent. It returns
+// the set of recovered keys.
+func checkPairing(t *testing.T, e *Engine, workers, perWorker int) map[int64]bool {
+	t.Helper()
+	present := make(map[int64]bool)
+	tx := e.Begin()
+	defer tx.Abort()
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			key := int64(w*1000 + i + 1)
+			_, hotOK, err := tx.Get("hot", pk(key))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, coldOK, err := tx.Get("cold", pk(key))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hotOK != coldOK {
+				t.Fatalf("key %d recovered torn across stores: hot=%v cold=%v", key, hotOK, coldOK)
+			}
+			if hotOK {
+				present[key] = true
+			}
+		}
+	}
+	return present
+}
+
+func crashConfig(st *sharedStorage) Config {
+	return st.config(func(c *Config) {
+		c.PackInterval = time.Hour // keep pack out of the log
+	})
+}
+
+// TestConcurrentGroupCommitTornSyslogTail crashes with a torn final
+// frame in syslogs: recovery must stop at the tear, discard the
+// affected transactions' page-store halves, and — via the contingent
+// Aux=1 rule — discard their IMRS halves too, even though those are
+// fully intact in sysimrslogs.
+func TestConcurrentGroupCommitTornSyslogTail(t *testing.T) {
+	const workers, perWorker = 8, 40
+	st := newSharedStorage()
+	e, err := Open(crashConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	createHotCold(t, e)
+	acked := commitMixed(t, e, workers, perWorker)
+	if len(acked) != workers*perWorker {
+		t.Fatalf("only %d/%d commits acknowledged", len(acked), workers*perWorker)
+	}
+	if grouped := e.Stats().IMRSLog.GroupedCommits; grouped == 0 {
+		t.Fatal("group-commit pipeline was not exercised")
+	}
+	e.Halt() // crash
+
+	// The crash tore the tail off syslogs mid-frame; sysimrslogs keeps a
+	// torn partial frame appended by an in-flight batch write.
+	sys := st.sys.Clone()
+	sysLen, _ := sys.Size()
+	sys.Truncate(sysLen * 6 / 10)
+	ims := st.ims.Clone()
+	if _, err := ims.Append([]byte{0xAB, 0xCD, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := &sharedStorage{dev: st.dev, sys: sys, ims: ims}
+	e2, err := Open(crashConfig(st2))
+	if err != nil {
+		t.Fatalf("recovery over torn logs failed: %v", err)
+	}
+	defer e2.Close()
+
+	recovered := checkPairing(t, e2, workers, perWorker)
+	if len(recovered) == 0 {
+		t.Fatal("truncated log recovered nothing; expected the pre-tear prefix")
+	}
+	if len(recovered) >= len(acked) {
+		t.Fatalf("recovered %d pairs from a log missing 40%% of its tail (committed %d)",
+			len(recovered), len(acked))
+	}
+}
+
+// TestConcurrentGroupCommitBackendKilledMidBatch kills the sysimrslogs
+// backend while committers are in flight: the batch in progress is torn
+// on the medium, its waiters get errors and roll back, and recovery
+// restores exactly the acknowledged transactions.
+func TestConcurrentGroupCommitBackendKilledMidBatch(t *testing.T) {
+	const workers, perWorker = 8, 40
+	st := newSharedStorage()
+	faulty := &wal.FaultyBackend{Inner: st.ims, FailAppendsAfter: 20, TornBytes: 11}
+	cfg := crashConfig(st)
+	cfg.IMRSLogBackend = faulty
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	createHotCold(t, e)
+	acked := commitMixed(t, e, workers, perWorker)
+	if len(acked) == 0 {
+		t.Fatal("no commit survived before the backend died")
+	}
+	if len(acked) == workers*perWorker {
+		t.Fatal("backend kill did not fail any commit; fault injection ineffective")
+	}
+	e.Halt() // crash
+
+	st2 := &sharedStorage{dev: st.dev, sys: st.sys.Clone(), ims: st.ims.Clone()}
+	e2, err := Open(crashConfig(st2))
+	if err != nil {
+		t.Fatalf("recovery after backend kill failed: %v", err)
+	}
+	defer e2.Close()
+
+	recovered := checkPairing(t, e2, workers, perWorker)
+	for key := range acked {
+		if !recovered[key] {
+			t.Fatalf("acknowledged key %d lost in recovery", key)
+		}
+	}
+	for key := range recovered {
+		if !acked[key] {
+			t.Fatalf("unacknowledged key %d resurrected by recovery", key)
+		}
+	}
+}

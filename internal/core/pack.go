@@ -126,6 +126,8 @@ func (r *relocator) PackEntries(part rid.PartitionID, entries []*imrs.Entry) (in
 	}
 	ts := e.clock.Tick()
 	hasSys := len(sysRecs) > 0
+	// Same pipeline and ordering as Txn.Commit: IMRS half durable (via
+	// the group-commit flusher) before the syslogs RecCommit is appended.
 	if len(imrsRecs) > 0 {
 		aux := uint8(0)
 		if hasSys {
@@ -142,29 +144,41 @@ func (r *relocator) PackEntries(part rid.PartitionID, entries []*imrs.Entry) (in
 		if err != nil {
 			return 0, 0, err
 		}
-		if err := e.imrslog.Flush(lsn); err != nil {
+		if hasSys {
+			for i := range sysRecs {
+				sysRecs[i].TxnID = packTxn
+				if _, err := e.syslog.Append(&sysRecs[i]); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+		if err := e.imrslog.WaitDurable(lsn); err != nil {
 			return 0, 0, err
 		}
-	}
-	if hasSys {
+	} else if hasSys {
 		for i := range sysRecs {
 			sysRecs[i].TxnID = packTxn
 			if _, err := e.syslog.Append(&sysRecs[i]); err != nil {
 				return 0, 0, err
 			}
 		}
+	}
+	if hasSys {
 		cr := wal.Record{Type: wal.RecCommit, TxnID: packTxn, CommitTS: ts}
 		lsn, err := e.syslog.Append(&cr)
 		if err != nil {
 			return 0, 0, err
 		}
-		if err := e.syslog.Flush(lsn); err != nil {
+		if err := e.syslog.WaitDurable(lsn); err != nil {
 			return 0, 0, err
 		}
 	}
 	for _, fn := range post {
 		fn(ts)
 	}
+	// Reclaim synchronously so the freed memory is visible to the pack
+	// cycle's own utilization accounting (and to anyone driving Step).
+	e.gc.Drain()
 	return rows, bytes, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -106,6 +107,12 @@ func (e *Engine) analyzeSyslogs() (ckptLSN uint64, ckptBlob []byte, ckptGen uint
 		if err == io.EOF {
 			break
 		}
+		if errors.Is(err, wal.ErrTorn) {
+			// A torn frame at the tail is where the durable log ends: the
+			// crash cut the final batch short. Everything after it was
+			// never acknowledged.
+			break
+		}
 		if err != nil {
 			return 0, nil, 0, nil, 0, fmt.Errorf("core: syslogs analysis: %w", err)
 		}
@@ -162,7 +169,7 @@ func (e *Engine) redoSyslogs(ckptLSN uint64, winners map[uint64]uint64) error {
 	}
 	for {
 		rec, err := rdr.Next()
-		if err == io.EOF {
+		if err == io.EOF || errors.Is(err, wal.ErrTorn) {
 			return nil
 		}
 		if err != nil {
@@ -214,7 +221,7 @@ func (e *Engine) replayIMRSLog(sysWinners map[uint64]uint64) (maxTS uint64, err 
 	pending := make(map[uint64][]wal.Record)
 	for {
 		rec, err := rdr.Next()
-		if err == io.EOF {
+		if err == io.EOF || errors.Is(err, wal.ErrTorn) {
 			break
 		}
 		if err != nil {

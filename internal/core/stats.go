@@ -1,6 +1,46 @@
 package core
 
-import "repro/internal/rid"
+import (
+	"time"
+
+	"repro/internal/rid"
+	"repro/internal/wal"
+)
+
+// LogSnapshot is one WAL's activity snapshot, including the
+// group-commit pipeline's coalescing behaviour.
+type LogSnapshot struct {
+	Appends int64
+	Flushes int64
+	Bytes   int64
+
+	// GroupFlushes / GroupedCommits: flusher rounds and the committers
+	// they served. MeanGroupSize is their ratio; GroupSizeP95 the
+	// 95th-percentile committers-per-flush (bucket upper bound).
+	GroupFlushes   int64
+	GroupedCommits int64
+	MeanGroupSize  float64
+	GroupSizeP95   int64
+
+	// Commit-wait latency as observed by WaitDurable callers.
+	CommitWaitMean time.Duration
+	CommitWaitP95  time.Duration
+}
+
+func logSnapshot(l *wal.Log) LogSnapshot {
+	st := l.Stats()
+	return LogSnapshot{
+		Appends:        st.Appends.Load(),
+		Flushes:        st.Flushes.Load(),
+		Bytes:          st.Bytes.Load(),
+		GroupFlushes:   st.GroupFlushes.Load(),
+		GroupedCommits: st.GroupedCommits.Load(),
+		MeanGroupSize:  l.GroupSizeHist().Mean(),
+		GroupSizeP95:   l.GroupSizeHist().Quantile(0.95),
+		CommitWaitMean: l.CommitWaitHist().Mean(),
+		CommitWaitP95:  l.CommitWaitHist().Quantile(0.95),
+	}
+}
 
 // PartitionSnapshot is one partition's observable state, feeding the
 // harness's per-table figures.
@@ -63,6 +103,10 @@ type Snapshot struct {
 	GCEntries     int64
 	AcceptNewRows bool
 
+	// SysLog / IMRSLog snapshot the two WALs and their commit pipelines.
+	SysLog  LogSnapshot
+	IMRSLog LogSnapshot
+
 	Partitions []PartitionSnapshot
 }
 
@@ -83,6 +127,9 @@ func (s Snapshot) IMRSHitRate() float64 {
 
 // Stats collects a consistent-enough snapshot of the engine state.
 func (e *Engine) Stats() Snapshot {
+	e.ckptMu.RLock()
+	syslog, imrslog := e.syslog, e.imrslog // imrslog swaps under ckptMu (compaction)
+	e.ckptMu.RUnlock()
 	s := Snapshot{
 		CommitTS:      e.clock.Now(),
 		IMRSUsedBytes: e.store.Allocator().Used(),
@@ -100,6 +147,8 @@ func (e *Engine) Stats() Snapshot {
 		GCVersions:    e.gc.VersionsFreed.Load(),
 		GCEntries:     e.gc.EntriesFreed.Load(),
 		AcceptNewRows: e.packer.AcceptNewRows(),
+		SysLog:        logSnapshot(syslog),
+		IMRSLog:       logSnapshot(imrslog),
 	}
 	for _, ps := range e.ilmReg.All() {
 		st := e.store.Part(ps.ID)

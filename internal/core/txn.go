@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/imrs"
 	"repro/internal/rid"
+	"repro/internal/txn"
 	"repro/internal/wal"
 )
 
@@ -18,10 +19,11 @@ import (
 // and the Commit marker. Recovery treats a mixed transaction as
 // committed only if the syslogs Commit exists.
 type Txn struct {
-	e    *Engine
-	id   uint64
-	snap uint64
-	done bool
+	e       *Engine
+	id      uint64
+	snap    uint64
+	snapRef txn.SnapshotRef
+	done    bool
 
 	locks map[rid.RID]struct{}
 
@@ -45,7 +47,7 @@ func (e *Engine) Begin() *Txn {
 		snap:  e.clock.Now(),
 		locks: make(map[rid.RID]struct{}),
 	}
-	e.snaps.Register(t.snap)
+	t.snapRef = e.snaps.Register(t.snap)
 	return t
 }
 
@@ -89,7 +91,7 @@ func (t *Txn) releaseAll() {
 func (t *Txn) finish() {
 	t.done = true
 	t.releaseAll()
-	t.e.snaps.Unregister(t.snap)
+	t.e.snaps.Unregister(t.snapRef)
 	t.e.ckptMu.RUnlock()
 }
 
@@ -107,6 +109,15 @@ func (t *Txn) Commit() error {
 	}
 	ts := t.e.clock.Tick()
 
+	// Commit pipeline: append every record first, then block on the
+	// group-commit flushers via WaitDurable — concurrent committers
+	// coalesce into shared backend writes and syncs. Ordering keeps the
+	// pair of logs crash-atomic: the IMRS half (records + IMRSCommit
+	// marker) must be durable before the syslogs RecCommit is even
+	// appended, since a racing group flush could otherwise persist the
+	// RecCommit first and a crash between the two would resurrect a
+	// mixed transaction whose IMRS half was lost.
+	var imrsLSN uint64
 	if hasIMRS {
 		aux := uint8(0)
 		if hasSys {
@@ -125,12 +136,11 @@ func (t *Txn) Commit() error {
 			t.rollbackAfterLogError()
 			return err
 		}
-		if err := t.e.imrslog.Flush(lsn); err != nil {
-			t.rollbackAfterLogError()
-			return err
-		}
+		imrsLSN = lsn
 	}
 	if hasSys {
+		// The Heap* records are harmless without a RecCommit, so they can
+		// ride any earlier group flush.
 		for i := range t.sysRecs {
 			t.sysRecs[i].TxnID = t.id
 			if _, err := t.e.syslog.Append(&t.sysRecs[i]); err != nil {
@@ -138,13 +148,21 @@ func (t *Txn) Commit() error {
 				return err
 			}
 		}
+	}
+	if hasIMRS {
+		if err := t.e.imrslog.WaitDurable(imrsLSN); err != nil {
+			t.rollbackAfterLogError()
+			return err
+		}
+	}
+	if hasSys {
 		cr := wal.Record{Type: wal.RecCommit, TxnID: t.id, CommitTS: ts}
 		lsn, err := t.e.syslog.Append(&cr)
 		if err != nil {
 			t.rollbackAfterLogError()
 			return err
 		}
-		if err := t.e.syslog.Flush(lsn); err != nil {
+		if err := t.e.syslog.WaitDurable(lsn); err != nil {
 			t.rollbackAfterLogError()
 			return err
 		}

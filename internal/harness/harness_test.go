@@ -53,6 +53,9 @@ func TestRunProducesSamplesAndThroughput(t *testing.T) {
 }
 
 func TestBenefitsShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-mode TPC-C collection; skipped in -short runs")
+	}
 	d, err := CollectBenefits(quickOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -157,6 +160,9 @@ func TestFig8QueueColdness(t *testing.T) {
 }
 
 func TestFig9Fig10Sweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("threshold sweep; skipped in -short runs")
+	}
 	opts := quickOptions()
 	// Thresholds low enough that the fixed work volume crosses both.
 	points, err := Fig9Fig10(new(bytes.Buffer), opts, []float64{0.5, 0.7})
@@ -180,6 +186,9 @@ func TestFig9Fig10Sweep(t *testing.T) {
 }
 
 func TestBaselineModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline comparison run; skipped in -short runs")
+	}
 	opts := quickOptions()
 	opts.MaxTxns = 2000
 	points, err := Baseline(new(bytes.Buffer), opts)

@@ -131,6 +131,12 @@ func (g *GC) NewRow(e *imrs.Entry) {
 	g.poke()
 }
 
+// Drain runs one collection pass synchronously on the caller's
+// goroutine. Retirers that need reclaimed memory visible immediately
+// (pack cycles, tests driving Step manually) call it instead of waiting
+// for a worker tick; it is safe alongside the background workers.
+func (g *GC) Drain() { g.process() }
+
 // Pending returns outstanding item counts (tests).
 func (g *GC) Pending() (versions, entries, newRows int) {
 	g.mu.Lock()

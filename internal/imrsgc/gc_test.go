@@ -69,7 +69,7 @@ func TestReclaimWaitsForSnapshots(t *testing.T) {
 	v2, _ := store.AddVersion(e, []byte("v2"), 11)
 	store.Commit(v2, 8)
 
-	snaps.Register(6) // a reader that must still see v1
+	reader := snaps.Register(6) // a reader that must still see v1
 	g.RetireVersion(e, v2, v1, 8)
 	time.Sleep(20 * time.Millisecond)
 	if g.VersionsFreed.Load() != 0 {
@@ -78,7 +78,7 @@ func TestReclaimWaitsForSnapshots(t *testing.T) {
 	if got := e.Visible(6, 0); got == nil || string(got.Data()) != "v1" {
 		t.Fatal("old snapshot lost its version")
 	}
-	snaps.Unregister(6)
+	snaps.Unregister(reader)
 	waitFor(t, "deferred free", func() bool { return g.VersionsFreed.Load() == 1 })
 }
 

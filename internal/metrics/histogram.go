@@ -77,3 +77,71 @@ func (h *LatencyHistogram) String() string {
 	return fmt.Sprintf("n=%d mean=%v p50≤%v p95≤%v p99≤%v",
 		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
 }
+
+// SizeHistogram is a lock-free power-of-two-bucket histogram over
+// non-negative integer sizes (commit group sizes, batch bytes).
+type SizeHistogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func sizeBucketFor(v int64) int {
+	if v < 1 {
+		return 0
+	}
+	b := int(math.Ilogb(float64(v))) + 1
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one sample.
+func (h *SizeHistogram) Observe(v int64) {
+	h.buckets[sizeBucketFor(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of samples.
+func (h *SizeHistogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all samples.
+func (h *SizeHistogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the mean sample value.
+func (h *SizeHistogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]),
+// resolved to bucket granularity (upper edge 2^b).
+func (h *SizeHistogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(q * float64(n))
+	if target >= n {
+		target = n - 1
+	}
+	var seen int64
+	for b := 0; b < histBuckets; b++ {
+		seen += h.buckets[b].Load()
+		if seen > target {
+			return 1 << uint(b)
+		}
+	}
+	return 1 << uint(histBuckets-1)
+}
+
+// String summarizes the distribution.
+func (h *SizeHistogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50≤%d p95≤%d p99≤%d",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+}

@@ -75,3 +75,43 @@ func TestHistogramConcurrent(t *testing.T) {
 		t.Fatalf("Count = %d, want 8000", h.Count())
 	}
 }
+
+func TestSizeHistogram(t *testing.T) {
+	var h SizeHistogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for _, v := range []int64{1, 1, 2, 4, 8} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 16 {
+		t.Fatalf("count=%d sum=%d, want 5/16", h.Count(), h.Sum())
+	}
+	if m := h.Mean(); m != 3.2 {
+		t.Fatalf("mean = %v, want 3.2", m)
+	}
+	if q := h.Quantile(0.5); q != 4 {
+		t.Fatalf("p50 upper bound = %d, want 4", q)
+	}
+	if q := h.Quantile(0.99); q != 16 {
+		t.Fatalf("p99 upper bound = %d, want 16", q)
+	}
+}
+
+func TestSizeHistogramConcurrent(t *testing.T) {
+	var h SizeHistogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+}

@@ -3,58 +3,111 @@ package txn
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 )
+
+// snapShards stripes the registry; registrations are spread round-robin
+// so concurrent Begin/finish pairs rarely contend on the same mutex.
+// Must be a power of two.
+const snapShards = 16
+
+// snapShard is one stripe. The padding keeps adjacent shards' mutexes
+// off the same cache line.
+type snapShard struct {
+	mu     sync.Mutex
+	active map[uint64]int // snapshot ts -> refcount
+	_      [104]byte
+}
 
 // SnapshotRegistry tracks the snapshot timestamps of active statements
 // and transactions. IMRS-GC may only reclaim a row version once no
 // active snapshot can still read it; the paper calls the equivalent
-// shield for lock-free scanners "statement registration" (Section VII-B).
+// shield for lock-free scanners "statement registration" (Section
+// VII-B). Every transaction registers at Begin and unregisters at
+// finish, so the registry is striped: Register/Unregister touch a single
+// shard, while the rare MinActive (GC cycles) locks all shards for a
+// consistent view.
 type SnapshotRegistry struct {
-	mu     sync.Mutex
-	active map[uint64]int // snapshot ts -> refcount
+	shards [snapShards]snapShard
+	next   atomic.Uint32 // round-robin shard cursor
 }
+
+// SnapshotRef identifies one registration; pass it back to Unregister.
+type SnapshotRef struct {
+	ts    uint64
+	shard uint32
+}
+
+// TS returns the registered snapshot timestamp.
+func (r SnapshotRef) TS() uint64 { return r.ts }
 
 // NewSnapshotRegistry returns an empty registry.
 func NewSnapshotRegistry() *SnapshotRegistry {
-	return &SnapshotRegistry{active: make(map[uint64]int)}
+	s := &SnapshotRegistry{}
+	for i := range s.shards {
+		s.shards[i].active = make(map[uint64]int)
+	}
+	return s
 }
 
 // Register records an active snapshot at ts. The caller must Unregister
-// the same ts exactly once.
-func (s *SnapshotRegistry) Register(ts uint64) {
-	s.mu.Lock()
-	s.active[ts]++
-	s.mu.Unlock()
+// the returned ref exactly once.
+func (s *SnapshotRegistry) Register(ts uint64) SnapshotRef {
+	i := s.next.Add(1) & (snapShards - 1)
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	sh.active[ts]++
+	sh.mu.Unlock()
+	return SnapshotRef{ts: ts, shard: i}
 }
 
-// Unregister drops one registration of ts.
-func (s *SnapshotRegistry) Unregister(ts uint64) {
-	s.mu.Lock()
-	if n := s.active[ts]; n <= 1 {
-		delete(s.active, ts)
+// Unregister drops one registration.
+func (s *SnapshotRegistry) Unregister(ref SnapshotRef) {
+	sh := &s.shards[ref.shard&(snapShards-1)]
+	sh.mu.Lock()
+	if n := sh.active[ref.ts]; n <= 1 {
+		delete(sh.active, ref.ts)
 	} else {
-		s.active[ts] = n - 1
+		sh.active[ref.ts] = n - 1
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // MinActive returns the oldest registered snapshot, or math.MaxUint64
 // when none are active (everything older than "now" is reclaimable).
+// All shards are locked together so the view is consistent.
 func (s *SnapshotRegistry) MinActive() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
 	min := uint64(math.MaxUint64)
-	for ts := range s.active {
-		if ts < min {
-			min = ts
+	for i := range s.shards {
+		for ts := range s.shards[i].active {
+			if ts < min {
+				min = ts
+			}
 		}
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
 	}
 	return min
 }
 
-// ActiveCount returns the number of distinct registered snapshots (tests).
+// ActiveCount returns the number of distinct registered snapshot
+// timestamps (tests).
 func (s *SnapshotRegistry) ActiveCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.active)
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	distinct := make(map[uint64]struct{})
+	for i := range s.shards {
+		for ts := range s.shards[i].active {
+			distinct[ts] = struct{}{}
+		}
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+	return len(distinct)
 }

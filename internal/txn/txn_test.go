@@ -190,21 +190,21 @@ func TestSnapshotRegistry(t *testing.T) {
 	if s.MinActive() != math.MaxUint64 {
 		t.Fatal("empty registry should report MaxUint64")
 	}
-	s.Register(10)
-	s.Register(5)
-	s.Register(5)
+	r10 := s.Register(10)
+	r5a := s.Register(5)
+	r5b := s.Register(5)
 	if s.MinActive() != 5 {
 		t.Fatalf("MinActive = %d, want 5", s.MinActive())
 	}
-	s.Unregister(5)
+	s.Unregister(r5a)
 	if s.MinActive() != 5 {
 		t.Fatal("refcounted snapshot dropped too early")
 	}
-	s.Unregister(5)
+	s.Unregister(r5b)
 	if s.MinActive() != 10 {
 		t.Fatalf("MinActive = %d, want 10", s.MinActive())
 	}
-	s.Unregister(10)
+	s.Unregister(r10)
 	if s.ActiveCount() != 0 {
 		t.Fatal("registry not empty")
 	}
@@ -219,8 +219,7 @@ func TestSnapshotRegistryConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 1000; i++ {
 				ts := uint64(w*1000 + i)
-				s.Register(ts)
-				s.Unregister(ts)
+				s.Unregister(s.Register(ts))
 			}
 		}(w)
 	}

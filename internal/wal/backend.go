@@ -70,6 +70,27 @@ func (b *MemBackend) Sync() error { return nil }
 // Close implements Backend (no-op).
 func (b *MemBackend) Close() error { return nil }
 
+// Clone returns an independent copy of the backend's current durable
+// content (crash-simulation tests).
+func (b *MemBackend) Clone() *MemBackend {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return &MemBackend{buf: append([]byte(nil), b.buf...)}
+}
+
+// Truncate discards everything past n bytes, simulating a medium that
+// lost its tail in a crash (torn final frames).
+func (b *MemBackend) Truncate(n int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n < int64(len(b.buf)) {
+		b.buf = b.buf[:n]
+	}
+}
+
 // FileBackend is a file-backed Backend.
 type FileBackend struct {
 	mu   sync.Mutex

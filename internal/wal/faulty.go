@@ -1,0 +1,64 @@
+package wal
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is returned by FaultyBackend's injected failures.
+var ErrInjected = errors.New("wal: injected backend fault")
+
+// FaultyBackend wraps a Backend and kills it after a trigger count of
+// appends or syncs — failure injection for group-commit error paths and
+// crash-recovery tests. When an append is killed, TornBytes of the batch
+// are still written to the inner backend first, modelling a power cut
+// mid-write that leaves a torn final frame on the medium.
+type FaultyBackend struct {
+	Inner Backend
+
+	// FailAppendsAfter: once that many appends have succeeded, every
+	// subsequent append fails (0 disables).
+	FailAppendsAfter int64
+	// TornBytes is the prefix of the first failed append that still
+	// reaches the inner backend (a torn write).
+	TornBytes int
+	// FailSyncsAfter: once that many syncs have succeeded, every
+	// subsequent sync fails (0 disables).
+	FailSyncsAfter int64
+
+	appends atomic.Int64
+	syncs   atomic.Int64
+	torn    atomic.Bool
+}
+
+// Append implements Backend.
+func (b *FaultyBackend) Append(p []byte) (int64, error) {
+	if b.FailAppendsAfter > 0 && b.appends.Add(1) > b.FailAppendsAfter {
+		if b.TornBytes > 0 && b.torn.CompareAndSwap(false, true) {
+			n := b.TornBytes
+			if n > len(p) {
+				n = len(p)
+			}
+			_, _ = b.Inner.Append(p[:n])
+		}
+		return 0, ErrInjected
+	}
+	return b.Inner.Append(p)
+}
+
+// ReadAt implements Backend.
+func (b *FaultyBackend) ReadAt(p []byte, off int64) (int, error) { return b.Inner.ReadAt(p, off) }
+
+// Size implements Backend.
+func (b *FaultyBackend) Size() (int64, error) { return b.Inner.Size() }
+
+// Sync implements Backend.
+func (b *FaultyBackend) Sync() error {
+	if b.FailSyncsAfter > 0 && b.syncs.Add(1) > b.FailSyncsAfter {
+		return ErrInjected
+	}
+	return b.Inner.Sync()
+}
+
+// Close implements Backend.
+func (b *FaultyBackend) Close() error { return b.Inner.Close() }

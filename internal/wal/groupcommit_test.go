@@ -1,0 +1,374 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rid"
+)
+
+// syncCountingBackend wraps MemBackend and counts Sync calls.
+type syncCountingBackend struct {
+	*MemBackend
+	syncs atomic.Int64
+}
+
+func (b *syncCountingBackend) Sync() error {
+	b.syncs.Add(1)
+	return b.MemBackend.Sync()
+}
+
+func TestWaitDurableFallback(t *testing.T) {
+	l, err := NewLog(NewMemBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No flusher running: WaitDurable degrades to a direct Flush.
+	lsn, err := l.Append(&Record{Type: RecCommit, TxnID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if l.FlushedLSN() < lsn {
+		t.Fatal("fallback WaitDurable did not flush")
+	}
+	if got := l.Stats().GroupFlushes.Load(); got != 0 {
+		t.Fatalf("fallback path counted %d group flushes", got)
+	}
+}
+
+func TestGroupCommitCoalesces(t *testing.T) {
+	b := &syncCountingBackend{MemBackend: NewMemBackend()}
+	l, err := NewLog(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A linger window guarantees the concurrent committers below land in
+	// a shared flush round.
+	l.StartGroupCommit(GroupCommitConfig{MaxDelay: 5 * time.Millisecond})
+	defer l.StopGroupCommit()
+
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rec := Record{Type: RecIMRSInsert, TxnID: uint64(w), After: make([]byte, 64)}
+				lsn, err := l.Append(&rec)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := l.WaitDurable(lsn); err != nil {
+					t.Error(err)
+					return
+				}
+				if l.FlushedLSN() < lsn {
+					t.Error("WaitDurable returned before LSN became durable")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := int64(workers * per)
+	if got := l.Stats().GroupedCommits.Load(); got != total {
+		t.Fatalf("grouped commits = %d, want %d", got, total)
+	}
+	if syncs := b.syncs.Load(); syncs >= total {
+		t.Fatalf("group commit did not coalesce: %d syncs for %d commits", syncs, total)
+	}
+	if mean := l.GroupSizeHist().Mean(); mean <= 1.0 {
+		t.Fatalf("mean group size %.2f, want > 1", mean)
+	}
+	if l.CommitWaitHist().Count() != total {
+		t.Fatalf("commit-wait samples = %d, want %d", l.CommitWaitHist().Count(), total)
+	}
+
+	// Every record survived, in order.
+	r, err := l.NewReader(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if int64(n) != total {
+		t.Fatalf("read %d records, want %d", n, total)
+	}
+}
+
+func TestGroupCommitStopCompletesWaiters(t *testing.T) {
+	l, err := NewLog(NewMemBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long linger so waiters are still queued when Stop arrives.
+	l.StartGroupCommit(GroupCommitConfig{MaxDelay: time.Hour})
+	lsn, _ := l.Append(&Record{Type: RecCommit, TxnID: 1})
+	done := make(chan error, 1)
+	go func() { done <- l.WaitDurable(lsn) }()
+	time.Sleep(10 * time.Millisecond)
+	l.StopGroupCommit()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("waiter completed with error: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter still blocked after StopGroupCommit")
+	}
+	if l.FlushedLSN() < lsn {
+		t.Fatal("final round did not flush the waiter's LSN")
+	}
+}
+
+func TestGroupCommitBatchBytesCutsDelayShort(t *testing.T) {
+	l, err := NewLog(NewMemBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.StartGroupCommit(GroupCommitConfig{MaxDelay: time.Hour, MaxBatchBytes: 1})
+	defer l.StopGroupCommit()
+	lsn, _ := l.Append(&Record{Type: RecCommit, TxnID: 1})
+	done := make(chan error, 1)
+	go func() { done <- l.WaitDurable(lsn) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("byte trigger did not cut the delay short")
+	}
+}
+
+// A flush round can absorb committers whose wake signal is still sitting
+// in the channel. The flusher must not treat such a stale wake as the
+// start of a linger: with nobody left watching the wake channel, the
+// next committer would stall for the full MaxDelay (observed as a hang
+// with MaxDelay=1h through the public API).
+func TestGroupCommitStaleWakeDoesNotStallNextCommitter(t *testing.T) {
+	l, err := NewLog(NewMemBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.StartGroupCommit(GroupCommitConfig{MaxDelay: time.Hour, MaxBatchBytes: 1})
+	defer l.StopGroupCommit()
+	// Simulate the leftover signal: a wake with no waiter behind it.
+	l.gcWake <- struct{}{}
+	time.Sleep(20 * time.Millisecond) // let the flusher consume it
+	lsn, _ := l.Append(&Record{Type: RecCommit, TxnID: 1})
+	done := make(chan error, 1)
+	go func() { done <- l.WaitDurable(lsn) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("committer stalled behind a stale wake")
+	}
+}
+
+// Committers arriving while the flusher is already lingering must still
+// be able to cut the delay short via the byte trigger.
+func TestGroupCommitBatchFullMidLingerCutsDelayShort(t *testing.T) {
+	l, err := NewLog(NewMemBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.StartGroupCommit(GroupCommitConfig{MaxDelay: time.Hour, MaxBatchBytes: 64})
+	defer l.StopGroupCommit()
+	// First committer: too small to trip the byte trigger, so the
+	// flusher starts lingering with it queued.
+	lsn1, _ := l.Append(&Record{Type: RecCommit, TxnID: 1})
+	d1 := make(chan error, 1)
+	go func() { d1 <- l.WaitDurable(lsn1) }()
+	time.Sleep(20 * time.Millisecond) // flusher now mid-linger
+	// Second committer pushes pending past MaxBatchBytes; its wake must
+	// interrupt the linger.
+	lsn2, _ := l.Append(&Record{Type: RecCommit, TxnID: 2, After: make([]byte, 128)})
+	d2 := make(chan error, 1)
+	go func() { d2 <- l.WaitDurable(lsn2) }()
+	for _, d := range []chan error{d1, d2} {
+		select {
+		case err := <-d:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("mid-linger byte trigger did not cut the delay short")
+		}
+	}
+}
+
+func TestGroupCommitDeliversFlushErrors(t *testing.T) {
+	fb := &FaultyBackend{Inner: NewMemBackend(), FailSyncsAfter: 1}
+	l, err := NewLog(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.StartGroupCommit(GroupCommitConfig{})
+	defer l.StopGroupCommit()
+	lsn, _ := l.Append(&Record{Type: RecCommit, TxnID: 1})
+	if err := l.WaitDurable(lsn); err != nil {
+		t.Fatalf("first sync should succeed: %v", err)
+	}
+	lsn2, _ := l.Append(&Record{Type: RecCommit, TxnID: 2})
+	if err := l.WaitDurable(lsn2); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected sync error, got %v", err)
+	}
+}
+
+func TestAppendStatsCountOnlySuccesses(t *testing.T) {
+	l, err := NewLog(NewMemBackend())
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := Record{Type: RecHeapInsert, After: make([]byte, 0x10000000)} // over the frame limit
+	if _, err := l.Append(&big); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	if a, by := l.Stats().Appends.Load(), l.Stats().Bytes.Load(); a != 0 || by != 0 {
+		t.Fatalf("failed append counted: appends=%d bytes=%d", a, by)
+	}
+	rec := Record{Type: RecCommit, TxnID: 1}
+	if _, err := l.Append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if a := l.Stats().Appends.Load(); a != 1 {
+		t.Fatalf("appends = %d, want 1", a)
+	}
+	wantBytes := int64(len(rec.encode(nil)) + frameHeader)
+	if by := l.Stats().Bytes.Load(); by != wantBytes {
+		t.Fatalf("bytes = %d, want %d", by, wantBytes)
+	}
+}
+
+func TestFlushBackendFailureKeepsStatsAndRetries(t *testing.T) {
+	fb := &FaultyBackend{Inner: NewMemBackend(), FailAppendsAfter: 1}
+	l, err := NewLog(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, _ := l.Append(&Record{Type: RecCommit, TxnID: 1})
+	if err := l.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	lsn2, _ := l.Append(&Record{Type: RecCommit, TxnID: 2})
+	if err := l.Flush(lsn2); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected append error, got %v", err)
+	}
+	if f := l.Stats().Flushes.Load(); f != 1 {
+		t.Fatalf("failed flush counted: flushes = %d, want 1", f)
+	}
+	if l.FlushedLSN() < lsn || l.FlushedLSN() >= lsn2 {
+		t.Fatalf("flushed LSN %d out of range [%d,%d)", l.FlushedLSN(), lsn, lsn2)
+	}
+	// The record stayed buffered: clearing the fault lets a retry land it.
+	fb.FailAppendsAfter = 0
+	if err := l.Flush(lsn2); err != nil {
+		t.Fatal(err)
+	}
+	if f := l.Stats().Flushes.Load(); f != 2 {
+		t.Fatalf("flushes = %d, want 2", f)
+	}
+}
+
+func TestFlushSkipsRedundantSync(t *testing.T) {
+	b := &syncCountingBackend{MemBackend: NewMemBackend()}
+	l, err := NewLog(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, _ := l.Append(&Record{Type: RecCommit, TxnID: 1})
+	if err := l.Flush(lsn); err != nil {
+		t.Fatal(err)
+	}
+	// Covered LSN: no buffer swap, no sync.
+	if err := l.Flush(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if s := b.syncs.Load(); s != 1 {
+		t.Fatalf("redundant flush synced: %d syncs, want 1", s)
+	}
+}
+
+func TestTornTailErrorIsErrTorn(t *testing.T) {
+	b := NewMemBackend()
+	l, _ := NewLog(b)
+	if _, err := l.Append(&Record{Type: RecCommit, TxnID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_ = l.FlushAll()
+	b.mu.Lock()
+	b.buf = append(b.buf, 0xEE, 0x01, 0x02) // torn frame header
+	b.mu.Unlock()
+	r, err := l.NewReader(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("first record should read fine: %v", err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrTorn) {
+		t.Fatalf("torn tail should wrap ErrTorn, got %v", err)
+	}
+}
+
+func TestFaultyBackendTornAppend(t *testing.T) {
+	inner := NewMemBackend()
+	fb := &FaultyBackend{Inner: inner, FailAppendsAfter: 1, TornBytes: 5}
+	l, err := NewLog(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Type: RecHeapInsert, TxnID: 1, RID: rid.NewPhysical(1, 2, 3), After: []byte("first")}
+	if _, err := l.Append(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Type: RecCommit, TxnID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.FlushAll(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected failure, got %v", err)
+	}
+	// The medium holds the first frame plus 5 torn bytes; a reader over
+	// it sees one record then a torn tail.
+	l2, err := NewLog(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := l2.NewReader(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Next()
+	if err != nil || got.TxnID != 1 || string(got.After) != "first" {
+		t.Fatalf("first record: %+v, %v", got, err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrTorn) {
+		t.Fatalf("want ErrTorn at torn tail, got %v", err)
+	}
+}
