@@ -259,10 +259,12 @@ func (e *Engine) Halt() {
 		e.packer.Stop()
 	}
 	e.gc.Stop()
-	// Stop the flusher goroutines; nothing quiescent is flushed, so the
-	// durable state stays exactly as a crash would leave it.
-	e.syslog.StopGroupCommit()
-	e.imrslog.StopGroupCommit()
+	// Abort (not Stop) the flusher goroutines: no final flush runs,
+	// committers still queued get wal.ErrHalted and roll back, and the
+	// commit path stays dead afterwards — the durable state is exactly
+	// what a crash at this instant would leave.
+	e.syslog.AbortGroupCommit()
+	e.imrslog.AbortGroupCommit()
 }
 
 // Close checkpoints and shuts the engine down.

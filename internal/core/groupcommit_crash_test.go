@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -146,6 +147,165 @@ func TestConcurrentGroupCommitTornSyslogTail(t *testing.T) {
 	if len(recovered) >= len(acked) {
 		t.Fatalf("recovered %d pairs from a log missing 40%% of its tail (committed %d)",
 			len(recovered), len(acked))
+	}
+}
+
+// TestTornTailRepairPreservesLaterCommits is the double-crash scenario:
+// the first crash leaves torn frames on both log tails; recovery must
+// TRUNCATE them (not merely stop reading there), because the reopened
+// engine appends new commits at the backend's end — without the
+// truncation those records would sit past the garbage, and the second
+// recovery would stop at the old tear and silently lose every one of
+// them.
+func TestTornTailRepairPreservesLaterCommits(t *testing.T) {
+	st := newSharedStorage()
+	e, err := Open(crashConfig(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	createHotCold(t, e)
+	acked := commitMixed(t, e, 1, 20) // keys 1..20
+	if len(acked) != 20 {
+		t.Fatalf("setup: %d/20 commits acknowledged", len(acked))
+	}
+	e.Halt() // crash #1
+
+	// Both logs keep a torn partial frame from batch writes in flight.
+	sys := st.sys.Clone()
+	if _, err := sys.Append([]byte{0xAB, 0xCD, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	ims := st.ims.Clone()
+	if _, err := ims.Append(make([]byte, 5)); err != nil {
+		t.Fatal(err)
+	}
+	st2 := &sharedStorage{dev: st.dev, sys: sys, ims: ims}
+	e2, err := Open(crashConfig(st2))
+	if err != nil {
+		t.Fatalf("recovery over torn tails failed: %v", err)
+	}
+	// New acknowledged commits on the recovered engine.
+	for i := int64(101); i <= 120; i++ {
+		tx := e2.Begin()
+		if err := tx.Insert("hot", itemRow(i, "h", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Insert("cold", itemRow(i, "c", i)); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	e2.Halt() // crash #2
+
+	st3 := &sharedStorage{dev: st2.dev, sys: st2.sys.Clone(), ims: st2.ims.Clone()}
+	e3, err := Open(crashConfig(st3))
+	if err != nil {
+		t.Fatalf("second recovery failed: %v", err)
+	}
+	defer e3.Close()
+	tx := e3.Begin()
+	defer tx.Abort()
+	for _, keys := range [][2]int64{{1, 20}, {101, 120}} {
+		for i := keys[0]; i <= keys[1]; i++ {
+			for _, table := range []string{"hot", "cold"} {
+				if _, ok, err := tx.Get(table, pk(i)); err != nil || !ok {
+					t.Fatalf("acknowledged key %d lost from %q after second crash (ok=%v err=%v)", i, table, ok, err)
+				}
+			}
+		}
+	}
+}
+
+// TestGroupFlushFailurePoisonsCommitPath: when a group flush fails, its
+// committers roll back in memory — but their already-appended frames
+// (commit markers included) sit in the log buffer. The log must refuse
+// every later append/flush so those frames can never become durable and
+// recovery can never replay transactions the live engine reported as
+// failed.
+func TestGroupFlushFailurePoisonsCommitPath(t *testing.T) {
+	st := newSharedStorage()
+	faulty := &wal.FaultyBackend{Inner: st.sys, FailSyncsAfter: 8}
+	cfg := crashConfig(st)
+	cfg.SysLogBackend = faulty
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	createHotCold(t, e)
+	failedAt := int64(-1)
+	for i := int64(1); i <= 50; i++ {
+		tx := e.Begin()
+		if err := tx.Insert("cold", itemRow(i, "c", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			failedAt = i
+			break
+		}
+	}
+	if failedAt < 0 {
+		t.Fatal("sync fault never fired; fault injection ineffective")
+	}
+	// Poisoned: no later commit may succeed (it would flush the
+	// rolled-back committer's RecCommit along with its own records).
+	tx := e.Begin()
+	if err := tx.Insert("cold", itemRow(1000, "c", 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, wal.ErrPoisoned) {
+		t.Fatalf("commit after failed group flush: %v, want wal.ErrPoisoned", err)
+	}
+	// And the failed transactions stayed rolled back in the live engine.
+	tx2 := e.Begin()
+	defer tx2.Abort()
+	for _, key := range []int64{failedAt, 1000} {
+		if _, ok, _ := tx2.Get("cold", pk(key)); ok {
+			t.Fatalf("rolled-back row %d visible in the live engine", key)
+		}
+	}
+	e.Halt()
+}
+
+// TestHaltDoesNotFlushQueuedCommitters: Halt simulates a crash, so a
+// committer still queued in the group-commit pipeline must get an error
+// and its records must never reach the backend — durable state stays
+// exactly what a crash at that instant would leave.
+func TestHaltDoesNotFlushQueuedCommitters(t *testing.T) {
+	st := newSharedStorage()
+	cfg := crashConfig(st)
+	cfg.CommitCoalesceDelay = time.Hour // committers stay queued
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	createHotCold(t, e)
+	imsBefore, _ := st.ims.Size()
+	done := make(chan error, 1)
+	go func() {
+		tx := e.Begin()
+		if err := tx.Insert("hot", itemRow(1, "h", 1)); err != nil {
+			done <- err
+			return
+		}
+		done <- tx.Commit()
+	}()
+	time.Sleep(50 * time.Millisecond) // let the committer enqueue
+	e.Halt()
+	if err := <-done; err == nil {
+		t.Fatal("commit acknowledged during a simulated crash")
+	}
+	if imsAfter, _ := st.ims.Size(); imsAfter != imsBefore {
+		t.Fatalf("Halt flushed %d bytes of queued commits; not crash-exact", imsAfter-imsBefore)
+	}
+	e2, err := Open(crashConfig(st))
+	if err != nil {
+		t.Fatalf("recovery after Halt failed: %v", err)
+	}
+	defer e2.Close()
+	tx := e2.Begin()
+	defer tx.Abort()
+	if _, ok, _ := tx.Get("hot", pk(1)); ok {
+		t.Fatal("unacknowledged row survived the simulated crash")
 	}
 }
 

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -21,6 +20,9 @@ import (
 // order so a transaction spanning both stores is applied all-or-nothing
 // (paper Section II).
 func (e *Engine) recover() error {
+	if err := e.repairLogTails(); err != nil {
+		return err
+	}
 	ckptLSN, ckptBlob, ckptGen, sysWinners, maxTS, err := e.analyzeSyslogs()
 	if err != nil {
 		return err
@@ -43,6 +45,9 @@ func (e *Engine) recover() error {
 		log, err := wal.NewLog(backend)
 		if err != nil {
 			return err
+		}
+		if _, err := log.RepairTail(); err != nil {
+			return fmt.Errorf("core: sysimrslogs generation %d: %w", ckptGen, err)
 		}
 		_ = e.imrslog.Close()
 		e.imrslog = log
@@ -70,6 +75,24 @@ func (e *Engine) recover() error {
 	}
 	e.clock.AdvanceTo(maxTS)
 	return e.rebuildIndexes()
+}
+
+// repairLogTails truncates any torn final frame off both logs before
+// recovery scans them and — critically — before the engine resumes
+// appending. NewLog bases LSNs on the raw backend size, so without the
+// truncation new records would land past the torn garbage, and every
+// later scan would stop at the old tear and silently discard
+// acknowledged commits and checkpoints appended after it. RepairTail
+// fails (and so does recovery) when valid frames follow the tear:
+// that is mid-log corruption, not a crash artifact.
+func (e *Engine) repairLogTails() error {
+	if _, err := e.syslog.RepairTail(); err != nil {
+		return fmt.Errorf("core: syslogs: %w", err)
+	}
+	if _, err := e.imrslog.RepairTail(); err != nil {
+		return fmt.Errorf("core: sysimrslogs: %w", err)
+	}
+	return nil
 }
 
 // mountRecoveredTable mounts a table with restored heaps and fresh
@@ -107,13 +130,10 @@ func (e *Engine) analyzeSyslogs() (ckptLSN uint64, ckptBlob []byte, ckptGen uint
 		if err == io.EOF {
 			break
 		}
-		if errors.Is(err, wal.ErrTorn) {
-			// A torn frame at the tail is where the durable log ends: the
-			// crash cut the final batch short. Everything after it was
-			// never acknowledged.
-			break
-		}
 		if err != nil {
+			// repairLogTails truncated any torn tail before this scan, so a
+			// torn frame here (wal.ErrTorn) means the log changed underneath
+			// recovery — fail loudly rather than silently drop the suffix.
 			return 0, nil, 0, nil, 0, fmt.Errorf("core: syslogs analysis: %w", err)
 		}
 		switch rec.Type {
@@ -169,7 +189,7 @@ func (e *Engine) redoSyslogs(ckptLSN uint64, winners map[uint64]uint64) error {
 	}
 	for {
 		rec, err := rdr.Next()
-		if err == io.EOF || errors.Is(err, wal.ErrTorn) {
+		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
@@ -221,7 +241,7 @@ func (e *Engine) replayIMRSLog(sysWinners map[uint64]uint64) (maxTS uint64, err 
 	pending := make(map[uint64][]wal.Record)
 	for {
 		rec, err := rdr.Next()
-		if err == io.EOF || errors.Is(err, wal.ErrTorn) {
+		if err == io.EOF {
 			break
 		}
 		if err != nil {

@@ -184,7 +184,10 @@ func (t *Txn) Commit() error {
 }
 
 // rollbackAfterLogError unwinds in-memory state when a log write failed
-// mid-commit (the decision never became durable).
+// mid-commit. The wal layer guarantees the unwound work cannot surface
+// later: a failed Append buffers nothing, and a failed WaitDurable
+// poisons the log (wal.ErrPoisoned) — no subsequent flush can make the
+// already-appended frames, commit markers included, durable.
 func (t *Txn) rollbackAfterLogError() {
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		t.undo[i]()

@@ -20,6 +20,11 @@ type Backend interface {
 	ReadAt(p []byte, off int64) (int, error)
 	// Size returns the current end offset.
 	Size() (int64, error)
+	// Truncate discards everything past size bytes. Recovery uses it to
+	// cut a torn final frame off the log before new appends resume, and
+	// a poisoned log uses it to scrub frames whose committers were told
+	// the commit failed.
+	Truncate(size int64) error
 	// Sync durably flushes appended bytes.
 	Sync() error
 	Close() error
@@ -78,9 +83,9 @@ func (b *MemBackend) Clone() *MemBackend {
 	return &MemBackend{buf: append([]byte(nil), b.buf...)}
 }
 
-// Truncate discards everything past n bytes, simulating a medium that
-// lost its tail in a crash (torn final frames).
-func (b *MemBackend) Truncate(n int64) {
+// Truncate implements Backend. Tests also use it directly to simulate
+// a medium that lost its tail in a crash (torn final frames).
+func (b *MemBackend) Truncate(n int64) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if n < 0 {
@@ -89,6 +94,7 @@ func (b *MemBackend) Truncate(n int64) {
 	if n < int64(len(b.buf)) {
 		b.buf = b.buf[:n]
 	}
+	return nil
 }
 
 // FileBackend is a file-backed Backend.
@@ -134,6 +140,19 @@ func (b *FileBackend) Size() (int64, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.size, nil
+}
+
+// Truncate implements Backend.
+func (b *FileBackend) Truncate(n int64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.f.Truncate(n); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if n < b.size {
+		b.size = n
+	}
+	return nil
 }
 
 // Sync implements Backend.

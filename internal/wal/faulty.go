@@ -29,6 +29,7 @@ type FaultyBackend struct {
 	appends atomic.Int64
 	syncs   atomic.Int64
 	torn    atomic.Bool
+	dead    atomic.Bool
 }
 
 // Append implements Backend.
@@ -41,9 +42,21 @@ func (b *FaultyBackend) Append(p []byte) (int64, error) {
 			}
 			_, _ = b.Inner.Append(p[:n])
 		}
+		b.dead.Store(true)
 		return 0, ErrInjected
 	}
 	return b.Inner.Append(p)
+}
+
+// Truncate implements Backend. Once a failure has been injected the
+// backend is a dead device and refuses truncation too: a poisoned log
+// cannot scrub its torn bytes, so recovery's tail repair must discard
+// them at the next open — exactly the hard case crash tests want.
+func (b *FaultyBackend) Truncate(n int64) error {
+	if b.dead.Load() {
+		return ErrInjected
+	}
+	return b.Inner.Truncate(n)
 }
 
 // ReadAt implements Backend.
@@ -55,6 +68,7 @@ func (b *FaultyBackend) Size() (int64, error) { return b.Inner.Size() }
 // Sync implements Backend.
 func (b *FaultyBackend) Sync() error {
 	if b.FailSyncsAfter > 0 && b.syncs.Add(1) > b.FailSyncsAfter {
+		b.dead.Store(true)
 		return ErrInjected
 	}
 	return b.Inner.Sync()

@@ -1,9 +1,15 @@
 package wal
 
 import (
+	"errors"
 	"runtime"
 	"time"
 )
+
+// ErrHalted is delivered to committers whose group-commit pipeline was
+// torn down by AbortGroupCommit before their records became durable
+// (crash simulation: the commit was never acknowledged).
+var ErrHalted = errors.New("wal: group commit halted before the record became durable")
 
 // Group commit: a dedicated flusher goroutine per Log coalesces
 // concurrent committers' durability requests into one backend write plus
@@ -56,8 +62,24 @@ func (l *Log) StartGroupCommit(cfg GroupCommitConfig) {
 // still waiting (their records flush in one final group). Subsequent
 // WaitDurable calls fall back to direct synchronous flushes. No-op if
 // the pipeline is not running.
-func (l *Log) StopGroupCommit() {
+func (l *Log) StopGroupCommit() { l.stopGroupCommit(false) }
+
+// AbortGroupCommit tears the pipeline down crash-style: no final flush
+// runs, queued committers receive ErrHalted (unless their LSN is
+// already durable), and later WaitDurable calls fail the same way
+// instead of falling back to a direct flush. Nothing further reaches
+// the backend through the commit path, so the durable state stays
+// exactly what a crash at this instant would leave (Engine.Halt).
+func (l *Log) AbortGroupCommit() { l.stopGroupCommit(true) }
+
+func (l *Log) stopGroupCommit(abort bool) {
 	l.gcMu.Lock()
+	if abort {
+		// Set before the flusher drains so its final round fails rather
+		// than flushes, and so fallback flushes are refused even when the
+		// pipeline never ran (DisableGroupCommit configurations).
+		l.gcHalted.Store(true)
+	}
 	if !l.gcRunning {
 		l.gcMu.Unlock()
 		return
@@ -78,10 +100,20 @@ func (l *Log) WaitDurable(lsn uint64) error {
 	}
 	l.gcMu.Lock()
 	if !l.gcRunning {
+		halted := l.gcHalted.Load()
 		l.gcMu.Unlock()
+		if halted {
+			return ErrHalted
+		}
 		start := time.Now()
 		err := l.Flush(lsn)
 		l.commitWait.Observe(time.Since(start))
+		if err != nil {
+			if l.flushedLSN.Load() >= lsn {
+				return nil // a racing flush covered us before the failure
+			}
+			l.poison(err)
+		}
 		return err
 	}
 	ch := make(chan error, 1)
@@ -103,7 +135,7 @@ func (l *Log) flusherLoop(cfg GroupCommitConfig, wake, stop <-chan struct{}, don
 	for {
 		select {
 		case <-stop:
-			l.flushRound()
+			l.finalRound()
 			return
 		case <-wake:
 		}
@@ -121,7 +153,7 @@ func (l *Log) flusherLoop(cfg GroupCommitConfig, wake, stop <-chan struct{}, don
 				select {
 				case <-stop:
 					timer.Stop()
-					l.flushRound()
+					l.finalRound()
 					return
 				case <-timer.C:
 					break linger
@@ -185,10 +217,50 @@ func (l *Log) flushRound() {
 		l.stats.GroupFlushes.Add(1)
 		l.stats.GroupedCommits.Add(int64(len(waiters)))
 		l.groupSize.Observe(int64(len(waiters)))
+	} else {
+		// One bad flush fans out to every committer in the round; they
+		// all roll back in memory, so none of their appended frames may
+		// ever become durable.
+		l.poison(err)
 	}
 	now := time.Now()
 	for _, w := range waiters {
+		werr := err
+		if werr != nil && l.flushedLSN.Load() >= w.lsn {
+			// A racing flush made this waiter durable before the failure:
+			// its commit stands.
+			werr = nil
+		}
 		l.commitWait.Observe(now.Sub(w.at))
-		w.ch <- err
+		w.ch <- werr
+	}
+}
+
+// finalRound drains the waiter queue at pipeline shutdown: a Stop
+// flushes the last group, an Abort fails it without touching the
+// backend.
+func (l *Log) finalRound() {
+	if l.gcHalted.Load() {
+		l.failRound(ErrHalted)
+		return
+	}
+	l.flushRound()
+}
+
+// failRound delivers err to every queued waiter without flushing.
+// Waiters whose LSN is already durable still succeed.
+func (l *Log) failRound(err error) {
+	l.gcMu.Lock()
+	waiters := l.gcWaiters
+	l.gcWaiters = nil
+	l.gcMu.Unlock()
+	now := time.Now()
+	for _, w := range waiters {
+		werr := err
+		if l.flushedLSN.Load() >= w.lsn {
+			werr = nil
+		}
+		l.commitWait.Observe(now.Sub(w.at))
+		w.ch <- werr
 	}
 }

@@ -20,9 +20,17 @@ const frameHeader = 8
 const maxEncBuf = 64 << 10
 
 // ErrTorn marks a frame that is incomplete or fails its checksum — the
-// signature of a write cut short by a crash. Recovery treats a torn
-// frame at the log tail as the end of the durable log.
+// signature of a write cut short by a crash. Recovery calls RepairTail
+// to cut a torn tail off the backend before the log accepts new
+// appends.
 var ErrTorn = errors.New("wal: torn or corrupt frame")
+
+// ErrPoisoned is returned by Append/Flush after a commit-path flush
+// failure. Committers in the failed round rolled back in memory, so
+// their already-appended frames (commit markers included) must never
+// become durable: the log refuses all further writes and best-effort
+// truncates the backend back to the durable watermark.
+var ErrPoisoned = errors.New("wal: log poisoned by a failed commit flush")
 
 // Log is an append-only record log with group flush. LSNs are the byte
 // offset of a record's frame plus one (so LSN 0 means "nothing logged").
@@ -34,9 +42,10 @@ var ErrTorn = errors.New("wal: torn or corrupt frame")
 type Log struct {
 	backend Backend
 
-	mu      sync.Mutex
-	pending []byte // appended but not yet handed to the backend
-	base    int64  // backend size == offset of pending[0]
+	mu       sync.Mutex
+	pending  []byte // appended but not yet handed to the backend
+	base     int64  // backend size == offset of pending[0]
+	poisoned error  // set after a commit-path flush failure; see poison
 
 	nextLSN    atomic.Uint64 // next LSN to hand out
 	flushedLSN atomic.Uint64 // durable prefix
@@ -46,6 +55,7 @@ type Log struct {
 	// Group-commit pipeline state (groupcommit.go).
 	gcMu      sync.Mutex
 	gcRunning bool
+	gcHalted  atomic.Bool // AbortGroupCommit ran: commit path is dead
 	gcWaiters []gcWaiter
 	gcWake    chan struct{}
 	gcStop    chan struct{}
@@ -109,6 +119,15 @@ func (l *Log) Append(rec *Record) (uint64, error) {
 	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(body))
 
 	l.mu.Lock()
+	if l.poisoned != nil {
+		err := l.poisoned
+		l.mu.Unlock()
+		if cap(buf) <= maxEncBuf {
+			*bp = buf[:0]
+			encPool.Put(bp)
+		}
+		return 0, err
+	}
 	lsn := uint64(l.base) + uint64(len(l.pending)) + 1
 	l.pending = append(l.pending, buf...)
 	l.nextLSN.Store(uint64(l.base) + uint64(len(l.pending)) + 1)
@@ -135,6 +154,11 @@ func (l *Log) Flush(lsn uint64) error {
 	if l.flushedLSN.Load() >= lsn {
 		l.mu.Unlock()
 		return nil
+	}
+	if l.poisoned != nil {
+		err := l.poisoned
+		l.mu.Unlock()
+		return err
 	}
 	pending := l.pending
 	l.pending = nil
@@ -174,6 +198,108 @@ func (l *Log) Flush(lsn uint64) error {
 // FlushAll persists everything appended so far.
 func (l *Log) FlushAll() error {
 	return l.Flush(l.nextLSN.Load() - 1)
+}
+
+// poison marks the log unusable after a commit-path flush failure.
+// Every committer in the failed round was told its commit failed and
+// unwound its in-memory state, yet its frames — commit markers
+// included — may sit in the pending buffer (append failure) or in the
+// backend unsynced (sync failure). Were a later flush to succeed, those
+// records would become durable and recovery would replay transactions
+// the live engine rolled back. So: refuse all further appends and
+// flushes, drop the buffered tail, and cut the backend back to the
+// durable watermark. The truncate is best effort — a dead device may
+// refuse it, in which case the poisoned log still never flushes again
+// and the torn-tail repair at the next open cleans what the failed
+// batch left on the medium.
+func (l *Log) poison(cause error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.poisoned != nil {
+		return
+	}
+	l.poisoned = fmt.Errorf("%w (cause: %v)", ErrPoisoned, cause)
+	l.pending = nil
+	durable := int64(l.flushedLSN.Load())
+	if err := l.backend.Truncate(durable); err == nil {
+		l.base = durable
+		l.nextLSN.Store(uint64(durable) + 1)
+	}
+}
+
+// RepairTail scans the log for a torn frame left by a crashed write
+// and truncates the backend back to the last valid frame boundary.
+// Without the truncation the log would resume appending past the
+// garbage (NewLog bases LSNs on the raw backend size), and every
+// future reader — including recovery after a second crash — would stop
+// at the old tear and silently lose acknowledged records appended
+// after it. A torn frame followed by a valid frame is mid-log
+// corruption rather than a tail tear; RepairTail refuses to repair it.
+// It returns the number of bytes discarded and must run before the log
+// accepts appends (Open/recovery time).
+func (l *Log) RepairTail() (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.pending) > 0 {
+		return 0, fmt.Errorf("wal: RepairTail on a log with buffered appends")
+	}
+	size := l.base
+	off := int64(0)
+	for off < size {
+		next, valid, err := l.checkFrame(off, size)
+		if err != nil {
+			return 0, err
+		}
+		if valid {
+			off = next
+			continue
+		}
+		// Torn frame at off. Walk the claimed frame extents behind it: a
+		// valid frame there means the tear is not at the tail.
+		for scan := next; scan < size; {
+			n2, v2, err := l.checkFrame(scan, size)
+			if err != nil {
+				return 0, err
+			}
+			if v2 {
+				return 0, fmt.Errorf("wal: torn frame at offset %d precedes a valid frame at %d: mid-log corruption, not a tail tear", off, scan)
+			}
+			scan = n2
+		}
+		if err := l.backend.Truncate(off); err != nil {
+			return 0, fmt.Errorf("wal: truncating torn tail at %d: %w", off, err)
+		}
+		l.base = off
+		l.nextLSN.Store(uint64(off) + 1)
+		l.flushedLSN.Store(uint64(off))
+		return size - off, nil
+	}
+	return 0, nil
+}
+
+// checkFrame validates the frame at off against a log of the given
+// size: next is where the following frame would start (when the header
+// is readable), valid reports a complete frame with a matching
+// checksum, err reports an I/O failure. Callers hold l.mu.
+func (l *Log) checkFrame(off, size int64) (next int64, valid bool, err error) {
+	if off+frameHeader > size {
+		return size, false, nil
+	}
+	var hdr [frameHeader]byte
+	if _, err := l.backend.ReadAt(hdr[:], off); err != nil {
+		return 0, false, err
+	}
+	bodyLen := int64(binary.LittleEndian.Uint32(hdr[0:]))
+	next = off + frameHeader + bodyLen
+	if next > size {
+		return next, false, nil
+	}
+	body := make([]byte, bodyLen)
+	if _, err := l.backend.ReadAt(body, off+frameHeader); err != nil {
+		return 0, false, err
+	}
+	valid = crc32.ChecksumIEEE(body) == binary.LittleEndian.Uint32(hdr[4:])
+	return next, valid, nil
 }
 
 // FlushedLSN returns the durable prefix.
