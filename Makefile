@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race bench-commit ci
+.PHONY: build vet test test-race test-race-internal bench-commit bench-read ci
 
 build:
 	$(GO) build ./...
@@ -14,12 +14,23 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# Race-detector pass over the engine internals only: the B+tree latch
+# coupling and buffer pool stress tests live here, and this subset is
+# fast enough to run on every change.
+test-race-internal:
+	$(GO) test -race -short ./internal/...
+
 # Concurrent-commit sweep; writes BENCH_commit.json.
 bench-commit:
 	$(GO) run ./cmd/commitbench
 
+# Point-read sweep (latch-coupled vs tree-wide-lock baseline); writes
+# BENCH_read.json.
+bench-read:
+	$(GO) run ./cmd/readbench
+
 # What CI runs. Short mode skips the long TPC-C sweeps so the race
 # detector pass stays within runner budgets; drop -short locally for
 # the full suite.
-ci: build vet
+ci: build vet test-race-internal
 	$(GO) test -race -short ./...

@@ -450,6 +450,155 @@ func openBenchDB(b *testing.B, disableHash bool) *core.Engine {
 	return eng
 }
 
+// BenchmarkPointRead measures parallel point-read throughput on an
+// IMRS-resident table (the hash fast path — reads never touch B+tree
+// pages), comparing latch-coupled traversal against the tree-wide-lock
+// baseline. Pure reads are shared in both modes, so this bounds the
+// overhead latch coupling adds to the common case.
+func BenchmarkPointRead(b *testing.B) {
+	run := func(b *testing.B, coarse bool) {
+		cfg := core.DefaultConfig()
+		cfg.IMRSCacheBytes = 64 << 20
+		cfg.CoarseIndexLatch = coarse
+		eng, err := core.Open(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = eng.Close() })
+		schema := row.MustSchema(
+			row.Column{Name: "id", Kind: row.KindInt64},
+			row.Column{Name: "v", Kind: row.KindString},
+		)
+		if _, err := eng.CreateTable("t", schema, []string{"id"}, catalog.PartitionSpec{}, nil); err != nil {
+			b.Fatal(err)
+		}
+		const n = 10000
+		tx := eng.Begin()
+		for i := int64(0); i < n; i++ {
+			if err := tx.Insert("t", benchRow(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(int64(b.N)))
+			for pb.Next() {
+				id := rng.Int63n(n)
+				tx := eng.Begin()
+				_, ok, err := tx.Get("t", []row.Value{row.Int64(id)})
+				if !ok || err != nil {
+					b.Errorf("get %d: %v", id, err)
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	}
+	b.Run("coupled", func(b *testing.B) { run(b, false) })
+	b.Run("coarse", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkMixedReadWrite measures point-read throughput while a
+// background writer inserts into the same B+tree, on a page-store
+// resident table (pinned out of the IMRS) over an undersized buffer
+// pool. This is where the latching protocol matters: a tree-wide lock
+// is held across the writer's buffer-pool fetches, stalling all
+// readers; latch coupling only excludes readers from the leaf being
+// modified.
+func BenchmarkMixedReadWrite(b *testing.B) {
+	run := func(b *testing.B, coarse bool) {
+		cfg := core.DefaultConfig()
+		cfg.IMRSCacheBytes = 64 << 20
+		cfg.BufferPoolPages = 64
+		cfg.CoarseIndexLatch = coarse
+		eng, err := core.Open(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = eng.Close() })
+		schema := row.MustSchema(
+			row.Column{Name: "id", Kind: row.KindString},
+			row.Column{Name: "v", Kind: row.KindInt64},
+		)
+		if _, err := eng.CreateTable("t", schema, []string{"id"}, catalog.PartitionSpec{}, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.PinTable("t", false); err != nil {
+			b.Fatal(err)
+		}
+		// Wide keys fan the tree out across many leaf pages (see
+		// cmd/readbench); preloaded keys are even, the writer inserts odd.
+		pad := make([]byte, 400)
+		for i := range pad {
+			pad[i] = 'k'
+		}
+		key := func(n int64) row.Value {
+			return row.String(fmt.Sprintf("%012d", n) + string(pad))
+		}
+		const n = 3000
+		for lo := int64(0); lo < n; lo += 500 {
+			tx := eng.Begin()
+			for i := lo; i < lo+500; i++ {
+				if err := tx.Insert("t", row.Row{key(2 * i), row.Int64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		stop := make(chan struct{})
+		writerDone := make(chan struct{})
+		go func() {
+			defer close(writerDone)
+			rng := rand.New(rand.NewSource(99))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := 2*rng.Int63n(n) + 1
+				tx := eng.Begin()
+				if err := tx.Insert("t", row.Row{key(id), row.Int64(id)}); err != nil {
+					tx.Abort()
+					continue // duplicate redraw: the descent still contended
+				}
+				_ = tx.Commit()
+			}
+		}()
+		b.Cleanup(func() {
+			close(stop)
+			<-writerDone
+		})
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := rand.New(rand.NewSource(int64(b.N)))
+			for pb.Next() {
+				id := 2 * rng.Int63n(n)
+				tx := eng.Begin()
+				_, ok, err := tx.Get("t", []row.Value{key(id)})
+				if !ok || err != nil {
+					b.Errorf("get %d: %v", id, err)
+					return
+				}
+				_ = tx.Commit()
+			}
+		})
+	}
+	b.Run("coupled", func(b *testing.B) { run(b, false) })
+	b.Run("coarse", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkInsertThroughput measures raw single-threaded insert cost
 // through the full stack (lock, IMRS version, index, WAL buffer).
 func BenchmarkInsertThroughput(b *testing.B) {

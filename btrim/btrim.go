@@ -115,6 +115,11 @@ type Config struct {
 	// CommitMaxBatchBytes cuts a coalesce delay short once this many
 	// bytes of log are buffered.
 	CommitMaxBatchBytes int
+
+	// CoarseIndexLatch reverts the B+tree indexes to a tree-wide lock
+	// held across buffer-pool fetches (the pre-latch-coupling
+	// behaviour). Benchmark baseline only.
+	CoarseIndexLatch bool
 }
 
 // DB is an open database.
@@ -148,6 +153,7 @@ func Open(cfg Config) (*DB, error) {
 	ec.DisableGroupCommit = cfg.DisableGroupCommit
 	ec.CommitCoalesceDelay = cfg.CommitCoalesceDelay
 	ec.CommitMaxBatchBytes = cfg.CommitMaxBatchBytes
+	ec.CoarseIndexLatch = cfg.CoarseIndexLatch
 	eng, err := core.Open(ec)
 	if err != nil {
 		return nil, err

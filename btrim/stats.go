@@ -38,11 +38,20 @@ type Stats struct {
 	RowsPacked  int64
 	BytesPacked int64
 	RowsSkipped int64
+	// RIDMapRows is the RID map's live entry count (packed entries
+	// awaiting GC excluded).
+	RIDMapRows int64
+	// IndexLatchWaits / IndexRestarts total contested B+tree frame
+	// latches and traversal restarts across all indexes.
+	IndexLatchWaits int64
+	IndexRestarts   int64
 	// SysLog / IMRSLog report per-log commit-pipeline activity.
 	SysLog  WALStats
 	IMRSLog WALStats
 	// Tables maps table/partition name to its per-partition stats.
 	Tables map[string]TableStats
+	// Indexes maps "table.index" to per-index stats.
+	Indexes map[string]IndexStats
 }
 
 // TableStats is one partition's observable ILM state.
@@ -54,6 +63,23 @@ type TableStats struct {
 	ReuseOps    int64 // IMRS selects+updates+deletes
 	PackedRows  int64
 	IMRSEnabled bool
+}
+
+// IndexStats is one index's observable state: B+tree latch traffic and
+// the IMRS hash fast path's occupancy. The hash table never resizes, so
+// HashLoadFactor (entries per bucket) is the early-warning signal that
+// the sizing chosen at CREATE time is starting to degrade lookups.
+type IndexStats struct {
+	Unique bool
+
+	LatchWaits int64 // contested B+tree frame latches
+	Restarts   int64 // optimistic-insert fallbacks + root-split retries
+
+	HashEntries    int
+	HashBuckets    int
+	HashLoadFactor float64
+	HashHits       int64
+	HashMisses     int64
 }
 
 func walStats(l core.LogSnapshot) WALStats {
@@ -80,9 +106,25 @@ func (db *DB) Stats() Stats {
 		RowsPacked:        snap.RowsPacked,
 		BytesPacked:       snap.BytesPacked,
 		RowsSkipped:       snap.RowsSkipped,
+		RIDMapRows:        snap.RIDMapLive,
 		SysLog:            walStats(snap.SysLog),
 		IMRSLog:           walStats(snap.IMRSLog),
 		Tables:            make(map[string]TableStats, len(snap.Partitions)),
+		Indexes:           make(map[string]IndexStats, len(snap.Indexes)),
+	}
+	for _, ix := range snap.Indexes {
+		s.Indexes[ix.Table+"."+ix.Name] = IndexStats{
+			Unique:         ix.Unique,
+			LatchWaits:     ix.LatchWaits,
+			Restarts:       ix.Restarts,
+			HashEntries:    ix.HashEntries,
+			HashBuckets:    ix.HashBuckets,
+			HashLoadFactor: ix.HashLoadFactor,
+			HashHits:       ix.HashHits,
+			HashMisses:     ix.HashMisses,
+		}
+		s.IndexLatchWaits += ix.LatchWaits
+		s.IndexRestarts += ix.Restarts
 	}
 	for _, p := range snap.Partitions {
 		s.Tables[p.Name] = TableStats{

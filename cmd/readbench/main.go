@@ -1,0 +1,325 @@
+// Command readbench measures point-read throughput through the B+tree
+// index under concurrency, comparing the latch-coupled traversal
+// (default) against the tree-wide-lock baseline (CoarseIndexLatch).
+// It sweeps storage backends (mem/file), latch modes (coupled/coarse),
+// read mixes and reader counts, and writes a JSON report
+// (BENCH_read.json by default) for EXPERIMENTS.md.
+//
+// Mixes:
+//
+//   - imrs-hit: rows are IMRS-resident; point reads are served by the
+//     hash fast path and never touch the B+tree's pages. This is the
+//     paper's common case and an upper bound on read throughput.
+//   - page-miss: the table is pinned out of the IMRS, the buffer pool is
+//     sized far below the working set, and the mem device charges a read
+//     latency — every Get traverses the B+tree through buffer-pool
+//     fetches that mostly miss. Reads are shared-latch traversals in both
+//     modes, so this isolates the cost of the traversal itself.
+//   - mixed: the page-miss setup plus background writers (one per two
+//     readers) inserting keys interleaved with the preloaded ones, so
+//     every insert descends to a random — usually evicted — leaf. Under
+//     the coarse baseline each writer holds the tree-wide lock across
+//     that leaf fetch (including device latency), stalling every reader;
+//     latch coupling only excludes readers from the single leaf being
+//     modified. This is where the tree-wide lock collapses.
+//
+// The preload checkpoints periodically so the no-steal pool stays at its
+// nominal capacity instead of growing past it to absorb dirty pages, and
+// the table uses wide string keys so the B+tree itself spans hundreds of
+// leaf pages — otherwise the handful of leaves stay cached and the
+// latching protocol under comparison never sees a page fetch.
+//
+// Usage:
+//
+//	readbench [-duration 1s] [-goroutines 1,4,8,16] [-rows 6000] [-json BENCH_read.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/btrim"
+)
+
+type result struct {
+	Backend      string  `json:"backend"`
+	Mode         string  `json:"mode"` // "coupled" or "coarse" (tree-wide-lock baseline)
+	Mix          string  `json:"mix"`
+	Goroutines   int     `json:"goroutines"` // reader goroutines
+	Writers      int     `json:"writers,omitempty"`
+	Reads        int64   `json:"reads"`
+	Seconds      float64 `json:"seconds"`
+	ReadsPerSec  float64 `json:"reads_per_sec"`
+	WritesPerSec float64 `json:"writes_per_sec,omitempty"`
+	// Index concurrency counters over the run (all indexes summed).
+	LatchWaits int64 `json:"latch_waits"`
+	Restarts   int64 `json:"restarts"`
+}
+
+// speedup pairs the coupled and coarse-baseline throughput for one
+// (backend, mix, goroutines) cell so the comparison the acceptance
+// criterion asks for is recorded directly in the report.
+type speedup struct {
+	Backend         string  `json:"backend"`
+	Mix             string  `json:"mix"`
+	Goroutines      int     `json:"goroutines"`
+	CoupledRPS      float64 `json:"coupled_reads_per_sec"`
+	CoarseRPS       float64 `json:"coarse_baseline_reads_per_sec"`
+	SpeedupVsCoarse float64 `json:"speedup_vs_coarse"`
+}
+
+type report struct {
+	Benchmark string    `json:"benchmark"`
+	Started   string    `json:"started"`
+	Results   []result  `json:"results"`
+	Speedups  []speedup `json:"speedups"`
+}
+
+type mixSpec struct {
+	name      string
+	pageStore bool // pin the table out of the IMRS; small pool + read latency
+	writers   bool // background inserters, one per two readers
+}
+
+var mixes = []mixSpec{
+	{name: "imrs-hit"},
+	{name: "page-miss", pageStore: true},
+	{name: "mixed", pageStore: true, writers: true},
+}
+
+// key returns the n-th primary key. The 400-byte pad fans the B+tree out
+// to hundreds of leaf pages (~19 keys per 8 KiB page) so traversals
+// through an undersized pool actually fetch. Preloaded rows use even n;
+// the mixed-mode writers insert odd n, landing on random interior
+// leaves.
+func key(n int64) string {
+	return fmt.Sprintf("%012d", n) + strings.Repeat("k", 400)
+}
+
+func main() {
+	duration := flag.Duration("duration", time.Second, "measure time per configuration")
+	gostr := flag.String("goroutines", "1,4,8,16", "comma-separated reader counts")
+	rows := flag.Int("rows", 6000, "preloaded row count")
+	jsonPath := flag.String("json", "BENCH_read.json", "JSON report path (empty = no report)")
+	flag.Parse()
+
+	var readerCounts []int
+	for _, s := range strings.Split(*gostr, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			fmt.Fprintln(os.Stderr, "bad -goroutines value:", s)
+			os.Exit(2)
+		}
+		readerCounts = append(readerCounts, n)
+	}
+
+	rep := report{Benchmark: "point-read", Started: time.Now().UTC().Format(time.RFC3339)}
+	rps := map[string]float64{} // backend/mix/mode/goroutines -> reads_per_sec
+	for _, backend := range []string{"mem", "file"} {
+		for _, mix := range mixes {
+			for _, mode := range []string{"coupled", "coarse"} {
+				for _, readers := range readerCounts {
+					r, err := run(backend, mode, mix, readers, *rows, *duration)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "run:", err)
+						os.Exit(1)
+					}
+					rep.Results = append(rep.Results, r)
+					rps[fmt.Sprintf("%s/%s/%s/%d", backend, mix.name, mode, readers)] = r.ReadsPerSec
+					fmt.Printf("backend=%-4s mix=%-9s mode=%-7s readers=%-3d %10.0f reads/s  (waits %d, restarts %d)\n",
+						r.Backend, r.Mix, r.Mode, r.Goroutines, r.ReadsPerSec, r.LatchWaits, r.Restarts)
+				}
+			}
+		}
+	}
+	for _, backend := range []string{"mem", "file"} {
+		for _, mix := range mixes {
+			for _, readers := range readerCounts {
+				coupled := rps[fmt.Sprintf("%s/%s/coupled/%d", backend, mix.name, readers)]
+				coarse := rps[fmt.Sprintf("%s/%s/coarse/%d", backend, mix.name, readers)]
+				sp := speedup{Backend: backend, Mix: mix.name, Goroutines: readers,
+					CoupledRPS: coupled, CoarseRPS: coarse}
+				if coarse > 0 {
+					sp.SpeedupVsCoarse = coupled / coarse
+				}
+				rep.Speedups = append(rep.Speedups, sp)
+			}
+		}
+	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *jsonPath)
+	}
+}
+
+func run(backend, mode string, mix mixSpec, readers, rows int, duration time.Duration) (result, error) {
+	cfg := btrim.Config{
+		IMRSCacheBytes:   256 << 20,
+		CoarseIndexLatch: mode == "coarse",
+	}
+	if mix.pageStore {
+		// Working set far larger than the pool, and page fetches charge a
+		// device latency (mem backend): point reads become B+tree
+		// traversals over mostly-missing pages, which is exactly the path
+		// whose latching we are comparing.
+		cfg.BufferPoolPages = 48
+		cfg.ReadLatency = 40 * time.Microsecond
+	}
+	if mix.writers {
+		// Writers dirty leaf and heap pages; under the no-steal policy the
+		// pool would grow past capacity to hold them (hiding the misses the
+		// mix depends on) unless a background checkpoint keeps pages clean
+		// and evictable.
+		cfg.CheckpointEvery = 25 * time.Millisecond
+	}
+	if backend == "file" {
+		dir, err := os.MkdirTemp("", "readbench")
+		if err != nil {
+			return result{}, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.Dir = dir
+	}
+	db, err := btrim.Open(cfg)
+	if err != nil {
+		return result{}, err
+	}
+	defer db.Close()
+	if err := db.CreateTable(btrim.TableSpec{
+		Name: "t",
+		Columns: []btrim.Column{
+			{Name: "id", Type: btrim.StringType},
+			{Name: "v", Type: btrim.Int64Type},
+		},
+		PrimaryKey: []string{"id"},
+	}); err != nil {
+		return result{}, err
+	}
+	if mix.pageStore {
+		if err := db.PinTable("t", false); err != nil {
+			return result{}, err
+		}
+	}
+	// Preload even keys, checkpointing each batch so the no-steal pool
+	// stays at its nominal capacity (dirty frames would otherwise grow it
+	// past the working set, and nothing would ever miss).
+	for lo := 0; lo < rows; lo += 500 {
+		hi := lo + 500
+		if hi > rows {
+			hi = rows
+		}
+		err := db.Update(func(tx *btrim.Tx) error {
+			for i := lo; i < hi; i++ {
+				if err := tx.Insert("t", btrim.Values(btrim.String(key(2*int64(i))), btrim.Int64(int64(i)))); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return result{}, err
+		}
+		if err := db.Checkpoint(); err != nil {
+			return result{}, err
+		}
+	}
+	base := db.Stats()
+
+	writers := 0
+	if mix.writers {
+		writers = (readers + 1) / 2
+	}
+
+	var reads, writes atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+writers)
+	start := time.Now()
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				id := 2 * rng.Int63n(int64(rows))
+				err := db.View(func(tx *btrim.Tx) error {
+					_, ok, err := tx.Get("t", btrim.String(key(id)))
+					if err == nil && !ok {
+						err = fmt.Errorf("row %d missing", id)
+					}
+					return err
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				reads.Add(1)
+			}
+		}(int64(w + 1))
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				// Odd keys land between preloaded ones: a random, usually
+				// uncached leaf. Re-drawing an already-inserted key still
+				// descends the tree, so it contends identically; the
+				// duplicate error is just not counted as a write.
+				id := 2*rng.Int63n(int64(rows)) + 1
+				err := db.Update(func(tx *btrim.Tx) error {
+					return tx.Insert("t", btrim.Values(btrim.String(key(id)), btrim.Int64(id)))
+				})
+				if btrim.IsDuplicateKey(err) {
+					continue
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				writes.Add(1)
+			}
+		}(int64(1000 + w))
+	}
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return result{}, err
+	default:
+	}
+
+	st := db.Stats()
+	return result{
+		Backend:      backend,
+		Mode:         mode,
+		Mix:          mix.name,
+		Goroutines:   readers,
+		Writers:      writers,
+		Reads:        reads.Load(),
+		Seconds:      elapsed.Seconds(),
+		ReadsPerSec:  float64(reads.Load()) / elapsed.Seconds(),
+		WritesPerSec: float64(writes.Load()) / elapsed.Seconds(),
+		LatchWaits:   st.IndexLatchWaits - base.IndexLatchWaits,
+		Restarts:     st.IndexRestarts - base.IndexRestarts,
+	}, nil
+}

@@ -89,6 +89,11 @@ type Config struct {
 	HashIndexBuckets int
 	// DisableHashIndex turns off the hash fast path (ablation).
 	DisableHashIndex bool
+
+	// CoarseIndexLatch reverts every B+tree to a tree-wide
+	// reader/writer lock held across buffer-pool fetches — the
+	// pre-latch-coupling behaviour. Benchmark baseline only.
+	CoarseIndexLatch bool
 }
 
 // DefaultConfig returns a small-footprint default suitable for tests.

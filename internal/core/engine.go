@@ -373,11 +373,26 @@ func (e *Engine) mountTable(t *catalog.Table, fresh bool) (*tableRT, error) {
 		} else {
 			tr = btree.Load(e.pool, def.Root)
 		}
+		tr.SetCoarse(e.cfg.CoarseIndexLatch)
 		ix := &indexRT{def: def, tree: tr}
 		if def.Hash && !e.cfg.DisableHashIndex {
 			ix.hash = hash.New(e.cfg.HashIndexBuckets)
 		}
 		rt.indexes = append(rt.indexes, ix)
+	}
+	// Feed B+tree latch contention into each partition's ILM signal
+	// alongside the heap latch waits (paper Section V-D). The closure
+	// reads ix.tree at sample time rather than capturing the trees:
+	// recovery swaps fresh trees into the indexRTs after mounting.
+	indexWaits := func() int64 {
+		var n int64
+		for _, ix := range rt.indexes {
+			n += ix.tree.LatchWaits()
+		}
+		return n
+	}
+	for _, prt := range rt.parts {
+		prt.ilm.IndexContentionFn = indexWaits
 	}
 	e.mu.Lock()
 	e.tables[t.Name] = rt

@@ -101,43 +101,27 @@ func (t *Txn) IndexScan(table, index string, from []row.Value, fn func(row.Row) 
 		return fmt.Errorf("core: no index %q on table %q", index, table)
 	}
 
-	type hit struct {
-		key row.Key
-		r   rid.RID
-	}
-	const batch = 256
+	// Rows are resolved directly inside the scan callback: ScanFrom
+	// latch-couples leaf to leaf and holds NO latch while yielding, so
+	// row-lock acquisition here cannot deadlock against index writers.
+	// (The old tree-wide-lock scan had to batch keys and restart the
+	// scan per batch to get the same safety.)
 	start := row.EncodeKey(nil, from...)
-	for {
-		// Collect a batch under the tree's read lock, then resolve rows
-		// outside it (row-lock acquisition under the tree lock could
-		// deadlock against writers).
-		hits := make([]hit, 0, batch)
-		if err := ix.tree.ScanFrom(start, func(k []byte, r rid.RID) bool {
-			hits = append(hits, hit{key: append(row.Key(nil), k...), r: r})
-			return len(hits) < batch
-		}); err != nil {
-			return err
+	var ierr error
+	if err := ix.tree.ScanFrom(start, func(k []byte, r rid.RID) bool {
+		rw, ok, _, err := t.readRowAt(rt, r, nil, false)
+		if err != nil {
+			ierr = err
+			return false
 		}
-		if len(hits) == 0 {
-			return nil
+		if !ok {
+			return true
 		}
-		for _, h := range hits {
-			rw, ok, _, err := t.readRowAt(rt, h.r, nil, false)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				continue
-			}
-			if !fn(rw) {
-				return nil
-			}
-		}
-		if len(hits) < batch {
-			return nil
-		}
-		start = append(hits[len(hits)-1].key, 0x00) // strictly after the last key
+		return fn(rw)
+	}); err != nil {
+		return err
 	}
+	return ierr
 }
 
 // LookupAll returns every visible row whose index columns equal vals
@@ -156,34 +140,37 @@ func (t *Txn) LookupAll(table, index string, vals []row.Value) ([]row.Row, error
 		return nil, fmt.Errorf("core: no index %q on table %q", index, table)
 	}
 	prefix := row.EncodeKey(nil, vals...)
-	var rids []rid.RID
+	var out []row.Row
+	var ierr error
+	// Resolve rows in-line: the scan yields without holding any latch.
 	if err := ix.tree.ScanFrom(prefix, func(k []byte, r rid.RID) bool {
 		if !bytes.HasPrefix(k, prefix) {
 			return false
 		}
-		rids = append(rids, r)
+		rw, ok, _, err := t.readRowAt(rt, r, nil, false)
+		if err != nil {
+			ierr = err
+			return false
+		}
+		if !ok {
+			return true
+		}
+		// Re-verify against the visible image: index entries for
+		// uncommitted key changes are filtered here.
+		vk, err := indexKey(ix, rw, r)
+		if err != nil {
+			ierr = err
+			return false
+		}
+		if bytes.HasPrefix(vk, prefix) {
+			out = append(out, rw)
+		}
 		return true
 	}); err != nil {
 		return nil, err
 	}
-	var out []row.Row
-	for _, r0 := range rids {
-		rw, ok, _, err := t.readRowAt(rt, r0, nil, false)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			continue
-		}
-		// Re-verify against the visible image: index entries for
-		// uncommitted key changes are filtered here.
-		k, err := indexKey(ix, rw, r0)
-		if err != nil {
-			return nil, err
-		}
-		if bytes.HasPrefix(k, prefix) {
-			out = append(out, rw)
-		}
+	if ierr != nil {
+		return nil, ierr
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/rid"
@@ -66,8 +67,32 @@ type PartitionSnapshot struct {
 	SkippedHot  int64
 	Contention  int64
 
+	// IndexContention is the table's B+tree latch-wait total (shared
+	// across a table's partitions; the tuner folds it into Contention).
+	IndexContention int64
+
 	// InsertEnabled reflects the auto-partition-tuning state.
 	InsertEnabled bool
+}
+
+// IndexSnapshot is one index's observable state: B+tree latch traffic
+// and, when the IMRS hash fast path is mounted, its occupancy — the
+// signal that the fixed "no resize" sizing is starting to degrade.
+type IndexSnapshot struct {
+	Table  string
+	Name   string
+	Unique bool
+
+	// B+tree concurrency counters.
+	LatchWaits int64 // contested frame latches during traversals
+	Restarts   int64 // optimistic-insert fallbacks + root-split retries
+
+	// Hash fast path occupancy; zero-valued when no hash is mounted.
+	HashEntries    int
+	HashBuckets    int
+	HashLoadFactor float64
+	HashHits       int64
+	HashMisses     int64
 }
 
 // ReuseOps returns IMRS S+U+D (the paper's reuse operations).
@@ -103,11 +128,21 @@ type Snapshot struct {
 	GCEntries     int64
 	AcceptNewRows bool
 
+	// RIDMapLive is the RID map's live entry count (packed entries
+	// awaiting the GC sweep excluded — see ridmap.Map.Len vs LenRaw).
+	RIDMapLive int64
+
+	// IndexLevelLatchWaits attributes contested B+tree frame latches to
+	// tree levels (index 0 = root; the last bucket absorbs deeper
+	// levels). Separates hot-root contention from leaf contention.
+	IndexLevelLatchWaits []int64
+
 	// SysLog / IMRSLog snapshot the two WALs and their commit pipelines.
 	SysLog  LogSnapshot
 	IMRSLog LogSnapshot
 
 	Partitions []PartitionSnapshot
+	Indexes    []IndexSnapshot
 }
 
 // IMRSHitRate returns the fraction of all row operations served by the
@@ -173,7 +208,39 @@ func (e *Engine) Stats() Snapshot {
 		if ps.ContentionFn != nil {
 			snap.Contention = ps.ContentionFn()
 		}
+		if ps.IndexContentionFn != nil {
+			snap.IndexContention = ps.IndexContentionFn()
+		}
 		s.Partitions = append(s.Partitions, snap)
 	}
+	s.RIDMapLive = int64(e.rmap.Len())
+	s.IndexLevelLatchWaits = e.pool.Stats().IndexWaitsByLevel()
+	e.mu.RLock()
+	for tname, rt := range e.tables {
+		for _, ix := range rt.indexes {
+			is := IndexSnapshot{
+				Table:      tname,
+				Name:       ix.def.Name,
+				Unique:     ix.def.Unique,
+				LatchWaits: ix.tree.LatchWaits(),
+				Restarts:   ix.tree.Restarts(),
+			}
+			if ix.hash != nil {
+				is.HashEntries = ix.hash.Len()
+				is.HashBuckets = ix.hash.Buckets()
+				is.HashLoadFactor = ix.hash.LoadFactor()
+				is.HashHits = ix.hash.Hits.Load()
+				is.HashMisses = ix.hash.Misses.Load()
+			}
+			s.Indexes = append(s.Indexes, is)
+		}
+	}
+	e.mu.RUnlock()
+	sort.Slice(s.Indexes, func(i, j int) bool {
+		if s.Indexes[i].Table != s.Indexes[j].Table {
+			return s.Indexes[i].Table < s.Indexes[j].Table
+		}
+		return s.Indexes[i].Name < s.Indexes[j].Name
+	})
 	return s
 }

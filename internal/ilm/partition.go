@@ -54,6 +54,12 @@ type PartitionState struct {
 	// (wired to the heap by the engine); may be nil.
 	ContentionFn func() int64
 
+	// IndexContentionFn reads the B+tree latch-wait counters of the
+	// table's indexes (wired by the engine; may be nil). Latch-coupled
+	// trees surface contention per frame rather than hiding it behind a
+	// tree-wide lock, so index hot spots now reach the tuner too.
+	IndexContentionFn func() int64
+
 	enabled [numOpClasses]atomic.Bool
 
 	// Tuner-private window state.
@@ -84,6 +90,11 @@ func (p *PartitionState) snapshotCounters() windowCounters {
 	}
 	if p.ContentionFn != nil {
 		w.contention = p.ContentionFn()
+	}
+	if p.IndexContentionFn != nil {
+		// Heap and index latch waits fold into one contention signal:
+		// either kind of hot spot argues for re-enabling IMRS use.
+		w.contention += p.IndexContentionFn()
 	}
 	return w
 }

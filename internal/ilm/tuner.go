@@ -135,6 +135,10 @@ func (t *Tuner) considerDisable(p *PartitionState, d windowCounters, u Partition
 func (t *Tuner) considerEnable(p *PartitionState, d windowCounters) {
 	p.disableStreak = 0
 
+	// d.contention combines heap page-latch waits with B+tree frame
+	// latch waits (see snapshotCounters): a partition whose index pages
+	// are fought over benefits from IMRS residency just as much as one
+	// whose heap pages are.
 	contended := d.contention >= t.cfg.EnableContentionThreshold
 	base := p.disabledReuse
 	if base < 1 {

@@ -3,10 +3,11 @@
 // methods above the tree transparently resolve each RID to the IMRS (via
 // the RID map) or to the page store. Leaves are chained for range scans.
 //
+// Concurrency is latch coupling over the buffer pool's per-frame
+// latches (see Tree); no tree-wide lock is held across pool fetches.
 // Simplifications relative to a production engine, recorded in DESIGN.md:
-// the tree takes a tree-level reader/writer latch instead of latch
-// crabbing, deletes do not rebalance (underflowed nodes persist), and
-// index changes are not logged — recovery rebuilds indexes from the base
+// deletes do not rebalance (underflowed nodes persist), and index
+// changes are not logged — recovery rebuilds indexes from the base
 // tables, which is sound because the heaps and the IMRS are fully
 // recovered first.
 package btree

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/metrics"
 	"repro/internal/rid"
 	"repro/internal/storage/buffer"
 	"repro/internal/storage/page"
@@ -15,11 +17,40 @@ var ErrDuplicate = errors.New("btree: duplicate key")
 
 // Tree is a page-based B+tree mapping byte keys to RIDs. Keys are unique
 // at this level; non-unique indexes append the RID to the key upstream.
+//
+// Concurrency is latch coupling (lock crabbing) over the buffer pool's
+// per-frame latches — there is no tree-wide lock on any path that
+// touches the pool. The only tree-level state is the root page id, held
+// in an atomic: traversals load it, latch the frame, and re-check the id
+// (restarting if a root split won the race); root splits install the new
+// id before the old root's exclusive latch is released, so a traversal
+// can never descend from a stale root unnoticed. Page ids are never
+// recycled by the pool's device layer, which rules out ABA on the
+// re-check and keeps captured leaf-chain pointers valid.
+//
+// Readers crab down with shared latches (child latched before the parent
+// is released). Writers first run an optimistic descent: shared latches
+// down to the leaf's parent, then the leaf latch is upgraded to
+// exclusive while the parent's shared latch is still held — the parent
+// latch blocks leaf splits, so only the leaf's content can shift in the
+// upgrade gap and the writer simply re-searches. If the leaf cannot
+// absorb the insert, the writer releases everything and restarts
+// pessimistically: exclusive crabbing from the root, releasing all
+// retained ancestors whenever it latches a "safe" node (one whose free
+// space absorbs a worst-case separator without splitting), so the
+// exclusive path shrinks to the nodes that may actually split.
 type Tree struct {
 	pool *buffer.Pool
+	root atomic.Uint32
 
-	mu   sync.RWMutex
-	root uint32
+	latchWaits metrics.Counter // contested latches — the ILM contention signal
+	restarts   metrics.Counter // optimistic descents that fell back / root re-checks
+
+	// coarse reproduces the old tree-wide-lock behavior for benchmark
+	// baselines (cmd/readbench): every op wraps itself in coarseMu, held
+	// across all pool fetches, exactly like the pre-crabbing tree.
+	coarse   atomic.Bool
+	coarseMu sync.RWMutex
 }
 
 // New allocates an empty tree (a single leaf root).
@@ -31,48 +62,169 @@ func New(pool *buffer.Pool) (*Tree, error) {
 	btInit(f.Page(), true)
 	f.Unlatch(true)
 	pool.Unpin(f, true)
-	return &Tree{pool: pool, root: id}, nil
+	t := &Tree{pool: pool}
+	t.root.Store(id)
+	return t, nil
 }
 
 // Load reattaches a tree whose root page id was persisted in the catalog.
 func Load(pool *buffer.Pool, root uint32) *Tree {
-	return &Tree{pool: pool, root: root}
+	t := &Tree{pool: pool}
+	t.root.Store(root)
+	return t
 }
 
 // Root returns the current root page id (persisted in catalog snapshots).
-func (t *Tree) Root() uint32 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.root
+func (t *Tree) Root() uint32 { return t.root.Load() }
+
+// LatchWaits returns the number of contested frame-latch acquisitions
+// this tree has performed — the index half of the ILM contention signal.
+func (t *Tree) LatchWaits() int64 { return t.latchWaits.Load() }
+
+// Restarts returns how many traversals had to restart: optimistic
+// inserts that fell back to the pessimistic path plus root re-check
+// retries lost to a concurrent root split.
+func (t *Tree) Restarts() int64 { return t.restarts.Load() }
+
+// SetCoarse switches the tree to a tree-wide reader/writer lock held
+// across buffer-pool fetches — the pre-latch-coupling behavior. It
+// exists so benchmarks can measure the baseline; production trees never
+// enable it. Toggle only while the tree is quiescent.
+func (t *Tree) SetCoarse(v bool) { t.coarse.Store(v) }
+
+// latch acquires f's latch, attributing any wait to the tree level.
+func (t *Tree) latch(f *buffer.Frame, excl bool, level int) {
+	if f.Latch(excl) {
+		t.latchWaits.Inc()
+		t.pool.Stats().NoteIndexWait(level)
+	}
+}
+
+// upgrade trades f's shared latch for an exclusive one (non-atomic; see
+// buffer.Frame.Upgrade), attributing any wait to the tree level.
+func (t *Tree) upgrade(f *buffer.Frame, level int) {
+	if f.Upgrade() {
+		t.latchWaits.Inc()
+		t.pool.Stats().NoteIndexWait(level)
+	}
+}
+
+// release unlatches and unpins f.
+func (t *Tree) release(f *buffer.Frame, excl bool) {
+	f.Unlatch(excl)
+	t.pool.Unpin(f, false)
+}
+
+// latchRoot latches the current root frame, restarting until the root id
+// observed before the latch still names the root after it — the re-check
+// half of the root-split protocol.
+func (t *Tree) latchRoot(excl bool) (*buffer.Frame, error) {
+	for {
+		id := t.root.Load()
+		f, err := t.pool.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		t.latch(f, excl, 0)
+		if t.root.Load() == id {
+			return f, nil
+		}
+		// A root split slipped in between the load and the latch.
+		t.restarts.Inc()
+		t.release(f, excl)
+	}
+}
+
+// descendShared crabs shared latches from the root to the leaf covering
+// key: the child is latched before the parent is released, so the child
+// cannot split (splitters need the parent exclusively) between the
+// pointer read and the latch. Returns the leaf shared-latched and pinned.
+func (t *Tree) descendShared(key []byte) (*buffer.Frame, error) {
+	f, err := t.latchRoot(false)
+	if err != nil {
+		return nil, err
+	}
+	level := 0
+	for !isLeaf(f.Page()) {
+		buf := f.Page().Bytes()
+		child := childFor(buf, descendPos(buf, key))
+		cf, err := t.pool.Fetch(child)
+		if err != nil {
+			t.release(f, false)
+			return nil, err
+		}
+		level++
+		t.latch(cf, false, level)
+		t.release(f, false)
+		f = cf
+	}
+	return f, nil
+}
+
+// descendExclusiveLeaf is the optimistic write descent: shared crabbing
+// to the leaf's parent, then the leaf is upgraded to exclusive while the
+// parent's shared latch is still held. The parent latch blocks leaf
+// splits across the (non-atomic) upgrade gap, so the leaf still covers
+// key's range when the exclusive latch lands — but its content may have
+// shifted, so callers must re-search. When the root itself is the leaf
+// there is no parent to pin the range; the root id is re-checked after
+// the upgrade instead, restarting the descent if a split won.
+func (t *Tree) descendExclusiveLeaf(key []byte) (*buffer.Frame, error) {
+	for {
+		f, err := t.latchRoot(false)
+		if err != nil {
+			return nil, err
+		}
+		if isLeaf(f.Page()) {
+			id := f.ID()
+			t.upgrade(f, 0)
+			if t.root.Load() != id {
+				t.restarts.Inc()
+				t.release(f, true)
+				continue
+			}
+			return f, nil
+		}
+		level := 0
+		for {
+			buf := f.Page().Bytes()
+			child := childFor(buf, descendPos(buf, key))
+			cf, err := t.pool.Fetch(child)
+			if err != nil {
+				t.release(f, false)
+				return nil, err
+			}
+			level++
+			t.latch(cf, false, level)
+			if isLeaf(cf.Page()) {
+				t.upgrade(cf, level)
+				t.release(f, false)
+				return cf, nil
+			}
+			t.release(f, false)
+			f = cf
+		}
+	}
 }
 
 // Search returns the RID stored under key.
 func (t *Tree) Search(key []byte) (rid.RID, bool, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	pid := t.root
-	for {
-		f, err := t.pool.Fetch(pid)
-		if err != nil {
-			return rid.Zero, false, err
-		}
-		f.Latch(false)
-		buf := f.Page().Bytes()
-		if isLeaf(f.Page()) {
-			pos, found := search(buf, key)
-			var r rid.RID
-			if found {
-				r = leafValAt(buf, pos)
-			}
-			f.Unlatch(false)
-			t.pool.Unpin(f, false)
-			return r, found, nil
-		}
-		next := childFor(buf, descendPos(buf, key))
-		f.Unlatch(false)
-		t.pool.Unpin(f, false)
-		pid = next
+	if t.coarse.Load() {
+		t.coarseMu.RLock()
+		defer t.coarseMu.RUnlock()
 	}
+	f, err := t.descendShared(key)
+	if err != nil {
+		return rid.Zero, false, err
+	}
+	buf := f.Page().Bytes()
+	pos, found := search(buf, key)
+	var r rid.RID
+	if found {
+		r = leafValAt(buf, pos)
+	}
+	t.release(f, false)
+	return r, found, nil
 }
 
 // Insert stores key → r; it fails with ErrDuplicate if key exists.
@@ -80,157 +232,203 @@ func (t *Tree) Insert(key []byte, r rid.RID) error {
 	if len(key) > MaxKeySize {
 		return fmt.Errorf("btree: key of %d bytes exceeds max %d", len(key), MaxKeySize)
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	promoted, sep, right, err := t.insertInto(t.root, key, r)
+	if t.coarse.Load() {
+		t.coarseMu.Lock()
+		defer t.coarseMu.Unlock()
+	}
+	done, err := t.insertOptimistic(key, r)
+	if done || err != nil {
+		return err
+	}
+	t.restarts.Inc()
+	return t.insertPessimistic(key, r)
+}
+
+// insertOptimistic tries the common no-split case: exclusive latch on
+// the leaf only. done=false means the leaf is full and the caller must
+// retry pessimistically.
+func (t *Tree) insertOptimistic(key []byte, r rid.RID) (done bool, err error) {
+	f, err := t.descendExclusiveLeaf(key)
+	if err != nil {
+		return false, err
+	}
+	buf := f.Page().Bytes()
+	pos, found := search(buf, key)
+	if found {
+		t.release(f, true)
+		return true, ErrDuplicate
+	}
+	if insertCell(buf, pos, key, u64val(r)) {
+		f.MarkDirty()
+		t.release(f, true)
+		return true, nil
+	}
+	t.release(f, true)
+	return false, nil
+}
+
+// pathEntry is one retained frame of a pessimistic descent.
+type pathEntry struct {
+	f     *buffer.Frame
+	level int
+}
+
+// insertPessimistic crabs exclusive latches from the root, releasing all
+// retained ancestors whenever the just-latched child is safe — able to
+// absorb a worst-case cell without splitting — so only the suffix of the
+// path that may actually split stays latched. Splits then propagate up
+// through exactly that retained suffix; by construction the topmost
+// retained node either absorbs the separator (it was safe) or is the
+// root, in which case the tree grows a level and the new root id is
+// installed before the old root's latch is released.
+func (t *Tree) insertPessimistic(key []byte, r rid.RID) error {
+	f, err := t.latchRoot(true)
 	if err != nil {
 		return err
 	}
-	if !promoted {
+	path := []pathEntry{{f, 0}}
+	releaseAll := func() {
+		for i := len(path) - 1; i >= 0; i-- {
+			t.release(path[i].f, true)
+		}
+	}
+
+	level := 0
+	for !isLeaf(f.Page()) {
+		buf := f.Page().Bytes()
+		child := childFor(buf, descendPos(buf, key))
+		cf, err := t.pool.Fetch(child)
+		if err != nil {
+			releaseAll()
+			return err
+		}
+		level++
+		t.latch(cf, true, level)
+		var need int
+		if isLeaf(cf.Page()) {
+			need = cellSize(len(key), true) + btPtrSize
+		} else {
+			// An internal node absorbs a separator of at most MaxKeySize.
+			need = cellSize(MaxKeySize, false) + btPtrSize
+		}
+		if freeBytes(cf.Page().Bytes()) >= need {
+			// cf is safe: nothing above it can be forced to split.
+			releaseAll()
+			path = path[:0]
+		}
+		path = append(path, pathEntry{cf, level})
+		f = cf
+	}
+
+	buf := f.Page().Bytes()
+	pos, found := search(buf, key)
+	if found {
+		// Another writer inserted key between our optimistic attempt and
+		// this restart.
+		releaseAll()
+		return ErrDuplicate
+	}
+	if insertCell(buf, pos, key, u64val(r)) {
+		f.MarkDirty()
+		releaseAll()
 		return nil
 	}
-	// Grow a new root.
-	newRoot, f, err := t.pool.NewPage(page.TypeBTreeInternal)
+
+	sep, right, err := t.splitLeaf(f, key, r)
 	if err != nil {
+		releaseAll()
 		return err
 	}
-	btInit(f.Page(), false)
-	buf := f.Page().Bytes()
-	setLeftChild(buf, t.root)
-	if !insertCell(buf, 0, sep, u32val(right)) {
-		f.Unlatch(true)
-		t.pool.Unpin(f, true)
+	for i := len(path) - 2; i >= 0; i-- {
+		pf := path[i].f
+		pbuf := pf.Page().Bytes()
+		ppos, _ := search(pbuf, sep)
+		if insertCell(pbuf, ppos, sep, u32val(right)) {
+			pf.MarkDirty()
+			releaseAll()
+			return nil
+		}
+		sep, right, err = t.splitInternal(pf, sep, right)
+		if err != nil {
+			releaseAll()
+			return err
+		}
+	}
+
+	// The topmost retained node split. Safe nodes cannot fail insertCell,
+	// so it must be the root (held exclusively since latchRoot, which
+	// also means no other writer can have moved the root meanwhile):
+	// grow a new root and install its id before releasing the old root.
+	oldRoot := path[0].f.ID()
+	newRootID, nf, err := t.pool.NewPage(page.TypeBTreeInternal)
+	if err != nil {
+		releaseAll()
+		return err
+	}
+	btInit(nf.Page(), false)
+	nbuf := nf.Page().Bytes()
+	setLeftChild(nbuf, oldRoot)
+	if !insertCell(nbuf, 0, sep, u32val(right)) {
+		t.release(nf, true)
+		releaseAll()
 		return fmt.Errorf("btree: separator does not fit in fresh root")
 	}
-	f.MarkDirty()
-	f.Unlatch(true)
-	t.pool.Unpin(f, true)
-	t.root = newRoot
+	nf.MarkDirty()
+	t.root.Store(newRootID)
+	t.release(nf, true)
+	releaseAll()
 	return nil
 }
 
 // Update rebinds key to r, returning whether the key existed. Pack uses
 // it to repoint index entries from a virtual RID to a page-store RID.
 func (t *Tree) Update(key []byte, r rid.RID) (bool, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	pid := t.root
-	for {
-		f, err := t.pool.Fetch(pid)
-		if err != nil {
-			return false, err
-		}
-		f.Latch(true)
-		buf := f.Page().Bytes()
-		if isLeaf(f.Page()) {
-			pos, found := search(buf, key)
-			if found {
-				setLeafValAt(buf, pos, r)
-				f.MarkDirty()
-			}
-			f.Unlatch(true)
-			t.pool.Unpin(f, found)
-			return found, nil
-		}
-		next := childFor(buf, descendPos(buf, key))
-		f.Unlatch(true)
-		t.pool.Unpin(f, false)
-		pid = next
+	if t.coarse.Load() {
+		t.coarseMu.Lock()
+		defer t.coarseMu.Unlock()
 	}
+	f, err := t.descendExclusiveLeaf(key)
+	if err != nil {
+		return false, err
+	}
+	buf := f.Page().Bytes()
+	pos, found := search(buf, key)
+	if found {
+		setLeafValAt(buf, pos, r)
+		f.MarkDirty()
+	}
+	t.release(f, true)
+	return found, nil
 }
 
 // Delete removes key, returning the RID it held and whether it existed.
-// Nodes are allowed to underflow (no rebalancing).
+// Nodes are allowed to underflow (no rebalancing), which is what lets
+// deletes run with a single leaf latch: a delete never changes any
+// node's key range, so no ancestor needs latching.
 func (t *Tree) Delete(key []byte) (rid.RID, bool, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	pid := t.root
-	for {
-		f, err := t.pool.Fetch(pid)
-		if err != nil {
-			return rid.Zero, false, err
-		}
-		f.Latch(true)
-		buf := f.Page().Bytes()
-		if isLeaf(f.Page()) {
-			pos, found := search(buf, key)
-			var r rid.RID
-			if found {
-				r = leafValAt(buf, pos)
-				deleteCell(buf, pos)
-				f.MarkDirty()
-			}
-			f.Unlatch(true)
-			t.pool.Unpin(f, found)
-			return r, found, nil
-		}
-		next := childFor(buf, descendPos(buf, key))
-		f.Unlatch(true)
-		t.pool.Unpin(f, false)
-		pid = next
+	if t.coarse.Load() {
+		t.coarseMu.Lock()
+		defer t.coarseMu.Unlock()
 	}
-}
-
-// insertInto inserts into the subtree rooted at pid. When the node
-// splits, it returns the separator key and new right sibling for the
-// parent to absorb.
-func (t *Tree) insertInto(pid uint32, key []byte, r rid.RID) (promoted bool, sep []byte, right uint32, err error) {
-	f, err := t.pool.Fetch(pid)
+	f, err := t.descendExclusiveLeaf(key)
 	if err != nil {
-		return false, nil, 0, err
+		return rid.Zero, false, err
 	}
-	f.Latch(true)
 	buf := f.Page().Bytes()
-
-	if isLeaf(f.Page()) {
-		pos, found := search(buf, key)
-		if found {
-			f.Unlatch(true)
-			t.pool.Unpin(f, false)
-			return false, nil, 0, ErrDuplicate
-		}
-		if insertCell(buf, pos, key, u64val(r)) {
-			f.MarkDirty()
-			f.Unlatch(true)
-			t.pool.Unpin(f, true)
-			return false, nil, 0, nil
-		}
-		// Split the leaf.
-		sep, right, err = t.splitLeaf(f, key, r)
-		f.Unlatch(true)
-		t.pool.Unpin(f, true)
-		return err == nil, sep, right, err
-	}
-
-	childPos := descendPos(buf, key)
-	child := childFor(buf, childPos)
-	// Release the latch during the recursive descent: the tree-level
-	// exclusive lock already serializes writers, and readers never see
-	// intermediate states because they take the tree-level read lock.
-	f.Unlatch(true)
-	promoted, csep, cright, err := t.insertInto(child, key, r)
-	if err != nil || !promoted {
-		t.pool.Unpin(f, false)
-		return false, nil, 0, err
-	}
-	f.Latch(true)
-	buf = f.Page().Bytes()
-	pos, _ := search(buf, csep)
-	if insertCell(buf, pos, csep, u32val(cright)) {
+	pos, found := search(buf, key)
+	var r rid.RID
+	if found {
+		r = leafValAt(buf, pos)
+		deleteCell(buf, pos)
 		f.MarkDirty()
-		f.Unlatch(true)
-		t.pool.Unpin(f, true)
-		return false, nil, 0, nil
 	}
-	sep, right, err = t.splitInternal(f, csep, cright)
-	f.Unlatch(true)
-	t.pool.Unpin(f, true)
-	return err == nil, sep, right, err
+	t.release(f, true)
+	return r, found, nil
 }
 
-// splitLeaf splits the latched full leaf f, inserting key→r into the
-// correct half, and returns the separator (first key of the right leaf)
-// and the right leaf's page id.
+// splitLeaf splits the exclusively-latched full leaf f, inserting key→r
+// into the correct half, and returns the separator (first key of the
+// right leaf) and the right leaf's page id.
 func (t *Tree) splitLeaf(f *buffer.Frame, key []byte, r rid.RID) ([]byte, uint32, error) {
 	buf := f.Page().Bytes()
 	n := numKeys(buf)
@@ -290,12 +488,16 @@ func (t *Tree) splitLeaf(f *buffer.Frame, key []byte, r rid.RID) ([]byte, uint32
 	rf.Unlatch(true)
 	t.pool.Unpin(rf, true)
 
-	if oldNext != 0xFFFFFFFF {
+	if oldNext != noChild {
+		// Left-to-right leaf latch order, same direction the scan walks:
+		// no cycle with chain walkers or other splitters.
 		nf, err := t.pool.Fetch(oldNext)
 		if err != nil {
 			return nil, 0, err
 		}
-		nf.Latch(true)
+		if nf.Latch(true) {
+			t.latchWaits.Inc()
+		}
 		nf.Page().SetPrev(rightID)
 		nf.MarkDirty()
 		nf.Unlatch(true)
@@ -305,9 +507,9 @@ func (t *Tree) splitLeaf(f *buffer.Frame, key []byte, r rid.RID) ([]byte, uint32
 	return sep, rightID, nil
 }
 
-// splitInternal splits the latched full internal node f after logically
-// adding csep→cright, and returns the promoted middle key plus the new
-// right node id.
+// splitInternal splits the exclusively-latched full internal node f
+// after logically adding csep→cright, and returns the promoted middle
+// key plus the new right node id.
 func (t *Tree) splitInternal(f *buffer.Frame, csep []byte, cright uint32) ([]byte, uint32, error) {
 	buf := f.Page().Bytes()
 	n := numKeys(buf)
@@ -364,57 +566,71 @@ func (t *Tree) splitInternal(f *buffer.Frame, csep []byte, cright uint32) ([]byt
 
 // ScanFrom visits entries with key >= start in ascending key order until
 // fn returns false. fn receives aliased key bytes it must not retain.
+//
+// The scan holds at most one leaf latch at a time and holds NO latch
+// while fn runs, so fn may re-enter the engine (resolve rows, take row
+// locks) without deadlock risk. Between leaves the scan steps via the
+// next pointer captured under the previous leaf's latch and re-derives
+// its position by the last key it yielded, emitting only keys strictly
+// greater. That is sound under concurrent splits because a leaf's key
+// range only ever splits rightward: keys that existed when a leaf was
+// read were all captured from it, and no later leaf can gain keys at or
+// below the resume bound. Keys inserted concurrently with the scan may
+// or may not be seen — the same non-guarantee the tree-wide lock gave,
+// since it never spanned fn either.
 func (t *Tree) ScanFrom(start []byte, fn func(key []byte, r rid.RID) bool) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	pid := t.root
-	// Descend to the leaf containing start.
-	for {
-		f, err := t.pool.Fetch(pid)
-		if err != nil {
-			return err
-		}
-		f.Latch(false)
-		pg := f.Page()
-		if isLeaf(pg) {
-			f.Unlatch(false)
-			t.pool.Unpin(f, false)
-			break
-		}
-		next := childFor(pg.Bytes(), descendPos(pg.Bytes(), start))
-		f.Unlatch(false)
-		t.pool.Unpin(f, false)
-		pid = next
+	if t.coarse.Load() {
+		t.coarseMu.RLock()
+		defer t.coarseMu.RUnlock()
 	}
-	// Walk the leaf chain.
-	for pid != 0xFFFFFFFF {
-		f, err := t.pool.Fetch(pid)
-		if err != nil {
-			return err
-		}
-		f.Latch(false)
+	f, err := t.descendShared(start)
+	if err != nil {
+		return err
+	}
+	type kv struct {
+		k []byte
+		v rid.RID
+	}
+	var bound []byte // last key yielded; resume strictly after it
+	first := true
+	for {
 		buf := f.Page().Bytes()
-		pos, _ := search(buf, start)
-		n := numKeys(buf)
-		type kv struct {
-			k []byte
-			v rid.RID
+		var pos int
+		if first {
+			pos, _ = search(buf, start)
+		} else {
+			var found bool
+			pos, found = search(buf, bound)
+			if found {
+				pos++
+			}
 		}
+		n := numKeys(buf)
 		batch := make([]kv, 0, n-pos)
 		for i := pos; i < n; i++ {
 			batch = append(batch, kv{append([]byte(nil), keyAt(buf, i)...), leafValAt(buf, i)})
 		}
 		next := f.Page().Next()
-		f.Unlatch(false)
-		t.pool.Unpin(f, false)
+		t.release(f, false)
 		for _, it := range batch {
 			if !fn(it.k, it.v) {
 				return nil
 			}
 		}
-		pid = next
+		if len(batch) > 0 {
+			bound = batch[len(batch)-1].k
+			first = false
+		}
+		if next == noChild {
+			return nil
+		}
+		nf, err := t.pool.Fetch(next)
+		if err != nil {
+			return err
+		}
+		t.latch(nf, false, buffer.IndexLatchLevels-1)
+		f = nf
 	}
-	return nil
 }
 
 // Count returns the number of entries (full scan; tests and stats).

@@ -149,3 +149,14 @@ func copyWithout(head *node, k string) (*node, bool) {
 
 // Len returns the number of mappings.
 func (ix *Index) Len() int { return int(ix.count.Load()) }
+
+// Buckets returns the fixed bucket count chosen at construction.
+func (ix *Index) Buckets() int { return len(ix.buckets) }
+
+// LoadFactor returns entries per bucket. The table never resizes
+// (paper Section II sizes it once per table), so this is the signal
+// that the sizing decision is starting to degrade lookups: chains
+// average LoadFactor nodes, and Get walks half a chain on a hit.
+func (ix *Index) LoadFactor() float64 {
+	return float64(ix.count.Load()) / float64(len(ix.buckets))
+}

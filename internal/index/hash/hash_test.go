@@ -138,3 +138,23 @@ func TestHitMissCounters(t *testing.T) {
 		t.Fatalf("hits=%d misses=%d", ix.Hits.Load(), ix.Misses.Load())
 	}
 }
+
+func TestOccupancy(t *testing.T) {
+	ix := New(16) // floor is 256 buckets
+	if ix.Buckets() != 256 {
+		t.Fatalf("Buckets = %d, want 256", ix.Buckets())
+	}
+	if ix.LoadFactor() != 0 {
+		t.Fatalf("empty LoadFactor = %v", ix.LoadFactor())
+	}
+	for i := 0; i < 384; i++ {
+		ix.Put([]byte{byte(i), byte(i >> 8)}, entry(i))
+	}
+	if got := ix.LoadFactor(); got != 1.5 {
+		t.Fatalf("LoadFactor = %v, want 1.5", got)
+	}
+	// New rounds up to a power of two above the floor.
+	if got := New(300).Buckets(); got != 512 {
+		t.Fatalf("Buckets(New(300)) = %d, want 512", got)
+	}
+}

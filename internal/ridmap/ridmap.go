@@ -78,9 +78,28 @@ func (m *Map) Delete(r rid.RID, e *imrs.Entry) {
 	s.mu.Unlock()
 }
 
-// Len returns the number of published entries (including any not yet
-// swept packed entries); for tests and stats.
+// Len returns the number of live entries — the same set Get and Range
+// expose, excluding packed entries awaiting the GC sweep. O(n): it
+// walks every shard. For tests and stats.
 func (m *Map) Len() int {
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for _, e := range s.m {
+			if !e.Packed() {
+				n++
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// LenRaw returns the number of published entries including packed ones
+// not yet swept — the map's physical size, which is what sizes memory,
+// as opposed to Len's logical (visible) count.
+func (m *Map) LenRaw() int {
 	n := 0
 	for i := range m.shards {
 		s := &m.shards[i]

@@ -94,6 +94,37 @@ func TestRange(t *testing.T) {
 	}
 }
 
+func TestLenSkipsPackedEntries(t *testing.T) {
+	m := New()
+	var packed []*imrs.Entry
+	for i := 0; i < 10; i++ {
+		r := rid.NewVirtual(1, uint64(i))
+		e := entry(r)
+		if !m.Put(r, e) {
+			t.Fatal("Put failed")
+		}
+		if i%2 == 0 {
+			packed = append(packed, e)
+		}
+	}
+	for _, e := range packed {
+		e.MarkPacked()
+	}
+	// Len agrees with what Get/Range expose; LenRaw counts the packed
+	// entries still awaiting the GC sweep.
+	if got := m.Len(); got != 5 {
+		t.Fatalf("Len = %d, want 5 live", got)
+	}
+	if got := m.LenRaw(); got != 10 {
+		t.Fatalf("LenRaw = %d, want 10 published", got)
+	}
+	n := 0
+	m.Range(func(rid.RID, *imrs.Entry) bool { n++; return true })
+	if n != m.Len() {
+		t.Fatalf("Range visited %d, Len = %d", n, m.Len())
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	m := New()
 	var wg sync.WaitGroup

@@ -56,6 +56,31 @@ func (f *Frame) Latch(excl bool) (waited bool) {
 	return true
 }
 
+// TryLatch attempts to acquire the frame latch without blocking and
+// reports whether it succeeded. Latch-coupled traversals use it to
+// detect contention before committing to a blocking acquire.
+func (f *Frame) TryLatch(excl bool) bool {
+	if excl {
+		return f.mu.TryLock()
+	}
+	return f.mu.TryRLock()
+}
+
+// Upgrade trades a shared latch for an exclusive one. It is NOT atomic:
+// the shared latch is dropped before the exclusive latch is taken, so
+// other latchers may run in the gap and callers must revalidate whatever
+// they read under the shared latch. It reports whether the exclusive
+// acquire had to wait.
+func (f *Frame) Upgrade() (waited bool) {
+	f.mu.RUnlock()
+	if f.mu.TryLock() {
+		return false
+	}
+	f.pool.stats.LatchWaits.Add(1)
+	f.mu.Lock()
+	return true
+}
+
 // Unlatch releases the latch acquired with the matching excl flag.
 func (f *Frame) Unlatch(excl bool) {
 	if excl {
@@ -69,6 +94,12 @@ func (f *Frame) Unlatch(excl bool) {
 // exclusive latch while mutating the page.
 func (f *Frame) MarkDirty() { f.dirty.Store(true) }
 
+// IndexLatchLevels is how many B+tree levels get their own latch-wait
+// bucket in Stats. Level 0 is the root; waits at deeper levels are
+// clamped into the last bucket. Six levels cover any realistic tree
+// over 8 KiB pages.
+const IndexLatchLevels = 6
+
 // Stats aggregates pool-wide counters.
 type Stats struct {
 	Hits       atomic.Int64
@@ -77,6 +108,34 @@ type Stats struct {
 	WriteBacks atomic.Int64
 	LatchWaits atomic.Int64
 	Overflows  atomic.Int64 // frames allocated beyond capacity (no-steal)
+
+	// IndexLevelWaits attributes contested index-frame latches to the
+	// tree level they occurred at (0 = root). Latch-coupled traversals
+	// report into it via NoteIndexWait; the split tells hot-root
+	// contention apart from leaf contention.
+	IndexLevelWaits [IndexLatchLevels]atomic.Int64
+}
+
+// NoteIndexWait records a contested latch acquisition at the given tree
+// level (0 = root). Levels past the bucket range fold into the last
+// bucket.
+func (s *Stats) NoteIndexWait(level int) {
+	if level < 0 {
+		level = 0
+	}
+	if level >= IndexLatchLevels {
+		level = IndexLatchLevels - 1
+	}
+	s.IndexLevelWaits[level].Add(1)
+}
+
+// IndexWaitsByLevel copies the per-level index latch-wait counters.
+func (s *Stats) IndexWaitsByLevel() []int64 {
+	out := make([]int64, IndexLatchLevels)
+	for i := range out {
+		out[i] = s.IndexLevelWaits[i].Load()
+	}
+	return out
 }
 
 // FlushGate is called with a page's LSN before the pool writes the page
@@ -246,8 +305,9 @@ func (p *Pool) victimLocked() (*Frame, error) {
 	return nil, fmt.Errorf("buffer: all %d frames pinned", p.capacity)
 }
 
-// flushFrameLocked writes back a dirty frame. Pool mutex held; frame is
-// unpinned so no one is mutating it.
+// flushFrameLocked writes back a dirty frame. The caller must hold
+// either the pool mutex with f unpinned (eviction) or f's shared latch
+// with f pinned (FlushAll); both exclude mutators and remapping.
 func (p *Pool) flushFrameLocked(f *Frame) error {
 	if p.gate != nil {
 		if err := p.gate(page.Wrap(f.data).LSN()); err != nil {
@@ -263,22 +323,34 @@ func (p *Pool) flushFrameLocked(f *Frame) error {
 }
 
 // FlushAll writes back every dirty frame (checkpoint helper).
+//
+// Frames are latched OUTSIDE the pool mutex: latch-coupled index
+// traversals hold a frame latch while fetching the next page (frame
+// latch → pool mutex), so blocking on a latch while holding the pool
+// mutex would deadlock against them. The snapshot is pinned so no frame
+// can be evicted and remapped to a different page mid-flush.
 func (p *Pool) FlushAll() error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	frames := make([]*Frame, 0, len(p.table))
 	for _, f := range p.frames {
-		if _, mapped := p.table[f.id]; !mapped || p.table[f.id] != f {
-			continue
+		if mapped, ok := p.table[f.id]; ok && mapped == f {
+			f.pins.Add(1)
+			frames = append(frames, f)
 		}
-		if !f.dirty.Load() {
-			continue
+	}
+	p.mu.Unlock()
+
+	var firstErr error
+	for _, f := range frames {
+		if f.dirty.Load() && firstErr == nil {
+			f.mu.RLock()
+			firstErr = p.flushFrameLocked(f)
+			f.mu.RUnlock()
 		}
-		f.mu.RLock()
-		err := p.flushFrameLocked(f)
-		f.mu.RUnlock()
-		if err != nil {
-			return err
-		}
+		p.Unpin(f, false)
+	}
+	if firstErr != nil {
+		return firstErr
 	}
 	return p.dev.Sync()
 }

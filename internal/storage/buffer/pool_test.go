@@ -221,3 +221,120 @@ func TestNewPoolRejectsBadCapacity(t *testing.T) {
 		t.Fatal("capacity 0 should fail")
 	}
 }
+
+func TestTryLatchAndUpgrade(t *testing.T) {
+	p, _ := newPool(t, 4)
+	id, f, err := p.NewPage(page.TypeHeap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NewPage returns the frame exclusively latched: nothing else can
+	// take it.
+	if f.TryLatch(false) || f.TryLatch(true) {
+		t.Fatal("TryLatch succeeded against a held exclusive latch")
+	}
+	f.Unlatch(true)
+
+	// Shared latches stack; exclusive does not.
+	if !f.TryLatch(false) {
+		t.Fatal("TryLatch(shared) failed on a free frame")
+	}
+	if !f.TryLatch(false) {
+		t.Fatal("second shared TryLatch failed")
+	}
+	if f.TryLatch(true) {
+		t.Fatal("exclusive TryLatch succeeded over shared holders")
+	}
+	f.Unlatch(false)
+
+	// Upgrade trades the remaining shared latch for exclusive.
+	if waited := f.Upgrade(); waited {
+		t.Fatal("uncontended Upgrade reported a wait")
+	}
+	if f.TryLatch(false) {
+		t.Fatal("shared TryLatch succeeded after Upgrade")
+	}
+	f.Unlatch(true)
+	p.Unpin(f, false)
+
+	ff, err := p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(ff, false)
+}
+
+func TestNoteIndexWaitClamps(t *testing.T) {
+	p, _ := newPool(t, 2)
+	st := p.Stats()
+	st.NoteIndexWait(0)
+	st.NoteIndexWait(2)
+	st.NoteIndexWait(IndexLatchLevels - 1)
+	st.NoteIndexWait(IndexLatchLevels + 5) // clamps into the last bucket
+	st.NoteIndexWait(-1)                   // clamps to the root bucket
+	got := st.IndexWaitsByLevel()
+	if len(got) != IndexLatchLevels {
+		t.Fatalf("levels = %d, want %d", len(got), IndexLatchLevels)
+	}
+	if got[0] != 2 || got[2] != 1 || got[IndexLatchLevels-1] != 2 {
+		t.Fatalf("per-level waits = %v", got)
+	}
+}
+
+func TestFlushAllConcurrentWithLatchedFetches(t *testing.T) {
+	// Regression: FlushAll used to hold the pool mutex while taking frame
+	// latches, deadlocking against traversals that hold a frame latch
+	// while fetching the next page (frame latch -> pool mutex).
+	p, _ := newPool(t, 2)
+	var ids []uint32
+	for i := 0; i < 6; i++ {
+		id, f, err := p.NewPage(page.TypeHeap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Unlatch(true)
+		p.Unpin(f, true)
+		ids = append(ids, id)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				a := ids[(seed+i)%len(ids)]
+				b := ids[(seed+i+1)%len(ids)]
+				fa, err := p.Fetch(a)
+				if err != nil {
+					t.Errorf("fetch: %v", err)
+					return
+				}
+				fa.Latch(false)
+				// Crab: fetch b while holding a's latch.
+				fb, err := p.Fetch(b)
+				if err != nil {
+					fa.Unlatch(false)
+					p.Unpin(fa, false)
+					t.Errorf("fetch under latch: %v", err)
+					return
+				}
+				fb.Latch(false)
+				fa.Unlatch(false)
+				p.Unpin(fa, false)
+				fb.Unlatch(false)
+				p.Unpin(fb, false)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if err := p.FlushAll(); err != nil {
+				t.Errorf("flush: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
