@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race test-race-internal bench-commit bench-read ci
+.PHONY: build vet test test-race test-race-internal test-recovery bench-commit bench-read bench-recovery ci
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,17 @@ test-race:
 # fast enough to run on every change.
 test-race-internal:
 	$(GO) test -race -short ./internal/...
+
+# Recovery pipeline tests (crash injection, parallel==serial
+# equivalence, checkpoint-failure surfacing) under the race detector.
+test-recovery:
+	$(GO) test -race ./internal/core/ -run 'Recovery|Checkpoint|Compaction|Crash|Halt'
+
+# Recovery wall-time sweep (log size x partitions x RecoveryThreads);
+# writes BENCH_recovery.json. Smoke-sized; drop the flags for the
+# committed report's full sweep.
+bench-recovery:
+	$(GO) run ./cmd/recoverybench -rows 20000 -parts 1,8 -threads 1,4 -json BENCH_recovery.json
 
 # Concurrent-commit sweep; writes BENCH_commit.json.
 bench-commit:

@@ -101,6 +101,9 @@ type Config struct {
 	TuningWindowTxns uint64
 	// CheckpointEvery enables periodic background checkpoints.
 	CheckpointEvery time.Duration
+	// RecoveryThreads bounds the worker pool for the parallel recovery
+	// phases at Open (0 = GOMAXPROCS, 1 = serial recovery).
+	RecoveryThreads int
 	// ReadLatency/WriteLatency model device latency for in-memory devices.
 	ReadLatency, WriteLatency time.Duration
 
@@ -148,6 +151,7 @@ func Open(cfg Config) (*DB, error) {
 		ec.ILM.TuningWindowTxns = cfg.TuningWindowTxns
 	}
 	ec.CheckpointEvery = cfg.CheckpointEvery
+	ec.RecoveryThreads = cfg.RecoveryThreads
 	ec.ReadLatency = cfg.ReadLatency
 	ec.WriteLatency = cfg.WriteLatency
 	ec.DisableGroupCommit = cfg.DisableGroupCommit

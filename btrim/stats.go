@@ -24,6 +24,31 @@ type WALStats struct {
 	CommitWaitP95  time.Duration
 }
 
+// RecoveryPhase is one timed phase of the recovery pipeline.
+type RecoveryPhase struct {
+	Name     string
+	Duration time.Duration
+	Items    int64 // records/rows/bytes the phase processed
+	Workers  int   // worker goroutines (1 = serial phase)
+}
+
+// RecoveryStats describes the recovery run performed by Open.
+type RecoveryStats struct {
+	// Ran is false when Open created a fresh database.
+	Ran bool
+	// Threads is the configured recovery worker bound.
+	Threads int
+	// Total is the recovery pipeline's wall time; Phases breaks it down.
+	Total  time.Duration
+	Phases []RecoveryPhase
+
+	SyslogRecords    int64 // page-store log records scanned
+	IMRSRecords      int64 // committed IMRS operations replayed
+	RowsIndexed      int64 // rows fed to the index rebuild
+	EntriesEnqueued  int64 // IMRS entries re-enqueued on pack queues
+	EntriesReclaimed int64 // dead recovered entries reclaimed
+}
+
 // Stats is a point-in-time view of the engine's hybrid-storage state.
 type Stats struct {
 	// IMRSUsedBytes / IMRSCapacityBytes give cache utilization.
@@ -48,6 +73,13 @@ type Stats struct {
 	// SysLog / IMRSLog report per-log commit-pipeline activity.
 	SysLog  WALStats
 	IMRSLog WALStats
+	// Recovery describes the recovery run Open performed.
+	Recovery RecoveryStats
+	// Checkpoints / CheckpointFailures count checkpoint outcomes;
+	// LastCheckpointError is the most recent unsurfaced failure.
+	Checkpoints         int64
+	CheckpointFailures  int64
+	LastCheckpointError string
 	// Tables maps table/partition name to its per-partition stats.
 	Tables map[string]TableStats
 	// Indexes maps "table.index" to per-index stats.
@@ -109,8 +141,26 @@ func (db *DB) Stats() Stats {
 		RIDMapRows:        snap.RIDMapLive,
 		SysLog:            walStats(snap.SysLog),
 		IMRSLog:           walStats(snap.IMRSLog),
+		Recovery: RecoveryStats{
+			Ran:              snap.Recovery.Ran,
+			Threads:          snap.Recovery.Threads,
+			Total:            snap.Recovery.Total,
+			SyslogRecords:    snap.Recovery.SyslogRecords,
+			IMRSRecords:      snap.Recovery.IMRSRecords,
+			RowsIndexed:      snap.Recovery.RowsIndexed,
+			EntriesEnqueued:  snap.Recovery.EntriesEnqueued,
+			EntriesReclaimed: snap.Recovery.EntriesReclaimed,
+		},
+		Checkpoints:         snap.Checkpoints,
+		CheckpointFailures:  snap.CheckpointFailures,
+		LastCheckpointError: snap.LastCheckpointError,
 		Tables:            make(map[string]TableStats, len(snap.Partitions)),
 		Indexes:           make(map[string]IndexStats, len(snap.Indexes)),
+	}
+	for _, p := range snap.Recovery.Phases {
+		s.Recovery.Phases = append(s.Recovery.Phases, RecoveryPhase{
+			Name: p.Name, Duration: p.Duration, Items: p.Items, Workers: p.Workers,
+		})
 	}
 	for _, ix := range snap.Indexes {
 		s.Indexes[ix.Table+"."+ix.Name] = IndexStats{

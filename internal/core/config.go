@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/ilm"
@@ -81,6 +82,12 @@ type Config struct {
 	// therefore evictable.
 	CheckpointEvery time.Duration
 
+	// RecoveryThreads bounds the worker pool for the parallel recovery
+	// phases (sysimrslogs replay partitioned by partition id, index
+	// rebuild per partition/index). 0 takes GOMAXPROCS; 1 recovers
+	// serially.
+	RecoveryThreads int
+
 	// ReadLatency/WriteLatency apply to the default in-memory device,
 	// modelling disk (see DESIGN.md substitutions).
 	ReadLatency, WriteLatency time.Duration
@@ -136,6 +143,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.HashIndexBuckets <= 0 {
 		c.HashIndexBuckets = d.HashIndexBuckets
+	}
+	if c.RecoveryThreads <= 0 {
+		c.RecoveryThreads = runtime.GOMAXPROCS(0)
 	}
 	if c.ILM.SteadyCacheUtilization <= 0 || c.ILM.SteadyCacheUtilization >= 1 {
 		return fmt.Errorf("core: steady cache utilization %v out of (0,1)", c.ILM.SteadyCacheUtilization)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
@@ -86,8 +87,27 @@ type Engine struct {
 	ckptStop chan struct{}
 	ckptDone chan struct{}
 
+	// Checkpoint outcome accounting: background-loop failures used to be
+	// silently discarded, which let a persistently failing checkpoint
+	// stop bounding recovery time forever. checkpointLocked counts every
+	// outcome; after ckptFailThreshold consecutive failures the sticky
+	// error surfaces on the next Checkpoint() or Close() call.
+	ckptCompleted  atomic.Int64
+	ckptFailed     atomic.Int64
+	ckptFailMu     sync.Mutex
+	ckptConsecFail int
+	ckptLastErr    error
+
+	// recovery records the phases of the last recovery run (recovery.go);
+	// written before Open returns, copied into Stats afterwards.
+	recovery recoveryInfo
+
 	ownsDevices bool
 }
+
+// ckptFailThreshold is how many consecutive background checkpoint
+// failures arm the sticky error surfaced by Checkpoint()/Close().
+const ckptFailThreshold = 3
 
 // Open creates or re-opens a database. When the underlying storage
 // already holds data (file directory, or reused devices/backends), the
@@ -168,7 +188,12 @@ func (e *Engine) checkpointLoop(every time.Duration) {
 		case <-e.ckptStop:
 			return
 		case <-tick.C:
-			_ = e.Checkpoint()
+			if err := e.checkpoint(); err != nil {
+				e.ckptFailMu.Lock()
+				n := e.ckptConsecFail
+				e.ckptFailMu.Unlock()
+				log.Printf("core: background checkpoint failed (%d consecutive): %v", n, err)
+			}
 		}
 	}
 }
@@ -267,7 +292,10 @@ func (e *Engine) Halt() {
 	e.imrslog.AbortGroupCommit()
 }
 
-// Close checkpoints and shuts the engine down.
+// Close checkpoints and shuts the engine down. A failed final
+// checkpoint (or a sticky background-checkpoint failure) is reported,
+// but shutdown continues best-effort: the logs and devices are still
+// closed, and the first error encountered is returned.
 func (e *Engine) Close() error {
 	if e.closed.Swap(true) {
 		return nil
@@ -277,19 +305,22 @@ func (e *Engine) Close() error {
 		e.packer.Stop()
 	}
 	e.gc.Stop()
-	if err := e.Checkpoint(); err != nil {
-		return err
+	firstErr := e.takeCheckpointFailure()
+	if err := e.checkpoint(); err != nil && firstErr == nil {
+		firstErr = err
 	}
-	if err := e.syslog.Close(); err != nil {
-		return err
+	if err := e.syslog.Close(); err != nil && firstErr == nil {
+		firstErr = err
 	}
-	if err := e.imrslog.Close(); err != nil {
-		return err
+	if err := e.imrslog.Close(); err != nil && firstErr == nil {
+		firstErr = err
 	}
 	if e.ownsDevices {
-		return e.dataDev.Close()
+		if err := e.dataDev.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	return nil
+	return firstErr
 }
 
 // Clock exposes the database commit timestamp (harness, tests).
@@ -334,7 +365,7 @@ func (e *Engine) CreateTable(name string, schema *row.Schema, pkCols []string,
 	if _, err := e.mountTable(t, true); err != nil {
 		return nil, err
 	}
-	if err := e.Checkpoint(); err != nil {
+	if err := e.checkpoint(); err != nil {
 		return nil, err
 	}
 	return t, nil
@@ -451,13 +482,63 @@ func (e *Engine) partByID(id rid.PartitionID) *partRT {
 // Checkpoint quiesces transactions, flushes both logs and all dirty
 // pages, and embeds a catalog snapshot in syslogs. IMRS data is NOT
 // written out — it recovers purely from sysimrslogs (paper Section II).
+// If the background checkpoint loop has been failing repeatedly, the
+// pending sticky error is surfaced here first (and cleared, so this
+// explicit retry gets a fresh attempt on the next call).
 func (e *Engine) Checkpoint() error {
+	if err := e.takeCheckpointFailure(); err != nil {
+		return err
+	}
+	return e.checkpoint()
+}
+
+// checkpoint is the internal entry point (background loop, CreateTable):
+// it never consumes the sticky background-failure error, which is
+// reserved for the user-facing Checkpoint/Close calls.
+func (e *Engine) checkpoint() error {
 	e.ckptMu.Lock()
 	defer e.ckptMu.Unlock()
 	return e.checkpointLocked()
 }
 
-func (e *Engine) checkpointLocked() error {
+// takeCheckpointFailure returns (and clears) the sticky error once
+// ckptFailThreshold consecutive checkpoints have failed.
+func (e *Engine) takeCheckpointFailure() error {
+	e.ckptFailMu.Lock()
+	defer e.ckptFailMu.Unlock()
+	if e.ckptConsecFail < ckptFailThreshold || e.ckptLastErr == nil {
+		return nil
+	}
+	err := fmt.Errorf("core: %d consecutive background checkpoints failed, last: %w",
+		e.ckptConsecFail, e.ckptLastErr)
+	e.ckptConsecFail = 0
+	e.ckptLastErr = nil
+	return err
+}
+
+// noteCheckpoint records a checkpoint attempt's outcome.
+func (e *Engine) noteCheckpoint(err error) {
+	if err == nil {
+		e.ckptCompleted.Add(1)
+		e.ckptFailMu.Lock()
+		e.ckptConsecFail = 0
+		e.ckptLastErr = nil
+		e.ckptFailMu.Unlock()
+		return
+	}
+	e.ckptFailed.Add(1)
+	e.ckptFailMu.Lock()
+	e.ckptConsecFail++
+	e.ckptLastErr = err
+	e.ckptFailMu.Unlock()
+}
+
+func (e *Engine) checkpointLocked() (err error) {
+	defer func() { e.noteCheckpoint(err) }()
+	return e.checkpointBody()
+}
+
+func (e *Engine) checkpointBody() error {
 	// Update persisted heap chains and index roots.
 	e.mu.RLock()
 	for _, rt := range e.tables {

@@ -1,30 +1,150 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/imrs"
 	"repro/internal/index/btree"
+	"repro/internal/metrics"
 	"repro/internal/rid"
 	"repro/internal/wal"
 )
+
+// Recovery phase names, in execution order.
+const (
+	PhaseTailRepair   = "tail-repair"
+	PhaseAnalyze      = "analyze"
+	PhaseSyslogsRedo  = "syslogs-redo"
+	PhaseIMRSReplay   = "imrs-replay"
+	PhaseIndexRebuild = "index-rebuild"
+	PhaseQueueRebuild = "queue-rebuild"
+)
+
+// recoveryInfo is the observable record of the last recovery run. It is
+// fully written before Open returns (the parallel phases use the atomic
+// fields), and read-only afterwards; Stats copies it into the Snapshot.
+type recoveryInfo struct {
+	ran     bool // false on a fresh database (nothing to recover)
+	threads int  // configured worker-pool bound
+	total   time.Duration
+	phases  metrics.PhaseSet
+
+	syslogRecords    int64 // records scanned by analyze
+	imrsRecords      int64 // committed IMRS ops applied by replay
+	rowsIndexed      atomic.Int64
+	entriesEnqueued  int64
+	entriesReclaimed atomic.Int64
+}
+
+// phase runs fn as the named recovery phase, recording its wall time,
+// item count, and worker count.
+func (ri *recoveryInfo) phase(name string, fn func() (items int64, workers int, err error)) error {
+	t0 := time.Now()
+	items, workers, err := fn()
+	ri.phases.Observe(name, time.Since(t0), items, workers)
+	return err
+}
+
+// recoveryWorkers bounds the worker count for a parallel phase with
+// jobs independent jobs.
+func (e *Engine) recoveryWorkers(jobs int) int {
+	n := e.cfg.RecoveryThreads
+	if n > jobs {
+		n = jobs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// runParallel executes jobs [0, n) on up to threads workers and returns
+// the first error. Jobs are handed out through an atomic cursor so
+// uneven job sizes balance across workers; with one worker (or one job)
+// it degenerates to a plain loop, which is also the serial baseline the
+// equivalence tests compare against.
+func runParallel(threads, n int, fn func(job int) error) error {
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var cursor atomic.Int64
+	errs := make([]error, threads)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				j := int(cursor.Add(1)) - 1
+				if j >= n {
+					return
+				}
+				if err := fn(j); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // recover brings the engine to a consistent state at Open: it loads the
 // last checkpoint's catalog from syslogs, redoes committed page-store
 // work after the checkpoint, replays sysimrslogs fully into the IMRS
 // (redo-only; the IMRS is never checkpointed), and rebuilds every index
-// from the recovered base data. The two logs recover in this lock-step
-// order so a transaction spanning both stores is applied all-or-nothing
-// (paper Section II).
+// and pack queue from the recovered base data. The two logs recover in
+// this lock-step order so a transaction spanning both stores is applied
+// all-or-nothing (paper Section II).
+//
+// The pipeline runs as explicit phases (tail repair → analyze →
+// syslogs redo → sysimrslogs replay → index rebuild → queue rebuild),
+// each timed and counted in e.recovery. The two heavy phases — replay
+// and index rebuild — fan out over a pool of Config.RecoveryThreads
+// workers; the others are inherently sequential scans.
 func (e *Engine) recover() error {
-	if err := e.repairLogTails(); err != nil {
+	ri := &e.recovery
+	ri.threads = e.cfg.RecoveryThreads
+	start := time.Now()
+	defer func() { ri.total = time.Since(start) }()
+
+	if err := ri.phase(PhaseTailRepair, func() (int64, int, error) {
+		n, err := e.repairLogTails()
+		return n, 1, err
+	}); err != nil {
 		return err
 	}
-	ckptLSN, ckptBlob, ckptGen, sysWinners, maxTS, err := e.analyzeSyslogs()
-	if err != nil {
+
+	var ckptLSN, ckptGen, maxTS uint64
+	var ckptBlob []byte
+	var sysWinners map[uint64]uint64
+	if err := ri.phase(PhaseAnalyze, func() (int64, int, error) {
+		var err error
+		ckptLSN, ckptBlob, ckptGen, sysWinners, maxTS, err = e.analyzeSyslogs()
+		return ri.syslogRecords, 1, err
+	}); err != nil {
 		return err
 	}
 	if ckptBlob == nil {
@@ -32,6 +152,7 @@ func (e *Engine) recover() error {
 		e.cat = catalog.New()
 		return nil
 	}
+	ri.ran = true
 	if ckptGen != e.imrsGen {
 		// The last checkpoint pinned a compacted sysimrslogs generation:
 		// replay from that generation, not the original backend.
@@ -63,18 +184,29 @@ func (e *Engine) recover() error {
 			return err
 		}
 	}
-	if err := e.redoSyslogs(ckptLSN, sysWinners); err != nil {
+
+	if err := ri.phase(PhaseSyslogsRedo, func() (int64, int, error) {
+		n, err := e.redoSyslogs(ckptLSN, sysWinners)
+		return n, 1, err
+	}); err != nil {
 		return err
 	}
-	imrsMax, err := e.replayIMRSLog(sysWinners)
-	if err != nil {
+
+	var imrsMax uint64
+	if err := ri.phase(PhaseIMRSReplay, func() (int64, int, error) {
+		var workers int
+		var err error
+		imrsMax, workers, err = e.replayIMRSLog(sysWinners)
+		return ri.imrsRecords, workers, err
+	}); err != nil {
 		return err
 	}
 	if imrsMax > maxTS {
 		maxTS = imrsMax
 	}
 	e.clock.AdvanceTo(maxTS)
-	return e.rebuildIndexes()
+
+	return e.rebuildDerivedState()
 }
 
 // repairLogTails truncates any torn final frame off both logs before
@@ -84,19 +216,22 @@ func (e *Engine) recover() error {
 // later scan would stop at the old tear and silently discard
 // acknowledged commits and checkpoints appended after it. RepairTail
 // fails (and so does recovery) when valid frames follow the tear:
-// that is mid-log corruption, not a crash artifact.
-func (e *Engine) repairLogTails() error {
-	if _, err := e.syslog.RepairTail(); err != nil {
-		return fmt.Errorf("core: syslogs: %w", err)
+// that is mid-log corruption, not a crash artifact. Returns the total
+// bytes discarded.
+func (e *Engine) repairLogTails() (int64, error) {
+	nSys, err := e.syslog.RepairTail()
+	if err != nil {
+		return 0, fmt.Errorf("core: syslogs: %w", err)
 	}
-	if _, err := e.imrslog.RepairTail(); err != nil {
-		return fmt.Errorf("core: sysimrslogs: %w", err)
+	nIMRS, err := e.imrslog.RepairTail()
+	if err != nil {
+		return nSys, fmt.Errorf("core: sysimrslogs: %w", err)
 	}
-	return nil
+	return nSys + nIMRS, nil
 }
 
 // mountRecoveredTable mounts a table with restored heaps and fresh
-// (empty) index trees; rebuildIndexes repopulates them.
+// (empty) index trees; the index-rebuild phase repopulates them.
 func (e *Engine) mountRecoveredTable(t *catalog.Table) (*tableRT, error) {
 	rt, err := e.mountTable(t, false)
 	if err != nil {
@@ -137,6 +272,7 @@ func (e *Engine) analyzeSyslogs() (ckptLSN uint64, ckptBlob []byte, ckptGen uint
 			// recovery — fail loudly rather than silently drop the suffix.
 			return 0, nil, 0, nil, 0, fmt.Errorf("core: syslogs analysis: %w", err)
 		}
+		e.recovery.syslogRecords++
 		switch rec.Type {
 		case wal.RecCheckpoint:
 			ckptLSN = rec.LSN
@@ -180,21 +316,25 @@ func (e *Engine) ensurePages(pid uint32) error {
 }
 
 // redoSyslogs re-applies committed page-store operations after the
-// checkpoint. With the no-steal buffer policy, on-disk pages hold
-// exactly the committed state as of the checkpoint, so losers were
-// never persisted and no undo pass is needed.
-func (e *Engine) redoSyslogs(ckptLSN uint64, winners map[uint64]uint64) error {
+// checkpoint, returning how many it applied. With the no-steal buffer
+// policy, on-disk pages hold exactly the committed state as of the
+// checkpoint, so losers were never persisted and no undo pass is
+// needed. This phase stays serial: heap pages are allocated in log
+// order (ensurePages extends the device sequentially), so unlike the
+// IMRS replay the records do not commute per partition.
+func (e *Engine) redoSyslogs(ckptLSN uint64, winners map[uint64]uint64) (int64, error) {
 	rdr, err := e.syslog.NewReader(ckptLSN)
 	if err != nil {
-		return err
+		return 0, err
 	}
+	var applied int64
 	for {
 		rec, err := rdr.Next()
 		if err == io.EOF {
-			return nil
+			return applied, nil
 		}
 		if err != nil {
-			return fmt.Errorf("core: syslogs redo: %w", err)
+			return applied, fmt.Errorf("core: syslogs redo: %w", err)
 		}
 		if rec.LSN <= ckptLSN {
 			continue
@@ -209,44 +349,63 @@ func (e *Engine) redoSyslogs(ckptLSN uint64, winners map[uint64]uint64) error {
 		}
 		prt := e.partByID(rec.RID.Partition())
 		if prt == nil {
-			return fmt.Errorf("core: redo references unknown partition %v", rec.RID)
+			return applied, fmt.Errorf("core: redo references unknown partition %v", rec.RID)
 		}
 		switch rec.Type {
 		case wal.RecHeapInsert:
 			if err := e.ensurePages(uint32(rec.RID.Page())); err != nil {
-				return err
+				return applied, err
 			}
 			if err := prt.heap.InsertAt(rec.RID, rec.After); err != nil {
-				return fmt.Errorf("core: redo insert %v: %w", rec.RID, err)
+				return applied, fmt.Errorf("core: redo insert %v: %w", rec.RID, err)
 			}
 		case wal.RecHeapUpdate:
 			if err := prt.heap.Update(rec.RID, rec.After); err != nil {
-				return fmt.Errorf("core: redo update %v: %w", rec.RID, err)
+				return applied, fmt.Errorf("core: redo update %v: %w", rec.RID, err)
 			}
 		case wal.RecHeapDelete:
 			if err := prt.heap.Delete(rec.RID); err != nil {
-				return fmt.Errorf("core: redo delete %v: %w", rec.RID, err)
+				return applied, fmt.Errorf("core: redo delete %v: %w", rec.RID, err)
 			}
 		}
+		applied++
 	}
 }
 
-// replayIMRSLog redoes sysimrslogs from the beginning: committed IMRS
-// transactions are applied in commit order; a mixed transaction (Aux=1
-// on its IMRSCommit) applies only if its syslogs Commit also survived.
-func (e *Engine) replayIMRSLog(sysWinners map[uint64]uint64) (maxTS uint64, err error) {
+// imrsRedoOp is one committed IMRS operation awaiting application, with
+// the commit timestamp of its transaction.
+type imrsRedoOp struct {
+	rec wal.Record
+	ts  uint64
+}
+
+// replayIMRSLog redoes sysimrslogs from the beginning. A serial scan
+// pass determines transaction outcomes exactly as commit order dictates:
+// ops buffer per transaction and are scheduled at their IMRSCommit (a
+// mixed transaction — Aux=1 — applies only if its syslogs Commit also
+// survived). Committed ops are then demultiplexed by partition id and
+// applied on the recovery worker pool. That parallelization is sound
+// because records for different partitions commute — a RID lives in
+// exactly one partition, so the per-entry apply order (insert before
+// update before delete of the same RID) is preserved by applying each
+// partition's ops in commit-log order on a single worker, and the
+// structures shared across partitions (RID map, IMRS store accounting,
+// catalog virtual-sequence bumps) are all concurrency-safe. The max
+// commit timestamp is taken from the serial scan, before the fan-out.
+func (e *Engine) replayIMRSLog(sysWinners map[uint64]uint64) (maxTS uint64, workers int, err error) {
 	rdr, err := e.imrslog.NewReader(0)
 	if err != nil {
-		return 0, err
+		return 0, 1, err
 	}
 	pending := make(map[uint64][]wal.Record)
+	perPart := make(map[rid.PartitionID][]imrsRedoOp)
 	for {
 		rec, err := rdr.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return 0, fmt.Errorf("core: sysimrslogs replay: %w", err)
+			return 0, 1, fmt.Errorf("core: sysimrslogs replay: %w", err)
 		}
 		e.bumpTxnID(rec.TxnID)
 		switch rec.Type {
@@ -264,13 +423,28 @@ func (e *Engine) replayIMRSLog(sysWinners map[uint64]uint64) (maxTS uint64, err 
 				maxTS = rec.CommitTS
 			}
 			for _, op := range ops {
-				if err := e.applyIMRSRedo(op, rec.CommitTS); err != nil {
-					return 0, err
-				}
+				part := op.RID.Partition()
+				perPart[part] = append(perPart[part], imrsRedoOp{rec: op, ts: rec.CommitTS})
+				e.recovery.imrsRecords++
 			}
 		}
 	}
-	return maxTS, nil
+
+	parts := make([]rid.PartitionID, 0, len(perPart))
+	for p := range perPart {
+		parts = append(parts, p)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+	workers = e.recoveryWorkers(len(parts))
+	err = runParallel(workers, len(parts), func(i int) error {
+		for _, op := range perPart[parts[i]] {
+			if err := e.applyIMRSRedo(op.rec, op.ts); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return maxTS, workers, err
 }
 
 func (e *Engine) applyIMRSRedo(op wal.Record, ts uint64) error {
@@ -328,10 +502,31 @@ func (e *Engine) applyIMRSRedo(op wal.Record, ts uint64) error {
 	return nil
 }
 
-// rebuildIndexes repopulates every table's B-trees and hash indexes
-// from the recovered heaps and IMRS entries, and enqueues IMRS entries
-// on their ILM queues.
-func (e *Engine) rebuildIndexes() error {
+// indexFeed accumulates the bulk-load input for one index tree across
+// the parallel collect tasks.
+type indexFeed struct {
+	ix    *indexRT
+	mu    sync.Mutex
+	items []btree.Item
+}
+
+// rebuildDerivedState runs the last two recovery phases. Index rebuild:
+// partition-parallel collect tasks scan the recovered heaps and IMRS
+// entries, decode each row once, and emit (key, RID) pairs per index;
+// then each index sorts its pairs and bulk-loads its B+tree (index-
+// parallel — a tree is fed by one worker, so no tree-level concurrency
+// is needed). Queue rebuild: every live IMRS entry is re-enqueued on
+// its pack queue in coldness order.
+//
+// Two recovered-entry defects are fixed here. Entries whose newest
+// committed image is nil (a committed tombstone that was never swept)
+// used to be skipped before the enqueue, leaking them permanently —
+// invisible to lookups, absent from every pack queue, never reclaimed;
+// they are now reclaimed on the spot. And entries used to be enqueued
+// in rmap iteration (i.e. map-random) order, destroying the relaxed-LRU
+// coldness order the packer depends on; they are now sorted by last
+// access so the first post-restart pack cycle evicts actually-cold rows.
+func (e *Engine) rebuildDerivedState() error {
 	e.mu.RLock()
 	tables := make([]*tableRT, 0, len(e.byID))
 	for _, rt := range e.byID {
@@ -339,65 +534,180 @@ func (e *Engine) rebuildIndexes() error {
 	}
 	e.mu.RUnlock()
 
-	for _, rt := range tables {
-		for _, prt := range rt.parts {
-			var scanErr error
-			err := prt.heap.Scan(func(r0 rid.RID, data []byte) bool {
-				if e.rmap.Get(r0) != nil {
-					return true // indexed from its IMRS image below
-				}
-				if err := e.indexRowForRecovery(rt, r0, data, nil); err != nil {
-					scanErr = err
-					return false
-				}
-				return true
-			})
-			if err != nil {
-				return err
-			}
-			if scanErr != nil {
-				return scanErr
-			}
-		}
-	}
-	// IMRS entries: index the newest committed image.
+	// Demux recovered entries by partition for the per-partition tasks.
+	entriesByPart := make(map[rid.PartitionID][]*imrs.Entry)
 	var rErr error
 	e.rmap.Range(func(r0 rid.RID, en *imrs.Entry) bool {
-		prt := e.partByID(r0.Partition())
-		if prt == nil {
+		if e.partByID(r0.Partition()) == nil {
 			rErr = fmt.Errorf("core: recovered entry in unknown partition %v", r0)
 			return false
 		}
-		e.mu.RLock()
-		rt := e.byID[prt.cat.Table.ID]
-		e.mu.RUnlock()
-		v := en.Visible(math.MaxUint64, 0)
-		if v == nil {
-			return true
-		}
-		if err := e.indexRowForRecovery(rt, r0, v.Data(), en); err != nil {
-			rErr = err
-			return false
-		}
-		e.queues.Enqueue(en)
+		entriesByPart[r0.Partition()] = append(entriesByPart[r0.Partition()], en)
 		return true
 	})
-	return rErr
+	if rErr != nil {
+		return rErr
+	}
+
+	type collectTask struct {
+		rt  *tableRT
+		prt *partRT
+	}
+	var tasks []collectTask
+	var feeds []*indexFeed
+	feedOf := make(map[*indexRT]*indexFeed)
+	for _, rt := range tables {
+		for _, prt := range rt.parts {
+			tasks = append(tasks, collectTask{rt: rt, prt: prt})
+		}
+		for _, ix := range rt.indexes {
+			f := &indexFeed{ix: ix}
+			feeds = append(feeds, f)
+			feedOf[ix] = f
+		}
+	}
+
+	var live []*imrs.Entry // entries to enqueue, gathered across tasks
+	var liveMu sync.Mutex
+
+	collectWorkers := e.recoveryWorkers(len(tasks))
+	buildWorkers := e.recoveryWorkers(len(feeds))
+	workers := collectWorkers
+	if buildWorkers > workers {
+		workers = buildWorkers
+	}
+
+	err := e.recovery.phase(PhaseIndexRebuild, func() (int64, int, error) {
+		err := runParallel(collectWorkers, len(tasks), func(i int) error {
+			return e.collectPartition(tasks[i].rt, tasks[i].prt,
+				entriesByPart[tasks[i].prt.cat.ID], feedOf, &live, &liveMu)
+		})
+		if err != nil {
+			return e.recovery.rowsIndexed.Load(), workers, err
+		}
+		err = runParallel(buildWorkers, len(feeds), func(i int) error {
+			f := feeds[i]
+			sort.Slice(f.items, func(a, b int) bool {
+				return bytes.Compare(f.items[a].Key, f.items[b].Key) < 0
+			})
+			if err := f.ix.tree.BulkLoad(f.items); err != nil {
+				return fmt.Errorf("core: index rebuild %s: %w", f.ix.def.Name, err)
+			}
+			f.ix.def.Root = f.ix.tree.Root()
+			return nil
+		})
+		return e.recovery.rowsIndexed.Load(), workers, err
+	})
+	if err != nil {
+		return err
+	}
+
+	return e.recovery.phase(PhaseQueueRebuild, func() (int64, int, error) {
+		// Coldest first: the relaxed-LRU queues are consumed head-first by
+		// the packer, so ascending last-access restores the pre-crash
+		// coldness order. RID breaks ties deterministically (entries
+		// committed at the same timestamp), which keeps the rebuilt order
+		// independent of the collect tasks' completion order.
+		sort.Slice(live, func(i, j int) bool {
+			ai, aj := live[i].LastAccess(), live[j].LastAccess()
+			if ai != aj {
+				return ai < aj
+			}
+			return live[i].RID < live[j].RID
+		})
+		for _, en := range live {
+			e.queues.Enqueue(en)
+		}
+		e.recovery.entriesEnqueued = int64(len(live))
+		return int64(len(live)), 1, nil
+	})
 }
 
-func (e *Engine) indexRowForRecovery(rt *tableRT, r0 rid.RID, data []byte, en *imrs.Entry) error {
+// collectPartition gathers one partition's index keys: heap rows not
+// shadowed by an IMRS entry, then the newest committed image of each
+// IMRS entry. Dead entries (no visible committed image) are reclaimed —
+// see rebuildDerivedState. Runs on the recovery worker pool; partitions
+// are disjoint (a RID maps to one partition, so each heap row and rmap
+// entry is seen by exactly one task), and the shared feeds/live
+// accumulators are mutex-guarded.
+func (e *Engine) collectPartition(rt *tableRT, prt *partRT, entries []*imrs.Entry,
+	feedOf map[*indexRT]*indexFeed, live *[]*imrs.Entry, liveMu *sync.Mutex) error {
+	local := make([][]btree.Item, len(rt.indexes))
+	var rows int64
+
+	var scanErr error
+	err := prt.heap.Scan(func(r0 rid.RID, data []byte) bool {
+		if e.rmap.Get(r0) != nil {
+			return true // indexed from its IMRS image below
+		}
+		if err := e.collectRowKeys(rt, r0, data, nil, local); err != nil {
+			scanErr = err
+			return false
+		}
+		rows++
+		return true
+	})
+	if err == nil {
+		err = scanErr
+	}
+	if err != nil {
+		return err
+	}
+
+	var localLive []*imrs.Entry
+	for _, en := range entries {
+		v := en.Visible(math.MaxUint64, 0)
+		if v == nil || v.Data() == nil {
+			// Committed tombstone (or fully reclaimed image) that survived
+			// in the log: nothing to index, and leaving it in the RID map
+			// with no queue membership would leak it forever. Reclaim now.
+			en.MarkPacked()
+			e.rmap.Delete(en.RID, en)
+			e.store.RemoveEntry(en)
+			e.recovery.entriesReclaimed.Add(1)
+			continue
+		}
+		if err := e.collectRowKeys(rt, en.RID, v.Data(), en, local); err != nil {
+			return err
+		}
+		rows++
+		localLive = append(localLive, en)
+	}
+
+	for i, ix := range rt.indexes {
+		if len(local[i]) == 0 {
+			continue
+		}
+		f := feedOf[ix]
+		f.mu.Lock()
+		f.items = append(f.items, local[i]...)
+		f.mu.Unlock()
+	}
+	if len(localLive) > 0 {
+		liveMu.Lock()
+		*live = append(*live, localLive...)
+		liveMu.Unlock()
+	}
+	e.recovery.rowsIndexed.Add(rows)
+	return nil
+}
+
+// collectRowKeys decodes one recovered row and appends its key for each
+// of the table's indexes to local (parallel to rt.indexes). IMRS-backed
+// rows (en != nil) also populate the hash fast path here — hash puts
+// are concurrency-safe and order-independent, so they need no separate
+// build step.
+func (e *Engine) collectRowKeys(rt *tableRT, r0 rid.RID, data []byte, en *imrs.Entry, local [][]btree.Item) error {
 	rw, err := e.decode(rt, data)
 	if err != nil {
 		return err
 	}
-	for _, ix := range rt.indexes {
+	for i, ix := range rt.indexes {
 		k, err := indexKey(ix, rw, r0)
 		if err != nil {
 			return err
 		}
-		if err := ix.tree.Insert(k, r0); err != nil {
-			return fmt.Errorf("core: index rebuild %s: %w", ix.def.Name, err)
-		}
+		local[i] = append(local[i], btree.Item{Key: k, RID: r0})
 		if ix.hash != nil && en != nil {
 			ix.hash.Put(k, en)
 		}

@@ -1,0 +1,553 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/storage/disk"
+	"repro/internal/imrs"
+	"repro/internal/rid"
+	"repro/internal/row"
+	"repro/internal/wal"
+)
+
+// gatedBackend wraps a wal.Backend and fails Append while the gate is
+// closed — the fault injector for the checkpoint-failure tests.
+type gatedBackend struct {
+	wal.Backend
+	fail atomic.Bool
+}
+
+var errGateClosed = errors.New("injected append failure")
+
+func (g *gatedBackend) Append(p []byte) (int64, error) {
+	if g.fail.Load() {
+		return 0, errGateClosed
+	}
+	return g.Backend.Append(p)
+}
+
+// createPartitionedItems creates the items table hash-partitioned on id.
+func createPartitionedItems(t *testing.T, e *Engine, parts int) {
+	t.Helper()
+	_, err := e.CreateTable("items", testSchema(), []string{"id"},
+		catalog.PartitionSpec{Kind: catalog.PartitionHash, Column: "id", NumPartitions: parts},
+		[]catalog.IndexSpec{{Name: "items_name", Cols: []string{"name"}, Unique: false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// recoveryFingerprint reduces an engine's recovered state to a string:
+// every visible row, store/RID-map/clock counters, per-index entry
+// counts, and the exact order and access stamps of every pack queue.
+// Two recoveries of the same storage must produce identical strings.
+func recoveryFingerprint(t *testing.T, e *Engine) string {
+	t.Helper()
+	var b strings.Builder
+
+	tx := e.Begin()
+	var rows []string
+	if err := tx.ScanTable("items", func(rw row.Row) bool {
+		rows = append(rows, fmt.Sprintf("%d|%s|%d", rw[0].Int(), rw[1].Str(), rw[2].Int()))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+	sort.Strings(rows)
+
+	fmt.Fprintf(&b, "rows=%d clock=%d storeRows=%d rmapLive=%d\n",
+		len(rows), e.Clock().Now(), e.Store().Rows(), e.rmap.Len())
+
+	rt, err := e.table("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ix := range rt.indexes {
+		n, err := ix.tree.Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "index %s count=%d\n", ix.def.Name, n)
+	}
+	for _, prt := range rt.parts {
+		trio := e.Queues().PartitionQueues(prt.cat.ID)
+		for o := 0; o < imrs.NumOrigins; o++ {
+			fmt.Fprintf(&b, "queue %d/%d:", prt.cat.ID, o)
+			if trio != nil {
+				trio[o].Walk(func(en *imrs.Entry) bool {
+					fmt.Fprintf(&b, " %d@%d", uint64(en.RID), en.LastAccess())
+					return true
+				})
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, r := range rows {
+		b.WriteString(r)
+		b.WriteByte('\n')
+	}
+
+	rec := e.Stats().Recovery
+	fmt.Fprintf(&b, "recovery indexed=%d enqueued=%d imrsRecords=%d reclaimed=%d\n",
+		rec.RowsIndexed, rec.EntriesEnqueued, rec.IMRSRecords, rec.EntriesReclaimed)
+	return b.String()
+}
+
+// TestParallelRecoveryEquivalence is the serial-vs-parallel property
+// test: a randomized workload over a hash-partitioned table (IMRS rows,
+// page-store rows, mixed migrations, aborts, and an in-flight loser at
+// the crash) is recovered with one worker and with eight, and the
+// recovered states must be identical down to pack-queue order.
+func TestParallelRecoveryEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			st := newSharedStorage()
+			e, err := Open(st.config(nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			createPartitionedItems(t, e, 8)
+			rng := rand.New(rand.NewSource(seed))
+
+			// Page-store rows: pinned out of memory, checkpointed so they
+			// live in heap pages, then unpinned so later updates migrate
+			// them back (mixed transactions).
+			if err := e.PinTable("items", false); err != nil {
+				t.Fatal(err)
+			}
+			tx := e.Begin()
+			for i := int64(1000); i < 1080; i++ {
+				if err := tx.Insert("items", itemRow(i, fmt.Sprintf("page-%d", i), i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			mustCommit(t, tx)
+			if err := e.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.UnpinTable("items"); err != nil {
+				t.Fatal(err)
+			}
+
+			ids := make([]int64, 0, 256)
+			for i := int64(1000); i < 1080; i++ {
+				ids = append(ids, i)
+			}
+			nextID := int64(1)
+			for round := 0; round < 120; round++ {
+				tx := e.Begin()
+				abort := rng.Intn(8) == 0
+				var added, removed []int64
+				for op := 0; op < 1+rng.Intn(4); op++ {
+					switch k := rng.Intn(10); {
+					case k < 5 || len(ids) == 0: // insert
+						id := nextID
+						nextID++
+						if err := tx.Insert("items", itemRow(id, fmt.Sprintf("n%d", id%13), id)); err != nil {
+							t.Fatal(err)
+						}
+						added = append(added, id)
+					case k < 8: // update (migrates page rows into the IMRS)
+						id := ids[rng.Intn(len(ids))]
+						if _, err := tx.Update("items", pk(id), func(r row.Row) (row.Row, error) {
+							r[2] = row.Int64(r[2].Int() + 1)
+							return r, nil
+						}); err != nil {
+							t.Fatal(err)
+						}
+					default: // delete
+						id := ids[rng.Intn(len(ids))]
+						if _, err := tx.Delete("items", pk(id)); err != nil {
+							t.Fatal(err)
+						}
+						removed = append(removed, id)
+					}
+				}
+				if abort {
+					tx.Abort()
+					continue
+				}
+				mustCommit(t, tx)
+				ids = append(ids, added...)
+				for _, id := range removed {
+					for i, v := range ids {
+						if v == id {
+							ids = append(ids[:i], ids[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+
+			// A loser in flight at the crash: must not be recovered.
+			loser := e.Begin()
+			if err := loser.Insert("items", itemRow(999999, "loser", 0)); err != nil {
+				t.Fatal(err)
+			}
+			e.Halt()
+
+			// Recovery must not mutate durable state (logs are only
+			// tail-repaired, dirty pages are never flushed without a
+			// checkpoint), so the same storage recovers twice.
+			fp := func(threads int) string {
+				e2, err := Open(st.config(func(c *Config) {
+					c.RecoveryThreads = threads
+					c.PackInterval = time.Hour // keep the packer out of the comparison
+				}))
+				if err != nil {
+					t.Fatalf("recovery with %d threads: %v", threads, err)
+				}
+				defer e2.Halt()
+				if got := e2.Stats().Recovery.Threads; got != threads {
+					t.Fatalf("recovery threads = %d, want %d", got, threads)
+				}
+				return recoveryFingerprint(t, e2)
+			}
+			serial := fp(1)
+			parallel := fp(8)
+			if serial != parallel {
+				t.Errorf("parallel recovery diverged from serial.\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+			}
+			if strings.Contains(serial, "999999") {
+				t.Error("loser transaction was recovered")
+			}
+			_ = loser
+		})
+	}
+}
+
+// TestRecoveryQueueOrderColdestFirst: recovered pack queues must be in
+// coldness (last-access) order, not RID-map iteration order, so the
+// first post-restart pack cycle evicts actually-cold rows.
+func TestRecoveryQueueOrderColdestFirst(t *testing.T) {
+	st := newSharedStorage()
+	e, err := Open(st.config(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	createItems(t, e)
+
+	// One transaction per insert: strictly increasing commit timestamps.
+	for i := int64(1); i <= 30; i++ {
+		tx := e.Begin()
+		if err := tx.Insert("items", itemRow(i, "q", i)); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	// Re-touch the oldest ten: they become the hottest rows.
+	for i := int64(1); i <= 10; i++ {
+		tx := e.Begin()
+		if _, err := tx.Update("items", pk(i), func(r row.Row) (row.Row, error) {
+			r[2] = row.Int64(100 + i)
+			return r, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	e.Halt()
+
+	e2, err := Open(st.config(func(c *Config) {
+		c.RecoveryThreads = 4
+		c.PackInterval = time.Hour
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Halt()
+
+	rt, err := e2.table("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := e2.Queues().PartitionQueues(rt.parts[0].cat.ID)
+	if q == nil {
+		t.Fatal("no queues rebuilt")
+	}
+	var stamps []uint64
+	q[imrs.OriginInserted].Walk(func(en *imrs.Entry) bool {
+		stamps = append(stamps, en.LastAccess())
+		return true
+	})
+	if len(stamps) != 30 {
+		t.Fatalf("queued entries = %d, want 30", len(stamps))
+	}
+	for i := 1; i < len(stamps); i++ {
+		if stamps[i] < stamps[i-1] {
+			t.Fatalf("queue not in coldness order at %d: %v", i, stamps)
+		}
+	}
+}
+
+// TestRecoveryReclaimsDeadEntries: an entry whose newest committed
+// image is a tombstone must be reclaimed by the rebuild, not silently
+// dropped from the queues while staying resident (the IMRS leak).
+func TestRecoveryReclaimsDeadEntries(t *testing.T) {
+	e := openEngine(t, func(c *Config) { c.PackInterval = time.Hour })
+	createItems(t, e)
+
+	tx := e.Begin()
+	if err := tx.Insert("items", itemRow(1, "live", 1)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	// Hand-build the dead entry (committed tombstone, still published in
+	// the RID map). The replay path removes deleted entries outright, so
+	// this state only arises from historical logs / races — the rebuild
+	// must still not leak it.
+	rt, err := e.table("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := rt.parts[0].cat.ID
+	r0 := rid.NewVirtual(part, 7777)
+	en, err := e.store.CreateEntry(r0, part, imrs.OriginInserted, []byte{1, 2, 3}, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.store.Commit(en.Head(), e.clock.Tick())
+	tomb := e.store.AddTombstone(en, 901)
+	e.store.Commit(tomb, e.clock.Tick())
+	e.rmap.Put(r0, en)
+
+	if e.store.Rows() != 2 {
+		t.Fatalf("setup rows = %d, want 2", e.store.Rows())
+	}
+	if err := e.rebuildDerivedState(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := e.rmap.Get(r0); got != nil {
+		t.Fatal("dead entry still published in the RID map")
+	}
+	if !en.Packed() {
+		t.Fatal("dead entry not marked reclaimed")
+	}
+	if e.store.Rows() != 1 {
+		t.Fatalf("store rows after rebuild = %d, want 1 (dead entry leaked)", e.store.Rows())
+	}
+	if got := e.recovery.entriesReclaimed.Load(); got != 1 {
+		t.Fatalf("entriesReclaimed = %d, want 1", got)
+	}
+	// The live row survived the rebuild intact.
+	tx2 := e.Begin()
+	rw, ok, err := tx2.Get("items", pk(1))
+	if err != nil || !ok || rw[1].Str() != "live" {
+		t.Fatalf("live row after rebuild: %v %v %v", rw, ok, err)
+	}
+	mustCommit(t, tx2)
+}
+
+// TestCheckpointFailureSurfaced: background checkpoint failures must be
+// counted, kept as a sticky error, and surfaced on the next explicit
+// Checkpoint once they repeat — not discarded.
+func TestCheckpointFailureSurfaced(t *testing.T) {
+	gate := &gatedBackend{Backend: wal.NewMemBackend()}
+	cfg := DefaultConfig()
+	cfg.IMRSCacheBytes = 8 << 20
+	cfg.BufferPoolPages = 256
+	cfg.DataDevice = disk.NewMemDevice(0, 0)
+	cfg.SysLogBackend = gate
+	cfg.IMRSLogBackend = wal.NewMemBackend()
+	cfg.CheckpointEvery = 2 * time.Millisecond
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	createItems(t, e) // DDL checkpoint while the gate is still open
+
+	gate.fail.Store(true)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		e.ckptFailMu.Lock()
+		n := e.ckptConsecFail
+		e.ckptFailMu.Unlock()
+		if n >= ckptFailThreshold {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background checkpoint failures never accumulated (consecutive = %d)", n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	snap := e.Stats()
+	if snap.CheckpointFailures < ckptFailThreshold {
+		t.Fatalf("CheckpointFailures = %d, want >= %d", snap.CheckpointFailures, ckptFailThreshold)
+	}
+	if snap.Checkpoints < 1 {
+		t.Fatalf("Checkpoints = %d, want >= 1 (the DDL checkpoint)", snap.Checkpoints)
+	}
+	if snap.LastCheckpointError == "" {
+		t.Fatal("LastCheckpointError empty while checkpoints are failing")
+	}
+
+	err = e.Checkpoint()
+	if err == nil {
+		t.Fatal("explicit Checkpoint returned nil despite repeated background failures")
+	}
+	if !strings.Contains(err.Error(), "consecutive") || !errors.Is(err, errGateClosed) {
+		t.Fatalf("sticky checkpoint error = %v, want consecutive-failures wrap of the injected error", err)
+	}
+
+	gate.fail.Store(false)
+	// The first call may consume a sticky error re-armed between the
+	// explicit failure above and opening the gate; it must succeed
+	// within a couple of attempts once appends work again.
+	ok := false
+	for i := 0; i < 5; i++ {
+		if err := e.Checkpoint(); err == nil {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Fatal("Checkpoint still failing after the fault cleared")
+	}
+	if e.Stats().LastCheckpointError != "" {
+		t.Fatalf("LastCheckpointError not cleared after recovery: %q", e.Stats().LastCheckpointError)
+	}
+}
+
+// TestCrashDuringCompactionGenerationSwitch: a compaction whose pinning
+// checkpoint fails must leave the durable state recoverable from the
+// OLD generation, and a later successful compaction must recover from
+// the new one.
+func TestCrashDuringCompactionGenerationSwitch(t *testing.T) {
+	st := newGenStorage()
+	gate := &gatedBackend{Backend: st.sys}
+	open := func(threads int) (*Engine, error) {
+		cfg := st.config(func(c *Config) { c.RecoveryThreads = threads })
+		cfg.SysLogBackend = gate
+		return Open(cfg)
+	}
+
+	e1, err := open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	createItems(t, e1)
+	tx := e1.Begin()
+	for i := int64(1); i <= 40; i++ {
+		if err := tx.Insert("items", itemRow(i, fmt.Sprintf("g%d", i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, tx)
+
+	// Compaction writes generation 1 and swaps to it in memory, but the
+	// checkpoint that PINS the new generation cannot reach the syslog.
+	gate.fail.Store(true)
+	if err := e1.CompactIMRSLog(); err == nil {
+		t.Fatal("compaction succeeded despite the pinning checkpoint failing")
+	}
+	e1.Halt()
+	gate.fail.Store(false)
+
+	// Durable state still references generation 0: recovery must replay
+	// the original log and see every row.
+	e2, err := open(4)
+	if err != nil {
+		t.Fatalf("recovery after failed compaction: %v", err)
+	}
+	if g := e2.IMRSLogGeneration(); g != 0 {
+		t.Fatalf("recovered generation = %d, want 0 (checkpoint never pinned gen 1)", g)
+	}
+	tx2 := e2.Begin()
+	for i := int64(1); i <= 40; i++ {
+		if _, ok, err := tx2.Get("items", pk(i)); err != nil || !ok {
+			t.Fatalf("row %d lost by failed compaction: %v %v", i, ok, err)
+		}
+	}
+	mustCommit(t, tx2)
+
+	// The retried compaction succeeds (fresh generation-1 backend) and
+	// the next crash recovers through the generation switch.
+	if err := e2.CompactIMRSLog(); err != nil {
+		t.Fatal(err)
+	}
+	if g := e2.IMRSLogGeneration(); g != 1 {
+		t.Fatalf("generation after retried compaction = %d, want 1", g)
+	}
+	e2.Halt()
+
+	e3, err := open(4)
+	if err != nil {
+		t.Fatalf("recovery from compacted generation: %v", err)
+	}
+	defer e3.Halt()
+	if g := e3.IMRSLogGeneration(); g != 1 {
+		t.Fatalf("generation after switch recovery = %d, want 1", g)
+	}
+	tx3 := e3.Begin()
+	for i := int64(1); i <= 40; i++ {
+		if _, ok, err := tx3.Get("items", pk(i)); err != nil || !ok {
+			t.Fatalf("row %d lost across generation switch: %v %v", i, ok, err)
+		}
+	}
+	mustCommit(t, tx3)
+}
+
+// TestRecoveryStatsPhases: the per-phase observability contract — phase
+// names in pipeline order, counters matching the workload.
+func TestRecoveryStatsPhases(t *testing.T) {
+	st := newSharedStorage()
+	e, err := Open(st.config(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Recovery.Ran {
+		t.Fatal("fresh database reported a recovery run")
+	}
+	createItems(t, e)
+	tx := e.Begin()
+	for i := int64(1); i <= 20; i++ {
+		if err := tx.Insert("items", itemRow(i, "s", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, tx)
+	e.Halt()
+
+	e2, err := Open(st.config(func(c *Config) { c.RecoveryThreads = 4 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Halt()
+	rec := e2.Stats().Recovery
+	if !rec.Ran || rec.Threads != 4 {
+		t.Fatalf("Ran=%v Threads=%d, want true/4", rec.Ran, rec.Threads)
+	}
+	want := []string{PhaseTailRepair, PhaseAnalyze, PhaseSyslogsRedo, PhaseIMRSReplay, PhaseIndexRebuild, PhaseQueueRebuild}
+	if len(rec.Phases) != len(want) {
+		t.Fatalf("phases = %+v, want %v", rec.Phases, want)
+	}
+	for i, ph := range rec.Phases {
+		if ph.Name != want[i] {
+			t.Fatalf("phase %d = %q, want %q", i, ph.Name, want[i])
+		}
+	}
+	if rec.RowsIndexed != 20 || rec.EntriesEnqueued != 20 || rec.IMRSRecords != 20 {
+		t.Fatalf("indexed=%d enqueued=%d imrsRecords=%d, want 20/20/20",
+			rec.RowsIndexed, rec.EntriesEnqueued, rec.IMRSRecords)
+	}
+	if rec.Total <= 0 {
+		t.Fatalf("Total = %v, want > 0", rec.Total)
+	}
+	if rec.SyslogRecords == 0 {
+		t.Fatal("SyslogRecords = 0, want the DDL checkpoint records counted")
+	}
+}

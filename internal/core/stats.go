@@ -105,6 +105,35 @@ func (p PartitionSnapshot) IMRSOps() int64 {
 	return p.IMRSInserts + p.ReuseOps()
 }
 
+// RecoveryPhase is one timed phase of the last recovery run.
+type RecoveryPhase struct {
+	Name     string
+	Duration time.Duration
+	// Items is what the phase processed: bytes truncated (tail repair),
+	// records scanned/applied (analyze, redo, replay), rows indexed, or
+	// entries enqueued.
+	Items int64
+	// Workers is how many worker goroutines ran the phase (1 = serial).
+	Workers int
+}
+
+// RecoverySnapshot describes the last recovery run (Open time).
+type RecoverySnapshot struct {
+	// Ran is false when Open found a fresh database.
+	Ran bool
+	// Threads is the configured Config.RecoveryThreads bound.
+	Threads int
+	// Total is the wall time of the whole recovery pipeline.
+	Total  time.Duration
+	Phases []RecoveryPhase
+
+	SyslogRecords    int64 // syslogs records scanned by analysis
+	IMRSRecords      int64 // committed IMRS operations replayed
+	RowsIndexed      int64 // rows fed to the index rebuild
+	EntriesEnqueued  int64 // IMRS entries re-enqueued on pack queues
+	EntriesReclaimed int64 // dead recovered entries reclaimed (leak fix)
+}
+
 // Snapshot is an engine-wide stats snapshot.
 type Snapshot struct {
 	CommitTS uint64
@@ -141,6 +170,18 @@ type Snapshot struct {
 	SysLog  LogSnapshot
 	IMRSLog LogSnapshot
 
+	// Recovery describes the last recovery run (zero-valued Ran=false
+	// when the engine opened a fresh database).
+	Recovery RecoverySnapshot
+
+	// Checkpoints / CheckpointFailures count completed and failed
+	// checkpoint attempts (background and explicit). LastCheckpointError
+	// is the most recent failure not yet surfaced to a caller ("" when
+	// checkpoints are healthy).
+	Checkpoints         int64
+	CheckpointFailures  int64
+	LastCheckpointError string
+
 	Partitions []PartitionSnapshot
 	Indexes    []IndexSnapshot
 }
@@ -158,6 +199,27 @@ func (s Snapshot) IMRSHitRate() float64 {
 		return 0
 	}
 	return float64(imrsOps) / float64(total)
+}
+
+// recoverySnapshot copies the last recovery run's record.
+func (e *Engine) recoverySnapshot() RecoverySnapshot {
+	ri := &e.recovery
+	rs := RecoverySnapshot{
+		Ran:              ri.ran,
+		Threads:          ri.threads,
+		Total:            ri.total,
+		SyslogRecords:    ri.syslogRecords,
+		IMRSRecords:      ri.imrsRecords,
+		RowsIndexed:      ri.rowsIndexed.Load(),
+		EntriesEnqueued:  ri.entriesEnqueued,
+		EntriesReclaimed: ri.entriesReclaimed.Load(),
+	}
+	for _, p := range ri.phases.Snapshot() {
+		rs.Phases = append(rs.Phases, RecoveryPhase{
+			Name: p.Name, Duration: p.Duration, Items: p.Items, Workers: p.Workers,
+		})
+	}
+	return rs
 }
 
 // Stats collects a consistent-enough snapshot of the engine state.
@@ -184,7 +246,15 @@ func (e *Engine) Stats() Snapshot {
 		AcceptNewRows: e.packer.AcceptNewRows(),
 		SysLog:        logSnapshot(syslog),
 		IMRSLog:       logSnapshot(imrslog),
+		Recovery:      e.recoverySnapshot(),
+		Checkpoints:   e.ckptCompleted.Load(),
 	}
+	s.CheckpointFailures = e.ckptFailed.Load()
+	e.ckptFailMu.Lock()
+	if e.ckptLastErr != nil {
+		s.LastCheckpointError = e.ckptLastErr.Error()
+	}
+	e.ckptFailMu.Unlock()
 	for _, ps := range e.ilmReg.All() {
 		st := e.store.Part(ps.ID)
 		snap := PartitionSnapshot{

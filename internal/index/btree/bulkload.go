@@ -1,0 +1,154 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/rid"
+	"repro/internal/storage/buffer"
+	"repro/internal/storage/page"
+)
+
+// Item is one key→RID pair for BulkLoad. Keys are unique at this level;
+// non-unique indexes append the RID to the key upstream, exactly as they
+// do for Insert.
+type Item struct {
+	Key []byte
+	RID rid.RID
+}
+
+// childRef is a built node awaiting linkage into its parent: its page id
+// and the first key of its subtree (the separator the parent stores).
+type childRef struct {
+	id    uint32
+	first []byte
+}
+
+// BulkLoad replaces the tree's content with items, which must be sorted
+// ascending with no duplicate keys. Leaves are packed left-to-right and
+// chained, then each internal level is built bottom-up — O(pages) page
+// writes instead of len(items) root-to-leaf descents, and every written
+// page is touched exactly once (recovery's index rebuild is the user).
+//
+// The tree must be quiescent and logically empty: the previous root is
+// abandoned, not freed (page ids are never recycled by the device
+// layer, so a leaked empty root is inert). With no items the tree is
+// left as it is — an empty tree already has a valid empty leaf root.
+func (t *Tree) BulkLoad(items []Item) error {
+	if len(items) == 0 {
+		return nil
+	}
+	for i, it := range items {
+		if len(it.Key) > MaxKeySize {
+			return fmt.Errorf("btree: bulk-load key of %d bytes exceeds max %d", len(it.Key), MaxKeySize)
+		}
+		if i > 0 {
+			switch c := bytes.Compare(items[i-1].Key, it.Key); {
+			case c == 0:
+				return fmt.Errorf("btree: bulk-load duplicate key at %d: %w", i, ErrDuplicate)
+			case c > 0:
+				return fmt.Errorf("btree: bulk-load keys out of order at %d", i)
+			}
+		}
+	}
+
+	leaves, err := t.buildLeaves(items)
+	if err != nil {
+		return err
+	}
+	level := leaves
+	for len(level) > 1 {
+		if level, err = t.buildInternalLevel(level); err != nil {
+			return err
+		}
+	}
+	t.root.Store(level[0].id)
+	return nil
+}
+
+// finish marks a just-built node frame dirty and releases it.
+func (t *Tree) finish(f *buffer.Frame) {
+	f.MarkDirty()
+	f.Unlatch(true)
+	t.pool.Unpin(f, true)
+}
+
+// buildLeaves packs items into a chain of fresh leaf pages and returns
+// one childRef per leaf, left to right.
+func (t *Tree) buildLeaves(items []Item) ([]childRef, error) {
+	newLeaf := func() (uint32, *buffer.Frame, error) {
+		id, f, err := t.pool.NewPage(page.TypeBTreeLeaf)
+		if err != nil {
+			return 0, nil, err
+		}
+		btInit(f.Page(), true) // Next/Prev start at noChild via page.Init
+		return id, f, nil
+	}
+	id, f, err := newLeaf()
+	if err != nil {
+		return nil, err
+	}
+	leaves := []childRef{{id: id, first: items[0].Key}}
+	pos := 0
+	for _, it := range items {
+		if !insertCell(f.Page().Bytes(), pos, it.Key, u64val(it.RID)) {
+			nid, nf, err := newLeaf()
+			if err != nil {
+				t.finish(f)
+				return nil, err
+			}
+			f.Page().SetNext(nid)
+			nf.Page().SetPrev(id)
+			t.finish(f)
+			id, f, pos = nid, nf, 0
+			leaves = append(leaves, childRef{id: id, first: it.Key})
+			if !insertCell(f.Page().Bytes(), pos, it.Key, u64val(it.RID)) {
+				t.finish(f)
+				return nil, fmt.Errorf("btree: bulk-load cell does not fit an empty leaf")
+			}
+		}
+		pos++
+	}
+	t.finish(f)
+	return leaves, nil
+}
+
+// buildInternalLevel builds one level of internal nodes over children:
+// each node's leftmost pointer is its first child, and every subsequent
+// child contributes (its first key, its id) as a separator cell — the
+// same "separator = first key of the right subtree" convention splits
+// maintain.
+func (t *Tree) buildInternalLevel(children []childRef) ([]childRef, error) {
+	newNode := func(leftmost childRef) (uint32, *buffer.Frame, error) {
+		id, f, err := t.pool.NewPage(page.TypeBTreeInternal)
+		if err != nil {
+			return 0, nil, err
+		}
+		btInit(f.Page(), false)
+		setLeftChild(f.Page().Bytes(), leftmost.id)
+		return id, f, nil
+	}
+	id, f, err := newNode(children[0])
+	if err != nil {
+		return nil, err
+	}
+	parents := []childRef{{id: id, first: children[0].first}}
+	pos := 0
+	for _, c := range children[1:] {
+		if insertCell(f.Page().Bytes(), pos, c.first, u32val(c.id)) {
+			pos++
+			continue
+		}
+		// Node full: c becomes the leftmost child of the next node and
+		// contributes no separator here — its first key moves up as the
+		// new node's own separator in the level above.
+		t.finish(f)
+		if id, f, err = newNode(c); err != nil {
+			return nil, err
+		}
+		parents = append(parents, childRef{id: id, first: c.first})
+		pos = 0
+	}
+	t.finish(f)
+	return parents, nil
+}

@@ -1,0 +1,152 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/rid"
+)
+
+func bulkItems(n int, pad int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		k := fmt.Sprintf("key-%08d%s", i, strings.Repeat("p", pad))
+		items[i] = Item{Key: []byte(k), RID: rid.RID(i + 1)}
+	}
+	return items
+}
+
+func TestBulkLoadSearchAndScan(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 300, 5000} {
+		tr := newTree(t, 512)
+		items := bulkItems(n, 0)
+		if err := tr.BulkLoad(items); err != nil {
+			t.Fatalf("n=%d: BulkLoad: %v", n, err)
+		}
+		for _, it := range items {
+			r, found, err := tr.Search(it.Key)
+			if err != nil || !found || r != it.RID {
+				t.Fatalf("n=%d: Search(%s) = %v,%v,%v", n, it.Key, r, found, err)
+			}
+		}
+		if _, found, _ := tr.Search([]byte("zzz-missing")); found {
+			t.Fatalf("n=%d: found missing key", n)
+		}
+		// Full scan yields everything in order (exercises the leaf chain).
+		i := 0
+		err := tr.ScanFrom(nil, func(k []byte, r rid.RID) bool {
+			if i >= n || !bytes.Equal(k, items[i].Key) || r != items[i].RID {
+				t.Fatalf("n=%d: scan item %d = %s,%v", n, i, k, r)
+			}
+			i++
+			return true
+		})
+		if err != nil || i != n {
+			t.Fatalf("n=%d: scan visited %d (err %v)", n, i, err)
+		}
+	}
+}
+
+// Wide keys force multi-level internal fan-out so the bottom-up level
+// builder is exercised past a single parent.
+func TestBulkLoadDeepTree(t *testing.T) {
+	tr := newTree(t, 2048)
+	items := bulkItems(4000, 400)
+	if err := tr.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	n, err := tr.Count()
+	if err != nil || n != len(items) {
+		t.Fatalf("Count = %d, %v, want %d", n, err, len(items))
+	}
+	for _, i := range []int{0, 1, 1999, 3998, 3999} {
+		r, found, err := tr.Search(items[i].Key)
+		if err != nil || !found || r != items[i].RID {
+			t.Fatalf("Search(%d) = %v,%v,%v", i, r, found, err)
+		}
+	}
+}
+
+// Inserts after a bulk load must split the packed leaves correctly.
+func TestBulkLoadThenInsert(t *testing.T) {
+	tr := newTree(t, 512)
+	const n = 3000
+	items := make([]Item, 0, n)
+	for i := 0; i < n; i += 2 { // even keys loaded
+		items = append(items, Item{Key: key(i), RID: rid.RID(i + 1)})
+	}
+	if err := tr.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	perm := rand.New(rand.NewSource(7)).Perm(n / 2)
+	for _, j := range perm { // odd keys inserted
+		i := 2*j + 1
+		if err := tr.Insert(key(i), rid.RID(i+1)); err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+	}
+	cnt, err := tr.Count()
+	if err != nil || cnt != n {
+		t.Fatalf("Count = %d, %v, want %d", cnt, err, n)
+	}
+	for i := 0; i < n; i++ {
+		r, found, err := tr.Search(key(i))
+		if err != nil || !found || r != rid.RID(i+1) {
+			t.Fatalf("Search(%d) = %v,%v,%v", i, r, found, err)
+		}
+	}
+}
+
+func TestBulkLoadRejectsBadInput(t *testing.T) {
+	tr := newTree(t, 64)
+	dup := []Item{{Key: []byte("a"), RID: 1}, {Key: []byte("a"), RID: 2}}
+	if err := tr.BulkLoad(dup); err == nil {
+		t.Fatal("duplicate keys accepted")
+	}
+	unsorted := []Item{{Key: []byte("b"), RID: 1}, {Key: []byte("a"), RID: 2}}
+	if err := tr.BulkLoad(unsorted); err == nil {
+		t.Fatal("unsorted keys accepted")
+	}
+	huge := []Item{{Key: bytes.Repeat([]byte("k"), MaxKeySize+1), RID: 1}}
+	if err := tr.BulkLoad(huge); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+}
+
+// BulkLoad must agree with an Insert-built tree item for item.
+func TestBulkLoadMatchesInsertBuilt(t *testing.T) {
+	items := bulkItems(2500, 30)
+	bl := newTree(t, 1024)
+	if err := bl.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	ins := newTree(t, 1024)
+	perm := rand.New(rand.NewSource(11)).Perm(len(items))
+	for _, i := range perm {
+		if err := ins.Insert(items[i].Key, items[i].RID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect := func(tr *Tree) []Item {
+		var out []Item
+		if err := tr.ScanFrom(nil, func(k []byte, r rid.RID) bool {
+			out = append(out, Item{Key: append([]byte(nil), k...), RID: r})
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := collect(bl), collect(ins)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Key, b[i].Key) || a[i].RID != b[i].RID {
+			t.Fatalf("item %d differs: %s=%v vs %s=%v", i, a[i].Key, a[i].RID, b[i].Key, b[i].RID)
+		}
+	}
+}
