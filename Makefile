@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race test-race-internal test-recovery bench-commit bench-read bench-recovery ci
+.PHONY: build vet test test-race test-race-internal test-recovery test-chaos fuzz bench-commit bench-read bench-recovery ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,20 @@ test-race-internal:
 # equivalence, checkpoint-failure surfacing) under the race detector.
 test-recovery:
 	$(GO) test -race ./internal/core/ -run 'Recovery|Checkpoint|Compaction|Crash|Halt'
+
+# Randomized fault-injection soak (internal/chaos) under the race
+# detector: transient device/WAL glitches, hard log deaths, and
+# crash/recover cycles against a live workload. Longer soaks and seed
+# sweeps: go run ./cmd/chaos -seeds 8 -cycles 1000.
+test-chaos:
+	$(GO) test -race ./internal/chaos/
+
+# Fuzz the two byte-level decoders (WAL record bodies, row codec) for a
+# short smoke window each; seed corpora live in testdata/fuzz.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/wal/ -run '^$$' -fuzz FuzzDecodeRecord -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/row/ -run '^$$' -fuzz FuzzRowDecode -fuzztime $(FUZZTIME)
 
 # Recovery wall-time sweep (log size x partitions x RecoveryThreads);
 # writes BENCH_recovery.json. Smoke-sized; drop the flags for the

@@ -80,6 +80,11 @@ type Stats struct {
 	Checkpoints         int64
 	CheckpointFailures  int64
 	LastCheckpointError string
+	// PackRelocErrors counts failed pack-relocation transactions (the
+	// rows stay queued; persistent streaks degrade Health).
+	PackRelocErrors int64
+	// Health is the engine health state machine's snapshot.
+	Health Health
 	// Tables maps table/partition name to its per-partition stats.
 	Tables map[string]TableStats
 	// Indexes maps "table.index" to per-index stats.
@@ -154,6 +159,8 @@ func (db *DB) Stats() Stats {
 		Checkpoints:         snap.Checkpoints,
 		CheckpointFailures:  snap.CheckpointFailures,
 		LastCheckpointError: snap.LastCheckpointError,
+		PackRelocErrors:     snap.PackRelocErrors,
+		Health:              healthFromCore(snap.Health),
 		Tables:            make(map[string]TableStats, len(snap.Partitions)),
 		Indexes:           make(map[string]IndexStats, len(snap.Indexes)),
 	}

@@ -1,0 +1,47 @@
+// Command chaos runs the randomized fault-injection soak from
+// internal/chaos for as long as you like — the short version runs in
+// `go test ./internal/chaos`; this binary is for overnight soaks and
+// for replaying a failing seed.
+//
+//	chaos [-seed 1] [-seeds 8] [-cycles 1000] [-ops 25] [-v]
+//
+// With -seeds N it runs N consecutive seeds (seed, seed+1, ...) and
+// stops at the first invariant violation, printing the seed to replay.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chaos"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "base random seed")
+	seeds := flag.Int("seeds", 1, "number of consecutive seeds to run")
+	cycles := flag.Int("cycles", 1000, "fault cycles per seed")
+	ops := flag.Int("ops", 25, "transactions per cycle")
+	verbose := flag.Bool("v", false, "log every cycle")
+	flag.Parse()
+
+	for i := 0; i < *seeds; i++ {
+		s := *seed + int64(i)
+		cfg := chaos.Config{Seed: s, Cycles: *cycles, OpsPerCycle: *ops}
+		if *verbose {
+			cfg.Logf = func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			}
+		}
+		res, err := chaos.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: seed %d FAILED: %v\n", s, err)
+			fmt.Fprintf(os.Stderr, "replay with: go run ./cmd/chaos -seed %d -cycles %d -ops %d -v\n",
+				s, *cycles, *ops)
+			os.Exit(1)
+		}
+		fmt.Printf("seed %d: %d cycles, %d commits (%d failed), %d recoveries, %d read-only events, %d transient faults, %d rows verified\n",
+			s, res.Cycles, res.Commits, res.FailedCommits, res.Recoveries,
+			res.ReadOnlyEvents, res.TransientFaults, res.RowsVerified)
+	}
+}

@@ -1,0 +1,295 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/row"
+	"repro/internal/wal"
+)
+
+// Fault scenarios, chosen per cycle from the seeded stream.
+const (
+	scenCalm = iota
+	scenTransientDevice
+	scenTransientWAL
+	scenCrash
+	scenLogDeath
+)
+
+func (h *harness) pickScenario() int {
+	switch p := h.rng.Intn(100); {
+	case p < 30:
+		return scenCalm
+	case p < 50:
+		return scenTransientDevice
+	case p < 70:
+		return scenTransientWAL
+	case p < 85:
+		return scenCrash
+	default:
+		return scenLogDeath
+	}
+}
+
+func (h *harness) logf(format string, args ...any) {
+	if h.cfg.Logf != nil {
+		h.cfg.Logf(format, args...)
+	}
+}
+
+// cycle runs one workload burst under one fault scenario and checks the
+// scenario's invariants.
+func (h *harness) cycle(c int) error {
+	// A prior cycle can only leave the engine read-only via a poisoned
+	// WAL; recover it before driving more load so the soak never goes
+	// vacuous.
+	if h.eng.Health().State >= core.StateReadOnly {
+		if err := h.crashRecover(true); err != nil {
+			return err
+		}
+	}
+	scen := h.pickScenario()
+	ops := h.cfg.OpsPerCycle
+	switch scen {
+	case scenCalm:
+		h.logf("cycle %d: calm (%d ops)", c, ops)
+		if err := h.workload(ops); err != nil {
+			return err
+		}
+		// Calm cycles end consistent: the live engine must match the
+		// model exactly (there are no unresolved ambiguous commits).
+		if err := h.verify(true); err != nil {
+			return err
+		}
+	case scenTransientDevice:
+		// A glitching page device: the retry layer (or the degraded
+		// fallback) must absorb it without losing a single row.
+		n := int64(1 + h.rng.Intn(4))
+		h.logf("cycle %d: transient device faults ×%d", c, n)
+		h.fdev.AddTransientReadFaults(n)
+		h.fdev.AddTransientWriteFaults(n)
+		h.res.TransientFaults += 2 * n
+		if err := h.workload(ops); err != nil {
+			return err
+		}
+		h.eng.Packer().Step() // let pack touch the glitching device too
+	case scenTransientWAL:
+		n := int64(1 + h.rng.Intn(3))
+		h.logf("cycle %d: transient WAL faults ×%d", c, n)
+		h.fsys.AddTransientAppendFaults(n)
+		h.fsys.AddTransientSyncFaults(n)
+		h.fims.AddTransientAppendFaults(n)
+		h.fims.AddTransientSyncFaults(n)
+		h.res.TransientFaults += 4 * n
+		if err := h.workload(ops); err != nil {
+			return err
+		}
+	case scenCrash:
+		h.logf("cycle %d: crash mid-workload", c)
+		if err := h.workload(ops / 2); err != nil {
+			return err
+		}
+		if err := h.crashRecover(false); err != nil {
+			return err
+		}
+	case scenLogDeath:
+		which, victim, other := "syslogs", h.fsys, h.fims
+		if h.rng.Intn(2) == 1 {
+			which, victim, other = "sysimrslogs", h.fims, h.fsys
+		}
+		h.logf("cycle %d: hard %s death", c, which)
+		if err := h.workload(ops / 2); err != nil {
+			return err
+		}
+		victim.Kill()
+		if err := h.driveToReadOnly(other); err != nil {
+			return err
+		}
+		if err := h.checkReadOnly(); err != nil {
+			return err
+		}
+		h.res.ReadOnlyEvents++
+		if err := h.crashRecover(true); err != nil {
+			return err
+		}
+	}
+	// Seeded extra pressure: explicit checkpoints and pack steps.
+	if h.rng.Intn(4) == 0 {
+		_ = h.eng.Checkpoint() // may fail under injected faults; health tracks it
+	}
+	if h.rng.Intn(4) == 0 {
+		h.eng.Packer().Step()
+	}
+	return nil
+}
+
+// workload runs n random single-transaction operations, updating the
+// model from commit outcomes. It tolerates fault-induced commit
+// failures; what it does not tolerate is a commit that succeeds and then
+// loses data (verify catches that later).
+func (h *harness) workload(n int) error {
+	for i := 0; i < n; i++ {
+		if h.eng.Health().State >= core.StateReadOnly {
+			return nil // writes are frozen; the scenario handler takes over
+		}
+		var err error
+		switch p := h.rng.Intn(100); {
+		case p < 45:
+			err = h.opInsert()
+		case p < 70:
+			err = h.opUpdate()
+		case p < 85:
+			err = h.opDelete()
+		default:
+			err = h.opRead()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func chaosRow(key, qty int64) row.Row {
+	return row.Row{row.Int64(key), row.String(fmt.Sprintf("row-%d", key)), row.Int64(qty)}
+}
+
+func pkOf(key int64) []row.Value { return []row.Value{row.Int64(key)} }
+
+// commitOutcome folds one commit result into the model. before is the
+// key's committed state when the transaction began; after the state the
+// transaction tried to commit.
+func (h *harness) commitOutcome(key int64, before, after state, err error) error {
+	if err == nil {
+		h.res.Commits++
+		h.applyState(key, after)
+		return nil
+	}
+	h.res.FailedCommits++
+	if errors.Is(err, core.ErrReadOnly) || errors.Is(err, wal.ErrPoisoned) ||
+		errors.Is(err, wal.ErrHalted) || errors.Is(err, wal.ErrInjected) ||
+		errors.Is(err, fault.ErrExhausted) {
+		// The log may or may not have taken the commit's bytes before the
+		// failure: both states are acceptable after recovery.
+		delete(h.model, key)
+		delete(h.deleted, key)
+		h.ambig[key] = []state{before, after}
+		return nil
+	}
+	return fmt.Errorf("chaos: commit of key %d failed unexpectedly: %w", key, err)
+}
+
+func (h *harness) applyState(key int64, s state) {
+	delete(h.ambig, key)
+	if s.present {
+		h.model[key] = s.qty
+		delete(h.deleted, key)
+	} else {
+		delete(h.model, key)
+		h.deleted[key] = struct{}{}
+	}
+}
+
+// pickExisting returns a random committed key, or 0 when none exist.
+func (h *harness) pickExisting() int64 {
+	if len(h.model) == 0 {
+		return 0
+	}
+	n := h.rng.Intn(len(h.model))
+	for k := range h.model {
+		if n == 0 {
+			return k
+		}
+		n--
+	}
+	return 0
+}
+
+func (h *harness) opInsert() error {
+	key := h.nextKey
+	h.nextKey++
+	qty := h.rng.Int63n(1 << 20)
+	tx := h.eng.Begin()
+	if err := tx.Insert(tableName, chaosRow(key, qty)); err != nil {
+		tx.Abort()
+		return h.writeRejected(key, err)
+	}
+	return h.commitOutcome(key, state{}, state{present: true, qty: qty}, tx.Commit())
+}
+
+func (h *harness) opUpdate() error {
+	key := h.pickExisting()
+	if key == 0 {
+		return h.opInsert()
+	}
+	oldQty := h.model[key]
+	newQty := h.rng.Int63n(1 << 20)
+	tx := h.eng.Begin()
+	ok, err := tx.Update(tableName, pkOf(key), func(r row.Row) (row.Row, error) {
+		return chaosRow(key, newQty), nil
+	})
+	if err != nil {
+		tx.Abort()
+		return h.writeRejected(key, err)
+	}
+	if !ok {
+		tx.Abort()
+		return fmt.Errorf("chaos: committed key %d missing on update", key)
+	}
+	return h.commitOutcome(key, state{present: true, qty: oldQty},
+		state{present: true, qty: newQty}, tx.Commit())
+}
+
+func (h *harness) opDelete() error {
+	key := h.pickExisting()
+	if key == 0 {
+		return nil
+	}
+	oldQty := h.model[key]
+	tx := h.eng.Begin()
+	ok, err := tx.Delete(tableName, pkOf(key))
+	if err != nil {
+		tx.Abort()
+		return h.writeRejected(key, err)
+	}
+	if !ok {
+		tx.Abort()
+		return fmt.Errorf("chaos: committed key %d missing on delete", key)
+	}
+	return h.commitOutcome(key, state{present: true, qty: oldQty},
+		state{}, tx.Commit())
+}
+
+func (h *harness) opRead() error {
+	key := h.pickExisting()
+	if key == 0 {
+		return nil
+	}
+	want := h.model[key]
+	tx := h.eng.Begin()
+	defer tx.Abort()
+	r, ok, err := tx.Get(tableName, pkOf(key))
+	if err != nil {
+		return fmt.Errorf("chaos: read of committed key %d: %w", key, err)
+	}
+	if !ok {
+		return fmt.Errorf("chaos: committed key %d not found", key)
+	}
+	if got := r[2].Int(); got != want {
+		return fmt.Errorf("chaos: key %d qty = %d, committed %d", key, got, want)
+	}
+	return nil
+}
+
+// writeRejected classifies a write-path error that happened before
+// commit: a read-only rejection is an expected part of the chaos (the
+// workload simply stops), anything else is a failure.
+func (h *harness) writeRejected(key int64, err error) error {
+	if errors.Is(err, core.ErrReadOnly) {
+		return nil
+	}
+	return fmt.Errorf("chaos: write to key %d rejected: %w", key, err)
+}

@@ -1,0 +1,172 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// driveToReadOnly keeps writing after a log was killed until the engine
+// observes the death and freezes writes. The table is pinned in and out
+// of the IMRS alternately so both logs see commit traffic — whichever
+// one was killed, a commit hits it within a couple of operations. One
+// exception: a Degraded engine routes every insert to the page store
+// (that is the degraded contract), so a killed sysimrslogs can starve;
+// the scenario then escalates and kills the other log too.
+func (h *harness) driveToReadOnly(other *wal.FaultyBackend) error {
+	for i := 0; i < 60; i++ {
+		if h.eng.Health().State >= core.StateReadOnly {
+			return nil
+		}
+		if i == 30 {
+			other.Kill()
+		}
+		if err := h.eng.PinTable(tableName, i%2 == 0); err != nil {
+			return fmt.Errorf("chaos: pin flip: %w", err)
+		}
+		if err := h.opInsert(); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("chaos: engine never went read-only after log death (state %v)",
+		h.eng.Health().State)
+}
+
+// checkReadOnly asserts the read-only contract on the live engine:
+// committed rows keep being served with their exact values, rolled-back
+// rows are never served, and writes are rejected with the typed error
+// carrying a root cause.
+func (h *harness) checkReadOnly() error {
+	hs := h.eng.Health()
+	if hs.State != core.StateReadOnly {
+		return fmt.Errorf("chaos: state %v during read-only check", hs.State)
+	}
+	if hs.ReadOnlyCause == "" {
+		return errors.New("chaos: read-only state without a recorded cause")
+	}
+
+	tx := h.eng.Begin()
+	for key, want := range h.model {
+		r, ok, err := tx.Get(tableName, pkOf(key))
+		if err != nil || !ok {
+			tx.Abort()
+			return fmt.Errorf("chaos: read-only engine lost committed key %d: ok=%v err=%v", key, ok, err)
+		}
+		if got := r[2].Int(); got != want {
+			tx.Abort()
+			return fmt.Errorf("chaos: read-only key %d qty = %d, committed %d", key, got, want)
+		}
+		h.res.RowsVerified++
+	}
+	// Rolled-back (failed-commit) rows must not be served live: the
+	// in-memory rollback ran even though the log was dead, so the live
+	// view shows each ambiguous key's pre-transaction state.
+	for key, allowed := range h.ambig {
+		before := allowed[0]
+		r, ok, err := tx.Get(tableName, pkOf(key))
+		if err != nil {
+			tx.Abort()
+			return fmt.Errorf("chaos: read-only read of rolled-back key %d: %w", key, err)
+		}
+		if ok != before.present || (ok && r[2].Int() != before.qty) {
+			tx.Abort()
+			return fmt.Errorf("chaos: read-only engine serves uncommitted state of key %d", key)
+		}
+	}
+	tx.Abort()
+
+	// Writes are rejected with the typed error.
+	tx2 := h.eng.Begin()
+	werr := tx2.Insert(tableName, chaosRow(h.nextKey+1_000_000, 0))
+	tx2.Abort()
+	if !errors.Is(werr, core.ErrReadOnly) {
+		return fmt.Errorf("chaos: read-only write returned %v, want ErrReadOnly", werr)
+	}
+	var ro *core.ReadOnlyError
+	if !errors.As(werr, &ro) || ro.Cause == nil {
+		return fmt.Errorf("chaos: read-only rejection %v lacks a typed root cause", werr)
+	}
+	return nil
+}
+
+// crashRecover halts the engine crash-exactly and reopens it over the
+// same durable media, then verifies the model survived.
+func (h *harness) crashRecover(expectReadOnly bool) error {
+	herr := h.eng.Halt()
+	if expectReadOnly && !errors.Is(herr, core.ErrReadOnly) {
+		return fmt.Errorf("chaos: Halt on read-only engine returned %v, want ErrReadOnly", herr)
+	}
+	if !expectReadOnly && herr != nil {
+		return fmt.Errorf("chaos: Halt on healthy engine returned %v", herr)
+	}
+	if err := h.open(); err != nil {
+		return fmt.Errorf("chaos: recovery failed: %w", err)
+	}
+	h.res.Recoveries++
+	if got := h.eng.Health().State; got != core.StateHealthy {
+		return fmt.Errorf("chaos: recovered engine state = %v, want healthy", got)
+	}
+	return h.verify(true)
+}
+
+// verify checks the whole model against the engine. Ambiguous keys
+// (commits that failed after the log may have taken bytes) are resolved
+// here: the engine must serve one of the two acceptable states, and the
+// model adopts whichever it serves.
+func (h *harness) verify(resolveAmbig bool) error {
+	tx := h.eng.Begin()
+	defer tx.Abort()
+	for key, want := range h.model {
+		r, ok, err := tx.Get(tableName, pkOf(key))
+		if err != nil {
+			return fmt.Errorf("chaos: verify read of key %d: %w", key, err)
+		}
+		if !ok {
+			return fmt.Errorf("chaos: committed key %d lost", key)
+		}
+		if got := r[2].Int(); got != want {
+			return fmt.Errorf("chaos: key %d qty = %d, committed %d", key, got, want)
+		}
+		h.res.RowsVerified++
+	}
+	checked := 0
+	for key := range h.deleted {
+		if checked >= 50 {
+			break
+		}
+		checked++
+		if _, ok, err := tx.Get(tableName, pkOf(key)); err != nil {
+			return fmt.Errorf("chaos: verify read of deleted key %d: %w", key, err)
+		} else if ok {
+			return fmt.Errorf("chaos: deleted key %d resurrected", key)
+		}
+	}
+	if !resolveAmbig {
+		return nil
+	}
+	for key, allowed := range h.ambig {
+		r, ok, err := tx.Get(tableName, pkOf(key))
+		if err != nil {
+			return fmt.Errorf("chaos: verify read of ambiguous key %d: %w", key, err)
+		}
+		var observed state
+		if ok {
+			observed = state{present: true, qty: r[2].Int()}
+		}
+		legal := false
+		for _, s := range allowed {
+			if s == observed {
+				legal = true
+				break
+			}
+		}
+		if !legal {
+			return fmt.Errorf("chaos: ambiguous key %d recovered to %+v, allowed %+v",
+				key, observed, allowed)
+		}
+		h.applyState(key, observed)
+	}
+	return nil
+}

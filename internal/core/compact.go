@@ -41,6 +41,7 @@ func (e *Engine) CompactIMRSLog() error {
 	if err != nil {
 		return err
 	}
+	newLog.SetRetrier(e.walRetrier)
 
 	compTxn := e.nextTxnID.Add(1)
 	rows := 0

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/ilm"
 	"repro/internal/storage/disk"
 	"repro/internal/wal"
@@ -101,6 +102,20 @@ type Config struct {
 	// reader/writer lock held across buffer-pool fetches — the
 	// pre-latch-coupling behaviour. Benchmark baseline only.
 	CoarseIndexLatch bool
+
+	// Retry bounds the transient-fault retry loops wrapped around the
+	// data device, WAL flushes, and the background checkpoint. Zero
+	// fields take the fault package defaults.
+	Retry fault.Policy
+	// DisableRetry turns the retry layer off entirely: every backend
+	// error surfaces on first occurrence (the pre-fault-handling
+	// behaviour, and a useful baseline for fault-injection tests that
+	// want exact failure counts).
+	DisableRetry bool
+	// RetrySleep overrides the backoff sleep function (tests and the
+	// chaos harness pin it to a no-op for deterministic, fast runs).
+	// nil means real time.Sleep.
+	RetrySleep func(time.Duration)
 }
 
 // DefaultConfig returns a small-footprint default suitable for tests.

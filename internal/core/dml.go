@@ -81,6 +81,9 @@ func (t *Txn) Insert(table string, rw row.Row) error {
 	if t.done {
 		return ErrTxnDone
 	}
+	if err := t.e.health.writable(); err != nil {
+		return err
+	}
 	rt, err := t.e.table(table)
 	if err != nil {
 		return err
@@ -117,7 +120,7 @@ func (t *Txn) Insert(table string, rw row.Row) error {
 		}
 	}
 
-	if prt.ilm.Enabled(ilm.OpInsert) && t.e.packer.AcceptNewRows() {
+	if prt.ilm.Enabled(ilm.OpInsert) && t.e.packer.AcceptNewRows() && t.e.imrsAdmission() {
 		err := t.insertIMRS(rt, prt, rw, enc)
 		if err != imrs.ErrCacheFull {
 			return err
@@ -349,7 +352,7 @@ func (t *Txn) lockedPageFetch(prt *partRT, r0 rid.RID) (data []byte, found bool,
 // cached row, in anticipation of re-access. Conditional lock only; the
 // hot path never blocks for caching.
 func (t *Txn) maybeCache(rt *tableRT, prt *partRT, r0 rid.RID, data []byte) {
-	if !prt.ilm.Enabled(ilm.OpCache) || !t.e.packer.AcceptNewRows() {
+	if !prt.ilm.Enabled(ilm.OpCache) || !t.e.packer.AcceptNewRows() || !t.e.imrsAdmission() {
 		return
 	}
 	if !t.tryLock(r0) {
@@ -442,6 +445,9 @@ func (t *Txn) Update(table string, pk []row.Value, mutate func(row.Row) (row.Row
 	if t.done {
 		return false, ErrTxnDone
 	}
+	if err := t.e.health.writable(); err != nil {
+		return false, err
+	}
 	rt, err := t.e.table(table)
 	if err != nil {
 		return false, err
@@ -488,7 +494,7 @@ func (t *Txn) Update(table string, pk []row.Value, mutate func(row.Row) (row.Row
 		}
 	default:
 		migrated := false
-		if prt.ilm.Enabled(ilm.OpMigrate) && t.e.packer.AcceptNewRows() {
+		if prt.ilm.Enabled(ilm.OpMigrate) && t.e.packer.AcceptNewRows() && t.e.imrsAdmission() {
 			var err error
 			migrated, en, err = t.migrate(rt, prt, r0, enc)
 			if err != nil {
@@ -633,6 +639,9 @@ func (t *Txn) updateSecondaryIndexes(rt *tableRT, oldRow, newRow row.Row, r0 rid
 func (t *Txn) Delete(table string, pk []row.Value) (bool, error) {
 	if t.done {
 		return false, ErrTxnDone
+	}
+	if err := t.e.health.writable(); err != nil {
+		return false, err
 	}
 	rt, err := t.e.table(table)
 	if err != nil {

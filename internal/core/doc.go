@@ -1,0 +1,48 @@
+// Package core implements the BTrim engine: the hybrid IMRS/page-store
+// transaction machinery, the dual write-ahead logs, ILM, Pack, and
+// recovery.
+//
+// # Health states
+//
+// The engine runs a health state machine (see health.go):
+//
+//	Healthy → Degraded → ReadOnly → Halted
+//
+// Healthy and Degraded are reversible: degradation signals (checkpoint
+// failure streaks, IMRS cache pressure, device-fault retry exhaustion,
+// pack-relocation error streaks) route new rows to the page store and
+// force aggressive packing, and clear when the signal recovers.
+// ReadOnly is entered when a WAL is poisoned — the durable log and the
+// in-memory state can no longer be reconciled — and is sticky until the
+// process restarts and recovers from the logs. A read-only engine keeps
+// serving snapshot reads; every write returns an error matching
+// ErrReadOnly whose *ReadOnlyError wrapper carries the root cause.
+// Halted is terminal.
+//
+// # Shutdown contract
+//
+// Two shutdown paths exist, and they promise different things:
+//
+//   - Close is the clean path: it stops the background loops, takes a
+//     final checkpoint, flushes and closes both logs, and closes the
+//     devices the engine owns. Shutdown is best-effort and always runs
+//     to completion — a failing step never prevents later resources
+//     from being released — and the returned error aggregates every
+//     failure via errors.Join, so errors.Is/errors.As see each one.
+//     Closing a ReadOnly engine skips the final checkpoint (it cannot
+//     succeed against a poisoned log) and reports the sticky root cause:
+//     errors.Is(err, ErrReadOnly) and errors.Is(err, wal.ErrPoisoned)
+//     both hold. A nil return therefore really means "everything the
+//     engine promised durable is on stable storage".
+//
+//   - Halt is the crash-exact path (tests, fail-stop simulation): no
+//     final flush or checkpoint runs, queued committers get
+//     wal.ErrHalted and roll back, and the durable state is exactly
+//     what a power cut at that instant would leave. Halt returns nil on
+//     a healthy engine; on a ReadOnly engine it returns the sticky
+//     cause as a *ReadOnlyError so operators tearing an engine down
+//     still learn it had already frozen writes.
+//
+// Both are idempotent; the second call returns nil. After either, the
+// engine is Halted and every transaction entry point fails.
+package core

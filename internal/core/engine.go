@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/fault"
 	"repro/internal/ilm"
 	"repro/internal/imrs"
 	"repro/internal/imrsgc"
@@ -102,6 +104,14 @@ type Engine struct {
 	// written before Open returns, copied into Stats afterwards.
 	recovery recoveryInfo
 
+	// health is the engine state machine (health.go); the retriers wrap
+	// the data device, both WAL flush paths, and the background
+	// checkpoint (all nil when Config.DisableRetry).
+	health      healthFSM
+	devRetrier  *fault.Retrier
+	walRetrier  *fault.Retrier
+	ckptRetrier *fault.Retrier
+
 	ownsDevices bool
 }
 
@@ -136,6 +146,28 @@ func Open(cfg Config) (*Engine, error) {
 	if err := e.openStorage(); err != nil {
 		return nil, err
 	}
+	e.health.init(e.applyDegraded)
+	if !cfg.DisableRetry {
+		newRetrier := func() *fault.Retrier {
+			r := fault.NewRetrier(cfg.Retry)
+			if cfg.RetrySleep != nil {
+				r.Sleep = cfg.RetrySleep
+			}
+			return r
+		}
+		e.devRetrier = newRetrier()
+		e.devRetrier.OnExhausted = func(err error) {
+			e.health.setCause(causeDeviceFaults, true, err.Error())
+		}
+		e.devRetrier.OnRecovered = func() {
+			e.health.setCause(causeDeviceFaults, false, "")
+		}
+		e.dataDev = disk.WithRetry(e.dataDev, e.devRetrier)
+		e.walRetrier = newRetrier()
+		e.syslog.SetRetrier(e.walRetrier)
+		e.imrslog.SetRetrier(e.walRetrier)
+		e.ckptRetrier = newRetrier()
+	}
 
 	pool, err := buffer.NewPool(e.dataDev, cfg.BufferPoolPages, func(lsn uint64) error {
 		return e.syslog.Flush(lsn)
@@ -157,6 +189,20 @@ func Open(cfg Config) (*Engine, error) {
 	})
 	e.packer = pack.New(cfg.ILM, e.store, e.queues, e.ilmReg, e.tsf, e.tuner,
 		e.clock, (*relocator)(e), cfg.PackInterval, cfg.PackThreads)
+	// Cache pressure (the reject backstop tripping) and repeated pack
+	// relocation failures both degrade the engine; each clears when its
+	// condition does.
+	e.packer.OnOverload = func(over bool) {
+		e.health.setCause(causeCachePressure, over, "imrs cache past the reject watermark")
+	}
+	e.packer.OnRelocStreak = func(streak int64, err error) {
+		if streak >= packFailThreshold {
+			e.health.setCause(causePackErrors, true,
+				fmt.Sprintf("%d consecutive pack relocation failures, last: %v", streak, err))
+		} else if streak == 0 {
+			e.health.setCause(causePackErrors, false, "")
+		}
+	}
 
 	if err := e.recover(); err != nil {
 		return nil, err
@@ -188,6 +234,11 @@ func (e *Engine) checkpointLoop(every time.Duration) {
 		case <-e.ckptStop:
 			return
 		case <-tick.C:
+			if e.health.load() >= StateReadOnly {
+				// A poisoned WAL fails every checkpoint; don't spin the
+				// failure counter against a condition that cannot clear.
+				continue
+			}
 			if err := e.checkpoint(); err != nil {
 				e.ckptFailMu.Lock()
 				n := e.ckptConsecFail
@@ -274,10 +325,13 @@ func (e *Engine) startGroupCommit(l *wal.Log) {
 
 // Halt stops background workers without checkpointing or closing the
 // storage — it simulates a crash for recovery tests: durable state is
-// exactly what the logs and data device already hold.
-func (e *Engine) Halt() {
+// exactly what the logs and data device already hold. When the engine
+// was already ReadOnly (a WAL poisoned), that sticky root cause is
+// returned so callers shutting down learn the engine had died before
+// the halt; a healthy halt returns nil.
+func (e *Engine) Halt() error {
 	if e.closed.Swap(true) {
-		return
+		return nil
 	}
 	e.stopCheckpointLoop()
 	if e.cfg.ILMEnabled {
@@ -290,12 +344,21 @@ func (e *Engine) Halt() {
 	// what a crash at this instant would leave.
 	e.syslog.AbortGroupCommit()
 	e.imrslog.AbortGroupCommit()
+	var err error
+	if ro := e.health.readOnlyCause(); ro != nil {
+		err = &ReadOnlyError{Cause: ro}
+	}
+	e.health.halt("halt")
+	return err
 }
 
-// Close checkpoints and shuts the engine down. A failed final
-// checkpoint (or a sticky background-checkpoint failure) is reported,
-// but shutdown continues best-effort: the logs and devices are still
-// closed, and the first error encountered is returned.
+// Close checkpoints and shuts the engine down. Shutdown is best-effort
+// and always runs to completion — logs and devices are closed even
+// after earlier steps fail — and the returned error aggregates every
+// failure via errors.Join (errors.Is sees each). An engine that is
+// ReadOnly reports its sticky root cause (errors.Is(err, ErrReadOnly))
+// and skips the final checkpoint, which could never succeed against a
+// poisoned WAL. See doc.go for the shutdown contract.
 func (e *Engine) Close() error {
 	if e.closed.Swap(true) {
 		return nil
@@ -305,22 +368,19 @@ func (e *Engine) Close() error {
 		e.packer.Stop()
 	}
 	e.gc.Stop()
-	firstErr := e.takeCheckpointFailure()
-	if err := e.checkpoint(); err != nil && firstErr == nil {
-		firstErr = err
+	var errs []error
+	errs = append(errs, e.takeCheckpointFailure())
+	if ro := e.health.readOnlyCause(); ro != nil {
+		errs = append(errs, &ReadOnlyError{Cause: ro})
+	} else {
+		errs = append(errs, e.checkpoint())
 	}
-	if err := e.syslog.Close(); err != nil && firstErr == nil {
-		firstErr = err
-	}
-	if err := e.imrslog.Close(); err != nil && firstErr == nil {
-		firstErr = err
-	}
+	errs = append(errs, e.syslog.Close(), e.imrslog.Close())
 	if e.ownsDevices {
-		if err := e.dataDev.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		errs = append(errs, e.dataDev.Close())
 	}
-	return firstErr
+	e.health.halt("close")
+	return errors.Join(errs...)
 }
 
 // Clock exposes the database commit timestamp (harness, tests).
@@ -516,7 +576,10 @@ func (e *Engine) takeCheckpointFailure() error {
 	return err
 }
 
-// noteCheckpoint records a checkpoint attempt's outcome.
+// noteCheckpoint records a checkpoint attempt's outcome and feeds the
+// health FSM: a ckptFailThreshold streak degrades the engine (cleared
+// by the next success), and a failure caused by WAL poisoning forces
+// ReadOnly.
 func (e *Engine) noteCheckpoint(err error) {
 	if err == nil {
 		e.ckptCompleted.Add(1)
@@ -524,18 +587,28 @@ func (e *Engine) noteCheckpoint(err error) {
 		e.ckptConsecFail = 0
 		e.ckptLastErr = nil
 		e.ckptFailMu.Unlock()
+		e.health.setCause(causeCheckpoint, false, "")
 		return
 	}
 	e.ckptFailed.Add(1)
 	e.ckptFailMu.Lock()
 	e.ckptConsecFail++
+	streak := e.ckptConsecFail
 	e.ckptLastErr = err
 	e.ckptFailMu.Unlock()
+	if streak >= ckptFailThreshold {
+		e.health.setCause(causeCheckpoint, true,
+			fmt.Sprintf("%d consecutive checkpoint failures, last: %v", streak, err))
+	}
+	e.notePoison() // callers hold ckptMu exclusively
 }
 
 func (e *Engine) checkpointLocked() (err error) {
 	defer func() { e.noteCheckpoint(err) }()
-	return e.checkpointBody()
+	// The retrier covers transient failures that escaped the lower
+	// retry layers (or arose between them); exhausted/permanent errors
+	// pass straight through.
+	return e.ckptRetrier.Do(e.checkpointBody)
 }
 
 func (e *Engine) checkpointBody() error {

@@ -18,4 +18,31 @@ var (
 	// limit. The bound applies to both stores: an IMRS row larger than a
 	// page could never be packed.
 	ErrRowTooLarge = errors.New("core: row exceeds the single-page size limit")
+	// ErrReadOnly reports a write rejected because the engine is in the
+	// ReadOnly health state (a WAL is poisoned and no write could ever
+	// become durable). Matched by errors.Is against the *ReadOnlyError
+	// the write paths actually return.
+	ErrReadOnly = errors.New("core: engine is read-only")
 )
+
+// ReadOnlyError is the typed write rejection carrying the root cause
+// that forced the engine read-only (typically wal.ErrPoisoned wrapping
+// the failed flush). errors.Is(err, ErrReadOnly) matches it; the cause
+// chain stays reachable through Unwrap.
+type ReadOnlyError struct {
+	Cause error
+}
+
+// Error implements error.
+func (e *ReadOnlyError) Error() string {
+	if e.Cause == nil {
+		return ErrReadOnly.Error()
+	}
+	return ErrReadOnly.Error() + ": " + e.Cause.Error()
+}
+
+// Unwrap exposes the root cause.
+func (e *ReadOnlyError) Unwrap() error { return e.Cause }
+
+// Is matches the ErrReadOnly sentinel.
+func (e *ReadOnlyError) Is(target error) bool { return target == ErrReadOnly }

@@ -246,19 +246,22 @@ func TestGroupFlushFailurePoisonsCommitPath(t *testing.T) {
 	if failedAt < 0 {
 		t.Fatal("sync fault never fired; fault injection ineffective")
 	}
-	// Poisoned: no later commit may succeed (it would flush the
-	// rolled-back committer's RecCommit along with its own records).
+	// Poisoned: the engine went ReadOnly, so later writes are rejected
+	// up front with the typed ErrReadOnly carrying the poisoning as its
+	// root cause (they could never become durable anyway).
 	tx := e.Begin()
-	if err := tx.Insert("cold", itemRow(1000, "c", 1000)); err != nil {
-		t.Fatal(err)
+	ierr := tx.Insert("cold", itemRow(1000, "c", 1000))
+	if !errors.Is(ierr, ErrReadOnly) || !errors.Is(ierr, wal.ErrPoisoned) {
+		t.Fatalf("insert after failed group flush: %v, want ErrReadOnly wrapping wal.ErrPoisoned", ierr)
 	}
-	if err := tx.Commit(); !errors.Is(err, wal.ErrPoisoned) {
-		t.Fatalf("commit after failed group flush: %v, want wal.ErrPoisoned", err)
+	tx.Abort()
+	if st := e.Health().State; st != StateReadOnly {
+		t.Fatalf("health state = %v, want read-only", st)
 	}
 	// And the failed transactions stayed rolled back in the live engine.
 	tx2 := e.Begin()
 	defer tx2.Abort()
-	for _, key := range []int64{failedAt, 1000} {
+	for _, key := range []int64{failedAt} {
 		if _, ok, _ := tx2.Get("cold", pk(key)); ok {
 			t.Fatalf("rolled-back row %d visible in the live engine", key)
 		}

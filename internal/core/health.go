@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// HealthState is the engine's operating state. States are ordered by
+// severity; the FSM only moves to a strictly more severe state except
+// for the reversible Healthy ↔ Degraded pair (DESIGN.md §9).
+//
+//	Healthy   — full service.
+//	Degraded  — full service, but new ISUDs are routed to the page store
+//	            and pack runs aggressively, shrinking the blast radius of
+//	            whatever is failing (checkpoint streak, device fault
+//	            exhaustion, IMRS cache pressure, pack error streak).
+//	ReadOnly  — a WAL is poisoned: no write can ever become durable
+//	            again, so writes are rejected with ErrReadOnly while
+//	            snapshot reads keep being served from the IMRS and page
+//	            store. Sticky until restart.
+//	Halted    — Halt/Close ran; terminal.
+type HealthState int32
+
+// Health states in severity order.
+const (
+	StateHealthy HealthState = iota
+	StateDegraded
+	StateReadOnly
+	StateHalted
+)
+
+// String implements fmt.Stringer.
+func (s HealthState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateReadOnly:
+		return "read-only"
+	case StateHalted:
+		return "halted"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// healthCause is the bitmask of conditions holding the engine in
+// Degraded. The state clears back to Healthy only when every cause has
+// cleared.
+type healthCause uint8
+
+const (
+	causeCheckpoint    healthCause = 1 << iota // checkpoint failure streak
+	causeCachePressure                         // IMRS past the reject watermark
+	causeDeviceFaults                          // data-device retry exhaustion
+	causePackErrors                            // pack relocation failure streak
+)
+
+// causeNames orders the bitmask for display.
+var causeNames = []struct {
+	bit  healthCause
+	name string
+}{
+	{causeCheckpoint, "checkpoint-failures"},
+	{causeCachePressure, "imrs-cache-pressure"},
+	{causeDeviceFaults, "device-fault-exhaustion"},
+	{causePackErrors, "pack-errors"},
+}
+
+func (c healthCause) names() []string {
+	var out []string
+	for _, cn := range causeNames {
+		if c&cn.bit != 0 {
+			out = append(out, cn.name)
+		}
+	}
+	return out
+}
+
+// packFailThreshold is how many consecutive pack relocation failures
+// arm the causePackErrors degradation.
+const packFailThreshold = 3
+
+// maxHealthTransitions bounds the transition history kept for Stats.
+const maxHealthTransitions = 32
+
+// HealthTransition is one recorded state change.
+type HealthTransition struct {
+	From, To HealthState
+	At       time.Time
+	Cause    string
+}
+
+// HealthSnapshot is the health view surfaced through Snapshot and the
+// public btrim.Health API.
+type HealthSnapshot struct {
+	State HealthState
+	// Since is when the current state was entered (engine open time for
+	// an engine that never transitioned).
+	Since time.Time
+	// DegradedCauses lists the conditions currently holding the engine
+	// in Degraded (empty in other states... and also in ReadOnly/Halted,
+	// where degradation is moot).
+	DegradedCauses []string
+	// ReadOnlyCause is the root cause that forced ReadOnly ("" before).
+	ReadOnlyCause string
+	// Transitions is the recorded state-change history, oldest first
+	// (capped at maxHealthTransitions, oldest dropped).
+	Transitions []HealthTransition
+
+	// Retry-layer counters: the data device, the WAL flush path, and the
+	// background checkpoint.
+	DeviceRetry     fault.Stats
+	WALRetry        fault.Stats
+	CheckpointRetry fault.Stats
+}
+
+// healthFSM tracks the engine state. The current state is kept in an
+// atomic for the hot-path gates (writable, imrsAdmission); everything
+// else is mutex-guarded.
+type healthFSM struct {
+	state atomic.Int32
+
+	mu          sync.Mutex
+	causes      healthCause
+	roCause     error
+	since       time.Time
+	transitions []HealthTransition
+
+	// onDegraded applies/reverts the engine's Degraded side effects
+	// (ILM per-op disable sweep + aggressive pack). Called with mu held,
+	// so it must not call back into the FSM.
+	onDegraded func(bool)
+
+	// now is the clock (tests and the chaos harness pin it).
+	now func() time.Time
+}
+
+func (h *healthFSM) init(onDegraded func(bool)) {
+	h.onDegraded = onDegraded
+	h.now = time.Now
+	h.since = h.now()
+}
+
+// load returns the current state (lock-free).
+func (h *healthFSM) load() HealthState { return HealthState(h.state.Load()) }
+
+// transitionLocked records a state change. Callers hold h.mu.
+func (h *healthFSM) transitionLocked(to HealthState, cause string) {
+	from := h.load()
+	if from == to {
+		return
+	}
+	h.state.Store(int32(to))
+	h.since = h.now()
+	h.transitions = append(h.transitions, HealthTransition{From: from, To: to, At: h.since, Cause: cause})
+	if len(h.transitions) > maxHealthTransitions {
+		h.transitions = h.transitions[len(h.transitions)-maxHealthTransitions:]
+	}
+	if h.onDegraded != nil {
+		// Side effects track Degraded membership across any transition
+		// shape (Healthy→Degraded, Degraded→ReadOnly keeps them, ...).
+		if to == StateDegraded && from != StateDegraded {
+			h.onDegraded(true)
+		} else if from == StateDegraded && to == StateHealthy {
+			h.onDegraded(false)
+		}
+	}
+}
+
+// setCause raises (on=true) or clears one Degraded cause, transitioning
+// Healthy↔Degraded as the cause set becomes non-empty/empty. Once the
+// engine is ReadOnly or Halted the cause set is still tracked (it shows
+// in stats) but cannot move the state.
+func (h *healthFSM) setCause(c healthCause, on bool, detail string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	prev := h.causes
+	if on {
+		h.causes |= c
+	} else {
+		h.causes &^= c
+	}
+	if h.causes == prev || h.load() >= StateReadOnly {
+		return
+	}
+	if h.causes != 0 {
+		h.transitionLocked(StateDegraded, detail)
+	} else {
+		h.transitionLocked(StateHealthy, "all degraded causes cleared")
+	}
+}
+
+// forceReadOnly moves to ReadOnly with the given root cause. The first
+// cause is sticky: ReadOnly cannot be left except by restart (the
+// poisoned WAL cannot be un-poisoned in place), and Halted still
+// remembers it.
+func (h *healthFSM) forceReadOnly(cause error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.load() >= StateReadOnly {
+		return
+	}
+	h.roCause = cause
+	h.transitionLocked(StateReadOnly, cause.Error())
+}
+
+// halt moves to the terminal state.
+func (h *healthFSM) halt(why string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.load() == StateHalted {
+		return
+	}
+	h.transitionLocked(StateHalted, why)
+}
+
+// readOnlyCause returns the sticky ReadOnly root cause, nil before.
+func (h *healthFSM) readOnlyCause() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.roCause
+}
+
+// writable is the write-path gate: nil in Healthy/Degraded, a typed
+// rejection in ReadOnly/Halted.
+func (h *healthFSM) writable() error {
+	switch h.load() {
+	case StateHalted:
+		return fmt.Errorf("core: engine closed")
+	case StateReadOnly:
+		return &ReadOnlyError{Cause: h.readOnlyCause()}
+	default:
+		return nil
+	}
+}
+
+// snapshot copies the health view.
+func (h *healthFSM) snapshot() HealthSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HealthSnapshot{
+		State:          h.load(),
+		Since:          h.since,
+		DegradedCauses: h.causes.names(),
+		Transitions:    append([]HealthTransition(nil), h.transitions...),
+	}
+	if h.roCause != nil {
+		s.ReadOnlyCause = h.roCause.Error()
+	}
+	return s
+}
+
+// --- Engine integration -------------------------------------------------
+
+// Health returns the engine's health view.
+func (e *Engine) Health() HealthSnapshot {
+	s := e.health.snapshot()
+	s.DeviceRetry = e.devRetrier.Stats()
+	s.WALRetry = e.walRetrier.Stats()
+	s.CheckpointRetry = e.ckptRetrier.Stats()
+	return s
+}
+
+// imrsAdmission reports whether new rows may enter the IMRS. In
+// Degraded (and worse) the answer is no: new ISUDs go to the page
+// store, capping sysimrslogs growth — the log that can only be bounded
+// by a working pack/compaction pipeline — while the engine is sick.
+// This gate is authoritative; the ILM per-op disable sweep that
+// accompanies it is advisory (the tuner may re-enable ops next window).
+func (e *Engine) imrsAdmission() bool { return e.health.load() == StateHealthy }
+
+// applyDegraded is the healthFSM's side-effect hook: route new ISUDs to
+// the page store through the ILM per-op disable path and force
+// aggressive pack, reverting both when the engine heals. Pinned
+// partitions keep their pin semantics (Pin re-asserts on the next
+// tuner window; the authoritative imrsAdmission gate covers the gap).
+func (e *Engine) applyDegraded(on bool) {
+	for _, ps := range e.ilmReg.All() {
+		ps.SetAllEnabled(!on)
+	}
+	e.packer.SetForceAggressive(on)
+}
+
+// notePoison checks both WALs for poisoning and forces ReadOnly on the
+// first one found. Callers hold ckptMu (shared or exclusive): e.imrslog
+// swaps under its exclusive side during compaction.
+func (e *Engine) notePoison() {
+	if err := e.syslog.Poisoned(); err != nil {
+		e.health.forceReadOnly(err)
+		return
+	}
+	if err := e.imrslog.Poisoned(); err != nil {
+		e.health.forceReadOnly(err)
+	}
+}

@@ -167,6 +167,7 @@ func (e *Engine) recover() error {
 		if err != nil {
 			return err
 		}
+		log.SetRetrier(e.walRetrier)
 		if _, err := log.RepairTail(); err != nil {
 			return fmt.Errorf("core: sysimrslogs generation %d: %w", ckptGen, err)
 		}

@@ -182,6 +182,15 @@ type Snapshot struct {
 	CheckpointFailures  int64
 	LastCheckpointError string
 
+	// PackRelocErrors counts failed pack relocation transactions (the
+	// entries go back on their queues; repeated streaks degrade Health).
+	PackRelocErrors int64
+
+	// Health is the engine state machine's view: current state, active
+	// degraded causes, the sticky read-only cause, transition history,
+	// and the retry-layer counters.
+	Health HealthSnapshot
+
 	Partitions []PartitionSnapshot
 	Indexes    []IndexSnapshot
 }
@@ -249,6 +258,8 @@ func (e *Engine) Stats() Snapshot {
 		Recovery:      e.recoverySnapshot(),
 		Checkpoints:   e.ckptCompleted.Load(),
 	}
+	s.PackRelocErrors = e.packer.RelocErrors.Load()
+	s.Health = e.Health()
 	s.CheckpointFailures = e.ckptFailed.Load()
 	e.ckptFailMu.Lock()
 	if e.ckptLastErr != nil {

@@ -187,11 +187,15 @@ func (t *Txn) Commit() error {
 // mid-commit. The wal layer guarantees the unwound work cannot surface
 // later: a failed Append buffers nothing, and a failed WaitDurable
 // poisons the log (wal.ErrPoisoned) — no subsequent flush can make the
-// already-appended frames, commit markers included, durable.
+// already-appended frames, commit markers included, durable. If a log
+// did get poisoned, the engine transitions to ReadOnly here: later
+// writes are rejected up front with ErrReadOnly instead of each dying
+// against the dead log, while reads keep being served.
 func (t *Txn) rollbackAfterLogError() {
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		t.undo[i]()
 	}
+	t.e.notePoison() // before finish: ckptMu is still held shared
 	t.finish()
 }
 

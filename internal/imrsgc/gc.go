@@ -4,6 +4,14 @@
 // active snapshot can read them, and — piggybacking on that processing —
 // maintain the pack subsystem's relaxed LRU queues so that transactions
 // never touch queue locks (paper Section VI-B).
+//
+// The collection pipeline is infallible by construction: retire/free
+// operate on in-memory structures only (no I/O, no allocation that can
+// fail), every hook returns nothing, and work that is not yet
+// reclaimable stays queued for the next pass. There is deliberately no
+// dropped-error path here — the engine health state machine watches the
+// subsystems that can fail (WAL, device, checkpoint, pack relocation)
+// instead.
 package imrsgc
 
 import (

@@ -65,8 +65,19 @@ type Packer struct {
 	reloc  Relocator
 
 	reject     atomic.Bool
+	forceAggr  atomic.Bool
 	lastTuneTS atomic.Uint64
 	lastReuse  map[rid.PartitionID]int64 // per-cycle reuse snapshots
+
+	relocStreak atomic.Int64 // consecutive PackEntries failures
+
+	// OnOverload fires when the reject backstop flips (true = the IMRS
+	// stopped accepting new rows); OnRelocStreak fires with the updated
+	// consecutive relocation-failure count after every PackEntries
+	// outcome (err nil on the success that resets it to 0). Both feed
+	// the engine health FSM. Set before Start; may be nil.
+	OnOverload    func(bool)
+	OnRelocStreak func(streak int64, err error)
 
 	interval time.Duration
 	threads  int
@@ -107,6 +118,18 @@ func New(cfg ilm.Config, store *imrs.Store, queues *QueueSet, reg *ilm.Registry,
 // engine redirects inserts/migrations to the page store when false
 // (paper Section VI-A's overload backstop).
 func (p *Packer) AcceptNewRows() bool { return !p.reject.Load() }
+
+// SetForceAggressive pins the pack level to aggressive regardless of
+// cache utilization — the Degraded engine drains the IMRS toward the
+// page store to shrink both cache pressure and the unpacked redo tail.
+func (p *Packer) SetForceAggressive(v bool) { p.forceAggr.Store(v) }
+
+// setReject flips the overload backstop and notifies on change.
+func (p *Packer) setReject(v bool) {
+	if p.reject.Swap(v) != v && p.OnOverload != nil {
+		p.OnOverload(v)
+	}
+}
 
 // Start launches the background pack loop.
 func (p *Packer) Start() {
@@ -152,7 +175,7 @@ func (p *Packer) Step() {
 
 	level := p.level(used)
 	if level == LevelIdle {
-		p.reject.Store(false)
+		p.setReject(false)
 		return
 	}
 	p.runCycle(used, level)
@@ -164,14 +187,17 @@ func (p *Packer) Step() {
 	rejectWM := p.rejectWatermark()
 	switch {
 	case float64(usedAfter) >= rejectWM*capB:
-		p.reject.Store(true)
+		p.setReject(true)
 	case float64(usedAfter) < p.cfg.SteadyCacheUtilization*capB:
-		p.reject.Store(false)
+		p.setReject(false)
 	}
 }
 
 // level maps utilization to a pack level.
 func (p *Packer) level(used int64) Level {
+	if p.forceAggr.Load() {
+		return LevelAggressive
+	}
 	capB := float64(p.store.Allocator().Capacity())
 	util := float64(used) / capB
 	switch {
@@ -246,6 +272,23 @@ func (p *Packer) collectSamples() []ilm.PartSample {
 	return samples
 }
 
+// noteReloc tracks the consecutive relocation-failure streak. It used
+// to be nothing: PackEntries errors were counted and otherwise dropped
+// on the floor, so a persistently failing pack pipeline (full page
+// store, sick device) looked identical to a healthy idle one.
+func (p *Packer) noteReloc(err error) {
+	if err == nil {
+		if p.relocStreak.Swap(0) != 0 && p.OnRelocStreak != nil {
+			p.OnRelocStreak(0, nil)
+		}
+		return
+	}
+	n := p.relocStreak.Add(1)
+	if p.OnRelocStreak != nil {
+		p.OnRelocStreak(n, err)
+	}
+}
+
 // packPartition packs up to share.PackBytes from one partition,
 // harvesting its three origin queues round-robin and applying the TSF
 // hotness check at steady level.
@@ -271,6 +314,7 @@ func (p *Packer) packPartition(share ilm.PartShare, level Level) {
 			return
 		}
 		rows, bytes, err := p.reloc.PackEntries(share.ID, batch)
+		p.noteReloc(err)
 		if err != nil {
 			// Keep unpacked entries reachable: anything still live goes
 			// back on its queue for a later cycle.

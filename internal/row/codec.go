@@ -91,10 +91,17 @@ func Decode(s *Schema, buf []byte) (Row, error) {
 			pos += 8
 		case KindString, KindBytes:
 			n, w := binary.Uvarint(buf[pos:])
-			if w <= 0 || pos+w+int(n) > len(buf) {
+			if w <= 0 || w != uvarintLen(n) {
+				// Only minimal-width varints are valid: Encode never
+				// emits padded ones, so anything else is corruption.
 				return nil, fmt.Errorf("row: truncated varlen at column %d", i)
 			}
 			pos += w
+			// Compare in uint64 space: a hostile length near 2^64 would
+			// wrap an int addition and pass a pos+n bound check.
+			if n > uint64(len(buf)-pos) {
+				return nil, fmt.Errorf("row: truncated varlen at column %d", i)
+			}
 			payload := buf[pos : pos+int(n)]
 			pos += int(n)
 			if k == KindString {

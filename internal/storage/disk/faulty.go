@@ -3,10 +3,20 @@ package disk
 import (
 	"fmt"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // FaultyDevice wraps a Device and fails operations once a trigger count
 // is reached — failure injection for recovery and error-path tests.
+// Two injection modes compose:
+//
+//   - FailReadsAfter/FailWritesAfter: hard mode — once that many
+//     operations have succeeded, every subsequent one fails with a
+//     permanent ErrInjected (the device died).
+//   - transient budgets (AddTransientReadFaults/AddTransientWriteFaults):
+//     the next N operations fail with a transient-marked error, then the
+//     device heals — a glitching device the retry layer should absorb.
 type FaultyDevice struct {
 	Inner Device
 	// FailReadsAfter / FailWritesAfter: once that many successful
@@ -16,15 +26,50 @@ type FaultyDevice struct {
 
 	reads  atomic.Int64
 	writes atomic.Int64
+
+	transientReads  atomic.Int64
+	transientWrites atomic.Int64
+	injected        atomic.Int64
 }
 
 // ErrInjected is returned by injected failures.
 var ErrInjected = fmt.Errorf("disk: injected fault")
 
+// ErrInjectedTransient is the transient-classified injected failure.
+var ErrInjectedTransient = fault.MarkTransient(fmt.Errorf("disk: injected transient fault"))
+
+// AddTransientReadFaults arms the next n reads to fail transiently.
+func (d *FaultyDevice) AddTransientReadFaults(n int64) { d.transientReads.Add(n) }
+
+// AddTransientWriteFaults arms the next n writes to fail transiently.
+func (d *FaultyDevice) AddTransientWriteFaults(n int64) { d.transientWrites.Add(n) }
+
+// Injected returns the total number of faults injected so far.
+func (d *FaultyDevice) Injected() int64 { return d.injected.Load() }
+
+// takeTransient consumes one unit of a transient budget, never going
+// below zero under concurrent callers.
+func takeTransient(budget *atomic.Int64) bool {
+	for {
+		n := budget.Load()
+		if n <= 0 {
+			return false
+		}
+		if budget.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
 // ReadPage implements Device.
 func (d *FaultyDevice) ReadPage(id uint32, buf []byte) error {
 	if d.FailReadsAfter > 0 && d.reads.Add(1) > d.FailReadsAfter {
+		d.injected.Add(1)
 		return ErrInjected
+	}
+	if takeTransient(&d.transientReads) {
+		d.injected.Add(1)
+		return ErrInjectedTransient
 	}
 	return d.Inner.ReadPage(id, buf)
 }
@@ -32,7 +77,12 @@ func (d *FaultyDevice) ReadPage(id uint32, buf []byte) error {
 // WritePage implements Device.
 func (d *FaultyDevice) WritePage(id uint32, buf []byte) error {
 	if d.FailWritesAfter > 0 && d.writes.Add(1) > d.FailWritesAfter {
+		d.injected.Add(1)
 		return ErrInjected
+	}
+	if takeTransient(&d.transientWrites) {
+		d.injected.Add(1)
+		return ErrInjectedTransient
 	}
 	return d.Inner.WritePage(id, buf)
 }

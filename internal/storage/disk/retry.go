@@ -1,0 +1,52 @@
+package disk
+
+import "repro/internal/fault"
+
+// RetryDevice wraps a Device and runs every page read, page write, and
+// sync through a fault.Retrier, absorbing transient device glitches
+// before they reach the buffer pool or recovery. Retrying is safe here
+// because Device operations are idempotent: ReadPage/WritePage address
+// a fixed page id and a failed attempt leaves no partial state the
+// retry could double-apply.
+//
+// A nil Retrier degrades to a transparent pass-through (the
+// DisableRetry configuration path).
+type RetryDevice struct {
+	Inner   Device
+	Retrier *fault.Retrier
+}
+
+// WithRetry wraps dev with r. A nil r returns dev unchanged — no
+// wrapper layer, no per-op indirection.
+func WithRetry(dev Device, r *fault.Retrier) Device {
+	if r == nil {
+		return dev
+	}
+	return &RetryDevice{Inner: dev, Retrier: r}
+}
+
+// ReadPage implements Device.
+func (d *RetryDevice) ReadPage(id uint32, buf []byte) error {
+	return d.Retrier.Do(func() error { return d.Inner.ReadPage(id, buf) })
+}
+
+// WritePage implements Device.
+func (d *RetryDevice) WritePage(id uint32, buf []byte) error {
+	return d.Retrier.Do(func() error { return d.Inner.WritePage(id, buf) })
+}
+
+// AllocatePage implements Device. Allocation mutates device metadata,
+// so it is not blind-retried: a transient failure surfaces as-is and
+// the caller's own retry (if any) decides.
+func (d *RetryDevice) AllocatePage() (uint32, error) { return d.Inner.AllocatePage() }
+
+// NumPages implements Device.
+func (d *RetryDevice) NumPages() uint32 { return d.Inner.NumPages() }
+
+// Sync implements Device.
+func (d *RetryDevice) Sync() error {
+	return d.Retrier.Do(func() error { return d.Inner.Sync() })
+}
+
+// Close implements Device.
+func (d *RetryDevice) Close() error { return d.Inner.Close() }

@@ -1,0 +1,89 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+func newTestDevice(t *testing.T, pages int) *MemDevice {
+	t.Helper()
+	dev := NewMemDevice(0, 0)
+	for i := 0; i < pages; i++ {
+		if _, err := dev.AllocatePage(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dev
+}
+
+func TestRetryDeviceAbsorbsTransientFaults(t *testing.T) {
+	mem := newTestDevice(t, 1)
+	fd := &FaultyDevice{Inner: mem}
+	r := fault.NewRetrier(fault.Policy{MaxAttempts: 4})
+	r.Sleep = func(time.Duration) {}
+	dev := WithRetry(fd, r)
+
+	buf := make([]byte, PageSize)
+	buf[0] = 0xAB
+	fd.AddTransientWriteFaults(3)
+	if err := dev.WritePage(0, buf); err != nil {
+		t.Fatalf("write through 3 transient faults: %v", err)
+	}
+	got := make([]byte, PageSize)
+	fd.AddTransientReadFaults(2)
+	if err := dev.ReadPage(0, got); err != nil {
+		t.Fatalf("read through 2 transient faults: %v", err)
+	}
+	if got[0] != 0xAB {
+		t.Fatalf("read back %x, want ab", got[0])
+	}
+	if s := r.Stats(); s.Retries != 5 || s.Recovered != 2 || s.Exhausted != 0 {
+		t.Fatalf("retrier stats = %+v", s)
+	}
+}
+
+func TestRetryDeviceExhaustsOnPersistentGlitch(t *testing.T) {
+	mem := newTestDevice(t, 1)
+	fd := &FaultyDevice{Inner: mem}
+	r := fault.NewRetrier(fault.Policy{MaxAttempts: 3})
+	r.Sleep = func(time.Duration) {}
+	dev := WithRetry(fd, r)
+
+	fd.AddTransientReadFaults(10) // more than the attempt budget
+	err := dev.ReadPage(0, make([]byte, PageSize))
+	if !errors.Is(err, fault.ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	if s := r.Stats(); s.Exhausted != 1 {
+		t.Fatalf("retrier stats = %+v", s)
+	}
+}
+
+func TestRetryDevicePermanentFaultNotRetried(t *testing.T) {
+	mem := newTestDevice(t, 1)
+	fd := &FaultyDevice{Inner: mem, FailWritesAfter: 1}
+	r := fault.NewRetrier(fault.Policy{MaxAttempts: 5})
+	r.Sleep = func(time.Duration) { t.Fatal("permanent fault must not back off") }
+	dev := WithRetry(fd, r)
+
+	buf := make([]byte, PageSize)
+	if err := dev.WritePage(0, buf); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if err := dev.WritePage(0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected unchanged", err)
+	}
+	if fd.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1 (no retries against a dead device)", fd.Injected())
+	}
+}
+
+func TestWithRetryNilPassThrough(t *testing.T) {
+	mem := newTestDevice(t, 0)
+	if dev := WithRetry(mem, nil); dev != Device(mem) {
+		t.Fatal("nil retrier should return the device unwrapped")
+	}
+}

@@ -3,16 +3,27 @@ package wal
 import (
 	"errors"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // ErrInjected is returned by FaultyBackend's injected failures.
 var ErrInjected = errors.New("wal: injected backend fault")
+
+// ErrInjectedTransient is the transient-classified injected failure.
+var ErrInjectedTransient = fault.MarkTransient(errors.New("wal: injected transient backend fault"))
 
 // FaultyBackend wraps a Backend and kills it after a trigger count of
 // appends or syncs — failure injection for group-commit error paths and
 // crash-recovery tests. When an append is killed, TornBytes of the batch
 // are still written to the inner backend first, modelling a power cut
 // mid-write that leaves a torn final frame on the medium.
+//
+// On top of the hard (device-died) mode, AddTransientAppendFaults and
+// AddTransientSyncFaults arm a budget of transient glitches: the next N
+// appends/syncs fail with a transient-marked error BEFORE touching the
+// inner backend (no torn bytes, no dead flag), then the device heals.
+// This is the mode the WAL flush retry layer is tested against.
 type FaultyBackend struct {
 	Inner Backend
 
@@ -30,10 +41,48 @@ type FaultyBackend struct {
 	syncs   atomic.Int64
 	torn    atomic.Bool
 	dead    atomic.Bool
+
+	transientAppends atomic.Int64
+	transientSyncs   atomic.Int64
+	injected         atomic.Int64
+	killed           atomic.Bool
+}
+
+// Kill marks the device dead immediately: every subsequent append and
+// sync fails hard (permanent), independent of the After counters. Lets
+// tests trigger the device death at an exact point in a workload instead
+// of budgeting operation counts.
+func (b *FaultyBackend) Kill() { b.killed.Store(true); b.dead.Store(true) }
+
+// AddTransientAppendFaults arms the next n appends to fail transiently.
+func (b *FaultyBackend) AddTransientAppendFaults(n int64) { b.transientAppends.Add(n) }
+
+// AddTransientSyncFaults arms the next n syncs to fail transiently.
+func (b *FaultyBackend) AddTransientSyncFaults(n int64) { b.transientSyncs.Add(n) }
+
+// Injected returns the total number of faults injected so far.
+func (b *FaultyBackend) Injected() int64 { return b.injected.Load() }
+
+// takeBudget consumes one unit of a transient budget, never going below
+// zero under concurrent callers.
+func takeBudget(budget *atomic.Int64) bool {
+	for {
+		n := budget.Load()
+		if n <= 0 {
+			return false
+		}
+		if budget.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
 }
 
 // Append implements Backend.
 func (b *FaultyBackend) Append(p []byte) (int64, error) {
+	if b.killed.Load() {
+		b.injected.Add(1)
+		return 0, ErrInjected
+	}
 	if b.FailAppendsAfter > 0 && b.appends.Add(1) > b.FailAppendsAfter {
 		if b.TornBytes > 0 && b.torn.CompareAndSwap(false, true) {
 			n := b.TornBytes
@@ -43,7 +92,12 @@ func (b *FaultyBackend) Append(p []byte) (int64, error) {
 			_, _ = b.Inner.Append(p[:n])
 		}
 		b.dead.Store(true)
+		b.injected.Add(1)
 		return 0, ErrInjected
+	}
+	if takeBudget(&b.transientAppends) {
+		b.injected.Add(1)
+		return 0, ErrInjectedTransient
 	}
 	return b.Inner.Append(p)
 }
@@ -67,9 +121,18 @@ func (b *FaultyBackend) Size() (int64, error) { return b.Inner.Size() }
 
 // Sync implements Backend.
 func (b *FaultyBackend) Sync() error {
+	if b.killed.Load() {
+		b.injected.Add(1)
+		return ErrInjected
+	}
 	if b.FailSyncsAfter > 0 && b.syncs.Add(1) > b.FailSyncsAfter {
 		b.dead.Store(true)
+		b.injected.Add(1)
 		return ErrInjected
+	}
+	if takeBudget(&b.transientSyncs) {
+		b.injected.Add(1)
+		return ErrInjectedTransient
 	}
 	return b.Inner.Sync()
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 )
 
@@ -49,6 +50,11 @@ type Log struct {
 
 	nextLSN    atomic.Uint64 // next LSN to hand out
 	flushedLSN atomic.Uint64 // durable prefix
+
+	// retrier absorbs transient backend failures during Flush before
+	// they can escalate into poisoning. Set once at open time via
+	// SetRetrier; nil means no retry.
+	retrier *fault.Retrier
 
 	stats LogStats
 
@@ -164,7 +170,16 @@ func (l *Log) Flush(lsn uint64) error {
 	l.pending = nil
 	newBase := l.base + int64(len(pending))
 	if len(pending) > 0 {
-		if _, err := l.backend.Append(pending); err != nil {
+		// Retry transient append failures in place (holding l.mu keeps the
+		// buffered tail consistent; the backoff delays are sub-millisecond
+		// by default). Safe because a failed Append writes nothing the
+		// backend acknowledges: FileBackend only advances its size on
+		// success and MemBackend appends atomically, so re-running the
+		// same batch never duplicates frames.
+		if err := l.retrier.Do(func() error {
+			_, aerr := l.backend.Append(pending)
+			return aerr
+		}); err != nil {
 			// Restore the buffer so a retry can succeed.
 			l.pending = pending
 			l.mu.Unlock()
@@ -180,7 +195,7 @@ func (l *Log) Flush(lsn uint64) error {
 	if l.flushedLSN.Load() >= lsn {
 		return nil
 	}
-	if err := l.backend.Sync(); err != nil {
+	if err := l.retrier.Do(l.backend.Sync); err != nil {
 		return err
 	}
 	// Everything buffered at the time of the call is now durable.
@@ -302,6 +317,19 @@ func (l *Log) checkFrame(off, size int64) (next int64, valid bool, err error) {
 	return next, valid, nil
 }
 
+// SetRetrier installs the transient-failure retrier used by Flush.
+// Call before the log sees traffic (open/recovery time); a nil r
+// disables retries.
+func (l *Log) SetRetrier(r *fault.Retrier) { l.retrier = r }
+
+// Poisoned returns the poisoning error (wrapping ErrPoisoned and the
+// root-cause flush failure), or nil while the log is healthy.
+func (l *Log) Poisoned() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.poisoned
+}
+
 // FlushedLSN returns the durable prefix.
 func (l *Log) FlushedLSN() uint64 { return l.flushedLSN.Load() }
 
@@ -325,13 +353,19 @@ func (l *Log) Size() int64 {
 }
 
 // Close stops the group-commit flusher (if running), flushes, and
-// closes the backend.
+// closes the backend. The backend is closed even when the final flush
+// fails — a poisoned log must still release its file handle — and the
+// returned error aggregates every failure (errors.Is sees each). A
+// poisoned log always reports its poisoning here, even though poison()
+// already emptied the buffered tail and a flush would trivially
+// "succeed": callers asking to close cleanly must learn the log died.
 func (l *Log) Close() error {
 	l.StopGroupCommit()
-	if err := l.FlushAll(); err != nil {
-		return err
+	var flushErr error
+	if l.Poisoned() == nil {
+		flushErr = l.FlushAll()
 	}
-	return l.backend.Close()
+	return errors.Join(l.Poisoned(), flushErr, l.backend.Close())
 }
 
 // Reader iterates records in LSN order. Readers see only flushed

@@ -86,6 +86,16 @@ func (r *Record) encode(dst []byte) []byte {
 	return dst
 }
 
+// uvarintLen returns the minimal encoded width of x.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
 // decodeRecord parses a record body.
 func decodeRecord(buf []byte) (Record, error) {
 	var r Record
@@ -107,10 +117,18 @@ func decodeRecord(buf []byte) (Record, error) {
 	pos++
 	for _, field := range []*[]byte{&r.Before, &r.After} {
 		n, w := binary.Uvarint(buf[pos:])
-		if w <= 0 || pos+w+int(n) > len(buf) {
+		if w <= 0 || w != uvarintLen(n) {
+			// Only minimal-width varints are valid: encode never emits
+			// padded ones, so anything else is corruption (and accepting
+			// them would break the decode→encode identity).
 			return r, fmt.Errorf("wal: truncated varlen field")
 		}
 		pos += w
+		// Compare in uint64 space: a hostile length close to 2^64 would
+		// wrap an int addition and sneak past a pos+n > len check.
+		if n > uint64(len(buf)-pos) {
+			return r, fmt.Errorf("wal: truncated varlen field")
+		}
 		if n > 0 {
 			*field = append([]byte(nil), buf[pos:pos+int(n)]...)
 		}
