@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race test-race-internal test-recovery test-chaos fuzz bench-commit bench-read bench-recovery ci
+.PHONY: build vet test test-race test-race-internal test-recovery test-gc test-chaos fuzz bench-commit bench-read bench-recovery bench-mixed bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,14 @@ test-race-internal:
 # equivalence, checkpoint-failure surfacing) under the race detector.
 test-recovery:
 	$(GO) test -race ./internal/core/ -run 'Recovery|Checkpoint|Compaction|Crash|Halt'
+
+# IMRS-GC and allocator correctness under the race detector: the
+# serial==parallel reclamation equivalence property, concurrent
+# producer/reclaim stress, Stop() late-reclaimable drain, allocator
+# churn/Used() exactness, and the DML allocation-budget tests.
+test-gc:
+	$(GO) test -race ./internal/imrsgc/ ./internal/imrs/
+	$(GO) test -race ./internal/core/ -run 'AllocBudget'
 
 # Randomized fault-injection soak (internal/chaos) under the race
 # detector: transient device/WAL glitches, hard log deaths, and
@@ -53,6 +61,21 @@ bench-commit:
 # BENCH_read.json.
 bench-read:
 	$(GO) run ./cmd/readbench
+
+# Mixed-ISUD sweep (striped GC + pooled scratch vs the single-flight /
+# legacy-alloc baseline); writes BENCH_mixed.json.
+bench-mixed:
+	$(GO) run ./cmd/mixedbench
+
+# Tiny run of every benchmark binary: catches bit-rotted flags, broken
+# sweeps, and report-writing regressions without burning CI minutes on
+# real measurement. Numbers from this target are meaningless.
+bench-smoke:
+	$(GO) run ./cmd/commitbench -duration 200ms -goroutines 1,2 -json ""
+	$(GO) run ./cmd/readbench -duration 200ms -goroutines 1,2 -rows 1000 -json ""
+	$(GO) run ./cmd/recoverybench -rows 2000 -parts 1 -threads 1,2 -json /tmp/bench-smoke-recovery.json
+	$(GO) run ./cmd/tpccbench -duration 200ms -warehouses 1 -workers 2 -customers 10 -items 50
+	$(GO) run ./cmd/mixedbench -duration 200ms -goroutines 1,2 -gcworkers 1,2 -hotrows 1000 -coldrows 500 -json ""
 
 # What CI runs. Short mode skips the long TPC-C sweeps so the race
 # detector pass stays within runner budgets; drop -short locally for

@@ -123,6 +123,17 @@ type Config struct {
 	// held across buffer-pool fetches (the pre-latch-coupling
 	// behaviour). Benchmark baseline only.
 	CoarseIndexLatch bool
+
+	// GCWorkers sets the IMRS-GC worker count (0 keeps the default).
+	GCWorkers int
+	// SingleFlightGC reverts the IMRS-GC to one shared retire buffer
+	// and a single-flight reclamation pass (the pre-striping behaviour).
+	// Benchmark baseline only.
+	SingleFlightGC bool
+	// LegacyTxnAlloc disables the pooled transaction scratch and the
+	// encode-into-fragment row path (the pre-pooling behaviour).
+	// Benchmark baseline only.
+	LegacyTxnAlloc bool
 }
 
 // DB is an open database.
@@ -158,6 +169,11 @@ func Open(cfg Config) (*DB, error) {
 	ec.CommitCoalesceDelay = cfg.CommitCoalesceDelay
 	ec.CommitMaxBatchBytes = cfg.CommitMaxBatchBytes
 	ec.CoarseIndexLatch = cfg.CoarseIndexLatch
+	if cfg.GCWorkers > 0 {
+		ec.GCWorkers = cfg.GCWorkers
+	}
+	ec.SingleFlightGC = cfg.SingleFlightGC
+	ec.LegacyTxnAlloc = cfg.LegacyTxnAlloc
 	eng, err := core.Open(ec)
 	if err != nil {
 		return nil, err

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/btrim"
+	"repro/internal/harness"
 )
 
 type result struct {
@@ -48,7 +49,13 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Second, "measure time per configuration")
 	gostr := flag.String("goroutines", "1,4,8,16", "comma-separated committer counts")
 	jsonPath := flag.String("json", "BENCH_commit.json", "JSON report path (empty = no report)")
+	prof := harness.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
 
 	var workerCounts []int
 	for _, s := range strings.Split(*gostr, ",") {

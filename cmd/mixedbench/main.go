@@ -1,0 +1,400 @@
+// Command mixedbench measures mixed-ISUD throughput (default mix
+// 50% update / 25% select / 15% insert / 10% delete) against both an
+// IMRS-pinned "hot" table and a pinned-out page-store "cold" table,
+// sweeping client goroutines and IMRS-GC worker counts.
+//
+// It exists to quantify the contention-free DML hot path: the striped
+// GC retire pipeline + partition-parallel reclamation + pooled
+// transaction scratch, against the pre-change engine reachable through
+// the SingleFlightGC/LegacyTxnAlloc config knobs (mode=baseline). An
+// optional "reporting reader" goroutine (-holdms) repeatedly holds a
+// snapshot open, which is what real mixed OLTP/reporting workloads do —
+// retired versions then pile up behind the snapshot and the old
+// single-flight collector rescans the whole backlog on every commit
+// poke, while the striped collector's seq-ordered gated lists make each
+// pass O(newly reclaimable).
+//
+// Sweeps written to BENCH_mixed.json (see EXPERIMENTS.md):
+//   - headline: mode in {baseline, striped} x goroutines, scanner on
+//   - ablation: striped x gcworkers in {1,2,4} at 8 goroutines
+//   - negative control: scanner off, legacy allocation, GC workers = 1 —
+//     the striped machinery with no backlog and no pooling must sit at
+//     the baseline's throughput (it removes contention, not work)
+//
+// Usage:
+//
+//	mixedbench [-duration 2s] [-goroutines 1,4,8,16] [-gcworkers 1,2,4]
+//	           [-hotrows 12000] [-coldrows 6000] [-holdms 40]
+//	           [-json BENCH_mixed.json] [-cpuprofile f] [-memprofile f]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/btrim"
+	"repro/internal/harness"
+)
+
+type gcStats struct {
+	Passes        int64 `json:"gc_passes"`
+	VersionsFreed int64 `json:"gc_versions_freed"`
+	EntriesFreed  int64 `json:"gc_entries_freed"`
+	Allocs        int64 `json:"imrs_allocs"`
+	Frees         int64 `json:"imrs_frees"`
+	SlabGrabs     int64 `json:"imrs_slab_grabs"`
+}
+
+type result struct {
+	Section      string  `json:"section"` // headline | ablation | control
+	Mode         string  `json:"mode"`    // striped | baseline
+	Goroutines   int     `json:"goroutines"`
+	GCWorkers    int     `json:"gc_workers"`
+	Scanner      bool    `json:"reporting_scanner"`
+	LegacyAlloc  bool    `json:"legacy_alloc"`
+	Seconds      float64 `json:"seconds"`
+	Ops          int64   `json:"ops"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	Updates      int64   `json:"updates"`
+	Selects      int64   `json:"selects"`
+	Inserts      int64   `json:"inserts"`
+	Deletes      int64   `json:"deletes"`
+	MallocsPerOp float64 `json:"mallocs_per_op"`
+	GC           gcStats `json:"gc"`
+}
+
+type report struct {
+	Benchmark  string   `json:"benchmark"`
+	Started    string   `json:"started"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Notes      []string `json:"notes"`
+	Results    []result `json:"results"`
+}
+
+type runCfg struct {
+	section    string
+	mode       string // striped | baseline
+	goroutines int
+	gcWorkers  int
+	scanner    bool
+	legacy     bool
+}
+
+func main() {
+	duration := flag.Duration("duration", 2*time.Second, "measure time per configuration")
+	gostr := flag.String("goroutines", "1,4,8,16", "comma-separated client counts for the headline sweep")
+	gcstr := flag.String("gcworkers", "1,2,4", "comma-separated GC worker counts for the ablation sweep")
+	hotRows := flag.Int("hotrows", 12000, "preloaded IMRS-pinned rows")
+	coldRows := flag.Int("coldrows", 6000, "preloaded page-store rows")
+	holdMS := flag.Int("holdms", 40, "reporting-reader snapshot hold (ms); gates GC and builds retire backlog")
+	jsonPath := flag.String("json", "BENCH_mixed.json", "JSON report path (empty = no report)")
+	prof := harness.RegisterProfileFlags(flag.CommandLine)
+	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
+
+	rep := report{
+		Benchmark:  "mixed-ISUD (50U/25S/15I/10D, hot IMRS table + cold page-store table)",
+		Started:    time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Notes: []string{
+			"mode=baseline is the pre-change engine via config knobs: SingleFlightGC (one retire buffer, single-flight full-backlog reclaim passes) + LegacyTxnAlloc (per-txn slice allocation, encode-then-copy row images).",
+			"The reporting scanner holds a read snapshot for -holdms at a time; retired versions are unreclaimable while it lives, so the baseline collector's per-poke full-backlog rescans grow linear in the backlog while the striped collector's gated seq-ordered lists keep passes O(newly reclaimable).",
+			"The control section runs scanner-off with legacy allocation and one GC worker: striping removes contention and rescans, not work, so with no backlog and no pooling it must match the baseline.",
+		},
+	}
+
+	var cfgs []runCfg
+	for _, g := range parseInts(*gostr) {
+		cfgs = append(cfgs, runCfg{section: "headline", mode: "baseline", goroutines: g, gcWorkers: 2, scanner: true, legacy: true})
+		cfgs = append(cfgs, runCfg{section: "headline", mode: "striped", goroutines: g, gcWorkers: 2, scanner: true})
+	}
+	for _, w := range parseInts(*gcstr) {
+		cfgs = append(cfgs, runCfg{section: "ablation", mode: "striped", goroutines: 8, gcWorkers: w, scanner: true})
+	}
+	cfgs = append(cfgs,
+		runCfg{section: "control", mode: "baseline", goroutines: 8, gcWorkers: 1, scanner: false, legacy: true},
+		runCfg{section: "control", mode: "striped", goroutines: 8, gcWorkers: 1, scanner: false, legacy: true},
+	)
+
+	for _, rc := range cfgs {
+		r, err := run(rc, *hotRows, *coldRows, *holdMS, *duration)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "run:", err)
+			os.Exit(1)
+		}
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("%-8s mode=%-8s goroutines=%-3d gcworkers=%d scanner=%-5v %10.0f ops/s  (%.1f mallocs/op, %d gc passes)\n",
+			r.Section, r.Mode, r.Goroutines, r.GCWorkers, r.Scanner, r.OpsPerSec, r.MallocsPerOp, r.GC.Passes)
+	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *jsonPath)
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			fmt.Fprintln(os.Stderr, "bad count:", f)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func tableSpec(name string) btrim.TableSpec {
+	return btrim.TableSpec{
+		Name: name,
+		Columns: []btrim.Column{
+			{Name: "id", Type: btrim.Int64Type},
+			{Name: "payload", Type: btrim.StringType},
+			{Name: "counter", Type: btrim.Int64Type},
+		},
+		PrimaryKey: []string{"id"},
+	}
+}
+
+func run(rc runCfg, hotRows, coldRows, holdMS int, duration time.Duration) (result, error) {
+	db, err := btrim.Open(btrim.Config{
+		IMRSCacheBytes: 128 << 20,
+		GCWorkers:      rc.gcWorkers,
+		SingleFlightGC: rc.mode == "baseline",
+		LegacyTxnAlloc: rc.legacy,
+	})
+	if err != nil {
+		return result{}, err
+	}
+	defer db.Close()
+
+	for _, name := range []string{"hot", "cold"} {
+		if err := db.CreateTable(tableSpec(name)); err != nil {
+			return result{}, err
+		}
+	}
+	// Deterministic storage decisions: hot rows live in the IMRS, cold
+	// rows in the page store.
+	if err := db.PinTable("hot", true); err != nil {
+		return result{}, err
+	}
+	if err := db.PinTable("cold", false); err != nil {
+		return result{}, err
+	}
+
+	payload := strings.Repeat("x", 48)
+	load := func(table string, n int) error {
+		for lo := 0; lo < n; lo += 200 {
+			hi := lo + 200
+			if hi > n {
+				hi = n
+			}
+			err := db.Update(func(tx *btrim.Tx) error {
+				for id := lo; id < hi; id++ {
+					if err := tx.Insert(table, btrim.Values(
+						btrim.Int64(int64(id)), btrim.String(payload), btrim.Int64(0))); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := load("hot", hotRows); err != nil {
+		return result{}, err
+	}
+	if err := load("cold", coldRows); err != nil {
+		return result{}, err
+	}
+
+	var updates, selects, inserts, deletes atomic.Int64
+	var errCount atomic.Int64
+	var firstErr atomic.Value
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// The reporting reader: repeatedly opens a snapshot, reads a handful
+	// of rows, and keeps the transaction open for holdMS before
+	// finishing — the OLTP/reporting coexistence the paper's IMRS is
+	// about, and the condition under which retire backlog accumulates.
+	if rc.scanner {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(7))
+			for !stop.Load() {
+				tx := db.Begin()
+				for i := 0; i < 16; i++ {
+					if _, _, err := tx.Get("hot", btrim.Int64(int64(rng.Intn(hotRows)))); err != nil {
+						break
+					}
+				}
+				deadline := time.Now().Add(time.Duration(holdMS) * time.Millisecond)
+				for !stop.Load() && time.Now().Before(deadline) {
+					time.Sleep(time.Millisecond)
+				}
+				tx.Abort() // read-only
+			}
+		}()
+	}
+
+	// Per-worker disjoint insert key ranges, far above the preload; each
+	// worker deletes its own oldest insert (per table, so the delete hits
+	// the table that row actually lives in) once enough accumulate, so
+	// table size stays steady and deletes always find a row.
+	const insertStride = 10_000_000
+	start := time.Now()
+	for w := 0; w < rc.goroutines; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			nextIns := map[string]int64{
+				"hot":  int64((w + 1) * insertStride),
+				"cold": int64((w+1)*insertStride) + insertStride/2,
+			}
+			pendingDel := map[string]int64{"hot": nextIns["hot"], "cold": nextIns["cold"]}
+			for !stop.Load() {
+				dice := rng.Intn(100)
+				// 70% of key traffic targets the hot table.
+				table, nrows := "hot", hotRows
+				if rng.Intn(100) >= 70 {
+					table, nrows = "cold", coldRows
+				}
+				var err error
+				switch {
+				case dice < 50: // update
+					key := btrim.Int64(int64(rng.Intn(nrows)))
+					err = db.Update(func(tx *btrim.Tx) error {
+						_, uerr := tx.Update(table, []btrim.Value{key}, func(r btrim.Row) (btrim.Row, error) {
+							r[2] = btrim.Int64(r[2].Int() + 1)
+							return r, nil
+						})
+						return uerr
+					})
+					if err == nil {
+						updates.Add(1)
+					}
+				case dice < 75: // select
+					err = db.View(func(tx *btrim.Tx) error {
+						_, _, gerr := tx.Get(table, btrim.Int64(int64(rng.Intn(nrows))))
+						return gerr
+					})
+					if err == nil {
+						selects.Add(1)
+					}
+				case dice < 90: // insert
+					id := nextIns[table]
+					nextIns[table]++
+					err = db.Update(func(tx *btrim.Tx) error {
+						return tx.Insert(table, btrim.Values(
+							btrim.Int64(id), btrim.String(payload), btrim.Int64(0)))
+					})
+					if err == nil {
+						inserts.Add(1)
+					}
+				default: // delete one of our earlier inserts
+					if pendingDel[table] >= nextIns[table] {
+						continue
+					}
+					id := pendingDel[table]
+					pendingDel[table]++
+					err = db.Update(func(tx *btrim.Tx) error {
+						_, derr := tx.Delete(table, btrim.Int64(id))
+						return derr
+					})
+					if err == nil {
+						deletes.Add(1)
+					}
+				}
+				if err != nil {
+					errCount.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+					if errCount.Load() > 100 {
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	base := db.Engine().Stats()
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	t0 := time.Now()
+	opsBefore := updates.Load() + selects.Load() + inserts.Load() + deletes.Load()
+
+	time.Sleep(duration)
+
+	opsAfter := updates.Load() + selects.Load() + inserts.Load() + deletes.Load()
+	elapsed := time.Since(t0)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	st := db.Engine().Stats()
+
+	stop.Store(true)
+	wg.Wait()
+	_ = start
+
+	if e, ok := firstErr.Load().(error); ok && errCount.Load() > 100 {
+		return result{}, fmt.Errorf("workload failing persistently: %w", e)
+	}
+
+	ops := opsAfter - opsBefore
+	r := result{
+		Section:     rc.section,
+		Mode:        rc.mode,
+		Goroutines:  rc.goroutines,
+		GCWorkers:   rc.gcWorkers,
+		Scanner:     rc.scanner,
+		LegacyAlloc: rc.legacy,
+		Seconds:     elapsed.Seconds(),
+		Ops:         ops,
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		Updates:     updates.Load(),
+		Selects:     selects.Load(),
+		Inserts:     inserts.Load(),
+		Deletes:     deletes.Load(),
+		GC: gcStats{
+			Passes:        st.GCPasses - base.GCPasses,
+			VersionsFreed: st.GCVersions - base.GCVersions,
+			EntriesFreed:  st.GCEntries - base.GCEntries,
+			Allocs:        st.IMRSAllocs - base.IMRSAllocs,
+			Frees:         st.IMRSFrees - base.IMRSFrees,
+			SlabGrabs:     st.IMRSSlabGrabs - base.IMRSSlabGrabs,
+		},
+	}
+	if ops > 0 {
+		r.MallocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(ops)
+	}
+	return r, nil
+}

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"repro/btrim"
+	"repro/internal/harness"
 )
 
 type result struct {
@@ -109,7 +110,13 @@ func main() {
 	gostr := flag.String("goroutines", "1,4,8,16", "comma-separated reader counts")
 	rows := flag.Int("rows", 6000, "preloaded row count")
 	jsonPath := flag.String("json", "BENCH_read.json", "JSON report path (empty = no report)")
+	prof := harness.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
 
 	var readerCounts []int
 	for _, s := range strings.Split(*gostr, ",") {

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/row"
 	"repro/internal/storage/disk"
 	"repro/internal/wal"
@@ -68,12 +69,12 @@ type result struct {
 }
 
 type report struct {
-	Benchmark string    `json:"benchmark"`
-	Date      string    `json:"date"`
-	ReadLat   string    `json:"device_read_latency"`
-	PoolPages int       `json:"buffer_pool_pages"`
-	Results   []result  `json:"results"`
-	Notes     []string  `json:"notes"`
+	Benchmark string   `json:"benchmark"`
+	Date      string   `json:"date"`
+	ReadLat   string   `json:"device_read_latency"`
+	PoolPages int      `json:"buffer_pool_pages"`
+	Results   []result `json:"results"`
+	Notes     []string `json:"notes"`
 }
 
 func parseInts(s string) []int {
@@ -210,7 +211,13 @@ func main() {
 	readLat := flag.Duration("readlat", 60*time.Microsecond, "mem-device page read latency")
 	poolPages := flag.Int("poolpages", 128, "buffer pool pages (small => rebuild scans miss)")
 	jsonPath := flag.String("json", "BENCH_recovery.json", "output report path")
+	prof := harness.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
 
 	rep := report{
 		Benchmark: "crash-recovery wall time vs RecoveryThreads",

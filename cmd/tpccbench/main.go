@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/btrim"
+	"repro/internal/harness"
 	"repro/internal/tpcc"
 )
 
@@ -29,7 +30,13 @@ func main() {
 	ilm := flag.Bool("ilm", true, "enable ILM (false = fully in-memory baseline)")
 	threshold := flag.Float64("threshold", 0.70, "steady cache utilization")
 	packThreads := flag.Int("pack-threads", 4, "pack threads")
+	prof := harness.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
 
 	db, err := btrim.Open(btrim.Config{
 		IMRSCacheBytes:         *imrsMB << 20,

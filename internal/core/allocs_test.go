@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/row"
+)
+
+// Per-operation heap-allocation budgets for the two hottest DML shapes.
+// The budgets are deliberately a little above the measured steady state
+// (see the comments on each) so scheduler noise doesn't flake the test,
+// but far below the pre-pooling numbers — a regression that reintroduces
+// per-transaction scaffolding allocation or an encode-then-copy row path
+// blows straight through them.
+//
+// Measured with the pooled scratch + encode-into-fragment path; the
+// irreducible remainder is the Txn header, the decoded row and its
+// string payloads, closure captures, and the WAL/commit machinery.
+// For reference, the LegacyTxnAlloc baseline measures 6.0 reads and
+// 37.0 updates on the same workload; the pooled path measures 3.0 and
+// 28.0.
+const (
+	pointReadAllocBudget = 5
+	updateAllocBudget    = 34
+)
+
+func allocBudgetEngine(t *testing.T) *Engine {
+	t.Helper()
+	return openEngine(t, func(cfg *Config) {
+		// Quiesce everything that allocates off the measured goroutine:
+		// no packer, no background checkpoints, and synchronous commit
+		// flushes instead of the group-commit flusher goroutines.
+		// AllocsPerRun reads the global allocation counter, so background
+		// allocators would be charged to the op under test.
+		cfg.ILMEnabled = false
+		cfg.CheckpointEvery = 0
+		cfg.DisableGroupCommit = true
+		cfg.GCWorkers = 1
+	})
+}
+
+func TestPointReadAllocBudget(t *testing.T) {
+	e := allocBudgetEngine(t)
+	createItems(t, e)
+
+	tx := e.Begin()
+	if err := tx.Insert("items", itemRow(1, "widget", 5)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	// Warm the pools (scratch, wal encode buffers, snapshot slots).
+	for i := 0; i < 100; i++ {
+		tx := e.Begin()
+		if _, _, err := tx.Get("items", pk(1)); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+
+	avg := testing.AllocsPerRun(500, func() {
+		tx := e.Begin()
+		rw, ok, err := tx.Get("items", pk(1))
+		if err != nil || !ok {
+			t.Fatalf("get: %v %v", ok, err)
+		}
+		if rw[2].Int() != 5 {
+			t.Fatal("wrong row")
+		}
+		mustCommit(t, tx)
+	})
+	t.Logf("point read: %.1f allocs/op (budget %d)", avg, pointReadAllocBudget)
+	if avg > pointReadAllocBudget {
+		t.Fatalf("point read allocates %.1f/op, budget %d — the hot read path regressed", avg, pointReadAllocBudget)
+	}
+}
+
+func TestUpdateAllocBudget(t *testing.T) {
+	e := allocBudgetEngine(t)
+	createItems(t, e)
+
+	tx := e.Begin()
+	if err := tx.Insert("items", itemRow(1, "widget", 5)); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, tx)
+
+	bump := func(r row.Row) (row.Row, error) {
+		r[2] = row.Int64(r[2].Int() + 1)
+		return r, nil
+	}
+	for i := 0; i < 100; i++ {
+		tx := e.Begin()
+		if _, err := tx.Update("items", pk(1), bump); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+
+	avg := testing.AllocsPerRun(500, func() {
+		tx := e.Begin()
+		ok, err := tx.Update("items", pk(1), bump)
+		if err != nil || !ok {
+			t.Fatalf("update: %v %v", ok, err)
+		}
+		mustCommit(t, tx)
+	})
+	t.Logf("single-row update: %.1f allocs/op (budget %d)", avg, updateAllocBudget)
+	if avg > updateAllocBudget {
+		t.Fatalf("single-row update allocates %.1f/op, budget %d — the hot write path regressed", avg, updateAllocBudget)
+	}
+}

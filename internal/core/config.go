@@ -103,6 +103,18 @@ type Config struct {
 	// pre-latch-coupling behaviour. Benchmark baseline only.
 	CoarseIndexLatch bool
 
+	// SingleFlightGC reverts the IMRS-GC to one shared retire buffer and
+	// a single-flight reclamation pass (the pre-striping behaviour, in
+	// which GCWorkers>1 adds nothing). Benchmark baseline only.
+	SingleFlightGC bool
+
+	// LegacyTxnAlloc disables the pooled per-transaction scratch and the
+	// encode-into-fragment row path: every transaction allocates fresh
+	// record/undo slices and every row image is encoded to a fresh heap
+	// buffer and then copied (the pre-pooling behaviour). Benchmark
+	// baseline only.
+	LegacyTxnAlloc bool
+
 	// Retry bounds the transient-fault retry loops wrapped around the
 	// data device, WAL flushes, and the background checkpoint. Zero
 	// fields take the fault package defaults.

@@ -96,11 +96,8 @@ func (t *Txn) Insert(table string, rw row.Row) error {
 		return err
 	}
 	prt := t.e.partByID(cp.ID)
-	enc, err := row.Encode(rt.cat.Schema, rw, nil)
-	if err != nil {
-		return err
-	}
-	if len(enc) > maxRowBytes {
+	encSize := row.EncodedSize(rw)
+	if encSize > maxRowBytes {
 		return ErrRowTooLarge
 	}
 
@@ -121,22 +118,37 @@ func (t *Txn) Insert(table string, rw row.Row) error {
 	}
 
 	if prt.ilm.Enabled(ilm.OpInsert) && t.e.packer.AcceptNewRows() && t.e.imrsAdmission() {
-		err := t.insertIMRS(rt, prt, rw, enc)
+		err := t.insertIMRS(rt, prt, rw, encSize)
 		if err != imrs.ErrCacheFull {
 			return err
 		}
 		// Cache pressure: fall back to the page store.
 	}
-	return t.insertPage(rt, prt, rw, enc)
+	return t.insertPage(rt, prt, rw, encSize)
 }
 
-func (t *Txn) insertIMRS(rt *tableRT, prt *partRT, rw row.Row, enc []byte) error {
+// newEntry creates an IMRS entry holding rw's encoding. The default
+// path encodes straight into the entry's fragment (one allocation, no
+// intermediate buffer); legacy mode keeps the old
+// encode-then-copy-into-Alloc shape for benchmark baselines. rw must
+// already be schema-validated.
+func (t *Txn) newEntry(r0 rid.RID, part rid.PartitionID, origin imrs.Origin, rw row.Row, encSize int) (*imrs.Entry, error) {
+	if t.e.legacyAlloc {
+		enc := row.AppendEncoded(rw, nil)
+		return t.e.store.CreateEntry(r0, part, origin, enc, t.id)
+	}
+	return t.e.store.CreateEntryFunc(r0, part, origin, encSize, func(dst []byte) []byte {
+		return row.AppendEncoded(rw, dst)
+	}, t.id)
+}
+
+func (t *Txn) insertIMRS(rt *tableRT, prt *partRT, rw row.Row, encSize int) error {
 	m := t.mark()
 	r0 := prt.cat.NextVirtualRID()
 	if err := t.lock(r0); err != nil {
 		return err
 	}
-	en, err := t.e.store.CreateEntry(r0, prt.cat.ID, imrs.OriginInserted, enc, t.id)
+	en, err := t.newEntry(r0, prt.cat.ID, imrs.OriginInserted, rw, encSize)
 	if err != nil {
 		return err // ErrCacheFull bubbles to the caller's fallback
 	}
@@ -153,9 +165,13 @@ func (t *Txn) insertIMRS(rt *tableRT, prt *partRT, rw row.Row, enc []byte) error
 		t.unwind(m)
 		return err
 	}
+	// After references the fragment image directly: the wal layer copies
+	// the record into its pending buffer at Append time (during Commit,
+	// while the uncommitted version still pins the fragment), so no
+	// separate log copy of the row is needed.
 	t.imrsRecs = append(t.imrsRecs, wal.Record{
 		Type: wal.RecIMRSInsert, Table: rt.cat.ID, RID: r0,
-		Aux: uint8(imrs.OriginInserted), After: enc,
+		Aux: uint8(imrs.OriginInserted), After: v.Data(),
 	})
 	t.staged = append(t.staged, v)
 	t.newEntries = append(t.newEntries, en)
@@ -164,8 +180,9 @@ func (t *Txn) insertIMRS(rt *tableRT, prt *partRT, rw row.Row, enc []byte) error
 	return nil
 }
 
-func (t *Txn) insertPage(rt *tableRT, prt *partRT, rw row.Row, enc []byte) error {
+func (t *Txn) insertPage(rt *tableRT, prt *partRT, rw row.Row, encSize int) error {
 	m := t.mark()
+	enc := row.AppendEncoded(rw, t.encBuf(encSize))
 	r0, err := prt.heap.Insert(enc)
 	if err != nil {
 		return err
@@ -222,7 +239,7 @@ func (t *Txn) Get(table string, pk []row.Value) (row.Row, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	key := row.EncodeKey(nil, pk...)
+	key := t.pkKey(pk)
 	pkIx := rt.indexes[0]
 
 	// Hash fast path: IMRS-resident rows only.
@@ -452,6 +469,8 @@ func (t *Txn) Update(table string, pk []row.Value, mutate func(row.Row) (row.Row
 	if err != nil {
 		return false, err
 	}
+	// Not pkKey: the key survives across the user's mutate callback,
+	// which may issue reads that would recycle the shared key buffer.
 	key := row.EncodeKey(nil, pk...)
 	r0, en, found, err := t.locateForWrite(rt, key)
 	if err != nil || !found {
@@ -476,11 +495,8 @@ func (t *Txn) Update(table string, pk []row.Value, mutate func(row.Row) (row.Row
 	if !bytes.Equal(newPK, key) {
 		return false, ErrPKChange
 	}
-	enc, err := row.Encode(rt.cat.Schema, newRow, nil)
-	if err != nil {
-		return false, err
-	}
-	if len(enc) > maxRowBytes {
+	encSize := row.EncodedSize(newRow)
+	if encSize > maxRowBytes {
 		return false, ErrRowTooLarge
 	}
 
@@ -488,7 +504,7 @@ func (t *Txn) Update(table string, pk []row.Value, mutate func(row.Row) (row.Row
 	prt := t.e.partByID(r0.Partition())
 	switch {
 	case en != nil:
-		if err := t.updateIMRS(rt, prt, r0, en, enc); err != nil {
+		if err := t.updateIMRS(rt, prt, r0, en, newRow, encSize); err != nil {
 			t.unwind(m)
 			return false, err
 		}
@@ -496,13 +512,14 @@ func (t *Txn) Update(table string, pk []row.Value, mutate func(row.Row) (row.Row
 		migrated := false
 		if prt.ilm.Enabled(ilm.OpMigrate) && t.e.packer.AcceptNewRows() && t.e.imrsAdmission() {
 			var err error
-			migrated, en, err = t.migrate(rt, prt, r0, enc)
+			migrated, en, err = t.migrate(rt, prt, r0, newRow, encSize)
 			if err != nil {
 				t.unwind(m)
 				return false, err
 			}
 		}
 		if !migrated {
+			enc := row.AppendEncoded(newRow, t.encBuf(encSize))
 			if err := t.updatePage(rt, prt, r0, curEnc, enc); err != nil {
 				t.unwind(m)
 				return false, err
@@ -516,8 +533,16 @@ func (t *Txn) Update(table string, pk []row.Value, mutate func(row.Row) (row.Row
 	return true, nil
 }
 
-func (t *Txn) updateIMRS(rt *tableRT, prt *partRT, r0 rid.RID, en *imrs.Entry, enc []byte) error {
-	v, err := t.e.store.AddVersion(en, enc, t.id)
+func (t *Txn) updateIMRS(rt *tableRT, prt *partRT, r0 rid.RID, en *imrs.Entry, rw row.Row, encSize int) error {
+	var v *imrs.Version
+	var err error
+	if t.e.legacyAlloc {
+		v, err = t.e.store.AddVersion(en, row.AppendEncoded(rw, nil), t.id)
+	} else {
+		v, err = t.e.store.AddVersionFunc(en, encSize, func(dst []byte) []byte {
+			return row.AppendEncoded(rw, dst)
+		}, t.id)
+	}
 	if err != nil {
 		return err // cache absolutely full
 	}
@@ -527,7 +552,7 @@ func (t *Txn) updateIMRS(rt *tableRT, prt *partRT, r0 rid.RID, en *imrs.Entry, e
 	t.staged = append(t.staged, v)
 	t.imrsRecs = append(t.imrsRecs, wal.Record{
 		Type: wal.RecIMRSUpdate, Table: rt.cat.ID, RID: r0,
-		Aux: uint8(en.Origin), After: enc,
+		Aux: uint8(en.Origin), After: v.Data(),
 	})
 	if old != nil && old.Committed() {
 		t.atCommit = append(t.atCommit, func(ts uint64) {
@@ -542,8 +567,8 @@ func (t *Txn) updateIMRS(rt *tableRT, prt *partRT, r0 rid.RID, en *imrs.Entry, e
 // migrate moves a page-store row into the IMRS as part of an update
 // (origin "migrated"). The page-store image stays behind (stale) and is
 // refreshed when the row is eventually packed.
-func (t *Txn) migrate(rt *tableRT, prt *partRT, r0 rid.RID, enc []byte) (bool, *imrs.Entry, error) {
-	en, err := t.e.store.CreateEntry(r0, prt.cat.ID, imrs.OriginMigrated, enc, t.id)
+func (t *Txn) migrate(rt *tableRT, prt *partRT, r0 rid.RID, rw row.Row, encSize int) (bool, *imrs.Entry, error) {
+	en, err := t.newEntry(r0, prt.cat.ID, imrs.OriginMigrated, rw, encSize)
 	if err != nil {
 		return false, nil, nil // cache full: fall back to in-place update
 	}
@@ -563,20 +588,19 @@ func (t *Txn) migrate(rt *tableRT, prt *partRT, r0 rid.RID, enc []byte) (bool, *
 	t.newEntries = append(t.newEntries, en)
 	t.imrsRecs = append(t.imrsRecs, wal.Record{
 		Type: wal.RecIMRSInsert, Table: rt.cat.ID, RID: r0,
-		Aux: uint8(imrs.OriginMigrated), After: enc,
+		Aux: uint8(imrs.OriginMigrated), After: v.Data(),
 	})
-	// Hash fast-path entries for the migrated row.
-	if rw, err := t.e.decode(rt, enc); err == nil {
-		for _, ix := range rt.indexes {
-			if ix.hash == nil {
-				continue
-			}
-			ix := ix
-			if k, err := indexKey(ix, rw, r0); err == nil {
-				k := k
-				ix.hash.Put(k, en)
-				t.undo = append(t.undo, func() { ix.hash.Delete(k, en) })
-			}
+	// Hash fast-path entries for the migrated row (rw is the new image
+	// the version holds; no re-decode needed).
+	for _, ix := range rt.indexes {
+		if ix.hash == nil {
+			continue
+		}
+		ix := ix
+		if k, err := indexKey(ix, rw, r0); err == nil {
+			k := k
+			ix.hash.Put(k, en)
+			t.undo = append(t.undo, func() { ix.hash.Delete(k, en) })
 		}
 	}
 	prt.ilm.PageOps.Inc()
@@ -647,7 +671,7 @@ func (t *Txn) Delete(table string, pk []row.Value) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	key := row.EncodeKey(nil, pk...)
+	key := t.pkKey(pk)
 	r0, en, found, err := t.locateForWrite(rt, key)
 	if err != nil || !found {
 		return false, err

@@ -86,6 +86,10 @@ type Engine struct {
 	nextTxnID atomic.Uint64
 	closed    atomic.Bool
 
+	// legacyAlloc selects the pre-pooling per-transaction allocation
+	// behaviour (Config.LegacyTxnAlloc). Benchmark baseline only.
+	legacyAlloc bool
+
 	ckptStop chan struct{}
 	ckptDone chan struct{}
 
@@ -187,6 +191,10 @@ func Open(cfg Config) (*Engine, error) {
 		OnReclaimEntry: e.reclaimEntry,
 		OnNewRow:       e.queues.Enqueue,
 	})
+	if cfg.SingleFlightGC {
+		e.gc.SetSingleFlight(true)
+	}
+	e.legacyAlloc = cfg.LegacyTxnAlloc
 	e.packer = pack.New(cfg.ILM, e.store, e.queues, e.ilmReg, e.tsf, e.tuner,
 		e.clock, (*relocator)(e), cfg.PackInterval, cfg.PackThreads)
 	// Cache pressure (the reject backstop tripping) and repeated pack

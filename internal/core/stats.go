@@ -155,7 +155,15 @@ type Snapshot struct {
 	LatchWaits    int64
 	GCVersions    int64
 	GCEntries     int64
+	GCPasses      int64 // partition reclaim passes (single-flight: full passes)
 	AcceptNewRows bool
+
+	// Fragment-allocator traffic: IMRSAllocs/IMRSFrees count fragment
+	// round trips; IMRSSlabGrabs counts new 1 MiB slabs — a plateau
+	// means the free lists are feeding the hot path.
+	IMRSAllocs    int64
+	IMRSFrees     int64
+	IMRSSlabGrabs int64
 
 	// RIDMapLive is the RID map's live entry count (packed entries
 	// awaiting the GC sweep excluded — see ridmap.Map.Len vs LenRaw).
@@ -252,6 +260,10 @@ func (e *Engine) Stats() Snapshot {
 		LatchWaits:    e.pool.Stats().LatchWaits.Load(),
 		GCVersions:    e.gc.VersionsFreed.Load(),
 		GCEntries:     e.gc.EntriesFreed.Load(),
+		GCPasses:      e.gc.Passes.Load(),
+		IMRSAllocs:    e.store.Allocator().Allocs.Load(),
+		IMRSFrees:     e.store.Allocator().Frees.Load(),
+		IMRSSlabGrabs: e.store.Allocator().SlabGrabs.Load(),
 		AcceptNewRows: e.packer.AcceptNewRows(),
 		SysLog:        logSnapshot(syslog),
 		IMRSLog:       logSnapshot(imrslog),

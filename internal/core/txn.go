@@ -2,12 +2,96 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/imrs"
 	"repro/internal/rid"
+	"repro/internal/row"
 	"repro/internal/txn"
 	"repro/internal/wal"
 )
+
+// txnScratch is the recyclable allocation footprint of a transaction:
+// the mutation buffers, the lock set, a reusable point-op key buffer
+// and a bump arena for encoded row images. Pooling it makes the
+// steady-state DML path allocate only what the operation semantically
+// requires (the Txn header, decoded rows, index keys) instead of
+// rebuilding this scaffolding per transaction.
+type txnScratch struct {
+	locks      map[rid.RID]struct{}
+	sysRecs    []wal.Record
+	imrsRecs   []wal.Record
+	undo       []func()
+	atCommit   []func(ts uint64)
+	staged     []*imrs.Version
+	newEntries []*imrs.Entry
+
+	key row.Key // point-op key buffer (Get/Update/Delete)
+
+	enc    []byte // bump arena for page-store row images
+	encOff int
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &txnScratch{locks: make(map[rid.RID]struct{})}
+}}
+
+// Slices recycled through the pool are capacity-capped so one huge
+// transaction doesn't pin its peak footprint forever (the same rule the
+// wal encode buffers follow).
+const (
+	maxScratchItems = 1024
+	maxScratchBytes = 64 << 10
+)
+
+func recycleRecords(s []wal.Record) []wal.Record {
+	if cap(s) > maxScratchItems {
+		return nil
+	}
+	clear(s) // drop Before/After references
+	return s[:0]
+}
+
+// encBuf returns an empty slice with capacity n carved from the txn's
+// encode arena; the arena block is reused across pooled transactions.
+// Callers append exactly the encoded image and may hand the result to
+// the WAL records and storage layers, all of which copy at use time
+// (wal.Log.Append into its pending buffer, heap/btree into page
+// frames), so recycling at finish() is safe. In legacy mode (or with no
+// scratch) it falls back to a fresh heap slice.
+func (t *Txn) encBuf(n int) []byte {
+	sc := t.sc
+	if sc == nil {
+		return make([]byte, 0, n)
+	}
+	if cap(sc.enc)-sc.encOff < n {
+		sz := 4 << 10
+		if n > sz {
+			sz = n
+		}
+		// The abandoned block stays alive through the records that
+		// reference it until they are cleared; the arena keeps only the
+		// fresh one.
+		sc.enc = make([]byte, 0, sz)
+		sc.encOff = 0
+	}
+	b := sc.enc[sc.encOff : sc.encOff : sc.encOff+n]
+	sc.encOff += n
+	return b
+}
+
+// pkKey encodes a primary-key lookup key into the txn's reusable key
+// buffer. The result is only valid until the next pkKey call; every
+// consumer (index search, hash probe, byte comparison) uses it
+// transiently.
+func (t *Txn) pkKey(pk []row.Value) row.Key {
+	if t.sc == nil {
+		return row.EncodeKey(nil, pk...)
+	}
+	k := row.EncodeKey(t.sc.key[:0], pk...)
+	t.sc.key = k
+	return k
+}
 
 // Txn is a transaction. It may touch page-store rows (undo/redo logged
 // in syslogs, applied in place under row locks) and IMRS rows (staged as
@@ -35,6 +119,8 @@ type Txn struct {
 
 	staged     []*imrs.Version // versions to stamp with the commit TS
 	newEntries []*imrs.Entry   // entries to hand to GC queue maintenance
+
+	sc *txnScratch // recycled buffers backing the fields above; nil in legacy mode
 }
 
 // Begin starts a transaction with a snapshot of the current commit
@@ -42,10 +128,22 @@ type Txn struct {
 func (e *Engine) Begin() *Txn {
 	e.ckptMu.RLock()
 	t := &Txn{
-		e:     e,
-		id:    e.nextTxnID.Add(1),
-		snap:  e.clock.Now(),
-		locks: make(map[rid.RID]struct{}),
+		e:    e,
+		id:   e.nextTxnID.Add(1),
+		snap: e.clock.Now(),
+	}
+	if e.legacyAlloc {
+		t.locks = make(map[rid.RID]struct{})
+	} else {
+		sc := scratchPool.Get().(*txnScratch)
+		t.sc = sc
+		t.locks = sc.locks
+		t.sysRecs = sc.sysRecs
+		t.imrsRecs = sc.imrsRecs
+		t.undo = sc.undo
+		t.atCommit = sc.atCommit
+		t.staged = sc.staged
+		t.newEntries = sc.newEntries
 	}
 	t.snapRef = e.snaps.Register(t.snap)
 	return t
@@ -85,7 +183,16 @@ func (t *Txn) releaseAll() {
 	for r := range t.locks {
 		t.e.locks.Unlock(t.id, r)
 	}
-	t.locks = nil
+	switch {
+	case t.sc == nil:
+		t.locks = nil
+	case len(t.locks) > maxScratchItems:
+		// Maps never shrink on clear; don't let one lock-heavy
+		// transaction pin a huge table in the pool.
+		t.sc.locks = make(map[rid.RID]struct{})
+	default:
+		clear(t.locks)
+	}
 }
 
 func (t *Txn) finish() {
@@ -93,6 +200,57 @@ func (t *Txn) finish() {
 	t.releaseAll()
 	t.e.snaps.Unregister(t.snapRef)
 	t.e.ckptMu.RUnlock()
+	t.recycle()
+}
+
+// recycle harvests the transaction's buffers back into the scratch
+// pool. Every element reference is cleared first (wal records hold row
+// images, closures capture entries/versions), and slices that grew past
+// the recycle cap are dropped rather than pinned. The Txn's own fields
+// are nil'ed so a use-after-finish bug touches nil instead of a buffer
+// owned by a later transaction.
+func (t *Txn) recycle() {
+	sc := t.sc
+	if sc == nil {
+		return
+	}
+	t.sc = nil
+	sc.sysRecs = recycleRecords(t.sysRecs)
+	sc.imrsRecs = recycleRecords(t.imrsRecs)
+	if cap(t.undo) <= maxScratchItems {
+		clear(t.undo)
+		sc.undo = t.undo[:0]
+	} else {
+		sc.undo = nil
+	}
+	if cap(t.atCommit) <= maxScratchItems {
+		clear(t.atCommit)
+		sc.atCommit = t.atCommit[:0]
+	} else {
+		sc.atCommit = nil
+	}
+	if cap(t.staged) <= maxScratchItems {
+		clear(t.staged)
+		sc.staged = t.staged[:0]
+	} else {
+		sc.staged = nil
+	}
+	if cap(t.newEntries) <= maxScratchItems {
+		clear(t.newEntries)
+		sc.newEntries = t.newEntries[:0]
+	} else {
+		sc.newEntries = nil
+	}
+	t.sysRecs, t.imrsRecs, t.undo, t.atCommit = nil, nil, nil, nil
+	t.staged, t.newEntries, t.locks = nil, nil, nil
+	if cap(sc.enc) > maxScratchBytes {
+		sc.enc = nil
+	}
+	sc.encOff = 0
+	if cap(sc.key) > maxScratchBytes {
+		sc.key = nil
+	}
+	scratchPool.Put(sc)
 }
 
 // Commit makes the transaction durable and visible.

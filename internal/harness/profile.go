@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles wires the standard -cpuprofile/-memprofile flags into a
+// bench command so hot-path regressions are diagnosable without editing
+// code. Usage:
+//
+//	prof := harness.RegisterProfileFlags(flag.CommandLine)
+//	flag.Parse()
+//	if err := prof.Start(); err != nil { ... }
+//	defer prof.Stop()
+//
+// The CPU profile covers everything between Start and Stop; the heap
+// profile is a snapshot written at Stop after a forced GC, which is the
+// right shape for steady-state allocation hunting.
+type Profiles struct {
+	cpuPath string
+	memPath string
+	cpuFile *os.File
+}
+
+// RegisterProfileFlags registers -cpuprofile and -memprofile on fs
+// (pass flag.CommandLine for the usual case).
+func RegisterProfileFlags(fs *flag.FlagSet) *Profiles {
+	p := &Profiles{}
+	fs.StringVar(&p.cpuPath, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.memPath, "memprofile", "", "write a heap profile to this file at exit")
+	return p
+}
+
+// Start begins CPU profiling if requested. Call after flag parsing.
+func (p *Profiles) Start() error {
+	if p.cpuPath == "" {
+		return nil
+	}
+	f, err := os.Create(p.cpuPath)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile, if either
+// was requested. Safe to call when profiling was never started.
+func (p *Profiles) Stop() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize the steady state before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
+	}
+}

@@ -36,8 +36,15 @@ type Tuner struct {
 	capacity int64
 
 	mu        sync.Mutex
-	decisions []Decision
+	decisions []Decision // bounded ring of the latest maxDecisions
+	dropped   int64      // decisions evicted because nothing drained
 }
+
+// maxDecisions bounds the decision log. The tuner runs for the life of
+// the engine; when no harness drains Decisions(), an unbounded slice is
+// a slow leak, so the log keeps only the latest window and counts what
+// it sheds.
+const maxDecisions = 256
 
 // NewTuner builds a tuner over the registry. capacityBytes is the IMRS
 // cache size; usage resolves live per-partition footprints.
@@ -45,7 +52,7 @@ func NewTuner(cfg Config, reg *Registry, capacityBytes int64, usage UsageFn) *Tu
 	return &Tuner{cfg: cfg, reg: reg, usage: usage, capacity: capacityBytes}
 }
 
-// Decisions drains the recorded decisions.
+// Decisions drains the recorded decisions (oldest retained first).
 func (t *Tuner) Decisions() []Decision {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -54,9 +61,25 @@ func (t *Tuner) Decisions() []Decision {
 	return out
 }
 
+// DecisionsDropped returns how many decisions were evicted unread
+// because the ring overflowed.
+func (t *Tuner) DecisionsDropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
 func (t *Tuner) record(p *PartitionState, enabled bool, reason string) {
 	p.flips.Add(1)
 	t.mu.Lock()
+	if len(t.decisions) >= maxDecisions {
+		// Shed the oldest entries in place: recent decisions are the ones
+		// a late-attaching harness wants.
+		over := len(t.decisions) - maxDecisions + 1
+		n := copy(t.decisions, t.decisions[over:])
+		t.decisions = t.decisions[:n]
+		t.dropped += int64(over)
+	}
 	t.decisions = append(t.decisions, Decision{Partition: p.ID, Name: p.Name, Enabled: enabled, Reason: reason})
 	t.mu.Unlock()
 }

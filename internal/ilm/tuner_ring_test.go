@@ -1,0 +1,47 @@
+package ilm
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rid"
+)
+
+// The decision log must stay bounded when nothing drains it (a
+// long-lived engine with no harness attached), keep the latest entries
+// in order, and account for what it sheds.
+func TestTunerDecisionLogBounded(t *testing.T) {
+	reg := NewRegistry()
+	p := reg.Register(1, "t")
+	tn := NewTuner(DefaultConfig(), reg, 1_000_000, func(rid.PartitionID) PartitionUsage {
+		return PartitionUsage{}
+	})
+
+	total := maxDecisions*3 + 17
+	for i := 0; i < total; i++ {
+		tn.record(p, i%2 == 0, fmt.Sprintf("d%d", i))
+	}
+
+	got := tn.Decisions()
+	if len(got) != maxDecisions {
+		t.Fatalf("retained %d decisions, want %d", len(got), maxDecisions)
+	}
+	if want := int64(total - maxDecisions); tn.DecisionsDropped() != want {
+		t.Fatalf("dropped = %d, want %d", tn.DecisionsDropped(), want)
+	}
+	// The survivors are the newest entries, oldest-retained first.
+	for i, d := range got {
+		if want := fmt.Sprintf("d%d", total-maxDecisions+i); d.Reason != want {
+			t.Fatalf("decision %d reason = %q, want %q", i, d.Reason, want)
+		}
+	}
+	// Draining resets the ring but not the drop counter.
+	if n := len(tn.Decisions()); n != 0 {
+		t.Fatalf("second drain returned %d decisions", n)
+	}
+	tn.record(p, true, "after")
+	got = tn.Decisions()
+	if len(got) != 1 || got[0].Reason != "after" {
+		t.Fatalf("post-drain record not retained: %+v", got)
+	}
+}

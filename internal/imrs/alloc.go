@@ -134,12 +134,10 @@ func shardHint() int {
 //go:noinline
 func noescape(b *byte) *byte { return b }
 
-// Alloc returns a fragment holding a copy of data, or ErrCacheFull.
-func (a *Allocator) Alloc(data []byte) (*Fragment, error) {
-	idx, size, err := classFor(len(data))
-	if err != nil {
-		return nil, err
-	}
+// grab reserves size bytes of capacity and returns a fragment of class
+// idx, reusing a free-listed one when possible. Callers fill f.buf and
+// set f.used.
+func (a *Allocator) grab(idx, size int) (*Fragment, error) {
 	// Reserve capacity first; roll back on failure.
 	if a.used.Load()+int64(size) > a.capacity {
 		return nil, ErrCacheFull
@@ -167,10 +165,52 @@ func (a *Allocator) Alloc(data []byte) (*Fragment, error) {
 		s.slabP += size
 	}
 	s.mu.Unlock()
-
-	f.used = copy(f.buf, data)
 	a.Allocs.Inc()
 	return f, nil
+}
+
+// Alloc returns a fragment holding a copy of data, or ErrCacheFull.
+func (a *Allocator) Alloc(data []byte) (*Fragment, error) {
+	idx, size, err := classFor(len(data))
+	if err != nil {
+		return nil, err
+	}
+	f, err := a.grab(idx, size)
+	if err != nil {
+		return nil, err
+	}
+	f.used = copy(f.buf, data)
+	return f, nil
+}
+
+// AllocFunc returns a fragment of exactly n payload bytes filled in
+// place by fill, saving the encode-into-scratch-then-copy of Alloc on
+// the DML hot path. fill receives the fragment's zero-length payload
+// slice (capacity n) and must return the appended result; if it grew
+// past n (caller's size estimate was wrong) the payload is copied back
+// defensively and the fragment is reclassed on the next free/alloc
+// cycle, so correctness never depends on the estimate.
+func (a *Allocator) AllocFunc(n int, fill func(dst []byte) []byte) (*Fragment, error) {
+	idx, size, err := classFor(n)
+	if err != nil {
+		return nil, err
+	}
+	f, err := a.grab(idx, size)
+	if err != nil {
+		return nil, err
+	}
+	out := fill(f.buf[:0:n])
+	if len(out) == 0 {
+		f.used = 0
+		return f, nil
+	}
+	if len(out) <= n && &out[0] == &f.buf[0] {
+		f.used = len(out)
+		return f, nil
+	}
+	// fill outgrew the fragment: fall back to a correctly sized copy.
+	a.Free(f)
+	return a.Alloc(out)
 }
 
 // Free returns a fragment to its shard's free list.

@@ -258,10 +258,44 @@ func (s *Store) CreateEntry(r rid.RID, part rid.PartitionID, origin Origin, data
 	return e, nil
 }
 
+// CreateEntryFunc is CreateEntry with the payload encoded in place by
+// fill (see Allocator.AllocFunc): one fragment allocation, no
+// intermediate encode buffer.
+func (s *Store) CreateEntryFunc(r rid.RID, part rid.PartitionID, origin Origin, size int, fill func(dst []byte) []byte, txnID uint64) (*Entry, error) {
+	frag, err := s.alloc.AllocFunc(size, fill)
+	if err != nil {
+		return nil, err
+	}
+	e := &Entry{RID: r, Part: part, Origin: origin}
+	v := &Version{TxnID: txnID}
+	v.frag.Store(frag)
+	e.head.Store(v)
+	ps := s.Part(part)
+	ps.Rows.Add(1)
+	ps.Bytes.Add(int64(frag.Size()))
+	s.rows.Add(1)
+	return e, nil
+}
+
 // AddVersion pushes a new uncommitted version holding data onto e.
 // The caller must hold e's row lock.
 func (s *Store) AddVersion(e *Entry, data []byte, txnID uint64) (*Version, error) {
 	frag, err := s.alloc.Alloc(data)
+	if err != nil {
+		return nil, err
+	}
+	v := &Version{TxnID: txnID}
+	v.frag.Store(frag)
+	v.older.Store(e.head.Load())
+	e.head.Store(v)
+	s.Part(e.Part).Bytes.Add(int64(frag.Size()))
+	return v, nil
+}
+
+// AddVersionFunc is AddVersion with the payload encoded in place by
+// fill (see Allocator.AllocFunc). The caller must hold e's row lock.
+func (s *Store) AddVersionFunc(e *Entry, size int, fill func(dst []byte) []byte, txnID uint64) (*Version, error) {
+	frag, err := s.alloc.AllocFunc(size, fill)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,382 @@
+package imrsgc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/imrs"
+	"repro/internal/rid"
+	"repro/internal/txn"
+)
+
+// gcOp is one scripted entry life cycle: create + commit, vsn extra
+// versions (each retiring its predecessor), then optionally a delete
+// (tombstone + pack + RetireEntry).
+type gcOp struct {
+	part   rid.PartitionID
+	slot   uint64
+	vsn    int
+	delete bool
+}
+
+func makeScript(rng *rand.Rand, parts, n int) []gcOp {
+	ops := make([]gcOp, n)
+	for i := range ops {
+		ops[i] = gcOp{
+			part:   rid.PartitionID(rng.Intn(parts) + 1),
+			slot:   uint64(i + 1),
+			vsn:    rng.Intn(4),
+			delete: rng.Intn(3) == 0,
+		}
+	}
+	return ops
+}
+
+// gcHarness binds a GC instance to a store and per-partition ILM-style
+// queues that emulate the engine's hooks: OnNewRow pushes, OnReclaimEntry
+// removes (imrs.Queue is self-locking, like the pack queue set).
+type gcHarness struct {
+	store *imrs.Store
+	snaps *txn.SnapshotRegistry
+	g     *GC
+	qmu   sync.Mutex
+	qs    map[rid.PartitionID]*imrs.Queue
+}
+
+func newGCHarness() *gcHarness {
+	h := &gcHarness{
+		store: imrs.NewStore(64 << 20),
+		snaps: txn.NewSnapshotRegistry(),
+		qs:    make(map[rid.PartitionID]*imrs.Queue),
+	}
+	h.g = New(h.store, h.snaps, Hooks{
+		OnNewRow:       func(e *imrs.Entry) { h.queue(e.Part).PushTail(e) },
+		OnReclaimEntry: func(e *imrs.Entry) { h.queue(e.Part).Remove(e) },
+	})
+	return h
+}
+
+func (h *gcHarness) queue(p rid.PartitionID) *imrs.Queue {
+	h.qmu.Lock()
+	defer h.qmu.Unlock()
+	q := h.qs[p]
+	if q == nil {
+		q = &imrs.Queue{}
+		h.qs[p] = q
+	}
+	return q
+}
+
+// run plays one op's full life cycle. ts spaces commit timestamps so
+// every op gets a distinct, increasing timestamp base.
+func (h *gcHarness) run(t *testing.T, op gcOp, ts uint64) {
+	t.Helper()
+	r := rid.NewVirtual(op.part, op.slot)
+	payload := []byte(fmt.Sprintf("p%d-s%d-v0", op.part, op.slot))
+	e, err := h.store.CreateEntry(r, op.part, imrs.OriginInserted, payload, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.store.Commit(e.Head(), ts)
+	h.g.NewRow(e)
+	prev := e.Head()
+	for v := 1; v <= op.vsn; v++ {
+		nv, err := h.store.AddVersion(e, []byte(fmt.Sprintf("p%d-s%d-v%d", op.part, op.slot, v)), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.store.Commit(nv, ts+uint64(v))
+		h.g.RetireVersion(e, nv, prev, ts+uint64(v))
+		prev = nv
+	}
+	if op.delete {
+		tomb := h.store.AddTombstone(e, 1)
+		h.store.Commit(tomb, ts+uint64(op.vsn)+1)
+		e.MarkPacked()
+		h.g.RetireEntry(e, ts+uint64(op.vsn)+1)
+	}
+}
+
+// fingerprint captures the observable end state: live rows, bytes still
+// allocated, free/enqueue counters, and every partition queue's exact
+// order (as RIDs).
+type gcFingerprint struct {
+	rows    int64
+	used    int64
+	vFreed  int64
+	eFreed  int64
+	queued  int64
+	qOrders map[rid.PartitionID][]rid.RID
+}
+
+func (h *gcHarness) fingerprint() gcFingerprint {
+	fp := gcFingerprint{
+		rows:    h.store.Rows(),
+		used:    h.store.Allocator().Used(),
+		vFreed:  h.g.VersionsFreed.Load(),
+		eFreed:  h.g.EntriesFreed.Load(),
+		queued:  h.g.RowsEnqueued.Load(),
+		qOrders: make(map[rid.PartitionID][]rid.RID),
+	}
+	h.qmu.Lock()
+	defer h.qmu.Unlock()
+	for p, q := range h.qs {
+		var order []rid.RID
+		for {
+			e := q.PopHead()
+			if e == nil {
+				break
+			}
+			order = append(order, e.RID)
+		}
+		fp.qOrders[p] = order
+	}
+	return fp
+}
+
+func (fp gcFingerprint) equal(o gcFingerprint) string {
+	if fp.rows != o.rows {
+		return fmt.Sprintf("rows %d != %d", fp.rows, o.rows)
+	}
+	if fp.used != o.used {
+		return fmt.Sprintf("used bytes %d != %d", fp.used, o.used)
+	}
+	if fp.vFreed != o.vFreed {
+		return fmt.Sprintf("versions freed %d != %d", fp.vFreed, o.vFreed)
+	}
+	if fp.eFreed != o.eFreed {
+		return fmt.Sprintf("entries freed %d != %d", fp.eFreed, o.eFreed)
+	}
+	// fp.queued is deliberately not compared: whether a row that is
+	// deleted moments after its NewRow ever transits the queue is a
+	// timing-dependent optimization (the Packed skip); the queues'
+	// final contents and order below are the real invariant.
+	if len(fp.qOrders) != len(o.qOrders) {
+		return fmt.Sprintf("queue partitions %d != %d", len(fp.qOrders), len(o.qOrders))
+	}
+	for p, q1 := range fp.qOrders {
+		q2 := o.qOrders[p]
+		if len(q1) != len(q2) {
+			return fmt.Sprintf("partition %d queue length %d != %d", p, len(q1), len(q2))
+		}
+		for i := range q1 {
+			if q1[i] != q2[i] {
+				return fmt.Sprintf("partition %d queue order differs at %d: %v != %v", p, i, q1[i], q2[i])
+			}
+		}
+	}
+	return ""
+}
+
+// TestSerialParallelEquivalence is the property test the partition-
+// parallel reclaim design rests on: the same retire sequence processed
+// by one synchronous pass at a time and by eight racing workers (with
+// extra synchronous Drains thrown in) must leave an identical end state
+// — live rows, allocated bytes, free counts, and exact per-partition
+// ILM queue order. Partition claims keep each partition single-writer
+// and seq-ordered, which is why the orders can match at all.
+func TestSerialParallelEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			script := makeScript(rand.New(rand.NewSource(seed)), 5, 300)
+
+			// Serial: no workers; every few ops one synchronous pass, with
+			// a snapshot reader gating a stretch of the middle.
+			serial := newGCHarness()
+			var ref txn.SnapshotRef
+			for i, op := range script {
+				if i == 50 {
+					ref = serial.snaps.Register(uint64(50 * 10))
+				}
+				if i == 200 {
+					serial.snaps.Unregister(ref)
+				}
+				serial.run(t, op, uint64(i+1)*10)
+				if i%7 == 0 {
+					serial.g.process()
+				}
+			}
+			serial.g.Stop()
+			fpS := serial.fingerprint()
+
+			// Parallel: same production order (seq stamps must match), but
+			// eight background workers race the producer and each other,
+			// plus periodic synchronous Drains from the producer goroutine.
+			par := newGCHarness()
+			par.g.Start(8)
+			for i, op := range script {
+				if i == 50 {
+					ref = par.snaps.Register(uint64(50 * 10))
+				}
+				if i == 200 {
+					par.snaps.Unregister(ref)
+				}
+				par.run(t, op, uint64(i+1)*10)
+				if i%13 == 0 {
+					par.g.Drain()
+				}
+			}
+			par.g.Stop()
+			fpP := par.fingerprint()
+
+			if diff := fpS.equal(fpP); diff != "" {
+				t.Fatalf("serial and parallel end states diverge: %s", diff)
+			}
+			// Sanity: the script actually exercised both free paths.
+			if fpS.vFreed == 0 || fpS.eFreed == 0 || fpS.queued == 0 {
+				t.Fatalf("degenerate script: %+v", fpS)
+			}
+		})
+	}
+}
+
+// TestGCStressConcurrentProducers hammers the striped retire pipeline
+// from many producer goroutines while workers reclaim, then checks
+// conservation: every retired version/entry is freed exactly once, the
+// allocator balances to zero for fully deleted partitions, and no queue
+// entry survives for a reclaimed row. Run under -race this is the
+// data-race proof for the shard/partition handoff.
+func TestGCStressConcurrentProducers(t *testing.T) {
+	h := newGCHarness()
+	h.g.Start(4)
+
+	const producers = 8
+	const perProducer = 200
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(p)))
+			for i := 0; i < perProducer; i++ {
+				part := rid.PartitionID(rng.Intn(4) + 1)
+				r := rid.NewVirtual(part, uint64(p*perProducer+i+1))
+				e, err := h.store.CreateEntry(r, part, imrs.OriginInserted, []byte("stress-row"), 1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ts := uint64(p*perProducer+i+1) * 4
+				h.store.Commit(e.Head(), ts)
+				h.g.NewRow(e)
+				nv, err := h.store.AddVersion(e, []byte("stress-row-v2"), 1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				h.store.Commit(nv, ts+1)
+				h.g.RetireVersion(e, nv, e.Head().Older(), ts+1)
+				tomb := h.store.AddTombstone(e, 1)
+				h.store.Commit(tomb, ts+2)
+				e.MarkPacked()
+				h.g.RetireEntry(e, ts+2)
+				if i%64 == 0 {
+					h.g.Drain()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	h.g.Stop()
+
+	const total = producers * perProducer
+	if got := h.g.VersionsFreed.Load(); got != total {
+		t.Fatalf("versions freed = %d, want %d", got, total)
+	}
+	if got := h.g.EntriesFreed.Load(); got != total {
+		t.Fatalf("entries freed = %d, want %d", got, total)
+	}
+	if rows := h.store.Rows(); rows != 0 {
+		t.Fatalf("%d rows leaked", rows)
+	}
+	if used := h.store.Allocator().Used(); used != 0 {
+		t.Fatalf("%d bytes leaked", used)
+	}
+	for p, q := range h.qs {
+		if q.Len() != 0 {
+			t.Fatalf("partition %d queue holds %d reclaimed entries", p, q.Len())
+		}
+	}
+	v, e, n := h.g.Pending()
+	if v+e+n != 0 {
+		t.Fatalf("pending work after Stop: %d/%d/%d", v, e, n)
+	}
+}
+
+// TestStopDrainsLateReclaimable pins the shutdown contract: work that
+// became reclaimable after the last poke (here: the gating snapshot
+// unregisters with no further retire traffic) must still be freed by
+// Stop's drain-until-quiescent loop.
+func TestStopDrainsLateReclaimable(t *testing.T) {
+	store, snaps := fixture(t)
+	g := New(store, snaps, Hooks{})
+	g.Start(2)
+
+	e, _ := store.CreateEntry(rid.NewVirtual(1, 1), 1, imrs.OriginInserted, []byte("v1"), 10)
+	v1 := e.Head()
+	store.Commit(v1, 5)
+	v2, _ := store.AddVersion(e, []byte("v2"), 11)
+	store.Commit(v2, 8)
+
+	reader := snaps.Register(6)
+	g.RetireVersion(e, v2, v1, 8)
+	// Let the workers observe the retire and park it as gated.
+	waitFor(t, "retire observed", func() bool {
+		v, _, _ := g.Pending()
+		return v == 1 || g.VersionsFreed.Load() == 1
+	})
+	if g.VersionsFreed.Load() != 0 {
+		t.Fatal("version freed while a snapshot could read it")
+	}
+	// The blocker goes away without any new retire traffic (no poke).
+	snaps.Unregister(reader)
+	g.Stop()
+	if g.VersionsFreed.Load() != 1 {
+		t.Fatal("Stop left late-reclaimable work queued")
+	}
+	if v, en, n := g.Pending(); v+en+n != 0 {
+		t.Fatalf("pending after Stop: %d/%d/%d", v, en, n)
+	}
+}
+
+// Stop is called by both Engine.Halt and Engine.Close and must be
+// idempotent.
+func TestStopIdempotent(t *testing.T) {
+	store, snaps := fixture(t)
+	g := New(store, snaps, Hooks{})
+	g.Start(1)
+	g.Stop()
+	g.Stop() // must not panic or hang
+}
+
+// TestSingleFlightMode exercises the benchmark baseline: one retire
+// buffer, reclamation serialized, but the same external semantics.
+func TestSingleFlightMode(t *testing.T) {
+	h := newGCHarness()
+	h.g.SetSingleFlight(true)
+	h.g.Start(2)
+	script := makeScript(rand.New(rand.NewSource(99)), 3, 100)
+	for i, op := range script {
+		h.run(t, op, uint64(i+1)*10)
+	}
+	h.g.Stop()
+	if rows := h.store.Rows(); rows < 0 {
+		t.Fatal("negative rows")
+	}
+	deleted := 0
+	for _, op := range script {
+		if op.delete {
+			deleted++
+		}
+	}
+	if got := int(h.g.EntriesFreed.Load()); got != deleted {
+		t.Fatalf("entries freed = %d, want %d", got, deleted)
+	}
+	if got := h.store.Rows(); got != int64(len(script)-deleted) {
+		t.Fatalf("live rows = %d, want %d", got, len(script)-deleted)
+	}
+}

@@ -18,6 +18,14 @@ func Encode(s *Schema, r Row, dst []byte) ([]byte, error) {
 	if err := s.Validate(r); err != nil {
 		return nil, err
 	}
+	return AppendEncoded(r, dst), nil
+}
+
+// AppendEncoded appends the encoding of r to dst without schema
+// validation, for hot paths that have already validated r (the encoding
+// of an invalid row would decode to garbage, so callers must). With dst
+// capacity of at least EncodedSize(r), it does not allocate.
+func AppendEncoded(r Row, dst []byte) []byte {
 	for _, v := range r {
 		dst = append(dst, byte(v.kind))
 		switch v.kind {
@@ -34,7 +42,7 @@ func Encode(s *Schema, r Row, dst []byte) ([]byte, error) {
 			dst = append(dst, v.b...)
 		}
 	}
-	return dst, nil
+	return dst
 }
 
 // EncodedSize returns the exact byte size Encode will produce for r.
