@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race test-race-internal test-recovery test-gc test-chaos fuzz bench-commit bench-read bench-recovery bench-mixed bench-smoke ci
+.PHONY: build vet test test-race test-race-internal test-recovery test-gc test-cold test-chaos fuzz bench-commit bench-read bench-recovery bench-mixed bench-scan bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,14 @@ test-gc:
 	$(GO) test -race ./internal/imrsgc/ ./internal/imrs/
 	$(GO) test -race ./internal/core/ -run 'AllocBudget'
 
+# Columnar cold-store tests under the race detector: segment codec
+# round-trips, freeze/un-freeze/delete visibility, the vectorized-scan
+# equivalence checks, and the freeze -> scan -> un-freeze -> crash-recover
+# property test.
+test-cold:
+	$(GO) test -race ./internal/storage/colseg/
+	$(GO) test -race ./internal/core/ -run 'TestCold|TestScanBatches'
+
 # Randomized fault-injection soak (internal/chaos) under the race
 # detector: transient device/WAL glitches, hard log deaths, and
 # crash/recover cycles against a live workload. Longer soaks and seed
@@ -40,12 +48,14 @@ test-gc:
 test-chaos:
 	$(GO) test -race ./internal/chaos/
 
-# Fuzz the two byte-level decoders (WAL record bodies, row codec) for a
-# short smoke window each; seed corpora live in testdata/fuzz.
+# Fuzz the byte-level decoders (WAL record bodies, row codec, cold-store
+# segments) for a short smoke window each; seed corpora live in
+# testdata/fuzz.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/wal/ -run '^$$' -fuzz FuzzDecodeRecord -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/row/ -run '^$$' -fuzz FuzzRowDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/storage/colseg/ -run '^$$' -fuzz FuzzSegmentDecode -fuzztime $(FUZZTIME)
 
 # Recovery wall-time sweep (log size x partitions x RecoveryThreads);
 # writes BENCH_recovery.json. Smoke-sized; drop the flags for the
@@ -67,6 +77,11 @@ bench-read:
 bench-mixed:
 	$(GO) run ./cmd/mixedbench
 
+# Cold-store scan sweep (vectorized columnar vs row-at-a-time page
+# store, compression ratio, OLTP interference); writes BENCH_scan.json.
+bench-scan:
+	$(GO) run ./cmd/scanbench
+
 # Tiny run of every benchmark binary: catches bit-rotted flags, broken
 # sweeps, and report-writing regressions without burning CI minutes on
 # real measurement. Numbers from this target are meaningless.
@@ -76,6 +91,7 @@ bench-smoke:
 	$(GO) run ./cmd/recoverybench -rows 2000 -parts 1 -threads 1,2 -json /tmp/bench-smoke-recovery.json
 	$(GO) run ./cmd/tpccbench -duration 200ms -warehouses 1 -workers 2 -customers 10 -items 50
 	$(GO) run ./cmd/mixedbench -duration 200ms -goroutines 1,2 -gcworkers 1,2 -hotrows 1000 -coldrows 500 -json ""
+	$(GO) run ./cmd/scanbench -rows 4000 -duration 150ms -hotrows 1000 -json ""
 
 # What CI runs. Short mode skips the long TPC-C sweeps so the race
 # detector pass stays within runner budgets; drop -short locally for

@@ -124,6 +124,18 @@ type Config struct {
 	// behaviour). Benchmark baseline only.
 	CoarseIndexLatch bool
 
+	// DisableColdStore reverts the packer to slotted heap pages: frozen
+	// rows are written row-wise instead of into compressed column
+	// segments. Benchmark baseline only (reads stay cold-store aware so
+	// a database created with the cold store on recovers correctly).
+	DisableColdStore bool
+	// ColdCompressionOff stores column segments uncompressed (raw
+	// encodings only). Negative-control baseline for the scan benchmark.
+	ColdCompressionOff bool
+	// ColdSegmentRows caps rows per column segment (0 keeps the default;
+	// values are clamped to the format maximum).
+	ColdSegmentRows int
+
 	// GCWorkers sets the IMRS-GC worker count (0 keeps the default).
 	GCWorkers int
 	// SingleFlightGC reverts the IMRS-GC to one shared retire buffer
@@ -169,6 +181,9 @@ func Open(cfg Config) (*DB, error) {
 	ec.CommitCoalesceDelay = cfg.CommitCoalesceDelay
 	ec.CommitMaxBatchBytes = cfg.CommitMaxBatchBytes
 	ec.CoarseIndexLatch = cfg.CoarseIndexLatch
+	ec.DisableColdStore = cfg.DisableColdStore
+	ec.ColdForceRaw = cfg.ColdCompressionOff
+	ec.ColdSegmentRows = cfg.ColdSegmentRows
 	if cfg.GCWorkers > 0 {
 		ec.GCWorkers = cfg.GCWorkers
 	}

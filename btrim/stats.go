@@ -83,12 +83,38 @@ type Stats struct {
 	// PackRelocErrors counts failed pack-relocation transactions (the
 	// rows stay queued; persistent streaks degrade Health).
 	PackRelocErrors int64
+	// ColdStore summarizes the compressed columnar cold store.
+	ColdStore ColdStoreStats
 	// Health is the engine health state machine's snapshot.
 	Health Health
 	// Tables maps table/partition name to its per-partition stats.
 	Tables map[string]TableStats
 	// Indexes maps "table.index" to per-index stats.
 	Indexes map[string]IndexStats
+}
+
+// ColdStoreStats summarizes the compressed columnar cold store: how
+// many rows live in segments, how well they compressed, and how often
+// updates pulled frozen rows back out (un-freeze).
+type ColdStoreStats struct {
+	Segments        int64 // segments currently published
+	SegmentsWritten int64 // segments ever published
+	RowsFrozen      int64 // rows ever frozen into segments
+	RowsLive        int64 // segment rows still live
+	Kills           int64 // segment-row invalidations
+	Unfreezes       int64 // updates that pulled a frozen row back out
+	RawBytes        int64 // pre-compression footprint
+	CompressedBytes int64 // on-blob footprint
+	HeapDropFails   int64 // best-effort stale heap drops that failed
+}
+
+// CompressionRatio returns compressed/raw across all published
+// segments (0 when nothing is frozen).
+func (c ColdStoreStats) CompressionRatio() float64 {
+	if c.RawBytes == 0 {
+		return 0
+	}
+	return float64(c.CompressedBytes) / float64(c.RawBytes)
 }
 
 // TableStats is one partition's observable ILM state.
@@ -100,6 +126,22 @@ type TableStats struct {
 	ReuseOps    int64 // IMRS selects+updates+deletes
 	PackedRows  int64
 	IMRSEnabled bool
+
+	// Cold-store residency for this partition.
+	ColdSegments        int64
+	ColdRows            int64
+	ColdLiveRows        int64
+	ColdRawBytes        int64
+	ColdCompressedBytes int64
+}
+
+// ColdCompressionRatio returns compressed/raw for this partition's
+// segments (0 when nothing is frozen).
+func (t TableStats) ColdCompressionRatio() float64 {
+	if t.ColdRawBytes == 0 {
+		return 0
+	}
+	return float64(t.ColdCompressedBytes) / float64(t.ColdRawBytes)
 }
 
 // IndexStats is one index's observable state: B+tree latch traffic and
@@ -160,9 +202,20 @@ func (db *DB) Stats() Stats {
 		CheckpointFailures:  snap.CheckpointFailures,
 		LastCheckpointError: snap.LastCheckpointError,
 		PackRelocErrors:     snap.PackRelocErrors,
-		Health:              healthFromCore(snap.Health),
-		Tables:            make(map[string]TableStats, len(snap.Partitions)),
-		Indexes:           make(map[string]IndexStats, len(snap.Indexes)),
+		ColdStore: ColdStoreStats{
+			Segments:        snap.ColdStore.Segments,
+			SegmentsWritten: snap.ColdStore.SegmentsWritten,
+			RowsFrozen:      snap.ColdStore.RowsFrozen,
+			RowsLive:        snap.ColdStore.RowsLive,
+			Kills:           snap.ColdStore.Kills,
+			Unfreezes:       snap.ColdStore.Unfreezes,
+			RawBytes:        snap.ColdStore.RawBytes,
+			CompressedBytes: snap.ColdStore.CompressedBytes,
+			HeapDropFails:   snap.ColdStore.HeapDropFails,
+		},
+		Health:  healthFromCore(snap.Health),
+		Tables:  make(map[string]TableStats, len(snap.Partitions)),
+		Indexes: make(map[string]IndexStats, len(snap.Indexes)),
 	}
 	for _, p := range snap.Recovery.Phases {
 		s.Recovery.Phases = append(s.Recovery.Phases, RecoveryPhase{
@@ -192,6 +245,12 @@ func (db *DB) Stats() Stats {
 			ReuseOps:    p.ReuseOps(),
 			PackedRows:  p.PackedRows,
 			IMRSEnabled: p.InsertEnabled,
+
+			ColdSegments:        p.ColdSegments,
+			ColdRows:            p.ColdRows,
+			ColdLiveRows:        p.ColdLiveRows,
+			ColdRawBytes:        p.ColdRawBytes,
+			ColdCompressedBytes: p.ColdCompressedBytes,
 		}
 	}
 	return s

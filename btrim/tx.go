@@ -4,7 +4,15 @@ import (
 	"errors"
 
 	"repro/internal/core"
+	"repro/internal/storage/colseg"
 )
+
+// Batch is one column batch yielded by ScanBatches: parallel column
+// vectors plus the RID of each row. Valid only during the callback.
+type Batch = colseg.Batch
+
+// Vec is one column vector of a Batch.
+type Vec = colseg.Vec
 
 // Sentinel errors surfaced by transactions.
 var (
@@ -59,6 +67,18 @@ func (t *Tx) Delete(table string, pk ...Value) (bool, error) {
 // Scan visits every visible row of the table until fn returns false.
 func (t *Tx) Scan(table string, fn func(Row) bool) error {
 	return t.tx.ScanTable(table, fn)
+}
+
+// ScanBatches is the vectorized scan: it visits the same rows as Scan
+// under the same snapshot, but yields them as column batches of up to
+// batchRows rows (0 picks the engine default, one segment's worth).
+// cols selects and orders the projected columns (nil = all columns in
+// schema order); projection is pushed into the cold-store decode, so
+// unprojected columns of frozen rows are never decompressed. The batch
+// is reused across calls — copy out anything fn keeps. fn returns false
+// to stop.
+func (t *Tx) ScanBatches(table string, cols []string, batchRows int, fn func(*Batch) bool) error {
+	return t.tx.ScanBatches(table, cols, batchRows, fn)
 }
 
 // IndexScan visits rows in index-key order starting at from (inclusive).

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/ilm"
+	"repro/internal/storage/colseg"
 	"repro/internal/storage/disk"
 	"repro/internal/wal"
 )
@@ -115,6 +116,20 @@ type Config struct {
 	// baseline only.
 	LegacyTxnAlloc bool
 
+	// DisableColdStore turns off the columnar cold store: the packer
+	// reverts to relocating frozen rows into slotted heap pages
+	// (the pre-colseg behaviour, and the row-at-a-time scan baseline).
+	DisableColdStore bool
+	// ColdSegmentRows is the row-count target per cold segment (and the
+	// pack-transaction batch size when the cold store is on). 0 takes
+	// colseg.DefaultSegmentRows; values above colseg.MaxSegmentRows are
+	// clamped.
+	ColdSegmentRows int
+	// ColdForceRaw disables dictionary/delta encoding inside cold
+	// segments — every column is stored raw. Negative-control baseline
+	// for compression-ratio experiments.
+	ColdForceRaw bool
+
 	// Retry bounds the transient-fault retry loops wrapped around the
 	// data device, WAL flushes, and the background checkpoint. Zero
 	// fields take the fault package defaults.
@@ -173,6 +188,12 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.RecoveryThreads <= 0 {
 		c.RecoveryThreads = runtime.GOMAXPROCS(0)
+	}
+	if c.ColdSegmentRows <= 0 {
+		c.ColdSegmentRows = colseg.DefaultSegmentRows
+	}
+	if c.ColdSegmentRows > colseg.MaxSegmentRows {
+		c.ColdSegmentRows = colseg.MaxSegmentRows
 	}
 	if c.ILM.SteadyCacheUtilization <= 0 || c.ILM.SteadyCacheUtilization >= 1 {
 		return fmt.Errorf("core: steady cache utilization %v out of (0,1)", c.ILM.SteadyCacheUtilization)

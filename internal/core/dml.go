@@ -301,11 +301,55 @@ func (t *Txn) readRowAt(rt *tableRT, r0 rid.RID, probeKey row.Key, pointAccess b
 			return rw, true, false, nil
 		}
 		if r0.IsVirtual() {
-			// IMRS-only row not visible (uncommitted insert or deleted).
-			return nil, false, false, nil
+			if _, _, k, cold := t.e.cold.Lookup(r0); !cold || (k != 0 && k <= t.snap) {
+				// IMRS-only row not visible (uncommitted insert or deleted).
+				return nil, false, false, nil
+			}
+			// Fall through: the invisible entry is an un-freeze this
+			// snapshot predates (or an uncommitted migration); the live or
+			// later-killed segment copy below holds our committed image.
 		}
 		// Physical RID whose IMRS version is invisible to this snapshot:
 		// the page store still holds the pre-migration committed image.
+	}
+	// Cold-store resolution: serve the segment copy when it is live, or
+	// when this snapshot predates its kill AND the RID map still has an
+	// entry for the row — an un-freeze-by-update, whose newer image is
+	// snapshot-versioned in the IMRS. A kill without an entry (delete,
+	// un-freeze to the heap) is read-committed, exactly like page-store
+	// rows: the index/heap already reflect it for every snapshot.
+	if seg, idx, k, ok := t.e.cold.Lookup(r0); ok && (k == 0 || (k > t.snap && en != nil)) {
+		prt := t.e.partByID(r0.Partition())
+		if prt == nil {
+			return nil, false, false, fmt.Errorf("core: unknown partition in %v", r0)
+		}
+		enc, err := seg.EncodeRowAt(idx, nil)
+		if err != nil {
+			return nil, false, false, err
+		}
+		rw, err = t.e.decode(rt, enc)
+		if err != nil {
+			return nil, false, false, err
+		}
+		if probeKey != nil {
+			got, err := pkOf(rt, rw)
+			if err != nil {
+				return nil, false, false, err
+			}
+			if !bytes.Equal(got, probeKey) {
+				return nil, false, true, nil
+			}
+		}
+		prt.ilm.PageOps.Inc()
+		if pointAccess && k == 0 {
+			t.maybeCache(rt, prt, r0, enc, true)
+		}
+		return rw, true, false, nil
+	} else if ok && r0.IsVirtual() {
+		// Killed cold copy, no IMRS entry: the row is gone for this
+		// snapshot (deleted, or un-frozen to a fresh heap RID whose
+		// index repoint committed before our snapshot began).
+		return nil, false, false, nil
 	}
 	if r0.IsVirtual() {
 		// Entry gone: the row was packed after the index lookup; the
@@ -339,7 +383,7 @@ func (t *Txn) readRowAt(rt *tableRT, r0 rid.RID, probeKey row.Key, pointAccess b
 	prt.ilm.PageOps.Inc()
 	prt.ilm.PageReuseOps.Inc()
 	if pointAccess {
-		t.maybeCache(rt, prt, r0, data)
+		t.maybeCache(rt, prt, r0, data, false)
 	}
 	return rw, true, false, nil
 }
@@ -368,7 +412,7 @@ func (t *Txn) lockedPageFetch(prt *partRT, r0 rid.RID) (data []byte, found bool,
 // a point access to a page-store row copies it into the IMRS as a clean
 // cached row, in anticipation of re-access. Conditional lock only; the
 // hot path never blocks for caching.
-func (t *Txn) maybeCache(rt *tableRT, prt *partRT, r0 rid.RID, data []byte) {
+func (t *Txn) maybeCache(rt *tableRT, prt *partRT, r0 rid.RID, data []byte, fromCold bool) {
 	if !prt.ilm.Enabled(ilm.OpCache) || !t.e.packer.AcceptNewRows() || !t.e.imrsAdmission() {
 		return
 	}
@@ -377,6 +421,14 @@ func (t *Txn) maybeCache(rt *tableRT, prt *partRT, r0 rid.RID, data []byte) {
 	}
 	if t.e.rmap.Get(r0) != nil {
 		return // raced another cacher
+	}
+	if fromCold {
+		// data was read from a cold segment without the row lock; under
+		// the lock, re-verify the segment copy is still the authoritative
+		// image (an un-freeze or delete would have killed it).
+		if _, _, k, ok := t.e.cold.Lookup(r0); !ok || k != 0 {
+			return
+		}
 	}
 	en, err := t.e.store.CreateEntry(r0, prt.cat.ID, imrs.OriginCached, data, t.id)
 	if err != nil {
@@ -425,6 +477,10 @@ func (t *Txn) locateForWrite(rt *tableRT, key row.Key) (r0 rid.RID, en *imrs.Ent
 		}
 		en = t.e.rmap.Get(r0)
 		if en == nil && r0.IsVirtual() {
+			if _, _, k, ok := t.e.cold.Lookup(r0); ok && k == 0 {
+				// Frozen row: located, locked, live in the cold store.
+				return r0, nil, true, nil
+			}
 			// Packed while we waited for the lock: the index entry has
 			// been repointed; look up again.
 			continue
@@ -444,6 +500,14 @@ func (t *Txn) currentImage(rt *tableRT, r0 rid.RID, en *imrs.Entry) (row.Row, []
 		}
 		rw, err := t.e.decode(rt, v.Data())
 		return rw, v.Data(), err == nil, err
+	}
+	if seg, idx, k, ok := t.e.cold.Lookup(r0); ok && k == 0 {
+		enc, err := seg.EncodeRowAt(idx, nil)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		rw, err := t.e.decode(rt, enc)
+		return rw, enc, err == nil, err
 	}
 	prt := t.e.partByID(r0.Partition())
 	data, err := prt.heap.Fetch(r0)
@@ -502,11 +566,21 @@ func (t *Txn) Update(table string, pk []row.Value, mutate func(row.Row) (row.Row
 
 	m := t.mark()
 	prt := t.e.partByID(r0.Partition())
+	// The first dirtying write of a frozen row pulls it out of the cold
+	// store: the segment copy is killed at commit and the row's newest
+	// image lives in the IMRS (migration) or back in the heap.
+	coldRes := false
+	if _, _, k, ok := t.e.cold.Lookup(r0); ok && k == 0 {
+		coldRes = true
+	}
 	switch {
 	case en != nil:
 		if err := t.updateIMRS(rt, prt, r0, en, newRow, encSize); err != nil {
 			t.unwind(m)
 			return false, err
+		}
+		if coldRes {
+			t.stageSegKill(rt, r0, true)
 		}
 	default:
 		migrated := false
@@ -518,7 +592,19 @@ func (t *Txn) Update(table string, pk []row.Value, mutate func(row.Row) (row.Row
 				return false, err
 			}
 		}
-		if !migrated {
+		switch {
+		case migrated && coldRes:
+			t.stageSegKill(rt, r0, true)
+		case !migrated && coldRes:
+			enc := row.AppendEncoded(newRow, t.encBuf(encSize))
+			newRID, err := t.unfreezeToHeap(rt, prt, r0, cur, enc)
+			if err != nil {
+				t.unwind(m)
+				return false, err
+			}
+			t.stageSegKill(rt, r0, true)
+			r0 = newRID
+		case !migrated:
 			enc := row.AppendEncoded(newRow, t.encBuf(encSize))
 			if err := t.updatePage(rt, prt, r0, curEnc, enc); err != nil {
 				t.unwind(m)
@@ -624,6 +710,98 @@ func (t *Txn) updatePage(rt *tableRT, prt *partRT, r0 rid.RID, before, after []b
 	return nil
 }
 
+// stageSegKill logs and (at commit) applies the kill of r's live cold
+// copy. unfreeze marks the kill as a row pulled back by a write (the
+// stat the ILM report surfaces) rather than a delete.
+func (t *Txn) stageSegKill(rt *tableRT, r rid.RID, unfreeze bool) {
+	t.sysRecs = append(t.sysRecs, wal.Record{
+		Type: wal.RecSegKill, Table: rt.cat.ID, RID: r,
+	})
+	t.atCommit = append(t.atCommit, func(ts uint64) {
+		t.e.cold.Kill(r, ts)
+		if unfreeze {
+			t.e.unfreezes.Add(1)
+		}
+	})
+}
+
+// unfreezeToHeap moves a frozen row back to the page store when the IMRS
+// cannot take it (migration gated off or cache full), writing enc — the
+// row's NEW image — to the heap. A physical RID reclaims its old slot
+// when still free; otherwise (and for virtual RIDs) the row gets a fresh
+// heap location and every index entry is repointed. Returns the RID the
+// row now lives at.
+func (t *Txn) unfreezeToHeap(rt *tableRT, prt *partRT, r0 rid.RID, cur row.Row, enc []byte) (rid.RID, error) {
+	if !r0.IsVirtual() {
+		if err := prt.heap.InsertAt(r0, enc); err == nil {
+			t.undo = append(t.undo, func() { _ = prt.heap.Delete(r0) })
+			t.sysRecs = append(t.sysRecs, wal.Record{
+				Type: wal.RecHeapInsert, Table: rt.cat.ID, RID: r0, After: enc,
+			})
+			prt.ilm.PageOps.Inc()
+			return r0, nil
+		}
+		// Slot occupied: either reused by an unrelated insert, or a stale
+		// pre-freeze copy whose post-freeze delete failed. Overwrite only
+		// the latter (same row, shadowed by the cold copy until now).
+		if stale, err := prt.heap.Fetch(r0); err == nil {
+			if srw, err := t.e.decode(rt, stale); err == nil {
+				if sk, err1 := pkOf(rt, srw); err1 == nil {
+					if ck, err2 := pkOf(rt, cur); err2 == nil && bytes.Equal(sk, ck) {
+						if err := t.updatePage(rt, prt, r0, stale, enc); err != nil {
+							return rid.Zero, err
+						}
+						return r0, nil
+					}
+				}
+			}
+		}
+	}
+	newRID, err := prt.heap.Insert(enc)
+	if err != nil {
+		return rid.Zero, err
+	}
+	if err := t.lock(newRID); err != nil {
+		_ = prt.heap.Delete(newRID)
+		return rid.Zero, err
+	}
+	t.undo = append(t.undo, func() { _ = prt.heap.Delete(newRID) })
+	t.sysRecs = append(t.sysRecs, wal.Record{
+		Type: wal.RecHeapInsert, Table: rt.cat.ID, RID: newRID, After: enc,
+	})
+	// Repoint every index entry from the dead cold RID to the heap one,
+	// keyed by the row's CURRENT image (key changes are layered on by
+	// updateSecondaryIndexes afterwards, against newRID).
+	for _, ix := range rt.indexes {
+		ix := ix
+		oldK, err := indexKey(ix, cur, r0)
+		if err != nil {
+			return rid.Zero, err
+		}
+		if ix.def.Unique {
+			if _, err := ix.tree.Update(oldK, newRID); err != nil {
+				return rid.Zero, err
+			}
+			t.undo = append(t.undo, func() { _, _ = ix.tree.Update(oldK, r0) })
+		} else {
+			newK, err := indexKey(ix, cur, newRID)
+			if err != nil {
+				return rid.Zero, err
+			}
+			if _, _, err := ix.tree.Delete(oldK); err != nil {
+				return rid.Zero, err
+			}
+			t.undo = append(t.undo, func() { _ = ix.tree.Insert(oldK, r0) })
+			if err := ix.tree.Insert(newK, newRID); err != nil {
+				return rid.Zero, err
+			}
+			t.undo = append(t.undo, func() { _, _, _ = ix.tree.Delete(newK) })
+		}
+	}
+	prt.ilm.PageOps.Inc()
+	return newRID, nil
+}
+
 // updateSecondaryIndexes maintains non-PK indexes across a key change:
 // the new key is inserted now (readers filter by visibility) and the old
 // key is removed once the change commits.
@@ -682,6 +860,10 @@ func (t *Txn) Delete(table string, pk []row.Value) (bool, error) {
 	}
 	m := t.mark()
 	prt := t.e.partByID(r0.Partition())
+	coldRes := false
+	if _, _, k, ok := t.e.cold.Lookup(r0); ok && k == 0 {
+		coldRes = true
+	}
 
 	if en != nil {
 		tomb := t.e.store.AddTombstone(en, t.id)
@@ -706,7 +888,28 @@ func (t *Txn) Delete(table string, pk []row.Value) (bool, error) {
 			en.MarkPacked()
 			t.e.gc.RetireEntry(en, ts)
 		})
+		if coldRes {
+			t.stageSegKill(rt, r0, false)
+		}
 		prt.ilm.IMRSDeletes.Inc()
+	} else if coldRes {
+		// Frozen row: killing the segment copy IS the delete. A stale
+		// heap copy (failed post-freeze drop) goes too, if it is still
+		// this row.
+		t.stageSegKill(rt, r0, false)
+		if !r0.IsVirtual() {
+			if stale, err := prt.heap.Fetch(r0); err == nil {
+				if srw, err := t.e.decode(rt, stale); err == nil {
+					if sk, err := pkOf(rt, srw); err == nil && bytes.Equal(sk, key) {
+						t.sysRecs = append(t.sysRecs, wal.Record{
+							Type: wal.RecHeapDelete, Table: rt.cat.ID, RID: r0, Before: stale,
+						})
+						t.atCommit = append(t.atCommit, func(uint64) { _ = prt.heap.Delete(r0) })
+					}
+				}
+			}
+		}
+		prt.ilm.PageOps.Inc()
 	} else {
 		beforeCp := append([]byte(nil), curEnc...)
 		if err := prt.heap.Delete(r0); err != nil {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/ridmap"
 	"repro/internal/row"
 	"repro/internal/storage/buffer"
+	"repro/internal/storage/colseg"
 	"repro/internal/storage/disk"
 	"repro/internal/storage/heap"
 	"repro/internal/txn"
@@ -63,6 +64,7 @@ type Engine struct {
 	imrsGen uint64   // sysimrslogs generation (bumped by compaction)
 
 	store  *imrs.Store
+	cold   *colseg.Store
 	rmap   *ridmap.Map
 	locks  *txn.LockManager
 	clock  *txn.Clock
@@ -85,6 +87,14 @@ type Engine struct {
 
 	nextTxnID atomic.Uint64
 	closed    atomic.Bool
+
+	// coldEnabled gates the write side of the columnar cold store (the
+	// packer freezing rows into segments). The read side (e.cold) is
+	// always wired: recovery must be able to rebuild segments logged
+	// before a restart that flipped the knob off.
+	coldEnabled       bool
+	unfreezes         atomic.Int64 // cold rows pulled back by updates
+	coldHeapDropFails atomic.Int64 // post-freeze stale-heap deletes that failed
 
 	// legacyAlloc selects the pre-pooling per-transaction allocation
 	// behaviour (Config.LegacyTxnAlloc). Benchmark baseline only.
@@ -146,6 +156,8 @@ func Open(cfg Config) (*Engine, error) {
 	}
 	e.nextTxnID.Store(1)
 	e.store = imrs.NewStore(cfg.IMRSCacheBytes)
+	e.cold = colseg.NewStore()
+	e.coldEnabled = !cfg.DisableColdStore
 
 	if err := e.openStorage(); err != nil {
 		return nil, err
@@ -197,6 +209,10 @@ func Open(cfg Config) (*Engine, error) {
 	e.legacyAlloc = cfg.LegacyTxnAlloc
 	e.packer = pack.New(cfg.ILM, e.store, e.queues, e.ilmReg, e.tsf, e.tuner,
 		e.clock, (*relocator)(e), cfg.PackInterval, cfg.PackThreads)
+	if e.coldEnabled {
+		// One pack transaction = one cold segment.
+		e.packer.SetBatchSize(cfg.ColdSegmentRows)
+	}
 	// Cache pressure (the reject backstop tripping) and repeated pack
 	// relocation failures both degrade the engine; each clears when its
 	// condition does.
@@ -396,6 +412,9 @@ func (e *Engine) Clock() *txn.Clock { return e.clock }
 
 // Store exposes the IMRS store (harness, tests).
 func (e *Engine) Store() *imrs.Store { return e.store }
+
+// ColdStore exposes the columnar cold store (harness, tests).
+func (e *Engine) ColdStore() *colseg.Store { return e.cold }
 
 // Packer exposes the pack subsystem (harness, tests).
 func (e *Engine) Packer() *pack.Packer { return e.packer }

@@ -41,6 +41,10 @@ func (r *relocator) PackEntries(part rid.PartitionID, entries []*imrs.Entry) (in
 		return 0, 0, fmt.Errorf("core: pack of unmounted table %d", prt.cat.Table.ID)
 	}
 
+	if e.coldEnabled {
+		return e.freezeEntries(rt, prt, part, entries)
+	}
+
 	packTxn := e.nextTxnID.Add(1)
 	var lockedRIDs []rid.RID
 	unlockAll := func() {

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates per memory access, which invalidates
+// testing.AllocsPerRun budgets.
+const raceEnabled = false

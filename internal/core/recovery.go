@@ -15,6 +15,7 @@ import (
 	"repro/internal/index/btree"
 	"repro/internal/metrics"
 	"repro/internal/rid"
+	"repro/internal/storage/colseg"
 	"repro/internal/wal"
 )
 
@@ -23,6 +24,7 @@ const (
 	PhaseTailRepair   = "tail-repair"
 	PhaseAnalyze      = "analyze"
 	PhaseSyslogsRedo  = "syslogs-redo"
+	PhaseColdRebuild  = "cold-rebuild"
 	PhaseIMRSReplay   = "imrs-replay"
 	PhaseIndexRebuild = "index-rebuild"
 	PhaseQueueRebuild = "queue-rebuild"
@@ -140,9 +142,10 @@ func (e *Engine) recover() error {
 	var ckptLSN, ckptGen, maxTS uint64
 	var ckptBlob []byte
 	var sysWinners map[uint64]uint64
+	var segOps []wal.Record
 	if err := ri.phase(PhaseAnalyze, func() (int64, int, error) {
 		var err error
-		ckptLSN, ckptBlob, ckptGen, sysWinners, maxTS, err = e.analyzeSyslogs()
+		ckptLSN, ckptBlob, ckptGen, sysWinners, segOps, maxTS, err = e.analyzeSyslogs()
 		return ri.syslogRecords, 1, err
 	}); err != nil {
 		return err
@@ -188,6 +191,17 @@ func (e *Engine) recover() error {
 
 	if err := ri.phase(PhaseSyslogsRedo, func() (int64, int, error) {
 		n, err := e.redoSyslogs(ckptLSN, sysWinners)
+		return n, 1, err
+	}); err != nil {
+		return err
+	}
+
+	// Cold segments rebuild from the full-log analyze scan (segment blobs
+	// live only in syslogs; checkpoints never write them out) and must be
+	// in place before the IMRS replay: compacted sysimrslogs drop frozen
+	// rows' inserts, so their virtual-sequence bumps come from here.
+	if err := ri.phase(PhaseColdRebuild, func() (int64, int, error) {
+		n, err := e.rebuildColdStore(segOps, sysWinners)
 		return n, 1, err
 	}); err != nil {
 		return err
@@ -256,11 +270,11 @@ func (e *Engine) mountRecoveredTable(t *catalog.Table) (*tableRT, error) {
 // allocator past every id seen, so ids are unique across incarnations —
 // otherwise a new transaction could reuse a pre-crash loser's id and a
 // later recovery would resurrect the loser's log records along with it.
-func (e *Engine) analyzeSyslogs() (ckptLSN uint64, ckptBlob []byte, ckptGen uint64, winners map[uint64]uint64, maxTS uint64, err error) {
+func (e *Engine) analyzeSyslogs() (ckptLSN uint64, ckptBlob []byte, ckptGen uint64, winners map[uint64]uint64, segOps []wal.Record, maxTS uint64, err error) {
 	winners = make(map[uint64]uint64)
 	rdr, err := e.syslog.NewReader(0)
 	if err != nil {
-		return 0, nil, 0, nil, 0, err
+		return 0, nil, 0, nil, nil, 0, err
 	}
 	for {
 		rec, err := rdr.Next()
@@ -271,7 +285,7 @@ func (e *Engine) analyzeSyslogs() (ckptLSN uint64, ckptBlob []byte, ckptGen uint
 			// repairLogTails truncated any torn tail before this scan, so a
 			// torn frame here (wal.ErrTorn) means the log changed underneath
 			// recovery — fail loudly rather than silently drop the suffix.
-			return 0, nil, 0, nil, 0, fmt.Errorf("core: syslogs analysis: %w", err)
+			return 0, nil, 0, nil, nil, 0, fmt.Errorf("core: syslogs analysis: %w", err)
 		}
 		e.recovery.syslogRecords++
 		switch rec.Type {
@@ -288,11 +302,55 @@ func (e *Engine) analyzeSyslogs() (ckptLSN uint64, ckptBlob []byte, ckptGen uint
 			if rec.CommitTS > maxTS {
 				maxTS = rec.CommitTS
 			}
+		case wal.RecSegFreeze, wal.RecSegKill:
+			// Cold-store ops are buffered (in LSN order) for the cold
+			// rebuild phase; unlike heap redo they are not bounded by the
+			// checkpoint — segments live only in the log.
+			e.bumpTxnID(rec.TxnID)
+			segOps = append(segOps, rec)
 		default:
 			e.bumpTxnID(rec.TxnID)
 		}
 	}
-	return ckptLSN, ckptBlob, ckptGen, winners, maxTS, nil
+	return ckptLSN, ckptBlob, ckptGen, winners, segOps, maxTS, nil
+}
+
+// rebuildColdStore replays the buffered cold-store ops of committed
+// transactions, in log order: a freeze re-opens its segment blob and
+// publishes it at the winner's commit timestamp; a kill re-marks the
+// row's cold copy dead. Segment RIDs also raise the virtual-sequence
+// allocators — a frozen row's IMRS insert may have been compacted out
+// of sysimrslogs, leaving the segment as the only record of its RID.
+func (e *Engine) rebuildColdStore(ops []wal.Record, winners map[uint64]uint64) (int64, error) {
+	var applied int64
+	for _, op := range ops {
+		ts, committed := winners[op.TxnID]
+		if !committed {
+			continue
+		}
+		switch op.Type {
+		case wal.RecSegFreeze:
+			seg, err := colseg.Open(op.After)
+			if err != nil {
+				return applied, fmt.Errorf("core: cold rebuild: %w", err)
+			}
+			cp := e.cat.PartitionByID(seg.Part())
+			if cp == nil {
+				return applied, fmt.Errorf("core: cold rebuild references unknown partition %d", seg.Part())
+			}
+			for i := 0; i < seg.Rows(); i++ {
+				if r := seg.RIDAt(i); r.IsVirtual() {
+					cp.BumpVirtualSeq(r.Seq())
+				}
+			}
+			seg.FreezeTS = ts
+			e.cold.Publish(seg)
+		case wal.RecSegKill:
+			e.cold.Kill(op.RID, ts)
+		}
+		applied++
+	}
+	return applied, nil
 }
 
 // bumpTxnID raises the transaction-id allocator to at least id.
@@ -636,10 +694,38 @@ func (e *Engine) collectPartition(rt *tableRT, prt *partRT, entries []*imrs.Entr
 	local := make([][]btree.Item, len(rt.indexes))
 	var rows int64
 
+	// Segment pass: index every live, newest cold copy. Frozen rows keep
+	// their RIDs, so (key, RID) pairs come straight off the segments.
+	for _, seg := range e.cold.Segments(prt.cat.ID) {
+		if seg.TableID() != rt.cat.ID {
+			continue
+		}
+		for i := 0; i < seg.Rows(); i++ {
+			r0 := seg.RIDAt(i)
+			if seg.KillTS(i) != 0 || !e.cold.IsNewest(r0, seg, i) {
+				continue
+			}
+			if e.rmap.Get(r0) != nil {
+				continue // a newer IMRS image indexes the RID below
+			}
+			enc, err := seg.EncodeRowAt(i, nil)
+			if err != nil {
+				return err
+			}
+			if err := e.collectRowKeys(rt, r0, enc, nil, local); err != nil {
+				return err
+			}
+			rows++
+		}
+	}
+
 	var scanErr error
 	err := prt.heap.Scan(func(r0 rid.RID, data []byte) bool {
 		if e.rmap.Get(r0) != nil {
 			return true // indexed from its IMRS image below
+		}
+		if _, _, k, ok := e.cold.Lookup(r0); ok && k == 0 {
+			return true // stale heap copy shadowed by a live segment row
 		}
 		if err := e.collectRowKeys(rt, r0, data, nil, local); err != nil {
 			scanErr = err

@@ -11,10 +11,10 @@ import (
 	"time"
 
 	"repro/internal/catalog"
-	"repro/internal/storage/disk"
 	"repro/internal/imrs"
 	"repro/internal/rid"
 	"repro/internal/row"
+	"repro/internal/storage/disk"
 	"repro/internal/wal"
 )
 
@@ -531,7 +531,7 @@ func TestRecoveryStatsPhases(t *testing.T) {
 	if !rec.Ran || rec.Threads != 4 {
 		t.Fatalf("Ran=%v Threads=%d, want true/4", rec.Ran, rec.Threads)
 	}
-	want := []string{PhaseTailRepair, PhaseAnalyze, PhaseSyslogsRedo, PhaseIMRSReplay, PhaseIndexRebuild, PhaseQueueRebuild}
+	want := []string{PhaseTailRepair, PhaseAnalyze, PhaseSyslogsRedo, PhaseColdRebuild, PhaseIMRSReplay, PhaseIndexRebuild, PhaseQueueRebuild}
 	if len(rec.Phases) != len(want) {
 		t.Fatalf("phases = %+v, want %v", rec.Phases, want)
 	}

@@ -73,6 +73,47 @@ type PartitionSnapshot struct {
 
 	// InsertEnabled reflects the auto-partition-tuning state.
 	InsertEnabled bool
+
+	// Cold-store residency: rows frozen into this partition's column
+	// segments and the raw-vs-compressed footprint.
+	ColdSegments        int64
+	ColdRows            int64
+	ColdLiveRows        int64
+	ColdRawBytes        int64
+	ColdCompressedBytes int64
+}
+
+// ColdRatio returns compressed/raw for this partition's segments
+// (0 when nothing is frozen).
+func (p PartitionSnapshot) ColdRatio() float64 {
+	if p.ColdRawBytes == 0 {
+		return 0
+	}
+	return float64(p.ColdCompressedBytes) / float64(p.ColdRawBytes)
+}
+
+// ColdStoreSnapshot is the engine-wide cold-store view: segment counts,
+// row residency, compression footprint, and the un-freeze traffic that
+// pulls rows back out of segments.
+type ColdStoreSnapshot struct {
+	Segments        int64 // segments currently published
+	SegmentsWritten int64 // segments ever published (includes superseded)
+	RowsFrozen      int64 // rows ever frozen into segments
+	RowsLive        int64 // segment rows still live (not killed)
+	Kills           int64 // segment-row kills (un-freeze, delete, re-freeze)
+	Unfreezes       int64 // updates that pulled a frozen row back out
+	RawBytes        int64 // pre-compression footprint of published segments
+	CompressedBytes int64 // on-blob footprint of published segments
+	HeapDropFails   int64 // best-effort stale heap drops that failed
+}
+
+// Ratio returns compressed/raw across all published segments (0 when
+// nothing is frozen).
+func (c ColdStoreSnapshot) Ratio() float64 {
+	if c.RawBytes == 0 {
+		return 0
+	}
+	return float64(c.CompressedBytes) / float64(c.RawBytes)
 }
 
 // IndexSnapshot is one index's observable state: B+tree latch traffic
@@ -194,6 +235,10 @@ type Snapshot struct {
 	// entries go back on their queues; repeated streaks degrade Health).
 	PackRelocErrors int64
 
+	// ColdStore summarizes the columnar cold store (zero-valued when
+	// nothing has been frozen).
+	ColdStore ColdStoreSnapshot
+
 	// Health is the engine state machine's view: current state, active
 	// degraded causes, the sticky read-only cause, transition history,
 	// and the retry-layer counters.
@@ -271,6 +316,18 @@ func (e *Engine) Stats() Snapshot {
 		Checkpoints:   e.ckptCompleted.Load(),
 	}
 	s.PackRelocErrors = e.packer.RelocErrors.Load()
+	cs := e.cold.Stats()
+	s.ColdStore = ColdStoreSnapshot{
+		Segments:        int64(cs.Segments),
+		SegmentsWritten: cs.SegmentsWritten,
+		RowsFrozen:      cs.RowsFrozen,
+		RowsLive:        cs.RowsLive,
+		Kills:           cs.Kills,
+		Unfreezes:       e.unfreezes.Load(),
+		RawBytes:        cs.RawBytes,
+		CompressedBytes: cs.CompressedBytes,
+		HeapDropFails:   e.coldHeapDropFails.Load(),
+	}
 	s.Health = e.Health()
 	s.CheckpointFailures = e.ckptFailed.Load()
 	e.ckptFailMu.Lock()
@@ -304,6 +361,12 @@ func (e *Engine) Stats() Snapshot {
 		if ps.IndexContentionFn != nil {
 			snap.IndexContention = ps.IndexContentionFn()
 		}
+		pcs := e.cold.PartStats(ps.ID)
+		snap.ColdSegments = int64(pcs.Segments)
+		snap.ColdRows = pcs.Rows
+		snap.ColdLiveRows = pcs.LiveRows
+		snap.ColdRawBytes = pcs.RawBytes
+		snap.ColdCompressedBytes = pcs.CompressedBytes
 		s.Partitions = append(s.Partitions, snap)
 	}
 	s.RIDMapLive = int64(e.rmap.Len())

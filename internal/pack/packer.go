@@ -70,6 +70,7 @@ type Packer struct {
 	lastReuse  map[rid.PartitionID]int64 // per-cycle reuse snapshots
 
 	relocStreak atomic.Int64 // consecutive PackEntries failures
+	batch       int          // rows per pack transaction
 
 	// OnOverload fires when the reject backstop flips (true = the IMRS
 	// stopped accepting new rows); OnRelocStreak fires with the updated
@@ -108,9 +109,18 @@ func New(cfg ilm.Config, store *imrs.Store, queues *QueueSet, reg *ilm.Registry,
 	return &Packer{
 		cfg: cfg, store: store, queues: queues, reg: reg, tsf: tsf,
 		tuner: tuner, clock: clock, reloc: reloc,
-		interval: interval, threads: threads,
+		interval: interval, threads: threads, batch: batchSize,
 		lastReuse: make(map[rid.PartitionID]int64),
 		stop:      make(chan struct{}),
+	}
+}
+
+// SetBatchSize overrides the rows-per-pack-transaction batch. The
+// columnar cold store sets this to its segment row target so one pack
+// transaction freezes exactly one segment. Call before Start.
+func (p *Packer) SetBatchSize(n int) {
+	if n > 0 {
+		p.batch = n
 	}
 }
 
@@ -364,7 +374,7 @@ func (p *Packer) packPartition(share ilm.PartShare, level Level) {
 		}
 		batch = append(batch, e)
 		pending += int64(e.LiveBytes())
-		if len(batch) >= batchSize {
+		if len(batch) >= p.batch {
 			flush()
 		}
 	}

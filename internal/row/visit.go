@@ -1,0 +1,84 @@
+package row
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// VisitEncoded walks an encoded row column by column without materializing
+// a Row, calling fn for each column with the decoded scalar (or the raw
+// payload for string/bytes kinds, aliasing buf — callers that retain it
+// must copy). k is 0 for NULL columns. It performs the same validation as
+// Decode (kind agreement, minimal varints, no trailing bytes) so the two
+// accept exactly the same inputs. This is the column-extraction primitive
+// the columnar cold store builds on: packing a row into per-column
+// builders, or projecting a few columns, costs no Row/Value allocation.
+func VisitEncoded(s *Schema, buf []byte, fn func(col int, k Kind, i int64, f float64, b []byte) error) error {
+	pos := 0
+	for i := 0; i < s.NumColumns(); i++ {
+		if pos >= len(buf) {
+			return fmt.Errorf("row: truncated at column %d", i)
+		}
+		k := Kind(buf[pos])
+		pos++
+		var iv int64
+		var fv float64
+		var bv []byte
+		switch k {
+		case 0:
+		case KindInt64:
+			if pos+8 > len(buf) {
+				return fmt.Errorf("row: truncated int64 at column %d", i)
+			}
+			iv = int64(binary.BigEndian.Uint64(buf[pos:]))
+			pos += 8
+		case KindFloat64:
+			if pos+8 > len(buf) {
+				return fmt.Errorf("row: truncated float64 at column %d", i)
+			}
+			fv = math.Float64frombits(binary.BigEndian.Uint64(buf[pos:]))
+			pos += 8
+		case KindString, KindBytes:
+			n, w := binary.Uvarint(buf[pos:])
+			if w <= 0 || w != uvarintLen(n) {
+				return fmt.Errorf("row: truncated varlen at column %d", i)
+			}
+			pos += w
+			if n > uint64(len(buf)-pos) {
+				return fmt.Errorf("row: truncated varlen at column %d", i)
+			}
+			bv = buf[pos : pos+int(n)]
+			pos += int(n)
+		default:
+			return fmt.Errorf("row: bad kind byte %d at column %d", k, i)
+		}
+		if k != 0 && k != s.Column(i).Kind {
+			return fmt.Errorf("row: column %d kind %v, schema wants %v", i, k, s.Column(i).Kind)
+		}
+		if err := fn(i, k, iv, fv, bv); err != nil {
+			return err
+		}
+	}
+	if pos != len(buf) {
+		return fmt.Errorf("row: %d trailing bytes", len(buf)-pos)
+	}
+	return nil
+}
+
+// AppendEncodedValue appends one column value in the row wire format (the
+// inverse of one VisitEncoded callback): kind byte, then the
+// kind-dependent payload. k=0 appends a NULL.
+func AppendEncodedValue(dst []byte, k Kind, i int64, f float64, b []byte) []byte {
+	dst = append(dst, byte(k))
+	switch k {
+	case KindInt64:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(i))
+	case KindFloat64:
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f))
+	case KindString, KindBytes:
+		dst = binary.AppendUvarint(dst, uint64(len(b)))
+		dst = append(dst, b...)
+	}
+	return dst
+}

@@ -27,6 +27,12 @@ const (
 	RecIMRSUpdate
 	RecIMRSDelete
 	RecIMRSCommit
+	// Cold-store records (syslogs): SegFreeze carries a whole encoded
+	// column segment in After; SegKill marks one segment-resident row dead
+	// (un-freeze or delete). Both are gated on their transaction's
+	// RecCommit, like every other syslogs record.
+	RecSegFreeze
+	RecSegKill
 )
 
 // String implements fmt.Stringer.
@@ -52,6 +58,10 @@ func (t RecType) String() string {
 		return "imrs-delete"
 	case RecIMRSCommit:
 		return "imrs-commit"
+	case RecSegFreeze:
+		return "seg-freeze"
+	case RecSegKill:
+		return "seg-kill"
 	default:
 		return fmt.Sprintf("rectype(%d)", uint8(t))
 	}
