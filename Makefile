@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race test-race-internal test-recovery test-gc test-cold test-chaos fuzz bench-commit bench-read bench-recovery bench-mixed bench-scan bench-smoke ci
+.PHONY: build vet test test-race test-race-internal test-recovery test-gc test-cold test-chaos test-shard fuzz bench-commit bench-read bench-recovery bench-mixed bench-scan bench-shard bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,15 @@ test-cold:
 test-chaos:
 	$(GO) test -race ./internal/chaos/
 
+# Sharded-node tests under the race detector: the router/2PC/in-doubt
+# recovery suite, the engine-level prepare/decide/resolve tests, and
+# the shard-crash chaos scenario (one shard killed mid-workload;
+# cross-shard atomicity and survivor availability asserted).
+test-shard:
+	$(GO) test -race ./internal/shard/
+	$(GO) test -race ./internal/core/ -run 'Prepare|InDoubt|TwoPC|LocalOutcome'
+	$(GO) test -race ./internal/chaos/ -run 'ShardCrash'
+
 # Fuzz the byte-level decoders (WAL record bodies, row codec, cold-store
 # segments) for a short smoke window each; seed corpora live in
 # testdata/fuzz.
@@ -82,6 +91,12 @@ bench-mixed:
 bench-scan:
 	$(GO) run ./cmd/scanbench
 
+# Sharded-node sweep (shard count x cross-shard ratio under a simulated
+# WAL device, plus the unsharded negative control); writes
+# BENCH_shard.json.
+bench-shard:
+	$(GO) run ./cmd/shardbench
+
 # Tiny run of every benchmark binary: catches bit-rotted flags, broken
 # sweeps, and report-writing regressions without burning CI minutes on
 # real measurement. Numbers from this target are meaningless.
@@ -92,6 +107,7 @@ bench-smoke:
 	$(GO) run ./cmd/tpccbench -duration 200ms -warehouses 1 -workers 2 -customers 10 -items 50
 	$(GO) run ./cmd/mixedbench -duration 200ms -goroutines 1,2 -gcworkers 1,2 -hotrows 1000 -coldrows 500 -json ""
 	$(GO) run ./cmd/scanbench -rows 4000 -duration 150ms -hotrows 1000 -json ""
+	$(GO) run ./cmd/shardbench -duration 200ms -shards 1,2 -goroutines 8 -rows 1000 -json ""
 
 # What CI runs. Short mode skips the long TPC-C sweeps so the race
 # detector pass stays within runner budgets; drop -short locally for

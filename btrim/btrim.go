@@ -136,6 +136,21 @@ type Config struct {
 	// values are clamped to the format maximum).
 	ColdSegmentRows int
 
+	// Shards selects the sharded multi-engine node for OpenSharded: the
+	// database becomes Shards independent engines behind a
+	// hash-partitioned primary-key router, each with its own WALs, GC,
+	// pack loops and health state (DESIGN.md §12). 0 or 1 means one
+	// shard. Ignored by Open.
+	Shards int
+	// LogSyncLatency / LogBandwidthBytesPerSec model the WAL device(s)
+	// for in-memory databases: each log sync sleeps LogSyncLatency plus
+	// bytes-written / LogBandwidthBytesPerSec. The bandwidth term is
+	// what group commit cannot amortize — and what per-shard logs
+	// multiply. Zero disables the model; ignored for Dir-backed
+	// databases.
+	LogSyncLatency          time.Duration
+	LogBandwidthBytesPerSec int64
+
 	// GCWorkers sets the IMRS-GC worker count (0 keeps the default).
 	GCWorkers int
 	// SingleFlightGC reverts the IMRS-GC to one shared retire buffer
@@ -153,8 +168,8 @@ type DB struct {
 	eng *core.Engine
 }
 
-// Open creates or recovers a database.
-func Open(cfg Config) (*DB, error) {
+// coreConfig maps the public configuration onto the engine's.
+func (cfg Config) coreConfig() core.Config {
 	ec := core.DefaultConfig()
 	ec.Dir = cfg.Dir
 	if cfg.IMRSCacheBytes > 0 {
@@ -177,6 +192,8 @@ func Open(cfg Config) (*DB, error) {
 	ec.RecoveryThreads = cfg.RecoveryThreads
 	ec.ReadLatency = cfg.ReadLatency
 	ec.WriteLatency = cfg.WriteLatency
+	ec.LogSyncLatency = cfg.LogSyncLatency
+	ec.LogBandwidthBytesPerSec = cfg.LogBandwidthBytesPerSec
 	ec.DisableGroupCommit = cfg.DisableGroupCommit
 	ec.CommitCoalesceDelay = cfg.CommitCoalesceDelay
 	ec.CommitMaxBatchBytes = cfg.CommitMaxBatchBytes
@@ -189,7 +206,12 @@ func Open(cfg Config) (*DB, error) {
 	}
 	ec.SingleFlightGC = cfg.SingleFlightGC
 	ec.LegacyTxnAlloc = cfg.LegacyTxnAlloc
-	eng, err := core.Open(ec)
+	return ec
+}
+
+// Open creates or recovers a database.
+func Open(cfg Config) (*DB, error) {
+	eng, err := core.Open(cfg.coreConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -203,26 +225,35 @@ func (db *DB) Close() error { return db.eng.Close() }
 // (stats snapshots, manual checkpoints). Most applications never need it.
 func (db *DB) Engine() *core.Engine { return db.eng }
 
-// CreateTable creates a table and checkpoints the DDL.
-func (db *DB) CreateTable(spec TableSpec) error {
+// compile lowers the public table spec to the catalog's vocabulary.
+func (spec TableSpec) compile() (*row.Schema, catalog.PartitionSpec, []catalog.IndexSpec, error) {
 	cols := make([]row.Column, len(spec.Columns))
 	for i, c := range spec.Columns {
 		cols[i] = row.Column{Name: c.Name, Kind: row.Kind(c.Type)}
 	}
 	schema, err := row.NewSchema(cols...)
 	if err != nil {
-		return err
+		return nil, catalog.PartitionSpec{}, nil, err
 	}
 	ixs := make([]catalog.IndexSpec, len(spec.Indexes))
 	for i, ix := range spec.Indexes {
 		ixs[i] = catalog.IndexSpec{Name: ix.Name, Cols: ix.Columns, Unique: ix.Unique}
 	}
-	_, err = db.eng.CreateTable(spec.Name, schema, spec.PrimaryKey, catalog.PartitionSpec{
+	return schema, catalog.PartitionSpec{
 		Kind:          catalog.PartitionKind(spec.Partition.Kind),
 		Column:        spec.Partition.Column,
 		NumPartitions: spec.Partition.NumPartitions,
 		Bounds:        spec.Partition.Bounds,
-	}, ixs)
+	}, ixs, nil
+}
+
+// CreateTable creates a table and checkpoints the DDL.
+func (db *DB) CreateTable(spec TableSpec) error {
+	schema, part, ixs, err := spec.compile()
+	if err != nil {
+		return err
+	}
+	_, err = db.eng.CreateTable(spec.Name, schema, spec.PrimaryKey, part, ixs)
 	return err
 }
 

@@ -1,0 +1,191 @@
+package btrim
+
+import (
+	"repro/internal/shard"
+)
+
+// ErrShardDown reports an operation routed to a halted shard of a
+// sharded database. The rest of the node keeps serving.
+var ErrShardDown = shard.ErrShardDown
+
+// ShardedDB is a sharded database node: Config.Shards independent
+// engines — each with its own data directory, WAL pair, GC, pack loops
+// and health state — behind a hash-partitioned primary-key router.
+// Transactions that write one shard commit exactly as on a plain DB;
+// transactions spanning shards commit with two-phase commit layered on
+// the per-shard group-commit pipelines (DESIGN.md §12).
+type ShardedDB struct {
+	node *shard.Node
+}
+
+// OpenSharded creates or recovers a sharded database. Explicitly
+// configured memory budgets (IMRSCacheBytes, BufferPoolPages) are the
+// node total and divide across shards, so Shards=1 behaves like Open
+// with the same Config; zero values leave each shard on the engine
+// default. With Dir set, each shard lives under Dir/shard-NNN.
+func OpenSharded(cfg Config) (*ShardedDB, error) {
+	nShards := cfg.Shards
+	if nShards <= 0 {
+		nShards = 1
+	}
+	base := cfg.coreConfig()
+	if cfg.IMRSCacheBytes > 0 {
+		base.IMRSCacheBytes = cfg.IMRSCacheBytes / int64(nShards)
+		if base.IMRSCacheBytes < 1<<20 {
+			base.IMRSCacheBytes = 1 << 20
+		}
+	}
+	if cfg.BufferPoolPages > 0 {
+		base.BufferPoolPages = cfg.BufferPoolPages / nShards
+		if base.BufferPoolPages < 64 {
+			base.BufferPoolPages = 64
+		}
+	}
+	node, err := shard.Open(shard.Config{
+		Shards: nShards,
+		Dir:    cfg.Dir,
+		Base:   base,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedDB{node: node}, nil
+}
+
+// Close checkpoints and shuts down every shard.
+func (db *ShardedDB) Close() error { return db.node.Close() }
+
+// Halt crash-stops every shard without checkpointing (testing).
+func (db *ShardedDB) Halt() error { return db.node.Halt() }
+
+// HaltShard crash-stops one shard; the others keep serving and
+// operations routed to the dead shard fail with ErrShardDown.
+func (db *ShardedDB) HaltShard(i int) error { return db.node.HaltShard(i) }
+
+// NumShards returns the shard count.
+func (db *ShardedDB) NumShards() int { return db.node.NumShards() }
+
+// Node exposes the underlying shard node for advanced instrumentation.
+func (db *ShardedDB) Node() *shard.Node { return db.node }
+
+// CreateTable creates the table on every shard.
+func (db *ShardedDB) CreateTable(spec TableSpec) error {
+	schema, part, ixs, err := spec.compile()
+	if err != nil {
+		return err
+	}
+	return db.node.CreateTable(spec.Name, schema, spec.PrimaryKey, part, ixs)
+}
+
+// PinTable applies the in-memory / on-disk pin on every shard.
+func (db *ShardedDB) PinTable(name string, inMemory bool) error {
+	return db.node.PinTable(name, inMemory)
+}
+
+// Begin starts a transaction. Shard participants are created lazily on
+// first touch, so single-shard transactions carry zero coordination
+// overhead. Reads across shards see per-shard snapshots taken at first
+// touch (read-committed across shards, snapshot isolation within one).
+func (db *ShardedDB) Begin() *STx { return &STx{tx: db.node.Begin()} }
+
+// View runs fn in a transaction that is always committed (reads).
+func (db *ShardedDB) View(fn func(*STx) error) error {
+	tx := db.Begin()
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Update runs fn in a transaction, committing on success and aborting
+// on error.
+func (db *ShardedDB) Update(fn func(*STx) error) error {
+	tx := db.Begin()
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Stats aggregates every shard's snapshot into one node view (Shards
+// keeps the per-shard detail) and adds the node commit counters.
+func (db *ShardedDB) Stats() Stats {
+	per := make([]Stats, db.node.NumShards())
+	for i := range per {
+		per[i] = statsFromSnapshot(db.node.Engine(i).Stats())
+	}
+	s := aggregateShardStats(per)
+	c := db.node.Counters()
+	s.SingleShardCommits = c.SingleShardCommits
+	s.CrossShardCommits = c.CrossShardCommits
+	s.CrossShardAborts = c.CrossShardAborts
+	s.CrossShardCommitErrors = c.CrossShardCommitErrs
+	return s
+}
+
+// ShardHealth returns one shard's health state.
+func (db *ShardedDB) ShardHealth(i int) HealthState {
+	return HealthState(db.node.Engine(i).HealthState())
+}
+
+// STx is a transaction on a sharded database, mirroring Tx. Operations
+// route by primary key; scans fan out shard by shard (ordered within a
+// shard, not globally).
+type STx struct {
+	tx *shard.Txn
+}
+
+// Insert adds a row, routed by its primary-key columns.
+func (t *STx) Insert(table string, r Row) error { return t.tx.Insert(table, r) }
+
+// Get returns the row with the given primary key.
+func (t *STx) Get(table string, pk ...Value) (Row, bool, error) {
+	return t.tx.Get(table, pk)
+}
+
+// Update applies mutate to the row with the given primary key,
+// returning whether the row existed.
+func (t *STx) Update(table string, pk []Value, mutate func(Row) (Row, error)) (bool, error) {
+	return t.tx.Update(table, pk, mutate)
+}
+
+// Set replaces the row with the given primary key wholesale.
+func (t *STx) Set(table string, pk []Value, newRow Row) (bool, error) {
+	return t.tx.Update(table, pk, func(Row) (Row, error) { return newRow, nil })
+}
+
+// Delete removes the row with the given primary key, returning whether
+// it existed.
+func (t *STx) Delete(table string, pk ...Value) (bool, error) {
+	return t.tx.Delete(table, pk)
+}
+
+// Scan visits every visible row, shard by shard.
+func (t *STx) Scan(table string, fn func(Row) bool) error {
+	return t.tx.ScanTable(table, fn)
+}
+
+// ScanBatches runs the vectorized scan shard by shard.
+func (t *STx) ScanBatches(table string, cols []string, batchRows int, fn func(*Batch) bool) error {
+	return t.tx.ScanBatches(table, cols, batchRows, fn)
+}
+
+// IndexScan visits rows in index-key order within each shard.
+func (t *STx) IndexScan(table, index string, from []Value, fn func(Row) bool) error {
+	return t.tx.IndexScan(table, index, from, fn)
+}
+
+// LookupAll concatenates every shard's index matches.
+func (t *STx) LookupAll(table, index string, vals ...Value) ([]Row, error) {
+	return t.tx.LookupAll(table, index, vals)
+}
+
+// Commit commits the transaction: the plain engine commit when at most
+// one shard was written, two-phase commit otherwise. A nil return means
+// durably committed on every shard touched.
+func (t *STx) Commit() error { return t.tx.Commit() }
+
+// Abort rolls back every shard participant.
+func (t *STx) Abort() { t.tx.Abort() }

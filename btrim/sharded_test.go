@@ -1,0 +1,123 @@
+package btrim_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/btrim"
+)
+
+// TestShardedDir: the full public sharded lifecycle against file-backed
+// shards — create, write across shards, restart from disk, read back,
+// and the stats rollup carries the node counters and per-shard detail.
+func TestShardedDir(t *testing.T) {
+	dir := t.TempDir()
+	cfg := btrim.Config{Dir: dir, Shards: 4, IMRSCacheBytes: 32 << 20}
+	db, err := btrim.OpenSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.NumShards(); got != 4 {
+		t.Fatalf("NumShards = %d, want 4", got)
+	}
+	if err := db.CreateTable(accountsSpec()); err != nil {
+		t.Fatal(err)
+	}
+	err = db.Update(func(tx *btrim.STx) error {
+		for i := int64(1); i <= 100; i++ {
+			if err := tx.Insert("accounts", btrim.Values(
+				btrim.Int64(i), btrim.String("o"), btrim.Float64(float64(i)),
+			)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := db.Stats()
+	if len(st.Shards) != 4 {
+		t.Fatalf("stats carry %d shards, want 4", len(st.Shards))
+	}
+	if st.CrossShardCommits != 1 {
+		t.Fatalf("cross-shard commits = %d, want 1 (100 keys over 4 shards)", st.CrossShardCommits)
+	}
+	if st.Prepares == 0 || st.Decisions == 0 {
+		t.Fatalf("2PC rollup empty: prepares=%d decisions=%d", st.Prepares, st.Decisions)
+	}
+	if st.IMRSRows != 100 {
+		t.Fatalf("rolled-up IMRS rows = %d, want 100", st.IMRSRows)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen from the on-disk shard directories: every key must come
+	// back on the shard the fixed-seed router sends its reads to.
+	db2, err := btrim.OpenSharded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	err = db2.View(func(tx *btrim.STx) error {
+		for i := int64(1); i <= 100; i++ {
+			r, ok, err := tx.Get("accounts", btrim.Int64(i))
+			if err != nil || !ok {
+				t.Fatalf("key %d after restart: ok=%v err=%v", i, ok, err)
+			}
+			if r[2].Float() != float64(i) {
+				t.Fatalf("key %d: balance %v", i, r[2])
+			}
+		}
+		var n int
+		if err := tx.Scan("accounts", func(btrim.Row) bool { n++; return true }); err != nil {
+			return err
+		}
+		if n != 100 {
+			t.Fatalf("fan-out scan saw %d rows, want 100", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedHaltShard: the typed error and per-shard health surface.
+func TestShardedHaltShard(t *testing.T) {
+	db, err := btrim.OpenSharded(btrim.Config{Shards: 2, IMRSCacheBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateTable(accountsSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.HaltShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if db.ShardHealth(1) != btrim.StateHalted || db.ShardHealth(0) != btrim.StateHealthy {
+		t.Fatalf("health = %v/%v", db.ShardHealth(0), db.ShardHealth(1))
+	}
+	// Some key routes to the dead shard; inserting it fails typed.
+	var sawDown bool
+	for i := int64(1); i <= 16 && !sawDown; i++ {
+		err := db.Update(func(tx *btrim.STx) error {
+			return tx.Insert("accounts", btrim.Values(btrim.Int64(i), btrim.String("o"), btrim.Float64(1)))
+		})
+		if err != nil {
+			if !errors.Is(err, btrim.ErrShardDown) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			sawDown = true
+		}
+	}
+	if !sawDown {
+		t.Fatal("no key of 16 routed to the dead shard")
+	}
+	if db.Stats().Health.State != btrim.StateHalted {
+		t.Fatalf("rolled-up health should report the worst shard, got %v", db.Stats().Health.State)
+	}
+}

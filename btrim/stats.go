@@ -47,6 +47,15 @@ type RecoveryStats struct {
 	RowsIndexed      int64 // rows fed to the index rebuild
 	EntriesEnqueued  int64 // IMRS entries re-enqueued on pack queues
 	EntriesReclaimed int64 // dead recovered entries reclaimed
+
+	// InDoubt counts prepared-but-undecided cross-shard transactions
+	// found in the log; resolution splits them into committed and
+	// aborted, and any left unresolved park the engine ReadOnly
+	// (DESIGN.md §12).
+	InDoubt           int64
+	InDoubtCommitted  int64
+	InDoubtAborted    int64
+	InDoubtUnresolved int64
 }
 
 // Stats is a point-in-time view of the engine's hybrid-storage state.
@@ -85,12 +94,37 @@ type Stats struct {
 	PackRelocErrors int64
 	// ColdStore summarizes the compressed columnar cold store.
 	ColdStore ColdStoreStats
-	// Health is the engine health state machine's snapshot.
+	// Health is the engine health state machine's snapshot. A sharded
+	// snapshot reports the worst state across shards.
 	Health Health
 	// Tables maps table/partition name to its per-partition stats.
 	Tables map[string]TableStats
 	// Indexes maps "table.index" to per-index stats.
 	Indexes map[string]IndexStats
+
+	// Prepares / PreparedCommits / PreparedAborts / Decisions count this
+	// engine's participation in two-phase (cross-shard) commits: local
+	// prepares and their outcomes, plus coordinator decision records it
+	// logged.
+	Prepares        int64
+	PreparedCommits int64
+	PreparedAborts  int64
+	Decisions       int64
+
+	// Sharded-node rollups, set only on ShardedDB.Stats snapshots:
+	// Shards holds each shard's full stats, and the commit counters
+	// classify node-level transactions by how many shards they wrote.
+	Shards                 []ShardStats
+	SingleShardCommits     int64
+	CrossShardCommits      int64
+	CrossShardAborts       int64
+	CrossShardCommitErrors int64
+}
+
+// ShardStats is one shard's full engine stats within a sharded node.
+type ShardStats struct {
+	Shard int
+	Stats
 }
 
 // ColdStoreStats summarizes the compressed columnar cold store: how
@@ -175,8 +209,10 @@ func walStats(l core.LogSnapshot) WALStats {
 }
 
 // Stats snapshots the engine.
-func (db *DB) Stats() Stats {
-	snap := db.eng.Stats()
+func (db *DB) Stats() Stats { return statsFromSnapshot(db.eng.Stats()) }
+
+// statsFromSnapshot maps one engine's snapshot onto the public stats.
+func statsFromSnapshot(snap core.Snapshot) Stats {
 	s := Stats{
 		IMRSUsedBytes:     snap.IMRSUsedBytes,
 		IMRSCapacityBytes: snap.IMRSCapacity,
@@ -189,15 +225,23 @@ func (db *DB) Stats() Stats {
 		SysLog:            walStats(snap.SysLog),
 		IMRSLog:           walStats(snap.IMRSLog),
 		Recovery: RecoveryStats{
-			Ran:              snap.Recovery.Ran,
-			Threads:          snap.Recovery.Threads,
-			Total:            snap.Recovery.Total,
-			SyslogRecords:    snap.Recovery.SyslogRecords,
-			IMRSRecords:      snap.Recovery.IMRSRecords,
-			RowsIndexed:      snap.Recovery.RowsIndexed,
-			EntriesEnqueued:  snap.Recovery.EntriesEnqueued,
-			EntriesReclaimed: snap.Recovery.EntriesReclaimed,
+			Ran:               snap.Recovery.Ran,
+			Threads:           snap.Recovery.Threads,
+			Total:             snap.Recovery.Total,
+			SyslogRecords:     snap.Recovery.SyslogRecords,
+			IMRSRecords:       snap.Recovery.IMRSRecords,
+			RowsIndexed:       snap.Recovery.RowsIndexed,
+			EntriesEnqueued:   snap.Recovery.EntriesEnqueued,
+			EntriesReclaimed:  snap.Recovery.EntriesReclaimed,
+			InDoubt:           snap.Recovery.InDoubt,
+			InDoubtCommitted:  snap.Recovery.InDoubtCommitted,
+			InDoubtAborted:    snap.Recovery.InDoubtAborted,
+			InDoubtUnresolved: snap.Recovery.InDoubtUnresolved,
 		},
+		Prepares:            snap.TwoPC.Prepares,
+		PreparedCommits:     snap.TwoPC.PreparedCommits,
+		PreparedAborts:      snap.TwoPC.PreparedAborts,
+		Decisions:           snap.TwoPC.Decisions,
 		Checkpoints:         snap.Checkpoints,
 		CheckpointFailures:  snap.CheckpointFailures,
 		LastCheckpointError: snap.LastCheckpointError,
@@ -254,4 +298,128 @@ func (db *DB) Stats() Stats {
 		}
 	}
 	return s
+}
+
+// mergeWALStats sums one shard's log activity into dst. Counters add;
+// the mean group size is recomputed from the sums; wait times keep the
+// worst shard (a node commits only as fast as its slowest log).
+func mergeWALStats(dst *WALStats, src WALStats) {
+	dst.Appends += src.Appends
+	dst.Flushes += src.Flushes
+	dst.Bytes += src.Bytes
+	dst.GroupFlushes += src.GroupFlushes
+	dst.GroupedCommits += src.GroupedCommits
+	if dst.GroupFlushes > 0 {
+		dst.MeanGroupSize = float64(dst.GroupedCommits) / float64(dst.GroupFlushes)
+	}
+	if src.CommitWaitMean > dst.CommitWaitMean {
+		dst.CommitWaitMean = src.CommitWaitMean
+	}
+	if src.CommitWaitP95 > dst.CommitWaitP95 {
+		dst.CommitWaitP95 = src.CommitWaitP95
+	}
+}
+
+// aggregateShardStats rolls per-shard snapshots up into one node view:
+// counters and footprints sum, table/index maps merge by name, the hit
+// rate is recomputed from the merged operation counts, and Health
+// reports the worst shard. Recovery phases stay per shard (under
+// Shards); the rollup keeps only the summed counters and total time.
+func aggregateShardStats(per []Stats) Stats {
+	agg := Stats{
+		Tables:  make(map[string]TableStats),
+		Indexes: make(map[string]IndexStats),
+		Shards:  make([]ShardStats, len(per)),
+	}
+	var imrsOps, pageOps int64
+	for i, s := range per {
+		agg.Shards[i] = ShardStats{Shard: i, Stats: s}
+
+		agg.IMRSUsedBytes += s.IMRSUsedBytes
+		agg.IMRSCapacityBytes += s.IMRSCapacityBytes
+		agg.IMRSRows += s.IMRSRows
+		agg.RowsPacked += s.RowsPacked
+		agg.BytesPacked += s.BytesPacked
+		agg.RowsSkipped += s.RowsSkipped
+		agg.RIDMapRows += s.RIDMapRows
+		agg.IndexLatchWaits += s.IndexLatchWaits
+		agg.IndexRestarts += s.IndexRestarts
+		mergeWALStats(&agg.SysLog, s.SysLog)
+		mergeWALStats(&agg.IMRSLog, s.IMRSLog)
+		agg.Checkpoints += s.Checkpoints
+		agg.CheckpointFailures += s.CheckpointFailures
+		if agg.LastCheckpointError == "" {
+			agg.LastCheckpointError = s.LastCheckpointError
+		}
+		agg.PackRelocErrors += s.PackRelocErrors
+
+		agg.ColdStore.Segments += s.ColdStore.Segments
+		agg.ColdStore.SegmentsWritten += s.ColdStore.SegmentsWritten
+		agg.ColdStore.RowsFrozen += s.ColdStore.RowsFrozen
+		agg.ColdStore.RowsLive += s.ColdStore.RowsLive
+		agg.ColdStore.Kills += s.ColdStore.Kills
+		agg.ColdStore.Unfreezes += s.ColdStore.Unfreezes
+		agg.ColdStore.RawBytes += s.ColdStore.RawBytes
+		agg.ColdStore.CompressedBytes += s.ColdStore.CompressedBytes
+		agg.ColdStore.HeapDropFails += s.ColdStore.HeapDropFails
+
+		agg.Recovery.Ran = agg.Recovery.Ran || s.Recovery.Ran
+		agg.Recovery.Threads = s.Recovery.Threads
+		agg.Recovery.Total += s.Recovery.Total
+		agg.Recovery.SyslogRecords += s.Recovery.SyslogRecords
+		agg.Recovery.IMRSRecords += s.Recovery.IMRSRecords
+		agg.Recovery.RowsIndexed += s.Recovery.RowsIndexed
+		agg.Recovery.EntriesEnqueued += s.Recovery.EntriesEnqueued
+		agg.Recovery.EntriesReclaimed += s.Recovery.EntriesReclaimed
+		agg.Recovery.InDoubt += s.Recovery.InDoubt
+		agg.Recovery.InDoubtCommitted += s.Recovery.InDoubtCommitted
+		agg.Recovery.InDoubtAborted += s.Recovery.InDoubtAborted
+		agg.Recovery.InDoubtUnresolved += s.Recovery.InDoubtUnresolved
+
+		agg.Prepares += s.Prepares
+		agg.PreparedCommits += s.PreparedCommits
+		agg.PreparedAborts += s.PreparedAborts
+		agg.Decisions += s.Decisions
+
+		if i == 0 || s.Health.State > agg.Health.State {
+			agg.Health = s.Health
+		}
+
+		for name, t := range s.Tables {
+			m, seen := agg.Tables[name]
+			m.IMRSRows += t.IMRSRows
+			m.IMRSBytes += t.IMRSBytes
+			m.IMRSOps += t.IMRSOps
+			m.PageOps += t.PageOps
+			m.ReuseOps += t.ReuseOps
+			m.PackedRows += t.PackedRows
+			m.IMRSEnabled = t.IMRSEnabled || (seen && m.IMRSEnabled)
+			m.ColdSegments += t.ColdSegments
+			m.ColdRows += t.ColdRows
+			m.ColdLiveRows += t.ColdLiveRows
+			m.ColdRawBytes += t.ColdRawBytes
+			m.ColdCompressedBytes += t.ColdCompressedBytes
+			agg.Tables[name] = m
+			imrsOps += t.IMRSOps
+			pageOps += t.PageOps
+		}
+		for name, ix := range s.Indexes {
+			m := agg.Indexes[name]
+			m.Unique = ix.Unique
+			m.LatchWaits += ix.LatchWaits
+			m.Restarts += ix.Restarts
+			m.HashEntries += ix.HashEntries
+			m.HashBuckets += ix.HashBuckets
+			if m.HashBuckets > 0 {
+				m.HashLoadFactor = float64(m.HashEntries) / float64(m.HashBuckets)
+			}
+			m.HashHits += ix.HashHits
+			m.HashMisses += ix.HashMisses
+			agg.Indexes[name] = m
+		}
+	}
+	if total := imrsOps + pageOps; total > 0 {
+		agg.IMRSHitRate = float64(imrsOps) / float64(total)
+	}
+	return agg
 }

@@ -1,0 +1,480 @@
+// Command shardbench measures mixed-ISUD throughput (50% update /
+// 25% select / 15% insert / 10% delete) against the sharded
+// multi-engine node, sweeping shard count and cross-shard transaction
+// ratio under a simulated WAL device.
+//
+// The point being quantified: group commit amortizes log *sync latency*
+// but not log *bandwidth* — with one log device, write throughput caps
+// at device-bandwidth / bytes-per-transaction no matter how many
+// committers coalesce. Per-shard WAL pairs multiply that ceiling. The
+// -walmbps flag models the device (default 1 MB/s per log, i.e. a
+// deliberately slow device so the effect dominates scheduling noise on
+// small hosts); every shard gets its own pair.
+//
+// Sweeps written to BENCH_shard.json (see EXPERIMENTS.md):
+//   - scale: shards in {1,2,4,8}, 0% cross-shard — throughput must rise
+//     with shard count (the tentpole claim);
+//   - unsharded-control: plain btrim.Open on the same simulated device —
+//     the 1-shard node must sit within a few percent of it (the router
+//     and node wrapper must cost nothing when there is nothing to
+//     coordinate);
+//   - 2pc-tax: 8 shards, cross-shard ratio in {0,10,100} — the price of
+//     two-phase commit (extra prepare/decision records + a second
+//     durability wait) as cross-shard transactions take over.
+//
+// Usage:
+//
+//	shardbench [-duration 2s] [-shards 1,2,4,8] [-goroutines 64]
+//	           [-rows 8192] [-walmbps 1] [-walsyncus 0]
+//	           [-json BENCH_shard.json] [-cpuprofile f] [-memprofile f]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/btrim"
+	"repro/internal/harness"
+	"repro/internal/row"
+)
+
+type result struct {
+	Section      string  `json:"section"` // scale | unsharded-control | 2pc-tax
+	Shards       int     `json:"shards"`  // 0 = plain unsharded DB
+	Goroutines   int     `json:"goroutines"`
+	CrossPct     int     `json:"cross_pct"`
+	Seconds      float64 `json:"seconds"`
+	Txns         int64   `json:"txns"`
+	TxnsPerSec   float64 `json:"txns_per_sec"`
+	Updates      int64   `json:"updates"`
+	Selects      int64   `json:"selects"`
+	Inserts      int64   `json:"inserts"`
+	Deletes      int64   `json:"deletes"`
+	SingleShard  int64   `json:"single_shard_commits"`
+	CrossShard   int64   `json:"cross_shard_commits"`
+	CrossAborts  int64   `json:"cross_shard_aborts"`
+	Prepares     int64   `json:"prepares"`
+	Decisions    int64   `json:"decisions"`
+	SysLogBytes  int64   `json:"syslog_bytes"`
+	IMRSLogBytes int64   `json:"imrslog_bytes"`
+}
+
+type report struct {
+	Benchmark  string   `json:"benchmark"`
+	Started    string   `json:"started"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	WALMBps    float64  `json:"wal_mbps_per_log"`
+	Notes      []string `json:"notes"`
+	Results    []result `json:"results"`
+}
+
+// bench abstracts the sharded node and the plain DB behind one
+// transaction-per-call workload surface.
+type bench interface {
+	update(keys []int64) error // one txn incrementing every key
+	get(key int64) error
+	insert(id int64) error
+	remove(id int64) error
+	finish(r *result)
+	close() error
+}
+
+type shardedBench struct{ db *btrim.ShardedDB }
+
+func (b shardedBench) update(keys []int64) error {
+	return b.db.Update(func(tx *btrim.STx) error {
+		for _, id := range keys {
+			if _, err := tx.Update("bench", []btrim.Value{btrim.Int64(id)}, bump); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+func (b shardedBench) get(key int64) error {
+	return b.db.View(func(tx *btrim.STx) error {
+		_, _, err := tx.Get("bench", btrim.Int64(key))
+		return err
+	})
+}
+func (b shardedBench) insert(id int64) error {
+	return b.db.Update(func(tx *btrim.STx) error { return tx.Insert("bench", benchRow(id)) })
+}
+func (b shardedBench) remove(id int64) error {
+	return b.db.Update(func(tx *btrim.STx) error {
+		_, err := tx.Delete("bench", btrim.Int64(id))
+		return err
+	})
+}
+func (b shardedBench) finish(r *result) {
+	st := b.db.Stats()
+	r.SingleShard = st.SingleShardCommits
+	r.CrossShard = st.CrossShardCommits
+	r.CrossAborts = st.CrossShardAborts
+	r.Prepares = st.Prepares
+	r.Decisions = st.Decisions
+	r.SysLogBytes = st.SysLog.Bytes
+	r.IMRSLogBytes = st.IMRSLog.Bytes
+}
+func (b shardedBench) close() error { return b.db.Close() }
+
+type plainBench struct{ db *btrim.DB }
+
+func (b plainBench) update(keys []int64) error {
+	return b.db.Update(func(tx *btrim.Tx) error {
+		for _, id := range keys {
+			if _, err := tx.Update("bench", []btrim.Value{btrim.Int64(id)}, bump); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+func (b plainBench) get(key int64) error {
+	return b.db.View(func(tx *btrim.Tx) error {
+		_, _, err := tx.Get("bench", btrim.Int64(key))
+		return err
+	})
+}
+func (b plainBench) insert(id int64) error {
+	return b.db.Update(func(tx *btrim.Tx) error { return tx.Insert("bench", benchRow(id)) })
+}
+func (b plainBench) remove(id int64) error {
+	return b.db.Update(func(tx *btrim.Tx) error {
+		_, err := tx.Delete("bench", btrim.Int64(id))
+		return err
+	})
+}
+func (b plainBench) finish(r *result) {
+	st := b.db.Stats()
+	r.SysLogBytes = st.SysLog.Bytes
+	r.IMRSLogBytes = st.IMRSLog.Bytes
+}
+func (b plainBench) close() error { return b.db.Close() }
+
+var payload = strings.Repeat("x", 48)
+
+func benchRow(id int64) btrim.Row {
+	return btrim.Values(btrim.Int64(id), btrim.String(payload), btrim.Int64(0))
+}
+
+func bump(r btrim.Row) (btrim.Row, error) {
+	r[2] = btrim.Int64(r[2].Int() + 1)
+	return r, nil
+}
+
+func main() {
+	duration := flag.Duration("duration", 2*time.Second, "measure time per configuration")
+	shardsStr := flag.String("shards", "1,2,4,8", "comma-separated shard counts for the scale sweep")
+	// Enough committers that every shard's group-commit batch amortizes
+	// fixed per-flush costs; the bandwidth term then dominates as the
+	// model intends (with ~2 committers per shard the pipeline is
+	// latency-bound instead and the scale section understates).
+	goroutines := flag.Int("goroutines", 64, "client goroutines")
+	rows := flag.Int("rows", 8192, "preloaded rows")
+	walMBps := flag.Float64("walmbps", 1, "simulated WAL device bandwidth per log, MB/s (0 = unthrottled)")
+	walSyncUS := flag.Int("walsyncus", 0, "simulated WAL sync latency per log, microseconds")
+	jsonPath := flag.String("json", "BENCH_shard.json", "JSON report path (empty = no report)")
+	prof := harness.RegisterProfileFlags(flag.CommandLine)
+	flag.Parse()
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer prof.Stop()
+
+	baseCfg := btrim.Config{
+		IMRSCacheBytes:          256 << 20,
+		LogSyncLatency:          time.Duration(*walSyncUS) * time.Microsecond,
+		LogBandwidthBytesPerSec: int64(*walMBps * (1 << 20)),
+	}
+
+	rep := report{
+		Benchmark:  "sharded mixed-ISUD (50U/25S/15I/10D), per-shard simulated WAL devices",
+		Started:    time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		WALMBps:    *walMBps,
+		Notes: []string{
+			"Group commit amortizes log sync latency, not log bandwidth: with one simulated device, write throughput caps at bandwidth/bytes-per-txn however many committers coalesce. Per-shard WAL pairs multiply the ceiling, which is the scale section's claim.",
+			"unsharded-control runs plain btrim.Open on the identical simulated device; shards=1 must match it within a few percent (router + node wrapper cost nothing without coordination).",
+			"2pc-tax holds 8 shards and raises the cross-shard transaction ratio; each cross-shard update pays two prepares, a coordinator decision record and a second durability wait.",
+		},
+	}
+
+	type runCfg struct {
+		section  string
+		shards   int // 0 = plain DB
+		crossPct int
+	}
+	var cfgs []runCfg
+	for _, s := range parseInts(*shardsStr) {
+		cfgs = append(cfgs, runCfg{section: "scale", shards: s})
+	}
+	cfgs = append(cfgs, runCfg{section: "unsharded-control", shards: 0})
+	for _, cross := range []int{0, 10, 100} {
+		cfgs = append(cfgs, runCfg{section: "2pc-tax", shards: 8, crossPct: cross})
+	}
+
+	byKey := map[string]float64{}
+	for _, rc := range cfgs {
+		r, err := run(baseCfg, rc.section, rc.shards, rc.crossPct, *goroutines, *rows, *duration)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "run:", err)
+			os.Exit(1)
+		}
+		rep.Results = append(rep.Results, r)
+		byKey[fmt.Sprintf("%s/%d/%d", rc.section, rc.shards, rc.crossPct)] = r.TxnsPerSec
+		fmt.Printf("%-18s shards=%-2d cross=%-3d%% %10.0f txns/s  (cross-commits=%d aborts=%d)\n",
+			r.Section, r.Shards, r.CrossPct, r.TxnsPerSec, r.CrossShard, r.CrossAborts)
+	}
+
+	if base, ok := byKey["scale/1/0"]; ok && base > 0 {
+		if top, ok := byKey["scale/8/0"]; ok {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("measured scale: 8 shards / 1 shard = %.2fx", top/base))
+		}
+		if plain, ok := byKey["unsharded-control/0/0"]; ok && plain > 0 {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("measured 1-shard overhead vs plain engine: %+.1f%%", (plain-base)/plain*100))
+		}
+	}
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *jsonPath)
+	}
+	for _, n := range rep.Notes[3:] {
+		fmt.Println(n)
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			fmt.Fprintln(os.Stderr, "bad count:", f)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func tableSpec() btrim.TableSpec {
+	return btrim.TableSpec{
+		Name: "bench",
+		Columns: []btrim.Column{
+			{Name: "id", Type: btrim.Int64Type},
+			{Name: "payload", Type: btrim.StringType},
+			{Name: "counter", Type: btrim.Int64Type},
+		},
+		PrimaryKey: []string{"id"},
+	}
+}
+
+// openBench opens the configuration under test and preloads rows. The
+// bench table is pinned fully in-memory so the write path is the IMRS
+// redo log (the syslogs then carry only commit/2PC records) — the
+// configuration the paper's hot-OLTP sections assume.
+func openBench(cfg btrim.Config, shards, rows int) (bench, error) {
+	var b bench
+	if shards > 0 {
+		cfg.Shards = shards
+		db, err := btrim.OpenSharded(cfg)
+		if err != nil {
+			return nil, err
+		}
+		b = shardedBench{db: db}
+		if err := db.CreateTable(tableSpec()); err != nil {
+			return nil, err
+		}
+		if err := db.PinTable("bench", true); err != nil {
+			return nil, err
+		}
+	} else {
+		db, err := btrim.Open(cfg)
+		if err != nil {
+			return nil, err
+		}
+		b = plainBench{db: db}
+		if err := db.CreateTable(tableSpec()); err != nil {
+			return nil, err
+		}
+		if err := db.PinTable("bench", true); err != nil {
+			return nil, err
+		}
+	}
+	for lo := int64(1); lo <= int64(rows); lo += 256 {
+		hi := lo + 255
+		if hi > int64(rows) {
+			hi = int64(rows)
+		}
+		ids := make([]int64, 0, 256)
+		for id := lo; id <= hi; id++ {
+			ids = append(ids, id)
+		}
+		if err := insertBatch(b, ids); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func insertBatch(b bench, ids []int64) error {
+	switch v := b.(type) {
+	case shardedBench:
+		return v.db.Update(func(tx *btrim.STx) error {
+			for _, id := range ids {
+				if err := tx.Insert("bench", benchRow(id)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	case plainBench:
+		return v.db.Update(func(tx *btrim.Tx) error {
+			for _, id := range ids {
+				if err := tx.Insert("bench", benchRow(id)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	return fmt.Errorf("unknown bench type %T", b)
+}
+
+// shardOf mirrors the node router so workers can pick same- or
+// cross-shard key pairs deliberately.
+func shardOf(nShards int, id int64) int {
+	if nShards <= 1 {
+		return 0
+	}
+	return int(row.HashValues(row.HashSeed, []row.Value{row.Int64(id)}) % uint64(nShards))
+}
+
+func run(cfg btrim.Config, section string, shards, crossPct, goroutines, rows int, duration time.Duration) (result, error) {
+	b, err := openBench(cfg, shards, rows)
+	if err != nil {
+		return result{}, err
+	}
+	defer b.close()
+
+	// Per-shard key pools for deliberate same-/cross-shard pair picks.
+	n := shards
+	if n <= 0 {
+		n = 1
+	}
+	byShard := make([][]int64, n)
+	for id := int64(1); id <= int64(rows); id++ {
+		s := shardOf(n, id)
+		byShard[s] = append(byShard[s], id)
+	}
+
+	var updates, selects, inserts, deletes atomic.Int64
+	var errCount atomic.Int64
+	var firstErr atomic.Value
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	const insertStride = 10_000_000
+	for w := 0; w < goroutines; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			nextIns := int64((w + 1) * insertStride)
+			pendingDel := nextIns
+			pick := func() int64 { return int64(1 + rng.Intn(rows)) }
+			for !stop.Load() {
+				dice := rng.Intn(100)
+				var err error
+				switch {
+				case dice < 50: // update (1 key, or 2 cross-shard keys)
+					a := pick()
+					keys := []int64{a}
+					if n > 1 && rng.Intn(100) < crossPct {
+						other := byShard[(shardOf(n, a)+1+rng.Intn(n-1))%n]
+						keys = append(keys, other[rng.Intn(len(other))])
+					}
+					if err = b.update(keys); err == nil {
+						updates.Add(1)
+					}
+				case dice < 75: // select
+					if err = b.get(pick()); err == nil {
+						selects.Add(1)
+					}
+				case dice < 90: // insert
+					id := nextIns
+					nextIns++
+					if err = b.insert(id); err == nil {
+						inserts.Add(1)
+					}
+				default: // delete one of our earlier inserts
+					if pendingDel >= nextIns {
+						continue
+					}
+					id := pendingDel
+					pendingDel++
+					if err = b.remove(id); err == nil {
+						deletes.Add(1)
+					}
+				}
+				if err != nil {
+					errCount.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+					if errCount.Load() > 100 {
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	t0 := time.Now()
+	before := updates.Load() + selects.Load() + inserts.Load() + deletes.Load()
+	time.Sleep(duration)
+	after := updates.Load() + selects.Load() + inserts.Load() + deletes.Load()
+	elapsed := time.Since(t0)
+	stop.Store(true)
+	wg.Wait()
+
+	if e, ok := firstErr.Load().(error); ok && errCount.Load() > 100 {
+		return result{}, fmt.Errorf("workload failing persistently: %w", e)
+	}
+
+	txns := after - before
+	r := result{
+		Section:    section,
+		Shards:     shards,
+		Goroutines: goroutines,
+		CrossPct:   crossPct,
+		Seconds:    elapsed.Seconds(),
+		Txns:       txns,
+		TxnsPerSec: float64(txns) / elapsed.Seconds(),
+		Updates:    updates.Load(),
+		Selects:    selects.Load(),
+		Inserts:    inserts.Load(),
+		Deletes:    deletes.Load(),
+	}
+	b.finish(&r)
+	return r, nil
+}

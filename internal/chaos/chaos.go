@@ -148,7 +148,7 @@ func (h *harness) open() error {
 	cfg.SysLogBackend = h.fsys
 	cfg.IMRSLogBackend = h.fims
 	cfg.IMRSCacheBytes = h.cfg.CacheBytes
-	cfg.PackInterval = time.Hour // driven explicitly via Packer().Step()
+	cfg.PackInterval = time.Hour            // driven explicitly via Packer().Step()
 	cfg.RetrySleep = func(time.Duration) {} // backoff must not slow the soak
 	eng, err := core.Open(cfg)
 	if err != nil {

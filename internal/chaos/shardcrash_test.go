@@ -1,0 +1,32 @@
+package chaos
+
+import "testing"
+
+// The shard-crash acceptance test: concurrent zero-sum transfers over a
+// 4-shard node, one shard killed mid-workload — cross-shard atomicity
+// (total balance conserved through recovery), survivor availability,
+// and clean typed failures on the dead shard.
+func TestShardCrash(t *testing.T) {
+	res, err := ShardCrashRun(ShardCrashConfig{Seed: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("shardcrash: %+v", res)
+	if res.Commits == 0 || res.CrossCommits == 0 {
+		t.Fatalf("vacuous run: %+v", res)
+	}
+}
+
+// A second seed reorders the interleaving and the kill point.
+func TestShardCrashAltSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: one shard-crash run is enough")
+	}
+	res, err := ShardCrashRun(ShardCrashConfig{Seed: 42, CrossPct: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 || res.CrossCommits == 0 {
+		t.Fatalf("vacuous run: %+v", res)
+	}
+}

@@ -94,6 +94,24 @@ type Config struct {
 	// modelling disk (see DESIGN.md substitutions).
 	ReadLatency, WriteLatency time.Duration
 
+	// LogSyncLatency and LogBandwidthBytesPerSec model the cost of the
+	// log device(s) when the engine creates its own default in-memory
+	// log backends (explicit SysLogBackend/IMRSLogBackend and Dir-backed
+	// engines are used as-is). Each sync sleeps LogSyncLatency plus
+	// bytes-since-last-sync / LogBandwidthBytesPerSec — the bandwidth
+	// term is what group commit cannot amortize, making one log device
+	// a throughput ceiling that per-shard logs lift (DESIGN.md §12).
+	LogSyncLatency          time.Duration
+	LogBandwidthBytesPerSec int64
+
+	// TwoPCResolver, when set, resolves in-doubt prepared transactions
+	// found during recovery: given the global transaction id and the
+	// coordinator shard index from a RecPrepare with no local outcome,
+	// it reports the coordinator's durable decision. nil (a standalone
+	// engine) maps every in-doubt transaction to TwoPCUnknown, which
+	// parks the engine ReadOnly if any exist.
+	TwoPCResolver func(gid uint64, coordShard uint32) TwoPCOutcome
+
 	// HashIndexBuckets sizes per-index IMRS hash tables.
 	HashIndexBuckets int
 	// DisableHashIndex turns off the hash fast path (ablation).

@@ -118,6 +118,9 @@ type Engine struct {
 	// written before Open returns, copied into Stats afterwards.
 	recovery recoveryInfo
 
+	// twopc is the cross-shard commit accounting (twopc.go).
+	twopc twopcCounters
+
 	// health is the engine state machine (health.go); the retriers wrap
 	// the data device, both WAL flush paths, and the background
 	// checkpoint (all nil when Config.DisableRetry).
@@ -319,11 +322,20 @@ func (e *Engine) openStorage() error {
 		cfg.DataDevice = disk.NewMemDevice(cfg.ReadLatency, cfg.WriteLatency)
 		e.ownsDevices = true
 	}
+	// The log-device cost model applies only to backends the engine
+	// creates itself: explicitly provided backends (tests wiring faulty
+	// or cloned media) and file backends pay their own real costs.
+	slowLog := func(b wal.Backend) wal.Backend {
+		if cfg.LogSyncLatency > 0 || cfg.LogBandwidthBytesPerSec > 0 {
+			return wal.NewSlowBackend(b, cfg.LogSyncLatency, cfg.LogBandwidthBytesPerSec)
+		}
+		return b
+	}
 	if cfg.SysLogBackend == nil {
-		cfg.SysLogBackend = wal.NewMemBackend()
+		cfg.SysLogBackend = slowLog(wal.NewMemBackend())
 	}
 	if cfg.IMRSLogBackend == nil {
-		cfg.IMRSLogBackend = wal.NewMemBackend()
+		cfg.IMRSLogBackend = slowLog(wal.NewMemBackend())
 	}
 	e.dataDev = cfg.DataDevice
 	var err error

@@ -258,6 +258,11 @@ func (h *healthFSM) snapshot() HealthSnapshot {
 
 // --- Engine integration -------------------------------------------------
 
+// HealthState returns just the current state, lock-free — the sharded
+// node's per-transaction shard gate, where the full Health() snapshot
+// (mutex + history copy) would be hot-path overhead.
+func (e *Engine) HealthState() HealthState { return e.health.load() }
+
 // Health returns the engine's health view.
 func (e *Engine) Health() HealthSnapshot {
 	s := e.health.snapshot()

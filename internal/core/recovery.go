@@ -19,10 +19,14 @@ import (
 	"repro/internal/wal"
 )
 
-// Recovery phase names, in execution order.
+// Recovery phase names, in execution order. PhaseInDoubt is conditional:
+// it runs (between analyze and redo) only when analysis found prepared
+// transactions with no local outcome, so single-engine deployments see
+// exactly the usual phase list.
 const (
 	PhaseTailRepair   = "tail-repair"
 	PhaseAnalyze      = "analyze"
+	PhaseInDoubt      = "indoubt-resolve"
 	PhaseSyslogsRedo  = "syslogs-redo"
 	PhaseColdRebuild  = "cold-rebuild"
 	PhaseIMRSReplay   = "imrs-replay"
@@ -44,6 +48,12 @@ type recoveryInfo struct {
 	rowsIndexed      atomic.Int64
 	entriesEnqueued  int64
 	entriesReclaimed atomic.Int64
+
+	// In-doubt 2PC resolution (the conditional PhaseInDoubt).
+	inDoubt           int64 // prepared txns with no local outcome
+	inDoubtCommitted  int64 // resolved commit via the coordinator
+	inDoubtAborted    int64 // resolved abort (explicit or presumed)
+	inDoubtUnresolved int64 // coordinator unreachable → shard parked ReadOnly
 }
 
 // phase runs fn as the named recovery phase, recording its wall time,
@@ -139,17 +149,27 @@ func (e *Engine) recover() error {
 		return err
 	}
 
-	var ckptLSN, ckptGen, maxTS uint64
-	var ckptBlob []byte
-	var sysWinners map[uint64]uint64
-	var segOps []wal.Record
+	var an sysAnalysis
 	if err := ri.phase(PhaseAnalyze, func() (int64, int, error) {
 		var err error
-		ckptLSN, ckptBlob, ckptGen, sysWinners, segOps, maxTS, err = e.analyzeSyslogs()
+		an, err = e.analyzeSyslogs()
 		return ri.syslogRecords, 1, err
 	}); err != nil {
 		return err
 	}
+	if len(an.prepared) > 0 {
+		// In-doubt 2PC transactions must resolve before redo decides who
+		// wins — resolution edits the winner set. The phase is conditional
+		// so deployments without cross-shard traffic keep the usual list.
+		if err := ri.phase(PhaseInDoubt, func() (int64, int, error) {
+			n, err := e.resolveInDoubt(&an)
+			return n, 1, err
+		}); err != nil {
+			return err
+		}
+	}
+	ckptLSN, ckptBlob, ckptGen := an.ckptLSN, an.ckptBlob, an.ckptGen
+	sysWinners, segOps, maxTS := an.winners, an.segOps, an.maxTS
 	if ckptBlob == nil {
 		// Fresh database.
 		e.cat = catalog.New()
@@ -264,17 +284,43 @@ func (e *Engine) mountRecoveredTable(t *catalog.Table) (*tableRT, error) {
 	return rt, nil
 }
 
+// prepInfo is one in-doubt prepared transaction from analysis: its
+// global id, coordinator shard, and reserved commit timestamp.
+type prepInfo struct {
+	gid   uint64
+	coord uint32
+	ts    uint64
+}
+
+// sysAnalysis is the result of the syslogs analysis scan.
+type sysAnalysis struct {
+	ckptLSN  uint64
+	ckptBlob []byte
+	ckptGen  uint64
+	winners  map[uint64]uint64
+	segOps   []wal.Record
+	maxTS    uint64
+	// prepared maps local txn id → prepare info for transactions whose
+	// prepare has no matching local RecCommit/RecAbort — the in-doubt
+	// set the conditional resolution phase settles.
+	prepared map[uint64]prepInfo
+}
+
 // analyzeSyslogs scans the whole syslog: it finds the last checkpoint
-// (LSN and catalog blob), the set of committed transactions, and the
-// maximum commit timestamp. It also raises the engine's transaction-id
-// allocator past every id seen, so ids are unique across incarnations —
-// otherwise a new transaction could reuse a pre-crash loser's id and a
-// later recovery would resurrect the loser's log records along with it.
-func (e *Engine) analyzeSyslogs() (ckptLSN uint64, ckptBlob []byte, ckptGen uint64, winners map[uint64]uint64, segOps []wal.Record, maxTS uint64, err error) {
-	winners = make(map[uint64]uint64)
+// (LSN and catalog blob), the set of committed transactions, the set of
+// in-doubt prepared transactions, and the maximum commit timestamp. It
+// also raises the engine's transaction-id allocator past every id seen,
+// so ids are unique across incarnations — otherwise a new transaction
+// could reuse a pre-crash loser's id and a later recovery would
+// resurrect the loser's log records along with it.
+func (e *Engine) analyzeSyslogs() (sysAnalysis, error) {
+	an := sysAnalysis{
+		winners:  make(map[uint64]uint64),
+		prepared: make(map[uint64]prepInfo),
+	}
 	rdr, err := e.syslog.NewReader(0)
 	if err != nil {
-		return 0, nil, 0, nil, nil, 0, err
+		return an, err
 	}
 	for {
 		rec, err := rdr.Next()
@@ -285,34 +331,90 @@ func (e *Engine) analyzeSyslogs() (ckptLSN uint64, ckptBlob []byte, ckptGen uint
 			// repairLogTails truncated any torn tail before this scan, so a
 			// torn frame here (wal.ErrTorn) means the log changed underneath
 			// recovery — fail loudly rather than silently drop the suffix.
-			return 0, nil, 0, nil, nil, 0, fmt.Errorf("core: syslogs analysis: %w", err)
+			return an, fmt.Errorf("core: syslogs analysis: %w", err)
 		}
 		e.recovery.syslogRecords++
 		switch rec.Type {
 		case wal.RecCheckpoint:
-			ckptLSN = rec.LSN
-			ckptBlob = rec.After
-			ckptGen = rec.TxnID // checkpoint pins the sysimrslogs generation
-			if rec.CommitTS > maxTS {
-				maxTS = rec.CommitTS
+			an.ckptLSN = rec.LSN
+			an.ckptBlob = rec.After
+			an.ckptGen = rec.TxnID // checkpoint pins the sysimrslogs generation
+			if rec.CommitTS > an.maxTS {
+				an.maxTS = rec.CommitTS
 			}
 		case wal.RecCommit:
 			e.bumpTxnID(rec.TxnID)
-			winners[rec.TxnID] = rec.CommitTS
-			if rec.CommitTS > maxTS {
-				maxTS = rec.CommitTS
+			an.winners[rec.TxnID] = rec.CommitTS
+			delete(an.prepared, rec.TxnID) // prepared txn with a local outcome
+			if rec.CommitTS > an.maxTS {
+				an.maxTS = rec.CommitTS
+			}
+		case wal.RecAbort:
+			e.bumpTxnID(rec.TxnID)
+			delete(an.prepared, rec.TxnID) // prepared txn aborted locally
+		case wal.RecPrepare:
+			e.bumpTxnID(rec.TxnID)
+			an.prepared[rec.TxnID] = prepInfo{gid: uint64(rec.RID), coord: rec.Table, ts: rec.CommitTS}
+			if rec.CommitTS > an.maxTS {
+				an.maxTS = rec.CommitTS
 			}
 		case wal.RecSegFreeze, wal.RecSegKill:
 			// Cold-store ops are buffered (in LSN order) for the cold
 			// rebuild phase; unlike heap redo they are not bounded by the
 			// checkpoint — segments live only in the log.
 			e.bumpTxnID(rec.TxnID)
-			segOps = append(segOps, rec)
+			an.segOps = append(an.segOps, rec)
 		default:
+			// RecDecide lands here too: decisions are the coordinator's
+			// business during its own resolution lookups, not replay state,
+			// but their TxnID (the global id, derived from a local txn id)
+			// must still advance the allocator.
 			e.bumpTxnID(rec.TxnID)
 		}
 	}
-	return ckptLSN, ckptBlob, ckptGen, winners, segOps, maxTS, nil
+	return an, nil
+}
+
+// resolveInDoubt settles every prepared transaction that analysis left
+// in doubt, consulting Config.TwoPCResolver for the coordinator's
+// durable decision. Commit verdicts promote the transaction into the
+// winner set at its prepare-reserved timestamp; abort verdicts (the
+// presumed-abort default) drop it. An Unknown verdict means the
+// coordinator's log could not be read: the transaction is treated as
+// aborted for replay — recovery must produce *some* consistent state —
+// but the shard is parked ReadOnly so the possibly-wrong guess can
+// never be compounded by new writes (DESIGN.md §12).
+func (e *Engine) resolveInDoubt(an *sysAnalysis) (int64, error) {
+	ri := &e.recovery
+	ri.inDoubt = int64(len(an.prepared))
+	ids := make([]uint64, 0, len(an.prepared))
+	for id := range an.prepared {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		prep := an.prepared[id]
+		outcome := TwoPCUnknown
+		if e.cfg.TwoPCResolver != nil {
+			outcome = e.cfg.TwoPCResolver(prep.gid, prep.coord)
+		}
+		switch outcome {
+		case TwoPCCommit:
+			an.winners[id] = prep.ts
+			if prep.ts > an.maxTS {
+				an.maxTS = prep.ts
+			}
+			ri.inDoubtCommitted++
+		case TwoPCAbort:
+			ri.inDoubtAborted++
+		default:
+			ri.inDoubtUnresolved++
+			e.health.forceReadOnly(fmt.Errorf(
+				"core: in-doubt transaction %d (global %d): coordinator shard %d decision unrecoverable",
+				id, prep.gid, prep.coord))
+		}
+	}
+	return ri.inDoubt, nil
 }
 
 // rebuildColdStore replays the buffered cold-store ops of committed

@@ -173,6 +173,21 @@ type RecoverySnapshot struct {
 	RowsIndexed      int64 // rows fed to the index rebuild
 	EntriesEnqueued  int64 // IMRS entries re-enqueued on pack queues
 	EntriesReclaimed int64 // dead recovered entries reclaimed (leak fix)
+
+	// In-doubt 2PC resolution (zero on engines without cross-shard
+	// traffic; the conditional indoubt-resolve phase).
+	InDoubt           int64 // prepared txns found with no local outcome
+	InDoubtCommitted  int64 // resolved commit via the coordinator's decision
+	InDoubtAborted    int64 // resolved abort (explicit or presumed)
+	InDoubtUnresolved int64 // unresolvable → engine parked ReadOnly
+}
+
+// TwoPCSnapshot is the engine's cross-shard commit accounting.
+type TwoPCSnapshot struct {
+	Prepares        int64 // participant prepares made durable
+	PreparedCommits int64 // prepared transactions committed
+	PreparedAborts  int64 // prepared transactions rolled back
+	Decisions       int64 // coordinator decision records logged
 }
 
 // Snapshot is an engine-wide stats snapshot.
@@ -222,6 +237,10 @@ type Snapshot struct {
 	// Recovery describes the last recovery run (zero-valued Ran=false
 	// when the engine opened a fresh database).
 	Recovery RecoverySnapshot
+
+	// TwoPC counts cross-shard commit activity (zero on standalone
+	// engines).
+	TwoPC TwoPCSnapshot
 
 	// Checkpoints / CheckpointFailures count completed and failed
 	// checkpoint attempts (background and explicit). LastCheckpointError
@@ -275,6 +294,11 @@ func (e *Engine) recoverySnapshot() RecoverySnapshot {
 		RowsIndexed:      ri.rowsIndexed.Load(),
 		EntriesEnqueued:  ri.entriesEnqueued,
 		EntriesReclaimed: ri.entriesReclaimed.Load(),
+
+		InDoubt:           ri.inDoubt,
+		InDoubtCommitted:  ri.inDoubtCommitted,
+		InDoubtAborted:    ri.inDoubtAborted,
+		InDoubtUnresolved: ri.inDoubtUnresolved,
 	}
 	for _, p := range ri.phases.Snapshot() {
 		rs.Phases = append(rs.Phases, RecoveryPhase{
@@ -314,6 +338,12 @@ func (e *Engine) Stats() Snapshot {
 		IMRSLog:       logSnapshot(imrslog),
 		Recovery:      e.recoverySnapshot(),
 		Checkpoints:   e.ckptCompleted.Load(),
+		TwoPC: TwoPCSnapshot{
+			Prepares:        e.twopc.prepares.Load(),
+			PreparedCommits: e.twopc.preparedCommits.Load(),
+			PreparedAborts:  e.twopc.preparedAborts.Load(),
+			Decisions:       e.twopc.decisions.Load(),
+		},
 	}
 	s.PackRelocErrors = e.packer.RelocErrors.Load()
 	cs := e.cold.Stats()

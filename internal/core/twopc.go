@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/rid"
+	"repro/internal/wal"
+)
+
+// Two-phase commit across engine shards (DESIGN.md §12). Each shard is
+// a complete engine with its own logs; a cross-shard transaction is a
+// set of per-shard participant transactions tied together by a global
+// transaction id. The protocol layers on the existing group-commit
+// pipeline:
+//
+//  1. Prepare (every participant): the participant's records become
+//     durable exactly as in a normal commit, except the syslogs marker
+//     is a RecPrepare (carrying the global id and coordinator shard)
+//     instead of a RecCommit, and the sysimrslogs IMRSCommit is always
+//     flagged contingent (Aux=1) — recovery applies it only if the
+//     local syslogs outcome is commit.
+//  2. Decide (coordinator shard only): a RecDecide for the global id is
+//     made durable in the coordinator's syslogs. This record is the
+//     commit point of the whole transaction.
+//  3. CommitPrepared (every participant): a local RecCommit is logged
+//     and the transaction publishes in memory. The local RecCommit is
+//     an optimization — if it is lost, recovery resolves the prepare
+//     through the coordinator's decision.
+//
+// Presumed abort: a prepare with no local RecCommit/RecAbort and no
+// coordinator decision is a loser. The wal layer's contract makes that
+// sound: WaitDurable returning an error means the record is not durable
+// and can never become durable (a failed commit flush poisons the log
+// and scrubs back to the durable watermark; a halted pipeline never
+// flushes again), so a failed Decide really did not commit.
+
+// TwoPCOutcome is a resolver's verdict for an in-doubt prepared
+// transaction found during recovery.
+type TwoPCOutcome uint8
+
+// Resolver verdicts.
+const (
+	// TwoPCUnknown: the coordinator's decisions could not be read. The
+	// engine treats the transaction as aborted for replay purposes but
+	// parks itself ReadOnly — serving writes on top of an unresolvable
+	// in-doubt transaction could diverge from its peers.
+	TwoPCUnknown TwoPCOutcome = iota
+	// TwoPCCommit: the coordinator durably decided commit.
+	TwoPCCommit
+	// TwoPCAbort: the coordinator durably decided abort, or has no
+	// decision on record (presumed abort).
+	TwoPCAbort
+)
+
+// String implements fmt.Stringer.
+func (o TwoPCOutcome) String() string {
+	switch o {
+	case TwoPCCommit:
+		return "commit"
+	case TwoPCAbort:
+		return "abort"
+	default:
+		return "unknown"
+	}
+}
+
+// twopcCounters is the engine's cross-shard commit accounting.
+type twopcCounters struct {
+	prepares        atomic.Int64 // participant prepares made durable
+	preparedCommits atomic.Int64 // prepared transactions committed
+	preparedAborts  atomic.Int64 // prepared transactions rolled back
+	decisions       atomic.Int64 // coordinator decision records logged
+}
+
+// Prepare is phase one of a cross-shard commit: it makes the
+// transaction's records durable under a RecPrepare marker carrying the
+// global transaction id and the coordinator shard index, and reserves
+// the commit timestamp the transaction will publish at. After a
+// successful Prepare the transaction holds its row locks and must be
+// finished with CommitPrepared (once the coordinator's decision is
+// durable) or AbortPrepared. On error the transaction has rolled back.
+func (t *Txn) Prepare(gid uint64, coordShard uint32) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if t.prepared {
+		return fmt.Errorf("core: transaction %d already prepared", t.id)
+	}
+	ts := t.e.clock.Tick()
+
+	// Same append-then-wait pipeline as Commit. The IMRS half is always
+	// contingent (Aux=1): whether it applies at recovery is decided by
+	// the syslogs outcome — local RecCommit, or the coordinator's decide
+	// record resolved into the winner set. Ordering is safe without a
+	// barrier between the logs here: the decision record that could make
+	// this transaction a winner is only logged after every participant's
+	// Prepare (both waits included) has succeeded.
+	var imrsLSN uint64
+	hasIMRS := len(t.imrsRecs) > 0
+	if hasIMRS {
+		for i := range t.imrsRecs {
+			t.imrsRecs[i].TxnID = t.id
+			if _, err := t.e.imrslog.Append(&t.imrsRecs[i]); err != nil {
+				t.rollbackAfterLogError()
+				return err
+			}
+		}
+		cr := wal.Record{Type: wal.RecIMRSCommit, TxnID: t.id, CommitTS: ts, Aux: 1}
+		lsn, err := t.e.imrslog.Append(&cr)
+		if err != nil {
+			t.rollbackAfterLogError()
+			return err
+		}
+		imrsLSN = lsn
+	}
+	for i := range t.sysRecs {
+		t.sysRecs[i].TxnID = t.id
+		if _, err := t.e.syslog.Append(&t.sysRecs[i]); err != nil {
+			t.rollbackAfterLogError()
+			return err
+		}
+	}
+	// The prepare marker always goes to syslogs — even for IMRS-only
+	// participants — because recovery's in-doubt resolution is keyed off
+	// the syslogs prepare set.
+	pr := wal.Record{Type: wal.RecPrepare, TxnID: t.id, Table: coordShard, RID: rid.RID(gid), CommitTS: ts}
+	plsn, err := t.e.syslog.Append(&pr)
+	if err != nil {
+		t.rollbackAfterLogError()
+		return err
+	}
+	if hasIMRS {
+		if err := t.e.imrslog.WaitDurable(imrsLSN); err != nil {
+			t.rollbackAfterLogError()
+			return err
+		}
+	}
+	if err := t.e.syslog.WaitDurable(plsn); err != nil {
+		t.rollbackAfterLogError()
+		return err
+	}
+	t.prepared = true
+	t.prepTS = ts
+	t.e.twopc.prepares.Add(1)
+	return nil
+}
+
+// CommitPrepared is phase three: the caller guarantees the
+// coordinator's commit decision is already durable. The transaction is
+// therefore committed no matter what happens here — a failed local
+// RecCommit flush is surfaced through the health FSM (the poisoned log
+// forces the shard ReadOnly) and returned for accounting, but the
+// transaction still publishes in memory: recovery will re-apply it from
+// the prepare records plus the coordinator's decision.
+func (t *Txn) CommitPrepared() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if !t.prepared {
+		return fmt.Errorf("core: CommitPrepared on an unprepared transaction")
+	}
+	ts := t.prepTS
+	var commitErr error
+	cr := wal.Record{Type: wal.RecCommit, TxnID: t.id, CommitTS: ts}
+	lsn, err := t.e.syslog.Append(&cr)
+	if err == nil {
+		err = t.e.syslog.WaitDurable(lsn)
+	}
+	if err != nil {
+		t.e.notePoison() // ckptMu is held shared until finish()
+		commitErr = fmt.Errorf("core: prepared transaction %d committed, local commit marker lost: %w", t.id, err)
+	}
+	for _, v := range t.staged {
+		t.e.store.Commit(v, ts)
+	}
+	for _, fn := range t.atCommit {
+		fn(ts)
+	}
+	for _, en := range t.newEntries {
+		en.Touch(ts)
+		t.e.gc.NewRow(en)
+	}
+	t.e.twopc.preparedCommits.Add(1)
+	t.finish()
+	return commitErr
+}
+
+// AbortPrepared rolls back a transaction after Prepare (or after a
+// failed Prepare on a peer participant). The RecAbort it logs is a
+// best-effort optimization that spares the next recovery a resolver
+// lookup; presumed abort makes its durability unnecessary, so no flush
+// is awaited.
+func (t *Txn) AbortPrepared() {
+	if t.done {
+		return
+	}
+	if t.prepared {
+		ar := wal.Record{Type: wal.RecAbort, TxnID: t.id}
+		_, _ = t.e.syslog.Append(&ar)
+		t.e.twopc.preparedAborts.Add(1)
+	}
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		t.undo[i]()
+	}
+	t.finish()
+}
+
+// LogDecision durably records the coordinator's decision for global
+// transaction gid in this engine's syslogs. A nil return means the
+// decision IS durable (the commit point, for commit=true); an error
+// means it is not and never will be — the wal contract guarantees a
+// failed commit-path flush cannot surface later — so the caller may
+// safely abort every participant.
+func (e *Engine) LogDecision(gid uint64, commit bool) error {
+	if err := e.health.writable(); err != nil {
+		return err
+	}
+	aux := uint8(0)
+	if commit {
+		aux = 1
+	}
+	rec := wal.Record{Type: wal.RecDecide, TxnID: gid, RID: rid.RID(gid), CommitTS: e.clock.Now(), Aux: aux}
+	lsn, err := e.syslog.Append(&rec)
+	if err == nil {
+		err = e.syslog.WaitDurable(lsn)
+	}
+	if err != nil {
+		// Only the syslog can be poisoned here, and it never swaps (unlike
+		// imrslog), so this is safe without holding ckptMu.
+		if perr := e.syslog.Poisoned(); perr != nil {
+			e.health.forceReadOnly(perr)
+		}
+		return err
+	}
+	e.twopc.decisions.Add(1)
+	return nil
+}

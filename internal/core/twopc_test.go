@@ -1,0 +1,282 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// prepareRows begins a transaction, writes rows [from, to], and runs
+// Prepare with the given global id / coordinator shard.
+func prepareRows(t *testing.T, e *Engine, gid uint64, coord uint32, from, to int64) *Txn {
+	t.Helper()
+	tx := e.Begin()
+	for i := from; i <= to; i++ {
+		if err := tx.Insert("items", itemRow(i, fmt.Sprintf("p%d", i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Prepare(gid, coord); err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+func TestPrepareCommitPublishes(t *testing.T) {
+	e := openEngine(t, nil)
+	createItems(t, e)
+
+	tx := prepareRows(t, e, 42, 0, 1, 10)
+	if err := e.LogDecision(42, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.CommitPrepared(); err != nil {
+		t.Fatal(err)
+	}
+
+	rd := e.Begin()
+	defer rd.Abort()
+	for i := int64(1); i <= 10; i++ {
+		if _, ok, err := rd.Get("items", pk(i)); err != nil || !ok {
+			t.Fatalf("row %d after prepared commit: ok=%v err=%v", i, ok, err)
+		}
+	}
+	s := e.Stats().TwoPC
+	if s.Prepares != 1 || s.PreparedCommits != 1 || s.Decisions != 1 {
+		t.Fatalf("twopc counters = %+v", s)
+	}
+}
+
+func TestAbortPreparedRollsBack(t *testing.T) {
+	e := openEngine(t, nil)
+	createItems(t, e)
+
+	tx := prepareRows(t, e, 7, 0, 1, 5)
+	tx.AbortPrepared()
+
+	rd := e.Begin()
+	defer rd.Abort()
+	for i := int64(1); i <= 5; i++ {
+		if _, ok, _ := rd.Get("items", pk(i)); ok {
+			t.Fatalf("row %d visible after AbortPrepared", i)
+		}
+	}
+	if s := e.Stats().TwoPC; s.PreparedAborts != 1 {
+		t.Fatalf("twopc counters = %+v", s)
+	}
+}
+
+// inDoubtCrash leaves storage holding a prepared-but-undecided
+// transaction: rows 1..n prepared under the given gid/coord, then a
+// crash-halt before any decision.
+func inDoubtCrash(t *testing.T, st *sharedStorage, gid uint64, coord uint32, n int64) {
+	t.Helper()
+	e, err := Open(st.config(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	createItems(t, e)
+	prepareRows(t, e, gid, coord, 1, n)
+	if err := e.Halt(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInDoubtResolvedCommit(t *testing.T) {
+	st := newSharedStorage()
+	inDoubtCrash(t, st, 42, 3, 10)
+
+	var gotGID uint64
+	var gotCoord uint32
+	e2, err := Open(st.config(func(c *Config) {
+		c.TwoPCResolver = func(gid uint64, coord uint32) TwoPCOutcome {
+			gotGID, gotCoord = gid, coord
+			return TwoPCCommit
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if gotGID != 42 || gotCoord != 3 {
+		t.Fatalf("resolver consulted with gid=%d coord=%d, want 42/3", gotGID, gotCoord)
+	}
+	rd := e2.Begin()
+	defer rd.Abort()
+	for i := int64(1); i <= 10; i++ {
+		if _, ok, err := rd.Get("items", pk(i)); err != nil || !ok {
+			t.Fatalf("row %d after in-doubt commit resolution: ok=%v err=%v", i, ok, err)
+		}
+	}
+	rs := e2.Stats().Recovery
+	if rs.InDoubt != 1 || rs.InDoubtCommitted != 1 || rs.InDoubtAborted != 0 || rs.InDoubtUnresolved != 0 {
+		t.Fatalf("recovery in-doubt counters = %+v", rs)
+	}
+	if got := e2.HealthState(); got != StateHealthy {
+		t.Fatalf("health after resolved recovery = %v", got)
+	}
+	// The conditional phase ran.
+	found := false
+	for _, p := range rs.Phases {
+		if p.Name == PhaseInDoubt {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("phase %q missing from %+v", PhaseInDoubt, rs.Phases)
+	}
+}
+
+func TestInDoubtResolvedAbort(t *testing.T) {
+	st := newSharedStorage()
+	inDoubtCrash(t, st, 43, 0, 8)
+
+	e2, err := Open(st.config(func(c *Config) {
+		c.TwoPCResolver = func(gid uint64, coord uint32) TwoPCOutcome { return TwoPCAbort }
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	rd := e2.Begin()
+	defer rd.Abort()
+	for i := int64(1); i <= 8; i++ {
+		if _, ok, _ := rd.Get("items", pk(i)); ok {
+			t.Fatalf("row %d visible after in-doubt abort resolution", i)
+		}
+	}
+	rs := e2.Stats().Recovery
+	if rs.InDoubt != 1 || rs.InDoubtAborted != 1 {
+		t.Fatalf("recovery in-doubt counters = %+v", rs)
+	}
+	if got := e2.HealthState(); got != StateHealthy {
+		t.Fatalf("health after resolved recovery = %v", got)
+	}
+}
+
+func TestInDoubtUnresolvedParksReadOnly(t *testing.T) {
+	st := newSharedStorage()
+	inDoubtCrash(t, st, 44, 9, 4)
+
+	// No resolver configured: the in-doubt transaction cannot be
+	// settled. Recovery treats it as aborted but parks the engine
+	// ReadOnly so the guess is never compounded by new writes.
+	e2, err := Open(st.config(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Halt()
+	if got := e2.HealthState(); got != StateReadOnly {
+		t.Fatalf("health = %v, want read-only", got)
+	}
+	rs := e2.Stats().Recovery
+	if rs.InDoubt != 1 || rs.InDoubtUnresolved != 1 {
+		t.Fatalf("recovery in-doubt counters = %+v", rs)
+	}
+	// Writes rejected, reads served.
+	tx := e2.Begin()
+	err = tx.Insert("items", itemRow(99, "x", 1))
+	tx.Abort()
+	if !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("insert on parked engine: %v, want ErrReadOnly", err)
+	}
+	rd := e2.Begin()
+	defer rd.Abort()
+	if _, ok, err := rd.Get("items", pk(1)); ok || err != nil {
+		t.Fatalf("in-doubt row treated as aborted: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestLocalOutcomeBeatsResolver(t *testing.T) {
+	// A prepared transaction that finished locally (CommitPrepared or
+	// AbortPrepared) must never reach the resolver on recovery.
+	st := newSharedStorage()
+	e, err := Open(st.config(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	createItems(t, e)
+	txc := prepareRows(t, e, 50, 0, 1, 3)
+	if err := e.LogDecision(50, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := txc.CommitPrepared(); err != nil {
+		t.Fatal(err)
+	}
+	txa := prepareRows(t, e, 51, 0, 11, 13)
+	txa.AbortPrepared()
+	// The abort marker is an unflushed best-effort append; checkpoint to
+	// make it durable — only then is the local outcome visible to the
+	// next recovery (otherwise presumed abort resolves it, equally
+	// correctly, through the resolver).
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Halt(); err != nil {
+		t.Fatal(err)
+	}
+
+	consulted := false
+	e2, err := Open(st.config(func(c *Config) {
+		c.TwoPCResolver = func(gid uint64, coord uint32) TwoPCOutcome {
+			consulted = true
+			return TwoPCUnknown
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if consulted {
+		t.Fatal("resolver consulted for transactions with local outcomes")
+	}
+	if rs := e2.Stats().Recovery; rs.InDoubt != 0 {
+		t.Fatalf("in-doubt = %d, want 0", rs.InDoubt)
+	}
+	rd := e2.Begin()
+	defer rd.Abort()
+	for i := int64(1); i <= 3; i++ {
+		if _, ok, err := rd.Get("items", pk(i)); err != nil || !ok {
+			t.Fatalf("committed row %d lost: ok=%v err=%v", i, ok, err)
+		}
+	}
+	for i := int64(11); i <= 13; i++ {
+		if _, ok, _ := rd.Get("items", pk(i)); ok {
+			t.Fatalf("aborted row %d resurrected", i)
+		}
+	}
+}
+
+func TestInDoubtPageStoreRows(t *testing.T) {
+	// Same resolution path, but through the page store (syslogs redo)
+	// instead of the IMRS replay: pin the table out of memory so the
+	// prepared writes are heap records gated on the winner set.
+	st := newSharedStorage()
+	e, err := Open(st.config(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	createItems(t, e)
+	if err := e.PinTable("items", false); err != nil {
+		t.Fatal(err)
+	}
+	prepareRows(t, e, 60, 1, 1, 6)
+	if err := e.Halt(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(st.config(func(c *Config) {
+		c.TwoPCResolver = func(gid uint64, coord uint32) TwoPCOutcome { return TwoPCCommit }
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	rd := e2.Begin()
+	defer rd.Abort()
+	for i := int64(1); i <= 6; i++ {
+		if _, ok, err := rd.Get("items", pk(i)); err != nil || !ok {
+			t.Fatalf("page-store row %d after in-doubt commit: ok=%v err=%v", i, ok, err)
+		}
+	}
+}

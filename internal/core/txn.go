@@ -120,8 +120,19 @@ type Txn struct {
 	staged     []*imrs.Version // versions to stamp with the commit TS
 	newEntries []*imrs.Entry   // entries to hand to GC queue maintenance
 
+	// Two-phase-commit state (twopc.go): set by Prepare, consumed by
+	// CommitPrepared/AbortPrepared. Zero on ordinary transactions.
+	prepared bool
+	prepTS   uint64
+
 	sc *txnScratch // recycled buffers backing the fields above; nil in legacy mode
 }
+
+// HasWrites reports whether the transaction has buffered any log
+// records — i.e. whether committing it requires durability work. The
+// sharded node uses it to keep single-shard transactions on the plain
+// commit path (read-only participants commit for free).
+func (t *Txn) HasWrites() bool { return len(t.sysRecs) > 0 || len(t.imrsRecs) > 0 }
 
 // Begin starts a transaction with a snapshot of the current commit
 // timestamp.

@@ -1,0 +1,34 @@
+package shard
+
+import "repro/internal/row"
+
+// router maps a primary key to its owning shard: FNV-1a over the key
+// values (fixed seed — the mapping is persisted implicitly in which
+// shard's logs hold a row, so it must be identical across restarts)
+// reduced modulo the shard count. Zero-allocation; the per-operation
+// hot path of every routed ISUD.
+type router struct {
+	n uint64
+}
+
+// shardOfKey routes a point operation's primary-key values.
+func (r router) shardOfKey(pk []row.Value) int {
+	if r.n == 1 {
+		return 0
+	}
+	return int(row.HashValues(row.HashSeed, pk) % r.n)
+}
+
+// shardOfRow routes an insert by hashing the row's PK columns (in key
+// order), producing the same hash shardOfKey computes from the bare
+// values.
+func (r router) shardOfRow(rw row.Row, pkOrds []int) int {
+	if r.n == 1 {
+		return 0
+	}
+	h := row.HashSeed
+	for _, o := range pkOrds {
+		h = rw[o].Hash64(h)
+	}
+	return int(h % r.n)
+}

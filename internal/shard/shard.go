@@ -1,0 +1,313 @@
+// Package shard implements a sharded multi-engine node: N independent
+// core engines (each with its own data device, dual WALs, GC, pack and
+// health state) behind a hash-partitioned primary-key router. A
+// transaction that stays on one shard commits exactly as on a
+// standalone engine; a transaction spanning shards commits with two-
+// phase commit layered on the per-shard group-commit pipelines
+// (DESIGN.md §12). The win is per-shard logs: group commit amortizes
+// sync latency but not log bandwidth, so with a single log device
+// write throughput caps at device-bandwidth / bytes-per-txn no matter
+// how many committers coalesce — independent per-shard log devices
+// multiply that ceiling.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/row"
+	"repro/internal/wal"
+)
+
+// ErrShardDown reports an operation routed to a halted shard. The rest
+// of the node keeps serving; only transactions touching the dead shard
+// fail.
+var ErrShardDown = errors.New("shard: target shard is halted")
+
+// Config configures a Node.
+type Config struct {
+	// Shards is the engine count; <=0 means 1.
+	Shards int
+
+	// Dir, when set, stores each shard under Dir/shard-NNN. Ignored
+	// fields of Base.Dir are overridden per shard.
+	Dir string
+
+	// Base is the per-shard engine configuration (copied per shard).
+	Base core.Config
+
+	// Engine, when set, supplies each shard's configuration instead of
+	// Base — tests use it to wire per-shard media that survive crashes.
+	Engine func(shard int) core.Config
+}
+
+// tableMeta is the routing metadata for one table.
+type tableMeta struct {
+	pkOrds []int
+}
+
+// Node is a sharded database node.
+type Node struct {
+	shards []*core.Engine
+	r      router
+
+	// ddlMu serializes DDL; meta is the lock-free routing-metadata map
+	// the transaction hot path reads (replaced wholesale on DDL).
+	ddlMu sync.Mutex
+	meta  atomic.Pointer[map[string]*tableMeta]
+
+	// Cross-shard commit accounting.
+	singleCommits   atomic.Int64 // transactions with ≤1 writing shard
+	crossCommits    atomic.Int64 // 2PC transactions committed
+	crossAborts     atomic.Int64 // 2PC transactions aborted (prepare/decide failure)
+	crossCommitErrs atomic.Int64 // committed 2PC txns whose local commit marker was lost
+}
+
+// Counters is the node-level commit accounting snapshot.
+type Counters struct {
+	SingleShardCommits   int64
+	CrossShardCommits    int64
+	CrossShardAborts     int64
+	CrossShardCommitErrs int64
+}
+
+// decisionSet is one shard's coordinator-decision index, pre-scanned
+// from its syslogs before any engine opens.
+type decisionSet struct {
+	// complete means the scan reached the durable end of the log (EOF or
+	// a torn tail, which only ever trails the durable prefix): an absent
+	// global id is then a presumed abort. An incomplete scan maps absent
+	// ids to Unknown instead — guessing would risk diverging from a
+	// decision that does exist but could not be read.
+	complete bool
+	outcomes map[uint64]bool // gid → committed?
+}
+
+func (d decisionSet) lookup(gid uint64) core.TwoPCOutcome {
+	if commit, ok := d.outcomes[gid]; ok {
+		if commit {
+			return core.TwoPCCommit
+		}
+		return core.TwoPCAbort
+	}
+	if d.complete {
+		return core.TwoPCAbort // presumed abort
+	}
+	return core.TwoPCUnknown
+}
+
+// scanDecisions reads one shard's syslogs (before its engine opens) and
+// indexes every coordinator decision record. Scan failures degrade to
+// an incomplete set rather than failing Open: the engine's own recovery
+// will surface real storage errors, and an incomplete set merely parks
+// shards with in-doubt transactions ReadOnly instead of guessing.
+func scanDecisions(cfg *core.Config) decisionSet {
+	ds := decisionSet{outcomes: make(map[uint64]bool)}
+	var b wal.Backend
+	var owned bool
+	switch {
+	case cfg.Dir != "":
+		path := filepath.Join(cfg.Dir, "syslogs.log")
+		if _, err := os.Stat(path); err != nil {
+			ds.complete = true // fresh shard: nothing ever decided
+			return ds
+		}
+		fb, err := wal.OpenFileBackend(path)
+		if err != nil {
+			return ds
+		}
+		b, owned = fb, true
+	case cfg.SysLogBackend != nil:
+		b = cfg.SysLogBackend
+	default:
+		ds.complete = true // fresh in-memory shard
+		return ds
+	}
+	if owned {
+		defer b.Close()
+	}
+	l, err := wal.NewLog(b)
+	if err != nil {
+		return ds
+	}
+	rdr, err := l.NewReader(0)
+	if err != nil {
+		return ds
+	}
+	for {
+		rec, err := rdr.Next()
+		if err == io.EOF {
+			ds.complete = true
+			return ds
+		}
+		if err != nil {
+			// A torn final frame is a crash artifact — nothing durable
+			// follows it, so the decision index is still complete.
+			ds.complete = errors.Is(err, wal.ErrTorn)
+			return ds
+		}
+		if rec.Type == wal.RecDecide {
+			ds.outcomes[uint64(rec.RID)] = rec.Aux == 1
+		}
+	}
+}
+
+// Open opens (or recovers) a sharded node. Recovery order matters: all
+// shards' coordinator decisions are indexed first, then each engine
+// recovers with a resolver over that index — an in-doubt prepared
+// transaction on shard A resolves through coordinator shard B's log
+// even though B's engine isn't open yet.
+func Open(cfg Config) (*Node, error) {
+	nShards := cfg.Shards
+	if nShards <= 0 {
+		nShards = 1
+	}
+	confs := make([]core.Config, nShards)
+	for i := range confs {
+		if cfg.Engine != nil {
+			confs[i] = cfg.Engine(i)
+		} else {
+			confs[i] = cfg.Base
+		}
+		if cfg.Dir != "" {
+			d := filepath.Join(cfg.Dir, fmt.Sprintf("shard-%03d", i))
+			if err := os.MkdirAll(d, 0o755); err != nil {
+				return nil, err
+			}
+			confs[i].Dir = d
+		}
+	}
+
+	decisions := make([]decisionSet, nShards)
+	for i := range confs {
+		decisions[i] = scanDecisions(&confs[i])
+	}
+	resolver := func(gid uint64, coord uint32) core.TwoPCOutcome {
+		if int(coord) >= nShards {
+			return core.TwoPCUnknown // prepare names a shard this node doesn't have
+		}
+		return decisions[coord].lookup(gid)
+	}
+
+	n := &Node{
+		shards: make([]*core.Engine, nShards),
+		r:      router{n: uint64(nShards)},
+	}
+	for i := range confs {
+		confs[i].TwoPCResolver = resolver
+		e, err := core.Open(confs[i])
+		if err != nil {
+			for j := 0; j < i; j++ {
+				_ = n.shards[j].Close()
+			}
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		n.shards[i] = e
+	}
+
+	// Rebuild routing metadata from the recovered catalog (shard 0 is
+	// authoritative; DDL applies to every shard in the same order).
+	m := make(map[string]*tableMeta)
+	for _, tb := range n.shards[0].Catalog().Tables() {
+		m[tb.Name] = &tableMeta{pkOrds: tb.PKOrds}
+	}
+	n.meta.Store(&m)
+	return n, nil
+}
+
+// NumShards returns the shard count.
+func (n *Node) NumShards() int { return len(n.shards) }
+
+// Engine exposes one shard's engine (stats, tests).
+func (n *Node) Engine(i int) *core.Engine { return n.shards[i] }
+
+// Counters returns the node-level commit accounting.
+func (n *Node) Counters() Counters {
+	return Counters{
+		SingleShardCommits:   n.singleCommits.Load(),
+		CrossShardCommits:    n.crossCommits.Load(),
+		CrossShardAborts:     n.crossAborts.Load(),
+		CrossShardCommitErrs: n.crossCommitErrs.Load(),
+	}
+}
+
+// CreateTable creates the table on every shard. DDL is not atomic
+// across shards: a mid-way failure leaves the table on a prefix of
+// shards (surfaced as an error; retrying after fixing the cause is
+// safe on the shards that already have it only by dropping — the node
+// treats DDL errors as fatal to the table).
+func (n *Node) CreateTable(name string, schema *row.Schema, pkCols []string,
+	spec catalog.PartitionSpec, indexes []catalog.IndexSpec) error {
+	n.ddlMu.Lock()
+	defer n.ddlMu.Unlock()
+	var pkOrds []int
+	for i, e := range n.shards {
+		t, err := e.CreateTable(name, schema, pkCols, spec, indexes)
+		if err != nil {
+			return fmt.Errorf("shard %d: create table %q: %w", i, name, err)
+		}
+		pkOrds = t.PKOrds
+	}
+	old := *n.meta.Load()
+	m := make(map[string]*tableMeta, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	m[name] = &tableMeta{pkOrds: pkOrds}
+	n.meta.Store(&m)
+	return nil
+}
+
+// PinTable applies the in-memory / on-disk pin on every shard.
+func (n *Node) PinTable(name string, inMemory bool) error {
+	n.ddlMu.Lock()
+	defer n.ddlMu.Unlock()
+	for i, e := range n.shards {
+		if err := e.PinTable(name, inMemory); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// tableMetaFor resolves routing metadata for a table.
+func (n *Node) tableMetaFor(table string) (*tableMeta, error) {
+	if tm := (*n.meta.Load())[table]; tm != nil {
+		return tm, nil
+	}
+	return nil, fmt.Errorf("shard: no such table %q", table)
+}
+
+// HaltShard crash-stops one shard (no checkpoint, no final flush —
+// durable state is exactly what its logs hold). The other shards keep
+// serving; transactions that touch the dead shard fail with
+// ErrShardDown (or a commit error if already in flight).
+func (n *Node) HaltShard(i int) error {
+	return n.shards[i].Halt()
+}
+
+// Halt crash-stops every shard.
+func (n *Node) Halt() error {
+	var errs []error
+	for _, e := range n.shards {
+		errs = append(errs, e.Halt())
+	}
+	return errors.Join(errs...)
+}
+
+// Close checkpoints and shuts down every shard (halted shards close as
+// no-ops). Errors aggregate via errors.Join.
+func (n *Node) Close() error {
+	var errs []error
+	for _, e := range n.shards {
+		errs = append(errs, e.Close())
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,277 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/row"
+	"repro/internal/storage/colseg"
+)
+
+// Txn is a node-level transaction. Per-shard participant transactions
+// are created lazily on first touch, so a transaction that stays on one
+// shard carries zero coordination overhead: its commit is exactly the
+// standalone engine's commit. Reads across shards see per-shard
+// snapshots taken at first touch (read-committed across shards, full
+// snapshot isolation within each shard) — the price of not running a
+// global timestamp authority.
+type Txn struct {
+	n    *Node
+	subs []*core.Txn
+	done bool
+}
+
+// Begin starts a transaction.
+func (n *Node) Begin() *Txn {
+	return &Txn{n: n, subs: make([]*core.Txn, len(n.shards))}
+}
+
+// sub returns (creating on first touch) the participant on shard i.
+func (t *Txn) sub(i int) (*core.Txn, error) {
+	if s := t.subs[i]; s != nil {
+		return s, nil
+	}
+	if t.n.shards[i].HealthState() == core.StateHalted {
+		return nil, fmt.Errorf("shard %d: %w", i, ErrShardDown)
+	}
+	s := t.n.shards[i].Begin()
+	t.subs[i] = s
+	return s, nil
+}
+
+// Insert routes the row by its primary-key columns.
+func (t *Txn) Insert(table string, rw row.Row) error {
+	tm, err := t.n.tableMetaFor(table)
+	if err != nil {
+		return err
+	}
+	for _, o := range tm.pkOrds {
+		if o >= len(rw) {
+			return fmt.Errorf("shard: insert into %q: row has %d columns, pk ordinal %d", table, len(rw), o)
+		}
+	}
+	s, err := t.sub(t.n.r.shardOfRow(rw, tm.pkOrds))
+	if err != nil {
+		return err
+	}
+	return s.Insert(table, rw)
+}
+
+// Get routes a point lookup by primary key.
+func (t *Txn) Get(table string, pk []row.Value) (row.Row, bool, error) {
+	s, err := t.sub(t.n.r.shardOfKey(pk))
+	if err != nil {
+		return nil, false, err
+	}
+	return s.Get(table, pk)
+}
+
+// Update routes a point update by primary key.
+func (t *Txn) Update(table string, pk []row.Value, mutate func(row.Row) (row.Row, error)) (bool, error) {
+	s, err := t.sub(t.n.r.shardOfKey(pk))
+	if err != nil {
+		return false, err
+	}
+	return s.Update(table, pk, mutate)
+}
+
+// Delete routes a point delete by primary key.
+func (t *Txn) Delete(table string, pk []row.Value) (bool, error) {
+	s, err := t.sub(t.n.r.shardOfKey(pk))
+	if err != nil {
+		return false, err
+	}
+	return s.Delete(table, pk)
+}
+
+// ScanTable scans every shard in shard order (no global ordering).
+func (t *Txn) ScanTable(table string, fn func(row.Row) bool) error {
+	for i := range t.n.shards {
+		s, err := t.sub(i)
+		if err != nil {
+			return err
+		}
+		if err := s.ScanTable(table, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanBatches runs the vectorized scan shard by shard.
+func (t *Txn) ScanBatches(table string, cols []string, batchRows int, fn func(*colseg.Batch) bool) error {
+	for i := range t.n.shards {
+		s, err := t.sub(i)
+		if err != nil {
+			return err
+		}
+		if err := s.ScanBatches(table, cols, batchRows, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IndexScan scans each shard's index in key order, shard by shard: the
+// result is ordered within a shard but not globally (a global merge
+// would force materializing every shard's stream; callers needing
+// total order sort the result).
+func (t *Txn) IndexScan(table, index string, from []row.Value, fn func(row.Row) bool) error {
+	for i := range t.n.shards {
+		s, err := t.sub(i)
+		if err != nil {
+			return err
+		}
+		if err := s.IndexScan(table, index, from, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LookupAll concatenates every shard's matches (secondary indexes are
+// local to each shard; a non-PK key can match rows on any shard).
+func (t *Txn) LookupAll(table, index string, vals []row.Value) ([]row.Row, error) {
+	var out []row.Row
+	for i := range t.n.shards {
+		s, err := t.sub(i)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := s.LookupAll(table, index, vals)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// Commit commits the transaction. With at most one writing shard this
+// is the standalone commit (read-only participants finish for free);
+// with several it is two-phase commit: parallel prepares, a durable
+// decision record on the coordinator (the lowest-indexed writing
+// shard), then parallel local commits. A nil return means the
+// transaction is durably committed on every shard it touched — even if
+// a shard's local commit marker was lost after the decision (that
+// shard's recovery resolves the prepare through the coordinator's
+// decision; the loss is counted in CrossShardCommitErrs and the sick
+// shard parks itself ReadOnly).
+func (t *Txn) Commit() error {
+	if t.done {
+		return core.ErrTxnDone
+	}
+	t.done = true
+
+	var writers []int
+	for i, s := range t.subs {
+		if s != nil && s.HasWrites() {
+			writers = append(writers, i)
+		}
+	}
+
+	if len(writers) <= 1 {
+		// Single-shard fast path: zero added coordination.
+		var err error
+		for i, s := range t.subs {
+			if s == nil {
+				continue
+			}
+			if len(writers) == 1 && i == writers[0] {
+				err = s.Commit()
+			} else {
+				s.Abort() // read-only: just release the snapshot
+			}
+		}
+		if err == nil {
+			t.n.singleCommits.Add(1)
+		}
+		return err
+	}
+
+	// Cross-shard: read-only participants release first, writers run 2PC.
+	for i, s := range t.subs {
+		if s == nil || s.HasWrites() {
+			continue
+		}
+		s.Abort()
+		_ = i
+	}
+	coord := writers[0]
+	gid := t.subs[coord].ID()
+
+	// Phase 1 — parallel prepares. Each participant's prepare rides its
+	// own shard's group-commit pipeline; running them concurrently means
+	// the transaction pays one log-sync latency, not one per shard.
+	prepErrs := make([]error, len(writers))
+	var wg sync.WaitGroup
+	for k, i := range writers {
+		wg.Add(1)
+		go func(k, i int) {
+			defer wg.Done()
+			prepErrs[k] = t.subs[i].Prepare(gid, uint32(coord))
+		}(k, i)
+	}
+	wg.Wait()
+	var prepErr error
+	for _, err := range prepErrs {
+		if err != nil {
+			prepErr = err
+			break
+		}
+	}
+	if prepErr != nil {
+		// A failed prepare rolled its participant back already; the
+		// prepared peers abort (presumed abort needs no durable marker).
+		for k, i := range writers {
+			if prepErrs[k] == nil {
+				t.subs[i].AbortPrepared()
+			}
+		}
+		t.n.crossAborts.Add(1)
+		return prepErr
+	}
+
+	// Phase 2 — the commit point. A failed decision is certainly not
+	// durable (wal contract), so aborting every participant is safe.
+	if err := t.n.shards[coord].LogDecision(gid, true); err != nil {
+		for _, i := range writers {
+			t.subs[i].AbortPrepared()
+		}
+		t.n.crossAborts.Add(1)
+		return err
+	}
+
+	// Phase 3 — parallel local commits. The transaction is committed
+	// regardless of these outcomes.
+	commitErrs := make([]error, len(writers))
+	for k, i := range writers {
+		wg.Add(1)
+		go func(k, i int) {
+			defer wg.Done()
+			commitErrs[k] = t.subs[i].CommitPrepared()
+		}(k, i)
+	}
+	wg.Wait()
+	for _, err := range commitErrs {
+		if err != nil {
+			t.n.crossCommitErrs.Add(1)
+		}
+	}
+	t.n.crossCommits.Add(1)
+	return nil
+}
+
+// Abort rolls back every participant.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	for _, s := range t.subs {
+		if s != nil {
+			s.Abort()
+		}
+	}
+}

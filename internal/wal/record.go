@@ -33,6 +33,17 @@ const (
 	// RecCommit, like every other syslogs record.
 	RecSegFreeze
 	RecSegKill
+	// Two-phase-commit records (syslogs). Prepare marks a participant's
+	// half of a cross-shard transaction durable-but-undecided: TxnID is
+	// the local transaction, RID carries the global transaction id, Table
+	// the coordinator shard index, and CommitTS the timestamp the
+	// transaction will publish at if the decision is commit. Decide is the
+	// coordinator's durable decision for a global transaction (RID/TxnID =
+	// global id, Aux=1 commit, Aux=0 abort); its presence in the
+	// coordinator's syslogs IS the commit point — a prepare with no
+	// matching decide is presumed aborted.
+	RecPrepare
+	RecDecide
 )
 
 // String implements fmt.Stringer.
@@ -62,6 +73,10 @@ func (t RecType) String() string {
 		return "seg-freeze"
 	case RecSegKill:
 		return "seg-kill"
+	case RecPrepare:
+		return "prepare"
+	case RecDecide:
+		return "decide"
 	default:
 		return fmt.Sprintf("rectype(%d)", uint8(t))
 	}

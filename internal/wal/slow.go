@@ -1,0 +1,74 @@
+package wal
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// SlowBackend wraps a Backend with a simulated log-device cost model: a
+// fixed per-sync latency plus a write-bandwidth budget. Sync sleeps
+// SyncLatency + (bytes appended since the last sync)/BytesPerSec before
+// delegating. Group commit amortizes the fixed latency across a batch,
+// but the bandwidth term scales with the bytes actually logged — which
+// is what makes a single log device the throughput ceiling no matter
+// how well committers coalesce, and what sharding onto independent
+// devices lifts. This is the same substitution DESIGN.md makes for
+// device read latency (recoverybench): in-memory media stand in for
+// disks, with the disk's costs modelled explicitly.
+type SlowBackend struct {
+	inner       Backend
+	syncLatency time.Duration
+	bytesPerSec int64
+
+	pending atomic.Int64 // bytes appended since the last Sync
+
+	// Sleep is the delay function (tests may pin it). Nil means
+	// time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// NewSlowBackend wraps inner with the given per-sync latency and write
+// bandwidth (bytes/second; 0 means unlimited).
+func NewSlowBackend(inner Backend, syncLatency time.Duration, bytesPerSec int64) *SlowBackend {
+	return &SlowBackend{inner: inner, syncLatency: syncLatency, bytesPerSec: bytesPerSec}
+}
+
+// Append implements Backend, charging p against the bandwidth budget of
+// the next Sync.
+func (b *SlowBackend) Append(p []byte) (int64, error) {
+	off, err := b.inner.Append(p)
+	if err == nil {
+		b.pending.Add(int64(len(p)))
+	}
+	return off, err
+}
+
+// ReadAt implements Backend.
+func (b *SlowBackend) ReadAt(p []byte, off int64) (int, error) { return b.inner.ReadAt(p, off) }
+
+// Size implements Backend.
+func (b *SlowBackend) Size() (int64, error) { return b.inner.Size() }
+
+// Truncate implements Backend.
+func (b *SlowBackend) Truncate(n int64) error { return b.inner.Truncate(n) }
+
+// Sync implements Backend: it pays the modelled device cost for the
+// bytes appended since the last sync, then syncs the inner backend.
+// Bytes appended concurrently with a Sync are charged to the next one.
+func (b *SlowBackend) Sync() error {
+	d := b.syncLatency
+	if n := b.pending.Swap(0); n > 0 && b.bytesPerSec > 0 {
+		d += time.Duration(n * int64(time.Second) / b.bytesPerSec)
+	}
+	if d > 0 {
+		if b.Sleep != nil {
+			b.Sleep(d)
+		} else {
+			time.Sleep(d)
+		}
+	}
+	return b.inner.Sync()
+}
+
+// Close implements Backend.
+func (b *SlowBackend) Close() error { return b.inner.Close() }
