@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race test-race-internal test-recovery test-gc test-cold test-chaos test-shard fuzz bench-commit bench-read bench-recovery bench-mixed bench-scan bench-shard bench-smoke ci
+.PHONY: build vet test test-race test-race-internal test-recovery test-gc test-cold test-chaos test-shard test-server fuzz bench-commit bench-read bench-recovery bench-mixed bench-scan bench-shard bench-server bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,12 @@ test-shard:
 	$(GO) test -race ./internal/core/ -run 'Prepare|InDoubt|TwoPC|LocalOutcome'
 	$(GO) test -race ./internal/chaos/ -run 'ShardCrash'
 
+# SQL front end, wire server, and shell tests under the race detector:
+# lexer/parser/planner/executor suites, the protocol round-trip and
+# drain tests, and the N-TCP-clients mixed-DML isolation stress.
+test-server:
+	$(GO) test -race ./internal/sql/ ./internal/server/ ./internal/cli/
+
 # Fuzz the byte-level decoders (WAL record bodies, row codec, cold-store
 # segments) for a short smoke window each; seed corpora live in
 # testdata/fuzz.
@@ -97,6 +103,12 @@ bench-scan:
 bench-shard:
 	$(GO) run ./cmd/shardbench
 
+# Front-end tax: the same TPC-C Payment mix over the btrim API, the SQL
+# layer in-process, and btrimd's wire protocol on loopback; writes
+# BENCH_server.json.
+bench-server:
+	$(GO) run ./cmd/tpccbench -server -warehouses 2 -duration 8s -workers 4
+
 # Tiny run of every benchmark binary: catches bit-rotted flags, broken
 # sweeps, and report-writing regressions without burning CI minutes on
 # real measurement. Numbers from this target are meaningless.
@@ -105,6 +117,7 @@ bench-smoke:
 	$(GO) run ./cmd/readbench -duration 200ms -goroutines 1,2 -rows 1000 -json ""
 	$(GO) run ./cmd/recoverybench -rows 2000 -parts 1 -threads 1,2 -json /tmp/bench-smoke-recovery.json
 	$(GO) run ./cmd/tpccbench -duration 200ms -warehouses 1 -workers 2 -customers 10 -items 50
+	$(GO) run ./cmd/tpccbench -server -duration 200ms -warehouses 1 -workers 2 -customers 10 -items 50
 	$(GO) run ./cmd/mixedbench -duration 200ms -goroutines 1,2 -gcworkers 1,2 -hotrows 1000 -coldrows 500 -json ""
 	$(GO) run ./cmd/scanbench -rows 4000 -duration 150ms -hotrows 1000 -json ""
 	$(GO) run ./cmd/shardbench -duration 200ms -shards 1,2 -goroutines 8 -rows 1000 -json ""

@@ -1,17 +1,13 @@
 // Command btrimcli is an interactive shell over a BTrim database — the
 // quickest way to poke at the hybrid store by hand.
 //
-//	btrimcli [-dir /path/to/db] [-imrs-mb 64]
+//	btrimcli [-dir /path/to/db] [-imrs-mb 64]      local, in-process
+//	btrimcli -connect host:4810                    remote, against btrimd
 //
-// Commands (also `help` inside the shell):
-//
-//	create table t (id int, name string, qty int) key (id)
-//	insert t 1 "widget" 5
-//	get t 1
-//	set t 1 "gadget" 7
-//	delete t 1
-//	scan t [limit]
-//	tables | stats | pin t in|out | unpin t | checkpoint | quit
+// The local mode speaks both the SQL subset and the terse command
+// language (`help` inside the shell). The remote mode sends SQL
+// statements over the wire protocol; each btrimcli process is one
+// server session with its own transaction state.
 package main
 
 import (
@@ -23,22 +19,45 @@ import (
 
 	"repro/btrim"
 	"repro/internal/cli"
+	"repro/internal/server"
 )
 
 func main() {
 	dir := flag.String("dir", "", "database directory (empty = in-memory)")
 	imrsMB := flag.Int64("imrs-mb", 64, "IMRS cache size (MB)")
+	connect := flag.String("connect", "", "btrimd address (host:port); empty = local in-process database")
 	flag.Parse()
 
-	db, err := btrim.Open(btrim.Config{Dir: *dir, IMRSCacheBytes: *imrsMB << 20})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "open:", err)
-		os.Exit(1)
+	var exec func(line string) error
+	if *connect != "" {
+		c, err := server.Dial(*connect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connect:", err)
+			os.Exit(1)
+		}
+		defer c.Close()
+		fmt.Printf("btrim shell — connected to %s, `quit` to exit\n", *connect)
+		exec = func(line string) error {
+			res, err := c.Exec(line)
+			if err != nil {
+				return err
+			}
+			cli.PrintResult(os.Stdout, res)
+			return nil
+		}
+	} else {
+		db, err := btrim.Open(btrim.Config{Dir: *dir, IMRSCacheBytes: *imrsMB << 20})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "open:", err)
+			os.Exit(1)
+		}
+		defer db.Close()
+		sh := cli.New(db, os.Stdout)
+		defer sh.Close()
+		fmt.Println("btrim shell — `help` for commands, `quit` to exit")
+		exec = sh.Exec
 	}
-	defer db.Close()
 
-	sh := cli.New(db, os.Stdout)
-	fmt.Println("btrim shell — `help` for commands, `quit` to exit")
 	scanner := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
 	for scanner.Scan() {
@@ -47,7 +66,7 @@ func main() {
 			break
 		}
 		if line != "" {
-			if err := sh.Exec(line); err != nil {
+			if err := exec(line); err != nil {
 				fmt.Println("error:", err)
 			}
 		}

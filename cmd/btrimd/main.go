@@ -1,0 +1,99 @@
+// Command btrimd is the BTrim wire server: it opens (or creates) a
+// database and serves the length-prefixed SQL protocol over TCP, one
+// session per connection (DESIGN.md §13).
+//
+//	btrimd [-addr :4810] [-dir /path/to/db] [-imrs-mb 64] [-shards 1]
+//
+// With -shards > 1 the daemon runs the sharded multi-engine node:
+// statements route by primary-key hash and multi-shard transactions
+// commit via 2PC, all invisible to the SQL client.
+//
+// SIGINT/SIGTERM starts a graceful drain: the listener closes, every
+// live connection is torn down (open transactions abort cleanly), and
+// the engine checkpoints on close. Server and engine statistics print
+// on exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/btrim"
+	"repro/internal/server"
+	"repro/internal/sql"
+)
+
+func main() {
+	addr := flag.String("addr", ":4810", "listen address")
+	dir := flag.String("dir", "", "database directory (empty = in-memory)")
+	imrsMB := flag.Int64("imrs-mb", 64, "IMRS cache size (MB)")
+	shards := flag.Int("shards", 1, "engine shards (>1 runs the multi-engine node)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	cfg := btrim.Config{Dir: *dir, IMRSCacheBytes: *imrsMB << 20}
+	var (
+		eng   sql.Engine
+		close func() error
+	)
+	if *shards > 1 {
+		cfg.Shards = *shards
+		db, err := btrim.OpenSharded(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "open:", err)
+			os.Exit(1)
+		}
+		eng, close = sql.WrapSharded(db), db.Close
+	} else {
+		db, err := btrim.Open(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "open:", err)
+			os.Exit(1)
+		}
+		eng, close = sql.WrapDB(db), db.Close
+	}
+
+	srv := server.New(eng)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(*addr) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	fmt.Printf("btrimd listening on %s (shards=%d)\n", *addr, *shards)
+
+	select {
+	case s := <-sig:
+		fmt.Printf("btrimd: %v, draining (budget %v)\n", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drain:", err)
+		}
+		if err := <-errCh; err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+		}
+	case err := <-errCh:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			_ = close()
+			os.Exit(1)
+		}
+	}
+
+	st := srv.Stats()
+	fmt.Printf("server: sessions=%d statements=%d rows=%d commits=%d rollbacks=%d errors=%d drain-aborts=%d\n",
+		st.TotalSessions, st.Statements, st.RowsReturned, st.Commits, st.Rollbacks, st.Errors, st.DrainAborts)
+	es := eng.Stats()
+	fmt.Printf("engine: imrs-rows=%d imrs-used=%dB hit-rate=%.2f health=%v\n",
+		es.IMRSRows, es.IMRSUsedBytes, es.IMRSHitRate, es.Health.State)
+	if err := close(); err != nil {
+		fmt.Fprintln(os.Stderr, "close:", err)
+		os.Exit(1)
+	}
+}

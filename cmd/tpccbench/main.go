@@ -6,6 +6,11 @@
 //
 //	tpccbench [-warehouses 2] [-duration 10s] [-workers 4]
 //	          [-imrs-mb 24] [-ilm=true] [-threshold 0.7]
+//
+// With -server it instead prices the SQL front end: the same Payment +
+// balance-check mix runs over the btrim API, through internal/sql
+// in-process, and over btrimd's wire protocol on loopback, and the
+// three throughputs land in BENCH_server.json.
 package main
 
 import (
@@ -30,6 +35,7 @@ func main() {
 	ilm := flag.Bool("ilm", true, "enable ILM (false = fully in-memory baseline)")
 	threshold := flag.Float64("threshold", 0.70, "steady cache utilization")
 	packThreads := flag.Int("pack-threads", 4, "pack threads")
+	serverMode := flag.Bool("server", false, "measure the SQL/wire front-end tax and write BENCH_server.json")
 	prof := harness.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
 	if err := prof.Start(); err != nil {
@@ -64,6 +70,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "load:", err)
 		os.Exit(1)
+	}
+
+	if *serverMode {
+		if err := runServerBench(db, bench, *workers, *duration); err != nil {
+			fmt.Fprintln(os.Stderr, "server bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("running %v with %d workers (ILM %v)...\n", *duration, *workers, *ilm)

@@ -1,0 +1,252 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/btrim"
+	"repro/internal/server"
+	"repro/internal/sql"
+	"repro/internal/tpcc"
+)
+
+// serverBenchOut is the BENCH_server.json shape: the same Payment +
+// balance-check mix measured over three paths, so the SQL front end and
+// the wire protocol are each priced separately.
+type serverBenchOut struct {
+	Config struct {
+		Warehouses int     `json:"warehouses"`
+		Workers    int     `json:"workers"`
+		DurationS  float64 `json:"duration_s"`
+	} `json:"config"`
+	InprocAPITPS float64 `json:"inproc_api_tps"` // btrim API, no SQL, no wire
+	InprocSQLTPS float64 `json:"inproc_sql_tps"` // sql.Session in-process
+	ServerTPS    float64 `json:"server_tps"`     // SQL over TCP
+	SQLTax       float64 `json:"sql_tax_ratio"`  // api / sql
+	WireTax      float64 `json:"wire_tax_ratio"` // sql / server
+	FrontendTax  float64 `json:"frontend_tax_ratio"` // api / server
+}
+
+// stmtRunner is anything that executes one SQL statement — satisfied by
+// both *sql.Session (in-process) and *server.Client (over the wire).
+type stmtRunner interface {
+	Exec(stmt string) (*sql.Result, error)
+}
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'f', 2, 64) }
+func itoa(i int64) string   { return strconv.FormatInt(i, 10) }
+
+// paymentStmts renders one TPC-C Payment (by customer id) as SQL. The
+// arithmetic SET forms run against the locked current row image, so
+// concurrent payments never lose YTD or balance updates — same
+// guarantee the btrim-API path gets from mutate callbacks.
+func paymentStmts(rng *rand.Rand, cfg tpcc.Config, hid *atomic.Int64, now int64) []string {
+	w := int64(1 + rng.Intn(cfg.Warehouses))
+	d := int64(1 + rng.Intn(cfg.DistrictsPerW))
+	c := int64(1 + rng.Intn(cfg.CustomersPerDistrict))
+	amt := ftoa(1 + rng.Float64()*4999)
+	return []string{
+		"BEGIN",
+		"UPDATE warehouse SET w_ytd = w_ytd + " + amt + " WHERE w_id = " + itoa(w),
+		"UPDATE district SET d_ytd = d_ytd + " + amt +
+			" WHERE d_w_id = " + itoa(w) + " AND d_id = " + itoa(d),
+		"UPDATE customer SET c_balance = c_balance - " + amt +
+			", c_ytd_payment = c_ytd_payment + " + amt +
+			", c_payment_cnt = c_payment_cnt + 1" +
+			" WHERE c_w_id = " + itoa(w) + " AND c_d_id = " + itoa(d) + " AND c_id = " + itoa(c),
+		"INSERT INTO history VALUES (" + itoa(hid.Add(1)) + ", " + itoa(w) + ", " +
+			itoa(d) + ", " + itoa(c) + ", " + itoa(now) + ", " + amt + ", 'pay')",
+		"COMMIT",
+	}
+}
+
+func balanceCheckStmt(rng *rand.Rand, cfg tpcc.Config) string {
+	w := int64(1 + rng.Intn(cfg.Warehouses))
+	d := int64(1 + rng.Intn(cfg.DistrictsPerW))
+	c := int64(1 + rng.Intn(cfg.CustomersPerDistrict))
+	return "SELECT c_balance, c_payment_cnt FROM customer WHERE c_w_id = " + itoa(w) +
+		" AND c_d_id = " + itoa(d) + " AND c_id = " + itoa(c)
+}
+
+// runMix drives the 90% Payment / 10% balance-check mix on one runner
+// until the deadline, returning committed transactions.
+func runMix(r stmtRunner, rng *rand.Rand, cfg tpcc.Config, hid *atomic.Int64, deadline time.Time) (int64, error) {
+	var n int64
+	now := time.Now().Unix()
+	for time.Now().Before(deadline) {
+		if rng.Intn(10) == 0 {
+			if _, err := r.Exec(balanceCheckStmt(rng, cfg)); err != nil {
+				return n, err
+			}
+			n++
+			continue
+		}
+		for _, stmt := range paymentStmts(rng, cfg, hid, now) {
+			if _, err := r.Exec(stmt); err != nil {
+				_, _ = r.Exec("ROLLBACK")
+				return n, err
+			}
+		}
+		n++
+	}
+	return n, nil
+}
+
+// measure fans the mix across workers runners and returns TPS.
+func measure(workers int, dur time.Duration, cfg tpcc.Config, hid *atomic.Int64,
+	mk func(w int) (stmtRunner, func(), error)) (float64, error) {
+	deadline := time.Now().Add(dur)
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		r, closeFn, err := mk(w)
+		if err != nil {
+			return 0, err
+		}
+		wg.Add(1)
+		go func(w int, r stmtRunner, closeFn func()) {
+			defer wg.Done()
+			defer closeFn()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			n, err := runMix(r, rng, cfg, hid, deadline)
+			total.Add(n)
+			if err != nil {
+				errCh <- err
+			}
+		}(w, r, closeFn)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return 0, err
+	default:
+	}
+	return float64(total.Load()) / dur.Seconds(), nil
+}
+
+// runServerBench measures the Payment mix over the btrim API, the SQL
+// layer in-process, and the SQL layer over TCP, and writes
+// BENCH_server.json with the resulting front-end-tax ratios.
+func runServerBench(db *btrim.DB, bench *tpcc.Bench, workers int, dur time.Duration) error {
+	cfg := bench.Cfg
+	// History ids from a dedicated range so SQL inserts never collide
+	// with the loader's or the API path's counter.
+	var hid atomic.Int64
+	hid.Store(1 << 40)
+
+	// Path 1: direct btrim API (Payment mutate callbacks, no SQL).
+	fmt.Printf("server bench: btrim API path, %d workers, %v...\n", workers, dur)
+	apiTPS, err := func() (float64, error) {
+		deadline := time.Now().Add(dur)
+		var total atomic.Int64
+		var wg sync.WaitGroup
+		var firstErr atomic.Value
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(2000 + w)))
+				now := time.Now().Unix()
+				for time.Now().Before(deadline) {
+					var err error
+					if rng.Intn(10) == 0 {
+						err = bench.OrderStatus(rng) // closest API-side read txn
+					} else {
+						err = bench.Payment(rng, now)
+					}
+					if err != nil {
+						firstErr.Store(err)
+						return
+					}
+					total.Add(1)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if err, ok := firstErr.Load().(error); ok {
+			return 0, err
+		}
+		return float64(total.Load()) / dur.Seconds(), nil
+	}()
+	if err != nil {
+		return fmt.Errorf("api path: %w", err)
+	}
+
+	// Path 2: same mix through the SQL layer, in-process.
+	eng := sql.WrapDB(db)
+	fmt.Printf("server bench: in-process SQL path...\n")
+	sqlTPS, err := measure(workers, dur, cfg, &hid, func(w int) (stmtRunner, func(), error) {
+		return sql.NewSession(eng), func() {}, nil
+	})
+	if err != nil {
+		return fmt.Errorf("sql path: %w", err)
+	}
+
+	// Path 3: same mix through btrimd's wire protocol on loopback.
+	srv := server.New(eng)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	addr := ln.Addr().String()
+	fmt.Printf("server bench: wire path via %s...\n", addr)
+	srvTPS, err := measure(workers, dur, cfg, &hid, func(w int) (stmtRunner, func(), error) {
+		c, err := server.Dial(addr)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, func() { _ = c.Close() }, nil
+	})
+	if err != nil {
+		return fmt.Errorf("wire path: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-served; err != nil {
+		return err
+	}
+
+	var out serverBenchOut
+	out.Config.Warehouses = cfg.Warehouses
+	out.Config.Workers = workers
+	out.Config.DurationS = dur.Seconds()
+	out.InprocAPITPS = apiTPS
+	out.InprocSQLTPS = sqlTPS
+	out.ServerTPS = srvTPS
+	if sqlTPS > 0 {
+		out.SQLTax = apiTPS / sqlTPS
+	}
+	if srvTPS > 0 {
+		out.WireTax = sqlTPS / srvTPS
+		out.FrontendTax = apiTPS / srvTPS
+	}
+	fmt.Printf("\nfront-end tax: API %.0f tps, SQL %.0f tps (%.2fx), wire %.0f tps (%.2fx vs SQL, %.2fx vs API)\n",
+		apiTPS, sqlTPS, out.SQLTax, srvTPS, out.WireTax, out.FrontendTax)
+
+	f, err := os.Create("BENCH_server.json")
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&out); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Println("wrote BENCH_server.json")
+	return f.Close()
+}

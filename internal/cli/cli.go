@@ -1,5 +1,10 @@
 // Package cli implements the command language of the btrimcli shell: a
-// tiny, testable interpreter over the public btrim API.
+// tiny, testable interpreter over the public btrim API. The shell
+// speaks two dialects through one session: the SQL subset from
+// internal/sql (SELECT/INSERT/UPDATE/DELETE/BEGIN/COMMIT/...) and the
+// original terse commands (get/set/insert/scan/...). Both run through
+// the same sql.Session, so terse commands participate in explicit
+// transaction blocks exactly like SQL statements.
 package cli
 
 import (
@@ -11,66 +16,117 @@ import (
 	"text/tabwriter"
 
 	"repro/btrim"
+	"repro/internal/sql"
 )
 
-// Shell interprets commands against one database.
+// Shell interprets commands against one database. Column layouts are
+// always resolved from the live engine catalog — the shell keeps no
+// schema cache of its own, so tables created by other sessions (or by
+// another shell over the same database) are visible immediately.
 type Shell struct {
-	db  *btrim.DB
-	out io.Writer
-	// schemas remembers column layouts for value parsing per table.
-	schemas map[string][]btrim.Column
+	db   *btrim.DB
+	eng  sql.Engine
+	sess *sql.Session
+	out  io.Writer
 }
 
 // New builds a shell over db writing to out.
 func New(db *btrim.DB, out io.Writer) *Shell {
-	return &Shell{db: db, out: out, schemas: make(map[string][]btrim.Column)}
+	eng := sql.WrapDB(db)
+	return &Shell{db: db, eng: eng, sess: sql.NewSession(eng), out: out}
+}
+
+// Close rolls back any open transaction block.
+func (s *Shell) Close() { s.sess.Close() }
+
+// sqlVerbs are statements routed to the SQL front end unconditionally.
+var sqlVerbs = map[string]bool{
+	"select": true, "update": true, "begin": true, "start": true,
+	"commit": true, "rollback": true, "abort": true, "show": true,
+	"create": true,
 }
 
 // Exec runs one command line.
 func (s *Shell) Exec(line string) error {
-	tokens, err := tokenize(line)
-	if err != nil {
-		return err
-	}
-	if len(tokens) == 0 {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
 		return nil
 	}
-	switch strings.ToLower(tokens[0]) {
+	cmd := strings.ToLower(fields[0])
+	second := ""
+	if len(fields) > 1 {
+		second = strings.ToLower(fields[1])
+	}
+	switch {
+	case sqlVerbs[cmd],
+		cmd == "insert" && second == "into",
+		cmd == "delete" && second == "from":
+		res, err := s.sess.Exec(line)
+		if err != nil {
+			return err
+		}
+		PrintResult(s.out, res)
+		return nil
+	}
+	switch cmd {
 	case "help":
 		s.help()
 		return nil
-	case "create":
-		return s.create(line)
-	case "insert":
-		return s.insert(tokens[1:])
-	case "get":
-		return s.get(tokens[1:])
-	case "set":
-		return s.set(tokens[1:])
-	case "delete":
-		return s.del(tokens[1:])
-	case "scan":
-		return s.scan(tokens[1:])
 	case "tables":
 		return s.tables()
 	case "stats":
 		return s.stats()
 	case "pin":
-		return s.pin(tokens[1:])
+		return s.pin(fields[1:])
 	case "unpin":
-		if len(tokens) != 2 {
+		if len(fields) != 2 {
 			return fmt.Errorf("usage: unpin <table>")
 		}
-		return s.db.UnpinTable(tokens[1])
+		return s.db.UnpinTable(fields[1])
 	case "checkpoint":
 		return s.db.Checkpoint()
+	case "insert", "get", "set", "delete", "scan":
+		// Terse DML runs through the session's transaction scope, so a
+		// failure inside an explicit BEGIN block aborts it just like a
+		// failed SQL statement would.
+		return s.sess.Do(func(tx sql.Txn) error {
+			toks, err := tokenize(line)
+			if err != nil {
+				return err
+			}
+			return s.terse(tx, cmd, toks[1:])
+		})
 	default:
-		return fmt.Errorf("unknown command %q (try `help`)", tokens[0])
+		return fmt.Errorf("unknown command %q (try `help`)", cmd)
 	}
 }
 
+func (s *Shell) terse(tx sql.Txn, cmd string, args []string) error {
+	switch cmd {
+	case "insert":
+		return s.insert(tx, args)
+	case "get":
+		return s.get(tx, args)
+	case "set":
+		return s.set(tx, args)
+	case "delete":
+		return s.del(tx, args)
+	case "scan":
+		return s.scan(tx, args)
+	}
+	panic("unreachable")
+}
+
 func (s *Shell) help() {
-	fmt.Fprint(s.out, `commands:
+	fmt.Fprint(s.out, `SQL statements:
+  create table <t> (<col> <type>, ..., primary key (<cols>))
+  insert into <t> [(cols)] values (...), (...)
+  select <cols|*> from <t> [where <col> <op> <lit> [and ...]] [limit n]
+  update <t> set <col> = <lit | col +|- lit> [where ...]
+  delete from <t> [where ...]
+  begin / commit / rollback          explicit transaction block
+  show tables
+terse commands (share the SQL session's transaction):
   create table <t> (<col> <int|float|string|bytes>, ...) key (<cols>)
   insert <t> <values...>          e.g. insert users 1 "ada" 99.5
   get <t> <pk values...>
@@ -86,11 +142,14 @@ func (s *Shell) help() {
 `)
 }
 
-// tokenize splits a command into words, honouring double quotes.
+// tokenize splits a command into words, honouring single and double
+// quotes with the SQL lexer's escape rules (backslash escapes and
+// doubled quotes), so `insert t 1 "say \"hi\""` and empty strings like
+// `""` round-trip. Quoted tokens carry a "\x00" marker so the value
+// parser can tell the string literal "1" from the number 1.
 func tokenize(line string) ([]string, error) {
 	var out []string
 	var cur strings.Builder
-	inQuote := false
 	flush := func() {
 		if cur.Len() > 0 {
 			out = append(out, cur.String())
@@ -100,17 +159,14 @@ func tokenize(line string) ([]string, error) {
 	for i := 0; i < len(line); i++ {
 		c := line[i]
 		switch {
-		case c == '"':
-			if inQuote {
-				out = append(out, "\x00"+cur.String()) // marked as string literal
-				cur.Reset()
-				inQuote = false
-			} else {
-				flush()
-				inQuote = true
+		case c == '"' || c == '\'':
+			flush()
+			val, next, err := sql.ScanQuoted(line, i)
+			if err != nil {
+				return nil, err
 			}
-		case inQuote:
-			cur.WriteByte(c)
+			out = append(out, "\x00"+val) // marked as string literal
+			i = next - 1
 		case c == ' ' || c == '\t' || c == ',':
 			flush()
 		case c == '(' || c == ')':
@@ -120,25 +176,31 @@ func tokenize(line string) ([]string, error) {
 			cur.WriteByte(c)
 		}
 	}
-	if inQuote {
-		return nil, fmt.Errorf("unterminated string literal")
-	}
 	flush()
 	return out, nil
 }
 
 // parseValue converts a token to a btrim.Value given the column type.
+// Quoted string literals are rejected for numeric columns rather than
+// silently reparsed, so `insert t "1" ...` fails instead of storing
+// int 1.
 func parseValue(tok string, typ btrim.ColumnType) (btrim.Value, error) {
 	isLiteral := strings.HasPrefix(tok, "\x00")
 	raw := strings.TrimPrefix(tok, "\x00")
 	switch typ {
 	case btrim.Int64Type:
+		if isLiteral {
+			return btrim.Null, fmt.Errorf("string literal %q for int column", raw)
+		}
 		v, err := strconv.ParseInt(raw, 10, 64)
 		if err != nil {
 			return btrim.Null, fmt.Errorf("%q is not an int", raw)
 		}
 		return btrim.Int64(v), nil
 	case btrim.Float64Type:
+		if isLiteral {
+			return btrim.Null, fmt.Errorf("string literal %q for float column", raw)
+		}
 		v, err := strconv.ParseFloat(raw, 64)
 		if err != nil {
 			return btrim.Null, fmt.Errorf("%q is not a float", raw)
@@ -147,113 +209,42 @@ func parseValue(tok string, typ btrim.ColumnType) (btrim.Value, error) {
 	case btrim.StringType:
 		return btrim.String(raw), nil
 	case btrim.BytesType:
-		if isLiteral {
-			return btrim.Bytes([]byte(raw)), nil
-		}
 		return btrim.Bytes([]byte(raw)), nil
 	default:
 		return btrim.Null, fmt.Errorf("unsupported column type %d", typ)
 	}
 }
 
-var typeNames = map[string]btrim.ColumnType{
-	"int":    btrim.Int64Type,
-	"int64":  btrim.Int64Type,
-	"float":  btrim.Float64Type,
-	"string": btrim.StringType,
-	"bytes":  btrim.BytesType,
-}
-
-// create parses: create table <t> ( col type , ... ) key ( cols )
-func (s *Shell) create(line string) error {
-	toks, err := tokenize(line)
-	if err != nil {
-		return err
-	}
-	if len(toks) < 3 || strings.ToLower(toks[1]) != "table" {
-		return fmt.Errorf("usage: create table <t> (<col> <type>, ...) key (<cols>)")
-	}
-	name := toks[2]
-	rest := toks[3:]
-	// columns between the first ( ... )
-	if len(rest) == 0 || rest[0] != "(" {
-		return fmt.Errorf("expected ( after table name")
-	}
-	var cols []btrim.Column
-	i := 1
-	for ; i < len(rest); i += 2 {
-		if rest[i] == ")" {
-			break
-		}
-		if i+1 >= len(rest) || rest[i+1] == ")" {
-			return fmt.Errorf("column %q missing type", rest[i])
-		}
-		typ, ok := typeNames[strings.ToLower(rest[i+1])]
-		if !ok {
-			return fmt.Errorf("unknown type %q", rest[i+1])
-		}
-		cols = append(cols, btrim.Column{Name: rest[i], Type: typ})
-	}
-	if i >= len(rest) || rest[i] != ")" {
-		return fmt.Errorf("unterminated column list")
-	}
-	rest = rest[i+1:]
-	if len(rest) < 3 || strings.ToLower(rest[0]) != "key" || rest[1] != "(" {
-		return fmt.Errorf("expected key (<cols>) after column list")
-	}
-	var pk []string
-	for _, tok := range rest[2:] {
-		if tok == ")" {
-			break
-		}
-		pk = append(pk, tok)
-	}
-	if len(pk) == 0 {
-		return fmt.Errorf("empty primary key")
-	}
-	if err := s.db.CreateTable(btrim.TableSpec{Name: name, Columns: cols, PrimaryKey: pk}); err != nil {
-		return err
-	}
-	s.schemas[name] = cols
-	fmt.Fprintf(s.out, "created table %s (%d columns)\n", name, len(cols))
-	return nil
-}
-
+// schemaOf resolves a table's column layout from the live catalog.
 func (s *Shell) schemaOf(table string) ([]btrim.Column, error) {
-	if cols, ok := s.schemas[table]; ok {
-		return cols, nil
-	}
-	// Recovered tables: rebuild from the engine catalog.
-	t := s.db.Engine().Catalog().Table(table)
+	return sql.Columns(s.eng.Catalog(), table)
+}
+
+func (s *Shell) pkOrds(table string) ([]int, error) {
+	t := s.eng.Catalog().Table(table)
 	if t == nil {
 		return nil, fmt.Errorf("no such table %q", table)
 	}
-	cols := make([]btrim.Column, t.Schema.NumColumns())
-	for i := range cols {
-		c := t.Schema.Column(i)
-		cols[i] = btrim.Column{Name: c.Name, Type: btrim.ColumnType(c.Kind)}
-	}
-	s.schemas[table] = cols
-	return cols, nil
+	return t.PKOrds, nil
 }
 
-func (s *Shell) parseRow(table string, toks []string) (btrim.Row, []btrim.Column, error) {
+func (s *Shell) parseRow(table string, toks []string) (btrim.Row, error) {
 	cols, err := s.schemaOf(table)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if len(toks) != len(cols) {
-		return nil, nil, fmt.Errorf("table %s has %d columns, got %d values", table, len(cols), len(toks))
+		return nil, fmt.Errorf("table %s has %d columns, got %d values", table, len(cols), len(toks))
 	}
 	r := make(btrim.Row, len(cols))
 	for i, tok := range toks {
 		v, err := parseValue(tok, cols[i].Type)
 		if err != nil {
-			return nil, nil, fmt.Errorf("column %s: %w", cols[i].Name, err)
+			return nil, fmt.Errorf("column %s: %w", cols[i].Name, err)
 		}
 		r[i] = v
 	}
-	return r, cols, nil
+	return r, nil
 }
 
 func (s *Shell) parsePK(table string, toks []string) ([]btrim.Value, error) {
@@ -261,16 +252,16 @@ func (s *Shell) parsePK(table string, toks []string) ([]btrim.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := s.db.Engine().Catalog().Table(table)
-	if t == nil {
-		return nil, fmt.Errorf("no such table %q", table)
+	ords, err := s.pkOrds(table)
+	if err != nil {
+		return nil, err
 	}
-	if len(toks) != len(t.PKOrds) {
-		return nil, fmt.Errorf("primary key of %s has %d columns, got %d values", table, len(t.PKOrds), len(toks))
+	if len(toks) != len(ords) {
+		return nil, fmt.Errorf("primary key of %s has %d columns, got %d values", table, len(ords), len(toks))
 	}
 	vals := make([]btrim.Value, len(toks))
 	for i, tok := range toks {
-		v, err := parseValue(tok, cols[t.PKOrds[i]].Type)
+		v, err := parseValue(tok, cols[ords[i]].Type)
 		if err != nil {
 			return nil, err
 		}
@@ -279,18 +270,18 @@ func (s *Shell) parsePK(table string, toks []string) ([]btrim.Value, error) {
 	return vals, nil
 }
 
-func (s *Shell) insert(toks []string) error {
+func (s *Shell) insert(tx sql.Txn, toks []string) error {
 	if len(toks) < 2 {
 		return fmt.Errorf("usage: insert <table> <values...>")
 	}
-	r, _, err := s.parseRow(toks[0], toks[1:])
+	r, err := s.parseRow(toks[0], toks[1:])
 	if err != nil {
 		return err
 	}
-	return s.db.Update(func(tx *btrim.Tx) error { return tx.Insert(toks[0], r) })
+	return tx.Insert(toks[0], r)
 }
 
-func (s *Shell) get(toks []string) error {
+func (s *Shell) get(tx sql.Txn, toks []string) error {
 	if len(toks) < 2 {
 		return fmt.Errorf("usage: get <table> <pk values...>")
 	}
@@ -298,46 +289,45 @@ func (s *Shell) get(toks []string) error {
 	if err != nil {
 		return err
 	}
-	return s.db.View(func(tx *btrim.Tx) error {
-		r, ok, err := tx.Get(toks[0], pk...)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			fmt.Fprintln(s.out, "(not found)")
-			return nil
-		}
-		s.printRows(toks[0], []btrim.Row{r})
-		return nil
-	})
-}
-
-func (s *Shell) set(toks []string) error {
-	if len(toks) < 2 {
-		return fmt.Errorf("usage: set <table> <values...>")
-	}
-	r, _, err := s.parseRow(toks[0], toks[1:])
+	r, ok, err := tx.Get(toks[0], pk...)
 	if err != nil {
 		return err
 	}
-	t := s.db.Engine().Catalog().Table(toks[0])
-	pk := make([]btrim.Value, len(t.PKOrds))
-	for i, o := range t.PKOrds {
-		pk[i] = r[o]
-	}
-	return s.db.Update(func(tx *btrim.Tx) error {
-		ok, err := tx.Set(toks[0], pk, r)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			fmt.Fprintln(s.out, "(not found)")
-		}
+	if !ok {
+		fmt.Fprintln(s.out, "(not found)")
 		return nil
-	})
+	}
+	s.printRows(toks[0], []btrim.Row{r})
+	return nil
 }
 
-func (s *Shell) del(toks []string) error {
+func (s *Shell) set(tx sql.Txn, toks []string) error {
+	if len(toks) < 2 {
+		return fmt.Errorf("usage: set <table> <values...>")
+	}
+	r, err := s.parseRow(toks[0], toks[1:])
+	if err != nil {
+		return err
+	}
+	ords, err := s.pkOrds(toks[0])
+	if err != nil {
+		return err
+	}
+	pk := make([]btrim.Value, len(ords))
+	for i, o := range ords {
+		pk[i] = r[o]
+	}
+	ok, err := tx.Set(toks[0], pk, r)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		fmt.Fprintln(s.out, "(not found)")
+	}
+	return nil
+}
+
+func (s *Shell) del(tx sql.Txn, toks []string) error {
 	if len(toks) < 2 {
 		return fmt.Errorf("usage: delete <table> <pk values...>")
 	}
@@ -345,19 +335,17 @@ func (s *Shell) del(toks []string) error {
 	if err != nil {
 		return err
 	}
-	return s.db.Update(func(tx *btrim.Tx) error {
-		ok, err := tx.Delete(toks[0], pk...)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			fmt.Fprintln(s.out, "(not found)")
-		}
-		return nil
-	})
+	ok, err := tx.Delete(toks[0], pk...)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		fmt.Fprintln(s.out, "(not found)")
+	}
+	return nil
 }
 
-func (s *Shell) scan(toks []string) error {
+func (s *Shell) scan(tx sql.Txn, toks []string) error {
 	if len(toks) < 1 {
 		return fmt.Errorf("usage: scan <table> [limit]")
 	}
@@ -370,11 +358,9 @@ func (s *Shell) scan(toks []string) error {
 		limit = n
 	}
 	var rows []btrim.Row
-	err := s.db.View(func(tx *btrim.Tx) error {
-		return tx.Scan(toks[0], func(r btrim.Row) bool {
-			rows = append(rows, r)
-			return len(rows) < limit
-		})
+	err := tx.Scan(toks[0], func(r btrim.Row) bool {
+		rows = append(rows, r.Clone())
+		return len(rows) < limit
 	})
 	if err != nil {
 		return err
@@ -384,16 +370,41 @@ func (s *Shell) scan(toks []string) error {
 	return nil
 }
 
+// PrintResult renders one SQL statement result; shared by the local
+// shell and btrimcli's remote mode.
+func PrintResult(w io.Writer, res *sql.Result) {
+	if res.Cols != nil {
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, strings.Join(res.Cols, "\t"))
+		for _, r := range res.Rows {
+			parts := make([]string, len(r))
+			for i, v := range r {
+				parts[i] = v.String()
+			}
+			fmt.Fprintln(tw, strings.Join(parts, "\t"))
+		}
+		tw.Flush()
+		fmt.Fprintf(w, "(%d rows)\n", len(res.Rows))
+		return
+	}
+	switch res.Msg {
+	case "INSERT", "UPDATE", "DELETE":
+		fmt.Fprintf(w, "%s %d\n", res.Msg, res.Affected)
+	default:
+		fmt.Fprintln(w, res.Msg)
+	}
+}
+
 func (s *Shell) printRows(table string, rows []btrim.Row) {
 	cols, err := s.schemaOf(table)
 	if err != nil {
 		return
 	}
-	tw := tabwriter.NewWriter(s.out, 2, 4, 2, ' ', 0)
 	hdr := make([]string, len(cols))
 	for i, c := range cols {
 		hdr[i] = c.Name
 	}
+	tw := tabwriter.NewWriter(s.out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, strings.Join(hdr, "\t"))
 	for _, r := range rows {
 		parts := make([]string, len(r))

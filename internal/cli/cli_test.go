@@ -2,10 +2,12 @@ package cli
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
 	"repro/btrim"
+	"repro/internal/sql"
 )
 
 func newShell(t *testing.T) (*Shell, *bytes.Buffer) {
@@ -133,6 +135,173 @@ func TestShellCompositeKeys(t *testing.T) {
 	if err := s.Exec(`get kv "eu"`); err == nil {
 		t.Fatal("short PK accepted")
 	}
+}
+
+// TestTokenizeEdgeCases covers the quoting fixes: escaped quotes,
+// empty strings, single quotes, and negative numbers.
+func TestTokenizeEdgeCases(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{`insert t 1 "say \"hi\""`, []string{"insert", "t", "1", "\x00say \"hi\""}},
+		{`insert t 1 ""`, []string{"insert", "t", "1", "\x00"}},
+		{`insert t 1 'single'`, []string{"insert", "t", "1", "\x00single"}},
+		{`insert t 1 "a""b"`, []string{"insert", "t", "1", "\x00a\"b"}},
+		{`insert t -5 "x" -1.5`, []string{"insert", "t", "-5", "\x00x", "-1.5"}},
+		{`insert t 1 "tab\there"`, []string{"insert", "t", "1", "\x00tab\there"}},
+	}
+	for _, c := range cases {
+		toks, err := tokenize(c.in)
+		if err != nil {
+			t.Fatalf("tokenize(%q): %v", c.in, err)
+		}
+		if len(toks) != len(c.want) {
+			t.Fatalf("tokenize(%q) = %q, want %q", c.in, toks, c.want)
+		}
+		for i := range c.want {
+			if toks[i] != c.want[i] {
+				t.Fatalf("tokenize(%q)[%d] = %q, want %q", c.in, i, toks[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestShellValueEdgeCases(t *testing.T) {
+	s, buf := newShell(t)
+	mustExec(t, s,
+		`create table t (a int, f float, v string) key (a)`,
+		`insert t -5 -1.5 ""`,
+		`insert t 2 2.5 "say \"hi\""`,
+		`get t -5`,
+	)
+	if !strings.Contains(buf.String(), "-1.5") {
+		t.Fatalf("negative values lost: %s", buf.String())
+	}
+	buf.Reset()
+	mustExec(t, s, `get t 2`)
+	if !strings.Contains(buf.String(), `say \"hi\"`) && !strings.Contains(buf.String(), `say "hi"`) {
+		t.Fatalf("escaped quote lost: %s", buf.String())
+	}
+	// Quoted literals are not silently coerced into numeric columns.
+	if err := s.Exec(`insert t "3" 1.0 "x"`); err == nil {
+		t.Fatal("string literal accepted for int column")
+	}
+	if err := s.Exec(`insert t 3 "1.0" "x"`); err == nil {
+		t.Fatal("string literal accepted for float column")
+	}
+}
+
+// TestShellLiveSchema is the stale-cache regression: two shells over
+// one database must see each other's DDL immediately, because column
+// layouts come from the live catalog, not a per-shell snapshot.
+func TestShellLiveSchema(t *testing.T) {
+	db, err := btrim.Open(btrim.Config{IMRSCacheBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = db.Close() })
+	var bufA, bufB bytes.Buffer
+	a, b := New(db, &bufA), New(db, &bufB)
+
+	if err := a.Exec(`create table t (a int, b string) key (a)`); err != nil {
+		t.Fatal(err)
+	}
+	// Shell B never saw the create; it must still parse values with the
+	// right layout.
+	if err := b.Exec(`insert t 1 "from-b"`); err != nil {
+		t.Fatalf("shell B blind to shell A's table: %v", err)
+	}
+	bufA.Reset()
+	if err := a.Exec(`get t 1`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bufA.String(), "from-b") {
+		t.Fatalf("cross-shell row invisible: %s", bufA.String())
+	}
+}
+
+// TestShellSQLDialect drives the SQL statements through the shell.
+func TestShellSQLDialect(t *testing.T) {
+	s, buf := newShell(t)
+	mustExec(t, s,
+		`CREATE TABLE users (id INT, name STRING, score FLOAT, PRIMARY KEY (id))`,
+		`INSERT INTO users VALUES (1, 'ada', 99.5), (2, 'grace', 88)`,
+		`UPDATE users SET score = score + 1 WHERE id = 2`,
+		`SELECT name FROM users WHERE score > 88.5`,
+	)
+	out := buf.String()
+	if !strings.Contains(out, "ada") || !strings.Contains(out, "grace") {
+		t.Fatalf("select output: %s", out)
+	}
+	if !strings.Contains(out, "(2 rows)") {
+		t.Fatalf("row count missing: %s", out)
+	}
+	buf.Reset()
+	mustExec(t, s, `DELETE FROM users WHERE id = 1`, `show tables`)
+	if !strings.Contains(buf.String(), "DELETE 1") || !strings.Contains(buf.String(), "users") {
+		t.Fatalf("delete/show output: %s", buf.String())
+	}
+}
+
+// TestShellTxnStateMachine: terse commands and SQL share one session,
+// a failed statement inside BEGIN aborts the block, and later
+// statements are rejected with the typed error until ROLLBACK.
+func TestShellTxnStateMachine(t *testing.T) {
+	s, buf := newShell(t)
+	mustExec(t, s,
+		`create table t (a int, b string) key (a)`,
+		`insert t 1 "committed"`,
+		`begin`,
+		`insert t 2 "in-txn"`,
+	)
+	// Terse get sees the uncommitted write inside its own block.
+	buf.Reset()
+	mustExec(t, s, `get t 2`)
+	if !strings.Contains(buf.String(), "in-txn") {
+		t.Fatalf("own write invisible in txn: %s", buf.String())
+	}
+	// A duplicate-key failure (terse form) aborts the block...
+	if err := s.Exec(`insert t 1 "dup"`); !errors.Is(err, btrim.ErrDuplicateKey) {
+		t.Fatalf("dup insert: %v", err)
+	}
+	// ...so both terse and SQL statements now fail typed.
+	if err := s.Exec(`get t 1`); !errors.Is(err, sql.ErrTxnAborted) {
+		t.Fatalf("terse after abort: %v", err)
+	}
+	if err := s.Exec(`SELECT * FROM t`); !errors.Is(err, sql.ErrTxnAborted) {
+		t.Fatalf("sql after abort: %v", err)
+	}
+	if err := s.Exec(`commit`); !errors.Is(err, sql.ErrTxnAborted) {
+		t.Fatalf("commit of aborted block: %v", err)
+	}
+	// The block is gone: its insert rolled back, the session is usable.
+	buf.Reset()
+	mustExec(t, s, `scan t`)
+	if !strings.Contains(buf.String(), "(1 rows)") {
+		t.Fatalf("rolled-back write leaked: %s", buf.String())
+	}
+	// And a clean BEGIN...COMMIT of mixed dialects applies atomically.
+	mustExec(t, s,
+		`begin`,
+		`insert t 2 "terse"`,
+		`INSERT INTO t VALUES (3, 'sql')`,
+		`commit`,
+	)
+	buf.Reset()
+	mustExec(t, s, `scan t`)
+	if !strings.Contains(buf.String(), "(3 rows)") {
+		t.Fatalf("mixed txn lost rows: %s", buf.String())
+	}
+	// DDL inside a block is refused and aborts it (defined state).
+	mustExec(t, s, `begin`)
+	if err := s.Exec(`create table u (x int) key (x)`); !errors.Is(err, sql.ErrDDLInTxn) {
+		t.Fatalf("DDL in txn: %v", err)
+	}
+	if err := s.Exec(`get t 2`); !errors.Is(err, sql.ErrTxnAborted) {
+		t.Fatalf("block not aborted after DDL: %v", err)
+	}
+	mustExec(t, s, `rollback`)
 }
 
 func TestShellRecoveredSchema(t *testing.T) {

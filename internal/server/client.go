@@ -1,0 +1,57 @@
+package server
+
+import (
+	"bufio"
+	"net"
+
+	"repro/internal/sql"
+)
+
+// Client is a wire-protocol client: one TCP connection, one server-side
+// session. It is not safe for concurrent use — like a session, each
+// goroutine should own its own.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	buf  []byte
+}
+
+// Dial connects to a btrimd server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}
+}
+
+// Exec sends one statement and returns its result. Typed session
+// errors (sql.ErrTxnAborted, btrim.ErrDuplicateKey, ...) survive the
+// round trip and match with errors.Is.
+func (c *Client) Exec(stmt string) (*sql.Result, error) {
+	if err := writeFrame(c.bw, []byte(stmt)); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.br, c.buf)
+	if err != nil {
+		return nil, err
+	}
+	c.buf = resp
+	return decodeResponse(resp)
+}
+
+// Close closes the connection; the server aborts any open transaction.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,279 @@
+// Package server is the network layer above the SQL front end: a
+// length-prefixed statement protocol over TCP, one goroutine and one
+// sql.Session per connection, graceful drain on shutdown, and a client
+// used by the shell's remote mode and the benchmark's server path
+// (DESIGN.md §13).
+//
+// Framing: every message is a 4-byte big-endian length followed by that
+// many payload bytes. A request payload is one UTF-8 SQL statement. A
+// response payload starts with a tag byte:
+//
+//	'K' ok      — uvarint affected, then the message string
+//	'R' rows    — uvarint ncols, col names, uvarint nrows, values
+//	'E' error   — 1 code byte, then the error string
+//
+// Values are tagged: 'n' NULL; 'i' + 8-byte int; 'f' + 8-byte IEEE-754
+// bits; 's'/'b' + uvarint length + bytes (string / raw bytes).
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/btrim"
+	"repro/internal/row"
+	"repro/internal/sql"
+)
+
+// MaxFrame bounds one protocol frame; larger requests or results are
+// rejected rather than buffered.
+const MaxFrame = 16 << 20
+
+// Response tags.
+const (
+	tagOK   = 'K'
+	tagRows = 'R'
+	tagErr  = 'E'
+)
+
+// Error codes carried on 'E' frames, so typed sentinel errors survive
+// the wire.
+const (
+	codeGeneric byte = iota + 1
+	codeTxnAborted
+	codeNoTxn
+	codeTxnOpen
+	codeDuplicateKey
+	codeShutdown
+)
+
+// ErrShutdown reports a statement rejected because the server is
+// draining.
+var ErrShutdown = errors.New("server: shutting down")
+
+func errCode(err error) byte {
+	switch {
+	case errors.Is(err, sql.ErrTxnAborted):
+		return codeTxnAborted
+	case errors.Is(err, sql.ErrNoTxn):
+		return codeNoTxn
+	case errors.Is(err, sql.ErrTxnOpen):
+		return codeTxnOpen
+	case errors.Is(err, btrim.ErrDuplicateKey):
+		return codeDuplicateKey
+	case errors.Is(err, ErrShutdown):
+		return codeShutdown
+	}
+	return codeGeneric
+}
+
+// codeErr rebuilds a client-side error that wraps the matching sentinel
+// so errors.Is works across the wire.
+func codeErr(code byte, msg string) error {
+	switch code {
+	case codeTxnAborted:
+		return wrapSentinel(msg, sql.ErrTxnAborted)
+	case codeNoTxn:
+		return wrapSentinel(msg, sql.ErrNoTxn)
+	case codeTxnOpen:
+		return wrapSentinel(msg, sql.ErrTxnOpen)
+	case codeDuplicateKey:
+		return wrapSentinel(msg, btrim.ErrDuplicateKey)
+	case codeShutdown:
+		return wrapSentinel(msg, ErrShutdown)
+	}
+	return errors.New(msg)
+}
+
+// wrapSentinel attaches the sentinel without repeating its text when
+// the server-side message already ends with it.
+func wrapSentinel(msg string, sentinel error) error {
+	if s := sentinel.Error(); msg == s || strings.HasSuffix(msg, s) {
+		if msg == s {
+			return sentinel
+		}
+		return fmt.Errorf("%s%w", msg[:len(msg)-len(sentinel.Error())], sentinel)
+	}
+	return fmt.Errorf("%s: %w", msg, sentinel)
+}
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("server: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame, reusing buf when it fits.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit", n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func appendValue(b []byte, v btrim.Value) []byte {
+	switch v.Kind() {
+	case row.KindInt64:
+		b = append(b, 'i')
+		b = binary.BigEndian.AppendUint64(b, uint64(v.Int()))
+	case row.KindFloat64:
+		b = append(b, 'f')
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(v.Float()))
+	case row.KindString:
+		b = append(b, 's')
+		b = binary.AppendUvarint(b, uint64(len(v.Str())))
+		b = append(b, v.Str()...)
+	case row.KindBytes:
+		b = append(b, 'b')
+		b = binary.AppendUvarint(b, uint64(len(v.Raw())))
+		b = append(b, v.Raw()...)
+	default:
+		b = append(b, 'n')
+	}
+	return b
+}
+
+func decodeValue(b []byte) (btrim.Value, []byte, error) {
+	if len(b) == 0 {
+		return btrim.Null, nil, io.ErrUnexpectedEOF
+	}
+	tag := b[0]
+	b = b[1:]
+	switch tag {
+	case 'n':
+		return btrim.Null, b, nil
+	case 'i':
+		if len(b) < 8 {
+			return btrim.Null, nil, io.ErrUnexpectedEOF
+		}
+		return btrim.Int64(int64(binary.BigEndian.Uint64(b))), b[8:], nil
+	case 'f':
+		if len(b) < 8 {
+			return btrim.Null, nil, io.ErrUnexpectedEOF
+		}
+		return btrim.Float64(math.Float64frombits(binary.BigEndian.Uint64(b))), b[8:], nil
+	case 's', 'b':
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b)-sz) < n {
+			return btrim.Null, nil, io.ErrUnexpectedEOF
+		}
+		data := b[sz : sz+int(n)]
+		if tag == 's' {
+			return btrim.String(string(data)), b[sz+int(n):], nil
+		}
+		return btrim.Bytes(append([]byte(nil), data...)), b[sz+int(n):], nil
+	default:
+		return btrim.Null, nil, fmt.Errorf("server: bad value tag %q", tag)
+	}
+}
+
+// encodeResponse serializes a statement outcome into buf.
+func encodeResponse(buf []byte, res *sql.Result, err error) []byte {
+	buf = buf[:0]
+	if err != nil {
+		buf = append(buf, tagErr, errCode(err))
+		buf = append(buf, err.Error()...)
+		return buf
+	}
+	if res.Cols == nil {
+		buf = append(buf, tagOK)
+		buf = binary.AppendUvarint(buf, uint64(res.Affected))
+		buf = append(buf, res.Msg...)
+		return buf
+	}
+	buf = append(buf, tagRows)
+	buf = binary.AppendUvarint(buf, uint64(len(res.Cols)))
+	for _, c := range res.Cols {
+		buf = binary.AppendUvarint(buf, uint64(len(c)))
+		buf = append(buf, c...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(res.Rows)))
+	for _, r := range res.Rows {
+		for _, v := range r {
+			buf = appendValue(buf, v)
+		}
+	}
+	return buf
+}
+
+// decodeResponse is the client-side inverse of encodeResponse.
+func decodeResponse(b []byte) (*sql.Result, error) {
+	if len(b) == 0 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	tag := b[0]
+	b = b[1:]
+	switch tag {
+	case tagErr:
+		if len(b) == 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, codeErr(b[0], string(b[1:]))
+	case tagOK:
+		aff, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return &sql.Result{Affected: int64(aff), Msg: string(b[sz:])}, nil
+	case tagRows:
+		ncols, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		b = b[sz:]
+		res := &sql.Result{Cols: make([]string, 0, ncols)}
+		for i := uint64(0); i < ncols; i++ {
+			n, sz := binary.Uvarint(b)
+			if sz <= 0 || uint64(len(b)-sz) < n {
+				return nil, io.ErrUnexpectedEOF
+			}
+			res.Cols = append(res.Cols, string(b[sz:sz+int(n)]))
+			b = b[sz+int(n):]
+		}
+		nrows, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		b = b[sz:]
+		for i := uint64(0); i < nrows; i++ {
+			r := make(btrim.Row, ncols)
+			for j := range r {
+				var v btrim.Value
+				var err error
+				v, b, err = decodeValue(b)
+				if err != nil {
+					return nil, err
+				}
+				r[j] = v
+			}
+			res.Rows = append(res.Rows, r)
+		}
+		return res, nil
+	default:
+		return nil, fmt.Errorf("server: bad response tag %q", tag)
+	}
+}

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sql"
+)
+
+// Server serves the wire protocol over one engine: one goroutine, one
+// connection, one sql.Session each, so every client gets its own
+// transaction state while all of them share the engine's snapshot
+// isolation and group-commit pipelines.
+type Server struct {
+	eng sql.Engine
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[int64]*session
+	draining bool
+
+	wg     sync.WaitGroup
+	nextID atomic.Int64
+
+	// Aggregate counters, rolled up into Stats alongside the engine's
+	// own statistics.
+	totalSessions atomic.Int64
+	statements    atomic.Int64
+	rowsReturned  atomic.Int64
+	commits       atomic.Int64
+	rollbacks     atomic.Int64
+	errors        atomic.Int64
+	drainAborts   atomic.Int64
+}
+
+type session struct {
+	id     int64
+	remote string
+	conn   net.Conn
+	sess   *sql.Session
+	stmts  atomic.Int64
+	inTxn  atomic.Bool
+}
+
+// New builds a server over eng (sql.WrapDB or sql.WrapSharded).
+func New(eng sql.Engine) *Server {
+	return &Server{eng: eng, sessions: make(map[int64]*session)}
+}
+
+// Serve accepts connections on ln until Shutdown. It returns nil after
+// a clean drain.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrShutdown
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		id := s.nextID.Add(1)
+		c := &session{id: id, remote: conn.RemoteAddr().String(), conn: conn, sess: sql.NewSession(s.eng)}
+		s.sessions[id] = c
+		s.mu.Unlock()
+		s.totalSessions.Add(1)
+		s.wg.Add(1)
+		go s.handle(c)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener address (once Serve has been called).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// handle runs one connection's request loop.
+func (s *Server) handle(c *session) {
+	defer s.wg.Done()
+	defer func() {
+		// A connection that ends — client hangup or server drain — must
+		// leave no transaction behind: Close aborts any open block, so
+		// uncommitted work vanishes atomically.
+		if c.sess.InTxn() {
+			s.drainAborts.Add(1)
+		}
+		c.sess.Close()
+		c.conn.Close()
+		s.mu.Lock()
+		delete(s.sessions, c.id)
+		s.mu.Unlock()
+	}()
+
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	bw := bufio.NewWriterSize(c.conn, 64<<10)
+	var inBuf, outBuf []byte
+	for {
+		req, err := readFrame(br, inBuf)
+		if err != nil {
+			return // EOF, client reset, or drain closing the conn
+		}
+		inBuf = req
+
+		res, execErr := s.execute(c, string(req))
+		outBuf = encodeResponse(outBuf, res, execErr)
+		if err := writeFrame(bw, outBuf); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// execute runs one statement for a session and maintains the rollup
+// counters.
+func (s *Server) execute(c *session, stmtText string) (*sql.Result, error) {
+	s.statements.Add(1)
+	c.stmts.Add(1)
+	res, err := c.sess.Exec(stmtText)
+	c.inTxn.Store(c.sess.InTxn())
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	switch res.Msg {
+	case "COMMIT":
+		s.commits.Add(1)
+	case "ROLLBACK":
+		s.rollbacks.Add(1)
+	}
+	s.rowsReturned.Add(int64(len(res.Rows)))
+	return res, nil
+}
+
+// Shutdown drains the server: stop accepting, close every connection
+// (which aborts each session's open transaction cleanly — committed
+// work stays, uncommitted work vanishes), and wait for the handlers to
+// exit or ctx to expire.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	conns := make([]*session, 0, len(s.sessions))
+	for _, c := range s.sessions {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain incomplete: %w", ctx.Err())
+	}
+}
+
+// Stats is the server-side rollup: aggregate counters plus one row per
+// live session, reported next to the engine's own statistics.
+type Stats struct {
+	ActiveSessions int
+	TotalSessions  int64
+	Statements     int64
+	RowsReturned   int64
+	Commits        int64
+	Rollbacks      int64
+	Errors         int64
+	DrainAborts    int64 // sessions whose open txn was aborted at disconnect
+	Sessions       []SessionStats
+}
+
+// SessionStats describes one live session.
+type SessionStats struct {
+	ID         int64
+	Remote     string
+	Statements int64
+	InTxn      bool
+}
+
+// Stats snapshots the rollup.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		ActiveSessions: len(s.sessions),
+		TotalSessions:  s.totalSessions.Load(),
+		Statements:     s.statements.Load(),
+		RowsReturned:   s.rowsReturned.Load(),
+		Commits:        s.commits.Load(),
+		Rollbacks:      s.rollbacks.Load(),
+		Errors:         s.errors.Load(),
+		DrainAborts:    s.drainAborts.Load(),
+	}
+	for _, c := range s.sessions {
+		st.Sessions = append(st.Sessions, SessionStats{
+			ID: c.id, Remote: c.remote, Statements: c.stmts.Load(), InTxn: c.inTxn.Load(),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].ID < st.Sessions[j].ID })
+	return st
+}

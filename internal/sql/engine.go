@@ -1,0 +1,70 @@
+package sql
+
+import (
+	"repro/btrim"
+	"repro/internal/catalog"
+)
+
+// Txn is the transaction surface the executor needs. Both *btrim.Tx and
+// *btrim.STx (the sharded node's transaction) satisfy it directly, so
+// one executor serves the single-engine and the sharded paths.
+type Txn interface {
+	Insert(table string, r btrim.Row) error
+	Get(table string, pk ...btrim.Value) (btrim.Row, bool, error)
+	Update(table string, pk []btrim.Value, mutate func(btrim.Row) (btrim.Row, error)) (bool, error)
+	Set(table string, pk []btrim.Value, newRow btrim.Row) (bool, error)
+	Delete(table string, pk ...btrim.Value) (bool, error)
+	Scan(table string, fn func(btrim.Row) bool) error
+	ScanBatches(table string, cols []string, batchRows int, fn func(*btrim.Batch) bool) error
+	Commit() error
+	Abort()
+}
+
+// Engine abstracts the database a session executes against: a plain
+// *btrim.DB (WrapDB) or a sharded node (WrapSharded).
+type Engine interface {
+	CreateTable(spec btrim.TableSpec) error
+	Begin() Txn
+	// Catalog returns the live schema catalog; the planner resolves every
+	// statement against it, never against a cached copy, so tables created
+	// by other sessions are visible immediately.
+	Catalog() *catalog.Catalog
+	Stats() btrim.Stats
+}
+
+type dbEngine struct{ db *btrim.DB }
+
+// WrapDB adapts a plain database to the executor's Engine interface.
+func WrapDB(db *btrim.DB) Engine { return dbEngine{db} }
+
+func (e dbEngine) CreateTable(spec btrim.TableSpec) error { return e.db.CreateTable(spec) }
+func (e dbEngine) Begin() Txn                             { return e.db.Begin() }
+func (e dbEngine) Catalog() *catalog.Catalog              { return e.db.Engine().Catalog() }
+func (e dbEngine) Stats() btrim.Stats                     { return e.db.Stats() }
+
+type shardEngine struct{ db *btrim.ShardedDB }
+
+// WrapSharded adapts a sharded node. DDL applies to every shard, so any
+// shard's catalog describes the node; shard 0 is the canonical copy.
+func WrapSharded(db *btrim.ShardedDB) Engine { return shardEngine{db} }
+
+func (e shardEngine) CreateTable(spec btrim.TableSpec) error { return e.db.CreateTable(spec) }
+func (e shardEngine) Begin() Txn                             { return e.db.Begin() }
+func (e shardEngine) Catalog() *catalog.Catalog              { return e.db.Node().Engine(0).Catalog() }
+func (e shardEngine) Stats() btrim.Stats                     { return e.db.Stats() }
+
+// Columns resolves a table's column layout from the live catalog. The
+// CLI shell uses this instead of a per-shell schema cache, so a table
+// created or changed by another session is always seen current.
+func Columns(cat *catalog.Catalog, table string) ([]btrim.Column, error) {
+	t := cat.Table(table)
+	if t == nil {
+		return nil, &TableError{Table: table}
+	}
+	cols := make([]btrim.Column, t.Schema.NumColumns())
+	for i := range cols {
+		c := t.Schema.Column(i)
+		cols[i] = btrim.Column{Name: c.Name, Type: btrim.ColumnType(c.Kind)}
+	}
+	return cols, nil
+}

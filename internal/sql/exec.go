@@ -1,0 +1,315 @@
+package sql
+
+import (
+	"fmt"
+
+	"repro/btrim"
+	"repro/internal/catalog"
+)
+
+// execSelect routes a full-primary-key equality SELECT to Tx.Get and
+// everything else to the vectorized ScanBatches operator with the
+// union of output and predicate columns pushed into the projection.
+func execSelect(tx Txn, cat *catalog.Catalog, st *Select) (*Result, error) {
+	p, err := planSelect(cat, st)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Cols: p.outCols, Msg: "SELECT"}
+	if p.limit == 0 {
+		return res, nil
+	}
+	if p.point {
+		r, ok, err := tx.Get(p.meta.name, p.pk...)
+		if err != nil {
+			return nil, err
+		}
+		if ok && rowMatches(p.residual, r) {
+			out := make(btrim.Row, len(p.outCols))
+			for i, c := range p.outCols {
+				o, _ := p.meta.ord(c)
+				out[i] = r[o]
+			}
+			res.Rows = append(res.Rows, out)
+		}
+		return res, nil
+	}
+	outOrds := p.outOrds()
+	stop := false
+	err = tx.ScanBatches(p.meta.name, p.scanCols, 0, func(b *btrim.Batch) bool {
+		// The sharded node's scan fans out shard by shard and a false
+		// return only ends the current shard — re-check the limit here so
+		// later shards stop contributing rows too.
+		if p.limit >= 0 && int64(len(res.Rows)) >= p.limit {
+			stop = true
+			return false
+		}
+	rows:
+		for i := 0; i < b.Len(); i++ {
+			for _, pr := range p.scanPreds {
+				if !vecMatches(&b.Cols[pr.ord], i, pr) {
+					continue rows
+				}
+			}
+			out := make(btrim.Row, len(outOrds))
+			for j, o := range outOrds {
+				out[j] = vecValue(&b.Cols[o], i)
+			}
+			res.Rows = append(res.Rows, out)
+			if p.limit >= 0 && int64(len(res.Rows)) >= p.limit {
+				stop = true
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil && !stop {
+		return nil, err
+	}
+	return res, nil
+}
+
+func execInsert(tx Txn, cat *catalog.Catalog, st *Insert) (*Result, error) {
+	m, err := resolveTable(cat, st.Table)
+	if err != nil {
+		return nil, err
+	}
+	// An explicit column list must cover every column (the engine has no
+	// defaults); it only allows reordering.
+	perm := make([]int, len(m.cols)) // perm[schemaOrd] = position in the VALUES tuple
+	if st.Columns == nil {
+		for i := range perm {
+			perm[i] = i
+		}
+	} else {
+		if len(st.Columns) != len(m.cols) {
+			return nil, fmt.Errorf("sql: table %s has %d columns, INSERT names %d",
+				m.name, len(m.cols), len(st.Columns))
+		}
+		for i := range perm {
+			perm[i] = -1
+		}
+		for pos, c := range st.Columns {
+			o, err := m.ord(c)
+			if err != nil {
+				return nil, err
+			}
+			if perm[o] != -1 {
+				return nil, fmt.Errorf("sql: column %q named twice in INSERT", c)
+			}
+			perm[o] = pos
+		}
+	}
+	var n int64
+	for _, lits := range st.Rows {
+		if len(lits) != len(m.cols) {
+			return nil, fmt.Errorf("sql: table %s has %d columns, got %d values",
+				m.name, len(m.cols), len(lits))
+		}
+		r := make(btrim.Row, len(m.cols))
+		for o := range m.cols {
+			v, err := coerce(lits[perm[o]], m.cols[o].Type, m.cols[o].Name)
+			if err != nil {
+				return nil, err
+			}
+			r[o] = v
+		}
+		if err := tx.Insert(m.name, r); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n, Msg: "INSERT"}, nil
+}
+
+// bindAssigns resolves SET items and returns a mutate callback that
+// applies them to the locked current row image — so read-modify-write
+// forms like `SET v = v + 1` never lose concurrent increments.
+func bindAssigns(m *tableMeta, assigns []Assign) (func(btrim.Row) (btrim.Row, error), error) {
+	type op struct {
+		ord    int
+		val    btrim.Value // literal form
+		refOrd int         // arithmetic form when >= 0
+		neg    bool
+		typ    btrim.ColumnType
+	}
+	ops := make([]op, 0, len(assigns))
+	for _, a := range assigns {
+		o, err := m.ord(a.Col)
+		if err != nil {
+			return nil, err
+		}
+		for _, pkOrd := range m.pkOrds {
+			if o == pkOrd {
+				return nil, fmt.Errorf("sql: cannot UPDATE primary-key column %q", a.Col)
+			}
+		}
+		typ := m.cols[o].Type
+		if a.RefCol == "" {
+			v, err := coerce(a.Lit, typ, a.Col)
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, op{ord: o, val: v, refOrd: -1, typ: typ})
+			continue
+		}
+		if typ != btrim.Int64Type && typ != btrim.Float64Type {
+			return nil, fmt.Errorf("sql: arithmetic SET on non-numeric column %q", a.Col)
+		}
+		refOrd, err := m.ord(a.RefCol)
+		if err != nil {
+			return nil, err
+		}
+		if m.cols[refOrd].Type != typ {
+			return nil, fmt.Errorf("sql: type mismatch in SET %s = %s %c ...", a.Col, a.RefCol, a.ArithOp)
+		}
+		v, err := coerce(a.Lit, typ, a.Col)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op{ord: o, val: v, refOrd: refOrd, neg: a.ArithOp == '-', typ: typ})
+	}
+	return func(r btrim.Row) (btrim.Row, error) {
+		for _, o := range ops {
+			if o.refOrd < 0 {
+				r[o.ord] = o.val
+				continue
+			}
+			if r[o.refOrd].IsNull() {
+				return nil, fmt.Errorf("sql: arithmetic on NULL column")
+			}
+			switch o.typ {
+			case btrim.Int64Type:
+				d := o.val.Int()
+				if o.neg {
+					d = -d
+				}
+				r[o.ord] = btrim.Int64(r[o.refOrd].Int() + d)
+			case btrim.Float64Type:
+				d := o.val.Float()
+				if o.neg {
+					d = -d
+				}
+				r[o.ord] = btrim.Float64(r[o.refOrd].Float() + d)
+			}
+		}
+		return r, nil
+	}, nil
+}
+
+// matchingPKs collects the primary keys of rows matching preds, for the
+// scan forms of UPDATE and DELETE. Keys are collected first and then
+// mutated one by one, so the scan snapshot is never chased by its own
+// writes.
+func matchingPKs(tx Txn, m *tableMeta, preds []boundPred) ([][]btrim.Value, error) {
+	var pks [][]btrim.Value
+	err := tx.Scan(m.name, func(r btrim.Row) bool {
+		if !rowMatches(preds, r) {
+			return true
+		}
+		pk := make([]btrim.Value, len(m.pkOrds))
+		for i, o := range m.pkOrds {
+			pk[i] = r[o]
+		}
+		pks = append(pks, pk)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pks, nil
+}
+
+func execUpdate(tx Txn, cat *catalog.Catalog, st *Update) (*Result, error) {
+	m, err := resolveTable(cat, st.Table)
+	if err != nil {
+		return nil, err
+	}
+	mutate, err := bindAssigns(m, st.Assigns)
+	if err != nil {
+		return nil, err
+	}
+	preds, err := bindPreds(m, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	var n int64
+	if pk, residual, ok := splitPoint(m, preds); ok && len(preds) > 0 {
+		if len(residual) > 0 {
+			r, found, err := tx.Get(m.name, pk...)
+			if err != nil {
+				return nil, err
+			}
+			if !found || !rowMatches(residual, r) {
+				return &Result{Affected: 0, Msg: "UPDATE"}, nil
+			}
+		}
+		ok, err := tx.Update(m.name, pk, mutate)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			n = 1
+		}
+		return &Result{Affected: n, Msg: "UPDATE"}, nil
+	}
+	pks, err := matchingPKs(tx, m, preds)
+	if err != nil {
+		return nil, err
+	}
+	for _, pk := range pks {
+		ok, err := tx.Update(m.name, pk, mutate)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			n++
+		}
+	}
+	return &Result{Affected: n, Msg: "UPDATE"}, nil
+}
+
+func execDelete(tx Txn, cat *catalog.Catalog, st *Delete) (*Result, error) {
+	m, err := resolveTable(cat, st.Table)
+	if err != nil {
+		return nil, err
+	}
+	preds, err := bindPreds(m, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	var n int64
+	if pk, residual, ok := splitPoint(m, preds); ok && len(preds) > 0 {
+		if len(residual) > 0 {
+			r, found, err := tx.Get(m.name, pk...)
+			if err != nil {
+				return nil, err
+			}
+			if !found || !rowMatches(residual, r) {
+				return &Result{Affected: 0, Msg: "DELETE"}, nil
+			}
+		}
+		ok, err := tx.Delete(m.name, pk...)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			n = 1
+		}
+		return &Result{Affected: n, Msg: "DELETE"}, nil
+	}
+	pks, err := matchingPKs(tx, m, preds)
+	if err != nil {
+		return nil, err
+	}
+	for _, pk := range pks {
+		ok, err := tx.Delete(m.name, pk...)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			n++
+		}
+	}
+	return &Result{Affected: n, Msg: "DELETE"}, nil
+}

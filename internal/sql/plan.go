@@ -1,0 +1,347 @@
+package sql
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/btrim"
+	"repro/internal/catalog"
+	"repro/internal/row"
+)
+
+// TableError is the typed "no such table" error.
+type TableError struct{ Table string }
+
+func (e *TableError) Error() string { return fmt.Sprintf("sql: no such table %q", e.Table) }
+
+// tableMeta is a statement-scoped view of one table's schema, resolved
+// fresh from the live catalog for every statement.
+type tableMeta struct {
+	name   string
+	cols   []btrim.Column
+	ords   map[string]int
+	pkOrds []int
+}
+
+func resolveTable(cat *catalog.Catalog, name string) (*tableMeta, error) {
+	t := cat.Table(name)
+	if t == nil {
+		return nil, &TableError{Table: name}
+	}
+	m := &tableMeta{name: name, pkOrds: t.PKOrds, ords: make(map[string]int, t.Schema.NumColumns())}
+	m.cols = make([]btrim.Column, t.Schema.NumColumns())
+	for i := range m.cols {
+		c := t.Schema.Column(i)
+		m.cols[i] = btrim.Column{Name: c.Name, Type: btrim.ColumnType(c.Kind)}
+		m.ords[c.Name] = i
+	}
+	return m, nil
+}
+
+func (m *tableMeta) ord(col string) (int, error) {
+	o, ok := m.ords[col]
+	if !ok {
+		return 0, fmt.Errorf("sql: no column %q in table %s", col, m.name)
+	}
+	return o, nil
+}
+
+// coerce converts a literal to a value of the column's type. Integer
+// literals widen to float columns; everything else must match exactly.
+func coerce(lit Literal, typ btrim.ColumnType, col string) (btrim.Value, error) {
+	switch typ {
+	case btrim.Int64Type:
+		if lit.Kind == LitInt {
+			return btrim.Int64(lit.I), nil
+		}
+	case btrim.Float64Type:
+		if lit.Kind == LitFloat {
+			return btrim.Float64(lit.F), nil
+		}
+		if lit.Kind == LitInt {
+			return btrim.Float64(float64(lit.I)), nil
+		}
+	case btrim.StringType:
+		if lit.Kind == LitString {
+			return btrim.String(lit.S), nil
+		}
+	case btrim.BytesType:
+		if lit.Kind == LitString {
+			return btrim.Bytes([]byte(lit.S)), nil
+		}
+	}
+	if lit.Kind == LitNull {
+		return btrim.Null, nil
+	}
+	return btrim.Null, fmt.Errorf("sql: %s does not fit column %s", lit, col)
+}
+
+// boundPred is a resolved WHERE conjunct.
+type boundPred struct {
+	col string
+	ord int // ordinal in the table schema
+	op  CmpOp
+	val btrim.Value
+}
+
+func bindPreds(m *tableMeta, preds []Pred) ([]boundPred, error) {
+	out := make([]boundPred, 0, len(preds))
+	for _, p := range preds {
+		o, err := m.ord(p.Col)
+		if err != nil {
+			return nil, err
+		}
+		if p.Lit.Kind == LitNull {
+			return nil, fmt.Errorf("sql: NULL comparisons are not supported (column %s)", p.Col)
+		}
+		v, err := coerce(p.Lit, m.cols[o].Type, p.Col)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, boundPred{col: p.Col, ord: o, op: p.Op, val: v})
+	}
+	return out, nil
+}
+
+// splitPoint returns the primary-key values if every PK column is
+// pinned by an equality predicate, plus the residual predicates. The
+// executor routes the point form to Tx.Get/Update/Delete and everything
+// else to a scan.
+func splitPoint(m *tableMeta, preds []boundPred) (pk []btrim.Value, residual []boundPred, ok bool) {
+	pk = make([]btrim.Value, len(m.pkOrds))
+	used := make([]bool, len(preds))
+	for i, pkOrd := range m.pkOrds {
+		found := false
+		for j, p := range preds {
+			if !used[j] && p.op == OpEq && p.ord == pkOrd {
+				pk[i] = p.val
+				used[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, nil, false
+		}
+	}
+	for j, p := range preds {
+		if !used[j] {
+			residual = append(residual, p)
+		}
+	}
+	return pk, residual, true
+}
+
+// cmpValues compares a row value with a predicate value of the same
+// column type. The bool is false when the comparison is undefined
+// (NULL operand), in which case the predicate is false.
+func cmpValues(a, b btrim.Value) (int, bool) {
+	if a.IsNull() || b.IsNull() {
+		return 0, false
+	}
+	switch a.Kind() {
+	case row.KindInt64:
+		x, y := a.Int(), b.Int()
+		switch {
+		case x < y:
+			return -1, true
+		case x > y:
+			return 1, true
+		}
+		return 0, true
+	case row.KindFloat64:
+		x, y := a.Float(), b.Float()
+		switch {
+		case x < y:
+			return -1, true
+		case x > y:
+			return 1, true
+		}
+		return 0, true
+	case row.KindString:
+		return strings.Compare(a.Str(), b.Str()), true
+	case row.KindBytes:
+		return bytes.Compare(a.Raw(), b.Raw()), true
+	}
+	return 0, false
+}
+
+func applyOp(cmp int, op CmpOp) bool {
+	switch op {
+	case OpEq:
+		return cmp == 0
+	case OpNe:
+		return cmp != 0
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	}
+	return false
+}
+
+// rowMatches evaluates bound predicates against a full row.
+func rowMatches(preds []boundPred, r btrim.Row) bool {
+	for _, p := range preds {
+		cmp, ok := cmpValues(r[p.ord], p.val)
+		if !ok || !applyOp(cmp, p.op) {
+			return false
+		}
+	}
+	return true
+}
+
+// vecMatches evaluates one predicate against batch row i of vector v.
+func vecMatches(v *btrim.Vec, i int, p boundPred) bool {
+	if v.IsNull(i) {
+		return false
+	}
+	var cmp int
+	switch v.Kind {
+	case row.KindInt64:
+		x, y := v.I64[i], p.val.Int()
+		cmp = 0
+		if x < y {
+			cmp = -1
+		} else if x > y {
+			cmp = 1
+		}
+	case row.KindFloat64:
+		x, y := v.F64[i], p.val.Float()
+		cmp = 0
+		if x < y {
+			cmp = -1
+		} else if x > y {
+			cmp = 1
+		}
+	case row.KindString:
+		cmp = strings.Compare(string(v.Str[i]), p.val.Str())
+	case row.KindBytes:
+		cmp = bytes.Compare(v.Str[i], p.val.Raw())
+	default:
+		return false
+	}
+	return applyOp(cmp, p.op)
+}
+
+// vecValue materializes batch row i of vector v as an owned Value (the
+// batch's buffers are reused across callbacks, so strings and bytes are
+// copied out).
+func vecValue(v *btrim.Vec, i int) btrim.Value {
+	if v.IsNull(i) {
+		return btrim.Null
+	}
+	switch v.Kind {
+	case row.KindInt64:
+		return btrim.Int64(v.I64[i])
+	case row.KindFloat64:
+		return btrim.Float64(v.F64[i])
+	case row.KindString:
+		return btrim.String(string(v.Str[i]))
+	case row.KindBytes:
+		return btrim.Bytes(append([]byte(nil), v.Str[i]...))
+	}
+	return btrim.Null
+}
+
+// selectPlan is the resolved form of a SELECT: either a point lookup or
+// a vectorized scan with projection pushdown and a residual filter.
+type selectPlan struct {
+	meta    *tableMeta
+	outCols []string // result columns, in output order
+
+	point    bool
+	pk       []btrim.Value
+	residual []boundPred // point path: evaluated on the fetched row
+
+	scanCols  []string    // outCols ∪ predicate columns, pushed into ScanBatches
+	scanPreds []boundPred // ord field rebased onto scanCols positions
+	limit     int64
+}
+
+func planSelect(cat *catalog.Catalog, st *Select) (*selectPlan, error) {
+	m, err := resolveTable(cat, st.Table)
+	if err != nil {
+		return nil, err
+	}
+	p := &selectPlan{meta: m, limit: st.Limit}
+	if st.Star {
+		for _, c := range m.cols {
+			p.outCols = append(p.outCols, c.Name)
+		}
+	} else {
+		for _, c := range st.Columns {
+			if _, err := m.ord(c); err != nil {
+				return nil, err
+			}
+			p.outCols = append(p.outCols, c)
+		}
+	}
+	preds, err := bindPreds(m, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	if len(preds) > 0 {
+		if pk, residual, ok := splitPoint(m, preds); ok {
+			p.point = true
+			p.pk = pk
+			p.residual = residual
+			return p, nil
+		}
+	}
+	// Scan path: push the union of output and predicate columns into the
+	// batch projection so unreferenced columns of frozen rows are never
+	// decompressed, then rebase predicate ordinals onto that projection.
+	pos := make(map[string]int, len(p.outCols))
+	for _, c := range p.outCols {
+		if _, dup := pos[c]; !dup {
+			pos[c] = len(p.scanCols)
+			p.scanCols = append(p.scanCols, c)
+		}
+	}
+	for _, pr := range preds {
+		if _, ok := pos[pr.col]; !ok {
+			pos[pr.col] = len(p.scanCols)
+			p.scanCols = append(p.scanCols, pr.col)
+		}
+	}
+	p.scanPreds = make([]boundPred, len(preds))
+	for i, pr := range preds {
+		pr.ord = pos[pr.col]
+		p.scanPreds[i] = pr
+	}
+	return p, nil
+}
+
+// outOrds maps output columns to their position in the scan projection
+// (the first len(outCols) vectors, minus duplicates).
+func (p *selectPlan) outOrds() []int {
+	pos := make(map[string]int, len(p.scanCols))
+	for i, c := range p.scanCols {
+		if _, dup := pos[c]; !dup {
+			pos[c] = i
+		}
+	}
+	ords := make([]int, len(p.outCols))
+	for i, c := range p.outCols {
+		ords[i] = pos[c]
+	}
+	return ords
+}
+
+// sortedTableNames lists catalog tables for SHOW TABLES.
+func sortedTableNames(cat *catalog.Catalog) []string {
+	ts := cat.Tables()
+	names := make([]string, len(ts))
+	for i, t := range ts {
+		names[i] = t.Name
+	}
+	sort.Strings(names)
+	return names
+}

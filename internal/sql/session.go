@@ -1,0 +1,208 @@
+package sql
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/btrim"
+)
+
+// Typed session errors. The wire protocol preserves ErrTxnAborted
+// across the network so clients can distinguish "statement rejected
+// because the transaction is aborted" from ordinary failures.
+var (
+	// ErrTxnAborted reports a statement issued inside an explicit
+	// transaction that has already failed: the transaction was rolled
+	// back at the point of failure and every later statement is rejected
+	// until ROLLBACK (or COMMIT, which also fails with this error) ends
+	// the transaction block.
+	ErrTxnAborted = errors.New("sql: current transaction is aborted, commands ignored until ROLLBACK")
+	// ErrTxnOpen reports BEGIN inside an open transaction.
+	ErrTxnOpen = errors.New("sql: a transaction is already in progress")
+	// ErrNoTxn reports COMMIT/ROLLBACK with no open transaction.
+	ErrNoTxn = errors.New("sql: no transaction is in progress")
+	// ErrDDLInTxn reports CREATE TABLE inside an explicit transaction
+	// (DDL checkpoints immediately and cannot roll back with it).
+	ErrDDLInTxn = errors.New("sql: CREATE TABLE cannot run inside a transaction")
+)
+
+// Result is the outcome of one statement.
+type Result struct {
+	Cols     []string    // non-nil for row-returning statements
+	Rows     []btrim.Row // owned by the caller
+	Affected int64       // rows written by INSERT/UPDATE/DELETE
+	Msg      string      // human tag: "BEGIN", "CREATE TABLE", ...
+}
+
+// Session executes statements against one engine with per-session
+// transaction state:
+//
+//	autocommit --BEGIN--> open --COMMIT/ROLLBACK--> autocommit
+//	                      open --statement error--> aborted
+//	aborted: statements fail with ErrTxnAborted; ROLLBACK clears it,
+//	         COMMIT clears it but reports ErrTxnAborted (nothing durable).
+//
+// In autocommit each statement runs in its own transaction, committed
+// on success and rolled back wholesale on failure, so a half-applied
+// statement can never leak. A Session is not safe for concurrent use;
+// the server gives each connection its own.
+type Session struct {
+	eng     Engine
+	tx      Txn
+	aborted bool
+}
+
+// NewSession builds a session over eng (WrapDB or WrapSharded).
+func NewSession(eng Engine) *Session { return &Session{eng: eng} }
+
+// InTxn reports whether an explicit transaction block is open
+// (including the aborted state).
+func (s *Session) InTxn() bool { return s.tx != nil || s.aborted }
+
+// Aborted reports whether the open transaction block is aborted.
+func (s *Session) Aborted() bool { return s.aborted }
+
+// Close rolls back any open transaction. Safe to call more than once.
+func (s *Session) Close() {
+	if s.tx != nil {
+		s.tx.Abort()
+		s.tx = nil
+	}
+	s.aborted = false
+}
+
+// fail transitions the session after a failed statement: an open
+// explicit transaction is rolled back immediately and the session
+// parks in the aborted state.
+func (s *Session) fail(err error) error {
+	if s.tx != nil {
+		s.tx.Abort()
+		s.tx = nil
+		s.aborted = true
+	}
+	return err
+}
+
+// Exec parses and executes one statement.
+func (s *Session) Exec(text string) (*Result, error) {
+	stmt, err := Parse(text)
+	if err != nil {
+		return nil, s.fail(err)
+	}
+	return s.ExecParsed(stmt)
+}
+
+// ExecParsed executes an already-parsed statement.
+func (s *Session) ExecParsed(stmt Statement) (*Result, error) {
+	switch st := stmt.(type) {
+	case *Begin:
+		if s.aborted {
+			return nil, ErrTxnAborted
+		}
+		if s.tx != nil {
+			return nil, ErrTxnOpen
+		}
+		s.tx = s.eng.Begin()
+		return &Result{Msg: "BEGIN"}, nil
+	case *Commit:
+		if s.aborted {
+			s.aborted = false
+			return nil, fmt.Errorf("COMMIT of an aborted transaction: %w", ErrTxnAborted)
+		}
+		if s.tx == nil {
+			return nil, ErrNoTxn
+		}
+		tx := s.tx
+		s.tx = nil
+		if err := tx.Commit(); err != nil {
+			// A failed engine commit has already rolled itself back; the
+			// session returns to autocommit with nothing applied.
+			return nil, err
+		}
+		return &Result{Msg: "COMMIT"}, nil
+	case *Rollback:
+		if s.aborted {
+			s.aborted = false
+			return &Result{Msg: "ROLLBACK"}, nil
+		}
+		if s.tx == nil {
+			return nil, ErrNoTxn
+		}
+		s.tx.Abort()
+		s.tx = nil
+		return &Result{Msg: "ROLLBACK"}, nil
+	case *CreateTable:
+		if s.aborted {
+			return nil, ErrTxnAborted
+		}
+		if s.tx != nil {
+			return nil, s.fail(ErrDDLInTxn)
+		}
+		spec := btrim.TableSpec{Name: st.Name, Columns: st.Columns, PrimaryKey: st.PrimaryKey}
+		if err := s.eng.CreateTable(spec); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: "CREATE TABLE"}, nil
+	case *ShowTables:
+		if s.aborted {
+			return nil, ErrTxnAborted
+		}
+		names := sortedTableNames(s.eng.Catalog())
+		res := &Result{Cols: []string{"table"}, Msg: "SHOW TABLES"}
+		for _, n := range names {
+			res.Rows = append(res.Rows, btrim.Values(btrim.String(n)))
+		}
+		return res, nil
+	default:
+		var res *Result
+		err := s.Do(func(tx Txn) error {
+			var err error
+			res, err = execStmt(tx, s.eng, stmt)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+}
+
+// Do runs fn inside the session's transaction scope: the open explicit
+// transaction when one exists (a failure aborts it and parks the
+// session in the aborted state), otherwise one autocommit transaction.
+// The CLI shell routes its terse commands through Do so they observe
+// and respect explicit BEGIN blocks exactly like SQL statements.
+func (s *Session) Do(fn func(Txn) error) error {
+	if s.aborted {
+		return ErrTxnAborted
+	}
+	if s.tx != nil {
+		if err := fn(s.tx); err != nil {
+			return s.fail(err)
+		}
+		return nil
+	}
+	tx := s.eng.Begin()
+	if err := fn(tx); err != nil {
+		tx.Abort()
+		return err
+	}
+	return tx.Commit()
+}
+
+// execStmt dispatches one DML/query statement inside tx.
+func execStmt(tx Txn, eng Engine, stmt Statement) (*Result, error) {
+	cat := eng.Catalog()
+	switch st := stmt.(type) {
+	case *Select:
+		return execSelect(tx, cat, st)
+	case *Insert:
+		return execInsert(tx, cat, st)
+	case *Update:
+		return execUpdate(tx, cat, st)
+	case *Delete:
+		return execDelete(tx, cat, st)
+	default:
+		return nil, fmt.Errorf("sql: unhandled statement %T", stmt)
+	}
+}
