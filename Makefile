@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race test-race-internal test-recovery test-gc test-cold test-chaos test-shard test-server fuzz bench-commit bench-read bench-recovery bench-mixed bench-scan bench-shard bench-server bench-smoke ci
+.PHONY: build vet test test-race test-race-internal test-recovery test-gc test-cold test-chaos test-chaos-server test-shard test-server fuzz bench-commit bench-read bench-recovery bench-mixed bench-scan bench-shard bench-server bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,17 @@ test-cold:
 # sweeps: go run ./cmd/chaos -seeds 8 -cycles 1000.
 test-chaos:
 	$(GO) test -race ./internal/chaos/
+
+# Full-stack chaos over the wire under the race detector: seeded shard
+# halts/restarts, client aborts, oversized frames, and statement storms
+# against a live TCP server, plus the deterministic coordinator-crash
+# and server-limits suites it builds on. Longer sweeps:
+# go run ./cmd/chaos -server -seeds 8; availability numbers:
+# go run ./cmd/chaos -avail.
+test-chaos-server:
+	$(GO) test -race ./internal/chaos/ -run 'ServerChaos'
+	$(GO) test -race ./internal/shard/ -run 'Resolver|Journal'
+	$(GO) test -race ./internal/server/ -run 'Limits|Deadline|MaxConns|IdleReap|Panic|Oversized|GoroutineLeak'
 
 # Sharded-node tests under the race detector: the router/2PC/in-doubt
 # recovery suite, the engine-level prepare/decide/resolve tests, and

@@ -17,6 +17,16 @@ var ErrReadOnly = core.ErrReadOnly
 // engine is in the read-only health state.
 func IsReadOnly(err error) bool { return errors.Is(err, core.ErrReadOnly) }
 
+// IsRecoverableReadOnly reports whether err is a write rejected by a
+// recoverable ReadOnly park — the shard is waiting for an in-doubt
+// coordinator decision and the node's resolver can bring it back online
+// — as opposed to the sticky poisoned-WAL freeze, which only a restart
+// clears. Recoverable rejections are worth retrying after backoff.
+func IsRecoverableReadOnly(err error) bool {
+	var ro *core.ReadOnlyError
+	return errors.As(err, &ro) && ro.Recoverable
+}
+
 // HealthState is the engine health state machine's current state.
 //
 //	Healthy  — all subsystems nominal; full read/write service.
@@ -67,8 +77,13 @@ type Health struct {
 	// healthy): "checkpoint-failures", "imrs-cache-pressure",
 	// "device-fault-exhaustion", "pack-errors".
 	DegradedCauses []string
-	// ReadOnlyCause is the sticky root cause ("" unless read-only).
+	// ReadOnlyCause is the root cause ("" unless read-only).
 	ReadOnlyCause string
+	// ReadOnlyRecoverable reports a recoverable ReadOnly park (in-doubt
+	// transactions awaiting a coordinator decision) as opposed to the
+	// sticky poisoned-WAL freeze. A sharded node's resolver can exit a
+	// recoverable park online; a sticky one needs a restart.
+	ReadOnlyRecoverable bool
 	// Transitions is the recent state-change history (bounded).
 	Transitions []HealthTransition
 	// DeviceRetry / WALRetry / CheckpointRetry expose the transient-
@@ -84,13 +99,14 @@ func (db *DB) Health() Health { return healthFromCore(db.eng.Health()) }
 
 func healthFromCore(h core.HealthSnapshot) Health {
 	out := Health{
-		State:           HealthState(h.State),
-		Since:           h.Since,
-		DegradedCauses:  h.DegradedCauses,
-		ReadOnlyCause:   h.ReadOnlyCause,
-		DeviceRetry:     RetryStats(h.DeviceRetry),
-		WALRetry:        RetryStats(h.WALRetry),
-		CheckpointRetry: RetryStats(h.CheckpointRetry),
+		State:               HealthState(h.State),
+		Since:               h.Since,
+		DegradedCauses:      h.DegradedCauses,
+		ReadOnlyCause:       h.ReadOnlyCause,
+		ReadOnlyRecoverable: h.ReadOnlyRecoverable,
+		DeviceRetry:         RetryStats(h.DeviceRetry),
+		WALRetry:            RetryStats(h.WALRetry),
+		CheckpointRetry:     RetryStats(h.CheckpointRetry),
 	}
 	for _, tr := range h.Transitions {
 		out.Transitions = append(out.Transitions, HealthTransition{

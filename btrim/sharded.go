@@ -8,6 +8,12 @@ import (
 // sharded database. The rest of the node keeps serving.
 var ErrShardDown = shard.ErrShardDown
 
+// ErrPartialResult reports a fan-out read that skipped unavailable
+// shards: the returned rows cover every healthy shard, and the error
+// (a *shard.PartialResultError) names the shards that contributed
+// nothing. errors.Is matches it.
+var ErrPartialResult = shard.ErrPartialResult
+
 // ShardedDB is a sharded database node: Config.Shards independent
 // engines — each with its own data directory, WAL pair, GC, pack loops
 // and health state — behind a hash-partitioned primary-key router.
@@ -52,6 +58,12 @@ func OpenSharded(cfg Config) (*ShardedDB, error) {
 	return &ShardedDB{node: node}, nil
 }
 
+// WrapNode adapts an explicitly configured shard node — custom
+// per-shard media, journal backend, resolver cadence — to the public
+// ShardedDB surface. The chaos harnesses use it to drive the SQL and
+// wire layers over crash-surviving storage.
+func WrapNode(n *shard.Node) *ShardedDB { return &ShardedDB{node: n} }
+
 // Close checkpoints and shuts down every shard.
 func (db *ShardedDB) Close() error { return db.node.Close() }
 
@@ -61,6 +73,15 @@ func (db *ShardedDB) Halt() error { return db.node.Halt() }
 // HaltShard crash-stops one shard; the others keep serving and
 // operations routed to the dead shard fail with ErrShardDown.
 func (db *ShardedDB) HaltShard(i int) error { return db.node.HaltShard(i) }
+
+// RestartShard recovers one halted (or parked) shard in place from its
+// own logs while the rest of the node keeps serving.
+func (db *ShardedDB) RestartShard(i int) error { return db.node.RestartShard(i) }
+
+// ResolvePending runs one in-doubt resolver pass synchronously and
+// returns how many transactions it settled (the background resolver
+// does the same on a timer).
+func (db *ShardedDB) ResolvePending() int { return db.node.ResolvePending() }
 
 // NumShards returns the shard count.
 func (db *ShardedDB) NumShards() int { return db.node.NumShards() }
@@ -122,6 +143,10 @@ func (db *ShardedDB) Stats() Stats {
 	s.CrossShardCommits = c.CrossShardCommits
 	s.CrossShardAborts = c.CrossShardAborts
 	s.CrossShardCommitErrors = c.CrossShardCommitErrs
+	s.InDoubtResolved = c.InDoubtResolved
+	s.ReadOnlyExits = c.ReadOnlyExits
+	s.ShardRestarts = c.ShardRestarts
+	s.PartialResults = c.PartialResults
 	return s
 }
 

@@ -44,6 +44,7 @@ type RecoveryStats struct {
 
 	SyslogRecords    int64 // page-store log records scanned
 	IMRSRecords      int64 // committed IMRS operations replayed
+	RedoConflicts    int64 // slot conflicts reconciled by conditional redo
 	RowsIndexed      int64 // rows fed to the index rebuild
 	EntriesEnqueued  int64 // IMRS entries re-enqueued on pack queues
 	EntriesReclaimed int64 // dead recovered entries reclaimed
@@ -119,6 +120,14 @@ type Stats struct {
 	CrossShardCommits      int64
 	CrossShardAborts       int64
 	CrossShardCommitErrors int64
+	// Failure-recovery rollups (sharded nodes only): in-doubt
+	// transactions the background resolver settled, recoverable
+	// ReadOnly parks exited in place, shard restarts (operator- or
+	// resolver-driven), and fan-out reads that returned partial results.
+	InDoubtResolved int64
+	ReadOnlyExits   int64
+	ShardRestarts   int64
+	PartialResults  int64
 }
 
 // ShardStats is one shard's full engine stats within a sharded node.
@@ -139,7 +148,6 @@ type ColdStoreStats struct {
 	Unfreezes       int64 // updates that pulled a frozen row back out
 	RawBytes        int64 // pre-compression footprint
 	CompressedBytes int64 // on-blob footprint
-	HeapDropFails   int64 // best-effort stale heap drops that failed
 }
 
 // CompressionRatio returns compressed/raw across all published
@@ -230,6 +238,7 @@ func statsFromSnapshot(snap core.Snapshot) Stats {
 			Total:             snap.Recovery.Total,
 			SyslogRecords:     snap.Recovery.SyslogRecords,
 			IMRSRecords:       snap.Recovery.IMRSRecords,
+			RedoConflicts:     snap.Recovery.RedoConflicts,
 			RowsIndexed:       snap.Recovery.RowsIndexed,
 			EntriesEnqueued:   snap.Recovery.EntriesEnqueued,
 			EntriesReclaimed:  snap.Recovery.EntriesReclaimed,
@@ -255,7 +264,6 @@ func statsFromSnapshot(snap core.Snapshot) Stats {
 			Unfreezes:       snap.ColdStore.Unfreezes,
 			RawBytes:        snap.ColdStore.RawBytes,
 			CompressedBytes: snap.ColdStore.CompressedBytes,
-			HeapDropFails:   snap.ColdStore.HeapDropFails,
 		},
 		Health:  healthFromCore(snap.Health),
 		Tables:  make(map[string]TableStats, len(snap.Partitions)),
@@ -361,13 +369,13 @@ func aggregateShardStats(per []Stats) Stats {
 		agg.ColdStore.Unfreezes += s.ColdStore.Unfreezes
 		agg.ColdStore.RawBytes += s.ColdStore.RawBytes
 		agg.ColdStore.CompressedBytes += s.ColdStore.CompressedBytes
-		agg.ColdStore.HeapDropFails += s.ColdStore.HeapDropFails
 
 		agg.Recovery.Ran = agg.Recovery.Ran || s.Recovery.Ran
 		agg.Recovery.Threads = s.Recovery.Threads
 		agg.Recovery.Total += s.Recovery.Total
 		agg.Recovery.SyslogRecords += s.Recovery.SyslogRecords
 		agg.Recovery.IMRSRecords += s.Recovery.IMRSRecords
+		agg.Recovery.RedoConflicts += s.Recovery.RedoConflicts
 		agg.Recovery.RowsIndexed += s.Recovery.RowsIndexed
 		agg.Recovery.EntriesEnqueued += s.Recovery.EntriesEnqueued
 		agg.Recovery.EntriesReclaimed += s.Recovery.EntriesReclaimed

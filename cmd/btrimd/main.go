@@ -3,6 +3,7 @@
 // session per connection (DESIGN.md §13).
 //
 //	btrimd [-addr :4810] [-dir /path/to/db] [-imrs-mb 64] [-shards 1]
+//	       [-max-conns 0] [-stmt-timeout 0] [-idle-timeout 0]
 //
 // With -shards > 1 the daemon runs the sharded multi-engine node:
 // statements route by primary-key hash and multi-shard transactions
@@ -34,6 +35,9 @@ func main() {
 	imrsMB := flag.Int64("imrs-mb", 64, "IMRS cache size (MB)")
 	shards := flag.Int("shards", 1, "engine shards (>1 runs the multi-engine node)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	maxConns := flag.Int("max-conns", 0, "max concurrent connections (0 = unlimited)")
+	stmtTimeout := flag.Duration("stmt-timeout", 0, "per-statement deadline (0 = none)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "idle-connection reap timeout (0 = never)")
 	flag.Parse()
 
 	cfg := btrim.Config{Dir: *dir, IMRSCacheBytes: *imrsMB << 20}
@@ -58,7 +62,11 @@ func main() {
 		eng, close = sql.WrapDB(db), db.Close
 	}
 
-	srv := server.New(eng)
+	srv := server.NewWithConfig(eng, server.Config{
+		MaxConns:         *maxConns,
+		StatementTimeout: *stmtTimeout,
+		IdleTimeout:      *idleTimeout,
+	})
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe(*addr) }()
 
@@ -89,6 +97,10 @@ func main() {
 	st := srv.Stats()
 	fmt.Printf("server: sessions=%d statements=%d rows=%d commits=%d rollbacks=%d errors=%d drain-aborts=%d\n",
 		st.TotalSessions, st.Statements, st.RowsReturned, st.Commits, st.Rollbacks, st.Errors, st.DrainAborts)
+	if st.OverCapacityRejects+st.IdleReaps+st.PanicRecoveries+st.OversizedFrames > 0 {
+		fmt.Printf("server: over-capacity=%d idle-reaps=%d panics-recovered=%d oversized-frames=%d\n",
+			st.OverCapacityRejects, st.IdleReaps, st.PanicRecoveries, st.OversizedFrames)
+	}
 	es := eng.Stats()
 	fmt.Printf("engine: imrs-rows=%d imrs-used=%dB hit-rate=%.2f health=%v\n",
 		es.IMRSRows, es.IMRSUsedBytes, es.IMRSHitRate, es.Health.State)

@@ -4,15 +4,24 @@
 // for replaying a failing seed.
 //
 //	chaos [-seed 1] [-seeds 8] [-cycles 1000] [-ops 25] [-v]
+//	chaos -server [-seed 1] [-seeds 8] [-v]   full-stack chaos over TCP
+//	chaos -avail  [-seed 1]                   availability measurement
 //
 // With -seeds N it runs N consecutive seeds (seed, seed+1, ...) and
 // stops at the first invariant violation, printing the seed to replay.
+//
+// -server drives SQL over a real TCP connection against a sharded node
+// while killing shards mid-2PC, crashing the coordinator between
+// prepare and decide, and dropping connections (internal/chaos
+// ServerChaosRun). -avail measures ops/s over the wire healthy versus
+// with one of eight shards down.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/chaos"
 )
@@ -22,8 +31,47 @@ func main() {
 	seeds := flag.Int("seeds", 1, "number of consecutive seeds to run")
 	cycles := flag.Int("cycles", 1000, "fault cycles per seed")
 	ops := flag.Int("ops", 25, "transactions per cycle")
-	verbose := flag.Bool("v", false, "log every cycle")
+	serverMode := flag.Bool("server", false, "run the full-stack wire chaos instead of the engine soak")
+	availMode := flag.Bool("avail", false, "measure availability under one-shard failure")
+	verbose := flag.Bool("v", false, "log progress")
 	flag.Parse()
+
+	if *availMode {
+		cfg := chaos.ServerAvailabilityConfig{Seed: *seed, Phase: time.Second}
+		if *verbose {
+			cfg.Logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+		}
+		res, err := chaos.ServerAvailabilityRun(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos -avail: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("healthy: %.0f ops/s (%d ops)\n", res.HealthyPerSec, res.HealthyOps)
+		fmt.Printf("1-of-8 down: %.0f ops/s (%d ops, %d dead-shard failures, %.1f%% retained)\n",
+			res.DegradedPerSec, res.DegradedOps, res.DownFailures,
+			100*res.DegradedPerSec/res.HealthyPerSec)
+		return
+	}
+
+	if *serverMode {
+		for i := 0; i < *seeds; i++ {
+			s := *seed + int64(i)
+			cfg := chaos.ServerChaosConfig{Seed: s}
+			if *verbose {
+				cfg.Logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+			}
+			res, err := chaos.ServerChaosRun(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaos -server: seed %d FAILED: %v\n", s, err)
+				fmt.Fprintf(os.Stderr, "replay with: go run ./cmd/chaos -server -seed %d -v\n", s)
+				os.Exit(1)
+			}
+			fmt.Printf("seed %d: %d commits, %d clean aborts, %d commit errors, %d retryable wire errors, %d partial selects, %d redials, %d in-doubt resolved, %d RO exits, %d shard restarts\n",
+				s, res.Commits, res.CleanAborts, res.CommitErrors, res.RetryableErrors,
+				res.PartialSelects, res.Redials, res.InDoubtResolved, res.ReadOnlyExits, res.ShardRestarts)
+		}
+		return
+	}
 
 	for i := 0; i < *seeds; i++ {
 		s := *seed + int64(i)

@@ -3,10 +3,42 @@ package chaos
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/row"
 	"repro/internal/wal"
 )
+
+// getRetry reads one key, absorbing core.ErrRetry: background pack/GC
+// keeps relocating rows between stores (also on a read-only engine),
+// and the statement-level contract for a lookup that chases too many
+// relocations is "caller retries the statement" — which every real
+// workload driver honours by starting over, so the checker must too.
+// The restart matters: an old snapshot can chase a relocated row
+// indefinitely (the vacated slot re-probes as a different key), while
+// a fresh snapshot observes the settled location. Verification phases
+// have no concurrent logical writers, so a fresh transaction sees the
+// same contents.
+func (h *harness) getRetry(tx *core.Txn, key int64) (row.Row, bool, error) {
+	r, ok, err := tx.Get(tableName, pkOf(key))
+	if !errors.Is(err, core.ErrRetry) {
+		return r, ok, err
+	}
+	for attempt := 0; attempt < 50; attempt++ {
+		t2 := h.eng.Begin()
+		r, ok, err = t2.Get(tableName, pkOf(key))
+		t2.Abort()
+		if !errors.Is(err, core.ErrRetry) {
+			return r, ok, err
+		}
+		runtime.Gosched()
+	}
+	// Persistent even across fresh snapshots: the location layers have
+	// genuinely diverged. Attach the engine's own view of the row so the
+	// failure names the stuck layer instead of just the symptom.
+	return r, ok, fmt.Errorf("%w (%s)", err, h.eng.ExplainRow(tableName, pkOf(key)))
+}
 
 // driveToReadOnly keeps writing after a log was killed until the engine
 // observes the death and freezes writes. The table is pinned in and out
@@ -49,7 +81,7 @@ func (h *harness) checkReadOnly() error {
 
 	tx := h.eng.Begin()
 	for key, want := range h.model {
-		r, ok, err := tx.Get(tableName, pkOf(key))
+		r, ok, err := h.getRetry(tx, key)
 		if err != nil || !ok {
 			tx.Abort()
 			return fmt.Errorf("chaos: read-only engine lost committed key %d: ok=%v err=%v", key, ok, err)
@@ -65,7 +97,7 @@ func (h *harness) checkReadOnly() error {
 	// view shows each ambiguous key's pre-transaction state.
 	for key, allowed := range h.ambig {
 		before := allowed[0]
-		r, ok, err := tx.Get(tableName, pkOf(key))
+		r, ok, err := h.getRetry(tx, key)
 		if err != nil {
 			tx.Abort()
 			return fmt.Errorf("chaos: read-only read of rolled-back key %d: %w", key, err)
@@ -119,7 +151,7 @@ func (h *harness) verify(resolveAmbig bool) error {
 	tx := h.eng.Begin()
 	defer tx.Abort()
 	for key, want := range h.model {
-		r, ok, err := tx.Get(tableName, pkOf(key))
+		r, ok, err := h.getRetry(tx, key)
 		if err != nil {
 			return fmt.Errorf("chaos: verify read of key %d: %w", key, err)
 		}
@@ -137,7 +169,7 @@ func (h *harness) verify(resolveAmbig bool) error {
 			break
 		}
 		checked++
-		if _, ok, err := tx.Get(tableName, pkOf(key)); err != nil {
+		if _, ok, err := h.getRetry(tx, key); err != nil {
 			return fmt.Errorf("chaos: verify read of deleted key %d: %w", key, err)
 		} else if ok {
 			return fmt.Errorf("chaos: deleted key %d resurrected", key)
@@ -147,7 +179,7 @@ func (h *harness) verify(resolveAmbig bool) error {
 		return nil
 	}
 	for key, allowed := range h.ambig {
-		r, ok, err := tx.Get(tableName, pkOf(key))
+		r, ok, err := h.getRetry(tx, key)
 		if err != nil {
 			return fmt.Errorf("chaos: verify read of ambiguous key %d: %w", key, err)
 		}

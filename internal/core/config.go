@@ -104,6 +104,13 @@ type Config struct {
 	LogSyncLatency          time.Duration
 	LogBandwidthBytesPerSec int64
 
+	// ShardID identifies this engine inside a sharded node: it is
+	// stamped into RecDecide records so participants and journals can
+	// scope a global transaction id (which is only unique per
+	// coordinator) by the coordinator that issued it. 0 for a
+	// standalone engine.
+	ShardID uint32
+
 	// TwoPCResolver, when set, resolves in-doubt prepared transactions
 	// found during recovery: given the global transaction id and the
 	// coordinator shard index from a RecPrepare with no local outcome,

@@ -911,15 +911,21 @@ func (t *Txn) Delete(table string, pk []row.Value) (bool, error) {
 		}
 		prt.ilm.PageOps.Inc()
 	} else {
+		// Free the slot at COMMIT, like the other delete paths — never
+		// before the outcome is known. An eager delete hands the slot to
+		// the free pool while this transaction can still abort: a
+		// concurrent insert may take it, after which the abort's restore
+		// has nowhere to put the committed row back (it is silently
+		// lost behind a live index entry), and even on commit the two
+		// transactions' records reach the log in insert-before-delete
+		// order — inverted against the actual slot history, so replay
+		// deletes the surviving row. Holding the slot until commit keeps
+		// log order equal to application order.
 		beforeCp := append([]byte(nil), curEnc...)
-		if err := prt.heap.Delete(r0); err != nil {
-			t.unwind(m)
-			return false, err
-		}
-		t.undo = append(t.undo, func() { _ = prt.heap.InsertAt(r0, beforeCp) })
 		t.sysRecs = append(t.sysRecs, wal.Record{
 			Type: wal.RecHeapDelete, Table: rt.cat.ID, RID: r0, Before: beforeCp,
 		})
+		t.atCommit = append(t.atCommit, func(uint64) { _ = prt.heap.Delete(r0) })
 		prt.ilm.PageOps.Inc()
 		prt.ilm.PageReuseOps.Inc()
 	}

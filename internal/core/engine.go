@@ -94,7 +94,6 @@ type Engine struct {
 	// before a restart that flipped the knob off.
 	coldEnabled       bool
 	unfreezes         atomic.Int64 // cold rows pulled back by updates
-	coldHeapDropFails atomic.Int64 // post-freeze stale-heap deletes that failed
 
 	// legacyAlloc selects the pre-pooling per-transaction allocation
 	// behaviour (Config.LegacyTxnAlloc). Benchmark baseline only.
@@ -120,6 +119,21 @@ type Engine struct {
 
 	// twopc is the cross-shard commit accounting (twopc.go).
 	twopc twopcCounters
+
+	// decMu guards decIndex, the in-memory index of every 2PC decision
+	// this engine knows about — its own RecDecide records (as
+	// coordinator) plus decisions written back by peers (NoteDecision).
+	// Keyed by (coordinator shard, gid): gids are only unique per
+	// coordinator. Populated at recovery and on every LogDecision /
+	// NoteDecision.
+	decMu    sync.RWMutex
+	decIndex map[decisionKey]bool
+
+	// inDoubtMu guards inDoubtPending: in-doubt prepared transactions
+	// recovery could not resolve, retained so the node-level resolver
+	// can finish the job at runtime and un-park the engine (twopc.go).
+	inDoubtMu      sync.Mutex
+	inDoubtPending []InDoubtTxn
 
 	// health is the engine state machine (health.go); the retriers wrap
 	// the data device, both WAL flush paths, and the background
@@ -419,6 +433,26 @@ func (e *Engine) Close() error {
 	return errors.Join(errs...)
 }
 
+// ReleaseStorage closes a halted engine's log and device handles.
+// Halt deliberately leaves them open (it simulates a crash, and
+// crash-media tests reuse the backends across incarnations), but a
+// node restarting a Dir-backed shard in place must release the old
+// incarnation's file descriptors before the new one opens the same
+// paths. Only valid after Halt/Close.
+func (e *Engine) ReleaseStorage() error {
+	if !e.closed.Load() {
+		return fmt.Errorf("core: release storage: engine still running")
+	}
+	var errs []error
+	// CloseBackend, not Close: a halted log's buffered tail must NOT be
+	// flushed — its committers were already told they failed.
+	errs = append(errs, e.syslog.CloseBackend(), e.imrslog.CloseBackend())
+	if e.ownsDevices {
+		errs = append(errs, e.dataDev.Close())
+	}
+	return errors.Join(errs...)
+}
+
 // Clock exposes the database commit timestamp (harness, tests).
 func (e *Engine) Clock() *txn.Clock { return e.clock }
 
@@ -455,7 +489,7 @@ func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 func (e *Engine) CreateTable(name string, schema *row.Schema, pkCols []string,
 	spec catalog.PartitionSpec, indexes []catalog.IndexSpec) (*catalog.Table, error) {
 	if e.closed.Load() {
-		return nil, fmt.Errorf("core: engine closed")
+		return nil, ErrEngineClosed
 	}
 	t, err := e.cat.CreateTable(name, schema, pkCols, spec, indexes)
 	if err != nil {

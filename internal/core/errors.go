@@ -23,6 +23,8 @@ var (
 	// become durable). Matched by errors.Is against the *ReadOnlyError
 	// the write paths actually return.
 	ErrReadOnly = errors.New("core: engine is read-only")
+	// ErrEngineClosed reports use of an engine after Halt/Close.
+	ErrEngineClosed = errors.New("core: engine closed")
 )
 
 // ReadOnlyError is the typed write rejection carrying the root cause
@@ -31,6 +33,12 @@ var (
 // chain stays reachable through Unwrap.
 type ReadOnlyError struct {
 	Cause error
+	// Recoverable distinguishes a shard parked ReadOnly by unresolved
+	// in-doubt transactions (the state clears in place once the
+	// coordinator's decision is learned — callers may retry with
+	// backoff) from the sticky poisoned-WAL verdict, which only a
+	// restart clears.
+	Recoverable bool
 }
 
 // Error implements error.

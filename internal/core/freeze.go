@@ -19,8 +19,9 @@ import (
 //   - virtual rows and dirty physical rows are added to the segment
 //     writer; the IMRS side logs a delete (sysimrslogs), and the frozen
 //     image travels in the segment blob inside the syslogs RecSegFreeze;
-//   - a dirty physical row leaves a stale heap copy behind: its delete
-//     is logged (RecHeapDelete) and applied after commit;
+//   - a dirty physical row leaves its stale heap copy IN PLACE: the
+//     live cold entry shadows it on every read path, and the occupied
+//     slot keeps the RID unique until delete/un-freeze retires both;
 //   - clean cached rows just drop from the IMRS (the heap copy is
 //     already authoritative), exactly like the legacy pack path;
 //   - a row with a live older cold copy (possible if an un-freeze kill
@@ -28,7 +29,7 @@ import (
 //
 // Side effects are strictly post-commit, in this order: kill old cold
 // copies (the directory still maps to them), publish the new segments,
-// unpublish the IMRS entries, drop stale heap copies, reclaim. Readers
+// unpublish the IMRS entries, reclaim. Readers
 // that race the window between commit and publish still find the row:
 // the IMRS entry is unpublished only after the segment is visible.
 func (e *Engine) freezeEntries(rt *tableRT, prt *partRT, part rid.PartitionID, entries []*imrs.Entry) (int, int64, error) {
@@ -44,7 +45,7 @@ func (e *Engine) freezeEntries(rt *tableRT, prt *partRT, part rid.PartitionID, e
 	var sysRecs, imrsRecs []wal.Record
 	var post []func(ts uint64)
 	var segs []*colseg.Segment
-	var killOld, heapDrops []rid.RID
+	var killOld []rid.RID
 	rows := 0
 	var bytes int64
 
@@ -103,16 +104,17 @@ func (e *Engine) freezeEntries(rt *tableRT, prt *partRT, part rid.PartitionID, e
 				})
 				killOld = append(killOld, en.RID)
 			}
-			if !en.RID.IsVirtual() {
-				// Dirty physical row: the heap still holds the stale
-				// pre-update image; remove it once the segment commits.
-				if _, err := prt.heap.Fetch(en.RID); err == nil {
-					sysRecs = append(sysRecs, wal.Record{
-						Type: wal.RecHeapDelete, Table: rt.cat.ID, RID: en.RID,
-					})
-					heapDrops = append(heapDrops, en.RID)
-				}
-			}
+			// A dirty physical row leaves its stale pre-update heap image
+			// in place, deliberately: the copy is shadowed by the live
+			// cold entry on every read path (point reads and scans check
+			// the cold directory first), and keeping the slot occupied is
+			// what guarantees the RID stays unique. Freeing it here let
+			// the heap hand the slot to an unrelated insert while the
+			// cold copy was still live — two logical rows sharing one
+			// physical RID, the new one unreachable behind the old one's
+			// segment image. The slot is reclaimed when the frozen row is
+			// deleted or un-frozen, both of which retire the cold copy in
+			// the same transaction.
 			imrsRecs = append(imrsRecs, wal.Record{
 				Type: wal.RecIMRSDelete, Table: rt.cat.ID, RID: en.RID, Aux: uint8(en.Origin),
 			})
@@ -203,14 +205,6 @@ func (e *Engine) freezeEntries(rt *tableRT, prt *partRT, part rid.PartitionID, e
 	}
 	for _, fn := range post {
 		fn(ts)
-	}
-	// Stale heap copies of dirty physical rows: best-effort removal.
-	// Readers check the cold directory before the heap, so a copy that
-	// survives a failed delete is shadowed, not resurrected.
-	for _, r := range heapDrops {
-		if err := prt.heap.Delete(r); err != nil {
-			e.coldHeapDropFails.Add(1)
-		}
 	}
 	// Reclaim synchronously so the freed memory is visible to the pack
 	// cycle's own utilization accounting (and to anyone driving Step).

@@ -109,6 +109,10 @@ type HealthSnapshot struct {
 	DegradedCauses []string
 	// ReadOnlyCause is the root cause that forced ReadOnly ("" before).
 	ReadOnlyCause string
+	// ReadOnlyRecoverable reports whether the ReadOnly state is the
+	// recoverable in-doubt park (clears in place once the 2PC outcome
+	// is learned) rather than the sticky poisoned-WAL verdict.
+	ReadOnlyRecoverable bool
 	// Transitions is the recorded state-change history, oldest first
 	// (capped at maxHealthTransitions, oldest dropped).
 	Transitions []HealthTransition
@@ -126,11 +130,12 @@ type HealthSnapshot struct {
 type healthFSM struct {
 	state atomic.Int32
 
-	mu          sync.Mutex
-	causes      healthCause
-	roCause     error
-	since       time.Time
-	transitions []HealthTransition
+	mu            sync.Mutex
+	causes        healthCause
+	roCause       error
+	roRecoverable bool
+	since         time.Time
+	transitions   []HealthTransition
 
 	// onDegraded applies/reverts the engine's Degraded side effects
 	// (ILM per-op disable sweep + aggressive pack). Called with mu held,
@@ -196,18 +201,68 @@ func (h *healthFSM) setCause(c healthCause, on bool, detail string) {
 	}
 }
 
-// forceReadOnly moves to ReadOnly with the given root cause. The first
-// cause is sticky: ReadOnly cannot be left except by restart (the
-// poisoned WAL cannot be un-poisoned in place), and Halted still
-// remembers it.
+// forceReadOnly moves to ReadOnly with the given root cause. The cause
+// is sticky: ReadOnly cannot be left except by restart (the poisoned
+// WAL cannot be un-poisoned in place), and Halted still remembers it.
+// Called while parked in the recoverable variant, it upgrades the park
+// to sticky — a poisoned WAL trumps a pending in-doubt resolution.
 func (h *healthFSM) forceReadOnly(cause error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.load() >= StateReadOnly {
+		if h.load() == StateReadOnly && h.roRecoverable {
+			h.roCause = cause
+			h.roRecoverable = false
+		}
+		return
+	}
+	h.roCause = cause
+	h.roRecoverable = false
+	h.transitionLocked(StateReadOnly, cause.Error())
+}
+
+// parkReadOnly moves to the recoverable variant of ReadOnly: writes are
+// rejected exactly as in the sticky state, but exitReadOnly may clear
+// it in place once the blocking condition (an unresolved in-doubt
+// transaction) resolves. A shard already ReadOnly keeps its current
+// cause — parking never downgrades sticky to recoverable.
+func (h *healthFSM) parkReadOnly(cause error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.load() >= StateReadOnly {
 		return
 	}
 	h.roCause = cause
+	h.roRecoverable = true
 	h.transitionLocked(StateReadOnly, cause.Error())
+}
+
+// exitReadOnly clears a recoverable ReadOnly park, returning to
+// Degraded when degradation causes are still raised and Healthy
+// otherwise. It refuses to clear the sticky variant.
+func (h *healthFSM) exitReadOnly(why string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if st := h.load(); st != StateReadOnly {
+		return fmt.Errorf("core: exit read-only: engine is %v", st)
+	}
+	if !h.roRecoverable {
+		return fmt.Errorf("core: read-only is sticky: %w", h.roCause)
+	}
+	h.roCause = nil
+	h.roRecoverable = false
+	if h.causes != 0 {
+		h.transitionLocked(StateDegraded, why)
+	} else {
+		h.transitionLocked(StateHealthy, why)
+		if h.onDegraded != nil {
+			// The ReadOnly→Healthy edge bypasses the Degraded membership
+			// edges transitionLocked tracks; revert explicitly (the hook
+			// is idempotent).
+			h.onDegraded(false)
+		}
+	}
+	return nil
 }
 
 // halt moves to the terminal state.
@@ -227,14 +282,22 @@ func (h *healthFSM) readOnlyCause() error {
 	return h.roCause
 }
 
+// readOnlyError builds the typed rejection under the lock so the cause
+// and the recoverable bit are a consistent pair.
+func (h *healthFSM) readOnlyError() *ReadOnlyError {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return &ReadOnlyError{Cause: h.roCause, Recoverable: h.roRecoverable}
+}
+
 // writable is the write-path gate: nil in Healthy/Degraded, a typed
 // rejection in ReadOnly/Halted.
 func (h *healthFSM) writable() error {
 	switch h.load() {
 	case StateHalted:
-		return fmt.Errorf("core: engine closed")
+		return ErrEngineClosed
 	case StateReadOnly:
-		return &ReadOnlyError{Cause: h.readOnlyCause()}
+		return h.readOnlyError()
 	default:
 		return nil
 	}
@@ -252,6 +315,7 @@ func (h *healthFSM) snapshot() HealthSnapshot {
 	}
 	if h.roCause != nil {
 		s.ReadOnlyCause = h.roCause.Error()
+		s.ReadOnlyRecoverable = h.roRecoverable
 	}
 	return s
 }

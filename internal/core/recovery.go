@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/rid"
 	"repro/internal/storage/colseg"
+	"repro/internal/storage/page"
 	"repro/internal/wal"
 )
 
@@ -45,6 +47,7 @@ type recoveryInfo struct {
 
 	syslogRecords    int64 // records scanned by analyze
 	imrsRecords      int64 // committed IMRS ops applied by replay
+	redoConflicts    int64 // slot conflicts reconciled (durable losers)
 	rowsIndexed      atomic.Int64
 	entriesEnqueued  int64
 	entriesReclaimed atomic.Int64
@@ -364,11 +367,16 @@ func (e *Engine) analyzeSyslogs() (sysAnalysis, error) {
 			// checkpoint — segments live only in the log.
 			e.bumpTxnID(rec.TxnID)
 			an.segOps = append(an.segOps, rec)
+		case wal.RecDecide:
+			// Decisions are not replay state (the coordinator resolves its
+			// own prepares through winners), but they feed the in-memory
+			// decision index peers probe at runtime — both this engine's
+			// own decisions (Table = own shard id) and write-backs learned
+			// from other coordinators. The TxnID (a gid, derived from a
+			// local txn id somewhere) still advances the allocator.
+			e.bumpTxnID(rec.TxnID)
+			e.noteDecision(rec.Table, uint64(rec.RID), rec.Aux == 1)
 		default:
-			// RecDecide lands here too: decisions are the coordinator's
-			// business during its own resolution lookups, not replay state,
-			// but their TxnID (the global id, derived from a local txn id)
-			// must still advance the allocator.
 			e.bumpTxnID(rec.TxnID)
 		}
 	}
@@ -405,12 +413,27 @@ func (e *Engine) resolveInDoubt(an *sysAnalysis) (int64, error) {
 				an.maxTS = prep.ts
 			}
 			ri.inDoubtCommitted++
+			// Write the resolved outcome back into our own log (buffered;
+			// flushed by the first post-recovery group commit) so the next
+			// recovery resolves locally even if the coordinator is gone.
+			// Losing it is harmless — resolution just runs again.
+			cr := wal.Record{Type: wal.RecCommit, TxnID: id, CommitTS: prep.ts}
+			_, _ = e.syslog.Append(&cr)
 		case TwoPCAbort:
 			ri.inDoubtAborted++
+			ar := wal.Record{Type: wal.RecAbort, TxnID: id}
+			_, _ = e.syslog.Append(&ar)
 		default:
 			ri.inDoubtUnresolved++
-			e.health.forceReadOnly(fmt.Errorf(
-				"core: in-doubt transaction %d (global %d): coordinator shard %d decision unrecoverable",
+			e.inDoubtPending = append(e.inDoubtPending, InDoubtTxn{
+				LocalID: id, GID: prep.gid, Coord: prep.coord, TS: prep.ts,
+			})
+			// Recoverable park, not the sticky poisoned-WAL verdict: the
+			// node-level resolver re-probes peers and the decision journal
+			// at runtime and exits the park in place (abort) or restarts
+			// the shard with the decision discoverable (commit).
+			e.health.parkReadOnly(fmt.Errorf(
+				"core: in-doubt transaction %d (global %d): coordinator shard %d decision unavailable",
 				id, prep.gid, prep.coord))
 		}
 	}
@@ -483,6 +506,24 @@ func (e *Engine) ensurePages(pid uint32) error {
 // needed. This phase stays serial: heap pages are allocated in log
 // order (ensurePages extends the device sequentially), so unlike the
 // IMRS replay the records do not commute per partition.
+//
+// Slot-state conflicts are reconciled, not fatal. The winner set can
+// contain durable losers: a transaction whose records (commit marker
+// included) reached the backend but whose sync failed, so the live
+// engine rolled it back in memory and kept running. Work committed
+// after the rollback assumed its effects were undone, and the two
+// histories can disagree about one physical slot — a delete of a slot
+// an earlier durable loser already emptied, an update of it, or an
+// insert onto a slot the loser's replayed effects left occupied.
+// Applying records in log order with last-writer-wins per slot
+// converges on a state consistent with what the surviving transactions
+// observed: a delete of a dead slot is already satisfied, an update of
+// a dead slot revives it with the newer image, an insert onto a live
+// slot overwrites it. Only errors.Is-matched slot-state conflicts are
+// forgiven — structural failures (unknown partition, out-of-range
+// slot, oversized record) still abort recovery — and each one is
+// counted in RecoverySnapshot.RedoConflicts so a recovery that had to
+// reconcile histories is visible.
 func (e *Engine) redoSyslogs(ckptLSN uint64, winners map[uint64]uint64) (int64, error) {
 	rdr, err := e.syslog.NewReader(ckptLSN)
 	if err != nil {
@@ -517,15 +558,39 @@ func (e *Engine) redoSyslogs(ckptLSN uint64, winners map[uint64]uint64) (int64, 
 			if err := e.ensurePages(uint32(rec.RID.Page())); err != nil {
 				return applied, err
 			}
-			if err := prt.heap.InsertAt(rec.RID, rec.After); err != nil {
+			err := prt.heap.InsertAt(rec.RID, rec.After)
+			if errors.Is(err, page.ErrSlotLive) {
+				// A durable loser's replayed insert holds the slot the
+				// live engine handed to this row; the later record is
+				// the state surviving transactions saw.
+				e.recovery.redoConflicts++
+				err = prt.heap.Update(rec.RID, rec.After)
+			}
+			if err != nil {
 				return applied, fmt.Errorf("core: redo insert %v: %w", rec.RID, err)
 			}
 		case wal.RecHeapUpdate:
-			if err := prt.heap.Update(rec.RID, rec.After); err != nil {
+			err := prt.heap.Update(rec.RID, rec.After)
+			if errors.Is(err, page.ErrSlotDead) {
+				// A durable loser's delete emptied the slot; the updater
+				// ran against the rolled-back (live) row, so revive it
+				// with the updater's image.
+				e.recovery.redoConflicts++
+				err = prt.heap.InsertAt(rec.RID, rec.After)
+			}
+			if err != nil {
 				return applied, fmt.Errorf("core: redo update %v: %w", rec.RID, err)
 			}
 		case wal.RecHeapDelete:
-			if err := prt.heap.Delete(rec.RID); err != nil {
+			err := prt.heap.Delete(rec.RID)
+			if errors.Is(err, page.ErrSlotDead) {
+				// Double delete: a durable loser already emptied the
+				// slot its rollback had restored live. The intent — row
+				// gone — already holds.
+				e.recovery.redoConflicts++
+				err = nil
+			}
+			if err != nil {
 				return applied, fmt.Errorf("core: redo delete %v: %w", rec.RID, err)
 			}
 		}

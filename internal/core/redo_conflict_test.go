@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/row"
+	"repro/internal/wal"
+)
+
+// TestRedoToleratesTornCheckpoint: Checkpoint flushes the buffer pool
+// before its RecCheckpoint record turns durable, and it is allowed to
+// fail in between (the health FSM just records the failure). A crash
+// after such a torn checkpoint leaves the on-disk pages AHEAD of the
+// durable checkpoint LSN, so the redo pass re-applies records whose
+// effects are already in the page image. Strict physical redo then
+// explodes on the non-idempotent ops — deleting an already-dead slot,
+// updating a dead slot, inserting onto a live one — even though
+// replaying the records in log order with per-slot last-writer-wins
+// converges on exactly the pre-crash committed state. This is the
+// "core: redo delete ...: slot is dead" failure the chaos soak caught
+// (transient device/WAL budgets concentrating on the cycle-end
+// checkpoint); redo must reconcile these conflicts, count them, and
+// recover every committed row.
+func TestRedoToleratesTornCheckpoint(t *testing.T) {
+	st := newSharedStorage()
+	faulty := &wal.FaultyBackend{Inner: st.sys}
+	cfg := crashConfig(st)
+	cfg.SysLogBackend = faulty
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	createItems(t, e)
+	// Pin the table out of the IMRS: every row lives on heap pages and
+	// every DML op logs a RecHeap* record in syslogs.
+	if err := e.PinTable("items", false); err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin()
+	for i := int64(1); i <= 8; i++ {
+		if err := tx.Insert("items", itemRow(i, "r", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCommit(t, tx)
+	// Clean base checkpoint: the page image and ckptLSN agree.
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Post-base traffic, each op a committed record past the base
+	// checkpoint. Against the ahead-of-checkpoint image the replay will
+	// hit, in order: an insert onto a live slot, an in-place update
+	// (idempotent, no conflict), an update of a dead slot, and deletes
+	// of dead slots — the exact shape the soak failure had.
+	commit1 := func(fn func(tx *Txn) error) {
+		t.Helper()
+		tx := e.Begin()
+		if err := fn(tx); err != nil {
+			t.Fatal(err)
+		}
+		mustCommit(t, tx)
+	}
+	commit1(func(tx *Txn) error { return tx.Insert("items", itemRow(9, "r", 9)) })
+	setQty := func(q int64) func(row.Row) (row.Row, error) {
+		return func(r row.Row) (row.Row, error) { r[2] = row.Int64(q); return r, nil }
+	}
+	commit1(func(tx *Txn) error { _, err := tx.Update("items", pk(3), setQty(333)); return err })
+	commit1(func(tx *Txn) error { _, err := tx.Update("items", pk(4), setQty(444)); return err })
+	commit1(func(tx *Txn) error { _, err := tx.Delete("items", pk(4)); return err })
+	commit1(func(tx *Txn) error { _, err := tx.Delete("items", pk(1)); return err })
+	commit1(func(tx *Txn) error { _, err := tx.Delete("items", pk(2)); return err })
+
+	// Torn checkpoint: the body flushes the pool (pages now reflect all
+	// of the above), then the RecCheckpoint flush dies on injected
+	// transient append faults until both the WAL-level retrier and the
+	// checkpoint-level retrier give up. Failed appends write nothing,
+	// so the durable log keeps the OLD checkpoint record.
+	faulty.AddTransientAppendFaults(100)
+	if err := e.Checkpoint(); err == nil {
+		t.Fatal("checkpoint succeeded through the injected append faults")
+	}
+	_ = e.Halt() // crash-exact stop
+
+	// Reopen over the same device and the durable log contents.
+	st2 := &sharedStorage{dev: st.dev, sys: st.sys.Clone(), ims: st.ims.Clone()}
+	e2, err := Open(crashConfig(st2))
+	if err != nil {
+		if strings.Contains(err.Error(), "slot") {
+			t.Fatalf("recovery died on a slot-state redo conflict: %v", err)
+		}
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer e2.Close()
+
+	rc := e2.Stats().Recovery.RedoConflicts
+	if rc != 4 {
+		t.Errorf("RedoConflicts = %d, want 4 (insert-on-live, update-on-dead, 2× delete-on-dead)", rc)
+	}
+	tx2 := e2.Begin()
+	defer tx2.Abort()
+	want := map[int64]int64{3: 333, 5: 5, 6: 6, 7: 7, 8: 8, 9: 9}
+	for id, qty := range want {
+		r, ok, err := tx2.Get("items", pk(id))
+		if err != nil || !ok {
+			t.Fatalf("committed row %d lost after torn-checkpoint recovery (ok=%v err=%v)", id, ok, err)
+		}
+		if got := r[2].Int(); got != qty {
+			t.Errorf("row %d qty = %d, want %d", id, got, qty)
+		}
+	}
+	for _, id := range []int64{1, 2, 4} {
+		if _, ok, err := tx2.Get("items", pk(id)); err != nil || ok {
+			t.Fatalf("deleted row %d after recovery: ok=%v err=%v", id, ok, err)
+		}
+	}
+}

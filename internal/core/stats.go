@@ -104,7 +104,6 @@ type ColdStoreSnapshot struct {
 	Unfreezes       int64 // updates that pulled a frozen row back out
 	RawBytes        int64 // pre-compression footprint of published segments
 	CompressedBytes int64 // on-blob footprint of published segments
-	HeapDropFails   int64 // best-effort stale heap drops that failed
 }
 
 // Ratio returns compressed/raw across all published segments (0 when
@@ -170,6 +169,10 @@ type RecoverySnapshot struct {
 
 	SyslogRecords    int64 // syslogs records scanned by analysis
 	IMRSRecords      int64 // committed IMRS operations replayed
+	RedoConflicts    int64 // physical slot conflicts reconciled by redo
+	//                        (a failed-sync commit's records survived on
+	//                        disk while the live engine rolled it back;
+	//                        later committed work disagreed on the slot)
 	RowsIndexed      int64 // rows fed to the index rebuild
 	EntriesEnqueued  int64 // IMRS entries re-enqueued on pack queues
 	EntriesReclaimed int64 // dead recovered entries reclaimed (leak fix)
@@ -291,6 +294,7 @@ func (e *Engine) recoverySnapshot() RecoverySnapshot {
 		Total:            ri.total,
 		SyslogRecords:    ri.syslogRecords,
 		IMRSRecords:      ri.imrsRecords,
+		RedoConflicts:    ri.redoConflicts,
 		RowsIndexed:      ri.rowsIndexed.Load(),
 		EntriesEnqueued:  ri.entriesEnqueued,
 		EntriesReclaimed: ri.entriesReclaimed.Load(),
@@ -356,7 +360,6 @@ func (e *Engine) Stats() Snapshot {
 		Unfreezes:       e.unfreezes.Load(),
 		RawBytes:        cs.RawBytes,
 		CompressedBytes: cs.CompressedBytes,
-		HeapDropFails:   e.coldHeapDropFails.Load(),
 	}
 	s.Health = e.Health()
 	s.CheckpointFailures = e.ckptFailed.Load()

@@ -220,7 +220,7 @@ func (e *Engine) LogDecision(gid uint64, commit bool) error {
 	if commit {
 		aux = 1
 	}
-	rec := wal.Record{Type: wal.RecDecide, TxnID: gid, RID: rid.RID(gid), CommitTS: e.clock.Now(), Aux: aux}
+	rec := wal.Record{Type: wal.RecDecide, TxnID: gid, Table: e.cfg.ShardID, RID: rid.RID(gid), CommitTS: e.clock.Now(), Aux: aux}
 	lsn, err := e.syslog.Append(&rec)
 	if err == nil {
 		err = e.syslog.WaitDurable(lsn)
@@ -234,5 +234,112 @@ func (e *Engine) LogDecision(gid uint64, commit bool) error {
 		return err
 	}
 	e.twopc.decisions.Add(1)
+	e.noteDecision(e.cfg.ShardID, gid, commit)
+	return nil
+}
+
+// decisionKey scopes a global transaction id by the coordinator shard
+// that issued it: gids are the coordinator's local transaction ids and
+// collide across coordinators.
+type decisionKey struct {
+	coord uint32
+	gid   uint64
+}
+
+// noteDecision indexes one known decision in memory.
+func (e *Engine) noteDecision(coord uint32, gid uint64, commit bool) {
+	e.decMu.Lock()
+	if e.decIndex == nil {
+		e.decIndex = make(map[decisionKey]bool)
+	}
+	e.decIndex[decisionKey{coord, gid}] = commit
+	e.decMu.Unlock()
+}
+
+// DecisionFor reports this engine's durable knowledge of the 2PC
+// outcome for (coord, gid): decisions it logged as the coordinator and
+// decisions peers wrote back. known=false means this engine has no
+// record — NOT presumed abort; only the coordinator's complete log can
+// presume.
+func (e *Engine) DecisionFor(gid uint64, coord uint32) (commit, known bool) {
+	e.decMu.RLock()
+	commit, known = e.decIndex[decisionKey{coord, gid}]
+	e.decMu.RUnlock()
+	return commit, known
+}
+
+// NoteDecision records a decision learned from the coordinator (phase-3
+// write-back or the node-level resolver) in this engine's own syslogs,
+// so the next recovery resolves the outcome locally without reaching
+// the coordinator. The append is best-effort and rides the next group
+// commit — durability is an optimization here, the coordinator's record
+// stays authoritative — and is skipped entirely when the engine cannot
+// write. The in-memory index is updated regardless so runtime probes
+// see it.
+func (e *Engine) NoteDecision(gid uint64, coord uint32, commit bool) {
+	e.noteDecision(coord, gid, commit)
+	if e.health.writable() != nil {
+		return
+	}
+	aux := uint8(0)
+	if commit {
+		aux = 1
+	}
+	rec := wal.Record{Type: wal.RecDecide, TxnID: gid, Table: coord, RID: rid.RID(gid), Aux: aux}
+	_, _ = e.syslog.Append(&rec)
+}
+
+// InDoubtTxn is one prepared transaction recovery could not resolve:
+// the local participant transaction, the global id, and the coordinator
+// shard whose decision is missing.
+type InDoubtTxn struct {
+	LocalID uint64 // participant's local transaction id
+	GID     uint64 // global transaction id (coordinator's local id)
+	Coord   uint32 // coordinator shard index
+	TS      uint64 // reserved commit timestamp from the prepare
+}
+
+// UnresolvedInDoubt returns the in-doubt transactions that parked this
+// engine ReadOnly at recovery, empty once resolved (or if recovery
+// resolved everything).
+func (e *Engine) UnresolvedInDoubt() []InDoubtTxn {
+	e.inDoubtMu.Lock()
+	defer e.inDoubtMu.Unlock()
+	return append([]InDoubtTxn(nil), e.inDoubtPending...)
+}
+
+// ResolveInDoubtAborted resolves every pending in-doubt transaction as
+// aborted — the caller has established that no coordinator decision
+// exists (presumed abort against a live or recovered coordinator log) —
+// and exits the recoverable ReadOnly park in place. Recovery already
+// replayed these transactions as losers, so no data movement is needed;
+// durable abort markers are logged so the next recovery does not
+// re-park, then the health FSM transitions out of ReadOnly.
+func (e *Engine) ResolveInDoubtAborted() error {
+	e.inDoubtMu.Lock()
+	defer e.inDoubtMu.Unlock()
+	if len(e.inDoubtPending) == 0 {
+		return fmt.Errorf("core: no unresolved in-doubt transactions")
+	}
+	if err := e.syslog.Poisoned(); err != nil {
+		return fmt.Errorf("core: cannot resolve in-doubt transactions: %w", err)
+	}
+	var lsn uint64
+	for _, p := range e.inDoubtPending {
+		ar := wal.Record{Type: wal.RecAbort, TxnID: p.LocalID}
+		l, err := e.syslog.Append(&ar)
+		if err != nil {
+			return fmt.Errorf("core: abort marker for in-doubt txn %d: %w", p.LocalID, err)
+		}
+		lsn = l
+	}
+	if err := e.syslog.Flush(lsn); err != nil {
+		return fmt.Errorf("core: flush in-doubt abort markers: %w", err)
+	}
+	n := len(e.inDoubtPending)
+	if err := e.health.exitReadOnly(fmt.Sprintf("%d in-doubt transaction(s) resolved abort", n)); err != nil {
+		return err
+	}
+	e.inDoubtPending = nil
 	return nil
 }

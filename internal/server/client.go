@@ -2,10 +2,34 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"net"
 
+	"repro/internal/fault"
 	"repro/internal/sql"
 )
+
+// RetryableError marks a server-reported failure whose retryable bit
+// was set on the wire: the statement had no durable effect and the
+// condition (capacity, deadline, a shard mid-recovery, drain) is
+// expected to clear. Unwrap reaches the typed sentinel; FaultTransient
+// plugs it straight into internal/fault retriers.
+type RetryableError struct{ Err error }
+
+// Error implements error.
+func (e *RetryableError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the reconstructed server error.
+func (e *RetryableError) Unwrap() error { return e.Err }
+
+// FaultTransient classifies the error as transient for internal/fault.
+func (e *RetryableError) FaultTransient() bool { return true }
+
+// IsRetryable reports whether err carries the server's retryable bit.
+func IsRetryable(err error) bool {
+	var r *RetryableError
+	return errors.As(err, &r)
+}
 
 // Client is a wire-protocol client: one TCP connection, one server-side
 // session. It is not safe for concurrent use — like a session, each
@@ -51,6 +75,27 @@ func (c *Client) Exec(stmt string) (*sql.Result, error) {
 	}
 	c.buf = resp
 	return decodeResponse(resp)
+}
+
+// ExecRetry runs Exec, backing off and retrying while the server
+// reports retryable failures. Transport errors (broken connection,
+// short read) are permanent — the stream state is unknown, so the
+// caller must redial — and so is every error without the retryable
+// bit. The zero policy takes the fault-package defaults; statements
+// retried this way must be safe to re-issue (the retryable classes all
+// guarantee the failed attempt had no durable effect).
+func (c *Client) ExecRetry(stmt string, p fault.Policy) (*sql.Result, error) {
+	r := fault.NewRetrier(p)
+	var res *sql.Result
+	err := r.Do(func() error {
+		var err error
+		res, err = c.Exec(stmt)
+		return err // *RetryableError already classifies as transient
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // Close closes the connection; the server aborts any open transaction.

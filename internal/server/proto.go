@@ -9,8 +9,11 @@
 // response payload starts with a tag byte:
 //
 //	'K' ok      — uvarint affected, then the message string
-//	'R' rows    — uvarint ncols, col names, uvarint nrows, values
-//	'E' error   — 1 code byte, then the error string
+//	'R' rows    — uvarint ncols, col names, uvarint nrows, values,
+//	              then (optionally) uvarint warning length + warning
+//	'E' error   — 1 code byte, then the error string; the code's high
+//	              bit (flagRetryable) marks failures the client may
+//	              retry after backoff
 //
 // Values are tagged: 'n' NULL; 'i' + 8-byte int; 'f' + 8-byte IEEE-754
 // bits; 's'/'b' + uvarint length + bytes (string / raw bytes).
@@ -49,11 +52,39 @@ const (
 	codeTxnOpen
 	codeDuplicateKey
 	codeShutdown
+	codeDeadline
+	codeOverCapacity
+	codeReadOnly
+	codeShardDown
+	codePartialResult
+	codeFrameTooLarge
+	codeInternal
 )
+
+// flagRetryable is OR'd onto the code byte when the failure is safe to
+// retry after backoff: the statement had no durable effect and the
+// condition is expected to clear (capacity, deadline, a shard mid-
+// recovery, a drain the client can redirect away from).
+const flagRetryable byte = 0x80
 
 // ErrShutdown reports a statement rejected because the server is
 // draining.
 var ErrShutdown = errors.New("server: shutting down")
+
+// ErrOverCapacity reports a connection rejected at accept because the
+// server is at its configured connection limit. Retryable: slots free
+// up as other sessions finish.
+var ErrOverCapacity = errors.New("server: too many connections")
+
+// ErrFrameTooLarge reports a protocol frame above MaxFrame. The
+// connection survives: the oversized payload is drained (inbound) or
+// replaced by this error (outbound), and framing stays aligned.
+var ErrFrameTooLarge = errors.New("server: frame exceeds size limit")
+
+// ErrInternal reports a statement that panicked inside the server. The
+// session was reset (any open transaction aborted); the connection
+// survives.
+var ErrInternal = errors.New("server: internal error")
 
 func errCode(err error) byte {
 	switch {
@@ -67,26 +98,80 @@ func errCode(err error) byte {
 		return codeDuplicateKey
 	case errors.Is(err, ErrShutdown):
 		return codeShutdown
+	case errors.Is(err, sql.ErrDeadlineExceeded):
+		return codeDeadline
+	case errors.Is(err, ErrOverCapacity):
+		return codeOverCapacity
+	case errors.Is(err, btrim.ErrPartialResult):
+		return codePartialResult
+	case errors.Is(err, btrim.ErrShardDown):
+		return codeShardDown
+	case errors.Is(err, btrim.ErrReadOnly):
+		return codeReadOnly
+	case errors.Is(err, ErrFrameTooLarge):
+		return codeFrameTooLarge
+	case errors.Is(err, ErrInternal):
+		return codeInternal
 	}
 	return codeGeneric
 }
 
+// retryableErr classifies server-side failures for the wire's retryable
+// bit. Deadline, capacity, drain, partial results, and down or
+// recovering shards clear on their own; a ReadOnly rejection is
+// retryable only for the recoverable park (in-doubt resolution
+// pending), never for the sticky poisoned-WAL freeze.
+func retryableErr(err error) bool {
+	switch {
+	case errors.Is(err, sql.ErrDeadlineExceeded),
+		errors.Is(err, ErrOverCapacity),
+		errors.Is(err, ErrShutdown),
+		errors.Is(err, btrim.ErrPartialResult),
+		errors.Is(err, btrim.ErrShardDown):
+		return true
+	}
+	return btrim.IsRecoverableReadOnly(err)
+}
+
 // codeErr rebuilds a client-side error that wraps the matching sentinel
-// so errors.Is works across the wire.
+// so errors.Is works across the wire. A set retryable bit additionally
+// wraps the result in *RetryableError.
 func codeErr(code byte, msg string) error {
+	retry := code&flagRetryable != 0
+	code &^= flagRetryable
+	var err error
 	switch code {
 	case codeTxnAborted:
-		return wrapSentinel(msg, sql.ErrTxnAborted)
+		err = wrapSentinel(msg, sql.ErrTxnAborted)
 	case codeNoTxn:
-		return wrapSentinel(msg, sql.ErrNoTxn)
+		err = wrapSentinel(msg, sql.ErrNoTxn)
 	case codeTxnOpen:
-		return wrapSentinel(msg, sql.ErrTxnOpen)
+		err = wrapSentinel(msg, sql.ErrTxnOpen)
 	case codeDuplicateKey:
-		return wrapSentinel(msg, btrim.ErrDuplicateKey)
+		err = wrapSentinel(msg, btrim.ErrDuplicateKey)
 	case codeShutdown:
-		return wrapSentinel(msg, ErrShutdown)
+		err = wrapSentinel(msg, ErrShutdown)
+	case codeDeadline:
+		err = wrapSentinel(msg, sql.ErrDeadlineExceeded)
+	case codeOverCapacity:
+		err = wrapSentinel(msg, ErrOverCapacity)
+	case codeReadOnly:
+		err = wrapSentinel(msg, btrim.ErrReadOnly)
+	case codeShardDown:
+		err = wrapSentinel(msg, btrim.ErrShardDown)
+	case codePartialResult:
+		err = wrapSentinel(msg, btrim.ErrPartialResult)
+	case codeFrameTooLarge:
+		err = wrapSentinel(msg, ErrFrameTooLarge)
+	case codeInternal:
+		err = wrapSentinel(msg, ErrInternal)
+	default:
+		err = errors.New(msg)
 	}
-	return errors.New(msg)
+	if retry {
+		err = &RetryableError{Err: err}
+	}
+	return err
 }
 
 // wrapSentinel attaches the sentinel without repeating its text when
@@ -123,7 +208,14 @@ func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit", n)
+		// Drain the oversized payload so the stream stays frame-aligned:
+		// the caller can answer with a typed error and keep the
+		// connection, instead of desyncing and misparsing payload bytes
+		// as the next frame header.
+		if _, err := io.CopyN(io.Discard, r, int64(n)); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds %d byte limit: %w", n, MaxFrame, ErrFrameTooLarge)
 	}
 	if uint32(cap(buf)) < n {
 		buf = make([]byte, n)
@@ -195,7 +287,11 @@ func decodeValue(b []byte) (btrim.Value, []byte, error) {
 func encodeResponse(buf []byte, res *sql.Result, err error) []byte {
 	buf = buf[:0]
 	if err != nil {
-		buf = append(buf, tagErr, errCode(err))
+		code := errCode(err)
+		if retryableErr(err) {
+			code |= flagRetryable
+		}
+		buf = append(buf, tagErr, code)
 		buf = append(buf, err.Error()...)
 		return buf
 	}
@@ -216,6 +312,10 @@ func encodeResponse(buf []byte, res *sql.Result, err error) []byte {
 		for _, v := range r {
 			buf = appendValue(buf, v)
 		}
+	}
+	if res.Warning != "" {
+		buf = binary.AppendUvarint(buf, uint64(len(res.Warning)))
+		buf = append(buf, res.Warning...)
 	}
 	return buf
 }
@@ -271,6 +371,13 @@ func decodeResponse(b []byte) (*sql.Result, error) {
 				r[j] = v
 			}
 			res.Rows = append(res.Rows, r)
+		}
+		// Optional trailing warning (absent in frames from older servers).
+		if len(b) > 0 {
+			n, sz := binary.Uvarint(b)
+			if sz > 0 && uint64(len(b)-sz) >= n {
+				res.Warning = string(b[sz : sz+int(n)])
+			}
 		}
 		return res, nil
 	default:

@@ -3,14 +3,34 @@ package server
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/sql"
 )
+
+// Config bounds a server's resource use. The zero value imposes no
+// limits (the pre-existing behavior).
+type Config struct {
+	// MaxConns caps concurrent connections; further connections are
+	// rejected at accept with a single retryable over-capacity error
+	// frame. 0 = unlimited.
+	MaxConns int
+	// StatementTimeout bounds each statement's execution; an expired
+	// statement fails with sql.ErrDeadlineExceeded (retryable on the
+	// wire) and, inside an explicit transaction, aborts it like any
+	// other statement failure. 0 = none.
+	StatementTimeout time.Duration
+	// IdleTimeout reaps connections that send nothing for this long;
+	// any open transaction is aborted, exactly as on client hangup.
+	// 0 = never.
+	IdleTimeout time.Duration
+}
 
 // Server serves the wire protocol over one engine: one goroutine, one
 // connection, one sql.Session each, so every client gets its own
@@ -18,6 +38,7 @@ import (
 // isolation and group-commit pipelines.
 type Server struct {
 	eng sql.Engine
+	cfg Config
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -29,13 +50,17 @@ type Server struct {
 
 	// Aggregate counters, rolled up into Stats alongside the engine's
 	// own statistics.
-	totalSessions atomic.Int64
-	statements    atomic.Int64
-	rowsReturned  atomic.Int64
-	commits       atomic.Int64
-	rollbacks     atomic.Int64
-	errors        atomic.Int64
-	drainAborts   atomic.Int64
+	totalSessions   atomic.Int64
+	statements      atomic.Int64
+	rowsReturned    atomic.Int64
+	commits         atomic.Int64
+	rollbacks       atomic.Int64
+	errors          atomic.Int64
+	drainAborts     atomic.Int64
+	overCapacity    atomic.Int64
+	idleReaps       atomic.Int64
+	panicRecoveries atomic.Int64
+	oversizedFrames atomic.Int64
 }
 
 type session struct {
@@ -47,9 +72,13 @@ type session struct {
 	inTxn  atomic.Bool
 }
 
-// New builds a server over eng (sql.WrapDB or sql.WrapSharded).
-func New(eng sql.Engine) *Server {
-	return &Server{eng: eng, sessions: make(map[int64]*session)}
+// New builds an unlimited server over eng (sql.WrapDB or
+// sql.WrapSharded).
+func New(eng sql.Engine) *Server { return NewWithConfig(eng, Config{}) }
+
+// NewWithConfig builds a server with admission control and deadlines.
+func NewWithConfig(eng sql.Engine, cfg Config) *Server {
+	return &Server{eng: eng, cfg: cfg, sessions: make(map[int64]*session)}
 }
 
 // Serve accepts connections on ln until Shutdown. It returns nil after
@@ -78,6 +107,15 @@ func (s *Server) Serve(ln net.Listener) error {
 			s.mu.Unlock()
 			conn.Close()
 			return nil
+		}
+		if s.cfg.MaxConns > 0 && len(s.sessions) >= s.cfg.MaxConns {
+			s.mu.Unlock()
+			s.overCapacity.Add(1)
+			// Answer the client's first statement with a retryable
+			// over-capacity error, then close. Off the accept loop so a
+			// slow or absent reader cannot stall admission.
+			go rejectOverCapacity(conn)
+			continue
 		}
 		id := s.nextID.Add(1)
 		c := &session{id: id, remote: conn.RemoteAddr().String(), conn: conn, sess: sql.NewSession(s.eng)}
@@ -108,10 +146,33 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
+// rejectOverCapacity answers an over-limit connection's first
+// statement with one retryable error frame and closes it, bounded by a
+// deadline so a dead peer cannot pin the goroutine. The request is read
+// before answering: responding first and closing would race the
+// client's write against the close and could turn the typed error into
+// a connection reset.
+func rejectOverCapacity(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := readFrame(bufio.NewReader(conn), nil); err != nil && !errors.Is(err, ErrFrameTooLarge) {
+		return
+	}
+	bw := bufio.NewWriter(conn)
+	if err := writeFrame(bw, encodeResponse(nil, nil, ErrOverCapacity)); err == nil {
+		bw.Flush()
+	}
+}
+
 // handle runs one connection's request loop.
 func (s *Server) handle(c *session) {
 	defer s.wg.Done()
 	defer func() {
+		// A handler panic must not take the whole server down: recover,
+		// count it, and fall through to the connection teardown below.
+		if r := recover(); r != nil {
+			s.panicRecoveries.Add(1)
+		}
 		// A connection that ends — client hangup or server drain — must
 		// leave no transaction behind: Close aborts any open block, so
 		// uncommitted work vanishes atomically.
@@ -129,14 +190,38 @@ func (s *Server) handle(c *session) {
 	bw := bufio.NewWriterSize(c.conn, 64<<10)
 	var inBuf, outBuf []byte
 	for {
-		req, err := readFrame(br, inBuf)
-		if err != nil {
-			return // EOF, client reset, or drain closing the conn
+		if s.cfg.IdleTimeout > 0 {
+			c.conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
 		}
-		inBuf = req
+		req, err := readFrame(br, inBuf)
+		switch {
+		case err == nil:
+			inBuf = req
+		case errors.Is(err, ErrFrameTooLarge):
+			// The oversized payload was drained; answer with a typed
+			// error and keep serving this connection.
+			s.oversizedFrames.Add(1)
+			req = nil
+		default:
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				s.idleReaps.Add(1)
+			}
+			return // EOF, client reset, idle reap, or drain closing the conn
+		}
 
-		res, execErr := s.execute(c, string(req))
+		var res *sql.Result
+		execErr := err
+		if execErr == nil {
+			res, execErr = s.execute(c, string(req))
+		}
 		outBuf = encodeResponse(outBuf, res, execErr)
+		if len(outBuf) > MaxFrame {
+			// A result too large to frame becomes a clean error instead
+			// of a write-side failure that kills the connection.
+			s.oversizedFrames.Add(1)
+			outBuf = encodeResponse(outBuf, nil, fmt.Errorf("server: result of %d bytes: %w", len(outBuf), ErrFrameTooLarge))
+		}
 		if err := writeFrame(bw, outBuf); err != nil {
 			return
 		}
@@ -148,10 +233,26 @@ func (s *Server) handle(c *session) {
 
 // execute runs one statement for a session and maintains the rollup
 // counters.
-func (s *Server) execute(c *session, stmtText string) (*sql.Result, error) {
+func (s *Server) execute(c *session, stmtText string) (res *sql.Result, err error) {
 	s.statements.Add(1)
 	c.stmts.Add(1)
-	res, err := c.sess.Exec(stmtText)
+	// A statement that panics is isolated to this session: the panic is
+	// converted into a typed internal error, and the session is reset
+	// (open transaction aborted) because its state machine can no longer
+	// be trusted mid-statement.
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicRecoveries.Add(1)
+			s.errors.Add(1)
+			c.sess.Reset()
+			c.inTxn.Store(false)
+			res, err = nil, fmt.Errorf("%w: statement panicked: %v", ErrInternal, r)
+		}
+	}()
+	if s.cfg.StatementTimeout > 0 {
+		c.sess.SetStatementDeadline(time.Now().Add(s.cfg.StatementTimeout))
+	}
+	res, err = c.sess.Exec(stmtText)
 	c.inTxn.Store(c.sess.InTxn())
 	if err != nil {
 		s.errors.Add(1)
@@ -210,7 +311,14 @@ type Stats struct {
 	Rollbacks      int64
 	Errors         int64
 	DrainAborts    int64 // sessions whose open txn was aborted at disconnect
-	Sessions       []SessionStats
+	// Robustness counters: connections rejected at the MaxConns limit,
+	// idle connections reaped, statement panics converted to typed
+	// errors, and oversized frames survived (both directions).
+	OverCapacityRejects int64
+	IdleReaps           int64
+	PanicRecoveries     int64
+	OversizedFrames     int64
+	Sessions            []SessionStats
 }
 
 // SessionStats describes one live session.
@@ -225,14 +333,18 @@ type SessionStats struct {
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	st := Stats{
-		ActiveSessions: len(s.sessions),
-		TotalSessions:  s.totalSessions.Load(),
-		Statements:     s.statements.Load(),
-		RowsReturned:   s.rowsReturned.Load(),
-		Commits:        s.commits.Load(),
-		Rollbacks:      s.rollbacks.Load(),
-		Errors:         s.errors.Load(),
-		DrainAborts:    s.drainAborts.Load(),
+		ActiveSessions:      len(s.sessions),
+		TotalSessions:       s.totalSessions.Load(),
+		Statements:          s.statements.Load(),
+		RowsReturned:        s.rowsReturned.Load(),
+		Commits:             s.commits.Load(),
+		Rollbacks:           s.rollbacks.Load(),
+		Errors:              s.errors.Load(),
+		DrainAborts:         s.drainAborts.Load(),
+		OverCapacityRejects: s.overCapacity.Load(),
+		IdleReaps:           s.idleReaps.Load(),
+		PanicRecoveries:     s.panicRecoveries.Load(),
+		OversizedFrames:     s.oversizedFrames.Load(),
 	}
 	for _, c := range s.sessions {
 		st.Sessions = append(st.Sessions, SessionStats{

@@ -1,0 +1,57 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// ErrPartialResult reports a fan-out read that skipped one or more
+// unavailable shards. Matched by errors.Is against the
+// *PartialResultError the fan-out paths actually return.
+var ErrPartialResult = errors.New("shard: partial result, one or more shards unavailable")
+
+// PartialResultError is the typed partial-result report: the fan-out
+// completed on every healthy shard and the caller holds those rows, but
+// the shards listed in Down contributed nothing (or only a prefix, if a
+// shard halted mid-scan). Callers that can tolerate missing rows (a
+// dashboard, a best-effort SELECT) use the rows and surface the
+// warning; callers that cannot treat it as an error.
+type PartialResultError struct {
+	Down []int   // shard indexes that were skipped
+	Errs []error // the unavailability error per down shard
+}
+
+// Error implements error.
+func (e *PartialResultError) Error() string {
+	return fmt.Sprintf("shard: partial result, shard(s) %v unavailable: %v", e.Down, errors.Join(e.Errs...))
+}
+
+// Is matches the ErrPartialResult sentinel.
+func (e *PartialResultError) Is(target error) bool { return target == ErrPartialResult }
+
+// Unwrap exposes the per-shard causes.
+func (e *PartialResultError) Unwrap() []error { return e.Errs }
+
+// add accumulates one down shard (allocating on first use — the happy
+// path carries a nil pointer and zero cost).
+func (e *PartialResultError) add(shard int, err error) *PartialResultError {
+	if e == nil {
+		e = &PartialResultError{}
+	}
+	e.Down = append(e.Down, shard)
+	e.Errs = append(e.Errs, fmt.Errorf("shard %d: %w", shard, err))
+	return e
+}
+
+// isUnavailable classifies errors that mean "this shard cannot serve
+// right now" — the class a fan-out read may route around. Semantic
+// errors (no such table, bad key) and transaction errors are not in it:
+// those must fail the whole operation.
+func isUnavailable(err error) bool {
+	return errors.Is(err, ErrShardDown) ||
+		errors.Is(err, core.ErrEngineClosed) ||
+		errors.Is(err, wal.ErrHalted)
+}

@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rid"
+	"repro/internal/wal"
+)
+
+// decKey scopes a global transaction id by the coordinator shard that
+// issued it: gids are coordinator-local transaction ids and collide
+// across coordinators.
+type decKey struct {
+	coord uint32
+	gid   uint64
+}
+
+func outcomeOf(commit bool) core.TwoPCOutcome {
+	if commit {
+		return core.TwoPCCommit
+	}
+	return core.TwoPCAbort
+}
+
+// decisionJournal is the node-level replica of coordinator decisions:
+// every successful LogDecision is appended here (durably, when the
+// node has a durable home for it) before phase 3 runs. It exists for
+// exactly one failure: the coordinator's log is lost or unreadable
+// while a participant holds an in-doubt prepare. The coordinator's own
+// RecDecide stays authoritative; the journal is a second, independent
+// copy on different media.
+type decisionJournal struct {
+	mu    sync.Mutex
+	m     map[decKey]bool
+	log   *wal.Log // nil when the journal could not open a log (pure map mode)
+	owned bool     // whether close() should release the backend
+}
+
+// openJournal opens (or recovers) the decision journal for a node
+// configuration. A corrupt or unreadable journal is not fatal — the
+// journal is a replica, and losing it only degrades resolution back to
+// the coordinator-log path — but a journal that opens must load
+// completely.
+func openJournal(cfg *Config) (*decisionJournal, error) {
+	j := &decisionJournal{m: make(map[decKey]bool)}
+	var b wal.Backend
+	switch {
+	case cfg.JournalBackend != nil:
+		b = cfg.JournalBackend
+	case cfg.Dir != "":
+		fb, err := wal.OpenFileBackend(filepath.Join(cfg.Dir, "decisions.log"))
+		if err != nil {
+			return nil, fmt.Errorf("shard: decision journal: %w", err)
+		}
+		b = fb
+		j.owned = true
+	default:
+		// Pure in-memory node: the journal still runs as an in-process
+		// replica (it survives shard restarts, not node restarts).
+		b = wal.NewMemBackend()
+	}
+	l, err := wal.NewLog(b)
+	if err != nil {
+		return nil, fmt.Errorf("shard: decision journal: %w", err)
+	}
+	if _, err := l.RepairTail(); err != nil {
+		return nil, fmt.Errorf("shard: decision journal repair: %w", err)
+	}
+	rdr, err := l.NewReader(0)
+	if err != nil {
+		return nil, fmt.Errorf("shard: decision journal read: %w", err)
+	}
+	for {
+		rec, err := rdr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("shard: decision journal scan: %w", err)
+		}
+		if rec.Type == wal.RecDecide {
+			j.m[decKey{coord: rec.Table, gid: uint64(rec.RID)}] = rec.Aux == 1
+		}
+	}
+	j.log = l
+	return j, nil
+}
+
+// lookup reports the journaled outcome for (coord, gid).
+func (j *decisionJournal) lookup(coord uint32, gid uint64) (commit, known bool) {
+	j.mu.Lock()
+	commit, known = j.m[decKey{coord: coord, gid: gid}]
+	j.mu.Unlock()
+	return commit, known
+}
+
+// record journals one decision durably (synchronous flush: the journal
+// is only worth anything if it survives the crash that loses the
+// coordinator). Re-recording a known decision is a no-op.
+func (j *decisionJournal) record(coord uint32, gid uint64, commit bool) error {
+	k := decKey{coord: coord, gid: gid}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.m[k]; ok {
+		return nil
+	}
+	j.m[k] = commit
+	if j.log == nil {
+		return nil
+	}
+	aux := uint8(0)
+	if commit {
+		aux = 1
+	}
+	rec := wal.Record{Type: wal.RecDecide, TxnID: gid, Table: coord, RID: rid.RID(gid), Aux: aux}
+	lsn, err := j.log.Append(&rec)
+	if err != nil {
+		return err
+	}
+	return j.log.Flush(lsn)
+}
+
+// close releases the journal's backing file when the node owns it.
+// Caller-supplied backends are left open — tests reuse them across
+// node incarnations.
+func (j *decisionJournal) close() {
+	if j.log == nil {
+		return
+	}
+	if j.owned {
+		_ = j.log.Close()
+	}
+}

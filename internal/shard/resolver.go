@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// The background in-doubt resolver. A shard whose recovery found an
+// in-doubt prepared transaction with no discoverable decision parks
+// itself in recoverable ReadOnly (core.resolveInDoubt). Before this
+// resolver existed that park was terminal — only a process restart
+// with the coordinator's log readable could clear it. Now the node
+// re-probes at runtime: the decision journal, live peer engines'
+// decision indexes, and presumed abort against a live coordinator's
+// complete index. Outcomes:
+//
+//   - every pending transaction resolves abort → the guess recovery
+//     already replayed (losers) was right; the shard logs durable abort
+//     markers and exits ReadOnly in place, no restart;
+//   - any pending transaction resolves commit → recovery's guess was
+//     wrong for that transaction, and its effects exist only in the
+//     prepare records; the shard restarts so recovery can replay it
+//     with the decision now discoverable;
+//   - anything still unknown → stay parked, probe again next tick.
+
+// resolveLoop polls ResolvePending until the node halts or closes.
+func (n *Node) resolveLoop(interval time.Duration) {
+	defer close(n.resolveDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.resolveStop:
+			return
+		case <-t.C:
+			n.ResolvePending()
+		}
+	}
+}
+
+// ResolvePending runs one resolver pass over every shard and returns
+// how many in-doubt transactions it settled. Exported so tests and
+// operators can drive resolution synchronously instead of waiting for
+// the background tick.
+func (n *Node) ResolvePending() int {
+	resolved := 0
+	for i := 0; i < n.nShards; i++ {
+		e := n.engine(i)
+		if e == nil || e.HealthState() != core.StateReadOnly {
+			continue
+		}
+		pending := e.UnresolvedInDoubt()
+		if len(pending) == 0 {
+			continue // ReadOnly for some other (sticky) reason
+		}
+		anyUnknown, anyCommit := false, false
+		for _, p := range pending {
+			switch n.probeDecision(p.GID, p.Coord, nil, i) {
+			case core.TwoPCCommit:
+				anyCommit = true
+			case core.TwoPCUnknown:
+				anyUnknown = true
+			}
+		}
+		if anyUnknown {
+			continue
+		}
+		if anyCommit {
+			// A committed in-doubt transaction cannot be applied in place:
+			// recovery replayed it as a loser, so its effects exist only in
+			// the logs. Restart the shard — its recovery resolver reaches
+			// the same (now complete) knowledge through probeDecision.
+			if err := n.RestartShard(i); err != nil {
+				continue
+			}
+		} else if err := e.ResolveInDoubtAborted(); err != nil {
+			continue
+		} else {
+			n.readOnlyExits.Add(1)
+		}
+		n.inDoubtResolved.Add(int64(len(pending)))
+		resolved += len(pending)
+	}
+	return resolved
+}

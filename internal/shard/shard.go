@@ -9,6 +9,13 @@
 // write throughput caps at device-bandwidth / bytes-per-txn no matter
 // how many committers coalesce — independent per-shard log devices
 // multiply that ceiling.
+//
+// The node also owns the failure story (DESIGN.md §14): coordinator
+// decisions replicate into a node-level journal and back into every
+// participant's log, a background resolver un-parks shards left
+// ReadOnly by in-doubt transactions, fan-out reads degrade to typed
+// partial results instead of failing wholesale, and halted shards can
+// be restarted in place.
 package shard
 
 import (
@@ -19,9 +26,11 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/row"
 	"repro/internal/wal"
 )
@@ -36,8 +45,9 @@ type Config struct {
 	// Shards is the engine count; <=0 means 1.
 	Shards int
 
-	// Dir, when set, stores each shard under Dir/shard-NNN. Ignored
-	// fields of Base.Dir are overridden per shard.
+	// Dir, when set, stores each shard under Dir/shard-NNN and the
+	// decision journal in Dir/decisions.log. Ignored fields of Base.Dir
+	// are overridden per shard.
 	Dir string
 
 	// Base is the per-shard engine configuration (copied per shard).
@@ -46,6 +56,29 @@ type Config struct {
 	// Engine, when set, supplies each shard's configuration instead of
 	// Base — tests use it to wire per-shard media that survive crashes.
 	Engine func(shard int) core.Config
+
+	// JournalBackend, when set, backs the node-level decision journal
+	// (tests wire crash-surviving media). Defaults to Dir/decisions.log
+	// when Dir is set, else an in-memory backend.
+	JournalBackend wal.Backend
+
+	// ResolveInterval is the background in-doubt resolver's poll period.
+	// 0 takes a default (100ms); negative disables the loop (tests then
+	// drive ResolvePending explicitly).
+	ResolveInterval time.Duration
+
+	// RouteRetry bounds the write-route retry loop: operations rejected
+	// by a shard parked in recoverable ReadOnly (an unresolved in-doubt
+	// transaction) retry with backoff, giving the resolver a window to
+	// un-park the shard. Zero fields take defaults sized to span about
+	// one resolver interval.
+	RouteRetry fault.Policy
+	// DisableRouteRetry turns the write-route retry off: recoverable
+	// ReadOnly rejections surface on first occurrence.
+	DisableRouteRetry bool
+	// RouteRetrySleep overrides the route retrier's backoff sleep
+	// (tests pin it). nil means real time.Sleep.
+	RouteRetrySleep func(time.Duration)
 }
 
 // tableMeta is the routing metadata for one table.
@@ -55,19 +88,57 @@ type tableMeta struct {
 
 // Node is a sharded database node.
 type Node struct {
-	shards []*core.Engine
-	r      router
+	nShards int
+	// confs holds each shard's fully-resolved engine configuration
+	// (minus the resolver, which is rebuilt per open) so RestartShard
+	// can re-open a shard onto the same storage.
+	confs []core.Config
+	// slots holds the live engine per shard behind an atomic pointer:
+	// RestartShard swaps in a fresh incarnation while readers route
+	// around the old one lock-free.
+	slots []atomic.Pointer[core.Engine]
+	r     router
+
+	// journal is the node-level decision journal (journal.go).
+	journal *decisionJournal
 
 	// ddlMu serializes DDL; meta is the lock-free routing-metadata map
 	// the transaction hot path reads (replaced wholesale on DDL).
 	ddlMu sync.Mutex
 	meta  atomic.Pointer[map[string]*tableMeta]
 
+	// activeCross tracks cross-shard commits between first prepare and
+	// final outcome: the resolver must not presume abort for a global
+	// id whose decide record may be milliseconds from being logged.
+	activeMu    sync.Mutex
+	activeCross map[decKey]struct{}
+
+	// restartMu serializes shard restarts.
+	restartMu sync.Mutex
+
+	// routeRetry drives write-route retries against recoverable
+	// ReadOnly shards (nil when disabled).
+	routeRetry *fault.Retrier
+
+	// commitHook, when set, observes 2PC stage boundaries (chaos and
+	// crash-window tests inject failures through it).
+	commitHook atomic.Pointer[CommitHook]
+
+	resolveStop chan struct{}
+	resolveDone chan struct{}
+	stopOnce    sync.Once
+
 	// Cross-shard commit accounting.
 	singleCommits   atomic.Int64 // transactions with ≤1 writing shard
 	crossCommits    atomic.Int64 // 2PC transactions committed
 	crossAborts     atomic.Int64 // 2PC transactions aborted (prepare/decide failure)
 	crossCommitErrs atomic.Int64 // committed 2PC txns whose local commit marker was lost
+
+	// Failure-handling accounting.
+	inDoubtResolved atomic.Int64 // in-doubt txns settled by the resolver
+	readOnlyExits   atomic.Int64 // recoverable ReadOnly parks cleared in place
+	shardRestarts   atomic.Int64 // engine incarnations swapped in by RestartShard
+	partialResults  atomic.Int64 // fan-out reads that returned a partial result
 }
 
 // Counters is the node-level commit accounting snapshot.
@@ -76,40 +147,47 @@ type Counters struct {
 	CrossShardCommits    int64
 	CrossShardAborts     int64
 	CrossShardCommitErrs int64
+
+	// InDoubtResolved counts in-doubt transactions the background
+	// resolver settled at runtime (abort in place or commit via shard
+	// restart).
+	InDoubtResolved int64
+	// ReadOnlyExits counts shards that left the recoverable ReadOnly
+	// park in place, without a restart.
+	ReadOnlyExits int64
+	// ShardRestarts counts engine incarnations swapped in by
+	// RestartShard (operator- or resolver-driven).
+	ShardRestarts int64
+	// PartialResults counts fan-out reads that skipped unavailable
+	// shards and returned a typed PartialResultError.
+	PartialResults int64
 }
+
+// defaultResolveInterval is the background resolver poll period.
+const defaultResolveInterval = 100 * time.Millisecond
 
 // decisionSet is one shard's coordinator-decision index, pre-scanned
-// from its syslogs before any engine opens.
+// from its syslogs before any engine opens. Outcomes are keyed by
+// (coordinator, gid): the shard's own decisions as a coordinator plus
+// decisions written back to it by peers.
 type decisionSet struct {
 	// complete means the scan reached the durable end of the log (EOF or
-	// a torn tail, which only ever trails the durable prefix): an absent
-	// global id is then a presumed abort. An incomplete scan maps absent
-	// ids to Unknown instead — guessing would risk diverging from a
-	// decision that does exist but could not be read.
+	// a torn tail, which only ever trails the durable prefix): the
+	// shard's own absent global ids are then presumed aborts. An
+	// incomplete scan maps absent ids to Unknown instead — guessing
+	// would risk diverging from a decision that does exist but could
+	// not be read.
 	complete bool
-	outcomes map[uint64]bool // gid → committed?
-}
-
-func (d decisionSet) lookup(gid uint64) core.TwoPCOutcome {
-	if commit, ok := d.outcomes[gid]; ok {
-		if commit {
-			return core.TwoPCCommit
-		}
-		return core.TwoPCAbort
-	}
-	if d.complete {
-		return core.TwoPCAbort // presumed abort
-	}
-	return core.TwoPCUnknown
+	outcomes map[decKey]bool // (coord, gid) → committed?
 }
 
 // scanDecisions reads one shard's syslogs (before its engine opens) and
-// indexes every coordinator decision record. Scan failures degrade to
-// an incomplete set rather than failing Open: the engine's own recovery
-// will surface real storage errors, and an incomplete set merely parks
-// shards with in-doubt transactions ReadOnly instead of guessing.
+// indexes every decision record. Scan failures degrade to an incomplete
+// set rather than failing Open: the engine's own recovery will surface
+// real storage errors, and an incomplete set merely parks shards with
+// in-doubt transactions ReadOnly instead of guessing.
 func scanDecisions(cfg *core.Config) decisionSet {
-	ds := decisionSet{outcomes: make(map[uint64]bool)}
+	ds := decisionSet{outcomes: make(map[decKey]bool)}
 	var b wal.Backend
 	var owned bool
 	switch {
@@ -154,16 +232,17 @@ func scanDecisions(cfg *core.Config) decisionSet {
 			return ds
 		}
 		if rec.Type == wal.RecDecide {
-			ds.outcomes[uint64(rec.RID)] = rec.Aux == 1
+			ds.outcomes[decKey{coord: rec.Table, gid: uint64(rec.RID)}] = rec.Aux == 1
 		}
 	}
 }
 
 // Open opens (or recovers) a sharded node. Recovery order matters: all
-// shards' coordinator decisions are indexed first, then each engine
-// recovers with a resolver over that index — an in-doubt prepared
-// transaction on shard A resolves through coordinator shard B's log
-// even though B's engine isn't open yet.
+// shards' decision records and the node journal are indexed first, then
+// each engine recovers with a resolver over that index — an in-doubt
+// prepared transaction on shard A resolves through coordinator shard
+// B's log, the write-backs in any peer's log, or the journal, even
+// though no engine is open yet.
 func Open(cfg Config) (*Node, error) {
 	nShards := cfg.Shards
 	if nShards <= 0 {
@@ -176,6 +255,7 @@ func Open(cfg Config) (*Node, error) {
 		} else {
 			confs[i] = cfg.Base
 		}
+		confs[i].ShardID = uint32(i)
 		if cfg.Dir != "" {
 			d := filepath.Join(cfg.Dir, fmt.Sprintf("shard-%03d", i))
 			if err := os.MkdirAll(d, 0o755); err != nil {
@@ -185,48 +265,97 @@ func Open(cfg Config) (*Node, error) {
 		}
 	}
 
+	journal, err := openJournal(&cfg)
+	if err != nil {
+		return nil, err
+	}
+
 	decisions := make([]decisionSet, nShards)
 	for i := range confs {
 		decisions[i] = scanDecisions(&confs[i])
 	}
 	resolver := func(gid uint64, coord uint32) core.TwoPCOutcome {
+		k := decKey{coord: coord, gid: gid}
+		for i := range decisions {
+			if commit, ok := decisions[i].outcomes[k]; ok {
+				return outcomeOf(commit)
+			}
+		}
+		if commit, ok := journal.lookup(coord, gid); ok {
+			return outcomeOf(commit)
+		}
 		if int(coord) >= nShards {
 			return core.TwoPCUnknown // prepare names a shard this node doesn't have
 		}
-		return decisions[coord].lookup(gid)
+		if decisions[coord].complete {
+			return core.TwoPCAbort // presumed abort: the coordinator's whole log has no decision
+		}
+		return core.TwoPCUnknown
 	}
 
 	n := &Node{
-		shards: make([]*core.Engine, nShards),
-		r:      router{n: uint64(nShards)},
+		nShards: nShards,
+		confs:   confs,
+		slots:   make([]atomic.Pointer[core.Engine], nShards),
+		r:       router{n: uint64(nShards)},
+		journal: journal,
 	}
 	for i := range confs {
-		confs[i].TwoPCResolver = resolver
-		e, err := core.Open(confs[i])
+		c := confs[i]
+		c.TwoPCResolver = resolver
+		e, err := core.Open(c)
 		if err != nil {
 			for j := 0; j < i; j++ {
-				_ = n.shards[j].Close()
+				_ = n.slots[j].Load().Close()
 			}
+			journal.close()
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
-		n.shards[i] = e
+		n.slots[i].Store(e)
+	}
+
+	if !cfg.DisableRouteRetry {
+		p := cfg.RouteRetry
+		if p.MaxAttempts == 0 && p.BaseDelay == 0 && p.MaxDelay == 0 {
+			// Default sized to span roughly one resolver interval, so a
+			// write racing an almost-resolved park usually wins.
+			p = fault.Policy{MaxAttempts: 6, BaseDelay: 2 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+		}
+		n.routeRetry = fault.NewRetrier(p)
+		if cfg.RouteRetrySleep != nil {
+			n.routeRetry.Sleep = cfg.RouteRetrySleep
+		}
 	}
 
 	// Rebuild routing metadata from the recovered catalog (shard 0 is
 	// authoritative; DDL applies to every shard in the same order).
 	m := make(map[string]*tableMeta)
-	for _, tb := range n.shards[0].Catalog().Tables() {
+	for _, tb := range n.engine(0).Catalog().Tables() {
 		m[tb.Name] = &tableMeta{pkOrds: tb.PKOrds}
 	}
 	n.meta.Store(&m)
+
+	if cfg.ResolveInterval >= 0 {
+		iv := cfg.ResolveInterval
+		if iv == 0 {
+			iv = defaultResolveInterval
+		}
+		n.resolveStop = make(chan struct{})
+		n.resolveDone = make(chan struct{})
+		go n.resolveLoop(iv)
+	}
 	return n, nil
 }
 
-// NumShards returns the shard count.
-func (n *Node) NumShards() int { return len(n.shards) }
+// engine returns shard i's live engine incarnation.
+func (n *Node) engine(i int) *core.Engine { return n.slots[i].Load() }
 
-// Engine exposes one shard's engine (stats, tests).
-func (n *Node) Engine(i int) *core.Engine { return n.shards[i] }
+// NumShards returns the shard count.
+func (n *Node) NumShards() int { return n.nShards }
+
+// Engine exposes one shard's engine (stats, tests). The pointer is a
+// snapshot: RestartShard may swap in a fresh incarnation afterwards.
+func (n *Node) Engine(i int) *core.Engine { return n.engine(i) }
 
 // Counters returns the node-level commit accounting.
 func (n *Node) Counters() Counters {
@@ -235,7 +364,138 @@ func (n *Node) Counters() Counters {
 		CrossShardCommits:    n.crossCommits.Load(),
 		CrossShardAborts:     n.crossAborts.Load(),
 		CrossShardCommitErrs: n.crossCommitErrs.Load(),
+		InDoubtResolved:      n.inDoubtResolved.Load(),
+		ReadOnlyExits:        n.readOnlyExits.Load(),
+		ShardRestarts:        n.shardRestarts.Load(),
+		PartialResults:       n.partialResults.Load(),
 	}
+}
+
+// beginCross registers a cross-shard commit as in flight from before
+// its first prepare until its final outcome.
+func (n *Node) beginCross(coord uint32, gid uint64) {
+	n.activeMu.Lock()
+	if n.activeCross == nil {
+		n.activeCross = make(map[decKey]struct{})
+	}
+	n.activeCross[decKey{coord: coord, gid: gid}] = struct{}{}
+	n.activeMu.Unlock()
+}
+
+func (n *Node) endCross(coord uint32, gid uint64) {
+	n.activeMu.Lock()
+	delete(n.activeCross, decKey{coord: coord, gid: gid})
+	n.activeMu.Unlock()
+}
+
+func (n *Node) crossInFlight(coord uint32, gid uint64) bool {
+	n.activeMu.Lock()
+	_, ok := n.activeCross[decKey{coord: coord, gid: gid}]
+	n.activeMu.Unlock()
+	return ok
+}
+
+// probeDecision is the runtime 2PC outcome lookup shared by the
+// background resolver and RestartShard's recovery resolver: own
+// pre-scanned decisions (nil for the background path), then the node
+// journal, then a live coordinator's decision index. Presumed abort
+// applies only against a complete decision source — the coordinator's
+// fully-scanned log (coord == self) or a live coordinator engine whose
+// index covers its whole log — and never while the commit might still
+// be in flight in this process.
+func (n *Node) probeDecision(gid uint64, coord uint32, own *decisionSet, self int) core.TwoPCOutcome {
+	k := decKey{coord: coord, gid: gid}
+	if own != nil {
+		if commit, ok := own.outcomes[k]; ok {
+			return outcomeOf(commit)
+		}
+	}
+	if commit, ok := n.journal.lookup(coord, gid); ok {
+		return outcomeOf(commit)
+	}
+	if int(coord) >= n.nShards {
+		return core.TwoPCUnknown
+	}
+	if n.crossInFlight(coord, gid) {
+		// The coordinator is between prepare and decide right now:
+		// presuming abort here could contradict a decide that lands
+		// microseconds later. Stay unknown; the next probe settles it.
+		return core.TwoPCUnknown
+	}
+	if int(coord) == self {
+		if own != nil {
+			if own.complete {
+				return core.TwoPCAbort
+			}
+			return core.TwoPCUnknown
+		}
+		// Runtime probe (no fresh scan in hand): the parked engine itself
+		// indexed its entire log at recovery and every decision since, so
+		// its own decision index is complete knowledge for gids it
+		// coordinated — no record means no decide ever became durable on
+		// the only shard that could have written one. Without this, a
+		// shard that parked while its own cross-shard commit was still
+		// unwinding (crossInFlight at open) could never be resolved by
+		// ResolvePending.
+		if e := n.engine(self); e != nil && e.HealthState() != core.StateHalted {
+			if commit, known := e.DecisionFor(gid, coord); known {
+				return outcomeOf(commit)
+			}
+			return core.TwoPCAbort
+		}
+		return core.TwoPCUnknown
+	}
+	pe := n.engine(int(coord))
+	if pe == nil || pe.HealthState() == core.StateHalted {
+		return core.TwoPCUnknown
+	}
+	if commit, known := pe.DecisionFor(gid, coord); known {
+		return outcomeOf(commit)
+	}
+	// The live coordinator indexed its entire log at recovery and every
+	// decision since: no record means no decision was ever made durable.
+	return core.TwoPCAbort
+}
+
+// RestartShard halts (if needed) and re-opens one shard onto the same
+// storage, resolving its in-doubt transactions through the node's
+// runtime knowledge: the shard's own re-scanned log, the decision
+// journal, and live peer engines. This is how a halted shard rejoins a
+// running node, and how the resolver applies a learned commit decision
+// (recovery must replay it — a commit cannot be applied in place).
+//
+// Only meaningful on durable storage (Dir or explicit crash-surviving
+// media): a shard whose config names no device would restart blank.
+func (n *Node) RestartShard(i int) error {
+	if i < 0 || i >= n.nShards {
+		return fmt.Errorf("shard: restart: no shard %d", i)
+	}
+	n.restartMu.Lock()
+	defer n.restartMu.Unlock()
+	if old := n.engine(i); old != nil {
+		if old.HealthState() != core.StateHalted {
+			_ = old.Halt()
+		}
+		if n.confs[i].Dir != "" {
+			// Dir-backed incarnations own their file handles; release them
+			// so the new incarnation isn't stacked on leaked descriptors.
+			// Explicit-media configs are left alone — the caller owns them
+			// and reuses them across incarnations.
+			_ = old.ReleaseStorage()
+		}
+	}
+	cfg := n.confs[i]
+	own := scanDecisions(&cfg)
+	cfg.TwoPCResolver = func(gid uint64, coord uint32) core.TwoPCOutcome {
+		return n.probeDecision(gid, coord, &own, i)
+	}
+	e, err := core.Open(cfg)
+	if err != nil {
+		return fmt.Errorf("shard %d: restart: %w", i, err)
+	}
+	n.slots[i].Store(e)
+	n.shardRestarts.Add(1)
+	return nil
 }
 
 // CreateTable creates the table on every shard. DDL is not atomic
@@ -248,8 +508,8 @@ func (n *Node) CreateTable(name string, schema *row.Schema, pkCols []string,
 	n.ddlMu.Lock()
 	defer n.ddlMu.Unlock()
 	var pkOrds []int
-	for i, e := range n.shards {
-		t, err := e.CreateTable(name, schema, pkCols, spec, indexes)
+	for i := 0; i < n.nShards; i++ {
+		t, err := n.engine(i).CreateTable(name, schema, pkCols, spec, indexes)
 		if err != nil {
 			return fmt.Errorf("shard %d: create table %q: %w", i, name, err)
 		}
@@ -269,8 +529,8 @@ func (n *Node) CreateTable(name string, schema *row.Schema, pkCols []string,
 func (n *Node) PinTable(name string, inMemory bool) error {
 	n.ddlMu.Lock()
 	defer n.ddlMu.Unlock()
-	for i, e := range n.shards {
-		if err := e.PinTable(name, inMemory); err != nil {
+	for i := 0; i < n.nShards; i++ {
+		if err := n.engine(i).PinTable(name, inMemory); err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
 	}
@@ -288,16 +548,18 @@ func (n *Node) tableMetaFor(table string) (*tableMeta, error) {
 // HaltShard crash-stops one shard (no checkpoint, no final flush —
 // durable state is exactly what its logs hold). The other shards keep
 // serving; transactions that touch the dead shard fail with
-// ErrShardDown (or a commit error if already in flight).
+// ErrShardDown (or a commit error if already in flight). RestartShard
+// brings it back.
 func (n *Node) HaltShard(i int) error {
-	return n.shards[i].Halt()
+	return n.engine(i).Halt()
 }
 
 // Halt crash-stops every shard.
 func (n *Node) Halt() error {
+	n.stopResolver()
 	var errs []error
-	for _, e := range n.shards {
-		errs = append(errs, e.Halt())
+	for i := 0; i < n.nShards; i++ {
+		errs = append(errs, n.engine(i).Halt())
 	}
 	return errors.Join(errs...)
 }
@@ -305,9 +567,21 @@ func (n *Node) Halt() error {
 // Close checkpoints and shuts down every shard (halted shards close as
 // no-ops). Errors aggregate via errors.Join.
 func (n *Node) Close() error {
+	n.stopResolver()
 	var errs []error
-	for _, e := range n.shards {
-		errs = append(errs, e.Close())
+	for i := 0; i < n.nShards; i++ {
+		errs = append(errs, n.engine(i).Close())
 	}
+	n.journal.close()
 	return errors.Join(errs...)
+}
+
+func (n *Node) stopResolver() {
+	if n.resolveStop == nil {
+		return
+	}
+	n.stopOnce.Do(func() {
+		close(n.resolveStop)
+		<-n.resolveDone
+	})
 }

@@ -1,13 +1,52 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/row"
 	"repro/internal/storage/colseg"
 )
+
+// CommitStage names a 2PC stage boundary observed by a CommitHook.
+type CommitStage uint8
+
+// Stage boundaries, in commit order.
+const (
+	// StagePrepared: every participant's prepare is durable; the
+	// coordinator's decide record is not yet logged. A crash here is the
+	// classic coordinator-failure window — participants hold in-doubt
+	// prepares and the outcome is presumed abort.
+	StagePrepared CommitStage = iota
+	// StageDecided: the decide record and its journal copy are durable;
+	// the participants' local commit markers are not yet logged. A crash
+	// here MUST resolve to commit through the decision.
+	StageDecided
+)
+
+// CommitHook observes 2PC stage boundaries. Chaos and the crash-window
+// tests inject shard halts through it; it runs synchronously on the
+// committing goroutine.
+type CommitHook func(stage CommitStage, coord int, gid uint64, writers []int)
+
+// SetCommitHook installs (or, with nil, removes) the node's commit
+// hook.
+func (n *Node) SetCommitHook(h CommitHook) {
+	if h == nil {
+		n.commitHook.Store(nil)
+		return
+	}
+	n.commitHook.Store(&h)
+}
+
+func (n *Node) fireHook(stage CommitStage, coord int, gid uint64, writers []int) {
+	if hp := n.commitHook.Load(); hp != nil {
+		(*hp)(stage, coord, gid, writers)
+	}
+}
 
 // Txn is a node-level transaction. Per-shard participant transactions
 // are created lazily on first touch, so a transaction that stays on one
@@ -24,7 +63,7 @@ type Txn struct {
 
 // Begin starts a transaction.
 func (n *Node) Begin() *Txn {
-	return &Txn{n: n, subs: make([]*core.Txn, len(n.shards))}
+	return &Txn{n: n, subs: make([]*core.Txn, n.nShards)}
 }
 
 // sub returns (creating on first touch) the participant on shard i.
@@ -32,12 +71,36 @@ func (t *Txn) sub(i int) (*core.Txn, error) {
 	if s := t.subs[i]; s != nil {
 		return s, nil
 	}
-	if t.n.shards[i].HealthState() == core.StateHalted {
+	e := t.n.engine(i)
+	if e == nil || e.HealthState() == core.StateHalted {
 		return nil, fmt.Errorf("shard %d: %w", i, ErrShardDown)
 	}
-	s := t.n.shards[i].Begin()
+	s := e.Begin()
 	t.subs[i] = s
 	return s, nil
+}
+
+// retryWrite runs one routed write, retrying with backoff when the
+// shard rejects it as recoverably ReadOnly (parked by an in-doubt
+// transaction the background resolver may clear any moment). Sticky
+// ReadOnly, ErrShardDown and semantic errors surface immediately.
+func (t *Txn) retryWrite(op func() error) error {
+	err := op()
+	if err == nil || t.n.routeRetry == nil || !recoverableReadOnly(err) {
+		return err
+	}
+	return t.n.routeRetry.Do(func() error {
+		err := op()
+		if err != nil && recoverableReadOnly(err) {
+			return fault.MarkTransient(err)
+		}
+		return err
+	})
+}
+
+func recoverableReadOnly(err error) bool {
+	var roe *core.ReadOnlyError
+	return errors.As(err, &roe) && roe.Recoverable
 }
 
 // Insert routes the row by its primary-key columns.
@@ -55,7 +118,7 @@ func (t *Txn) Insert(table string, rw row.Row) error {
 	if err != nil {
 		return err
 	}
-	return s.Insert(table, rw)
+	return t.retryWrite(func() error { return s.Insert(table, rw) })
 }
 
 // Get routes a point lookup by primary key.
@@ -73,7 +136,13 @@ func (t *Txn) Update(table string, pk []row.Value, mutate func(row.Row) (row.Row
 	if err != nil {
 		return false, err
 	}
-	return s.Update(table, pk, mutate)
+	var found bool
+	err = t.retryWrite(func() error {
+		var uerr error
+		found, uerr = s.Update(table, pk, mutate)
+		return uerr
+	})
+	return found, err
 }
 
 // Delete routes a point delete by primary key.
@@ -82,82 +151,129 @@ func (t *Txn) Delete(table string, pk []row.Value) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return s.Delete(table, pk)
+	var found bool
+	err = t.retryWrite(func() error {
+		var derr error
+		found, derr = s.Delete(table, pk)
+		return derr
+	})
+	return found, err
+}
+
+// finishFanOut converts an accumulated partial-result record into the
+// typed error (or nil when every shard served).
+func (t *Txn) finishFanOut(pe *PartialResultError) error {
+	if pe == nil {
+		return nil
+	}
+	t.n.partialResults.Add(1)
+	return pe
 }
 
 // ScanTable scans every shard in shard order (no global ordering).
+// Unavailable shards are skipped and reported through a
+// *PartialResultError alongside the rows the healthy shards produced;
+// any other error fails the scan outright.
 func (t *Txn) ScanTable(table string, fn func(row.Row) bool) error {
-	for i := range t.n.shards {
+	var pe *PartialResultError
+	for i := 0; i < t.n.nShards; i++ {
 		s, err := t.sub(i)
 		if err != nil {
-			return err
+			pe = pe.add(i, err)
+			continue
 		}
 		if err := s.ScanTable(table, fn); err != nil {
+			if isUnavailable(err) {
+				pe = pe.add(i, err)
+				continue
+			}
 			return err
 		}
 	}
-	return nil
+	return t.finishFanOut(pe)
 }
 
-// ScanBatches runs the vectorized scan shard by shard.
+// ScanBatches runs the vectorized scan shard by shard, with the same
+// partial-result contract as ScanTable.
 func (t *Txn) ScanBatches(table string, cols []string, batchRows int, fn func(*colseg.Batch) bool) error {
-	for i := range t.n.shards {
+	var pe *PartialResultError
+	for i := 0; i < t.n.nShards; i++ {
 		s, err := t.sub(i)
 		if err != nil {
-			return err
+			pe = pe.add(i, err)
+			continue
 		}
 		if err := s.ScanBatches(table, cols, batchRows, fn); err != nil {
+			if isUnavailable(err) {
+				pe = pe.add(i, err)
+				continue
+			}
 			return err
 		}
 	}
-	return nil
+	return t.finishFanOut(pe)
 }
 
 // IndexScan scans each shard's index in key order, shard by shard: the
 // result is ordered within a shard but not globally (a global merge
 // would force materializing every shard's stream; callers needing
-// total order sort the result).
+// total order sort the result). Partial-result contract as ScanTable.
 func (t *Txn) IndexScan(table, index string, from []row.Value, fn func(row.Row) bool) error {
-	for i := range t.n.shards {
+	var pe *PartialResultError
+	for i := 0; i < t.n.nShards; i++ {
 		s, err := t.sub(i)
 		if err != nil {
-			return err
+			pe = pe.add(i, err)
+			continue
 		}
 		if err := s.IndexScan(table, index, from, fn); err != nil {
+			if isUnavailable(err) {
+				pe = pe.add(i, err)
+				continue
+			}
 			return err
 		}
 	}
-	return nil
+	return t.finishFanOut(pe)
 }
 
 // LookupAll concatenates every shard's matches (secondary indexes are
-// local to each shard; a non-PK key can match rows on any shard).
+// local to each shard; a non-PK key can match rows on any shard). The
+// rows from healthy shards are returned even when some shards are
+// down, alongside the typed partial-result error.
 func (t *Txn) LookupAll(table, index string, vals []row.Value) ([]row.Row, error) {
 	var out []row.Row
-	for i := range t.n.shards {
+	var pe *PartialResultError
+	for i := 0; i < t.n.nShards; i++ {
 		s, err := t.sub(i)
 		if err != nil {
-			return nil, err
+			pe = pe.add(i, err)
+			continue
 		}
 		rows, err := s.LookupAll(table, index, vals)
 		if err != nil {
+			if isUnavailable(err) {
+				pe = pe.add(i, err)
+				continue
+			}
 			return nil, err
 		}
 		out = append(out, rows...)
 	}
-	return out, nil
+	return out, t.finishFanOut(pe)
 }
 
 // Commit commits the transaction. With at most one writing shard this
 // is the standalone commit (read-only participants finish for free);
 // with several it is two-phase commit: parallel prepares, a durable
 // decision record on the coordinator (the lowest-indexed writing
-// shard), then parallel local commits. A nil return means the
-// transaction is durably committed on every shard it touched — even if
-// a shard's local commit marker was lost after the decision (that
-// shard's recovery resolves the prepare through the coordinator's
-// decision; the loss is counted in CrossShardCommitErrs and the sick
-// shard parks itself ReadOnly).
+// shard) replicated into the node's decision journal, then parallel
+// local commits with the decision written back to every participant's
+// own log. A nil return means the transaction is durably committed on
+// every shard it touched — even if a shard's local commit marker was
+// lost after the decision (that shard's recovery resolves the prepare
+// through the coordinator's decision, the journal, or the write-back;
+// the loss is counted in CrossShardCommitErrs).
 func (t *Txn) Commit() error {
 	if t.done {
 		return core.ErrTxnDone
@@ -191,15 +307,20 @@ func (t *Txn) Commit() error {
 	}
 
 	// Cross-shard: read-only participants release first, writers run 2PC.
-	for i, s := range t.subs {
+	for _, s := range t.subs {
 		if s == nil || s.HasWrites() {
 			continue
 		}
 		s.Abort()
-		_ = i
 	}
 	coord := writers[0]
 	gid := t.subs[coord].ID()
+
+	// Registered before any prepare becomes durable, deregistered after
+	// the outcome is settled: the in-doubt resolver must never presume
+	// abort for a gid whose decide record is still in flight here.
+	t.n.beginCross(uint32(coord), gid)
+	defer t.n.endCross(uint32(coord), gid)
 
 	// Phase 1 — parallel prepares. Each participant's prepare rides its
 	// own shard's group-commit pipeline; running them concurrently means
@@ -232,25 +353,39 @@ func (t *Txn) Commit() error {
 		t.n.crossAborts.Add(1)
 		return prepErr
 	}
+	t.n.fireHook(StagePrepared, coord, gid, writers)
 
 	// Phase 2 — the commit point. A failed decision is certainly not
 	// durable (wal contract), so aborting every participant is safe.
-	if err := t.n.shards[coord].LogDecision(gid, true); err != nil {
+	if err := t.n.engine(coord).LogDecision(gid, true); err != nil {
 		for _, i := range writers {
 			t.subs[i].AbortPrepared()
 		}
 		t.n.crossAborts.Add(1)
 		return err
 	}
+	// Replicate the decision into the node journal (synchronously — the
+	// journal only helps if it survives losing the coordinator). A
+	// journal write failure doesn't fail the commit: the coordinator's
+	// record is the authority and is already durable.
+	_ = t.n.journal.record(uint32(coord), gid, true)
+	t.n.fireHook(StageDecided, coord, gid, writers)
 
-	// Phase 3 — parallel local commits. The transaction is committed
-	// regardless of these outcomes.
+	// Phase 3 — parallel local commits plus decision write-back: each
+	// participant learns the outcome in its own log, so its next
+	// recovery resolves locally even if the coordinator is unreachable.
+	// The transaction is committed regardless of these outcomes.
 	commitErrs := make([]error, len(writers))
 	for k, i := range writers {
 		wg.Add(1)
 		go func(k, i int) {
 			defer wg.Done()
 			commitErrs[k] = t.subs[i].CommitPrepared()
+			if i != coord {
+				if e := t.n.engine(i); e != nil {
+					e.NoteDecision(gid, uint32(coord), true)
+				}
+			}
 		}(k, i)
 	}
 	wg.Wait()

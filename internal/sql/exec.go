@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/btrim"
@@ -64,6 +65,13 @@ func execSelect(tx Txn, cat *catalog.Catalog, st *Select) (*Result, error) {
 		return true
 	})
 	if err != nil && !stop {
+		// A SELECT tolerates shards that are down mid-fan-out: the rows
+		// from healthy shards are returned with the partial-result notice
+		// as a warning. Writes never get this treatment (matchingPKs).
+		if errors.Is(err, btrim.ErrPartialResult) {
+			res.Warning = err.Error()
+			return res, nil
+		}
 		return nil, err
 	}
 	return res, nil
@@ -200,7 +208,9 @@ func bindAssigns(m *tableMeta, assigns []Assign) (func(btrim.Row) (btrim.Row, er
 // matchingPKs collects the primary keys of rows matching preds, for the
 // scan forms of UPDATE and DELETE. Keys are collected first and then
 // mutated one by one, so the scan snapshot is never chased by its own
-// writes.
+// writes. A partial fan-out (down shard) propagates as an error: a
+// write predicate evaluated over a partial view would silently skip the
+// down shard's rows, so writes must see every shard or fail.
 func matchingPKs(tx Txn, m *tableMeta, preds []boundPred) ([][]btrim.Value, error) {
 	var pks [][]btrim.Value
 	err := tx.Scan(m.name, func(r btrim.Row) bool {

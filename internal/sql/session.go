@@ -3,6 +3,7 @@ package sql
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/btrim"
 )
@@ -24,6 +25,12 @@ var (
 	// ErrDDLInTxn reports CREATE TABLE inside an explicit transaction
 	// (DDL checkpoints immediately and cannot roll back with it).
 	ErrDDLInTxn = errors.New("sql: CREATE TABLE cannot run inside a transaction")
+	// ErrDeadlineExceeded reports a statement cancelled by the session's
+	// statement deadline. Inside an explicit transaction it aborts the
+	// transaction like any other statement failure; the statement's
+	// partial effects are rolled back either way. Retryable: the same
+	// statement may succeed under a fresh deadline.
+	ErrDeadlineExceeded = errors.New("sql: statement deadline exceeded")
 )
 
 // Result is the outcome of one statement.
@@ -32,6 +39,10 @@ type Result struct {
 	Rows     []btrim.Row // owned by the caller
 	Affected int64       // rows written by INSERT/UPDATE/DELETE
 	Msg      string      // human tag: "BEGIN", "CREATE TABLE", ...
+	// Warning carries a non-fatal condition the statement survived —
+	// today, the partial-result notice when a SELECT scanned around a
+	// down shard. Empty otherwise.
+	Warning string
 }
 
 // Session executes statements against one engine with per-session
@@ -47,13 +58,37 @@ type Result struct {
 // statement can never leak. A Session is not safe for concurrent use;
 // the server gives each connection its own.
 type Session struct {
-	eng     Engine
-	tx      Txn
-	aborted bool
+	eng      Engine
+	tx       Txn
+	aborted  bool
+	deadline time.Time        // per-statement deadline; zero = none
+	now      func() time.Time // time source (overridable for tests)
 }
 
 // NewSession builds a session over eng (WrapDB or WrapSharded).
-func NewSession(eng Engine) *Session { return &Session{eng: eng} }
+func NewSession(eng Engine) *Session { return &Session{eng: eng, now: time.Now} }
+
+// SetStatementDeadline arms (or, with the zero time, disarms) the
+// statement deadline: DML and queries started via Do after the deadline
+// — or still scanning when it passes — fail with ErrDeadlineExceeded.
+// The server re-arms it per statement from its configured timeout.
+func (s *Session) SetStatementDeadline(t time.Time) { s.deadline = t }
+
+// SetClock overrides the session's time source (tests).
+func (s *Session) SetClock(now func() time.Time) { s.now = now }
+
+// Reset force-ends any open transaction and clears the aborted state
+// and deadline, returning the session to autocommit. The server uses it
+// to restore a usable session after a recovered statement panic leaves
+// the state machine unknown.
+func (s *Session) Reset() {
+	if s.tx != nil {
+		s.tx.Abort()
+		s.tx = nil
+	}
+	s.aborted = false
+	s.deadline = time.Time{}
+}
 
 // InTxn reports whether an explicit transaction block is open
 // (including the aborted state).
@@ -176,18 +211,48 @@ func (s *Session) Do(fn func(Txn) error) error {
 	if s.aborted {
 		return ErrTxnAborted
 	}
+	if s.expired() {
+		if s.tx != nil {
+			return s.fail(ErrDeadlineExceeded)
+		}
+		return ErrDeadlineExceeded
+	}
 	if s.tx != nil {
-		if err := fn(s.tx); err != nil {
+		if err := fn(s.wrapTx(s.tx)); err != nil {
 			return s.fail(err)
 		}
 		return nil
 	}
 	tx := s.eng.Begin()
-	if err := fn(tx); err != nil {
+	// A panicking statement must not leak the autocommit transaction: an
+	// unfinished transaction pins engine resources (snapshots, the
+	// commit lock) and would wedge checkpoint and shutdown. The explicit-
+	// transaction path above needs no equivalent — the session still
+	// holds s.tx, and Reset/Close abort it.
+	defer func() {
+		if r := recover(); r != nil {
+			tx.Abort()
+			panic(r)
+		}
+	}()
+	if err := fn(s.wrapTx(tx)); err != nil {
 		tx.Abort()
 		return err
 	}
 	return tx.Commit()
+}
+
+// expired reports whether the armed statement deadline has passed.
+func (s *Session) expired() bool {
+	return !s.deadline.IsZero() && !s.now().Before(s.deadline)
+}
+
+// wrapTx interposes the deadline checker when a deadline is armed.
+func (s *Session) wrapTx(tx Txn) Txn {
+	if s.deadline.IsZero() {
+		return tx
+	}
+	return &deadlineTxn{Txn: tx, deadline: s.deadline, now: s.now}
 }
 
 // execStmt dispatches one DML/query statement inside tx.

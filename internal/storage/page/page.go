@@ -8,9 +8,23 @@ package page
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"repro/internal/storage/disk"
+)
+
+// Slot-state sentinels. Callers that replay historical operations
+// (recovery redo) need to tell a slot-state conflict — the slot is dead
+// where a live record was expected, or live where a free slot was
+// expected — apart from structural failures like an out-of-range slot
+// or an oversized record. Match with errors.Is.
+var (
+	// ErrSlotLive reports an exact-slot insert onto a slot that already
+	// holds a live record.
+	ErrSlotLive = errors.New("slot already live")
+	// ErrSlotDead reports a read, update, or delete of a dead slot.
+	ErrSlotDead = errors.New("slot is dead")
 )
 
 // Type tags the content of a page.
@@ -202,7 +216,7 @@ func (p *Page) InsertAt(slot uint16, rec []byte) error {
 	if slot >= p.NumSlots() {
 		grow = int(slot) - int(p.NumSlots()) + 1
 	} else if off, _ := p.slot(slot); off != deadOffset {
-		return fmt.Errorf("page: slot %d already live", slot)
+		return fmt.Errorf("page: slot %d: %w", slot, ErrSlotLive)
 	}
 	need := len(rec) + grow*slotSize
 	if p.slotDirStart()-int(p.freePtr()) < need {
@@ -234,7 +248,7 @@ func (p *Page) Read(slot uint16) ([]byte, error) {
 	}
 	off, length := p.slot(slot)
 	if off == deadOffset {
-		return nil, fmt.Errorf("page: slot %d is dead", slot)
+		return nil, fmt.Errorf("page: slot %d: %w", slot, ErrSlotDead)
 	}
 	return p.buf[off : off+length], nil
 }
@@ -255,7 +269,7 @@ func (p *Page) Update(slot uint16, rec []byte) error {
 	}
 	off, length := p.slot(slot)
 	if off == deadOffset {
-		return fmt.Errorf("page: slot %d is dead", slot)
+		return fmt.Errorf("page: slot %d: %w", slot, ErrSlotDead)
 	}
 	if len(rec) <= int(length) {
 		copy(p.buf[off:], rec)
@@ -299,7 +313,7 @@ func (p *Page) Delete(slot uint16) error {
 		return fmt.Errorf("page: slot %d out of range (%d)", slot, p.NumSlots())
 	}
 	if off, _ := p.slot(slot); off == deadOffset {
-		return fmt.Errorf("page: slot %d already dead", slot)
+		return fmt.Errorf("page: slot %d: %w", slot, ErrSlotDead)
 	}
 	p.setSlot(slot, deadOffset, 0)
 	p.setLiveSlots(p.LiveSlots() - 1)

@@ -368,6 +368,17 @@ func (l *Log) Close() error {
 	return errors.Join(l.Poisoned(), flushErr, l.backend.Close())
 }
 
+// CloseBackend releases the backend WITHOUT flushing the buffered
+// tail. This is the crash-exact release for a halted log: Close would
+// flush records whose committers were already told they failed,
+// resurrecting rolled-back transactions at the next recovery. Used
+// when a halted engine's file handles must be freed so a fresh
+// incarnation can open the same paths.
+func (l *Log) CloseBackend() error {
+	l.StopGroupCommit()
+	return l.backend.Close()
+}
+
 // Reader iterates records in LSN order. Readers see only flushed
 // content; call FlushAll before reading a live log.
 type Reader struct {
