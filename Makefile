@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test test-race test-race-internal test-recovery test-gc test-cold test-chaos test-chaos-server test-shard test-server fuzz bench-commit bench-read bench-recovery bench-mixed bench-scan bench-shard bench-server bench-smoke ci
+.PHONY: build vet test test-race test-race-internal test-recovery test-gc test-cold test-chaos test-chaos-server test-shard test-server test-sql-prepared fuzz fuzz-proto bench-commit bench-read bench-recovery bench-mixed bench-scan bench-shard bench-server bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -74,14 +74,31 @@ test-shard:
 test-server:
 	$(GO) test -race ./internal/sql/ ./internal/server/ ./internal/cli/
 
+# The prepared-statement and plan-cache front end under the race
+# detector: PREPARE/EXECUTE/DEALLOCATE, transparent-cache hit/miss/
+# invalidation accounting, DDL invalidation on both engine layouts, IN
+# and index-equality access paths, and the pipelined wire batching
+# suite (mid-batch failure, concurrent clients).
+test-sql-prepared:
+	$(GO) test -race ./internal/sql/ -run 'Prepare|Prepared|PlanCache|Transparent|INAndIndex|DropTable'
+	$(GO) test -race ./internal/server/ -run 'Pipeline|Batch'
+
 # Fuzz the byte-level decoders (WAL record bodies, row codec, cold-store
 # segments) for a short smoke window each; seed corpora live in
 # testdata/fuzz.
 FUZZTIME ?= 30s
-fuzz:
+fuzz: fuzz-proto
 	$(GO) test ./internal/wal/ -run '^$$' -fuzz FuzzDecodeRecord -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/row/ -run '^$$' -fuzz FuzzRowDecode -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/storage/colseg/ -run '^$$' -fuzz FuzzSegmentDecode -fuzztime $(FUZZTIME)
+
+# Fuzz the wire-protocol decoders: the client-side response parser
+# (trusting a remote server is the exposure) and the server-side batch
+# parser (arbitrary client bytes). Seed corpora live in
+# internal/server/testdata/fuzz.
+fuzz-proto:
+	$(GO) test ./internal/server/ -run '^$$' -fuzz FuzzDecodeResponse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/server/ -run '^$$' -fuzz FuzzDecodeBatch -fuzztime $(FUZZTIME)
 
 # Recovery wall-time sweep (log size x partitions x RecoveryThreads);
 # writes BENCH_recovery.json. Smoke-sized; drop the flags for the
@@ -129,12 +146,16 @@ bench-smoke:
 	$(GO) run ./cmd/recoverybench -rows 2000 -parts 1 -threads 1,2 -json /tmp/bench-smoke-recovery.json
 	$(GO) run ./cmd/tpccbench -duration 200ms -warehouses 1 -workers 2 -customers 10 -items 50
 	$(GO) run ./cmd/tpccbench -server -duration 200ms -warehouses 1 -workers 2 -customers 10 -items 50
+	$(GO) run ./cmd/tpccbench -server -duration 200ms -warehouses 1 -workers 2 -customers 10 -items 50 -nocache -nopipeline
 	$(GO) run ./cmd/mixedbench -duration 200ms -goroutines 1,2 -gcworkers 1,2 -hotrows 1000 -coldrows 500 -json ""
 	$(GO) run ./cmd/scanbench -rows 4000 -duration 150ms -hotrows 1000 -json ""
 	$(GO) run ./cmd/shardbench -duration 200ms -shards 1,2 -goroutines 8 -rows 1000 -json ""
 
 # What CI runs. Short mode skips the long TPC-C sweeps so the race
 # detector pass stays within runner budgets; drop -short locally for
-# the full suite.
-ci: build vet test-race-internal
+# the full suite. The fuzz targets run with a small budget here — the
+# checked-in corpora replay as plain seeds, the extra seconds only probe
+# for fresh crashers.
+ci: build vet test-race-internal test-sql-prepared
 	$(GO) test -race -short ./...
+	$(MAKE) fuzz-proto FUZZTIME=10s

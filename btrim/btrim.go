@@ -257,6 +257,12 @@ func (db *DB) CreateTable(spec TableSpec) error {
 	return err
 }
 
+// DropTable removes a table and all its rows, and checkpoints the DDL
+// so the drop survives restart. The table's on-disk pages are not
+// reclaimed (there is no page free list); its log records are skipped
+// at recovery.
+func (db *DB) DropTable(name string) error { return db.eng.DropTable(name) }
+
 // Checkpoint forces a checkpoint (flushes dirty pages, embeds a catalog
 // snapshot in the log).
 func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }

@@ -98,6 +98,9 @@ func (db *ShardedDB) CreateTable(spec TableSpec) error {
 	return db.node.CreateTable(spec.Name, schema, spec.PrimaryKey, part, ixs)
 }
 
+// DropTable drops the table from every shard.
+func (db *ShardedDB) DropTable(name string) error { return db.node.DropTable(name) }
+
 // PinTable applies the in-memory / on-disk pin on every shard.
 func (db *ShardedDB) PinTable(name string, inMemory bool) error {
 	return db.node.PinTable(name, inMemory)

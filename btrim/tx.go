@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/storage/colseg"
+	"repro/internal/txn"
 )
 
 // Batch is one column batch yielded by ScanBatches: parallel column
@@ -21,6 +22,13 @@ var (
 	// ErrPKChange reports an update that tried to modify primary-key
 	// columns.
 	ErrPKChange = core.ErrPKChange
+	// ErrLockTimeout reports a blocking row-lock acquisition that gave
+	// up waiting; the engine aborted the transaction. An expected
+	// outcome under contention — retry the whole transaction.
+	ErrLockTimeout = txn.ErrLockTimeout
+	// ErrTxnRetry reports a transaction the engine aborted to resolve
+	// a read-write conflict; retry it against a fresh snapshot.
+	ErrTxnRetry = core.ErrRetry
 )
 
 // IsDuplicateKey reports whether err is a unique-index violation.

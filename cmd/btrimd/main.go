@@ -101,6 +101,12 @@ func main() {
 		fmt.Printf("server: over-capacity=%d idle-reaps=%d panics-recovered=%d oversized-frames=%d\n",
 			st.OverCapacityRejects, st.IdleReaps, st.PanicRecoveries, st.OversizedFrames)
 	}
+	fmt.Printf("plans: cache-hits=%d misses=%d evictions=%d invalidations=%d prepared-execs=%d\n",
+		st.PlanCacheHits, st.PlanCacheMisses, st.PlanCacheEvictions, st.PlanCacheInvalidations, st.PreparedExecs)
+	if st.BatchFrames > 0 {
+		fmt.Printf("pipeline: frames=%d statements=%d skipped=%d sizes=%v\n",
+			st.BatchFrames, st.BatchedStatements, st.SkippedStatements, st.BatchSizes)
+	}
 	es := eng.Stats()
 	fmt.Printf("engine: imrs-rows=%d imrs-used=%dB hit-rate=%.2f health=%v\n",
 		es.IMRSRows, es.IMRSUsedBytes, es.IMRSHitRate, es.Health.State)

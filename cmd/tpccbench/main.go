@@ -36,6 +36,9 @@ func main() {
 	threshold := flag.Float64("threshold", 0.70, "steady cache utilization")
 	packThreads := flag.Int("pack-threads", 4, "pack threads")
 	serverMode := flag.Bool("server", false, "measure the SQL/wire front-end tax and write BENCH_server.json")
+	nocache := flag.Bool("nocache", false, "server bench ablation: plan cache and prepared statements off")
+	nopipeline := flag.Bool("nopipeline", false, "server bench ablation: one round trip per statement")
+	trials := flag.Int("trials", 3, "server bench trials per path (best trial is reported)")
 	prof := harness.RegisterProfileFlags(flag.CommandLine)
 	flag.Parse()
 	if err := prof.Start(); err != nil {
@@ -44,19 +47,13 @@ func main() {
 	}
 	defer prof.Stop()
 
-	db, err := btrim.Open(btrim.Config{
+	bcfg := btrim.Config{
 		IMRSCacheBytes:         *imrsMB << 20,
 		DisableILM:             !*ilm,
 		SteadyCacheUtilization: *threshold,
 		PackThreads:            *packThreads,
 		BufferPoolPages:        4096,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "open:", err)
-		os.Exit(1)
 	}
-	defer db.Close()
-
 	cfg := tpcc.Config{
 		Warehouses:               *warehouses,
 		DistrictsPerW:            10,
@@ -65,19 +62,42 @@ func main() {
 		InitialOrdersPerDistrict: 20,
 		Seed:                     42,
 	}
+
+	if *serverMode {
+		// Each grid path gets a freshly loaded engine so the measured
+		// paths all start from the same database state — a shared engine
+		// would bias later paths with the rows earlier ones inserted.
+		load := func() (*btrim.DB, *tpcc.Bench, error) {
+			db, err := btrim.Open(bcfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			bench, err := tpcc.Load(db, cfg)
+			if err != nil {
+				db.Close()
+				return nil, nil, err
+			}
+			return db, bench, nil
+		}
+		if err := runServerBench(load, cfg, *workers, *duration, *trials, *nocache, *nopipeline); err != nil {
+			fmt.Fprintln(os.Stderr, "server bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	db, err := btrim.Open(bcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
 	fmt.Printf("loading TPC-C: %d warehouses, %d items...\n", cfg.Warehouses, cfg.Items)
 	bench, err := tpcc.Load(db, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "load:", err)
 		os.Exit(1)
-	}
-
-	if *serverMode {
-		if err := runServerBench(db, bench, *workers, *duration); err != nil {
-			fmt.Fprintln(os.Stderr, "server bench:", err)
-			os.Exit(1)
-		}
-		return
 	}
 
 	fmt.Printf("running %v with %d workers (ILM %v)...\n", *duration, *workers, *ilm)

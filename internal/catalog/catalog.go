@@ -169,6 +169,15 @@ type Catalog struct {
 	partsByID  map[rid.PartitionID]*Partition
 	nextTable  uint32
 	nextPartID uint32
+	// dropped holds the partition ids of every dropped table, persisted
+	// in snapshots: the logs are never rewritten at DROP time, so
+	// recovery consults this set to skip records that reference a
+	// partition that no longer exists.
+	dropped map[uint32]bool
+	// version counts DDL operations (create/drop). Cached query plans
+	// stamp the version they compiled against and recompile when it
+	// moves, so a plan can never run against a stale schema.
+	version atomic.Uint64
 }
 
 // New returns an empty catalog.
@@ -179,8 +188,13 @@ func New() *Catalog {
 		partsByID:  make(map[rid.PartitionID]*Partition),
 		nextTable:  1,
 		nextPartID: 1,
+		dropped:    make(map[uint32]bool),
 	}
 }
+
+// Version returns the DDL version: it increases on every CreateTable
+// and DropTable. Plan caches compare stamps against it.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
 
 // CreateTable registers a table. The primary key columns get an implicit
 // unique index named "<table>_pk" (with the IMRS hash fast path).
@@ -258,7 +272,36 @@ func (c *Catalog) CreateTable(name string, schema *row.Schema, pkCols []string, 
 
 	c.tables[name] = t
 	c.byID[t.ID] = t
+	c.version.Add(1)
 	return t, nil
+}
+
+// DropTable removes a table from the catalog and tombstones its
+// partition ids so recovery skips their log records. The caller (the
+// engine) owns unmounting the runtime state and making the drop
+// durable via a checkpoint.
+func (c *Catalog) DropTable(name string) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.tables[name]
+	if t == nil {
+		return nil, fmt.Errorf("catalog: no such table %q", name)
+	}
+	delete(c.tables, name)
+	delete(c.byID, t.ID)
+	for _, p := range t.Partitions {
+		delete(c.partsByID, p.ID)
+		c.dropped[uint32(p.ID)] = true
+	}
+	c.version.Add(1)
+	return t, nil
+}
+
+// DroppedPartition reports whether id belonged to a dropped table.
+func (c *Catalog) DroppedPartition(id rid.PartitionID) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.dropped[uint32(id)]
 }
 
 // Table returns the named table, or nil.

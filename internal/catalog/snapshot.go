@@ -50,6 +50,13 @@ type snapshot struct {
 	Tables     []snapTable
 	NextTable  uint32
 	NextPartID uint32
+	// Dropped carries the tombstoned partition ids of dropped tables so
+	// recovery keeps skipping their log records, and Version the DDL
+	// counter so cached plans stay invalidated across restarts. Both
+	// fields decode as zero from snapshots written before DROP TABLE
+	// existed.
+	Dropped []uint32
+	Version uint64
 }
 
 // EncodeSnapshot serializes the catalog (including heap page chains,
@@ -60,6 +67,16 @@ func (c *Catalog) EncodeSnapshot() ([]byte, error) {
 	var s snapshot
 	s.NextTable = c.nextTable
 	s.NextPartID = c.nextPartID
+	s.Version = c.version.Load()
+	for id := range c.dropped {
+		s.Dropped = append(s.Dropped, id)
+	}
+	// Sort dropped ids for deterministic output.
+	for i := 1; i < len(s.Dropped); i++ {
+		for j := i; j > 0 && s.Dropped[j-1] > s.Dropped[j]; j-- {
+			s.Dropped[j-1], s.Dropped[j] = s.Dropped[j], s.Dropped[j-1]
+		}
+	}
 	for _, t := range c.byID {
 		st := snapTable{
 			ID:         t.ID,
@@ -111,6 +128,10 @@ func DecodeSnapshot(data []byte) (*Catalog, error) {
 	c := New()
 	c.nextTable = s.NextTable
 	c.nextPartID = s.NextPartID
+	c.version.Store(s.Version)
+	for _, id := range s.Dropped {
+		c.dropped[id] = true
+	}
 	for _, st := range s.Tables {
 		cols := make([]row.Column, len(st.Columns))
 		for i, sc := range st.Columns {

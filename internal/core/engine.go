@@ -504,6 +504,63 @@ func (e *Engine) CreateTable(name string, schema *row.Schema, pkCols []string,
 	return t, nil
 }
 
+// DropTable removes a table: the catalog entry disappears (with its
+// partition ids tombstoned so recovery skips their log records), the
+// runtime unmounts, live IMRS entries and pack queues for its
+// partitions are released, and a checkpoint makes the drop durable —
+// crash before the checkpoint and the table simply still exists.
+//
+// The engine quiesces transactions (the checkpoint lock, held shared by
+// every transaction and pack relocation for its lifetime) for the
+// unmount+purge window, so no in-flight transaction can observe a
+// half-dropped table. On-disk heap and index pages of the dropped table
+// are not reclaimed (there is no page free list); they become garbage
+// the next log compaction no longer references.
+func (e *Engine) DropTable(name string) error {
+	if e.closed.Load() {
+		return ErrEngineClosed
+	}
+	e.ckptMu.Lock()
+	t, err := e.cat.DropTable(name)
+	if err != nil {
+		e.ckptMu.Unlock()
+		return err
+	}
+	droppedParts := make(map[rid.PartitionID]bool, len(t.Partitions))
+	for _, p := range t.Partitions {
+		droppedParts[p.ID] = true
+	}
+	e.mu.Lock()
+	delete(e.tables, name)
+	delete(e.byID, t.ID)
+	for id := range droppedParts {
+		delete(e.parts, id)
+	}
+	e.mu.Unlock()
+	// Release the table's live IMRS footprint: unlink from the pack
+	// queues, unpublish from the RID map, and free the row versions.
+	// Retired (deleted) entries already in the GC pipeline are not in
+	// the RID map and flow out through normal reclamation.
+	var victims []*imrs.Entry
+	e.rmap.Range(func(r rid.RID, en *imrs.Entry) bool {
+		if droppedParts[r.Partition()] {
+			victims = append(victims, en)
+		}
+		return true
+	})
+	for _, en := range victims {
+		e.queues.Remove(en)
+		e.rmap.Delete(en.RID, en)
+		e.store.RemoveEntry(en)
+	}
+	for id := range droppedParts {
+		e.queues.DropPartition(id)
+		e.ilmReg.Unregister(id)
+	}
+	e.ckptMu.Unlock()
+	return e.checkpoint()
+}
+
 // mountTable builds the runtime for a catalog table. When fresh is true,
 // new B-trees are allocated; otherwise trees are loaded from persisted
 // roots (recovery re-news them separately).

@@ -461,6 +461,9 @@ func (e *Engine) rebuildColdStore(ops []wal.Record, winners map[uint64]uint64) (
 			}
 			cp := e.cat.PartitionByID(seg.Part())
 			if cp == nil {
+				if e.cat.DroppedPartition(seg.Part()) {
+					continue // segment of a dropped table
+				}
 				return applied, fmt.Errorf("core: cold rebuild references unknown partition %d", seg.Part())
 			}
 			for i := 0; i < seg.Rows(); i++ {
@@ -551,6 +554,9 @@ func (e *Engine) redoSyslogs(ckptLSN uint64, winners map[uint64]uint64) (int64, 
 		}
 		prt := e.partByID(rec.RID.Partition())
 		if prt == nil {
+			if e.cat.DroppedPartition(rec.RID.Partition()) {
+				continue // record of a dropped table
+			}
 			return applied, fmt.Errorf("core: redo references unknown partition %v", rec.RID)
 		}
 		switch rec.Type {
@@ -677,6 +683,9 @@ func (e *Engine) applyIMRSRedo(op wal.Record, ts uint64) error {
 	part := op.RID.Partition()
 	cp := e.cat.PartitionByID(part)
 	if cp == nil {
+		if e.cat.DroppedPartition(part) {
+			return nil // record of a dropped table
+		}
 		return fmt.Errorf("core: IMRS redo references unknown partition %v", op.RID)
 	}
 	if op.RID.IsVirtual() {
@@ -765,6 +774,9 @@ func (e *Engine) rebuildDerivedState() error {
 	var rErr error
 	e.rmap.Range(func(r0 rid.RID, en *imrs.Entry) bool {
 		if e.partByID(r0.Partition()) == nil {
+			if e.cat.DroppedPartition(r0.Partition()) {
+				return true // entry of a dropped table; leave it out of derived state
+			}
 			rErr = fmt.Errorf("core: recovered entry in unknown partition %v", r0)
 			return false
 		}

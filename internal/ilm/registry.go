@@ -41,6 +41,24 @@ func (r *Registry) Get(id rid.PartitionID) *PartitionState {
 	return r.parts[id]
 }
 
+// Unregister removes a partition's state (DROP TABLE): the tuner and
+// packer stop sampling it on their next cycle.
+func (r *Registry) Unregister(id rid.PartitionID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.parts[id]
+	if !ok {
+		return
+	}
+	delete(r.parts, id)
+	for i, q := range r.order {
+		if q == p {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+}
+
 // All returns the partitions in registration order.
 func (r *Registry) All() []*PartitionState {
 	r.mu.RLock()

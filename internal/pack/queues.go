@@ -51,6 +51,14 @@ func (s *QueueSet) Remove(e *imrs.Entry) {
 	s.For(e.Part, e.Origin).Remove(e)
 }
 
+// DropPartition forgets a partition's queues (DROP TABLE). The caller
+// must have unlinked or invalidated any queued entries first.
+func (s *QueueSet) DropPartition(part rid.PartitionID) {
+	s.mu.Lock()
+	delete(s.qs, part)
+	s.mu.Unlock()
+}
+
 // PartitionQueues returns the three queues of a partition (nil if the
 // partition has never enqueued anything).
 func (s *QueueSet) PartitionQueues(part rid.PartitionID) *[imrs.NumOrigins]imrs.Queue {

@@ -2,9 +2,13 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
+	"fmt"
+	"io"
 	"net"
 
+	"repro/btrim"
 	"repro/internal/fault"
 	"repro/internal/sql"
 )
@@ -100,3 +104,134 @@ func (c *Client) ExecRetry(stmt string, p fault.Policy) (*sql.Result, error) {
 
 // Close closes the connection; the server aborts any open transaction.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// StmtResult is one statement's outcome inside a batch: exactly one of
+// Res and Err is set. After a mid-batch failure the failed statement
+// carries its real error and every later one carries ErrStmtSkipped.
+type StmtResult struct {
+	Res *sql.Result
+	Err error
+}
+
+// Pipeline accumulates statements to send in one request frame — one
+// round trip for the whole batch instead of one per statement. Queue
+// methods never touch the network; Run sends the frame and returns one
+// StmtResult per queued message, in order. Like the Client it belongs
+// to, a Pipeline is single-goroutine.
+type Pipeline struct {
+	c       *Client
+	n       int
+	buf     []byte // encoded messages, headerless
+	payload []byte // frame scratch, reused across Runs
+}
+
+// Pipeline starts an empty batch on this connection.
+func (c *Client) Pipeline() *Pipeline { return &Pipeline{c: c} }
+
+// Queue adds one SQL statement.
+func (p *Pipeline) Queue(stmt string) *Pipeline {
+	p.buf = appendBatchMsg(p.buf, &batchMsg{kind: msgSQL, sql: stmt})
+	p.n++
+	return p
+}
+
+// QueuePrepare adds a PREPARE of text under name.
+func (p *Pipeline) QueuePrepare(name, text string) *Pipeline {
+	p.buf = appendBatchMsg(p.buf, &batchMsg{kind: msgPrepare, name: name, sql: text})
+	p.n++
+	return p
+}
+
+// QueueExecute adds an execution of a prepared statement with typed
+// bind arguments — no literal quoting, no re-parse on the server.
+func (p *Pipeline) QueueExecute(name string, args ...btrim.Value) *Pipeline {
+	p.buf = appendBatchMsg(p.buf, &batchMsg{kind: msgBind, name: name, args: args})
+	p.n++
+	return p
+}
+
+// QueueDeallocate adds a DEALLOCATE of name.
+func (p *Pipeline) QueueDeallocate(name string) *Pipeline {
+	p.buf = appendBatchMsg(p.buf, &batchMsg{kind: msgDeallocate, name: name})
+	p.n++
+	return p
+}
+
+// Len reports the number of queued statements.
+func (p *Pipeline) Len() int { return p.n }
+
+// Run sends the batch and decodes its per-statement results, then
+// resets the pipeline for reuse. A transport or framing error is
+// returned as the single error (the per-statement results are unknown —
+// the caller must redial); statement failures come back inside the
+// StmtResults.
+func (p *Pipeline) Run() ([]StmtResult, error) {
+	if p.n == 0 {
+		return nil, nil
+	}
+	payload := append(p.payload[:0], batchMagic)
+	payload = binary.AppendUvarint(payload, uint64(p.n))
+	payload = append(payload, p.buf...)
+	p.payload = payload
+	want := p.n
+	p.n, p.buf = 0, p.buf[:0]
+
+	c := p.c
+	if err := writeFrame(c.bw, payload); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.br, c.buf)
+	if err != nil {
+		return nil, err
+	}
+	c.buf = resp
+	return decodeMulti(resp, want)
+}
+
+// decodeMulti splits a 'M' response into per-statement results. A
+// single-response frame (the server could not parse the batch, or the
+// reply outgrew the frame limit) becomes the overall error.
+func decodeMulti(b []byte, want int) ([]StmtResult, error) {
+	if len(b) == 0 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if b[0] != tagMulti {
+		if _, err := decodeResponse(b); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("server: expected batch response, got tag %q", b[0])
+	}
+	b = b[1:]
+	count, sz := binary.Uvarint(b)
+	if sz <= 0 || count > uint64(len(b)) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	b = b[sz:]
+	if int(count) != want {
+		return nil, fmt.Errorf("server: batch of %d answered with %d results", want, count)
+	}
+	out := make([]StmtResult, 0, count)
+	for i := uint64(0); i < count; i++ {
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b)-sz) < n {
+			return nil, io.ErrUnexpectedEOF
+		}
+		res, err := decodeResponse(b[sz : sz+int(n)])
+		out = append(out, StmtResult{Res: res, Err: err})
+		b = b[sz+int(n):]
+	}
+	return out, nil
+}
+
+// ExecBatch pipelines plain SQL statements in one round trip. See
+// Pipeline for the prepared-statement form.
+func (c *Client) ExecBatch(stmts ...string) ([]StmtResult, error) {
+	p := c.Pipeline()
+	for _, s := range stmts {
+		p.Queue(s)
+	}
+	return p.Run()
+}

@@ -5,8 +5,17 @@
 // (DESIGN.md §13).
 //
 // Framing: every message is a 4-byte big-endian length followed by that
-// many payload bytes. A request payload is one UTF-8 SQL statement. A
-// response payload starts with a tag byte:
+// many payload bytes. A request payload is either one UTF-8 SQL
+// statement, or — when its first byte is 0x00, which no SQL text starts
+// with — a pipelined batch:
+//
+//	0x00, uvarint count, then count messages, each a kind byte + body:
+//	  'S' sql        — uvarint len, statement text
+//	  'P' prepare    — uvarint len + name, uvarint len + statement text
+//	  'B' bind+exec  — uvarint len + name, uvarint nargs, typed values
+//	  'D' deallocate — uvarint len + name
+//
+// A response payload starts with a tag byte:
 //
 //	'K' ok      — uvarint affected, then the message string
 //	'R' rows    — uvarint ncols, col names, uvarint nrows, values,
@@ -14,6 +23,16 @@
 //	'E' error   — 1 code byte, then the error string; the code's high
 //	              bit (flagRetryable) marks failures the client may
 //	              retry after backoff
+//	'M' multi   — uvarint count, then count sub-responses, each
+//	              uvarint-length-prefixed and encoded as above; the
+//	              batch reply, one sub-response per request message
+//
+// A batch executes in order and stops at the first failure: the failed
+// message carries its real error, and every later message answers with
+// a codeSkipped error (ErrStmtSkipped client-side) without executing —
+// so a COMMIT queued behind a failed statement never runs. The frame
+// stays aligned either way: every request message gets exactly one
+// sub-response.
 //
 // Values are tagged: 'n' NULL; 'i' + 8-byte int; 'f' + 8-byte IEEE-754
 // bits; 's'/'b' + uvarint length + bytes (string / raw bytes).
@@ -38,9 +57,22 @@ const MaxFrame = 16 << 20
 
 // Response tags.
 const (
-	tagOK   = 'K'
-	tagRows = 'R'
-	tagErr  = 'E'
+	tagOK    = 'K'
+	tagRows  = 'R'
+	tagErr   = 'E'
+	tagMulti = 'M'
+)
+
+// batchMagic marks a request payload as a pipelined batch. SQL text is
+// UTF-8 and never starts with a NUL, so the discriminator is unambiguous.
+const batchMagic = 0x00
+
+// Batch message kinds.
+const (
+	msgSQL        = 'S'
+	msgPrepare    = 'P'
+	msgBind       = 'B'
+	msgDeallocate = 'D'
 )
 
 // Error codes carried on 'E' frames, so typed sentinel errors survive
@@ -59,6 +91,10 @@ const (
 	codePartialResult
 	codeFrameTooLarge
 	codeInternal
+	codeSkipped
+	codeNoPrepared
+	codeLockTimeout
+	codeTxnRetry
 )
 
 // flagRetryable is OR'd onto the code byte when the failure is safe to
@@ -86,6 +122,12 @@ var ErrFrameTooLarge = errors.New("server: frame exceeds size limit")
 // survives.
 var ErrInternal = errors.New("server: internal error")
 
+// ErrStmtSkipped reports a batch message that never executed because an
+// earlier message in the same frame failed. Not retryable on its own:
+// the client must look at the first real error and decide what to
+// re-issue.
+var ErrStmtSkipped = errors.New("server: statement skipped after earlier failure in batch")
+
 func errCode(err error) byte {
 	switch {
 	case errors.Is(err, sql.ErrTxnAborted):
@@ -112,6 +154,14 @@ func errCode(err error) byte {
 		return codeFrameTooLarge
 	case errors.Is(err, ErrInternal):
 		return codeInternal
+	case errors.Is(err, ErrStmtSkipped):
+		return codeSkipped
+	case errors.Is(err, sql.ErrNoPrepared):
+		return codeNoPrepared
+	case errors.Is(err, btrim.ErrLockTimeout):
+		return codeLockTimeout
+	case errors.Is(err, btrim.ErrTxnRetry):
+		return codeTxnRetry
 	}
 	return codeGeneric
 }
@@ -127,7 +177,12 @@ func retryableErr(err error) bool {
 		errors.Is(err, ErrOverCapacity),
 		errors.Is(err, ErrShutdown),
 		errors.Is(err, btrim.ErrPartialResult),
-		errors.Is(err, btrim.ErrShardDown):
+		errors.Is(err, btrim.ErrShardDown),
+		// Lock waits and engine conflict aborts clear on their own;
+		// the transaction was already rolled back, so re-running it
+		// from the top is always safe.
+		errors.Is(err, btrim.ErrLockTimeout),
+		errors.Is(err, btrim.ErrTxnRetry):
 		return true
 	}
 	return btrim.IsRecoverableReadOnly(err)
@@ -165,6 +220,14 @@ func codeErr(code byte, msg string) error {
 		err = wrapSentinel(msg, ErrFrameTooLarge)
 	case codeInternal:
 		err = wrapSentinel(msg, ErrInternal)
+	case codeSkipped:
+		err = wrapSentinel(msg, ErrStmtSkipped)
+	case codeNoPrepared:
+		err = wrapSentinel(msg, sql.ErrNoPrepared)
+	case codeLockTimeout:
+		err = wrapSentinel(msg, btrim.ErrLockTimeout)
+	case codeTxnRetry:
+		err = wrapSentinel(msg, btrim.ErrTxnRetry)
 	default:
 		err = errors.New(msg)
 	}
@@ -345,6 +408,12 @@ func decodeResponse(b []byte) (*sql.Result, error) {
 			return nil, io.ErrUnexpectedEOF
 		}
 		b = b[sz:]
+		// Every column name costs at least its one-byte length prefix, so
+		// a count beyond the remaining payload is malformed — reject it
+		// before sizing the allocation to an attacker-chosen number.
+		if ncols > uint64(len(b)) {
+			return nil, io.ErrUnexpectedEOF
+		}
 		res := &sql.Result{Cols: make([]string, 0, ncols)}
 		for i := uint64(0); i < ncols; i++ {
 			n, sz := binary.Uvarint(b)
@@ -359,6 +428,12 @@ func decodeResponse(b []byte) (*sql.Result, error) {
 			return nil, io.ErrUnexpectedEOF
 		}
 		b = b[sz:]
+		// Same guard for the row count: each row carries ncols values of
+		// at least one byte each (and zero-column row frames are never
+		// produced, so a nonzero count with no columns is malformed too).
+		if ncols == 0 && nrows > 0 || ncols > 0 && nrows > uint64(len(b))/ncols {
+			return nil, io.ErrUnexpectedEOF
+		}
 		for i := uint64(0); i < nrows; i++ {
 			r := make(btrim.Row, ncols)
 			for j := range r {

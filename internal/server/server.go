@@ -3,8 +3,10 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 	"net"
 	"sort"
 	"sync"
@@ -30,6 +32,10 @@ type Config struct {
 	// any open transaction is aborted, exactly as on client hangup.
 	// 0 = never.
 	IdleTimeout time.Duration
+	// DisablePlanCache builds every session with its transparent plan
+	// cache off — the benchmark's negative control for pricing the
+	// front end; never useful in production.
+	DisablePlanCache bool
 }
 
 // Server serves the wire protocol over one engine: one goroutine, one
@@ -61,6 +67,37 @@ type Server struct {
 	idleReaps       atomic.Int64
 	panicRecoveries atomic.Int64
 	oversizedFrames atomic.Int64
+
+	// Pipelining counters: batch frames served, statements carried in
+	// them, statements skipped after a mid-batch failure, and a
+	// power-of-two histogram of statements per frame.
+	batchFrames  atomic.Int64
+	batchedStmts atomic.Int64
+	skippedStmts atomic.Int64
+	batchHist    [batchHistBuckets]atomic.Int64
+
+	// Front-end plan-cache rollup, accumulated as deltas from each
+	// connection's sql.SessionStats by its own handler goroutine (the
+	// session itself is single-goroutine and must not be read directly
+	// from Stats).
+	planHits          atomic.Int64
+	planMisses        atomic.Int64
+	planEvictions     atomic.Int64
+	planInvalidations atomic.Int64
+	preparedExecs     atomic.Int64
+}
+
+// batchHistBuckets sizes the statements-per-frame histogram: bucket i
+// counts frames of 2^i .. 2^(i+1)-1 statements, the last bucket is
+// open-ended.
+const batchHistBuckets = 8
+
+func histBucket(n int) int {
+	b := bits.Len(uint(n)) - 1
+	if b >= batchHistBuckets {
+		b = batchHistBuckets - 1
+	}
+	return b
 }
 
 type session struct {
@@ -70,6 +107,26 @@ type session struct {
 	sess   *sql.Session
 	stmts  atomic.Int64
 	inTxn  atomic.Bool
+	// lastSQL is the previous sql.SessionStats snapshot, used to push
+	// deltas into the server rollup. Handler goroutine only.
+	lastSQL sql.SessionStats
+	// msgs is the batch-decode scratch, recycled frame to frame.
+	// Handler goroutine only.
+	msgs []batchMsg
+}
+
+// rollup pushes the session's front-end counter growth since the last
+// snapshot into the server-wide atomics. Called by the handler goroutine
+// after each frame and once more at teardown, so closed sessions keep
+// counting.
+func (s *Server) rollup(c *session) {
+	st := c.sess.Stats()
+	s.planHits.Add(int64(st.CacheHits - c.lastSQL.CacheHits))
+	s.planMisses.Add(int64(st.CacheMisses - c.lastSQL.CacheMisses))
+	s.planEvictions.Add(int64(st.CacheEvictions - c.lastSQL.CacheEvictions))
+	s.planInvalidations.Add(int64(st.CacheInvalidations - c.lastSQL.CacheInvalidations))
+	s.preparedExecs.Add(int64(st.PreparedExecs - c.lastSQL.PreparedExecs))
+	c.lastSQL = st
 }
 
 // New builds an unlimited server over eng (sql.WrapDB or
@@ -118,7 +175,11 @@ func (s *Server) Serve(ln net.Listener) error {
 			continue
 		}
 		id := s.nextID.Add(1)
-		c := &session{id: id, remote: conn.RemoteAddr().String(), conn: conn, sess: sql.NewSession(s.eng)}
+		sess := sql.NewSession(s.eng)
+		if s.cfg.DisablePlanCache {
+			sess.DisablePlanCache()
+		}
+		c := &session{id: id, remote: conn.RemoteAddr().String(), conn: conn, sess: sess}
 		s.sessions[id] = c
 		s.mu.Unlock()
 		s.totalSessions.Add(1)
@@ -179,6 +240,7 @@ func (s *Server) handle(c *session) {
 		if c.sess.InTxn() {
 			s.drainAborts.Add(1)
 		}
+		s.rollup(c)
 		c.sess.Close()
 		c.conn.Close()
 		s.mu.Lock()
@@ -210,12 +272,17 @@ func (s *Server) handle(c *session) {
 			return // EOF, client reset, idle reap, or drain closing the conn
 		}
 
-		var res *sql.Result
-		execErr := err
-		if execErr == nil {
-			res, execErr = s.execute(c, string(req))
+		if err == nil && len(req) > 0 && req[0] == batchMagic {
+			outBuf = s.executeBatch(c, req, outBuf)
+		} else {
+			var res *sql.Result
+			execErr := err
+			if execErr == nil {
+				res, execErr = s.execute(c, string(req))
+			}
+			outBuf = encodeResponse(outBuf, res, execErr)
 		}
-		outBuf = encodeResponse(outBuf, res, execErr)
+		s.rollup(c)
 		if len(outBuf) > MaxFrame {
 			// A result too large to frame becomes a clean error instead
 			// of a write-side failure that kills the connection.
@@ -233,7 +300,16 @@ func (s *Server) handle(c *session) {
 
 // execute runs one statement for a session and maintains the rollup
 // counters.
-func (s *Server) execute(c *session, stmtText string) (res *sql.Result, err error) {
+func (s *Server) execute(c *session, stmtText string) (*sql.Result, error) {
+	return s.executeFn(c, func() (*sql.Result, error) { return c.sess.Exec(stmtText) })
+}
+
+// executeFn runs one session operation under the per-statement guard:
+// deadline re-armed from the configured timeout, panics converted to a
+// typed internal error with the session reset, counters maintained.
+// Every message of a batch frame passes through here individually, so a
+// pipelined statement gets the same deadline budget as one sent alone.
+func (s *Server) executeFn(c *session, fn func() (*sql.Result, error)) (res *sql.Result, err error) {
 	s.statements.Add(1)
 	c.stmts.Add(1)
 	// A statement that panics is isolated to this session: the panic is
@@ -252,7 +328,7 @@ func (s *Server) execute(c *session, stmtText string) (res *sql.Result, err erro
 	if s.cfg.StatementTimeout > 0 {
 		c.sess.SetStatementDeadline(time.Now().Add(s.cfg.StatementTimeout))
 	}
-	res, err = c.sess.Exec(stmtText)
+	res, err = fn()
 	c.inTxn.Store(c.sess.InTxn())
 	if err != nil {
 		s.errors.Add(1)
@@ -266,6 +342,74 @@ func (s *Server) execute(c *session, stmtText string) (res *sql.Result, err erro
 	}
 	s.rowsReturned.Add(int64(len(res.Rows)))
 	return res, nil
+}
+
+// executeMsg dispatches one batch message to the session.
+func (s *Server) executeMsg(c *session, m *batchMsg) (*sql.Result, error) {
+	switch m.kind {
+	case msgSQL:
+		return s.execute(c, m.sql)
+	case msgPrepare:
+		return s.executeFn(c, func() (*sql.Result, error) {
+			n, err := c.sess.Prepare(m.name, m.sql)
+			if err != nil {
+				return nil, err
+			}
+			return &sql.Result{Msg: "PREPARE", Affected: int64(n)}, nil
+		})
+	case msgBind:
+		return s.executeFn(c, func() (*sql.Result, error) {
+			return c.sess.ExecPrepared(m.name, m.args)
+		})
+	case msgDeallocate:
+		return s.executeFn(c, func() (*sql.Result, error) {
+			if err := c.sess.Deallocate(m.name); err != nil {
+				return nil, err
+			}
+			return &sql.Result{Msg: "DEALLOCATE"}, nil
+		})
+	default:
+		return nil, fmt.Errorf("server: bad batch message kind %q", m.kind)
+	}
+}
+
+// executeBatch serves one pipelined frame: messages run in order, the
+// first failure stops execution, and every later message answers with a
+// typed skipped error so the response count always matches the request
+// count and the stream stays frame-aligned.
+func (s *Server) executeBatch(c *session, req, out []byte) []byte {
+	msgs, err := decodeBatch(req, c.msgs)
+	if msgs != nil {
+		c.msgs = msgs
+	}
+	if err != nil {
+		// A frame that cannot be parsed gets a single error response:
+		// the client knows its batch produced no sub-results.
+		s.errors.Add(1)
+		return encodeResponse(out, nil, err)
+	}
+	s.batchFrames.Add(1)
+	s.batchedStmts.Add(int64(len(msgs)))
+	s.batchHist[histBucket(len(msgs))].Add(1)
+
+	out = append(out[:0], tagMulti)
+	out = binary.AppendUvarint(out, uint64(len(msgs)))
+	var sub []byte
+	failed := false
+	for i := range msgs {
+		var res *sql.Result
+		var err error
+		if failed {
+			s.skippedStmts.Add(1)
+			err = ErrStmtSkipped
+		} else if res, err = s.executeMsg(c, &msgs[i]); err != nil {
+			failed = true
+		}
+		sub = encodeResponse(sub, res, err)
+		out = binary.AppendUvarint(out, uint64(len(sub)))
+		out = append(out, sub...)
+	}
+	return out
 }
 
 // Shutdown drains the server: stop accepting, close every connection
@@ -318,7 +462,22 @@ type Stats struct {
 	IdleReaps           int64
 	PanicRecoveries     int64
 	OversizedFrames     int64
-	Sessions            []SessionStats
+	// Pipelining: batch frames served, statements carried inside them,
+	// statements skipped after a mid-batch failure, and frames by
+	// statement count (bucket i counts frames of 2^i..2^(i+1)-1
+	// statements; the last bucket is open-ended).
+	BatchFrames       int64
+	BatchedStatements int64
+	SkippedStatements int64
+	BatchSizes        [batchHistBuckets]int64
+	// Front-end plan cache, aggregated across all sessions including
+	// closed ones.
+	PlanCacheHits          int64
+	PlanCacheMisses        int64
+	PlanCacheEvictions     int64
+	PlanCacheInvalidations int64
+	PreparedExecs          int64
+	Sessions               []SessionStats
 }
 
 // SessionStats describes one live session.
@@ -345,6 +504,19 @@ func (s *Server) Stats() Stats {
 		IdleReaps:           s.idleReaps.Load(),
 		PanicRecoveries:     s.panicRecoveries.Load(),
 		OversizedFrames:     s.oversizedFrames.Load(),
+
+		BatchFrames:       s.batchFrames.Load(),
+		BatchedStatements: s.batchedStmts.Load(),
+		SkippedStatements: s.skippedStmts.Load(),
+
+		PlanCacheHits:          s.planHits.Load(),
+		PlanCacheMisses:        s.planMisses.Load(),
+		PlanCacheEvictions:     s.planEvictions.Load(),
+		PlanCacheInvalidations: s.planInvalidations.Load(),
+		PreparedExecs:          s.preparedExecs.Load(),
+	}
+	for i := range s.batchHist {
+		st.BatchSizes[i] = s.batchHist[i].Load()
 	}
 	for _, c := range s.sessions {
 		st.Sessions = append(st.Sessions, SessionStats{

@@ -525,6 +525,28 @@ func (n *Node) CreateTable(name string, schema *row.Schema, pkCols []string,
 	return nil
 }
 
+// DropTable drops the table from every shard. As with CreateTable,
+// DDL is not atomic across shards: a mid-way failure leaves the table
+// dropped on a prefix of shards.
+func (n *Node) DropTable(name string) error {
+	n.ddlMu.Lock()
+	defer n.ddlMu.Unlock()
+	for i := 0; i < n.nShards; i++ {
+		if err := n.engine(i).DropTable(name); err != nil {
+			return fmt.Errorf("shard %d: drop table %q: %w", i, name, err)
+		}
+	}
+	old := *n.meta.Load()
+	m := make(map[string]*tableMeta, len(old))
+	for k, v := range old {
+		if k != name {
+			m[k] = v
+		}
+	}
+	n.meta.Store(&m)
+	return nil
+}
+
 // PinTable applies the in-memory / on-disk pin on every shard.
 func (n *Node) PinTable(name string, inMemory bool) error {
 	n.ddlMu.Lock()

@@ -1,6 +1,10 @@
 package sql
 
-import "repro/btrim"
+import (
+	"fmt"
+
+	"repro/btrim"
+)
 
 // Statement is one parsed SQL statement.
 type Statement interface{ stmtNode() }
@@ -50,6 +54,32 @@ type Rollback struct{}
 // ShowTables lists catalog tables.
 type ShowTables struct{}
 
+// DropTable is DROP TABLE name. Like CREATE TABLE it is DDL:
+// checkpointed immediately, rejected inside explicit transactions.
+type DropTable struct {
+	Name string
+}
+
+// Prepare is PREPARE name AS <dml>. The inner statement may contain
+// `?` placeholders; NumParams counts them in textual order.
+type Prepare struct {
+	Name      string
+	Stmt      Statement
+	NumParams int
+}
+
+// Execute is EXECUTE name [(args)]. Args are literals (params are not
+// allowed here).
+type Execute struct {
+	Name string
+	Args []Literal
+}
+
+// Deallocate is DEALLOCATE [PREPARE] name.
+type Deallocate struct {
+	Name string
+}
+
 func (*CreateTable) stmtNode() {}
 func (*Insert) stmtNode()      {}
 func (*Select) stmtNode()      {}
@@ -59,6 +89,10 @@ func (*Begin) stmtNode()       {}
 func (*Commit) stmtNode()      {}
 func (*Rollback) stmtNode()    {}
 func (*ShowTables) stmtNode()  {}
+func (*DropTable) stmtNode()   {}
+func (*Prepare) stmtNode()     {}
+func (*Execute) stmtNode()     {}
+func (*Deallocate) stmtNode()  {}
 
 // CmpOp is a comparison operator in a WHERE predicate.
 type CmpOp uint8
@@ -76,11 +110,14 @@ func (op CmpOp) String() string {
 	return [...]string{"=", "!=", "<", "<=", ">", ">="}[op]
 }
 
-// Pred is one conjunct of a WHERE clause: column op literal.
+// Pred is one conjunct of a WHERE clause: column op literal, or the
+// membership form column IN (lit, ...) when In is non-nil (Op and Lit
+// are unused then).
 type Pred struct {
 	Col string
 	Op  CmpOp
 	Lit Literal
+	In  []Literal
 }
 
 // Assign is one SET item: Col = Lit, or the read-modify-write form
@@ -102,6 +139,10 @@ const (
 	LitInt
 	LitFloat
 	LitString
+	// LitParam is a `?` placeholder: I holds the 0-based parameter index
+	// (textual order), Neg whether the statement negates it (`- ?`). The
+	// value arrives at bind time.
+	LitParam
 )
 
 // Literal is an untyped SQL literal; the planner coerces it against the
@@ -111,6 +152,7 @@ type Literal struct {
 	I    int64
 	F    float64
 	S    string
+	Neg  bool // LitParam only: negate the bound value
 }
 
 func (l Literal) String() string {
@@ -121,6 +163,8 @@ func (l Literal) String() string {
 		return "float literal"
 	case LitString:
 		return "string literal"
+	case LitParam:
+		return fmt.Sprintf("parameter $%d", l.I+1)
 	default:
 		return "NULL"
 	}

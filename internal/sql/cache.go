@@ -1,0 +1,91 @@
+package sql
+
+// planCacheSize bounds the per-session plan cache. Workloads repeat a
+// small statement vocabulary (TPC-C uses well under twenty shapes), so
+// a modest LRU holds the working set while keeping a runaway ad-hoc
+// session from pinning unbounded compiled state.
+const planCacheSize = 128
+
+// planCache is a normalized-text → compiled-plan LRU. A Session is
+// single-goroutine, so the cache needs no lock. Entries carry the
+// catalog DDL version inside the compiled plan; the session treats a
+// stale stamp as a miss-and-replace (counted as an invalidation).
+type planCache struct {
+	max     int
+	entries map[string]*cacheEnt
+	head    *cacheEnt // most recently used
+	tail    *cacheEnt // least recently used
+}
+
+type cacheEnt struct {
+	key        string
+	c          *compiled
+	prev, next *cacheEnt
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{max: max, entries: make(map[string]*cacheEnt, max)}
+}
+
+func (pc *planCache) unlink(e *cacheEnt) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		pc.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		pc.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (pc *planCache) pushFront(e *cacheEnt) {
+	e.next = pc.head
+	if pc.head != nil {
+		pc.head.prev = e
+	}
+	pc.head = e
+	if pc.tail == nil {
+		pc.tail = e
+	}
+}
+
+// get returns the cached plan and marks it most recently used.
+func (pc *planCache) get(key string) *compiled {
+	e := pc.entries[key]
+	if e == nil {
+		return nil
+	}
+	if pc.head != e {
+		pc.unlink(e)
+		pc.pushFront(e)
+	}
+	return e.c
+}
+
+// put inserts or replaces a plan. Returns true when an unrelated entry
+// was evicted to make room.
+func (pc *planCache) put(key string, c *compiled) (evicted bool) {
+	if e := pc.entries[key]; e != nil {
+		e.c = c
+		if pc.head != e {
+			pc.unlink(e)
+			pc.pushFront(e)
+		}
+		return false
+	}
+	if len(pc.entries) >= pc.max {
+		lru := pc.tail
+		pc.unlink(lru)
+		delete(pc.entries, lru.key)
+		evicted = true
+	}
+	e := &cacheEnt{key: key, c: c}
+	pc.entries[key] = e
+	pc.pushFront(e)
+	return evicted
+}
+
+func (pc *planCache) len() int { return len(pc.entries) }

@@ -73,6 +73,13 @@ func (t *deadlineTxn) Delete(table string, pk ...btrim.Value) (bool, error) {
 	return t.Txn.Delete(table, pk...)
 }
 
+func (t *deadlineTxn) LookupAll(table, index string, vals ...btrim.Value) ([]btrim.Row, error) {
+	if t.expired() {
+		return nil, t.err
+	}
+	return t.Txn.LookupAll(table, index, vals...)
+}
+
 func (t *deadlineTxn) Scan(table string, fn func(btrim.Row) bool) error {
 	if t.expired() {
 		return t.err

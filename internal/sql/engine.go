@@ -16,6 +16,10 @@ type Txn interface {
 	Delete(table string, pk ...btrim.Value) (bool, error)
 	Scan(table string, fn func(btrim.Row) bool) error
 	ScanBatches(table string, cols []string, batchRows int, fn func(*btrim.Batch) bool) error
+	// LookupAll returns the rows whose index columns equal vals
+	// (prefix-match when fewer values than index columns). The planner
+	// routes index-equality and IN predicates here instead of scanning.
+	LookupAll(table, index string, vals ...btrim.Value) ([]btrim.Row, error)
 	Commit() error
 	Abort()
 }
@@ -24,6 +28,7 @@ type Txn interface {
 // *btrim.DB (WrapDB) or a sharded node (WrapSharded).
 type Engine interface {
 	CreateTable(spec btrim.TableSpec) error
+	DropTable(name string) error
 	Begin() Txn
 	// Catalog returns the live schema catalog; the planner resolves every
 	// statement against it, never against a cached copy, so tables created
@@ -38,6 +43,7 @@ type dbEngine struct{ db *btrim.DB }
 func WrapDB(db *btrim.DB) Engine { return dbEngine{db} }
 
 func (e dbEngine) CreateTable(spec btrim.TableSpec) error { return e.db.CreateTable(spec) }
+func (e dbEngine) DropTable(name string) error            { return e.db.DropTable(name) }
 func (e dbEngine) Begin() Txn                             { return e.db.Begin() }
 func (e dbEngine) Catalog() *catalog.Catalog              { return e.db.Engine().Catalog() }
 func (e dbEngine) Stats() btrim.Stats                     { return e.db.Stats() }
@@ -49,6 +55,7 @@ type shardEngine struct{ db *btrim.ShardedDB }
 func WrapSharded(db *btrim.ShardedDB) Engine { return shardEngine{db} }
 
 func (e shardEngine) CreateTable(spec btrim.TableSpec) error { return e.db.CreateTable(spec) }
+func (e shardEngine) DropTable(name string) error            { return e.db.DropTable(name) }
 func (e shardEngine) Begin() Txn                             { return e.db.Begin() }
 func (e shardEngine) Catalog() *catalog.Catalog              { return e.db.Node().Engine(0).Catalog() }
 func (e shardEngine) Stats() btrim.Stats                     { return e.db.Stats() }

@@ -159,7 +159,7 @@ func lex(input string) ([]token, error) {
 				return nil, fmt.Errorf("sql: unexpected %q at offset %d", "!", i-1)
 			}
 			toks = append(toks, token{kind: tOp, text: op, pos: i - len(op)})
-		case strings.IndexByte("(),;*=+-", c) >= 0:
+		case strings.IndexByte("(),;*=+-?", c) >= 0:
 			toks = append(toks, token{kind: tOp, text: string(c), pos: i})
 			i++
 		default:

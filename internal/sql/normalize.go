@@ -1,0 +1,101 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// normalize rewrites a lexed DML statement for the transparent plan
+// cache: every literal token becomes a `?` placeholder, the literal
+// values are extracted in textual order, and the rewritten token text
+// is the cache key. Two executions of "the same statement with
+// different constants" therefore share one compiled plan and differ
+// only in their bind vector.
+//
+// Rules:
+//   - Only SELECT, INSERT, UPDATE and DELETE are cacheable; everything
+//     else (DDL, transaction control, PREPARE...) returns ok=false.
+//   - A statement that already contains `?` is not rewritten (its
+//     parameters need a PREPARE to bind them) — ok=false.
+//   - The token after LIMIT stays concrete: the limit shapes the plan's
+//     cardinality and the grammar wants a plain integer there.
+//   - A unary minus stays in the key; the extracted literal keeps its
+//     positive spelling and the parser's Neg flag restores the sign at
+//     bind time. `x = -5` and `x = -7` share a plan; `x = 5` uses a
+//     different one.
+//
+// Identifier case is preserved in the key (table and column names are
+// case-sensitive), so `SELECT` vs `select` miss each other — an extra
+// compile, never a wrong plan.
+func normalize(toks []token) (key string, norm []token, lits []Literal, ok bool) {
+	if len(toks) == 0 || toks[0].kind != tIdent {
+		return "", nil, nil, false
+	}
+	switch strings.ToLower(toks[0].text) {
+	case "select", "insert", "update", "delete":
+	default:
+		return "", nil, nil, false
+	}
+	var b strings.Builder
+	b.Grow(64)
+	norm = make([]token, 0, len(toks))
+	afterLimit := false
+	for _, t := range toks {
+		switch t.kind {
+		case tOp:
+			if t.text == "?" {
+				return "", nil, nil, false
+			}
+			norm = append(norm, t)
+			b.WriteString(t.text)
+			b.WriteByte(' ')
+		case tIdent:
+			afterLimit = strings.EqualFold(t.text, "limit")
+			norm = append(norm, t)
+			b.WriteString(t.text)
+			b.WriteByte(' ')
+			continue
+		case tInt, tFloat, tString:
+			if afterLimit {
+				norm = append(norm, t)
+				b.WriteString(t.text)
+				b.WriteByte(' ')
+				break
+			}
+			lit, err := tokenLiteral(t)
+			if err != nil {
+				// Malformed literal (e.g. integer overflow): let the parser
+				// produce its usual error on the uncached path.
+				return "", nil, nil, false
+			}
+			lits = append(lits, lit)
+			norm = append(norm, token{kind: tOp, text: "?", pos: t.pos})
+			b.WriteString("? ")
+		case tEOF:
+			norm = append(norm, t)
+		}
+		afterLimit = false
+	}
+	return b.String(), norm, lits, true
+}
+
+// tokenLiteral converts one literal token to its parsed Literal (always
+// unsigned: the sign token, if any, stays in the normalized text).
+func tokenLiteral(t token) (Literal, error) {
+	switch t.kind {
+	case tInt:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Literal{}, err
+		}
+		return Literal{Kind: LitInt, I: v}, nil
+	case tFloat:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Literal{}, err
+		}
+		return Literal{Kind: LitFloat, F: v}, nil
+	default:
+		return Literal{Kind: LitString, S: t.text}, nil
+	}
+}

@@ -9,27 +9,41 @@ import (
 )
 
 // Parse parses exactly one statement (an optional trailing semicolon is
-// allowed).
+// allowed). Statements containing `?` placeholders parse fine here;
+// executing them requires PREPARE (or the wire bind path) to supply the
+// parameter values.
 func Parse(input string) (Statement, error) {
+	stmt, _, err := parseText(input)
+	return stmt, err
+}
+
+// parseText lexes and parses, also returning the placeholder count.
+func parseText(input string) (Statement, int, error) {
 	toks, err := lex(input)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	return parseToks(toks)
+}
+
+// parseToks parses an already-lexed statement.
+func parseToks(toks []token) (Statement, int, error) {
 	p := &parser{toks: toks}
 	stmt, err := p.statement()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p.acceptOp(";")
 	if p.peek().kind != tEOF {
-		return nil, p.errf("unexpected %s after statement", p.peek())
+		return nil, 0, p.errf("unexpected %s after statement", p.peek())
 	}
-	return stmt, nil
+	return stmt, p.params, nil
 }
 
 type parser struct {
-	toks []token
-	i    int
+	toks   []token
+	i      int
+	params int // `?` placeholders seen so far, in textual order
 }
 
 func (p *parser) peek() token { return p.toks[p.i] }
@@ -97,6 +111,28 @@ func (p *parser) statement() (Statement, error) {
 	switch strings.ToLower(t.text) {
 	case "create":
 		return p.createTable()
+	case "drop":
+		p.i++
+		if err := p.expectKw("table"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTable{Name: name}, nil
+	case "prepare":
+		return p.prepare()
+	case "execute":
+		return p.execute()
+	case "deallocate":
+		p.i++
+		p.acceptKw("prepare")
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &Deallocate{Name: name}, nil
 	case "insert":
 		return p.insert()
 	case "select":
@@ -287,12 +323,71 @@ func (p *parser) insert() (Statement, error) {
 	return stmt, nil
 }
 
+// prepare parses PREPARE name AS <dml>. Only DML can be prepared; the
+// placeholder count of the inner statement rides on the node.
+func (p *parser) prepare() (Statement, error) {
+	p.i++ // prepare
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("as"); err != nil {
+		return nil, err
+	}
+	inner, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	switch inner.(type) {
+	case *Select, *Insert, *Update, *Delete:
+	default:
+		return nil, p.errf("only SELECT, INSERT, UPDATE and DELETE can be prepared")
+	}
+	return &Prepare{Name: name, Stmt: inner, NumParams: p.params}, nil
+}
+
+// execute parses EXECUTE name [(arg, ...)]. Arguments are plain
+// literals — a placeholder inside EXECUTE has nothing to bind it.
+func (p *parser) execute() (Statement, error) {
+	p.i++ // execute
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &Execute{Name: name}
+	if p.acceptOp("(") {
+		for {
+			lit, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			if lit.Kind == LitParam {
+				return nil, p.errf("placeholder not allowed in EXECUTE arguments")
+			}
+			stmt.Args = append(stmt.Args, lit)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	return stmt, nil
+}
+
 // literal parses a literal value, including a leading unary minus on
-// numbers.
+// numbers and the `?` placeholder.
 func (p *parser) literal() (Literal, error) {
 	neg := false
 	if p.acceptOp("-") {
 		neg = true
+	}
+	if p.acceptOp("?") {
+		idx := p.params
+		p.params++
+		return Literal{Kind: LitParam, I: int64(idx), Neg: neg}, nil
 	}
 	t := p.next()
 	switch t.kind {
@@ -388,15 +483,37 @@ func (p *parser) whereClause() ([]Pred, error) {
 		if err != nil {
 			return nil, err
 		}
-		op, err := p.cmpOp()
-		if err != nil {
-			return nil, err
+		if p.acceptKw("in") {
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			var lits []Literal
+			for {
+				lit, err := p.literal()
+				if err != nil {
+					return nil, err
+				}
+				lits = append(lits, lit)
+				if p.acceptOp(",") {
+					continue
+				}
+				break
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			preds = append(preds, Pred{Col: col, In: lits})
+		} else {
+			op, err := p.cmpOp()
+			if err != nil {
+				return nil, err
+			}
+			lit, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			preds = append(preds, Pred{Col: col, Op: op, Lit: lit})
 		}
-		lit, err := p.literal()
-		if err != nil {
-			return nil, err
-		}
-		preds = append(preds, Pred{Col: col, Op: op, Lit: lit})
 		if p.acceptKw("and") {
 			continue
 		}

@@ -164,7 +164,13 @@ func TestParseErrors(t *testing.T) {
 		`UPDATE t SET v WHERE id = 1`,                       // missing =
 		`UPDATE t SET v = v * 2`,                            // unsupported operator
 		`DELETE t WHERE id = 1`,                             // missing FROM
-		`DROP TABLE t`,                                      // unsupported statement
+		`DROP t`,                                            // missing TABLE
+		`PREPARE p SELECT 1`,                                // missing AS
+		`PREPARE p AS BEGIN`,                                // only DML is preparable
+		`EXECUTE p (?)`,                                     // placeholder as argument
+		`DEALLOCATE`,                                        // missing name
+		`SELECT a FROM t WHERE id IN ()`,                    // empty IN list
+		`SELECT a FROM t LIMIT ?`,                           // LIMIT is not bindable
 		`SELECT a FROM t; SELECT b FROM t`,                  // one statement at a time
 	} {
 		if _, err := Parse(in); err == nil {

@@ -16,13 +16,24 @@ type TableError struct{ Table string }
 
 func (e *TableError) Error() string { return fmt.Sprintf("sql: no such table %q", e.Table) }
 
-// tableMeta is a statement-scoped view of one table's schema, resolved
-// fresh from the live catalog for every statement.
+// idxMeta is one index of a resolved table, for the compile-time access
+// path choice.
+type idxMeta struct {
+	name    string
+	colOrds []int
+	unique  bool
+}
+
+// tableMeta is a compile-scoped view of one table's schema, resolved
+// from the live catalog. Compiled plans stamp the catalog DDL version
+// they resolved against and are recompiled when it moves, so a stale
+// tableMeta can never execute.
 type tableMeta struct {
-	name   string
-	cols   []btrim.Column
-	ords   map[string]int
-	pkOrds []int
+	name    string
+	cols    []btrim.Column
+	ords    map[string]int
+	pkOrds  []int
+	indexes []idxMeta
 }
 
 func resolveTable(cat *catalog.Catalog, name string) (*tableMeta, error) {
@@ -36,6 +47,13 @@ func resolveTable(cat *catalog.Catalog, name string) (*tableMeta, error) {
 		c := t.Schema.Column(i)
 		m.cols[i] = btrim.Column{Name: c.Name, Type: btrim.ColumnType(c.Kind)}
 		m.ords[c.Name] = i
+	}
+	for _, ix := range t.Indexes {
+		m.indexes = append(m.indexes, idxMeta{
+			name:    ix.Name,
+			colOrds: append([]int(nil), ix.ColOrds...),
+			unique:  ix.Unique,
+		})
 	}
 	return m, nil
 }
@@ -75,48 +93,194 @@ func coerce(lit Literal, typ btrim.ColumnType, col string) (btrim.Value, error) 
 	if lit.Kind == LitNull {
 		return btrim.Null, nil
 	}
+	if lit.Kind == LitParam {
+		return btrim.Null, fmt.Errorf("sql: unbound %s (column %s)", lit, col)
+	}
 	return btrim.Null, fmt.Errorf("sql: %s does not fit column %s", lit, col)
 }
 
-// boundPred is a resolved WHERE conjunct.
-type boundPred struct {
-	col string
-	ord int // ordinal in the table schema
-	op  CmpOp
-	val btrim.Value
+// coerceValue converts an already-typed bind value to the column's
+// type, with the same widening rules as coerce.
+func coerceValue(v btrim.Value, typ btrim.ColumnType, col string) (btrim.Value, error) {
+	if v.IsNull() {
+		return btrim.Null, nil
+	}
+	switch typ {
+	case btrim.Int64Type:
+		if v.Kind() == row.KindInt64 {
+			return v, nil
+		}
+	case btrim.Float64Type:
+		if v.Kind() == row.KindFloat64 {
+			return v, nil
+		}
+		if v.Kind() == row.KindInt64 {
+			return btrim.Float64(float64(v.Int())), nil
+		}
+	case btrim.StringType:
+		if v.Kind() == row.KindString {
+			return v, nil
+		}
+	case btrim.BytesType:
+		if v.Kind() == row.KindBytes {
+			return v, nil
+		}
+		if v.Kind() == row.KindString {
+			return btrim.Bytes([]byte(v.Str())), nil
+		}
+	}
+	return btrim.Null, fmt.Errorf("sql: %v parameter does not fit column %s", v.Kind(), col)
 }
 
-func bindPreds(m *tableMeta, preds []Pred) ([]boundPred, error) {
-	out := make([]boundPred, 0, len(preds))
+// valSlot is a compiled value position: either a concrete value coerced
+// at compile time (param < 0) or a parameter reference resolved against
+// the bind args at execution time.
+type valSlot struct {
+	val   btrim.Value
+	param int
+	neg   bool // negate the bound numeric value (`- ?`)
+	typ   btrim.ColumnType
+	col   string
+}
+
+// compileLit turns a parsed literal into a slot targeting the given
+// column type.
+func compileLit(lit Literal, typ btrim.ColumnType, col string) (valSlot, error) {
+	if lit.Kind == LitParam {
+		return valSlot{param: int(lit.I), neg: lit.Neg, typ: typ, col: col}, nil
+	}
+	v, err := coerce(lit, typ, col)
+	if err != nil {
+		return valSlot{}, err
+	}
+	return valSlot{param: -1, val: v}, nil
+}
+
+// resolve produces the slot's value for this execution.
+func (s *valSlot) resolve(args []btrim.Value) (btrim.Value, error) {
+	if s.param < 0 {
+		return s.val, nil
+	}
+	if s.param >= len(args) {
+		return btrim.Null, fmt.Errorf("sql: missing value for parameter $%d", s.param+1)
+	}
+	v := args[s.param]
+	if s.neg {
+		switch v.Kind() {
+		case row.KindInt64:
+			v = btrim.Int64(-v.Int())
+		case row.KindFloat64:
+			v = btrim.Float64(-v.Float())
+		default:
+			return btrim.Null, fmt.Errorf("sql: cannot negate %v parameter $%d", v.Kind(), s.param+1)
+		}
+	}
+	return coerceValue(v, s.typ, s.col)
+}
+
+// predSlot is a compiled WHERE conjunct: column ordinal, operator and
+// value slot(s). in != nil selects the membership form.
+type predSlot struct {
+	col  string
+	ord  int
+	op   CmpOp
+	slot valSlot
+	in   []valSlot
+}
+
+// compilePreds resolves WHERE conjuncts against the table.
+func compilePreds(m *tableMeta, preds []Pred) ([]predSlot, error) {
+	out := make([]predSlot, 0, len(preds))
 	for _, p := range preds {
 		o, err := m.ord(p.Col)
 		if err != nil {
 			return nil, err
 		}
-		if p.Lit.Kind == LitNull {
-			return nil, fmt.Errorf("sql: NULL comparisons are not supported (column %s)", p.Col)
+		typ := m.cols[o].Type
+		ps := predSlot{col: p.Col, ord: o, op: p.Op}
+		if p.In != nil {
+			ps.in = make([]valSlot, len(p.In))
+			for i, lit := range p.In {
+				if lit.Kind == LitNull {
+					return nil, fmt.Errorf("sql: NULL in IN list is not supported (column %s)", p.Col)
+				}
+				if ps.in[i], err = compileLit(lit, typ, p.Col); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			if p.Lit.Kind == LitNull {
+				return nil, fmt.Errorf("sql: NULL comparisons are not supported (column %s)", p.Col)
+			}
+			if ps.slot, err = compileLit(p.Lit, typ, p.Col); err != nil {
+				return nil, err
+			}
 		}
-		v, err := coerce(p.Lit, m.cols[o].Type, p.Col)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, boundPred{col: p.Col, ord: o, op: p.Op, val: v})
+		out = append(out, ps)
 	}
 	return out, nil
 }
 
-// splitPoint returns the primary-key values if every PK column is
-// pinned by an equality predicate, plus the residual predicates. The
-// executor routes the point form to Tx.Get/Update/Delete and everything
-// else to a scan.
-func splitPoint(m *tableMeta, preds []boundPred) (pk []btrim.Value, residual []boundPred, ok bool) {
-	pk = make([]btrim.Value, len(m.pkOrds))
+// rpred is a predicate resolved for one execution: concrete values in
+// place of slots.
+type rpred struct {
+	ord int
+	op  CmpOp
+	val btrim.Value
+	in  []btrim.Value
+}
+
+// resolvePreds materializes predicate values for this execution. A
+// parameter bound to NULL in a comparison fails here, matching the
+// compile-time rule for literal NULLs.
+func resolvePreds(preds []predSlot, args []btrim.Value, buf []rpred) ([]rpred, error) {
+	if len(preds) == 0 {
+		return buf[:0], nil
+	}
+	out := buf[:0]
+	for i := range preds {
+		p := &preds[i]
+		r := rpred{ord: p.ord, op: p.op}
+		if p.in != nil {
+			r.in = make([]btrim.Value, len(p.in))
+			for j := range p.in {
+				v, err := p.in[j].resolve(args)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() {
+					return nil, fmt.Errorf("sql: NULL comparisons are not supported (column %s)", p.col)
+				}
+				r.in[j] = v
+			}
+		} else {
+			v, err := p.slot.resolve(args)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				return nil, fmt.Errorf("sql: NULL comparisons are not supported (column %s)", p.col)
+			}
+			r.val = v
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// splitPoint returns the primary-key slots if every PK column is pinned
+// by an equality predicate, plus the residual predicates. The executor
+// routes the point form to Tx.Get/Update/Delete and everything else to
+// an index lookup or scan.
+func splitPoint(m *tableMeta, preds []predSlot) (pk []valSlot, residual []predSlot, ok bool) {
+	pk = make([]valSlot, len(m.pkOrds))
 	used := make([]bool, len(preds))
 	for i, pkOrd := range m.pkOrds {
 		found := false
-		for j, p := range preds {
-			if !used[j] && p.op == OpEq && p.ord == pkOrd {
-				pk[i] = p.val
+		for j := range preds {
+			p := &preds[j]
+			if !used[j] && p.in == nil && p.op == OpEq && p.ord == pkOrd {
+				pk[i] = p.slot
 				used[j] = true
 				found = true
 				break
@@ -126,9 +290,9 @@ func splitPoint(m *tableMeta, preds []boundPred) (pk []btrim.Value, residual []b
 			return nil, nil, false
 		}
 	}
-	for j, p := range preds {
+	for j := range preds {
 		if !used[j] {
-			residual = append(residual, p)
+			residual = append(residual, preds[j])
 		}
 	}
 	return pk, residual, true
@@ -186,9 +350,23 @@ func applyOp(cmp int, op CmpOp) bool {
 	return false
 }
 
-// rowMatches evaluates bound predicates against a full row.
-func rowMatches(preds []boundPred, r btrim.Row) bool {
-	for _, p := range preds {
+// rowMatches evaluates resolved predicates against a full row.
+func rowMatches(preds []rpred, r btrim.Row) bool {
+	for i := range preds {
+		p := &preds[i]
+		if p.in != nil {
+			hit := false
+			for _, v := range p.in {
+				if cmp, ok := cmpValues(r[p.ord], v); ok && cmp == 0 {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return false
+			}
+			continue
+		}
 		cmp, ok := cmpValues(r[p.ord], p.val)
 		if !ok || !applyOp(cmp, p.op) {
 			return false
@@ -198,36 +376,49 @@ func rowMatches(preds []boundPred, r btrim.Row) bool {
 }
 
 // vecMatches evaluates one predicate against batch row i of vector v.
-func vecMatches(v *btrim.Vec, i int, p boundPred) bool {
+func vecMatches(v *btrim.Vec, i int, p *rpred) bool {
 	if v.IsNull(i) {
 		return false
 	}
-	var cmp int
-	switch v.Kind {
-	case row.KindInt64:
-		x, y := v.I64[i], p.val.Int()
-		cmp = 0
-		if x < y {
-			cmp = -1
-		} else if x > y {
-			cmp = 1
+	if p.in != nil {
+		for _, pv := range p.in {
+			if cmp, ok := vecCmp(v, i, pv); ok && cmp == 0 {
+				return true
+			}
 		}
-	case row.KindFloat64:
-		x, y := v.F64[i], p.val.Float()
-		cmp = 0
-		if x < y {
-			cmp = -1
-		} else if x > y {
-			cmp = 1
-		}
-	case row.KindString:
-		cmp = strings.Compare(string(v.Str[i]), p.val.Str())
-	case row.KindBytes:
-		cmp = bytes.Compare(v.Str[i], p.val.Raw())
-	default:
 		return false
 	}
-	return applyOp(cmp, p.op)
+	cmp, ok := vecCmp(v, i, p.val)
+	return ok && applyOp(cmp, p.op)
+}
+
+// vecCmp compares batch row i of vector v with a predicate value of
+// the column's type. The bool is false for incomparable kinds.
+func vecCmp(v *btrim.Vec, i int, pv btrim.Value) (int, bool) {
+	switch v.Kind {
+	case row.KindInt64:
+		x, y := v.I64[i], pv.Int()
+		if x < y {
+			return -1, true
+		} else if x > y {
+			return 1, true
+		}
+		return 0, true
+	case row.KindFloat64:
+		x, y := v.F64[i], pv.Float()
+		if x < y {
+			return -1, true
+		} else if x > y {
+			return 1, true
+		}
+		return 0, true
+	case row.KindString:
+		return strings.Compare(string(v.Str[i]), pv.Str()), true
+	case row.KindBytes:
+		return bytes.Compare(v.Str[i], pv.Raw()), true
+	default:
+		return 0, false
+	}
 }
 
 // vecValue materializes batch row i of vector v as an owned Value (the
@@ -250,89 +441,21 @@ func vecValue(v *btrim.Vec, i int) btrim.Value {
 	return btrim.Null
 }
 
-// selectPlan is the resolved form of a SELECT: either a point lookup or
-// a vectorized scan with projection pushdown and a residual filter.
-type selectPlan struct {
-	meta    *tableMeta
-	outCols []string // result columns, in output order
-
-	point    bool
-	pk       []btrim.Value
-	residual []boundPred // point path: evaluated on the fetched row
-
-	scanCols  []string    // outCols ∪ predicate columns, pushed into ScanBatches
-	scanPreds []boundPred // ord field rebased onto scanCols positions
-	limit     int64
-}
-
-func planSelect(cat *catalog.Catalog, st *Select) (*selectPlan, error) {
-	m, err := resolveTable(cat, st.Table)
-	if err != nil {
-		return nil, err
-	}
-	p := &selectPlan{meta: m, limit: st.Limit}
-	if st.Star {
-		for _, c := range m.cols {
-			p.outCols = append(p.outCols, c.Name)
-		}
-	} else {
-		for _, c := range st.Columns {
-			if _, err := m.ord(c); err != nil {
-				return nil, err
+// dedupValues removes duplicate values in place (IN lists are sets:
+// `pk IN (1, 1)` must not return the row twice). Lists are small, so
+// the quadratic scan beats building a hash set.
+func dedupValues(vals []btrim.Value) []btrim.Value {
+	out := vals[:0]
+next:
+	for _, v := range vals {
+		for _, u := range out {
+			if cmp, ok := cmpValues(u, v); ok && cmp == 0 {
+				continue next
 			}
-			p.outCols = append(p.outCols, c)
 		}
+		out = append(out, v)
 	}
-	preds, err := bindPreds(m, st.Where)
-	if err != nil {
-		return nil, err
-	}
-	if len(preds) > 0 {
-		if pk, residual, ok := splitPoint(m, preds); ok {
-			p.point = true
-			p.pk = pk
-			p.residual = residual
-			return p, nil
-		}
-	}
-	// Scan path: push the union of output and predicate columns into the
-	// batch projection so unreferenced columns of frozen rows are never
-	// decompressed, then rebase predicate ordinals onto that projection.
-	pos := make(map[string]int, len(p.outCols))
-	for _, c := range p.outCols {
-		if _, dup := pos[c]; !dup {
-			pos[c] = len(p.scanCols)
-			p.scanCols = append(p.scanCols, c)
-		}
-	}
-	for _, pr := range preds {
-		if _, ok := pos[pr.col]; !ok {
-			pos[pr.col] = len(p.scanCols)
-			p.scanCols = append(p.scanCols, pr.col)
-		}
-	}
-	p.scanPreds = make([]boundPred, len(preds))
-	for i, pr := range preds {
-		pr.ord = pos[pr.col]
-		p.scanPreds[i] = pr
-	}
-	return p, nil
-}
-
-// outOrds maps output columns to their position in the scan projection
-// (the first len(outCols) vectors, minus duplicates).
-func (p *selectPlan) outOrds() []int {
-	pos := make(map[string]int, len(p.scanCols))
-	for i, c := range p.scanCols {
-		if _, dup := pos[c]; !dup {
-			pos[c] = i
-		}
-	}
-	ords := make([]int, len(p.outCols))
-	for i, c := range p.outCols {
-		ords[i] = pos[c]
-	}
-	return ords
+	return out
 }
 
 // sortedTableNames lists catalog tables for SHOW TABLES.

@@ -3,6 +3,7 @@ package sql
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/btrim"
@@ -22,15 +23,19 @@ var (
 	ErrTxnOpen = errors.New("sql: a transaction is already in progress")
 	// ErrNoTxn reports COMMIT/ROLLBACK with no open transaction.
 	ErrNoTxn = errors.New("sql: no transaction is in progress")
-	// ErrDDLInTxn reports CREATE TABLE inside an explicit transaction
-	// (DDL checkpoints immediately and cannot roll back with it).
-	ErrDDLInTxn = errors.New("sql: CREATE TABLE cannot run inside a transaction")
+	// ErrDDLInTxn reports CREATE TABLE or DROP TABLE inside an explicit
+	// transaction (DDL checkpoints immediately and cannot roll back with
+	// it).
+	ErrDDLInTxn = errors.New("sql: DDL cannot run inside a transaction")
 	// ErrDeadlineExceeded reports a statement cancelled by the session's
 	// statement deadline. Inside an explicit transaction it aborts the
 	// transaction like any other statement failure; the statement's
 	// partial effects are rolled back either way. Retryable: the same
 	// statement may succeed under a fresh deadline.
 	ErrDeadlineExceeded = errors.New("sql: statement deadline exceeded")
+	// ErrNoPrepared reports EXECUTE/DEALLOCATE of an unknown prepared
+	// statement name.
+	ErrNoPrepared = errors.New("sql: no such prepared statement")
 )
 
 // Result is the outcome of one statement.
@@ -45,6 +50,27 @@ type Result struct {
 	Warning string
 }
 
+// SessionStats counts the session's front-end work: plan-cache traffic
+// and prepared-statement executions. The server aggregates these per
+// connection into its rollup.
+type SessionStats struct {
+	CacheHits          uint64 // statements served from the plan cache
+	CacheMisses        uint64 // statements compiled fresh
+	CacheEvictions     uint64 // LRU entries displaced
+	CacheInvalidations uint64 // plans recompiled after DDL moved the catalog version
+	CacheSize          int    // current entries
+	PreparedExecs      uint64 // EXECUTE / wire-bind runs of prepared statements
+}
+
+// prepStmt is one named prepared statement: the parsed AST survives DDL
+// (recompile), the compiled form is the version-stamped fast path.
+type prepStmt struct {
+	text      string
+	stmt      Statement
+	numParams int
+	c         *compiled
+}
+
 // Session executes statements against one engine with per-session
 // transaction state:
 //
@@ -55,18 +81,47 @@ type Result struct {
 //
 // In autocommit each statement runs in its own transaction, committed
 // on success and rolled back wholesale on failure, so a half-applied
-// statement can never leak. A Session is not safe for concurrent use;
-// the server gives each connection its own.
+// statement can never leak.
+//
+// Every DML statement executes through a compiled plan. Exec routes
+// through a transparent normalized-text plan cache (literals become
+// bind parameters), so a repeated statement shape skips the lexer,
+// parser and planner entirely; PREPARE/EXECUTE expose the same
+// machinery explicitly. Compiled plans are stamped with the catalog DDL
+// version and recompiled when it moves. A Session is not safe for
+// concurrent use; the server gives each connection its own.
 type Session struct {
 	eng      Engine
 	tx       Txn
 	aborted  bool
 	deadline time.Time        // per-statement deadline; zero = none
 	now      func() time.Time // time source (overridable for tests)
+
+	cache    *planCache
+	prepared map[string]*prepStmt
+	stats    SessionStats
+	argBuf   []btrim.Value // scratch for literal→value conversion
 }
 
 // NewSession builds a session over eng (WrapDB or WrapSharded).
-func NewSession(eng Engine) *Session { return &Session{eng: eng, now: time.Now} }
+func NewSession(eng Engine) *Session {
+	return &Session{eng: eng, now: time.Now, cache: newPlanCache(planCacheSize)}
+}
+
+// Stats returns a snapshot of the session's front-end counters.
+func (s *Session) Stats() SessionStats {
+	st := s.stats
+	if s.cache != nil {
+		st.CacheSize = s.cache.len()
+	}
+	return st
+}
+
+// DisablePlanCache turns the transparent plan cache off for this
+// session: every statement parses and plans from scratch. Benchmark
+// ablations use it to price the cache; there is no way to turn it back
+// on.
+func (s *Session) DisablePlanCache() { s.cache = nil }
 
 // SetStatementDeadline arms (or, with the zero time, disarms) the
 // statement deadline: DML and queries started via Do after the deadline
@@ -80,7 +135,8 @@ func (s *Session) SetClock(now func() time.Time) { s.now = now }
 // Reset force-ends any open transaction and clears the aborted state
 // and deadline, returning the session to autocommit. The server uses it
 // to restore a usable session after a recovered statement panic leaves
-// the state machine unknown.
+// the state machine unknown. Prepared statements and cached plans
+// survive: they carry no transaction state.
 func (s *Session) Reset() {
 	if s.tx != nil {
 		s.tx.Abort()
@@ -118,13 +174,198 @@ func (s *Session) fail(err error) error {
 	return err
 }
 
-// Exec parses and executes one statement.
+// Exec parses and executes one statement. DML takes the plan-cache
+// fast path: the statement text is normalized (literals → parameters),
+// and a cache hit skips parse and plan entirely.
 func (s *Session) Exec(text string) (*Result, error) {
-	stmt, err := Parse(text)
+	if stmt := txnCtrlStmt(text); stmt != nil {
+		return s.ExecParsed(stmt)
+	}
+	toks, err := lex(text)
 	if err != nil {
 		return nil, s.fail(err)
 	}
+	if key, norm, lits, ok := normalize(toks); ok && s.cache != nil {
+		c, err := s.cachedCompile(key, norm)
+		if err != nil {
+			return nil, s.fail(err)
+		}
+		args := s.litArgs(lits)
+		return s.execCompiled(c, args)
+	}
+	stmt, nparams, err := parseToks(toks)
+	if err != nil {
+		return nil, s.fail(err)
+	}
+	if nparams > 0 {
+		if _, isPrep := stmt.(*Prepare); !isPrep {
+			return nil, s.fail(fmt.Errorf("sql: statement has parameters; use PREPARE to bind them"))
+		}
+	}
 	return s.ExecParsed(stmt)
+}
+
+var (
+	beginStmt    = &Begin{}
+	commitStmt   = &Commit{}
+	rollbackStmt = &Rollback{}
+)
+
+// txnCtrlStmt matches the single-word transaction-control statements
+// (optional trailing semicolon) without running the lexer: they
+// bracket every transaction, so a lex+normalize pass here is pure tax
+// on the hot path.
+func txnCtrlStmt(text string) Statement {
+	t := strings.TrimSpace(text)
+	if n := len(t); n > 0 && t[n-1] == ';' {
+		t = strings.TrimSpace(t[:n-1])
+	}
+	switch {
+	case strings.EqualFold(t, "BEGIN"):
+		return beginStmt
+	case strings.EqualFold(t, "COMMIT"):
+		return commitStmt
+	case strings.EqualFold(t, "ROLLBACK"):
+		return rollbackStmt
+	}
+	return nil
+}
+
+// cachedCompile returns the compiled plan for a normalized statement,
+// compiling (and caching) on miss or when DDL invalidated the cached
+// plan.
+func (s *Session) cachedCompile(key string, norm []token) (*compiled, error) {
+	ver := s.eng.Catalog().Version()
+	if c := s.cache.get(key); c != nil {
+		if c.version == ver {
+			s.stats.CacheHits++
+			return c, nil
+		}
+		s.stats.CacheInvalidations++
+	} else {
+		s.stats.CacheMisses++
+	}
+	stmt, nparams, err := parseToks(norm)
+	if err != nil {
+		return nil, err
+	}
+	c, err := compile(s.eng.Catalog(), stmt, nparams)
+	if err != nil {
+		return nil, err
+	}
+	if s.cache.put(key, c) {
+		s.stats.CacheEvictions++
+	}
+	return c, nil
+}
+
+// litArgs converts literal arguments to bind values in the session's
+// reusable scratch buffer (column-type coercion happens per slot).
+func (s *Session) litArgs(lits []Literal) []btrim.Value {
+	buf := s.argBuf[:0]
+	for _, l := range lits {
+		buf = append(buf, litValue(l))
+	}
+	s.argBuf = buf
+	return buf
+}
+
+// litValue converts a literal to its natural value; slots coerce it to
+// the column type at bind time.
+func litValue(l Literal) btrim.Value {
+	switch l.Kind {
+	case LitInt:
+		return btrim.Int64(l.I)
+	case LitFloat:
+		return btrim.Float64(l.F)
+	case LitString:
+		return btrim.String(l.S)
+	default:
+		return btrim.Null
+	}
+}
+
+// execCompiled runs a compiled plan under the session's transaction
+// scope.
+func (s *Session) execCompiled(c *compiled, args []btrim.Value) (*Result, error) {
+	var res *Result
+	err := s.Do(func(tx Txn) error {
+		if len(args) != c.numParams {
+			return fmt.Errorf("sql: statement wants %d parameters, got %d", c.numParams, len(args))
+		}
+		var err error
+		res, err = c.run(tx, args)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Prepare parses, plans and registers a named statement. Only DML can
+// be prepared. Returns the statement's parameter count.
+func (s *Session) Prepare(name, text string) (int, error) {
+	if s.aborted {
+		return 0, ErrTxnAborted
+	}
+	stmt, nparams, err := parseText(text)
+	if err != nil {
+		return 0, s.fail(err)
+	}
+	switch stmt.(type) {
+	case *Select, *Insert, *Update, *Delete:
+	default:
+		return 0, s.fail(fmt.Errorf("sql: only SELECT, INSERT, UPDATE and DELETE can be prepared"))
+	}
+	return nparams, s.addPrepared(name, text, stmt, nparams)
+}
+
+func (s *Session) addPrepared(name, text string, stmt Statement, nparams int) error {
+	if s.prepared == nil {
+		s.prepared = make(map[string]*prepStmt)
+	}
+	if _, dup := s.prepared[name]; dup {
+		return s.fail(fmt.Errorf("sql: prepared statement %q already exists", name))
+	}
+	c, err := compile(s.eng.Catalog(), stmt, nparams)
+	if err != nil {
+		return s.fail(err)
+	}
+	s.prepared[name] = &prepStmt{text: text, stmt: stmt, numParams: nparams, c: c}
+	return nil
+}
+
+// ExecPrepared executes a prepared statement with typed bind args (the
+// wire protocol's bind path and EXECUTE both land here). The plan is
+// recompiled first if DDL moved the catalog version under it.
+func (s *Session) ExecPrepared(name string, args []btrim.Value) (*Result, error) {
+	if s.aborted {
+		return nil, ErrTxnAborted
+	}
+	ps := s.prepared[name]
+	if ps == nil {
+		return nil, s.fail(fmt.Errorf("%w %q", ErrNoPrepared, name))
+	}
+	if ps.c.version != s.eng.Catalog().Version() {
+		s.stats.CacheInvalidations++
+		c, err := compile(s.eng.Catalog(), ps.stmt, ps.numParams)
+		if err != nil {
+			return nil, s.fail(err)
+		}
+		ps.c = c
+	}
+	s.stats.PreparedExecs++
+	return s.execCompiled(ps.c, args)
+}
+
+// Deallocate drops a prepared statement.
+func (s *Session) Deallocate(name string) error {
+	if _, ok := s.prepared[name]; !ok {
+		return fmt.Errorf("%w %q", ErrNoPrepared, name)
+	}
+	delete(s.prepared, name)
+	return nil
 }
 
 // ExecParsed executes an already-parsed statement.
@@ -178,6 +419,17 @@ func (s *Session) ExecParsed(stmt Statement) (*Result, error) {
 			return nil, err
 		}
 		return &Result{Msg: "CREATE TABLE"}, nil
+	case *DropTable:
+		if s.aborted {
+			return nil, ErrTxnAborted
+		}
+		if s.tx != nil {
+			return nil, s.fail(ErrDDLInTxn)
+		}
+		if err := s.eng.DropTable(st.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: "DROP TABLE"}, nil
 	case *ShowTables:
 		if s.aborted {
 			return nil, ErrTxnAborted
@@ -188,18 +440,75 @@ func (s *Session) ExecParsed(stmt Statement) (*Result, error) {
 			res.Rows = append(res.Rows, btrim.Values(btrim.String(n)))
 		}
 		return res, nil
-	default:
-		var res *Result
-		err := s.Do(func(tx Txn) error {
-			var err error
-			res, err = execStmt(tx, s.eng, stmt)
-			return err
-		})
-		if err != nil {
+	case *Prepare:
+		// PREPARE is session state, not engine work: legal inside an open
+		// transaction block, rejected only while aborted.
+		if s.aborted {
+			return nil, ErrTxnAborted
+		}
+		if err := s.addPrepared(st.Name, "", st.Stmt, st.NumParams); err != nil {
 			return nil, err
 		}
-		return res, nil
+		return &Result{Msg: "PREPARE"}, nil
+	case *Execute:
+		// The result keeps the inner statement's verb (SELECT, INSERT...):
+		// EXECUTE is transparent to the caller.
+		return s.ExecPrepared(st.Name, s.litArgs(st.Args))
+	case *Deallocate:
+		if s.aborted {
+			return nil, ErrTxnAborted
+		}
+		if err := s.Deallocate(st.Name); err != nil {
+			return nil, s.fail(err)
+		}
+		return &Result{Msg: "DEALLOCATE"}, nil
+	default:
+		// DML arriving as a parsed AST (the CLI's path): compile on the
+		// fly — correct but uncached; Exec is the fast path.
+		c, err := compile(s.eng.Catalog(), stmt, countParams(stmt))
+		if err != nil {
+			return nil, s.fail(err)
+		}
+		return s.execCompiled(c, nil)
 	}
+}
+
+// countParams returns the number of placeholders in a parsed DML
+// statement (ASTs handed to ExecParsed directly, bypassing the parser's
+// counter).
+func countParams(stmt Statement) int {
+	max := 0
+	note := func(l Literal) {
+		if l.Kind == LitParam && int(l.I)+1 > max {
+			max = int(l.I) + 1
+		}
+	}
+	preds := func(ps []Pred) {
+		for _, p := range ps {
+			note(p.Lit)
+			for _, l := range p.In {
+				note(l)
+			}
+		}
+	}
+	switch st := stmt.(type) {
+	case *Select:
+		preds(st.Where)
+	case *Insert:
+		for _, r := range st.Rows {
+			for _, l := range r {
+				note(l)
+			}
+		}
+	case *Update:
+		for _, a := range st.Assigns {
+			note(a.Lit)
+		}
+		preds(st.Where)
+	case *Delete:
+		preds(st.Where)
+	}
+	return max
 }
 
 // Do runs fn inside the session's transaction scope: the open explicit
@@ -253,21 +562,4 @@ func (s *Session) wrapTx(tx Txn) Txn {
 		return tx
 	}
 	return &deadlineTxn{Txn: tx, deadline: s.deadline, now: s.now}
-}
-
-// execStmt dispatches one DML/query statement inside tx.
-func execStmt(tx Txn, eng Engine, stmt Statement) (*Result, error) {
-	cat := eng.Catalog()
-	switch st := stmt.(type) {
-	case *Select:
-		return execSelect(tx, cat, st)
-	case *Insert:
-		return execInsert(tx, cat, st)
-	case *Update:
-		return execUpdate(tx, cat, st)
-	case *Delete:
-		return execDelete(tx, cat, st)
-	default:
-		return nil, fmt.Errorf("sql: unhandled statement %T", stmt)
-	}
 }
